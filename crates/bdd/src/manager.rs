@@ -1,0 +1,766 @@
+//! The BDD manager: node storage, unique table, memoised operations and
+//! garbage collection.
+//!
+//! The design mirrors what the paper needs from CUDD and nothing more:
+//! *reduced ordered* BDDs with a hash-consing unique table, an ITE-based
+//! operation cache, cofactor computation, SAT counting and mark-and-sweep
+//! garbage collection driven by the caller (who knows the root set).
+
+use crate::hash::FxHashMap;
+use sliq_bignum::UBig;
+
+/// Handle to a BDD node owned by a [`Manager`].
+///
+/// `NodeId`s stay valid across garbage collections as long as the node is
+/// reachable from one of the roots passed to [`Manager::collect_garbage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Returns `true` if this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Self::FALSE
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Self::TRUE
+    }
+
+    /// The raw index (useful for external memo tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Level used for terminal nodes: below every real variable.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    level: u32,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// Counters describing the work a [`Manager`] has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Number of garbage collections run so far.
+    pub gc_runs: usize,
+    /// Peak number of live (allocated, non-freed) nodes observed.
+    pub peak_nodes: usize,
+    /// Total nodes ever created (including ones later collected).
+    pub created_nodes: usize,
+}
+
+/// A reduced ordered BDD manager.
+///
+/// Variables are identified by their index `0..num_vars()`, which is also the
+/// variable order (index 0 is the topmost level).  The simulator places qubit
+/// variables first and measurement-encoding variables after them, matching
+/// the ordering requirement of the paper's measurement procedure (§III-E).
+///
+/// ```
+/// use sliq_bdd::{Manager, NodeId};
+/// let mut mgr = Manager::new(2);
+/// let x0 = mgr.var(0);
+/// let x1 = mgr.var(1);
+/// let f = mgr.and(x0, x1);
+/// assert!(mgr.eval(f, &[true, true]));
+/// assert!(!mgr.eval(f, &[true, false]));
+/// assert_eq!(mgr.sat_count(f, 2), sliq_bignum::UBig::from(1u64));
+/// assert_ne!(f, NodeId::FALSE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    cofactor_cache: FxHashMap<(NodeId, u32, bool), NodeId>,
+    num_vars: u32,
+    gc_threshold: usize,
+    stats: ManagerStats,
+}
+
+impl Manager {
+    /// Creates a manager with `num_vars` Boolean variables.
+    pub fn new(num_vars: usize) -> Self {
+        let terminal = |_: u32| Node {
+            level: TERMINAL_LEVEL,
+            low: NodeId::FALSE,
+            high: NodeId::FALSE,
+        };
+        Self {
+            nodes: vec![terminal(0), terminal(1)],
+            free: Vec::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            cofactor_cache: FxHashMap::default(),
+            num_vars: num_vars as u32,
+            gc_threshold: 1 << 16,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Declares `extra` additional variables (appended below the existing
+    /// ones in the order) and returns the index of the first new variable.
+    pub fn add_vars(&mut self, extra: usize) -> usize {
+        let first = self.num_vars as usize;
+        self.num_vars += extra as u32;
+        first
+    }
+
+    /// Operational statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The number of currently allocated (live or garbage, not yet freed)
+    /// nodes, excluding the two terminals.
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len() - 2 - self.free.len()
+    }
+
+    // ----------------------------------------------------------------- //
+    // Construction primitives
+    // ----------------------------------------------------------------- //
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> NodeId {
+        if value {
+            NodeId::TRUE
+        } else {
+            NodeId::FALSE
+        }
+    }
+
+    /// The positive literal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&mut self, var: usize) -> NodeId {
+        assert!(var < self.num_vars as usize, "variable {var} out of range");
+        self.mk(var as u32, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn nvar(&mut self, var: usize) -> NodeId {
+        assert!(var < self.num_vars as usize, "variable {var} out of range");
+        self.mk(var as u32, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    fn level(&self, f: NodeId) -> u32 {
+        self.nodes[f.index()].level
+    }
+
+    fn low(&self, f: NodeId) -> NodeId {
+        self.nodes[f.index()].low
+    }
+
+    fn high(&self, f: NodeId) -> NodeId {
+        self.nodes[f.index()].high
+    }
+
+    /// Returns `(level, low, high)` of a non-terminal node.
+    pub fn node(&self, f: NodeId) -> Option<(usize, NodeId, NodeId)> {
+        if f.is_terminal() {
+            None
+        } else {
+            let n = &self.nodes[f.index()];
+            Some((n.level as usize, n.low, n.high))
+        }
+    }
+
+    /// Hash-consing node constructor (the `MK` operation).
+    fn mk(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        if let Some(&id) = self.unique.get(&(level, low, high)) {
+            return id;
+        }
+        let node = Node { level, low, high };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                NodeId(slot)
+            }
+            None => {
+                self.nodes.push(node);
+                NodeId((self.nodes.len() - 1) as u32)
+            }
+        };
+        self.stats.created_nodes += 1;
+        self.stats.peak_nodes = self.stats.peak_nodes.max(self.allocated_nodes());
+        self.unique.insert((level, low, high), id);
+        id
+    }
+
+    // ----------------------------------------------------------------- //
+    // Boolean operations
+    // ----------------------------------------------------------------- //
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.split(f, top);
+        let (g0, g1) = self.split(g, top);
+        let (h0, h1) = self.split(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(top, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    #[inline]
+    fn split(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
+        if self.level(f) == level {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, NodeId::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Conjunction of many functions.
+    pub fn and_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = NodeId::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions.
+    pub fn or_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = NodeId::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The cube (conjunction of literals) described by `(variable, phase)`
+    /// pairs; `phase == true` means the positive literal.
+    pub fn cube(&mut self, literals: &[(usize, bool)]) -> NodeId {
+        let mut sorted: Vec<_> = literals.to_vec();
+        sorted.sort_by_key(|&(v, _)| std::cmp::Reverse(v));
+        let mut acc = NodeId::TRUE;
+        for (v, phase) in sorted {
+            acc = if phase {
+                self.mk(v as u32, NodeId::FALSE, acc)
+            } else {
+                self.mk(v as u32, acc, NodeId::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// The cofactor `f|_{var=value}`.
+    pub fn cofactor(&mut self, f: NodeId, var: usize, value: bool) -> NodeId {
+        let var = var as u32;
+        if f.is_terminal() || self.level(f) > var {
+            return f;
+        }
+        if self.level(f) == var {
+            return if value { self.high(f) } else { self.low(f) };
+        }
+        if let Some(&r) = self.cofactor_cache.get(&(f, var, value)) {
+            return r;
+        }
+        let level = self.level(f);
+        let low = self.cofactor(self.low(f), var as usize, value);
+        let high = self.cofactor(self.high(f), var as usize, value);
+        let r = self.mk(level, low, high);
+        self.cofactor_cache.insert((f, var, value), r);
+        r
+    }
+
+    /// Cofactor with respect to a cube given as `(variable, phase)` pairs.
+    pub fn cofactor_cube(&mut self, f: NodeId, literals: &[(usize, bool)]) -> NodeId {
+        let mut acc = f;
+        for &(v, phase) in literals {
+            acc = self.cofactor(acc, v, phase);
+        }
+        acc
+    }
+
+    /// Existential quantification of a single variable.
+    pub fn exists(&mut self, f: NodeId, var: usize) -> NodeId {
+        let f0 = self.cofactor(f, var, false);
+        let f1 = self.cofactor(f, var, true);
+        self.or(f0, f1)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Queries
+    // ----------------------------------------------------------------- //
+
+    /// Evaluates `f` under a complete assignment (index = variable).
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let level = self.level(cur) as usize;
+            cur = if assignment[level] {
+                self.high(cur)
+            } else {
+                self.low(cur)
+            };
+        }
+        cur.is_true()
+    }
+
+    /// Number of satisfying assignments of `f` over the first `nvars`
+    /// variables.  `f` must not depend on variables `≥ nvars`.
+    pub fn sat_count(&self, f: NodeId, nvars: usize) -> UBig {
+        let mut memo: FxHashMap<NodeId, UBig> = FxHashMap::default();
+        let count = self.sat_count_rec(f, nvars as u32, &mut memo);
+        count.shl(self.level_or(f, nvars as u32) as usize)
+    }
+
+    fn level_or(&self, f: NodeId, max: u32) -> u32 {
+        self.level(f).min(max)
+    }
+
+    fn sat_count_rec(&self, f: NodeId, nvars: u32, memo: &mut FxHashMap<NodeId, UBig>) -> UBig {
+        if f.is_false() {
+            return UBig::zero();
+        }
+        if f.is_true() {
+            return UBig::one();
+        }
+        if let Some(c) = memo.get(&f) {
+            return c.clone();
+        }
+        let level = self.level(f);
+        debug_assert!(level < nvars, "function depends on variables beyond nvars");
+        let low = self.low(f);
+        let high = self.high(f);
+        let skip = |child: NodeId, this: &Self| this.level_or(child, nvars) - level - 1;
+        let cl = self
+            .sat_count_rec(low, nvars, memo)
+            .shl(skip(low, self) as usize);
+        let ch = self
+            .sat_count_rec(high, nvars, memo)
+            .shl(skip(high, self) as usize);
+        let total = UBig::add(&cl, &ch);
+        memo.insert(f, total.clone());
+        total
+    }
+
+    /// Like [`Manager::sat_count`] but in floating point (may overflow to
+    /// infinity around 2¹⁰²⁴ assignments).
+    pub fn sat_count_f64(&self, f: NodeId, nvars: usize) -> f64 {
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
+        fn rec(
+            mgr: &Manager,
+            f: NodeId,
+            nvars: u32,
+            memo: &mut FxHashMap<NodeId, f64>,
+        ) -> f64 {
+            if f.is_false() {
+                return 0.0;
+            }
+            if f.is_true() {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let level = mgr.level(f);
+            let low = mgr.low(f);
+            let high = mgr.high(f);
+            // Guard against `0 × ∞ = NaN` when a child count is zero but the
+            // level gap is enormous.
+            let weighted = |count: f64, child: NodeId, mgr: &Manager| {
+                if count == 0.0 {
+                    0.0
+                } else {
+                    count * 2f64.powi((mgr.level_or(child, nvars) - level - 1) as i32)
+                }
+            };
+            let cl_raw = rec(mgr, low, nvars, memo);
+            let ch_raw = rec(mgr, high, nvars, memo);
+            let total = weighted(cl_raw, low, mgr) + weighted(ch_raw, high, mgr);
+            memo.insert(f, total);
+            total
+        }
+        let c = rec(self, f, nvars as u32, &mut memo);
+        if c == 0.0 {
+            0.0
+        } else {
+            c * 2f64.powi(self.level_or(f, nvars as u32) as i32)
+        }
+    }
+
+    /// The number of BDD nodes reachable from `f` (terminals excluded).
+    pub fn node_count(&self, f: NodeId) -> usize {
+        self.node_count_many(std::slice::from_ref(&f))
+    }
+
+    /// The number of distinct BDD nodes reachable from any of the `roots`
+    /// (terminals excluded); shared nodes are counted once.
+    pub fn node_count_many(&self, roots: &[NodeId]) -> usize {
+        let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
+            Default::default();
+        let mut stack: Vec<NodeId> = roots.iter().copied().filter(|f| !f.is_terminal()).collect();
+        while let Some(f) = stack.pop() {
+            if f.is_terminal() || !seen.insert(f) {
+                continue;
+            }
+            stack.push(self.low(f));
+            stack.push(self.high(f));
+        }
+        seen.len()
+    }
+
+    /// The set of variables `f` depends on, in increasing order.
+    pub fn support(&self, f: NodeId) -> Vec<usize> {
+        let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
+            Default::default();
+        let mut vars: std::collections::BTreeSet<usize> = Default::default();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !seen.insert(g) {
+                continue;
+            }
+            vars.insert(self.level(g) as usize);
+            stack.push(self.low(g));
+            stack.push(self.high(g));
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Returns one satisfying assignment (as `(variable, value)` pairs over
+    /// the support of `f`), or `None` if `f` is unsatisfiable.
+    pub fn pick_one(&self, f: NodeId) -> Option<Vec<(usize, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut cube = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let v = self.level(cur) as usize;
+            if self.low(cur).is_false() {
+                cube.push((v, true));
+                cur = self.high(cur);
+            } else {
+                cube.push((v, false));
+                cur = self.low(cur);
+            }
+        }
+        Some(cube)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Garbage collection
+    // ----------------------------------------------------------------- //
+
+    /// Returns `true` when enough garbage may have accumulated that calling
+    /// [`Manager::collect_garbage`] is worthwhile.
+    pub fn should_collect(&self) -> bool {
+        self.allocated_nodes() > self.gc_threshold
+    }
+
+    /// Overrides the automatic GC threshold (number of allocated nodes).
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_threshold = threshold;
+    }
+
+    /// Mark-and-sweep garbage collection.  Every node reachable from `roots`
+    /// survives with its `NodeId` unchanged; all other nodes are freed and the
+    /// operation caches are cleared.  Returns the number of freed nodes.
+    pub fn collect_garbage(&mut self, roots: &[NodeId]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(f) = stack.pop() {
+            if marked[f.index()] {
+                continue;
+            }
+            marked[f.index()] = true;
+            stack.push(self.low(f));
+            stack.push(self.high(f));
+        }
+        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        let mut freed = 0;
+        for idx in 2..self.nodes.len() {
+            if !marked[idx] && !already_free.contains(&(idx as u32)) {
+                self.free.push(idx as u32);
+                freed += 1;
+            }
+        }
+        self.unique.retain(|_, id| marked[id.index()]);
+        self.ite_cache.clear();
+        self.cofactor_cache.clear();
+        self.stats.gc_runs += 1;
+        // Grow the threshold if little garbage was reclaimed, so we do not
+        // thrash on workloads whose live set keeps growing.
+        if freed * 4 < self.allocated_nodes() {
+            self.gc_threshold = (self.allocated_nodes() * 2).max(self.gc_threshold);
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut mgr = Manager::new(3);
+        assert!(mgr.constant(true).is_true());
+        assert!(mgr.constant(false).is_false());
+        let x = mgr.var(1);
+        assert!(mgr.eval(x, &[false, true, false]));
+        assert!(!mgr.eval(x, &[true, false, true]));
+        let nx = mgr.nvar(1);
+        let not_x = mgr.not(x);
+        assert_eq!(nx, not_x);
+    }
+
+    #[test]
+    fn hash_consing_gives_canonical_forms() {
+        let mut mgr = Manager::new(2);
+        let x0 = mgr.var(0);
+        let x1 = mgr.var(1);
+        let a = mgr.and(x0, x1);
+        let b = mgr.and(x1, x0);
+        assert_eq!(a, b, "AND must be canonical irrespective of argument order");
+        let n1 = mgr.not(a);
+        let n2 = mgr.not(b);
+        assert_eq!(n1, n2);
+        let back = mgr.not(n1);
+        assert_eq!(back, a, "double negation restores the identical node");
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(2);
+        let y = mgr.var(3);
+        let lhs = {
+            let a = mgr.and(x, y);
+            mgr.not(a)
+        };
+        let rhs = {
+            let nx = mgr.not(x);
+            let ny = mgr.not(y);
+            mgr.or(nx, ny)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_and_ite_consistency() {
+        let mut mgr = Manager::new(2);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let x_xor_y = mgr.xor(x, y);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(mgr.eval(x_xor_y, &[a, b]), a ^ b);
+            }
+        }
+    }
+
+    #[test]
+    fn cube_and_cofactor() {
+        let mut mgr = Manager::new(4);
+        let cube = mgr.cube(&[(0, true), (2, false), (3, true)]);
+        assert!(mgr.eval(cube, &[true, false, false, true]));
+        assert!(mgr.eval(cube, &[true, true, false, true]));
+        assert!(!mgr.eval(cube, &[true, true, true, true]));
+        let co = mgr.cofactor(cube, 0, true);
+        assert!(mgr.eval(co, &[false, false, false, true]));
+        let co_false = mgr.cofactor(cube, 0, false);
+        assert!(co_false.is_false());
+    }
+
+    #[test]
+    fn sat_count_exact() {
+        let mut mgr = Manager::new(10);
+        let x = mgr.var(0);
+        // A single positive literal over 10 variables has 2^9 models.
+        assert_eq!(mgr.sat_count(x, 10), UBig::pow2(9));
+        // Tautology and contradiction.
+        assert_eq!(mgr.sat_count(NodeId::TRUE, 10), UBig::pow2(10));
+        assert_eq!(mgr.sat_count(NodeId::FALSE, 10), UBig::zero());
+        // x0 XOR x9 has exactly half the assignments.
+        let y = mgr.var(9);
+        let f = mgr.xor(x, y);
+        assert_eq!(mgr.sat_count(f, 10), UBig::pow2(9));
+        assert_eq!(mgr.sat_count_f64(f, 10), 512.0);
+    }
+
+    #[test]
+    fn sat_count_huge_variable_count() {
+        // Exact counting far beyond what f64 can hold: a single literal over
+        // 4000 variables has 2^3999 models.
+        let mut mgr = Manager::new(4000);
+        let x = mgr.var(17);
+        assert_eq!(mgr.sat_count(x, 4000), UBig::pow2(3999));
+        assert!(mgr.sat_count_f64(x, 4000).is_infinite());
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let mut mgr = Manager::new(5);
+        let x = mgr.var(1);
+        let y = mgr.var(3);
+        let f = mgr.and(x, y);
+        assert_eq!(mgr.support(f), vec![1, 3]);
+        assert_eq!(mgr.node_count(f), 2);
+        assert_eq!(mgr.node_count_many(&[f, y]), 2, "subgraphs are shared");
+        assert_eq!(mgr.node_count_many(&[f, x]), 3, "x is a distinct root node");
+    }
+
+    #[test]
+    fn pick_one_returns_a_model() {
+        let mut mgr = Manager::new(3);
+        let x = mgr.var(0);
+        let nz = mgr.nvar(2);
+        let f = mgr.and(x, nz);
+        let cube = mgr.pick_one(f).expect("satisfiable");
+        let mut assignment = [false; 3];
+        for (v, val) in cube {
+            assignment[v] = val;
+        }
+        assert!(mgr.eval(f, &assignment));
+        assert_eq!(mgr.pick_one(NodeId::FALSE), None);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_roots_valid() {
+        let mut mgr = Manager::new(8);
+        let mut keep = Vec::new();
+        for i in 0..4 {
+            let x = mgr.var(i);
+            let y = mgr.var(i + 4);
+            keep.push(mgr.xor(x, y));
+        }
+        // Create plenty of garbage.
+        for i in 0..8 {
+            for j in 0..8 {
+                let x = mgr.var(i);
+                let y = mgr.var(j);
+                let _ = mgr.and(x, y);
+            }
+        }
+        let before = mgr.allocated_nodes();
+        let freed = mgr.collect_garbage(&keep.clone());
+        assert!(freed > 0);
+        assert!(mgr.allocated_nodes() < before);
+        // The kept functions still evaluate correctly after GC.
+        for (i, &f) in keep.iter().enumerate() {
+            let mut assignment = [false; 8];
+            assignment[i] = true;
+            assert!(mgr.eval(f, &assignment));
+            assignment[i + 4] = true;
+            assert!(!mgr.eval(f, &assignment));
+        }
+        // And new operations still work (caches were cleared correctly).
+        let again = mgr.xor(keep[0], keep[1]);
+        assert!(!again.is_terminal());
+        assert_eq!(mgr.stats().gc_runs, 1);
+    }
+
+    #[test]
+    fn gc_reuses_freed_slots() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let _garbage = mgr.and(x, y);
+        let allocated_before = mgr.nodes.len();
+        mgr.collect_garbage(&[x, y]);
+        // Recreating a node reuses a freed slot instead of growing the arena.
+        let z = mgr.var(2);
+        let _new = mgr.and(x, z);
+        assert!(mgr.nodes.len() <= allocated_before + 1);
+    }
+
+    #[test]
+    fn add_vars_extends_the_order() {
+        let mut mgr = Manager::new(2);
+        let first_new = mgr.add_vars(3);
+        assert_eq!(first_new, 2);
+        assert_eq!(mgr.num_vars(), 5);
+        let v4 = mgr.var(4);
+        assert!(mgr.eval(v4, &[false, false, false, false, true]));
+    }
+
+    #[test]
+    fn exists_quantification() {
+        let mut mgr = Manager::new(2);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let f = mgr.and(x, y);
+        let ex = mgr.exists(f, 0);
+        assert_eq!(ex, y);
+        let both = mgr.exists(ex, 1);
+        assert!(both.is_true());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests: BDD operations must agree with a brute-force
+//! truth-table oracle on random Boolean expressions over a small variable set.
+
+use proptest::prelude::*;
+use sliq_bdd::{Manager, NodeId};
+
+const NVARS: usize = 5;
+
+/// A random Boolean expression AST.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, assignment: &[bool]) -> bool {
+    match e {
+        Expr::Const(b) => *b,
+        Expr::Var(v) => assignment[*v],
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+        Expr::Ite(a, b, c) => {
+            if eval_expr(a, assignment) {
+                eval_expr(b, assignment)
+            } else {
+                eval_expr(c, assignment)
+            }
+        }
+    }
+}
+
+fn build_bdd(mgr: &mut Manager, e: &Expr) -> NodeId {
+    match e {
+        Expr::Const(b) => mgr.constant(*b),
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Not(a) => {
+            let fa = build_bdd(mgr, a);
+            mgr.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build_bdd(mgr, a);
+            let fb = build_bdd(mgr, b);
+            mgr.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build_bdd(mgr, a);
+            let fb = build_bdd(mgr, b);
+            mgr.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build_bdd(mgr, a);
+            let fb = build_bdd(mgr, b);
+            mgr.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let fa = build_bdd(mgr, a);
+            let fb = build_bdd(mgr, b);
+            let fc = build_bdd(mgr, c);
+            mgr.ite(fa, fb, fc)
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|v| bits >> v & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        for a in assignments() {
+            prop_assert_eq!(mgr.eval(f, &a), eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in expr_strategy()) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let expected = assignments().filter(|a| eval_expr(&e, a)).count() as u64;
+        prop_assert_eq!(mgr.sat_count(f, NVARS), sliq_bignum::UBig::from(expected));
+        prop_assert_eq!(mgr.sat_count_f64(f, NVARS), expected as f64);
+    }
+
+    #[test]
+    fn semantically_equal_expressions_share_one_node(e in expr_strategy()) {
+        // Canonicity: building ¬¬e and e must give the identical NodeId.
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let g = build_bdd(&mut mgr, &Expr::Not(Box::new(Expr::Not(Box::new(e)))));
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn cofactor_matches_restricted_truth_table(e in expr_strategy(), var in 0..NVARS, value in any::<bool>()) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let cf = mgr.cofactor(f, var, value);
+        for mut a in assignments() {
+            a[var] = value;
+            prop_assert_eq!(mgr.eval(cf, &a), eval_expr(&e, &a));
+        }
+        // The cofactor never depends on the restricted variable.
+        prop_assert!(!mgr.support(cf).contains(&var));
+    }
+
+    #[test]
+    fn shannon_expansion_reconstructs_function(e in expr_strategy(), var in 0..NVARS) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let f0 = mgr.cofactor(f, var, false);
+        let f1 = mgr.cofactor(f, var, true);
+        let x = mgr.var(var);
+        let rebuilt = mgr.ite(x, f1, f0);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn gc_preserves_roots(e1 in expr_strategy(), e2 in expr_strategy()) {
+        let mut mgr = Manager::new(NVARS);
+        let f1 = build_bdd(&mut mgr, &e1);
+        let f2 = build_bdd(&mut mgr, &e2);
+        // Drop f2 (treat as garbage), keep f1.
+        mgr.collect_garbage(&[f1]);
+        for a in assignments() {
+            prop_assert_eq!(mgr.eval(f1, &a), eval_expr(&e1, &a));
+        }
+        // Rebuilding e2 after GC still yields a correct function.
+        let f2b = build_bdd(&mut mgr, &e2);
+        for a in assignments() {
+            prop_assert_eq!(mgr.eval(f2b, &a), eval_expr(&e2, &a));
+        }
+        let _ = f2;
+    }
+
+    #[test]
+    fn exists_matches_truth_table(e in expr_strategy(), var in 0..NVARS) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let ex = mgr.exists(f, var);
+        for a in assignments() {
+            let mut a0 = a.clone();
+            a0[var] = false;
+            let mut a1 = a.clone();
+            a1[var] = true;
+            let expected = eval_expr(&e, &a0) || eval_expr(&e, &a1);
+            prop_assert_eq!(mgr.eval(ex, &a), expected);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion bench for Table III (random Clifford+T circuits): full-circuit
+//! simulation time of the QMDD baseline vs the bit-sliced BDD simulator as a
+//! function of qubit count, at the paper's 3:1 gate/qubit ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sliq_circuit::Simulator;
+use sliq_core::BitSliceSimulator;
+use sliq_qmdd::QmddSimulator;
+use sliq_workloads::random;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_random");
+    group.sample_size(10);
+    for &qubits in &[8usize, 12, 16, 20] {
+        let circuit = random::random_clifford_t(qubits, 1);
+        group.bench_with_input(
+            BenchmarkId::new("bitslice", qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+                    sim.run(circuit).unwrap();
+                    sim.node_count()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("qmdd", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sim = QmddSimulator::new(circuit.num_qubits());
+                sim.run(circuit).unwrap();
+                sim.node_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

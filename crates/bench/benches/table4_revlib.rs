@@ -1,0 +1,48 @@
+//! Criterion bench for Table IV (RevLib-like reversible circuits): original
+//! circuits vs the superposition-modified variants on both symbolic backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sliq_circuit::Simulator;
+use sliq_core::BitSliceSimulator;
+use sliq_qmdd::QmddSimulator;
+use sliq_workloads::revlib_like;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_revlib");
+    group.sample_size(10);
+    let benchmarks = vec![
+        revlib_like::ripple_carry_adder(6),
+        revlib_like::equality_comparator(8),
+        revlib_like::random_control_logic(18, 80, 11),
+    ];
+    for bench in benchmarks {
+        for (variant, circuit) in [
+            ("original", bench.circuit.clone()),
+            ("modified", bench.with_superposition_inputs()),
+        ] {
+            let label = format!("{}-{variant}", bench.name);
+            group.bench_with_input(
+                BenchmarkId::new("bitslice", &label),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+                        sim.run(circuit).unwrap();
+                        sim.node_count()
+                    });
+                },
+            );
+            group.bench_with_input(BenchmarkId::new("qmdd", &label), &circuit, |b, circuit| {
+                b.iter(|| {
+                    let mut sim = QmddSimulator::new(circuit.num_qubits());
+                    sim.run(circuit).unwrap();
+                    sim.node_count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench for Table V (entanglement and Bernstein–Vazirani):
+//! scaling of the three backends with qubit count on structured circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sliq_circuit::Simulator;
+use sliq_core::BitSliceSimulator;
+use sliq_qmdd::QmddSimulator;
+use sliq_stabilizer::StabilizerSimulator;
+use sliq_workloads::algorithms;
+
+fn bench_entanglement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_entanglement");
+    group.sample_size(10);
+    for &qubits in &[32usize, 128, 512] {
+        let circuit = algorithms::entanglement(qubits);
+        group.bench_with_input(
+            BenchmarkId::new("bitslice", qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+                    sim.run(circuit).unwrap();
+                    sim.node_count()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("qmdd", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sim = QmddSimulator::new(circuit.num_qubits());
+                sim.run(circuit).unwrap();
+                sim.node_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("chp", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sim = StabilizerSimulator::new(circuit.num_qubits());
+                sim.run(circuit).unwrap();
+                sim.probability_of_one(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bernstein_vazirani(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_bv");
+    group.sample_size(10);
+    for &qubits in &[32usize, 128, 512] {
+        let circuit = algorithms::bernstein_vazirani_all_ones(qubits);
+        group.bench_with_input(
+            BenchmarkId::new("bitslice", qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+                    sim.run(circuit).unwrap();
+                    sim.node_count()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("qmdd", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sim = QmddSimulator::new(circuit.num_qubits());
+                sim.run(circuit).unwrap();
+                sim.node_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entanglement, bench_bernstein_vazirani);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Table VI (GRCS supremacy circuits): the hard,
+//! entanglement-heavy family where both symbolic backends eventually give
+//! out; measured here at laptop-sized lattices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sliq_circuit::Simulator;
+use sliq_core::BitSliceSimulator;
+use sliq_qmdd::QmddSimulator;
+use sliq_workloads::supremacy::{supremacy_circuit, Lattice};
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_supremacy");
+    group.sample_size(10);
+    for (rows, cols) in [(3usize, 3usize), (3, 4), (4, 4)] {
+        let lattice = Lattice::new(rows, cols);
+        let circuit = supremacy_circuit(lattice, 5, 1);
+        let qubits = lattice.num_qubits();
+        group.bench_with_input(
+            BenchmarkId::new("bitslice", qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+                    sim.run(circuit).unwrap();
+                    sim.node_count()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("qmdd", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sim = QmddSimulator::new(circuit.num_qubits());
+                sim.run(circuit).unwrap();
+                sim.node_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

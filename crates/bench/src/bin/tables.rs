@@ -1,0 +1,80 @@
+//! Command-line harness that regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|all]
+//!                                                   [--full] [--timeout <secs>] [--max-nodes <n>]
+//! ```
+//!
+//! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
+//! to the paper's regime (expect several minutes).
+
+use sliq_bench::tables::{
+    accuracy_rows, bitwidth_rows, format_accuracy, format_bitwidth, format_table3, format_table4,
+    format_table5, format_table6, table3_rows, table4_rows, table5_rows, table6_rows, Scale,
+};
+use sliq_bench::CaseLimits;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut limits = CaseLimits::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--timeout" => {
+                if let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                    limits.timeout = Duration::from_secs(v);
+                }
+            }
+            "--max-nodes" => {
+                if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                    limits.max_nodes = v;
+                }
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let wants = |name: &str| {
+        which
+            .iter()
+            .any(|w| w.eq_ignore_ascii_case(name) || w.eq_ignore_ascii_case("all"))
+    };
+
+    println!(
+        "# SliQ table reproduction — scale: {:?}, per-case timeout: {:?}, node limit: {}",
+        scale, limits.timeout, limits.max_nodes
+    );
+    println!();
+
+    if wants("table3") {
+        let rows = table3_rows(scale, limits);
+        println!("{}", format_table3(&rows));
+    }
+    if wants("table4") {
+        let rows = table4_rows(scale, limits);
+        println!("{}", format_table4(&rows));
+    }
+    if wants("table5") {
+        let rows = table5_rows(scale, limits);
+        println!("{}", format_table5(&rows));
+    }
+    if wants("table6") {
+        let rows = table6_rows(scale, limits);
+        println!("{}", format_table6(&rows));
+    }
+    if wants("accuracy") {
+        let rows = accuracy_rows(scale);
+        println!("{}", format_accuracy(&rows));
+    }
+    if wants("ablation") {
+        let rows = bitwidth_rows(scale);
+        println!("{}", format_bitwidth(&rows));
+    }
+}

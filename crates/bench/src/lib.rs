@@ -1,0 +1,24 @@
+//! # sliq-bench
+//!
+//! The benchmark harness that reproduces the evaluation section of the paper:
+//!
+//! * [`runner`] — runs a circuit on a chosen backend with a per-case
+//!   wall-clock timeout and a node limit (the scaled-down analogue of the
+//!   paper's 7200 s TO / 2 GB MO protocol) and aggregates `TO/MO/err` counts.
+//! * [`tables`] — generates the four benchmark families and renders rows in
+//!   the layout of Tables III–VI, plus the accuracy and bit-width ablations.
+//!
+//! The `tables` binary (`cargo run -p sliq-bench --release --bin tables`)
+//! prints any of the tables; the Criterion benches under `benches/` measure
+//! the same workloads with statistical rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod runner;
+pub mod tables;
+
+pub use parallel::run_cases_parallel;
+pub use runner::{run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary};
+pub use tables::Scale;

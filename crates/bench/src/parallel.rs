@@ -1,0 +1,76 @@
+//! Parallel execution of independent benchmark cases.
+//!
+//! Each row of the paper's tables averages over several independently
+//! generated circuits; those cases are embarrassingly parallel, so the sweep
+//! runner fans them out over a scoped thread pool (one worker per case, capped
+//! at the available parallelism).
+
+use crate::runner::{run_case, Backend, CaseLimits, CaseResult};
+use sliq_circuit::Circuit;
+
+/// Runs every circuit on `backend` under `limits`, in parallel, returning the
+/// results in the input order.
+pub fn run_cases_parallel(
+    backend: Backend,
+    circuits: &[Circuit],
+    limits: CaseLimits,
+) -> Vec<CaseResult> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(circuits.len().max(1));
+    if workers <= 1 || circuits.len() <= 1 {
+        return circuits
+            .iter()
+            .map(|c| run_case(backend, c, limits))
+            .collect();
+    }
+    let mut results: Vec<Option<CaseResult>> = vec![None; circuits.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if index >= circuits.len() {
+                    break;
+                }
+                let result = run_case(backend, &circuits[index], limits);
+                results_mutex.lock()[index] = Some(result);
+            });
+        }
+    })
+    .expect("benchmark worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every case produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CaseStatus;
+    use sliq_workloads::algorithms;
+
+    #[test]
+    fn parallel_results_match_input_order_and_complete() {
+        let circuits: Vec<Circuit> = [8usize, 12, 16, 20, 24]
+            .iter()
+            .map(|&n| algorithms::ghz(n))
+            .collect();
+        let results = run_cases_parallel(Backend::BitSlice, &circuits, CaseLimits::default());
+        assert_eq!(results.len(), circuits.len());
+        for result in &results {
+            assert_eq!(result.status, CaseStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn single_case_falls_back_to_sequential() {
+        let circuits = vec![algorithms::ghz(6)];
+        let results = run_cases_parallel(Backend::Qmdd, &circuits, CaseLimits::default());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].status, CaseStatus::Completed);
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-case execution with wall-clock timeouts and resource limits,
+//! emulating the paper's experimental protocol (7200 s time-out and 2 GB
+//! memory-out per case, scaled down to interactive sizes).
+
+use sliq_circuit::{Circuit, SimulationError, Simulator};
+use sliq_core::{BitSliceLimits, BitSliceSimulator};
+use sliq_dense::DenseSimulator;
+use sliq_qmdd::{QmddLimits, QmddSimulator};
+use sliq_stabilizer::StabilizerSimulator;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The simulator backends the harness can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The bit-sliced BDD simulator (the paper's method, "Ours").
+    BitSlice,
+    /// The QMDD baseline (the DDSIM stand-in).
+    Qmdd,
+    /// The dense array-based simulator.
+    Dense,
+    /// The CHP stabilizer simulator (Clifford circuits only).
+    Stabilizer,
+}
+
+impl Backend {
+    /// Short column label used in the printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::BitSlice => "Ours",
+            Backend::Qmdd => "QMDD",
+            Backend::Dense => "Dense",
+            Backend::Stabilizer => "CHP",
+        }
+    }
+}
+
+/// Outcome status of one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseStatus {
+    /// Completed; wall-clock seconds.
+    Completed,
+    /// Exceeded the wall-clock limit.
+    TimedOut,
+    /// Exceeded the node/memory limit (the paper's "MO").
+    MemoryOut,
+    /// The backend rejected the circuit (e.g. non-Clifford gate on CHP) or
+    /// reported a numerical error.
+    Error(String),
+}
+
+/// The result of running one circuit on one backend.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Which backend ran.
+    pub backend: Backend,
+    /// Completion status.
+    pub status: CaseStatus,
+    /// Wall-clock seconds (time until completion, limit hit or error).
+    pub seconds: f64,
+    /// Approximate peak memory of the state representation in MiB
+    /// (node-count based for the symbolic backends, vector size for dense).
+    pub memory_mib: f64,
+    /// Deviation of the total probability from 1 (the paper flags a case as
+    /// "error" when the probabilities no longer sum to one).
+    pub probability_error: f64,
+}
+
+impl CaseResult {
+    /// Formats the runtime column like the paper ("MO", "TO", "error", or
+    /// seconds).
+    pub fn time_cell(&self) -> String {
+        match &self.status {
+            CaseStatus::Completed => format!("{:.2}", self.seconds),
+            CaseStatus::TimedOut => "TO".to_string(),
+            CaseStatus::MemoryOut => "MO".to_string(),
+            CaseStatus::Error(_) => "error".to_string(),
+        }
+    }
+}
+
+/// Limits applied to a single case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseLimits {
+    /// Wall-clock limit per case.
+    pub timeout: Duration,
+    /// Node limit for the symbolic backends (emulates the 2 GB memory-out).
+    pub max_nodes: usize,
+}
+
+impl Default for CaseLimits {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(20),
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// Bytes per node estimates used to convert node counts into MiB, roughly
+/// matching the footprint of the respective C/C++ implementations.
+const BYTES_PER_BDD_NODE: f64 = 48.0;
+const BYTES_PER_QMDD_NODE: f64 = 96.0;
+
+fn run_backend(
+    backend: Backend,
+    circuit: &Circuit,
+    limits: CaseLimits,
+) -> (CaseStatus, f64, f64) {
+    let n = circuit.num_qubits();
+    let check = |r: Result<(), SimulationError>| match r {
+        Ok(()) => None,
+        Err(SimulationError::ResourceLimit { .. }) => Some(CaseStatus::MemoryOut),
+        Err(e) => Some(CaseStatus::Error(e.to_string())),
+    };
+    match backend {
+        Backend::BitSlice => {
+            let mut sim = BitSliceSimulator::new(n).with_limits(BitSliceLimits {
+                max_nodes: Some(limits.max_nodes),
+            });
+            if let Some(status) = check(sim.run(circuit)) {
+                let mem = sim.state().manager().stats().peak_nodes as f64 * BYTES_PER_BDD_NODE
+                    / (1024.0 * 1024.0);
+                return (status, mem, f64::NAN);
+            }
+            let mem = sim.state().manager().stats().peak_nodes as f64 * BYTES_PER_BDD_NODE
+                / (1024.0 * 1024.0);
+            let err = (sim.total_probability() - 1.0).abs();
+            (CaseStatus::Completed, mem, err)
+        }
+        Backend::Qmdd => {
+            let mut sim = QmddSimulator::new(n).with_limits(QmddLimits {
+                max_nodes: Some(limits.max_nodes),
+            });
+            if let Some(status) = check(sim.run(circuit)) {
+                let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
+                return (status, mem, f64::NAN);
+            }
+            let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
+            let err = (sim.total_probability() - 1.0).abs();
+            (CaseStatus::Completed, mem, err)
+        }
+        Backend::Dense => {
+            if n > sliq_dense::MAX_DENSE_QUBITS {
+                return (CaseStatus::MemoryOut, f64::INFINITY, f64::NAN);
+            }
+            let mut sim = DenseSimulator::new(n);
+            if let Some(status) = check(sim.run(circuit)) {
+                return (status, 0.0, f64::NAN);
+            }
+            let mem = (1u64 << n) as f64 * 16.0 / (1024.0 * 1024.0);
+            let err = (sim.total_probability() - 1.0).abs();
+            (CaseStatus::Completed, mem, err)
+        }
+        Backend::Stabilizer => {
+            let mut sim = StabilizerSimulator::new(n);
+            if let Some(status) = check(sim.run(circuit)) {
+                return (status, 0.0, f64::NAN);
+            }
+            let mem = (2 * n * n) as f64 * 2.0 / (1024.0 * 1024.0);
+            (CaseStatus::Completed, mem, 0.0)
+        }
+    }
+}
+
+/// Runs `circuit` on `backend` under the given limits, enforcing the
+/// wall-clock timeout in a worker thread.
+pub fn run_case(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> CaseResult {
+    let (tx, rx) = mpsc::channel();
+    let circuit = circuit.clone();
+    let start = Instant::now();
+    std::thread::spawn(move || {
+        let result = run_backend(backend, &circuit, limits);
+        // The receiver may have given up already; ignore the send error.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(limits.timeout) {
+        Ok((status, memory_mib, probability_error)) => CaseResult {
+            backend,
+            status,
+            seconds: start.elapsed().as_secs_f64(),
+            memory_mib,
+            probability_error,
+        },
+        Err(_) => CaseResult {
+            backend,
+            status: CaseStatus::TimedOut,
+            seconds: limits.timeout.as_secs_f64(),
+            memory_mib: f64::NAN,
+            probability_error: f64::NAN,
+        },
+    }
+}
+
+/// Aggregates results of several cases (e.g. the 10 random circuits per row
+/// of Table III): average runtime over completed cases plus failure counts.
+#[derive(Debug, Clone, Default)]
+pub struct RowSummary {
+    /// Number of completed cases.
+    pub completed: usize,
+    /// Number of timed-out cases.
+    pub timed_out: usize,
+    /// Number of memory-out cases.
+    pub memory_out: usize,
+    /// Number of error cases.
+    pub errors: usize,
+    /// Mean runtime over completed cases.
+    pub mean_seconds: f64,
+    /// Mean memory over all cases with a finite estimate.
+    pub mean_memory_mib: f64,
+}
+
+impl RowSummary {
+    /// Builds a summary from individual case results.
+    pub fn from_cases(cases: &[CaseResult]) -> Self {
+        let mut summary = RowSummary::default();
+        let mut total_time = 0.0;
+        let mut total_mem = 0.0;
+        let mut mem_samples = 0usize;
+        for case in cases {
+            match &case.status {
+                CaseStatus::Completed => {
+                    summary.completed += 1;
+                    total_time += case.seconds;
+                }
+                CaseStatus::TimedOut => summary.timed_out += 1,
+                CaseStatus::MemoryOut => summary.memory_out += 1,
+                CaseStatus::Error(_) => summary.errors += 1,
+            }
+            if case.memory_mib.is_finite() {
+                total_mem += case.memory_mib;
+                mem_samples += 1;
+            }
+        }
+        if summary.completed > 0 {
+            summary.mean_seconds = total_time / summary.completed as f64;
+        }
+        if mem_samples > 0 {
+            summary.mean_memory_mib = total_mem / mem_samples as f64;
+        }
+        summary
+    }
+
+    /// The paper's runtime cell: mean seconds over successes, or "failed".
+    pub fn time_cell(&self) -> String {
+        if self.completed == 0 {
+            "failed".to_string()
+        } else {
+            format!("{:.2}", self.mean_seconds)
+        }
+    }
+
+    /// The paper's `TO/MO/err.` cell.
+    pub fn failure_cell(&self) -> String {
+        format!("{}/{}/{}", self.timed_out, self.memory_out, self.errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_workloads::algorithms;
+
+    #[test]
+    fn completed_case_reports_time_and_memory() {
+        let circuit = algorithms::ghz(12);
+        let result = run_case(Backend::BitSlice, &circuit, CaseLimits::default());
+        assert_eq!(result.status, CaseStatus::Completed);
+        assert!(result.seconds < 20.0);
+        assert!(result.memory_mib >= 0.0);
+        assert!(result.probability_error < 1e-9);
+    }
+
+    #[test]
+    fn stabilizer_rejects_t_gates_as_an_error() {
+        let mut circuit = sliq_circuit::Circuit::new(2);
+        circuit.h(0).t(0);
+        let result = run_case(Backend::Stabilizer, &circuit, CaseLimits::default());
+        assert!(matches!(result.status, CaseStatus::Error(_)));
+        assert_eq!(result.time_cell(), "error");
+    }
+
+    #[test]
+    fn node_limit_produces_memory_out() {
+        let circuit = sliq_workloads::random::random_clifford_t(14, 3);
+        let limits = CaseLimits {
+            timeout: Duration::from_secs(30),
+            max_nodes: 64,
+        };
+        let result = run_case(Backend::Qmdd, &circuit, limits);
+        assert_eq!(result.status, CaseStatus::MemoryOut);
+        assert_eq!(result.time_cell(), "MO");
+    }
+
+    #[test]
+    fn dense_backend_reports_memory_out_beyond_its_limit() {
+        let circuit = algorithms::ghz(64);
+        let result = run_case(Backend::Dense, &circuit, CaseLimits::default());
+        assert_eq!(result.status, CaseStatus::MemoryOut);
+    }
+
+    #[test]
+    fn row_summary_aggregates_counts() {
+        let circuit = algorithms::ghz(10);
+        let cases: Vec<CaseResult> = (0..3)
+            .map(|_| run_case(Backend::BitSlice, &circuit, CaseLimits::default()))
+            .chain(std::iter::once(run_case(
+                Backend::Dense,
+                &algorithms::ghz(40),
+                CaseLimits::default(),
+            )))
+            .collect();
+        let summary = RowSummary::from_cases(&cases);
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.memory_out, 1);
+        assert_eq!(summary.failure_cell(), "0/1/0");
+        assert!(summary.time_cell() != "failed");
+    }
+}

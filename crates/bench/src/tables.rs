@@ -1,0 +1,554 @@
+//! Reproduction of the paper's evaluation tables (Section IV).
+//!
+//! Each `table*_rows` function generates the corresponding benchmark family,
+//! runs it on the relevant backends under per-case time/node limits and
+//! returns structured rows; the `format_*` functions render them in the same
+//! layout as the paper.  Absolute numbers depend on the machine and on the
+//! (scaled-down) default sizes, but the qualitative shape — which backend
+//! fails where, and who is faster on which family — is what the reproduction
+//! is after (see EXPERIMENTS.md).
+
+use crate::parallel::run_cases_parallel;
+use crate::runner::{run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary};
+use sliq_circuit::Circuit;
+use sliq_core::BitSliceSimulator;
+use sliq_circuit::Simulator;
+use sliq_qmdd::QmddSimulator;
+use sliq_workloads::{algorithms, random, revlib_like, supremacy};
+
+/// How large a sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes suitable for CI / a laptop minute.
+    Quick,
+    /// Larger sizes closer to the paper's regime (minutes of runtime).
+    Full,
+}
+
+/// One row of the Table III reproduction (random Clifford+T circuits).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Number of random gates (3 × qubits).
+    pub gates: usize,
+    /// DDSIM-stand-in summary.
+    pub qmdd: RowSummary,
+    /// Bit-sliced backend summary.
+    pub bitslice: RowSummary,
+}
+
+/// Generates and runs the Table III sweep.
+pub fn table3_rows(scale: Scale, limits: CaseLimits) -> Vec<Table3Row> {
+    let (sizes, seeds): (Vec<usize>, u64) = match scale {
+        Scale::Quick => (vec![16, 20, 24, 28], 3),
+        Scale::Full => (vec![24, 32, 40, 56, 80], 5),
+    };
+    sizes
+        .into_iter()
+        .map(|qubits| {
+            let circuits: Vec<Circuit> = (0..seeds)
+                .map(|seed| random::random_clifford_t(qubits, seed))
+                .collect();
+            let run_all = |backend: Backend| -> RowSummary {
+                RowSummary::from_cases(&run_cases_parallel(backend, &circuits, limits))
+            };
+            Table3Row {
+                qubits,
+                gates: 3 * qubits,
+                qmdd: run_all(Backend::Qmdd),
+                bitslice: run_all(Backend::BitSlice),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table III like the paper (time + TO/MO/err columns per backend).
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE III: results on random circuits\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} | {:>10} {:>10} | {:>10} {:>10}\n",
+        "#Qubits", "#Gates", "QMDD(s)", "TO/MO/err", "Ours(s)", "TO/MO/err"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} {:>8} | {:>10} {:>10} | {:>10} {:>10}\n",
+            row.qubits,
+            row.gates,
+            row.qmdd.time_cell(),
+            row.qmdd.failure_cell(),
+            row.bitslice.time_cell(),
+            row.bitslice.failure_cell()
+        ));
+    }
+    out
+}
+
+/// One row of the Table IV reproduction (RevLib-like reversible circuits,
+/// original and with the superposition modification).
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Gate count of the original circuit.
+    pub gates_original: usize,
+    /// Original circuit results.
+    pub original: (CaseResult, CaseResult),
+    /// Gate count of the modified circuit.
+    pub gates_modified: usize,
+    /// Modified circuit results.
+    pub modified: (CaseResult, CaseResult),
+}
+
+/// Generates and runs the Table IV sweep.
+pub fn table4_rows(scale: Scale, limits: CaseLimits) -> Vec<Table4Row> {
+    let suite = match scale {
+        Scale::Quick => vec![
+            revlib_like::ripple_carry_adder(6),
+            revlib_like::equality_comparator(8),
+            revlib_like::hidden_weighted_bit_like(8),
+            revlib_like::random_control_logic(20, 90, 11),
+        ],
+        Scale::Full => revlib_like::table4_suite(),
+    };
+    suite
+        .into_iter()
+        .map(|bench| {
+            let original = &bench.circuit;
+            let modified = bench.with_superposition_inputs();
+            Table4Row {
+                name: bench.name.clone(),
+                qubits: original.num_qubits(),
+                gates_original: original.len(),
+                original: (
+                    run_case(Backend::Qmdd, original, limits),
+                    run_case(Backend::BitSlice, original, limits),
+                ),
+                gates_modified: modified.len(),
+                modified: (
+                    run_case(Backend::Qmdd, &modified, limits),
+                    run_case(Backend::BitSlice, &modified, limits),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table IV like the paper.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE IV: results on RevLib-like circuits\n");
+    out.push_str(&format!(
+        "{:<16} {:>7} | {:>7} {:>9} {:>9} | {:>7} {:>9} {:>9}\n",
+        "Benchmark", "#Qubits", "#Gates", "QMDD(s)", "Ours(s)", "#Gates", "QMDD(s)", "Ours(s)"
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>7} | {:>27} | {:>27}\n",
+        "", "", "original", "modified (H on free inputs)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>7} | {:>7} {:>9} {:>9} | {:>7} {:>9} {:>9}\n",
+            row.name,
+            row.qubits,
+            row.gates_original,
+            row.original.0.time_cell(),
+            row.original.1.time_cell(),
+            row.gates_modified,
+            row.modified.0.time_cell(),
+            row.modified.1.time_cell()
+        ));
+    }
+    out
+}
+
+/// One row of the Table V reproduction (entanglement and BV circuits).
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Entanglement circuit gate count.
+    pub ent_gates: usize,
+    /// Entanglement results: QMDD, Ours, CHP.
+    pub entanglement: (CaseResult, CaseResult, CaseResult),
+    /// BV circuit gate count.
+    pub bv_gates: usize,
+    /// BV results: QMDD, Ours.
+    pub bv: (CaseResult, CaseResult),
+}
+
+/// Generates and runs the Table V sweep.
+pub fn table5_rows(scale: Scale, limits: CaseLimits) -> Vec<Table5Row> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![32, 64, 128, 256],
+        Scale::Full => vec![80, 100, 500, 1000, 2000],
+    };
+    sizes
+        .into_iter()
+        .map(|qubits| {
+            let ent = algorithms::entanglement(qubits);
+            let bv = algorithms::bernstein_vazirani_all_ones(qubits);
+            Table5Row {
+                qubits,
+                ent_gates: ent.len(),
+                entanglement: (
+                    run_case(Backend::Qmdd, &ent, limits),
+                    run_case(Backend::BitSlice, &ent, limits),
+                    run_case(Backend::Stabilizer, &ent, limits),
+                ),
+                bv_gates: bv.len(),
+                bv: (
+                    run_case(Backend::Qmdd, &bv, limits),
+                    run_case(Backend::BitSlice, &bv, limits),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table V like the paper (with the CHP column the paper discusses in
+/// the text).
+pub fn format_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE V: results on quantum algorithm circuits\n");
+    out.push_str(&format!(
+        "{:>8} | {:>7} {:>9} {:>9} {:>9} | {:>7} {:>9} {:>9}\n",
+        "#Qubits", "#Gates", "QMDD(s)", "Ours(s)", "CHP(s)", "#Gates", "QMDD(s)", "Ours(s)"
+    ));
+    out.push_str(&format!(
+        "{:>8} | {:>37} | {:>27}\n",
+        "", "Entanglement", "Bernstein-Vazirani"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} | {:>7} {:>9} {:>9} {:>9} | {:>7} {:>9} {:>9}\n",
+            row.qubits,
+            row.ent_gates,
+            row.entanglement.0.time_cell(),
+            row.entanglement.1.time_cell(),
+            row.entanglement.2.time_cell(),
+            row.bv_gates,
+            row.bv.0.time_cell(),
+            row.bv.1.time_cell()
+        ));
+    }
+    out
+}
+
+/// One row of the Table VI reproduction (GRCS supremacy circuits).
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Number of qubits (rows × cols).
+    pub qubits: usize,
+    /// Mean gate count over the seeds.
+    pub gates: usize,
+    /// QMDD summary plus mean memory estimate.
+    pub qmdd: RowSummary,
+    /// Bit-sliced summary plus mean memory estimate.
+    pub bitslice: RowSummary,
+}
+
+/// Generates and runs the Table VI sweep.
+pub fn table6_rows(scale: Scale, limits: CaseLimits) -> Vec<Table6Row> {
+    let (lattices, seeds, depth): (Vec<supremacy::Lattice>, u64, usize) = match scale {
+        Scale::Quick => (
+            vec![
+                supremacy::Lattice::new(3, 3),
+                supremacy::Lattice::new(3, 4),
+                supremacy::Lattice::new(4, 4),
+                supremacy::Lattice::new(4, 5),
+            ],
+            2,
+            5,
+        ),
+        Scale::Full => (supremacy::table6_lattices().into_iter().take(8).collect(), 3, 5),
+    };
+    lattices
+        .into_iter()
+        .map(|lattice| {
+            let circuits: Vec<Circuit> = (0..seeds)
+                .map(|seed| supremacy::supremacy_circuit(lattice, depth, seed))
+                .collect();
+            let gates =
+                circuits.iter().map(Circuit::len).sum::<usize>() / circuits.len().max(1);
+            let run_all = |backend: Backend| -> RowSummary {
+                RowSummary::from_cases(&run_cases_parallel(backend, &circuits, limits))
+            };
+            Table6Row {
+                qubits: lattice.num_qubits(),
+                gates,
+                qmdd: run_all(Backend::Qmdd),
+                bitslice: run_all(Backend::BitSlice),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table VI like the paper (runtime, memory and TO/MO columns).
+pub fn format_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE VI: results on Google supremacy-style circuits (depth 5)\n");
+    out.push_str(&format!(
+        "{:>8} {:>7} | {:>9} {:>10} {:>7} | {:>9} {:>10} {:>7}\n",
+        "#Qubits", "#Gates", "QMDD(s)", "Mem(MB)", "TO/MO", "Ours(s)", "Mem(MB)", "TO/MO"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} {:>7} | {:>9} {:>10.2} {:>7} | {:>9} {:>10.2} {:>7}\n",
+            row.qubits,
+            row.gates,
+            row.qmdd.time_cell(),
+            row.qmdd.mean_memory_mib,
+            format!("{}/{}", row.qmdd.timed_out, row.qmdd.memory_out),
+            row.bitslice.time_cell(),
+            row.bitslice.mean_memory_mib,
+            format!("{}/{}", row.bitslice.timed_out, row.bitslice.memory_out),
+        ));
+    }
+    out
+}
+
+/// One row of the accuracy experiment (E6): amplitude and total-probability
+/// drift of the floating-point QMDD backend versus the exact backend on deep
+/// random circuits (the mechanism behind the paper's "error" cases).
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// |Σp − 1| for the QMDD backend at its default tolerance (1e-12).
+    pub qmdd_sum_error: f64,
+    /// Largest amplitude deviation of the default-tolerance QMDD backend
+    /// from the exact amplitudes.
+    pub qmdd_amp_error: f64,
+    /// Largest amplitude deviation at a coarse (1e-4) complex-table
+    /// tolerance, the regime where edge-weight merging visibly corrupts the
+    /// state.
+    pub qmdd_coarse_amp_error: f64,
+    /// Whether the bit-sliced state is exactly normalised (integer identity).
+    pub bitslice_exact: bool,
+    /// |Σp − 1| for the bit-sliced backend after the final f64 conversion.
+    pub bitslice_error: f64,
+}
+
+/// Runs the accuracy ablation: deep random circuits over the full gate set on
+/// a qubit count small enough to enumerate every amplitude.
+pub fn accuracy_rows(scale: Scale) -> Vec<AccuracyRow> {
+    let depths = match scale {
+        Scale::Quick => vec![100usize, 400, 1600],
+        Scale::Full => vec![400usize, 1600, 6400],
+    };
+    let qubits = 8usize;
+    depths
+        .into_iter()
+        .map(|gates| {
+            let circuit = random::random_circuit(
+                &random::RandomCircuitConfig {
+                    num_qubits: qubits,
+                    num_gates: gates,
+                    initial_hadamard_layer: true,
+                    gate_set: random::RandomGateSet::Full,
+                },
+                2021,
+            );
+            let mut exact = BitSliceSimulator::new(qubits);
+            exact.run(&circuit).expect("supported gates");
+            let mut qmdd = QmddSimulator::new(qubits);
+            qmdd.run(&circuit).expect("supported gates");
+            let mut qmdd_coarse = QmddSimulator::with_tolerance(qubits, 1e-4);
+            qmdd_coarse.run(&circuit).expect("supported gates");
+            let mut qmdd_amp_error = 0.0f64;
+            let mut coarse_amp_error = 0.0f64;
+            for i in 0..(1usize << qubits) {
+                let bits: Vec<bool> = (0..qubits).map(|q| i >> q & 1 == 1).collect();
+                let reference = exact.amplitude_complex(&bits);
+                qmdd_amp_error = qmdd_amp_error.max((qmdd.amplitude(&bits) - reference).norm());
+                coarse_amp_error =
+                    coarse_amp_error.max((qmdd_coarse.amplitude(&bits) - reference).norm());
+            }
+            AccuracyRow {
+                qubits,
+                gates: circuit.len(),
+                qmdd_sum_error: (qmdd.total_probability() - 1.0).abs(),
+                qmdd_amp_error,
+                qmdd_coarse_amp_error: coarse_amp_error,
+                bitslice_exact: exact.is_exactly_normalized(),
+                bitslice_error: (exact.total_probability() - 1.0).abs(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the accuracy experiment.
+pub fn format_accuracy(rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("ACCURACY: floating-point drift vs the exact backend on deep random circuits\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} | {:>12} {:>12} {:>14} | {:>10} {:>12}\n",
+        "#Qubits", "#Gates", "QMDD |Σp-1|", "QMDD max|Δα|", "QMDD(1e-4)|Δα|", "Ours exact", "Ours |Σp-1|"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} {:>8} | {:>12.3e} {:>12.3e} {:>14.3e} | {:>10} {:>12.3e}\n",
+            row.qubits,
+            row.gates,
+            row.qmdd_sum_error,
+            row.qmdd_amp_error,
+            row.qmdd_coarse_amp_error,
+            row.bitslice_exact,
+            row.bitslice_error
+        ));
+    }
+    out
+}
+
+/// One row of the bit-width ablation (E7): how the integer width `r`, the
+/// scaling exponent `k` and the BDD size evolve with circuit depth.
+#[derive(Debug, Clone)]
+pub struct BitWidthRow {
+    /// Number of Hadamard/T layers applied.
+    pub layers: usize,
+    /// Total gates applied.
+    pub gates: usize,
+    /// Final integer bit width `r`.
+    pub width: usize,
+    /// Final exponent `k`.
+    pub k: i64,
+    /// Live BDD nodes of the state.
+    pub nodes: usize,
+}
+
+/// Runs the bit-width growth ablation on an H/T-ladder circuit.
+pub fn bitwidth_rows(scale: Scale) -> Vec<BitWidthRow> {
+    let max_layers = match scale {
+        Scale::Quick => 32usize,
+        Scale::Full => 128,
+    };
+    let qubits = 6;
+    let mut rows = Vec::new();
+    let mut sim = BitSliceSimulator::new(qubits);
+    let mut circuit_len = 0usize;
+    let mut layer = 0usize;
+    while layer < max_layers {
+        let mut chunk = Circuit::new(qubits);
+        for q in 0..qubits {
+            chunk.h(q);
+            chunk.t(q);
+            chunk.cx(q, (q + 1) % qubits);
+        }
+        sim.run(&chunk).expect("supported gates");
+        circuit_len += chunk.len();
+        layer += 1;
+        if layer.is_power_of_two() || layer == max_layers {
+            rows.push(BitWidthRow {
+                layers: layer,
+                gates: circuit_len,
+                width: sim.width(),
+                k: sim.k(),
+                nodes: sim.node_count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the bit-width ablation.
+pub fn format_bitwidth(rows: &[BitWidthRow]) -> String {
+    let mut out = String::new();
+    out.push_str("ABLATION: dynamic integer width r, exponent k and BDD size vs depth\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "layers", "#gates", "r", "k", "BDD nodes"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            row.layers, row.gates, row.width, row.k, row.nodes
+        ));
+    }
+    out
+}
+
+/// Convenience: `true` if any case in the pair of results hit a limit (used
+/// by the harness tests).
+pub fn any_failure(results: &[&CaseResult]) -> bool {
+    results
+        .iter()
+        .any(|r| !matches!(r.status, CaseStatus::Completed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_limits() -> CaseLimits {
+        CaseLimits {
+            timeout: Duration::from_secs(15),
+            max_nodes: 500_000,
+        }
+    }
+
+    #[test]
+    fn table3_quick_produces_all_rows() {
+        let limits = CaseLimits {
+            timeout: Duration::from_secs(10),
+            max_nodes: 200_000,
+        };
+        let rows = table3_rows(Scale::Quick, limits);
+        assert_eq!(rows.len(), 4);
+        let text = format_table3(&rows);
+        assert!(text.contains("TABLE III"));
+        assert!(text.contains("16"));
+        // The bit-sliced backend must complete the smallest size.
+        assert!(rows[0].bitslice.completed > 0);
+    }
+
+    #[test]
+    fn table5_shape_matches_the_paper() {
+        let rows = table5_rows(Scale::Quick, tiny_limits());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.ent_gates, row.qubits);
+            assert_eq!(row.bv_gates, 3 * (row.qubits - 1) + 2);
+            // Entanglement completes on the exact backend and on CHP.
+            assert_eq!(row.entanglement.1.status, CaseStatus::Completed);
+            assert_eq!(row.entanglement.2.status, CaseStatus::Completed);
+            // BV completes on the exact backend.
+            assert_eq!(row.bv.1.status, CaseStatus::Completed);
+        }
+        let text = format_table5(&rows);
+        assert!(text.contains("Bernstein-Vazirani"));
+    }
+
+    #[test]
+    fn accuracy_rows_show_exactness_gap() {
+        let rows = accuracy_rows(Scale::Quick);
+        for row in &rows {
+            assert!(row.bitslice_exact, "exact backend must stay normalised");
+            assert!(row.bitslice_error < 1e-9);
+            // Coarsening the complex-table tolerance can only make the
+            // amplitude drift worse, never better.
+            assert!(row.qmdd_coarse_amp_error >= row.qmdd_amp_error * 0.5);
+        }
+        // The drift of the coarse backend grows with depth and is visible.
+        assert!(rows.last().unwrap().qmdd_coarse_amp_error > 1e-9);
+        let text = format_accuracy(&rows);
+        assert!(text.contains("ACCURACY"));
+    }
+
+    #[test]
+    fn bitwidth_ablation_reports_monotone_layers() {
+        let rows = bitwidth_rows(Scale::Quick);
+        assert!(!rows.is_empty());
+        for pair in rows.windows(2) {
+            assert!(pair[0].layers < pair[1].layers);
+        }
+        let text = format_bitwidth(&rows);
+        assert!(text.contains("ABLATION"));
+    }
+}

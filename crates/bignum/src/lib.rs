@@ -1,0 +1,29 @@
+//! # sliq-bignum
+//!
+//! Minimal arbitrary-precision integer arithmetic used by the SliQ bit-sliced
+//! BDD simulator for *exact* SAT counting and probability accumulation.
+//!
+//! The simulator routinely handles Boolean functions over thousands of qubit
+//! variables, whose satisfying-assignment counts exceed 2¹⁰⁰⁰⁰; accumulating
+//! those counts in floating point would defeat the accuracy guarantee that is
+//! the point of the paper.  This crate provides exactly the operations needed
+//! (and nothing more): addition, subtraction, comparison, shifts, schoolbook
+//! multiplication and careful conversion to `f64`.
+//!
+//! ```
+//! use sliq_bignum::{IBig, UBig};
+//! let huge = UBig::pow2(4096);
+//! assert_eq!(huge.clone() + UBig::one() - huge, UBig::one());
+//! assert_eq!(IBig::from(-3i64) + IBig::from(5i64), IBig::from(2i64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ibig;
+mod sqrt2big;
+mod ubig;
+
+pub use ibig::IBig;
+pub use sqrt2big::Sqrt2Big;
+pub use ubig::UBig;

@@ -1,0 +1,143 @@
+//! Exact reals of the form `x + y·√2` with arbitrary-precision coefficients.
+//!
+//! Squared magnitudes of algebraic amplitudes summed over up to 2ⁿ basis
+//! states live in this ring; the coefficients can exceed any fixed-width
+//! integer, so [`IBig`] coefficients are used.  Only the final conversion to
+//! a probability (`f64`) rounds.
+
+use crate::ibig::IBig;
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// An exact real `int + sqrt2·√2` with arbitrary-precision coefficients.
+///
+/// ```
+/// use sliq_bignum::{IBig, Sqrt2Big};
+/// let x = Sqrt2Big::new(IBig::from(1i64), IBig::from(1i64));
+/// let y = x.clone() + x.clone();
+/// assert_eq!(y, Sqrt2Big::new(IBig::from(2i64), IBig::from(2i64)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sqrt2Big {
+    /// Rational (integer) part.
+    pub int: IBig,
+    /// Coefficient of √2.
+    pub sqrt2: IBig,
+}
+
+impl Sqrt2Big {
+    /// Creates the value `int + sqrt2·√2`.
+    pub fn new(int: IBig, sqrt2: IBig) -> Self {
+        Self { int, sqrt2 }
+    }
+
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.int.is_zero() && self.sqrt2.is_zero()
+    }
+
+    /// Exact equality with the integer `2^exp` (used to check that the total
+    /// probability equals `2ᵏ` before the `1/2ᵏ` scaling is applied).
+    pub fn eq_pow2(&self, exp: usize) -> bool {
+        self.sqrt2.is_zero() && self.int == IBig::pow2(exp)
+    }
+
+    /// Shifts both coefficients left by `bits` (multiplication by `2^bits`).
+    pub fn shl(&self, bits: usize) -> Self {
+        Self::new(self.int.shl(bits), self.sqrt2.shl(bits))
+    }
+
+    /// Converts `self / 2^k_div` to `f64` without overflowing on huge
+    /// intermediate coefficients: each coefficient is reduced via its
+    /// mantissa/exponent decomposition first.
+    pub fn to_f64_div_pow2(&self, k_div: i64) -> f64 {
+        fn part(x: &IBig, k_div: i64) -> f64 {
+            let (m, e) = x.to_f64_exp();
+            m * 2f64.powi((e - k_div).clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        }
+        part(&self.int, k_div) + part(&self.sqrt2, k_div) * std::f64::consts::SQRT_2
+    }
+
+    /// Converts to `f64` (lossy).
+    pub fn to_f64(&self) -> f64 {
+        self.to_f64_div_pow2(0)
+    }
+}
+
+impl Add for Sqrt2Big {
+    type Output = Sqrt2Big;
+    fn add(self, rhs: Sqrt2Big) -> Sqrt2Big {
+        Sqrt2Big::new(self.int + rhs.int, self.sqrt2 + rhs.sqrt2)
+    }
+}
+
+impl AddAssign for Sqrt2Big {
+    fn add_assign(&mut self, rhs: Sqrt2Big) {
+        *self = std::mem::take(self) + rhs;
+    }
+}
+
+impl Sub for Sqrt2Big {
+    type Output = Sqrt2Big;
+    fn sub(self, rhs: Sqrt2Big) -> Sqrt2Big {
+        Sqrt2Big::new(self.int - rhs.int, self.sqrt2 - rhs.sqrt2)
+    }
+}
+
+impl Neg for Sqrt2Big {
+    type Output = Sqrt2Big;
+    fn neg(self) -> Sqrt2Big {
+        Sqrt2Big::new(-self.int, -self.sqrt2)
+    }
+}
+
+impl fmt::Display for Sqrt2Big {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}·√2", self.int, self.sqrt2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_floats() {
+        let x = Sqrt2Big::new(IBig::from(3i64), IBig::from(-2i64));
+        let y = Sqrt2Big::new(IBig::from(-1i64), IBig::from(5i64));
+        let s = x.clone() + y.clone();
+        assert!((s.to_f64() - (x.to_f64() + y.to_f64())).abs() < 1e-9);
+        let d = x.clone() - y.clone();
+        assert!((d.to_f64() - (x.to_f64() - y.to_f64())).abs() < 1e-9);
+        assert!(((-x.clone()).to_f64() + x.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow2_equality_check() {
+        let v = Sqrt2Big::new(IBig::pow2(100), IBig::zero());
+        assert!(v.eq_pow2(100));
+        assert!(!v.eq_pow2(99));
+        assert!(!Sqrt2Big::new(IBig::pow2(100), IBig::one()).eq_pow2(100));
+    }
+
+    #[test]
+    fn division_by_large_power_of_two() {
+        // (2^200) / 2^200 == 1.0 exactly even though 2^200 overflows f64... no,
+        // 2^200 is representable; use 2^2000 to be sure.
+        let v = Sqrt2Big::new(IBig::pow2(2000), IBig::zero());
+        assert!((v.to_f64_div_pow2(2000) - 1.0).abs() < 1e-12);
+        let w = Sqrt2Big::new(IBig::zero(), IBig::pow2(2000));
+        assert!((w.to_f64_div_pow2(2000) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_multiplies_by_power_of_two() {
+        let x = Sqrt2Big::new(IBig::from(3i64), IBig::from(1i64));
+        assert!((x.shl(4).to_f64() - 16.0 * x.to_f64()).abs() < 1e-9);
+    }
+}

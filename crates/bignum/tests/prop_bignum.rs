@@ -1,0 +1,88 @@
+//! Property-based tests: big-integer arithmetic must agree with native
+//! 128-bit arithmetic wherever the latter applies, and structural identities
+//! must hold for arbitrarily large values.
+
+use proptest::prelude::*;
+use sliq_bignum::{IBig, Sqrt2Big, UBig};
+
+proptest! {
+    #[test]
+    fn ubig_add_sub_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (UBig::from(a), UBig::from(b));
+        prop_assert_eq!(UBig::add(&x, &y), UBig::from(a as u128 + b as u128));
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(UBig::sub(&UBig::from(hi), &UBig::from(lo)), UBig::from(hi - lo));
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            UBig::mul(&UBig::from(a), &UBig::from(b)),
+            UBig::from(a as u128 * b as u128)
+        );
+        prop_assert_eq!(UBig::from(a).mul_u64(b), UBig::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn ubig_shift_is_mul_by_pow2(a in any::<u64>(), s in 0usize..200) {
+        prop_assert_eq!(UBig::from(a).shl(s), UBig::mul(&UBig::from(a), &UBig::pow2(s)));
+    }
+
+    #[test]
+    fn ubig_div_rem_roundtrip(a in any::<u128>(), d in 1u64..) {
+        let x = UBig::from(a);
+        let (q, r) = x.div_rem_u64(d);
+        prop_assert!(r < d);
+        prop_assert_eq!(UBig::add(&q.mul_u64(d), &UBig::from(r)), x);
+    }
+
+    #[test]
+    fn ubig_display_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(UBig::from(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn ibig_arithmetic_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+        prop_assert_eq!(IBig::from(a) + IBig::from(b), IBig::from(a + b));
+        prop_assert_eq!(IBig::from(a) - IBig::from(b), IBig::from(a - b));
+        prop_assert_eq!(IBig::from(a).cmp_big(&IBig::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn ibig_mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
+        prop_assert_eq!(IBig::from(a) * IBig::from(b), IBig::from(a * b));
+    }
+
+    #[test]
+    fn ibig_add_is_commutative_associative(
+        a in -(1i128<<100)..(1i128<<100),
+        b in -(1i128<<100)..(1i128<<100),
+        c in -(1i128<<100)..(1i128<<100),
+    ) {
+        let (x, y, z) = (IBig::from(a), IBig::from(b), IBig::from(c));
+        prop_assert_eq!(x.clone() + y.clone(), y.clone() + x.clone());
+        prop_assert_eq!((x.clone() + y.clone()) + z.clone(), x + (y + z));
+    }
+
+    #[test]
+    fn sqrt2big_tracks_floats(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000, d in -1000i64..1000) {
+        let x = Sqrt2Big::new(IBig::from(a), IBig::from(b));
+        let y = Sqrt2Big::new(IBig::from(c), IBig::from(d));
+        let sum = x.clone() + y.clone();
+        prop_assert!((sum.to_f64() - (x.to_f64() + y.to_f64())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_f64_exp_is_consistent(a in any::<u128>()) {
+        let x = UBig::from(a);
+        let (m, e) = x.to_f64_exp();
+        if a == 0 {
+            prop_assert_eq!(m, 0.0);
+        } else {
+            prop_assert!((0.5..1.0).contains(&m));
+            let reconstructed = m * 2f64.powi(e as i32);
+            let rel = (reconstructed - a as f64).abs() / (a as f64);
+            prop_assert!(rel < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The circuit intermediate representation and its builder API.
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A quantum circuit: a number of qubits and an ordered list of gates.
+///
+/// The builder methods return `&mut Self` so circuits can be written fluently:
+///
+/// ```
+/// use sliq_circuit::Circuit;
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// assert_eq!(bell.len(), 2);
+/// assert!(bell.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of `other` (which must act on at most as many
+    /// qubits as `self`).
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        debug_assert!(other.num_qubits <= self.num_qubits);
+        self.gates.extend_from_slice(&other.gates);
+        self
+    }
+
+    // ------------------------------------------------------------------ //
+    // Fluent builders, one per supported gate.
+    // ------------------------------------------------------------------ //
+
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+
+    /// Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Phase gate S.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+
+    /// Inverse phase gate S†.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg(q))
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+
+    /// Inverse T gate T†.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Tdg(q))
+    }
+
+    /// X-axis π/2 rotation.
+    pub fn rx_pi2(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::RxPi2(q))
+    }
+
+    /// Y-axis π/2 rotation.
+    pub fn ry_pi2(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::RyPi2(q))
+    }
+
+    /// Controlled-NOT.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cnot { control, target })
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cz { control, target })
+    }
+
+    /// Toffoli (doubly-controlled X).
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.push(Gate::Toffoli {
+            controls: vec![c0, c1],
+            target,
+        })
+    }
+
+    /// Multi-controlled X with an arbitrary number of controls.
+    pub fn mcx(&mut self, controls: Vec<usize>, target: usize) -> &mut Self {
+        self.push(Gate::Toffoli { controls, target })
+    }
+
+    /// Fredkin (controlled SWAP).
+    pub fn cswap(&mut self, control: usize, target1: usize, target2: usize) -> &mut Self {
+        self.push(Gate::Fredkin {
+            controls: vec![control],
+            target1,
+            target2,
+        })
+    }
+
+    /// Multi-controlled SWAP with an arbitrary number of controls.
+    pub fn mcswap(&mut self, controls: Vec<usize>, target1: usize, target2: usize) -> &mut Self {
+        self.push(Gate::Fredkin {
+            controls,
+            target1,
+            target2,
+        })
+    }
+
+    /// Unconditional SWAP (a Fredkin gate with no controls).
+    pub fn swap(&mut self, target1: usize, target2: usize) -> &mut Self {
+        self.push(Gate::Fredkin {
+            controls: Vec::new(),
+            target1,
+            target2,
+        })
+    }
+
+    // ------------------------------------------------------------------ //
+    // Analysis
+    // ------------------------------------------------------------------ //
+
+    /// Checks that every gate addresses existing, distinct qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] encountered, if any.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        for (i, gate) in self.gates.iter().enumerate() {
+            for q in gate.qubits() {
+                if q >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: q,
+                        num_qubits: self.num_qubits,
+                        gate_index: i,
+                    });
+                }
+            }
+            if !gate.operands_distinct() {
+                return Err(CircuitError::DuplicateOperands {
+                    gate_index: i,
+                    gate: gate.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of gates per gate name.
+    pub fn gate_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for g in &self.gates {
+            *counts.entry(g.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The number of T/T† gates (a common cost metric).
+    pub fn t_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::T(_) | Gate::Tdg(_)))
+            .count()
+    }
+
+    /// Returns `true` if every gate is a Clifford gate (simulatable by the
+    /// stabilizer baseline).
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
+    }
+
+    /// Circuit depth: the length of the longest chain of gates that share
+    /// qubits (gates on disjoint qubits count as parallel).
+    pub fn depth(&self) -> usize {
+        let mut level_of_qubit = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for gate in &self.gates {
+            let level = gate
+                .qubits()
+                .iter()
+                .map(|&q| level_of_qubit[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in gate.qubits() {
+                level_of_qubit[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    /// The inverse circuit (gates reversed and individually inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotInvertible`] if the circuit contains
+    /// `Rx(π/2)` or `Ry(π/2)`, whose inverses fall outside the gate set.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut inv = Circuit::new(self.num_qubits);
+        for gate in self.gates.iter().rev() {
+            match gate.inverse() {
+                Some(g) => {
+                    inv.push(g);
+                }
+                None => {
+                    return Err(CircuitError::NotInvertible {
+                        gate: gate.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        self.gates.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).ccx(0, 1, 2).swap(1, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_qubits(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.gates()[0], Gate::H(0));
+        assert_eq!(c.iter().count(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_indices_and_duplicates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 5);
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::QubitOutOfRange { qubit: 5, .. })
+        ));
+        let mut d = Circuit::new(2);
+        d.cx(1, 1);
+        assert!(matches!(
+            d.validate(),
+            Err(CircuitError::DuplicateOperands { .. })
+        ));
+        assert!(ghz(5).validate().is_ok());
+    }
+
+    #[test]
+    fn gate_counts_and_t_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).t(1).tdg(0).cx(0, 1);
+        let counts = c.gate_counts();
+        assert_eq!(counts["t"], 2);
+        assert_eq!(counts["tdg"], 1);
+        assert_eq!(counts["cx"], 1);
+        assert_eq!(c.t_count(), 3);
+    }
+
+    #[test]
+    fn clifford_detection() {
+        assert!(ghz(4).is_clifford());
+        let mut c = ghz(4);
+        c.t(2);
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn depth_counts_parallel_gates_once() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // all parallel
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1).cx(2, 3); // still parallel with each other
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // serialises
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn inverse_reverses_and_daggers() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(0).t(1).cx(0, 1);
+        let inv = c.inverse().expect("invertible");
+        assert_eq!(
+            inv.gates(),
+            &[
+                Gate::Cnot {
+                    control: 0,
+                    target: 1
+                },
+                Gate::Tdg(1),
+                Gate::Sdg(0),
+                Gate::H(0),
+            ]
+        );
+        let mut with_rx = Circuit::new(1);
+        with_rx.rx_pi2(0);
+        assert!(with_rx.inverse().is_err());
+    }
+
+    #[test]
+    fn append_and_extend() {
+        let mut c = ghz(3);
+        let mut d = Circuit::new(3);
+        d.t(2);
+        c.append(&d);
+        assert_eq!(c.len(), 4);
+        c.extend(vec![Gate::X(0), Gate::Z(1)]);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let text = ghz(2).to_string();
+        assert!(text.contains("h q[0]"));
+        assert!(text.contains("cx q[0], q[1]"));
+    }
+}

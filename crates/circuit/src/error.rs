@@ -1,0 +1,165 @@
+//! Error types shared by the circuit IR, the parsers and the simulators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building or validating a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate references a qubit index that does not exist in the circuit.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of qubits in the circuit.
+        num_qubits: usize,
+        /// Position of the gate in the circuit.
+        gate_index: usize,
+    },
+    /// A gate uses the same qubit for two different operands.
+    DuplicateOperands {
+        /// Position of the gate in the circuit.
+        gate_index: usize,
+        /// Human-readable gate description.
+        gate: String,
+    },
+    /// A gate has no inverse within the supported gate set.
+    NotInvertible {
+        /// Human-readable gate description.
+        gate: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange {
+                qubit,
+                num_qubits,
+                gate_index,
+            } => write!(
+                f,
+                "gate {gate_index} references qubit {qubit} but the circuit has {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperands { gate_index, gate } => {
+                write!(f, "gate {gate_index} ({gate}) uses a qubit twice")
+            }
+            CircuitError::NotInvertible { gate } => {
+                write!(f, "gate {gate} has no inverse in the supported gate set")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Errors arising while parsing a circuit description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending input line (0 if not applicable).
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error for a given line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Errors reported by a simulator backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationError {
+    /// The backend does not support this gate (e.g. T on the stabilizer
+    /// simulator).
+    UnsupportedGate {
+        /// Which backend rejected the gate.
+        backend: &'static str,
+        /// Human-readable gate description.
+        gate: String,
+    },
+    /// The circuit failed validation before simulation started.
+    InvalidCircuit(CircuitError),
+    /// A configured resource limit (nodes, amplitudes, time) was exceeded.
+    ResourceLimit {
+        /// Which backend hit the limit.
+        backend: &'static str,
+        /// Description of the limit.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::UnsupportedGate { backend, gate } => {
+                write!(f, "{backend} does not support gate {gate}")
+            }
+            SimulationError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
+            SimulationError::ResourceLimit { backend, detail } => {
+                write!(f, "{backend} exceeded a resource limit: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimulationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulationError::InvalidCircuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SimulationError {
+    fn from(value: CircuitError) -> Self {
+        SimulationError::InvalidCircuit(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+            gate_index: 2,
+        };
+        assert!(e.to_string().contains("qubit 9"));
+        assert!(e.to_string().contains("4 qubits"));
+        let p = ParseError::new(7, "unknown gate `foo`");
+        assert!(p.to_string().contains("line 7"));
+        let s = SimulationError::UnsupportedGate {
+            backend: "stabilizer",
+            gate: "t q[0]".into(),
+        };
+        assert!(s.to_string().contains("stabilizer"));
+    }
+
+    #[test]
+    fn simulation_error_wraps_circuit_error() {
+        let inner = CircuitError::DuplicateOperands {
+            gate_index: 0,
+            gate: "cx q[1], q[1]".into(),
+        };
+        let outer: SimulationError = inner.clone().into();
+        assert_eq!(outer, SimulationError::InvalidCircuit(inner));
+        assert!(std::error::Error::source(&outer).is_some());
+    }
+}

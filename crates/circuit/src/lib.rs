@@ -1,0 +1,40 @@
+//! # sliq-circuit
+//!
+//! The quantum circuit intermediate representation shared by every simulator
+//! in the SliQ workspace:
+//!
+//! * [`Gate`] — the gate set of the paper's Table I (plus the documented
+//!   S†/T† extensions),
+//! * [`Circuit`] — an ordered gate list with a fluent builder, validation and
+//!   analysis helpers,
+//! * [`qasm`] — an OpenQASM 2.0 subset parser/writer,
+//! * [`real`] — a RevLib `.real` parser/writer for reversible circuits,
+//! * [`Simulator`] — the trait all backends implement, so benchmarks can
+//!   drive them interchangeably.
+//!
+//! ```
+//! use sliq_circuit::{Circuit, Gate};
+//! let mut ghz = Circuit::new(3);
+//! ghz.h(0).cx(0, 1).cx(1, 2);
+//! assert!(ghz.is_clifford());
+//! assert_eq!(ghz.depth(), 3);
+//! assert_eq!(ghz.gates()[2], Gate::Cnot { control: 1, target: 2 });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod error;
+mod gate;
+pub mod optimize;
+pub mod qasm;
+pub mod real;
+mod sim;
+
+pub use circuit::Circuit;
+pub use error::{CircuitError, ParseError, SimulationError};
+pub use gate::Gate;
+pub use optimize::{optimize, OptimizeStats};
+pub use real::{RealCircuit, RealMetadata};
+pub use sim::Simulator;

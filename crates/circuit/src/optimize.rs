@@ -1,0 +1,166 @@
+//! Peephole circuit optimisation.
+//!
+//! Benchmark circuits (randomly generated ones in particular) contain many
+//! trivially redundant gate pairs; removing them before simulation reduces
+//! work for every backend without changing the state.  Two rewrite rules are
+//! applied until a fixed point is reached:
+//!
+//! 1. **Inverse-pair cancellation** — a gate immediately followed (on exactly
+//!    the same qubits, with no interfering gate in between) by its inverse is
+//!    removed, e.g. `H·H`, `X·X`, `CNOT·CNOT`, `S·S†`, `T·T†`.
+//! 2. **Phase merging** — two adjacent identical phase gates merge into the
+//!    stronger one: `S·S → Z`, `S†·S† → Z`, `T·T → S`, `T†·T† → S†`.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Statistics reported by [`optimize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Number of gates removed by inverse-pair cancellation (counts both
+    /// gates of each pair).
+    pub cancelled: usize,
+    /// Number of gate pairs merged into a single stronger phase gate.
+    pub merged: usize,
+}
+
+fn merge_phases(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::S(p), Gate::S(q)) | (Gate::Sdg(p), Gate::Sdg(q)) if p == q => Some(Gate::Z(*p)),
+        (Gate::T(p), Gate::T(q)) if p == q => Some(Gate::S(*p)),
+        (Gate::Tdg(p), Gate::Tdg(q)) if p == q => Some(Gate::Sdg(*p)),
+        _ => None,
+    }
+}
+
+/// Applies one left-to-right pass of the rewrite rules.  Returns the new gate
+/// list and the statistics of this pass.
+fn one_pass(gates: &[Gate], num_qubits: usize) -> (Vec<Gate>, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    // `output` holds kept gates; `last_touch[q]` is the index in `output` of
+    // the most recent kept gate acting on qubit q.
+    let mut output: Vec<Option<Gate>> = Vec::with_capacity(gates.len());
+    let mut last_touch: Vec<Option<usize>> = vec![None; num_qubits];
+    for gate in gates {
+        let qubits = gate.qubits();
+        // Find the unique previous gate touching any of this gate's qubits,
+        // if all those qubits last saw the *same* gate (otherwise something
+        // interferes and no rewrite is safe).
+        let previous: Option<usize> = {
+            let indices: Vec<Option<usize>> = qubits.iter().map(|&q| last_touch[q]).collect();
+            match indices.first() {
+                Some(&first) if indices.iter().all(|&i| i == first) => first,
+                _ => None,
+            }
+        };
+        if let Some(index) = previous {
+            if let Some(prev_gate) = output[index].clone() {
+                let same_operands = prev_gate.qubits() == qubits;
+                if same_operands {
+                    if prev_gate.inverse().as_ref() == Some(gate) {
+                        // Cancel the pair.
+                        output[index] = None;
+                        for &q in &qubits {
+                            last_touch[q] = None;
+                        }
+                        stats.cancelled += 2;
+                        continue;
+                    }
+                    if let Some(merged) = merge_phases(&prev_gate, gate) {
+                        output[index] = Some(merged);
+                        stats.merged += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let index = output.len();
+        output.push(Some(gate.clone()));
+        for q in qubits {
+            last_touch[q] = Some(index);
+        }
+    }
+    (output.into_iter().flatten().collect(), stats)
+}
+
+/// Optimises `circuit` by repeatedly applying the rewrite rules until no more
+/// apply, returning the optimised circuit and cumulative statistics.
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut total = OptimizeStats::default();
+    loop {
+        let (next, stats) = one_pass(&gates, circuit.num_qubits());
+        total.cancelled += stats.cancelled;
+        total.merged += stats.merged;
+        let changed = next.len() != gates.len() || stats.merged > 0;
+        gates = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut optimized = Circuit::new(circuit.num_qubits());
+    optimized.extend(gates);
+    (optimized, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_adjacent_self_inverse_pairs() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).x(1).cx(0, 1).cx(0, 1).x(1);
+        let (optimized, stats) = optimize(&c);
+        assert!(optimized.is_empty(), "{optimized}");
+        assert_eq!(stats.cancelled, 6);
+    }
+
+    #[test]
+    fn cancels_dagger_pairs_and_merges_phases() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).t(0).t(0).t(0);
+        let (optimized, stats) = optimize(&c);
+        // S·S† cancels; T·T → S twice, then S·S → Z.
+        assert_eq!(optimized.gates(), &[Gate::Z(0)]);
+        assert!(stats.cancelled >= 2);
+        assert!(stats.merged >= 3);
+    }
+
+    #[test]
+    fn does_not_cancel_across_interfering_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let (optimized, _) = optimize(&c);
+        assert_eq!(optimized.len(), 3, "the CNOT blocks the cancellation");
+
+        let mut d = Circuit::new(2);
+        d.cx(0, 1).x(0).cx(0, 1);
+        let (optimized, _) = optimize(&d);
+        assert_eq!(optimized.len(), 3, "the X on the control interferes");
+    }
+
+    #[test]
+    fn does_not_confuse_gates_with_different_operands() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 0);
+        let (optimized, _) = optimize(&c);
+        assert_eq!(optimized.len(), 2);
+        let mut d = Circuit::new(3);
+        d.ccx(0, 1, 2).ccx(1, 0, 2);
+        let (optimized_d, _) = optimize(&d);
+        // Control lists [0,1] and [1,0] describe the same operation but with
+        // different operand order; the conservative pass keeps them.
+        assert_eq!(optimized_d.len(), 2);
+    }
+
+    #[test]
+    fn rx_pairs_are_left_alone() {
+        // Rx(π/2) is not self-inverse and has no inverse in the gate set.
+        let mut c = Circuit::new(1);
+        c.rx_pi2(0).rx_pi2(0);
+        let (optimized, stats) = optimize(&c);
+        assert_eq!(optimized.len(), 2);
+        assert_eq!(stats, OptimizeStats::default());
+    }
+}

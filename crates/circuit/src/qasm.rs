@@ -1,0 +1,372 @@
+//! A parser and writer for the OpenQASM 2.0 subset covering the supported
+//! gate set.
+//!
+//! Supported statements: `OPENQASM`, `include`, `qreg`, `creg` (ignored),
+//! `barrier` (ignored), `measure` (ignored — measurement is driven through
+//! the simulator API), and the gates
+//! `x y z h s sdg t tdg rx(pi/2) ry(pi/2) cx cz ccx cswap swap`.
+
+use crate::circuit::Circuit;
+use crate::error::ParseError;
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending statement.
+///
+/// ```
+/// use sliq_circuit::qasm;
+/// let src = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     h q[0];
+///     cx q[0], q[1];
+/// "#;
+/// let circuit = qasm::parse(src)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.len(), 2);
+/// # Ok::<(), sliq_circuit::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Circuit, ParseError> {
+    let mut registers: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // name -> (offset, size)
+    let mut total_qubits = 0usize;
+    let mut gates: Vec<Gate> = Vec::new();
+
+    // Statements are ';'-terminated; keep track of line numbers for errors.
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(stmt, line_no, &mut registers, &mut total_qubits, &mut gates)?;
+        }
+    }
+
+    let mut circuit = Circuit::new(total_qubits);
+    circuit.extend(gates);
+    Ok(circuit)
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    registers: &mut BTreeMap<String, (usize, usize)>,
+    total_qubits: &mut usize,
+    gates: &mut Vec<Gate>,
+) -> Result<(), ParseError> {
+    let lower = stmt.to_ascii_lowercase();
+    if lower.starts_with("openqasm") || lower.starts_with("include") || lower.starts_with("creg")
+        || lower.starts_with("barrier") || lower.starts_with("measure")
+    {
+        return Ok(());
+    }
+    if let Some(rest) = lower.strip_prefix("qreg") {
+        let rest = rest.trim();
+        let (name, size) = parse_register_decl(rest, line)?;
+        registers.insert(name, (*total_qubits, size));
+        *total_qubits += size;
+        return Ok(());
+    }
+
+    // Gate application: `<mnemonic>[(params)] operand {, operand}`.
+    let (head, operand_text) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) => (&stmt[..pos], &stmt[pos..]),
+        None => {
+            return Err(ParseError::new(
+                line,
+                format!("cannot parse statement `{stmt}`"),
+            ))
+        }
+    };
+    let head = head.trim().to_ascii_lowercase();
+    let operands: Vec<usize> = operand_text
+        .split(',')
+        .map(|op| resolve_operand(op.trim(), registers, line))
+        .collect::<Result<_, _>>()?;
+
+    let need = |n: usize| -> Result<(), ParseError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                line,
+                format!("gate `{head}` expects {n} operand(s), got {}", operands.len()),
+            ))
+        }
+    };
+
+    let (mnemonic, param) = match head.find('(') {
+        Some(pos) => {
+            let close = head.rfind(')').ok_or_else(|| {
+                ParseError::new(line, format!("missing `)` in gate `{head}`"))
+            })?;
+            (head[..pos].to_string(), Some(head[pos + 1..close].to_string()))
+        }
+        None => (head.clone(), None),
+    };
+
+    let gate = match mnemonic.as_str() {
+        "x" => {
+            need(1)?;
+            Gate::X(operands[0])
+        }
+        "y" => {
+            need(1)?;
+            Gate::Y(operands[0])
+        }
+        "z" => {
+            need(1)?;
+            Gate::Z(operands[0])
+        }
+        "h" => {
+            need(1)?;
+            Gate::H(operands[0])
+        }
+        "s" => {
+            need(1)?;
+            Gate::S(operands[0])
+        }
+        "sdg" => {
+            need(1)?;
+            Gate::Sdg(operands[0])
+        }
+        "t" => {
+            need(1)?;
+            Gate::T(operands[0])
+        }
+        "tdg" => {
+            need(1)?;
+            Gate::Tdg(operands[0])
+        }
+        "rx" | "ry" => {
+            need(1)?;
+            let param = param.unwrap_or_default();
+            if !is_half_pi(&param) {
+                return Err(ParseError::new(
+                    line,
+                    format!("only {mnemonic}(pi/2) is supported, got `{param}`"),
+                ));
+            }
+            if mnemonic == "rx" {
+                Gate::RxPi2(operands[0])
+            } else {
+                Gate::RyPi2(operands[0])
+            }
+        }
+        "cx" | "cnot" => {
+            need(2)?;
+            Gate::Cnot {
+                control: operands[0],
+                target: operands[1],
+            }
+        }
+        "cz" => {
+            need(2)?;
+            Gate::Cz {
+                control: operands[0],
+                target: operands[1],
+            }
+        }
+        "ccx" | "toffoli" => {
+            need(3)?;
+            Gate::Toffoli {
+                controls: vec![operands[0], operands[1]],
+                target: operands[2],
+            }
+        }
+        "cswap" | "fredkin" => {
+            need(3)?;
+            Gate::Fredkin {
+                controls: vec![operands[0]],
+                target1: operands[1],
+                target2: operands[2],
+            }
+        }
+        "swap" => {
+            need(2)?;
+            Gate::Fredkin {
+                controls: Vec::new(),
+                target1: operands[0],
+                target2: operands[1],
+            }
+        }
+        other => {
+            return Err(ParseError::new(line, format!("unsupported gate `{other}`")));
+        }
+    };
+    gates.push(gate);
+    Ok(())
+}
+
+fn parse_register_decl(decl: &str, line: usize) -> Result<(String, usize), ParseError> {
+    // e.g. `q[5]`
+    let open = decl
+        .find('[')
+        .ok_or_else(|| ParseError::new(line, format!("malformed register `{decl}`")))?;
+    let close = decl
+        .find(']')
+        .ok_or_else(|| ParseError::new(line, format!("malformed register `{decl}`")))?;
+    let name = decl[..open].trim().to_string();
+    let size: usize = decl[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| ParseError::new(line, format!("bad register size in `{decl}`")))?;
+    Ok((name, size))
+}
+
+fn resolve_operand(
+    op: &str,
+    registers: &BTreeMap<String, (usize, usize)>,
+    line: usize,
+) -> Result<usize, ParseError> {
+    let open = op
+        .find('[')
+        .ok_or_else(|| ParseError::new(line, format!("malformed operand `{op}`")))?;
+    let close = op
+        .find(']')
+        .ok_or_else(|| ParseError::new(line, format!("malformed operand `{op}`")))?;
+    let name = op[..open].trim();
+    let index: usize = op[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| ParseError::new(line, format!("bad qubit index in `{op}`")))?;
+    let (offset, size) = registers
+        .get(name)
+        .ok_or_else(|| ParseError::new(line, format!("unknown register `{name}`")))?;
+    if index >= *size {
+        return Err(ParseError::new(
+            line,
+            format!("index {index} out of range for register `{name}[{size}]`"),
+        ));
+    }
+    Ok(offset + index)
+}
+
+fn is_half_pi(expr: &str) -> bool {
+    let e = expr.replace(' ', "").to_ascii_lowercase();
+    if e == "pi/2" || e == "π/2" || e == "0.5*pi" || e == "pi*0.5" {
+        return true;
+    }
+    e.parse::<f64>()
+        .map(|v| (v - std::f64::consts::FRAC_PI_2).abs() < 1e-9)
+        .unwrap_or(false)
+}
+
+/// Serialises a [`Circuit`] as an OpenQASM 2.0 program using a single `q`
+/// register.
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for gate in circuit.iter() {
+        let operands: Vec<String> = gate.qubits().iter().map(|q| format!("q[{q}]")).collect();
+        let stmt = match gate {
+            Gate::RxPi2(_) => format!("rx(pi/2) {}", operands.join(", ")),
+            Gate::RyPi2(_) => format!("ry(pi/2) {}", operands.join(", ")),
+            Gate::Fredkin { controls, .. } if controls.is_empty() => {
+                format!("swap {}", operands.join(", "))
+            }
+            _ => format!("{} {}", gate.name(), operands.join(", ")),
+        };
+        out.push_str(&stmt);
+        out.push_str(";\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];
+            cx q[0], q[1]; ccx q[0], q[1], q[2];
+            t q[2];           // a trailing comment
+            rx(pi/2) q[1];
+            measure q -> c;
+        "#;
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(
+            c.gates(),
+            &[
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1
+                },
+                Gate::Toffoli {
+                    controls: vec![0, 1],
+                    target: 2
+                },
+                Gate::T(2),
+                Gate::RxPi2(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_registers_get_distinct_offsets() {
+        let src = "qreg a[2]; qreg b[2]; cx a[1], b[0];";
+        let c = parse(src).expect("valid");
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(
+            c.gates(),
+            &[Gate::Cnot {
+                control: 1,
+                target: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_gates_and_bad_operands() {
+        assert!(parse("qreg q[1]; u3(0.1,0.2,0.3) q[0];").is_err());
+        assert!(parse("qreg q[1]; rx(0.3) q[0];").is_err());
+        assert!(parse("qreg q[2]; cx q[0], q[5];").is_err());
+        assert!(parse("qreg q[2]; cx q[0], r[1];").is_err());
+        let err = parse("qreg q[1]; foo q[0];").unwrap_err();
+        assert!(err.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn roundtrip_through_emit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .t(1)
+            .sdg(2)
+            .cx(0, 1)
+            .cz(1, 2)
+            .ccx(0, 1, 3)
+            .cswap(0, 2, 3)
+            .swap(1, 2)
+            .rx_pi2(3)
+            .ry_pi2(0);
+        let text = emit(&c);
+        let back = parse(&text).expect("emitted text parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn accepts_numeric_half_pi() {
+        let src = "qreg q[1]; rx(1.5707963267948966) q[0];";
+        let c = parse(src).expect("valid");
+        assert_eq!(c.gates(), &[Gate::RxPi2(0)]);
+    }
+}

@@ -1,0 +1,380 @@
+//! A parser and writer for the RevLib `.real` reversible-circuit format.
+//!
+//! The paper's second benchmark set consists of RevLib circuits; this module
+//! lets real `.real` files be used directly and is also used by the
+//! RevLib-like workload generator to serialise its synthetic circuits.
+//!
+//! Supported gate lines: `t1 a` (NOT), `t2 a b` (CNOT), `tN c… t`
+//! (multi-controlled Toffoli), `f2 a b` (SWAP) and `fN c… a b`
+//! (multi-controlled Fredkin).
+
+use crate::circuit::Circuit;
+use crate::error::ParseError;
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+
+/// Metadata carried by a `.real` file in addition to the gate list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RealMetadata {
+    /// Variable (line) names in declaration order.
+    pub variables: Vec<String>,
+    /// Constant input values per variable: `Some(bit)` for constant inputs,
+    /// `None` for free (primary) inputs.
+    pub constants: Vec<Option<bool>>,
+    /// Garbage flags per variable (outputs that are not observed).
+    pub garbage: Vec<bool>,
+}
+
+impl RealMetadata {
+    /// Indices of inputs whose initial value is unspecified ("free" inputs).
+    ///
+    /// The paper's Table IV modification inserts an H gate on exactly these
+    /// qubits to create an initial superposition.
+    pub fn free_inputs(&self) -> Vec<usize> {
+        self.constants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| if c.is_none() { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// The result of parsing a `.real` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealCircuit {
+    /// The reversible circuit as a gate list.
+    pub circuit: Circuit,
+    /// Declared metadata.
+    pub metadata: RealMetadata,
+}
+
+/// Parses RevLib `.real` text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed headers, unknown gate kinds
+/// (e.g. the controlled-√X `v` gates, which are outside the paper's gate
+/// set), or references to undeclared variables.
+pub fn parse(source: &str) -> Result<RealCircuit, ParseError> {
+    let mut num_vars: Option<usize> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut name_to_index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut constants: Vec<Option<bool>> = Vec::new();
+    let mut garbage: Vec<bool> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut in_body = false;
+
+    for (line_no, raw) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().unwrap_or("").to_ascii_lowercase();
+            match key.as_str() {
+                "version" | "inputs" | "outputs" | "inputbus" | "outputbus" | "state"
+                | "module" => {}
+                "numvars" => {
+                    let n: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ParseError::new(line_no, "bad .numvars"))?;
+                    num_vars = Some(n);
+                }
+                "variables" => {
+                    for (i, name) in parts.enumerate() {
+                        name_to_index.insert(name.to_string(), i);
+                        names.push(name.to_string());
+                    }
+                }
+                "constants" => {
+                    let spec = parts.next().unwrap_or("");
+                    constants = spec
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Some(false),
+                            '1' => Some(true),
+                            _ => None,
+                        })
+                        .collect();
+                }
+                "garbage" => {
+                    let spec = parts.next().unwrap_or("");
+                    garbage = spec.chars().map(|c| c == '1').collect();
+                }
+                "begin" => in_body = true,
+                "end" => in_body = false,
+                other => {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unknown directive `.{other}`"),
+                    ))
+                }
+            }
+            continue;
+        }
+        if !in_body {
+            return Err(ParseError::new(
+                line_no,
+                format!("gate line `{line}` outside .begin/.end"),
+            ));
+        }
+        gates.push(parse_gate_line(line, line_no, &name_to_index)?);
+    }
+
+    let n = num_vars.unwrap_or(names.len());
+    if n == 0 {
+        return Err(ParseError::new(0, "missing .numvars / .variables header"));
+    }
+    if names.is_empty() {
+        // Synthesise names x0..x{n-1} when .variables is absent.
+        for i in 0..n {
+            names.push(format!("x{i}"));
+        }
+    }
+    constants.resize(n, None);
+    garbage.resize(n, false);
+
+    let mut circuit = Circuit::new(n);
+    circuit.extend(gates);
+    Ok(RealCircuit {
+        circuit,
+        metadata: RealMetadata {
+            variables: names,
+            constants,
+            garbage,
+        },
+    })
+}
+
+fn parse_gate_line(
+    line: &str,
+    line_no: usize,
+    names: &BTreeMap<String, usize>,
+) -> Result<Gate, ParseError> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().unwrap_or("").to_ascii_lowercase();
+    let operands: Vec<usize> = parts
+        .map(|name| {
+            names.get(name).copied().ok_or_else(|| {
+                ParseError::new(line_no, format!("unknown variable `{name}`"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let expect_arity = |k: &str| -> Result<usize, ParseError> {
+        k[1..]
+            .parse::<usize>()
+            .map_err(|_| ParseError::new(line_no, format!("bad gate kind `{k}`")))
+    };
+
+    if let Some(stripped) = kind.strip_prefix('t') {
+        if stripped.is_empty() {
+            return Err(ParseError::new(line_no, "bare `t` gate line"));
+        }
+        let arity = expect_arity(&kind)?;
+        if operands.len() != arity {
+            return Err(ParseError::new(
+                line_no,
+                format!("`{kind}` expects {arity} operands, got {}", operands.len()),
+            ));
+        }
+        let (controls, target) = operands.split_at(arity - 1);
+        // Canonicalise the small cases to their dedicated gate variants so
+        // that emit → parse round-trips structurally.
+        return Ok(match controls.len() {
+            0 => Gate::X(target[0]),
+            1 => Gate::Cnot {
+                control: controls[0],
+                target: target[0],
+            },
+            _ => Gate::Toffoli {
+                controls: controls.to_vec(),
+                target: target[0],
+            },
+        });
+    }
+    if kind.starts_with('f') {
+        let arity = expect_arity(&kind)?;
+        if operands.len() != arity || arity < 2 {
+            return Err(ParseError::new(
+                line_no,
+                format!("`{kind}` expects {arity} (≥2) operands, got {}", operands.len()),
+            ));
+        }
+        let (controls, targets) = operands.split_at(arity - 2);
+        return Ok(Gate::Fredkin {
+            controls: controls.to_vec(),
+            target1: targets[0],
+            target2: targets[1],
+        });
+    }
+    Err(ParseError::new(
+        line_no,
+        format!("unsupported RevLib gate kind `{kind}` (only t*/f* lines are in the paper's gate set)"),
+    ))
+}
+
+/// Serialises a reversible circuit (Toffoli/Fredkin family gates only) as
+/// `.real` text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line 0) if the circuit contains gates the
+/// format cannot express, e.g. Hadamard.
+pub fn emit(circuit: &Circuit, metadata: &RealMetadata) -> Result<String, ParseError> {
+    let n = circuit.num_qubits();
+    let names: Vec<String> = if metadata.variables.len() == n {
+        metadata.variables.clone()
+    } else {
+        (0..n).map(|i| format!("x{i}")).collect()
+    };
+    let mut out = String::new();
+    out.push_str(".version 2.0\n");
+    out.push_str(&format!(".numvars {n}\n"));
+    out.push_str(&format!(".variables {}\n", names.join(" ")));
+    let constants: String = metadata
+        .constants
+        .iter()
+        .chain(std::iter::repeat(&None))
+        .take(n)
+        .map(|c| match c {
+            Some(false) => '0',
+            Some(true) => '1',
+            None => '-',
+        })
+        .collect();
+    out.push_str(&format!(".constants {constants}\n"));
+    let garbage: String = metadata
+        .garbage
+        .iter()
+        .chain(std::iter::repeat(&false))
+        .take(n)
+        .map(|g| if *g { '1' } else { '-' })
+        .collect();
+    out.push_str(&format!(".garbage {garbage}\n"));
+    out.push_str(".begin\n");
+    for gate in circuit.iter() {
+        match gate {
+            Gate::X(t) => out.push_str(&format!("t1 {}\n", names[*t])),
+            Gate::Cnot { control, target } => {
+                out.push_str(&format!("t2 {} {}\n", names[*control], names[*target]))
+            }
+            Gate::Toffoli { controls, target } => {
+                let ops: Vec<&str> = controls
+                    .iter()
+                    .chain(std::iter::once(target))
+                    .map(|q| names[*q].as_str())
+                    .collect();
+                out.push_str(&format!("t{} {}\n", ops.len(), ops.join(" ")));
+            }
+            Gate::Fredkin {
+                controls,
+                target1,
+                target2,
+            } => {
+                let ops: Vec<&str> = controls
+                    .iter()
+                    .chain([target1, target2])
+                    .map(|q| names[*q].as_str())
+                    .collect();
+                out.push_str(&format!("f{} {}\n", ops.len(), ops.join(" ")));
+            }
+            other => {
+                return Err(ParseError::new(
+                    0,
+                    format!("gate `{other}` cannot be expressed in .real format"),
+                ))
+            }
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a tiny adder-like circuit
+.version 2.0
+.numvars 4
+.variables a b c d
+.inputs a b c d
+.outputs a b c d
+.constants --0-
+.garbage ---1
+.begin
+t1 a
+t2 a b
+t3 a b c
+f3 a c d
+.end
+"#;
+
+    #[test]
+    fn parses_header_and_gates() {
+        let parsed = parse(SAMPLE).expect("valid file");
+        assert_eq!(parsed.circuit.num_qubits(), 4);
+        assert_eq!(
+            parsed.circuit.gates(),
+            &[
+                Gate::X(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1
+                },
+                Gate::Toffoli {
+                    controls: vec![0, 1],
+                    target: 2
+                },
+                Gate::Fredkin {
+                    controls: vec![0],
+                    target1: 2,
+                    target2: 3
+                },
+            ]
+        );
+        assert_eq!(
+            parsed.metadata.constants,
+            vec![None, None, Some(false), None]
+        );
+        assert_eq!(parsed.metadata.free_inputs(), vec![0, 1, 3]);
+        assert_eq!(parsed.metadata.garbage, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn rejects_v_gates_and_unknown_variables() {
+        let bad = ".numvars 2\n.variables a b\n.begin\nv a b\n.end\n";
+        assert!(parse(bad).is_err());
+        let bad2 = ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n";
+        assert!(parse(bad2).is_err());
+    }
+
+    #[test]
+    fn emit_roundtrips() {
+        let parsed = parse(SAMPLE).expect("valid file");
+        let text = emit(&parsed.circuit, &parsed.metadata).expect("serialisable");
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(back.circuit, parsed.circuit);
+        assert_eq!(back.metadata.constants, parsed.metadata.constants);
+    }
+
+    #[test]
+    fn emit_rejects_non_reversible_gates() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(emit(&c, &RealMetadata::default()).is_err());
+    }
+
+    #[test]
+    fn missing_variables_are_synthesised() {
+        let src = ".numvars 3\n.begin\n.end\n";
+        let parsed = parse(src).expect("header only");
+        assert_eq!(parsed.metadata.variables, vec!["x0", "x1", "x2"]);
+        assert!(parsed.circuit.is_empty());
+    }
+}

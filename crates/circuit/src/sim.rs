@@ -1,0 +1,157 @@
+//! The common simulator interface implemented by every backend in the
+//! workspace (bit-sliced BDD, dense state vector, QMDD, stabilizer tableau).
+//!
+//! The benchmark harness drives all backends through this trait so that a
+//! single sweep definition reproduces each table of the paper for every
+//! simulator.
+
+use crate::circuit::Circuit;
+use crate::error::SimulationError;
+use crate::gate::Gate;
+
+/// A quantum circuit simulator backend.
+///
+/// Query methods take `&mut self` because symbolic backends (BDD, QMDD) may
+/// need to build auxiliary diagrams and update caches while answering.
+pub trait Simulator {
+    /// A short human-readable backend name (used in benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// The number of qubits the simulator was constructed with.
+    fn num_qubits(&self) -> usize;
+
+    /// Applies a single gate to the current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::UnsupportedGate`] if the backend cannot
+    /// represent the gate, or [`SimulationError::ResourceLimit`] if a
+    /// configured limit is exceeded.
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError>;
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Simulator::apply_gate`].
+    fn run(&mut self, circuit: &Circuit) -> Result<(), SimulationError> {
+        for gate in circuit.iter() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+
+    /// The probability of measuring `|1⟩` on `qubit` in the current state
+    /// (without collapsing it).
+    fn probability_of_one(&mut self, qubit: usize) -> f64;
+
+    /// The probability of observing the full basis state `bits`
+    /// (`bits[q]` is the value of qubit `q`).
+    fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64;
+
+    /// Measures `qubit` in the computational basis using the supplied random
+    /// value `u ∈ [0, 1)`, collapses the state and returns the outcome.
+    fn measure_with(&mut self, qubit: usize, u: f64) -> bool;
+
+    /// The sum of all outcome probabilities.  Exactly 1 for exact backends;
+    /// floating point backends may drift, which is precisely the numerical
+    /// error the paper's Table III/V "error" columns report.
+    fn total_probability(&mut self) -> f64 {
+        let n = self.num_qubits();
+        // Default implementation: Pr[q0=0]·(…) is not generally available, so
+        // backends are expected to override this.  The fallback sums the two
+        // outcomes of the first qubit, which is exact for normalised states.
+        if n == 0 {
+            1.0
+        } else {
+            let p1 = self.probability_of_one(0);
+            let p0 = 1.0 - p1;
+            p0 + p1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial classical backend used to exercise the trait's provided
+    /// methods: it only supports X/CNOT/Toffoli on basis states.
+    struct ClassicalSim {
+        bits: Vec<bool>,
+    }
+
+    impl Simulator for ClassicalSim {
+        fn name(&self) -> &'static str {
+            "classical"
+        }
+        fn num_qubits(&self) -> usize {
+            self.bits.len()
+        }
+        fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
+            match gate {
+                Gate::X(q) => {
+                    self.bits[*q] = !self.bits[*q];
+                    Ok(())
+                }
+                Gate::Cnot { control, target } => {
+                    if self.bits[*control] {
+                        self.bits[*target] = !self.bits[*target];
+                    }
+                    Ok(())
+                }
+                Gate::Toffoli { controls, target } => {
+                    if controls.iter().all(|c| self.bits[*c]) {
+                        self.bits[*target] = !self.bits[*target];
+                    }
+                    Ok(())
+                }
+                other => Err(SimulationError::UnsupportedGate {
+                    backend: "classical",
+                    gate: other.to_string(),
+                }),
+            }
+        }
+        fn probability_of_one(&mut self, qubit: usize) -> f64 {
+            if self.bits[qubit] {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+            if bits == self.bits.as_slice() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn measure_with(&mut self, qubit: usize, _u: f64) -> bool {
+            self.bits[qubit]
+        }
+    }
+
+    #[test]
+    fn default_run_applies_all_gates() {
+        let mut circuit = Circuit::new(3);
+        circuit.x(0).cx(0, 1).ccx(0, 1, 2);
+        let mut sim = ClassicalSim {
+            bits: vec![false; 3],
+        };
+        sim.run(&circuit).expect("classical gates only");
+        assert_eq!(sim.bits, vec![true, true, true]);
+        assert_eq!(sim.probability_of_basis_state(&[true, true, true]), 1.0);
+        assert_eq!(sim.total_probability(), 1.0);
+    }
+
+    #[test]
+    fn default_run_stops_on_unsupported_gate() {
+        let mut circuit = Circuit::new(1);
+        circuit.h(0).x(0);
+        let mut sim = ClassicalSim { bits: vec![false] };
+        let err = sim.run(&circuit).unwrap_err();
+        assert!(matches!(err, SimulationError::UnsupportedGate { .. }));
+        // The X after the failing H must not have been applied.
+        assert_eq!(sim.bits, vec![false]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Symbolic two's-complement arithmetic over bit-sliced vectors.
+//!
+//! Every arithmetic gate of Table II boils down to a ripple-carry adder whose
+//! sum and carry are the Boolean functions
+//!
+//! ```text
+//! Sum(A, B, C) = A ⊕ B ⊕ C
+//! Car(A, B, C) = A·B ∨ (A ∨ B)·C
+//! ```
+//!
+//! applied slice-wise, with a per-row conditional complement (for the
+//! subtracted operand) folded into the initial carry — exactly the
+//! construction the paper derives for the Hadamard gate in Proposition 1.
+
+use sliq_bdd::{Manager, NodeId};
+
+/// `Sum(a, b, c) = a ⊕ b ⊕ c` — the full-adder sum function over BDDs.
+pub fn sum(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+    let ab = mgr.xor(a, b);
+    mgr.xor(ab, c)
+}
+
+/// `Car(a, b, c) = a·b ∨ (a ∨ b)·c` — the full-adder carry function.
+pub fn carry(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+    let ab = mgr.and(a, b);
+    let a_or_b = mgr.or(a, b);
+    let propagate = mgr.and(a_or_b, c);
+    mgr.or(ab, propagate)
+}
+
+/// Slice-wise ripple-carry addition `A + B + carry_in` of two equally long
+/// bit-sliced vectors.  The caller is responsible for sign-extending the
+/// operands so that no overflow can occur (one extra slice suffices for a
+/// single addition).
+pub fn add_sliced(
+    mgr: &mut Manager,
+    a: &[NodeId],
+    b: &[NodeId],
+    carry_in: NodeId,
+) -> Vec<NodeId> {
+    debug_assert_eq!(a.len(), b.len(), "operands must have equal width");
+    let mut out = Vec::with_capacity(a.len());
+    let mut c = carry_in;
+    for j in 0..a.len() {
+        out.push(sum(mgr, a[j], b[j], c));
+        if j + 1 < a.len() {
+            c = carry(mgr, a[j], b[j], c);
+        }
+    }
+    out
+}
+
+/// Per-row conditional negation of a bit-sliced vector: rows where `cond`
+/// holds are replaced by their two's-complement negation, other rows are
+/// unchanged.  (Complement every slice where `cond` holds, then add `cond` as
+/// the initial carry.)
+pub fn negate_where(mgr: &mut Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId> {
+    let complemented: Vec<NodeId> = v.iter().map(|&f| mgr.xor(f, cond)).collect();
+    let zeros = vec![NodeId::FALSE; v.len()];
+    add_sliced(mgr, &complemented, &zeros, cond)
+}
+
+/// Slice-wise `if cond then x else y` (row-wise multiplexer).
+pub fn select_where(
+    mgr: &mut Manager,
+    cond: NodeId,
+    x: &[NodeId],
+    y: &[NodeId],
+) -> Vec<NodeId> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| mgr.ite(cond, xi, yi))
+        .collect()
+}
+
+/// The value at every row with qubit `t` flipped (the "swap halves along
+/// qubit `t`" permutation used by the X/Y gates): `F'(…, qₜ, …) = F(…, ¬qₜ, …)`.
+pub fn swap_along(mgr: &mut Manager, f: NodeId, t: usize) -> NodeId {
+    let f0 = mgr.cofactor(f, t, false);
+    let f1 = mgr.cofactor(f, t, true);
+    let qt = mgr.var(t);
+    mgr.ite(qt, f0, f1)
+}
+
+/// The value at every row with qubits `t1` and `t2` exchanged (the SWAP
+/// permutation used by the Fredkin gate).
+pub fn swap_pair(mgr: &mut Manager, f: NodeId, t1: usize, t2: usize) -> NodeId {
+    let f00 = mgr.cofactor_cube(f, &[(t1, false), (t2, false)]);
+    let f01 = mgr.cofactor_cube(f, &[(t1, false), (t2, true)]);
+    let f10 = mgr.cofactor_cube(f, &[(t1, true), (t2, false)]);
+    let f11 = mgr.cofactor_cube(f, &[(t1, true), (t2, true)]);
+    // New value at (t1, t2) = (x, y) is the old value at (y, x).
+    let q1 = mgr.var(t1);
+    let q2 = mgr.var(t2);
+    let when_t1_set = mgr.ite(q2, f11, f01);
+    let when_t1_clear = mgr.ite(q2, f10, f00);
+    mgr.ite(q1, when_t1_set, when_t1_clear)
+}
+
+/// The replicated cofactor `F|_{qₜ = value}` (a function that no longer
+/// depends on qubit `t`).
+pub fn cofactor_replicated(mgr: &mut Manager, f: NodeId, t: usize, value: bool) -> NodeId {
+    mgr.cofactor(f, t, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a bit-sliced vector at a basis assignment as a signed
+    /// integer (two's complement, MSB is the sign slice).
+    fn value_at(mgr: &Manager, v: &[NodeId], assignment: &[bool]) -> i64 {
+        let mut out = 0i64;
+        for (j, &f) in v.iter().enumerate() {
+            if mgr.eval(f, assignment) {
+                if j == v.len() - 1 {
+                    out -= 1 << j;
+                } else {
+                    out += 1 << j;
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a 4-bit constant vector (same value at every row).
+    fn constant_vector(mgr: &mut Manager, value: i64, width: usize) -> Vec<NodeId> {
+        (0..width)
+            .map(|j| mgr.constant((value >> j) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn adder_matches_integer_addition() {
+        let mut mgr = Manager::new(2);
+        for x in -4i64..4 {
+            for y in -4i64..4 {
+                // 5-bit two's complement holds the sum of two 4-bit values.
+                let a = constant_vector(&mut mgr, x & 0x1f, 5);
+                let b = constant_vector(&mut mgr, y & 0x1f, 5);
+                let s = add_sliced(&mut mgr, &a, &b, NodeId::FALSE);
+                assert_eq!(value_at(&mgr, &s, &[false, false]), x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_negation_only_affects_matching_rows() {
+        let mut mgr = Manager::new(1);
+        // Vector whose value is +3 at every row, width 4.
+        let v = constant_vector(&mut mgr, 3, 4);
+        let q0 = mgr.var(0);
+        let negated = negate_where(&mut mgr, &v, q0);
+        assert_eq!(value_at(&mgr, &negated, &[false]), 3);
+        assert_eq!(value_at(&mgr, &negated, &[true]), -3);
+        // Negating where `false` never changes anything.
+        let untouched = negate_where(&mut mgr, &v, NodeId::FALSE);
+        assert_eq!(value_at(&mgr, &untouched, &[true]), 3);
+        // Negating everywhere is plain negation.
+        let all = negate_where(&mut mgr, &v, NodeId::TRUE);
+        assert_eq!(value_at(&mgr, &all, &[false]), -3);
+    }
+
+    #[test]
+    fn negation_of_minimum_value_needs_the_extended_width() {
+        let mut mgr = Manager::new(1);
+        // -8 in 4 bits; its negation (+8) needs 5 bits, so extend first.
+        let mut v = constant_vector(&mut mgr, -8i64 & 0xf, 4);
+        let msb = *v.last().unwrap();
+        v.push(msb); // sign extension to 5 bits
+        let negated = negate_where(&mut mgr, &v, NodeId::TRUE);
+        assert_eq!(value_at(&mgr, &negated, &[false]), 8);
+    }
+
+    #[test]
+    fn swap_along_exchanges_the_two_halves() {
+        let mut mgr = Manager::new(2);
+        // f = q0 (value 1 exactly on rows with q0 = 1)
+        let f = mgr.var(0);
+        let swapped = swap_along(&mut mgr, f, 0);
+        assert!(mgr.eval(swapped, &[false, false]));
+        assert!(!mgr.eval(swapped, &[true, false]));
+        // Swapping along an independent qubit is a no-op.
+        let same = swap_along(&mut mgr, f, 1);
+        assert_eq!(same, f);
+    }
+
+    #[test]
+    fn swap_pair_permutes_rows() {
+        let mut mgr = Manager::new(3);
+        // f is true exactly on (q0, q1, q2) = (1, 0, *).
+        let q0 = mgr.var(0);
+        let nq1 = mgr.nvar(1);
+        let f = mgr.and(q0, nq1);
+        let g = swap_pair(&mut mgr, f, 0, 1);
+        // g must be true exactly on (0, 1, *).
+        assert!(mgr.eval(g, &[false, true, false]));
+        assert!(mgr.eval(g, &[false, true, true]));
+        assert!(!mgr.eval(g, &[true, false, false]));
+        assert!(!mgr.eval(g, &[true, true, false]));
+        // Swapping twice restores the original function.
+        let back = swap_pair(&mut mgr, g, 0, 1);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn select_where_is_a_row_multiplexer() {
+        let mut mgr = Manager::new(1);
+        let three = constant_vector(&mut mgr, 3, 4);
+        let five = constant_vector(&mut mgr, 5, 4);
+        let q0 = mgr.var(0);
+        let mixed = select_where(&mut mgr, q0, &three, &five);
+        assert_eq!(value_at(&mgr, &mixed, &[true]), 3);
+        assert_eq!(value_at(&mgr, &mixed, &[false]), 5);
+    }
+}

@@ -1,0 +1,475 @@
+//! The pre-characterised Boolean update formulas of Table II.
+//!
+//! Each supported gate updates the `4·r` slice BDDs directly — no unitary
+//! matrix is ever materialised.  Permutation-style gates (X, CNOT, Toffoli,
+//! Fredkin) only rearrange rows; diagonal and rotation gates additionally run
+//! the symbolic two's-complement adders from [`crate::arith`].
+//!
+//! The formulas were re-derived from the gate matrices (several overlines in
+//! the published table are typographically ambiguous) and are cross-checked
+//! against the dense state-vector oracle by the crate's property tests.
+
+use crate::arith;
+use crate::state::{BitSliceState, Family, FAMILIES};
+use sliq_bdd::NodeId;
+use sliq_circuit::Gate;
+
+/// Applies `gate` to the bit-sliced state.
+pub(crate) fn apply(state: &mut BitSliceState, gate: &Gate) {
+    match gate {
+        Gate::X(t) => permute_all(state, |mgr, f| arith::swap_along(mgr, f, *t)),
+        Gate::Cnot { control, target } => {
+            let (c, t) = (*control, *target);
+            permute_all(state, |mgr, f| {
+                let swapped = arith::swap_along(mgr, f, t);
+                let qc = mgr.var(c);
+                mgr.ite(qc, swapped, f)
+            });
+        }
+        Gate::Toffoli { controls, target } => {
+            let t = *target;
+            let controls = controls.clone();
+            permute_all(state, |mgr, f| {
+                let swapped = arith::swap_along(mgr, f, t);
+                let control_vars: Vec<NodeId> = controls.iter().map(|&c| mgr.var(c)).collect();
+                let qc = mgr.and_many(&control_vars);
+                mgr.ite(qc, swapped, f)
+            });
+        }
+        Gate::Fredkin {
+            controls,
+            target1,
+            target2,
+        } => {
+            let (t1, t2) = (*target1, *target2);
+            let controls = controls.clone();
+            permute_all(state, |mgr, f| {
+                let swapped = arith::swap_pair(mgr, f, t1, t2);
+                let control_vars: Vec<NodeId> = controls.iter().map(|&c| mgr.var(c)).collect();
+                let qc = mgr.and_many(&control_vars);
+                mgr.ite(qc, swapped, f)
+            });
+        }
+        Gate::Z(t) => {
+            state.extend(1);
+            let cond = state.mgr.var(*t);
+            negate_all_where(state, cond);
+            state.shrink();
+        }
+        Gate::Cz { control, target } => {
+            state.extend(1);
+            let qc = state.mgr.var(*control);
+            let qt = state.mgr.var(*target);
+            let cond = state.mgr.and(qc, qt);
+            negate_all_where(state, cond);
+            state.shrink();
+        }
+        Gate::S(t) => apply_phase_family_rotation(state, *t, PhaseRotation::I),
+        Gate::Sdg(t) => apply_phase_family_rotation(state, *t, PhaseRotation::MinusI),
+        Gate::T(t) => apply_phase_family_rotation(state, *t, PhaseRotation::Omega),
+        Gate::Tdg(t) => apply_phase_family_rotation(state, *t, PhaseRotation::OmegaInv),
+        Gate::Y(t) => apply_y(state, *t),
+        Gate::H(t) => apply_hadamard_like(state, *t, HadamardKind::H),
+        Gate::RyPi2(t) => apply_hadamard_like(state, *t, HadamardKind::RyPi2),
+        Gate::RxPi2(t) => apply_rx_pi2(state, *t),
+    }
+}
+
+/// Applies the same row permutation to every slice of every family.
+fn permute_all(
+    state: &mut BitSliceState,
+    mut permute: impl FnMut(&mut sliq_bdd::Manager, NodeId) -> NodeId,
+) {
+    for family in 0..4 {
+        for j in 0..state.r {
+            let f = state.slices[family][j];
+            state.slices[family][j] = permute(&mut state.mgr, f);
+        }
+    }
+}
+
+/// Conditionally negates every family where `cond` holds (used by Z and CZ).
+fn negate_all_where(state: &mut BitSliceState, cond: NodeId) {
+    for family in 0..4 {
+        let old = state.slices[family].clone();
+        state.slices[family] = arith::negate_where(&mut state.mgr, &old, cond);
+    }
+}
+
+/// The four phase rotations of the form `diag(1, φ)` whose φ is a power of ω:
+/// they permute the coefficient families on rows where the target is 1.
+#[derive(Debug, Clone, Copy)]
+enum PhaseRotation {
+    /// S: multiply by `i = ω²`, i.e. `(a, b, c, d) → (c, d, −a, −b)`.
+    I,
+    /// S†: multiply by `−i`, i.e. `(a, b, c, d) → (−c, −d, a, b)`.
+    MinusI,
+    /// T: multiply by `ω`, i.e. `(a, b, c, d) → (b, c, d, −a)`.
+    Omega,
+    /// T†: multiply by `ω⁻¹`, i.e. `(a, b, c, d) → (−d, a, b, c)`.
+    OmegaInv,
+}
+
+fn apply_phase_family_rotation(state: &mut BitSliceState, t: usize, rotation: PhaseRotation) {
+    state.extend(1);
+    let qt = state.mgr.var(t);
+    let a = state.slices[Family::A as usize].clone();
+    let b = state.slices[Family::B as usize].clone();
+    let c = state.slices[Family::C as usize].clone();
+    let d = state.slices[Family::D as usize].clone();
+    // For each output family: which input family feeds the rows with qₜ = 1,
+    // and whether that contribution is negated there.
+    let plan: [(&Vec<NodeId>, &Vec<NodeId>, bool); 4] = match rotation {
+        PhaseRotation::I => [(&c, &a, false), (&d, &b, false), (&a, &c, true), (&b, &d, true)],
+        PhaseRotation::MinusI => {
+            [(&c, &a, true), (&d, &b, true), (&a, &c, false), (&b, &d, false)]
+        }
+        PhaseRotation::Omega => {
+            [(&b, &a, false), (&c, &b, false), (&d, &c, false), (&a, &d, true)]
+        }
+        PhaseRotation::OmegaInv => {
+            [(&d, &a, true), (&a, &b, false), (&b, &c, false), (&c, &d, false)]
+        }
+    };
+    let mut new_slices: [Vec<NodeId>; 4] = Default::default();
+    for (family, (source_when_set, keep_otherwise, negate)) in plan.into_iter().enumerate() {
+        let mixed = arith::select_where(&mut state.mgr, qt, source_when_set, keep_otherwise);
+        new_slices[family] = if negate {
+            arith::negate_where(&mut state.mgr, &mixed, qt)
+        } else {
+            mixed
+        };
+    }
+    state.slices = new_slices;
+    state.shrink();
+}
+
+/// Applies the "swap halves along qubit `t`" permutation to every slice of
+/// every family, returning the permuted copies (originals untouched).
+fn swap_all_families(state: &mut BitSliceState, t: usize) -> [Vec<NodeId>; 4] {
+    let mut swapped: [Vec<NodeId>; 4] = Default::default();
+    for family in 0..4 {
+        let old = state.slices[family].clone();
+        swapped[family] = old
+            .iter()
+            .map(|&f| arith::swap_along(&mut state.mgr, f, t))
+            .collect();
+    }
+    swapped
+}
+
+/// Pauli-Y: swap the two halves along the target and rotate the coefficient
+/// families by `±i` depending on the row.
+fn apply_y(state: &mut BitSliceState, t: usize) {
+    state.extend(1);
+    let qt = state.mgr.var(t);
+    let not_qt = state.mgr.not(qt);
+    let swapped = swap_all_families(state, t);
+    let (sa, sb, sc, sd) = (&swapped[0], &swapped[1], &swapped[2], &swapped[3]);
+    // new a = ±swap(c): negated on rows with qₜ = 0 (−i branch), and so on.
+    state.slices[Family::A as usize] = arith::negate_where(&mut state.mgr, sc, not_qt);
+    state.slices[Family::B as usize] = arith::negate_where(&mut state.mgr, sd, not_qt);
+    state.slices[Family::C as usize] = arith::negate_where(&mut state.mgr, sa, qt);
+    state.slices[Family::D as usize] = arith::negate_where(&mut state.mgr, sb, qt);
+    state.shrink();
+}
+
+/// H and Ry(π/2) share the same structure: the new value is
+/// `F|_{qₜ=0} ± F|_{qₜ=1}` with the sign depending on the row, and `k`
+/// increases by one for the `1/√2` factor (Proposition 1 of the paper).
+#[derive(Debug, Clone, Copy)]
+enum HadamardKind {
+    H,
+    RyPi2,
+}
+
+fn apply_hadamard_like(state: &mut BitSliceState, t: usize, kind: HadamardKind) {
+    state.extend(1);
+    let qt = state.mgr.var(t);
+    let not_qt = state.mgr.not(qt);
+    // H:      new = F|₀ + F|₁ on qₜ=0 rows, F|₀ − F|₁ on qₜ=1 rows.
+    // Ry(π/2): new = F|₀ − F|₁ on qₜ=0 rows, F|₀ + F|₁ on qₜ=1 rows.
+    let negate_cond = match kind {
+        HadamardKind::H => qt,
+        HadamardKind::RyPi2 => not_qt,
+    };
+    for family in FAMILIES {
+        let old = state.slices[family as usize].clone();
+        let f0: Vec<NodeId> = old
+            .iter()
+            .map(|&f| arith::cofactor_replicated(&mut state.mgr, f, t, false))
+            .collect();
+        let f1: Vec<NodeId> = old
+            .iter()
+            .map(|&f| arith::cofactor_replicated(&mut state.mgr, f, t, true))
+            .collect();
+        let second: Vec<NodeId> = f1
+            .iter()
+            .map(|&f| state.mgr.xor(f, negate_cond))
+            .collect();
+        state.slices[family as usize] =
+            arith::add_sliced(&mut state.mgr, &f0, &second, negate_cond);
+    }
+    state.k += 1;
+    state.shrink();
+}
+
+/// `Rx(π/2)`: the new value is `old − i·old_swapped` on qₜ=0 rows and
+/// `−i·old_swapped + old` on qₜ=1 rows — uniformly `old + (−i)·swap(old)`.
+fn apply_rx_pi2(state: &mut BitSliceState, t: usize) {
+    state.extend(1);
+    let swapped = swap_all_families(state, t);
+    let (sa, sb, sc, sd) = (
+        swapped[0].clone(),
+        swapped[1].clone(),
+        swapped[2].clone(),
+        swapped[3].clone(),
+    );
+    // (−i)·(a, b, c, d) = (−c, −d, a, b): subtract swap(c)/swap(d) from a/b and
+    // add swap(a)/swap(b) to c/d.
+    let a_old = state.slices[Family::A as usize].clone();
+    let b_old = state.slices[Family::B as usize].clone();
+    let c_old = state.slices[Family::C as usize].clone();
+    let d_old = state.slices[Family::D as usize].clone();
+    let not_sc: Vec<NodeId> = sc.iter().map(|&f| state.mgr.not(f)).collect();
+    let not_sd: Vec<NodeId> = sd.iter().map(|&f| state.mgr.not(f)).collect();
+    state.slices[Family::A as usize] =
+        arith::add_sliced(&mut state.mgr, &a_old, &not_sc, NodeId::TRUE);
+    state.slices[Family::B as usize] =
+        arith::add_sliced(&mut state.mgr, &b_old, &not_sd, NodeId::TRUE);
+    state.slices[Family::C as usize] =
+        arith::add_sliced(&mut state.mgr, &c_old, &sa, NodeId::FALSE);
+    state.slices[Family::D as usize] =
+        arith::add_sliced(&mut state.mgr, &d_old, &sb, NodeId::FALSE);
+    state.k += 1;
+    state.shrink();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_math::Algebraic;
+
+    fn amp(state: &mut BitSliceState, bits: &[bool]) -> Algebraic {
+        state.amplitude(bits)
+    }
+
+    #[test]
+    fn x_flips_the_target_bit() {
+        let mut state = BitSliceState::new(2);
+        apply(&mut state, &Gate::X(1));
+        assert_eq!(amp(&mut state, &[false, true]), Algebraic::one());
+        assert_eq!(amp(&mut state, &[false, false]), Algebraic::zero());
+    }
+
+    #[test]
+    fn hadamard_creates_an_equal_superposition() {
+        let mut state = BitSliceState::new(1);
+        apply(&mut state, &Gate::H(0));
+        let expected = Algebraic::one().div_sqrt2();
+        assert!(amp(&mut state, &[false]).value_eq(&expected));
+        assert!(amp(&mut state, &[true]).value_eq(&expected));
+        assert_eq!(state.k(), 1);
+        // H·H = identity, exactly.
+        apply(&mut state, &Gate::H(0));
+        let one_scaled = Algebraic::one().with_k(state.k() as i32);
+        assert_eq!(amp(&mut state, &[false]), one_scaled);
+        assert!(amp(&mut state, &[true]).is_zero());
+    }
+
+    #[test]
+    fn hadamard_on_one_gives_a_minus_sign() {
+        let mut state = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut state, &Gate::H(0));
+        let plus = Algebraic::one().div_sqrt2();
+        assert!(amp(&mut state, &[false]).value_eq(&plus));
+        assert!(amp(&mut state, &[true]).value_eq(&(-plus)));
+    }
+
+    #[test]
+    fn z_and_s_and_t_phases() {
+        // On |1⟩: Z → −1, S → i, T → ω.
+        let mut z_state = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut z_state, &Gate::Z(0));
+        assert_eq!(amp(&mut z_state, &[true]), -Algebraic::one());
+
+        let mut s_state = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut s_state, &Gate::S(0));
+        assert_eq!(amp(&mut s_state, &[true]), Algebraic::i());
+
+        let mut t_state = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut t_state, &Gate::T(0));
+        assert_eq!(amp(&mut t_state, &[true]), Algebraic::omega());
+
+        // And on |0⟩ they all act trivially.
+        let mut id_state = BitSliceState::new(1);
+        apply(&mut id_state, &Gate::Z(0));
+        apply(&mut id_state, &Gate::S(0));
+        apply(&mut id_state, &Gate::T(0));
+        assert_eq!(amp(&mut id_state, &[false]), Algebraic::one());
+    }
+
+    #[test]
+    fn y_on_basis_states() {
+        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+        let mut state0 = BitSliceState::new(1);
+        apply(&mut state0, &Gate::Y(0));
+        assert!(amp(&mut state0, &[false]).is_zero());
+        assert_eq!(amp(&mut state0, &[true]), Algebraic::i());
+
+        let mut state1 = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut state1, &Gate::Y(0));
+        assert_eq!(amp(&mut state1, &[false]), -Algebraic::i());
+        assert!(amp(&mut state1, &[true]).is_zero());
+    }
+
+    #[test]
+    fn daggers_undo_their_gates_exactly() {
+        let mut state = BitSliceState::new(1);
+        apply(&mut state, &Gate::H(0));
+        apply(&mut state, &Gate::T(0));
+        apply(&mut state, &Gate::Tdg(0));
+        apply(&mut state, &Gate::S(0));
+        apply(&mut state, &Gate::Sdg(0));
+        apply(&mut state, &Gate::H(0));
+        // Back to |0⟩ up to the 1/√2² factor from the two Hadamards.
+        assert!(amp(&mut state, &[true]).is_zero());
+        assert!(amp(&mut state, &[false]).value_eq(&Algebraic::one()));
+    }
+
+    #[test]
+    fn t_to_the_eighth_is_identity() {
+        let mut state = BitSliceState::with_initial_bits(&[true]);
+        for _ in 0..8 {
+            apply(&mut state, &Gate::T(0));
+        }
+        assert_eq!(amp(&mut state, &[true]), Algebraic::one());
+    }
+
+    #[test]
+    fn cnot_and_toffoli_permute_basis_states() {
+        let mut state = BitSliceState::with_initial_bits(&[true, false, false]);
+        apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        assert_eq!(amp(&mut state, &[true, true, false]), Algebraic::one());
+        apply(
+            &mut state,
+            &Gate::Toffoli {
+                controls: vec![0, 1],
+                target: 2,
+            },
+        );
+        assert_eq!(amp(&mut state, &[true, true, true]), Algebraic::one());
+        // Control below target.
+        apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 2,
+                target: 0,
+            },
+        );
+        assert_eq!(amp(&mut state, &[false, true, true]), Algebraic::one());
+    }
+
+    #[test]
+    fn fredkin_swaps_under_control() {
+        let mut state = BitSliceState::with_initial_bits(&[true, true, false]);
+        apply(
+            &mut state,
+            &Gate::Fredkin {
+                controls: vec![0],
+                target1: 1,
+                target2: 2,
+            },
+        );
+        assert_eq!(amp(&mut state, &[true, false, true]), Algebraic::one());
+        // Without its control satisfied nothing moves.
+        let mut idle = BitSliceState::with_initial_bits(&[false, true, false]);
+        apply(
+            &mut idle,
+            &Gate::Fredkin {
+                controls: vec![0],
+                target1: 1,
+                target2: 2,
+            },
+        );
+        assert_eq!(amp(&mut idle, &[false, true, false]), Algebraic::one());
+    }
+
+    #[test]
+    fn bell_state_amplitudes_are_exact() {
+        let mut state = BitSliceState::new(2);
+        apply(&mut state, &Gate::H(0));
+        apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        let h = Algebraic::one().div_sqrt2();
+        assert!(amp(&mut state, &[false, false]).value_eq(&h));
+        assert!(amp(&mut state, &[true, true]).value_eq(&h));
+        assert!(amp(&mut state, &[true, false]).is_zero());
+        assert!(amp(&mut state, &[false, true]).is_zero());
+    }
+
+    #[test]
+    fn width_grows_and_shrinks_with_hadamard_ladders() {
+        let mut state = BitSliceState::new(1);
+        let start = state.width();
+        // H then X then H then X … amplitudes stay within ±2, so the width
+        // must stay small thanks to shrink().
+        for _ in 0..20 {
+            apply(&mut state, &Gate::H(0));
+            apply(&mut state, &Gate::X(0));
+        }
+        assert!(state.width() <= start + 21);
+        assert!(state.width() >= start);
+    }
+
+    #[test]
+    fn rx_and_ry_match_their_matrices_on_basis_states() {
+        // Rx(π/2)|0⟩ = (|0⟩ − i|1⟩)/√2.
+        let mut state = BitSliceState::new(1);
+        apply(&mut state, &Gate::RxPi2(0));
+        let inv_sqrt2 = Algebraic::one().div_sqrt2();
+        assert!(amp(&mut state, &[false]).value_eq(&inv_sqrt2));
+        assert!(amp(&mut state, &[true]).value_eq(&(-Algebraic::i()).div_sqrt2()));
+        assert_eq!(state.k(), 1);
+
+        // Ry(π/2)|0⟩ = (|0⟩ + |1⟩)/√2, Ry(π/2)|1⟩ = (−|0⟩ + |1⟩)/√2.
+        let mut state0 = BitSliceState::new(1);
+        apply(&mut state0, &Gate::RyPi2(0));
+        assert!(amp(&mut state0, &[false]).value_eq(&inv_sqrt2));
+        assert!(amp(&mut state0, &[true]).value_eq(&inv_sqrt2));
+        let mut state1 = BitSliceState::with_initial_bits(&[true]);
+        apply(&mut state1, &Gate::RyPi2(0));
+        assert!(amp(&mut state1, &[false]).value_eq(&(-inv_sqrt2)));
+        assert!(amp(&mut state1, &[true]).value_eq(&inv_sqrt2));
+    }
+
+    #[test]
+    fn cz_adds_a_phase_only_on_the_11_row() {
+        let mut state = BitSliceState::new(2);
+        apply(&mut state, &Gate::H(0));
+        apply(&mut state, &Gate::H(1));
+        apply(
+            &mut state,
+            &Gate::Cz {
+                control: 0,
+                target: 1,
+            },
+        );
+        let quarter = Algebraic::one().div_sqrt2().div_sqrt2();
+        assert!(amp(&mut state, &[false, false]).value_eq(&quarter));
+        assert!(amp(&mut state, &[true, false]).value_eq(&quarter));
+        assert!(amp(&mut state, &[false, true]).value_eq(&quarter));
+        assert!(amp(&mut state, &[true, true]).value_eq(&(-quarter)));
+    }
+}

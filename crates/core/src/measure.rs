@@ -1,0 +1,271 @@
+//! Measurement and probability calculation (Section III-E of the paper).
+//!
+//! The probability of a measurement outcome is
+//!
+//! ```text
+//! Pr = s² · (1/2ᵏ) · Σᵢ |aᵢω³ + bᵢω² + cᵢω + dᵢ|²
+//!    = s² · (1/2ᵏ) · Σᵢ [(aᵢ²+bᵢ²+cᵢ²+dᵢ²) + √2·(aᵢbᵢ + bᵢcᵢ + cᵢdᵢ − aᵢdᵢ)]
+//! ```
+//!
+//! restricted to the basis states compatible with the outcome.  Every sum of
+//! products `Σᵢ uᵢ·vᵢ` expands over the bit slices into weighted *SAT counts*
+//! of slice conjunctions, which the BDD package counts exactly; the whole
+//! quantity is accumulated as an exact `x + y·√2` with big-integer
+//! coefficients and only the final division by `2ᵏ` is performed in floating
+//! point.  This computes the same value as the paper's monolithic-BDD
+//! traversal, with the same "only the last step rounds" property.
+
+use crate::state::{BitSliceState, FAMILIES};
+use sliq_bdd::NodeId;
+use sliq_bignum::{IBig, Sqrt2Big};
+
+impl BitSliceState {
+    /// `Σᵢ uᵢ·vᵢ` over the basis states selected by `restriction` (all states
+    /// when `None`), where `u`/`v` are two of the coefficient vectors.
+    fn weighted_inner_product(
+        &mut self,
+        u: usize,
+        v: usize,
+        restriction: Option<NodeId>,
+    ) -> IBig {
+        let r = self.r;
+        let n = self.num_qubits;
+        let mut total = IBig::zero();
+        for j in 0..r {
+            let fu = self.slices[u][j];
+            if fu.is_false() {
+                continue;
+            }
+            for l in 0..r {
+                let fv = self.slices[v][l];
+                if fv.is_false() {
+                    continue;
+                }
+                let mut conj = self.mgr.and(fu, fv);
+                if let Some(lit) = restriction {
+                    conj = self.mgr.and(conj, lit);
+                }
+                if conj.is_false() {
+                    continue;
+                }
+                let count = self.mgr.sat_count(conj, n);
+                // Two's-complement weights: the top slice weighs −2^{r−1}.
+                let negative = (j == r - 1) != (l == r - 1);
+                let term = IBig::from_sign_magnitude(negative, count).shl(j + l);
+                total += term;
+            }
+        }
+        total
+    }
+
+    /// The exact value of `2ᵏ · Σ |αᵢ|²` over the selected basis states as an
+    /// `x + y·√2` pair (before the `1/2ᵏ` scaling and the `s²` factor).
+    fn unscaled_probability(&mut self, restriction: Option<NodeId>) -> Sqrt2Big {
+        let [a, b, c, d] = [0usize, 1, 2, 3];
+        let mut square_sum = IBig::zero();
+        for family in FAMILIES {
+            square_sum += self.weighted_inner_product(family as usize, family as usize, restriction);
+        }
+        let mut cross = self.weighted_inner_product(a, b, restriction);
+        cross += self.weighted_inner_product(b, c, restriction);
+        cross += self.weighted_inner_product(c, d, restriction);
+        cross += -self.weighted_inner_product(a, d, restriction);
+        Sqrt2Big::new(square_sum, cross)
+    }
+
+    /// The probability that measuring `qubit` yields `value`.
+    pub fn probability_of(&mut self, qubit: usize, value: bool) -> f64 {
+        let literal = if value {
+            self.mgr.var(qubit)
+        } else {
+            self.mgr.nvar(qubit)
+        };
+        let unscaled = self.unscaled_probability(Some(literal));
+        unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
+    }
+
+    /// The probability of observing the complete basis state `bits`,
+    /// computed from the exact weighted SAT count restricted to the minterm
+    /// of `bits` (valid for any coefficient width).
+    pub fn probability_of_basis(&mut self, bits: &[bool]) -> f64 {
+        let literals: Vec<(usize, bool)> =
+            bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
+        let minterm = self.mgr.cube(&literals);
+        let unscaled = self.unscaled_probability(Some(minterm));
+        unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
+    }
+
+    /// The total probability `Σᵢ Pr[i]`, computed exactly and converted to
+    /// `f64` at the very end.  Equal to 1 up to the float conversion for any
+    /// state produced by unitary evolution.
+    pub fn total_probability(&mut self) -> f64 {
+        let unscaled = self.unscaled_probability(None);
+        unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
+    }
+
+    /// Exactness check: returns `true` iff the sum of all squared amplitude
+    /// magnitudes is *exactly* `2ᵏ` (i.e. the state is exactly normalised as
+    /// an algebraic identity — no tolerance involved).  Only meaningful while
+    /// no measurement has been performed (`normalization_factor() == 1`).
+    pub fn is_exactly_normalized(&mut self) -> bool {
+        let unscaled = self.unscaled_probability(None);
+        self.k >= 0 && unscaled.eq_pow2(self.k as usize)
+    }
+
+    /// Measures `qubit`, using `u ∈ [0, 1)` to pick the outcome, collapses
+    /// the state (Eq. 13: the surviving amplitudes keep their algebraic form,
+    /// the `1/√p` renormalisation goes into the floating point factor `s`)
+    /// and returns the outcome.
+    pub fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        let p_one = self.probability_of(qubit, true);
+        let outcome = u < p_one;
+        let p_outcome = if outcome { p_one } else { 1.0 - p_one };
+        let literal = if outcome {
+            self.mgr.var(qubit)
+        } else {
+            self.mgr.nvar(qubit)
+        };
+        for family in 0..4 {
+            for j in 0..self.r {
+                let old = self.slices[family][j];
+                self.slices[family][j] = self.mgr.and(old, literal);
+            }
+        }
+        self.norm_factor /= p_outcome.sqrt();
+        self.shrink();
+        self.maybe_collect_garbage();
+        outcome
+    }
+
+    /// Samples a complete measurement of all qubits (in index order) using
+    /// the supplied uniform random values, one per qubit.  The state collapses
+    /// to the sampled basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us.len() != num_qubits()`.
+    pub fn sample_all(&mut self, us: &[f64]) -> Vec<bool> {
+        assert_eq!(us.len(), self.num_qubits, "one random value per qubit");
+        us.iter()
+            .enumerate()
+            .map(|(q, &u)| self.measure_with(q, u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use sliq_circuit::Gate;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basis_state_probabilities() {
+        let mut state = BitSliceState::with_initial_bits(&[true, false]);
+        assert!(close(state.probability_of(0, true), 1.0));
+        assert!(close(state.probability_of(1, true), 0.0));
+        assert!(close(state.probability_of_basis(&[true, false]), 1.0));
+        assert!(close(state.total_probability(), 1.0));
+        assert!(state.is_exactly_normalized());
+    }
+
+    #[test]
+    fn bell_state_probabilities_and_exactness() {
+        let mut state = BitSliceState::new(2);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        assert!(close(state.probability_of(0, true), 0.5));
+        assert!(close(state.probability_of(1, false), 0.5));
+        assert!(close(state.probability_of_basis(&[true, true]), 0.5));
+        assert!(close(state.probability_of_basis(&[true, false]), 0.0));
+        assert!(state.is_exactly_normalized());
+        assert!(close(state.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn t_rich_circuit_stays_exactly_normalized() {
+        // A circuit whose floating-point simulation accumulates rounding
+        // error; the algebraic state must remain *exactly* normalised.
+        let mut state = BitSliceState::new(3);
+        for layer in 0..10 {
+            for q in 0..3 {
+                gates::apply(&mut state, &Gate::H(q));
+                gates::apply(&mut state, &Gate::T(q));
+            }
+            gates::apply(
+                &mut state,
+                &Gate::Cnot {
+                    control: layer % 3,
+                    target: (layer + 1) % 3,
+                },
+            );
+        }
+        assert!(state.is_exactly_normalized());
+        assert!(close(state.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn measurement_collapses_ghz_state() {
+        let mut state = BitSliceState::new(3);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 1,
+                target: 2,
+            },
+        );
+        let outcome = state.measure_with(0, 0.25); // u < 0.5 ⇒ outcome 1
+        assert!(outcome);
+        for q in 1..3 {
+            assert!(close(state.probability_of(q, true), 1.0));
+        }
+        assert!(close(state.total_probability(), 1.0));
+        assert!((state.normalization_factor() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_all_follows_forced_random_values() {
+        let mut state = BitSliceState::new(2);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        // Force qubit 0 to outcome 1; qubit 1 must follow deterministically.
+        let sample = state.sample_all(&[0.0, 0.99]);
+        assert_eq!(sample, vec![true, true]);
+    }
+
+    #[test]
+    fn probabilities_respect_the_normalization_factor() {
+        let mut state = BitSliceState::new(2);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(&mut state, &Gate::H(1));
+        state.measure_with(0, 0.9); // outcome 0 with probability 1/2
+        // After collapsing qubit 0, qubit 1 is still uniform and the total
+        // probability is 1 again thanks to the factor s.
+        assert!(close(state.probability_of(1, true), 0.5));
+        assert!(close(state.total_probability(), 1.0));
+    }
+}

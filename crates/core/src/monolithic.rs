@@ -1,0 +1,311 @@
+//! The monolithic "hyper-function" BDD of Eq. (12) / Fig. 2 of the paper.
+//!
+//! The `4·r` slice BDDs can be combined into a single BDD by introducing
+//! auxiliary encoding variables below the qubit variables: two variables
+//! select the coefficient family (a/b/c/d) and `⌈log₂ r⌉` variables select the
+//! bit position.  The paper performs measurement by traversing this combined
+//! BDD; in this implementation measurement is computed directly from the
+//! slices (see [`crate::measure`]), and the monolithic form is exposed for
+//! structural statistics (shared-node counts, Fig. 2-style inspection) and
+//! for cross-checking.
+
+use crate::state::BitSliceState;
+use sliq_bdd::{FxHashMap, NodeId};
+
+/// Structural information about the monolithic BDD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonolithicInfo {
+    /// Root of the combined BDD.
+    pub root: NodeId,
+    /// Number of BDD nodes reachable from the root.
+    pub node_count: usize,
+    /// Number of encoding variables appended below the qubit variables.
+    pub encoding_vars: usize,
+}
+
+impl BitSliceState {
+    /// Builds the monolithic hyper-function BDD combining all `4·r` slices.
+    ///
+    /// Encoding variables are appended below the qubit variables on first
+    /// use, matching the variable-order requirement of the paper's
+    /// measurement procedure (qubits above encoding variables).
+    pub fn monolithic(&mut self) -> MonolithicInfo {
+        let r = self.r;
+        let index_bits = usize::BITS as usize - (r - 1).leading_zeros() as usize;
+        let index_bits = index_bits.max(1);
+        let encoding_vars = 2 + index_bits;
+        let first = self.mgr.add_vars(encoding_vars);
+        let family_var0 = first;
+        let family_var1 = first + 1;
+        let index_vars: Vec<usize> = (0..index_bits).map(|b| first + 2 + b).collect();
+
+        let mut root = NodeId::FALSE;
+        for family in 0..4 {
+            for (i, &slice) in self.slices[family].iter().enumerate() {
+                if slice.is_false() {
+                    continue;
+                }
+                // Family selector: x0 encodes the high bit, x1 the low bit.
+                let mut literals = vec![
+                    (family_var0, family & 0b10 != 0),
+                    (family_var1, family & 0b01 != 0),
+                ];
+                for (b, &v) in index_vars.iter().enumerate() {
+                    literals.push((v, (i >> b) & 1 == 1));
+                }
+                let cube = self.mgr.cube(&literals);
+                let labelled = self.mgr.and(cube, slice);
+                root = self.mgr.or(root, labelled);
+            }
+        }
+        MonolithicInfo {
+            root,
+            node_count: self.mgr.node_count(root),
+            encoding_vars,
+        }
+    }
+
+    /// The paper's measurement procedure (Fig. 2): computes
+    /// `Pr[qubit = 1]` by a recursive traversal of the monolithic BDD,
+    /// accumulating node probabilities with a per-node memo table instead of
+    /// the weighted-SAT-count formulation used by
+    /// [`BitSliceState::probability_of`].  Provided both as a faithful
+    /// re-implementation of §III-E and as an independent cross-check of the
+    /// primary path (the two must agree to floating point accuracy).
+    ///
+    /// The implementation enumerates, for every reachable sub-BDD rooted at
+    /// or below the qubit levels, the amplitude it encodes (by decoding the
+    /// family/bit encoding variables) and sums `|α|²` weighted by how many
+    /// qubit assignments reach it — which is exactly the accumulated
+    /// probability of Fig. 2, evaluated bottom-up.
+    pub fn probability_of_one_via_monolithic(&mut self, qubit: usize) -> f64 {
+        let n = self.num_qubits;
+        let r = self.r;
+        let k = self.k;
+        let norm = self.norm_factor;
+        let info = self.monolithic();
+        let first_encoding_var = self.mgr.num_vars() - info.encoding_vars;
+        let index_bits = info.encoding_vars - 2;
+
+        // Decode the amplitude encoded by the sub-BDD `node`, which only
+        // depends on the encoding variables.
+        let mut amplitude_memo: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let mut decode_norm_sqr = |state: &mut BitSliceState, node: NodeId| -> f64 {
+            if let Some(&p) = amplitude_memo.get(&node) {
+                return p;
+            }
+            let mut coeffs = [0.0f64; 4];
+            for (family, coeff) in coeffs.iter_mut().enumerate() {
+                let mut value = 0.0f64;
+                for bit in 0..r {
+                    let mut literals = vec![
+                        (first_encoding_var, family & 0b10 != 0),
+                        (first_encoding_var + 1, family & 0b01 != 0),
+                    ];
+                    for b in 0..index_bits {
+                        literals.push((first_encoding_var + 2 + b, (bit >> b) & 1 == 1));
+                    }
+                    let restricted = state.mgr.cofactor_cube(node, &literals);
+                    debug_assert!(restricted.is_terminal());
+                    if restricted.is_true() {
+                        let weight = 2f64.powi(bit as i32);
+                        if bit == r - 1 {
+                            value -= weight;
+                        } else {
+                            value += weight;
+                        }
+                    }
+                }
+                *coeff = value;
+            }
+            let (a, b, c, d) = (coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+            let s = std::f64::consts::FRAC_1_SQRT_2;
+            let re = (c - a) * s + d;
+            let im = (a + c) * s + b;
+            let p = (re * re + im * im) * 2f64.powi(-(k as i32));
+            amplitude_memo.insert(node, p);
+            p
+        };
+
+        // Accumulated probability of a sub-BDD over the remaining qubit
+        // variables `level..n`, restricted to assignments with `qubit = 1`.
+        // Memoised per (node, level) — the hash map plays the role of the
+        // per-node accumulated probabilities of Fig. 2.
+        #[allow(clippy::too_many_arguments)]
+        fn accumulate(
+            state: &mut BitSliceState,
+            node: NodeId,
+            level: usize,
+            n: usize,
+            qubit: usize,
+            memo: &mut FxHashMap<(NodeId, usize), f64>,
+            decode: &mut dyn FnMut(&mut BitSliceState, NodeId) -> f64,
+        ) -> f64 {
+            if level == n {
+                return decode(state, node);
+            }
+            if let Some(&p) = memo.get(&(node, level)) {
+                return p;
+            }
+            let (node_level, low, high) = match state.mgr.node(node) {
+                Some((l, low, high)) if l < n => (l, low, high),
+                // The node lives below the qubit levels (or is a terminal):
+                // the function does not depend on the remaining qubits.
+                _ => (n, node, node),
+            };
+            let result = if node_level > level {
+                // Qubit `level` is skipped: both branches are identical.
+                let below = accumulate(state, node, level + 1, n, qubit, memo, decode);
+                if level == qubit {
+                    below
+                } else {
+                    2.0 * below
+                }
+            } else {
+                let p0 = accumulate(state, low, level + 1, n, qubit, memo, decode);
+                let p1 = accumulate(state, high, level + 1, n, qubit, memo, decode);
+                if level == qubit {
+                    p1
+                } else {
+                    p0 + p1
+                }
+            };
+            memo.insert((node, level), result);
+            result
+        }
+
+        let mut memo: FxHashMap<(NodeId, usize), f64> = FxHashMap::default();
+        let p = accumulate(self, info.root, 0, n, qubit, &mut memo, &mut decode_norm_sqr);
+        p * norm * norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use sliq_circuit::Gate;
+
+    #[test]
+    fn monolithic_of_a_basis_state_is_one_cube() {
+        let mut state = BitSliceState::with_initial_bits(&[true, false, true]);
+        let info = state.monolithic();
+        // A single minterm over 3 qubit variables plus the encoding cube.
+        assert!(info.node_count >= 3);
+        assert!(!info.root.is_false());
+        assert!(info.encoding_vars >= 3);
+    }
+
+    #[test]
+    fn monolithic_grows_with_superposition_but_stays_polynomial_for_ghz() {
+        let n = 10;
+        let mut state = BitSliceState::new(n);
+        gates::apply(&mut state, &Gate::H(0));
+        for q in 1..n {
+            gates::apply(
+                &mut state,
+                &Gate::Cnot {
+                    control: q - 1,
+                    target: q,
+                },
+            );
+        }
+        let info = state.monolithic();
+        assert!(info.node_count > 0);
+        assert!(
+            info.node_count < 200,
+            "GHZ hyper-function must stay small, got {}",
+            info.node_count
+        );
+    }
+
+    #[test]
+    fn monolithic_measurement_matches_the_satcount_path() {
+        // Fig. 2 traversal vs the weighted-SAT-count probability on a
+        // non-trivial state with phases and entanglement.
+        let mut state = BitSliceState::new(4);
+        let gates: Vec<Gate> = vec![
+            Gate::H(0),
+            Gate::T(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::H(2),
+            Gate::S(2),
+            Gate::Cz {
+                control: 2,
+                target: 3,
+            },
+            Gate::RyPi2(3),
+            Gate::Toffoli {
+                controls: vec![0, 2],
+                target: 3,
+            },
+        ];
+        for g in &gates {
+            gates::apply(&mut state, g);
+        }
+        for q in 0..4 {
+            let via_satcount = state.probability_of(q, true);
+            let via_monolithic = state.probability_of_one_via_monolithic(q);
+            assert!(
+                (via_satcount - via_monolithic).abs() < 1e-9,
+                "qubit {q}: {via_satcount} vs {via_monolithic}"
+            );
+        }
+    }
+
+    #[test]
+    fn monolithic_measurement_handles_collapsed_states() {
+        let mut state = BitSliceState::new(3);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
+        );
+        state.measure_with(0, 0.2); // outcome 1, collapses qubit 2 too
+        let p = state.probability_of_one_via_monolithic(2);
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monolithic_agrees_with_slices_on_evaluation() {
+        let mut state = BitSliceState::new(2);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        let r = state.width();
+        let info = state.monolithic();
+        let total_vars = state.manager().num_vars();
+        // Check a few (qubit assignment, family, bit) points against the raw
+        // slices: d-family bit 0 of |11⟩ must be 1 for the Bell state.
+        let family = 3usize; // d
+        let bit = 0usize;
+        let mut assignment = vec![false; total_vars];
+        assignment[0] = true;
+        assignment[1] = true;
+        // Encoding variables start right after the qubit variables.
+        let first = total_vars - info.encoding_vars;
+        assignment[first] = family & 0b10 != 0;
+        assignment[first + 1] = family & 0b01 != 0;
+        for b in 0..(info.encoding_vars - 2) {
+            assignment[first + 2 + b] = (bit >> b) & 1 == 1;
+        }
+        let from_monolithic = state.manager().eval(info.root, &assignment);
+        let from_slice = state
+            .manager()
+            .eval(state.family_slices(crate::Family::D)[0], &assignment[..2].to_vec());
+        assert_eq!(from_monolithic, from_slice);
+        assert!(from_slice, "Bell state has d₀ = 1 on |11⟩");
+        let _ = r;
+    }
+}

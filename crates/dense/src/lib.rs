@@ -1,0 +1,28 @@
+//! # sliq-dense
+//!
+//! An array-based state-vector simulator — the "array-based" baseline family
+//! from the paper's related-work discussion and the ground-truth oracle used
+//! by the test suites of the symbolic backends.
+//!
+//! The state vector is stored explicitly (`2ⁿ` complex amplitudes), so the
+//! backend is capped at [`MAX_DENSE_QUBITS`] qubits; within that range it
+//! supports the full gate set of Table I plus the S†/T† extensions.
+//!
+//! ```
+//! use sliq_circuit::{Circuit, Simulator};
+//! use sliq_dense::DenseSimulator;
+//! let mut c = Circuit::new(1);
+//! c.h(0).t(0).h(0);
+//! let mut sim = DenseSimulator::new(1);
+//! sim.run(&c)?;
+//! assert!((sim.total_probability() - 1.0).abs() < 1e-12);
+//! # Ok::<(), sliq_circuit::SimulationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrices;
+mod simulator;
+
+pub use simulator::{DenseSimulator, MAX_DENSE_QUBITS};

@@ -1,0 +1,165 @@
+//! Floating-point matrices of the supported single-qubit gates.
+
+use sliq_math::Complex;
+
+/// A 2×2 complex matrix in row-major order: `[[m00, m01], [m10, m11]]`.
+pub type Matrix2 = [[Complex; 2]; 2];
+
+const S2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Pauli-X.
+pub fn x() -> Matrix2 {
+    [
+        [Complex::zero(), Complex::one()],
+        [Complex::one(), Complex::zero()],
+    ]
+}
+
+/// Pauli-Y.
+pub fn y() -> Matrix2 {
+    [
+        [Complex::zero(), Complex::new(0.0, -1.0)],
+        [Complex::i(), Complex::zero()],
+    ]
+}
+
+/// Pauli-Z.
+pub fn z() -> Matrix2 {
+    [
+        [Complex::one(), Complex::zero()],
+        [Complex::zero(), Complex::new(-1.0, 0.0)],
+    ]
+}
+
+/// Hadamard.
+pub fn h() -> Matrix2 {
+    [
+        [Complex::new(S2, 0.0), Complex::new(S2, 0.0)],
+        [Complex::new(S2, 0.0), Complex::new(-S2, 0.0)],
+    ]
+}
+
+/// Phase gate S.
+pub fn s() -> Matrix2 {
+    [
+        [Complex::one(), Complex::zero()],
+        [Complex::zero(), Complex::i()],
+    ]
+}
+
+/// Inverse phase gate S†.
+pub fn sdg() -> Matrix2 {
+    [
+        [Complex::one(), Complex::zero()],
+        [Complex::zero(), Complex::new(0.0, -1.0)],
+    ]
+}
+
+/// T gate.
+pub fn t() -> Matrix2 {
+    [
+        [Complex::one(), Complex::zero()],
+        [Complex::zero(), Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// Inverse T gate T†.
+pub fn tdg() -> Matrix2 {
+    [
+        [Complex::one(), Complex::zero()],
+        [Complex::zero(), Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// `Rx(π/2)`.
+pub fn rx_pi2() -> Matrix2 {
+    [
+        [Complex::new(S2, 0.0), Complex::new(0.0, -S2)],
+        [Complex::new(0.0, -S2), Complex::new(S2, 0.0)],
+    ]
+}
+
+/// `Ry(π/2)`.
+pub fn ry_pi2() -> Matrix2 {
+    [
+        [Complex::new(S2, 0.0), Complex::new(-S2, 0.0)],
+        [Complex::new(S2, 0.0), Complex::new(S2, 0.0)],
+    ]
+}
+
+/// Returns `true` if `m` is unitary to within `eps`.
+pub fn is_unitary(m: &Matrix2, eps: f64) -> bool {
+    // Rows of a unitary matrix are orthonormal.
+    let dot = |a: &[Complex; 2], b: &[Complex; 2]| a[0] * b[0].conj() + a[1] * b[1].conj();
+    dot(&m[0], &m[0]).approx_eq(&Complex::one(), eps)
+        && dot(&m[1], &m[1]).approx_eq(&Complex::one(), eps)
+        && dot(&m[0], &m[1]).approx_eq(&Complex::zero(), eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for (name, m) in [
+            ("x", x()),
+            ("y", y()),
+            ("z", z()),
+            ("h", h()),
+            ("s", s()),
+            ("sdg", sdg()),
+            ("t", t()),
+            ("tdg", tdg()),
+            ("rx_pi2", rx_pi2()),
+            ("ry_pi2", ry_pi2()),
+        ] {
+            assert!(is_unitary(&m, 1e-12), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn t_squared_is_s_and_s_squared_is_z() {
+        let mul = |a: Matrix2, b: Matrix2| {
+            let mut out = [[Complex::zero(); 2]; 2];
+            for i in 0..2 {
+                for j in 0..2 {
+                    out[i][j] = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+                }
+            }
+            out
+        };
+        let tt = mul(t(), t());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(tt[i][j].approx_eq(&s()[i][j], 1e-12));
+            }
+        }
+        let ss = mul(s(), s());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(ss[i][j].approx_eq(&z()[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn daggers_invert() {
+        let mul = |a: Matrix2, b: Matrix2| {
+            let mut out = [[Complex::zero(); 2]; 2];
+            for i in 0..2 {
+                for j in 0..2 {
+                    out[i][j] = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+                }
+            }
+            out
+        };
+        for (a, b) in [(s(), sdg()), (t(), tdg())] {
+            let p = mul(a, b);
+            assert!(p[0][0].approx_eq(&Complex::one(), 1e-12));
+            assert!(p[1][1].approx_eq(&Complex::one(), 1e-12));
+            assert!(p[0][1].approx_eq(&Complex::zero(), 1e-12));
+            assert!(p[1][0].approx_eq(&Complex::zero(), 1e-12));
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The array-based state-vector simulator.
+
+use crate::matrices::{self, Matrix2};
+use sliq_circuit::{Gate, SimulationError, Simulator};
+use sliq_math::Complex;
+
+/// Maximum number of qubits accepted by the dense backend (the state vector
+/// takes `16 · 2ⁿ` bytes).
+pub const MAX_DENSE_QUBITS: usize = 30;
+
+/// An array-based ("Schrödinger-style") state-vector simulator.
+///
+/// This is the classical baseline family the paper refers to as
+/// *array-based* simulators; it is exponential in memory and therefore capped
+/// at [`MAX_DENSE_QUBITS`] qubits, but within that range it is simple, fast
+/// and serves as the ground-truth oracle for the symbolic backends.
+///
+/// Basis-state indexing: qubit `q` corresponds to bit `q` of the amplitude
+/// index (qubit 0 is the least significant bit).
+///
+/// ```
+/// use sliq_circuit::{Circuit, Simulator};
+/// use sliq_dense::DenseSimulator;
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut sim = DenseSimulator::new(2);
+/// sim.run(&bell)?;
+/// assert!((sim.probability_of_basis_state(&[true, true]) - 0.5).abs() < 1e-12);
+/// # Ok::<(), sliq_circuit::SimulationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseSimulator {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl DenseSimulator {
+    /// Creates the simulator in the all-zeros basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_DENSE_QUBITS`.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::with_initial_basis_state(num_qubits, 0)
+    }
+
+    /// Creates the simulator in the basis state whose index is `basis`
+    /// (bit `q` of `basis` is the initial value of qubit `q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_DENSE_QUBITS` or `basis >= 2^num_qubits`.
+    pub fn with_initial_basis_state(num_qubits: usize, basis: usize) -> Self {
+        assert!(
+            num_qubits <= MAX_DENSE_QUBITS,
+            "dense simulation limited to {MAX_DENSE_QUBITS} qubits"
+        );
+        let dim = 1usize << num_qubits;
+        assert!(basis < dim, "initial basis state out of range");
+        let mut amplitudes = vec![Complex::zero(); dim];
+        amplitudes[basis] = Complex::one();
+        Self {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Creates the simulator from the bit values of each qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() > MAX_DENSE_QUBITS`.
+    pub fn with_initial_bits(bits: &[bool]) -> Self {
+        let basis = bits
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &b)| acc | ((b as usize) << q));
+        Self::with_initial_basis_state(bits.len(), basis)
+    }
+
+    /// The raw state vector (length `2^num_qubits`).
+    pub fn state(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// The amplitude of a basis state given per-qubit bit values.
+    pub fn amplitude(&self, bits: &[bool]) -> Complex {
+        self.amplitudes[Self::index_of(bits)]
+    }
+
+    fn index_of(bits: &[bool]) -> usize {
+        bits.iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &b)| acc | ((b as usize) << q))
+    }
+
+    fn apply_single(&mut self, m: &Matrix2, target: usize) {
+        let mask = 1usize << target;
+        for i in 0..self.amplitudes.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amplitudes[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn controls_satisfied(index: usize, controls: &[usize]) -> bool {
+        controls.iter().all(|&c| index & (1 << c) != 0)
+    }
+}
+
+impl Simulator for DenseSimulator {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
+        match gate {
+            Gate::X(q) => self.apply_single(&matrices::x(), *q),
+            Gate::Y(q) => self.apply_single(&matrices::y(), *q),
+            Gate::Z(q) => self.apply_single(&matrices::z(), *q),
+            Gate::H(q) => self.apply_single(&matrices::h(), *q),
+            Gate::S(q) => self.apply_single(&matrices::s(), *q),
+            Gate::Sdg(q) => self.apply_single(&matrices::sdg(), *q),
+            Gate::T(q) => self.apply_single(&matrices::t(), *q),
+            Gate::Tdg(q) => self.apply_single(&matrices::tdg(), *q),
+            Gate::RxPi2(q) => self.apply_single(&matrices::rx_pi2(), *q),
+            Gate::RyPi2(q) => self.apply_single(&matrices::ry_pi2(), *q),
+            Gate::Cnot { control, target } => {
+                let (c, t) = (1usize << control, 1usize << target);
+                for i in 0..self.amplitudes.len() {
+                    if i & c != 0 && i & t == 0 {
+                        self.amplitudes.swap(i, i | t);
+                    }
+                }
+            }
+            Gate::Cz { control, target } => {
+                let (c, t) = (1usize << control, 1usize << target);
+                for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+                    if i & c != 0 && i & t != 0 {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Toffoli { controls, target } => {
+                let t = 1usize << target;
+                for i in 0..self.amplitudes.len() {
+                    if i & t == 0 && Self::controls_satisfied(i, controls) {
+                        self.amplitudes.swap(i, i | t);
+                    }
+                }
+            }
+            Gate::Fredkin {
+                controls,
+                target1,
+                target2,
+            } => {
+                let (t1, t2) = (1usize << target1, 1usize << target2);
+                for i in 0..self.amplitudes.len() {
+                    if i & t1 != 0 && i & t2 == 0 && Self::controls_satisfied(i, controls) {
+                        self.amplitudes.swap(i, i ^ t1 ^ t2);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn probability_of_one(&mut self, qubit: usize) -> f64 {
+        let mask = 1usize << qubit;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+        self.amplitudes[Self::index_of(bits)].norm_sqr()
+    }
+
+    fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        let p1 = self.probability_of_one(qubit);
+        let outcome = u < p1;
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        let scale = 1.0 / p.sqrt();
+        let mask = 1usize << qubit;
+        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+            if (i & mask != 0) == outcome {
+                *amp = amp.scale(scale);
+            } else {
+                *amp = Complex::zero();
+            }
+        }
+        outcome
+    }
+
+    fn total_probability(&mut self) -> f64 {
+        self.amplitudes.iter().map(Complex::norm_sqr).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Circuit;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn initial_state_is_all_zeros() {
+        let mut sim = DenseSimulator::new(3);
+        assert!(close(sim.probability_of_basis_state(&[false, false, false]), 1.0));
+        assert!(close(sim.total_probability(), 1.0));
+        assert_eq!(sim.name(), "dense");
+        assert_eq!(sim.num_qubits(), 3);
+    }
+
+    #[test]
+    fn custom_initial_state() {
+        let mut sim = DenseSimulator::with_initial_bits(&[true, false, true]);
+        assert!(close(sim.probability_of_basis_state(&[true, false, true]), 1.0));
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sim = DenseSimulator::new(2);
+        sim.run(&c).unwrap();
+        assert!(close(sim.probability_of_basis_state(&[false, false]), 0.5));
+        assert!(close(sim.probability_of_basis_state(&[true, true]), 0.5));
+        assert!(close(sim.probability_of_basis_state(&[true, false]), 0.0));
+        assert!(close(sim.probability_of_one(0), 0.5));
+        assert!(close(sim.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn ghz_collapse_on_measurement() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut sim = DenseSimulator::new(3);
+        sim.run(&c).unwrap();
+        // Force outcome 1 on qubit 0, then all qubits must read 1.
+        let outcome = sim.measure_with(0, 0.49);
+        assert!(outcome);
+        for q in 0..3 {
+            assert!(close(sim.probability_of_one(q), 1.0));
+        }
+        assert!(close(sim.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn toffoli_and_fredkin_permute_basis_states() {
+        let mut sim = DenseSimulator::with_initial_bits(&[true, true, false]);
+        sim.apply_gate(&Gate::Toffoli {
+            controls: vec![0, 1],
+            target: 2,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        sim.apply_gate(&Gate::Fredkin {
+            controls: vec![0],
+            target1: 1,
+            target2: 2,
+        })
+        .unwrap();
+        // Swap of two equal bits is a no-op.
+        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        sim.apply_gate(&Gate::X(1)).unwrap();
+        sim.apply_gate(&Gate::Fredkin {
+            controls: vec![0],
+            target1: 1,
+            target2: 2,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[true, true, false]), 1.0));
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity() {
+        let mut sim = DenseSimulator::new(1);
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        assert!(close(sim.probability_of_basis_state(&[false]), 1.0));
+    }
+
+    #[test]
+    fn s_gate_phases_do_not_change_probabilities_but_compose_to_z() {
+        let mut sim = DenseSimulator::new(1);
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        sim.apply_gate(&Gate::S(0)).unwrap();
+        sim.apply_gate(&Gate::S(0)).unwrap();
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        // HZH = X, so the state is now |1⟩.
+        assert!(close(sim.probability_of_one(0), 1.0));
+    }
+
+    #[test]
+    fn swap_via_fredkin_without_controls() {
+        let mut sim = DenseSimulator::with_initial_bits(&[true, false]);
+        sim.apply_gate(&Gate::Fredkin {
+            controls: vec![],
+            target1: 0,
+            target2: 1,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[false, true]), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn too_many_qubits_panics() {
+        let _ = DenseSimulator::new(40);
+    }
+}

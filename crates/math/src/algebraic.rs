@@ -1,0 +1,369 @@
+//! Exact algebraic representation of the complex amplitudes that arise in
+//! Clifford+T (and Toffoli+Hadamard) quantum circuits.
+//!
+//! Following the paper (Eq. 5), every representable amplitude is written as
+//!
+//! ```text
+//! α = (a·ω³ + b·ω² + c·ω + d) / √2ᵏ      with ω = e^{iπ/4}
+//! ```
+//!
+//! where `a, b, c, d, k` are integers.  The set of such numbers is closed
+//! under addition, multiplication and under every entry of the gate matrices
+//! in Table I of the paper, so a simulation that starts from an exactly
+//! representable state never loses precision.
+
+use crate::complex::Complex;
+use crate::sqrt2::Sqrt2Int;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An exact amplitude `(a·ω³ + b·ω² + c·ω + d) / √2ᵏ` with `ω = e^{iπ/4}`.
+///
+/// ```
+/// use sliq_math::Algebraic;
+/// // (1/√2)·(|0⟩ + |1⟩) amplitudes produced by a Hadamard gate:
+/// let amp = Algebraic::one().div_sqrt2();
+/// assert!((amp.to_complex().re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Algebraic {
+    /// Coefficient of ω³.
+    pub a: i64,
+    /// Coefficient of ω².
+    pub b: i64,
+    /// Coefficient of ω.
+    pub c: i64,
+    /// Constant coefficient.
+    pub d: i64,
+    /// The √2 denominator exponent.
+    pub k: i32,
+}
+
+impl Algebraic {
+    /// Creates an amplitude from its raw coefficients.
+    pub const fn new(a: i64, b: i64, c: i64, d: i64, k: i32) -> Self {
+        Self { a, b, c, d, k }
+    }
+
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        Self::new(0, 0, 0, 0, 0)
+    }
+
+    /// The value `1`.
+    pub const fn one() -> Self {
+        Self::new(0, 0, 0, 1, 0)
+    }
+
+    /// The imaginary unit `i = ω²`.
+    pub const fn i() -> Self {
+        Self::new(0, 1, 0, 0, 0)
+    }
+
+    /// The primitive eighth root of unity `ω = e^{iπ/4}`.
+    pub const fn omega() -> Self {
+        Self::new(0, 0, 1, 0, 0)
+    }
+
+    /// An integer constant.
+    pub const fn from_int(value: i64) -> Self {
+        Self::new(0, 0, 0, value, 0)
+    }
+
+    /// Returns `true` when the value is exactly zero (independently of `k`).
+    pub fn is_zero(&self) -> bool {
+        self.a == 0 && self.b == 0 && self.c == 0 && self.d == 0
+    }
+
+    /// Multiplies by ω (a 45° phase rotation).
+    ///
+    /// Using `ω⁴ = −1`: `(aω³+bω²+cω+d)·ω = bω³ + cω² + dω − a`.
+    pub fn mul_omega(&self) -> Self {
+        Self::new(self.b, self.c, self.d, -self.a, self.k)
+    }
+
+    /// Multiplies by `ω^p` for any integer power `p` (negative allowed).
+    pub fn mul_omega_pow(&self, p: i32) -> Self {
+        let mut r = *self;
+        for _ in 0..p.rem_euclid(8) {
+            r = r.mul_omega();
+        }
+        r
+    }
+
+    /// Multiplies the numerator by √2 without changing `k`.
+    ///
+    /// Uses the identity `√2 = ω − ω³`.
+    pub fn mul_sqrt2_numerator(&self) -> Self {
+        Self::new(
+            self.b - self.d,
+            self.a + self.c,
+            self.b + self.d,
+            self.c - self.a,
+            self.k,
+        )
+    }
+
+    /// Divides the value by √2 (increments the denominator exponent).
+    pub fn div_sqrt2(&self) -> Self {
+        Self::new(self.a, self.b, self.c, self.d, self.k + 1)
+    }
+
+    /// Multiplies the value by √2 (decrements the denominator exponent).
+    pub fn mul_sqrt2(&self) -> Self {
+        Self::new(self.a, self.b, self.c, self.d, self.k - 1)
+    }
+
+    /// Rewrites the value with denominator exponent `k_target ≥ self.k`
+    /// without changing the represented number.
+    pub fn with_k(&self, k_target: i32) -> Self {
+        assert!(
+            k_target >= self.k,
+            "cannot lower the denominator exponent without dividing the numerator"
+        );
+        let mut r = *self;
+        while r.k < k_target {
+            r = r.mul_sqrt2_numerator();
+            r.k += 1;
+        }
+        r
+    }
+
+    /// Returns the canonical reduced form: removes common √2 factors between
+    /// the numerator and the denominator while `k > 0`, and maps every
+    /// representation of zero to [`Algebraic::zero`].
+    pub fn reduced(&self) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let mut r = *self;
+        while r.k > 0 {
+            // Dividing the numerator by √2 requires (b−d, a+c, b+d, c−a) to be
+            // even, i.e. a ≡ c and b ≡ d (mod 2).
+            if (r.a - r.c) % 2 == 0 && (r.b - r.d) % 2 == 0 {
+                let (a, b, c, d) = (r.a, r.b, r.c, r.d);
+                r = Self::new((b - d) / 2, (a + c) / 2, (b + d) / 2, (c - a) / 2, r.k - 1);
+            } else {
+                break;
+            }
+        }
+        r
+    }
+
+    /// Exact equality of the represented complex numbers (representation
+    /// independent, unlike `==` which compares coefficients).
+    pub fn value_eq(&self, other: &Self) -> bool {
+        (*self - *other).is_zero()
+    }
+
+    /// The exact squared magnitude, returned as `(x + y·√2) / 2ᵏ` with the
+    /// integer pair `(x, y)` in a [`Sqrt2Int`] and the exponent `k`.
+    ///
+    /// Derivation: with ω = (1+i)/√2,
+    /// `|aω³+bω²+cω+d|² = (a²+b²+c²+d²) + √2·(ab + bc + cd − ad)`.
+    pub fn norm_sqr_exact(&self) -> (Sqrt2Int, i32) {
+        let (a, b, c, d) = (
+            self.a as i128,
+            self.b as i128,
+            self.c as i128,
+            self.d as i128,
+        );
+        let int = a * a + b * b + c * c + d * d;
+        let sqrt2 = a * b + b * c + c * d - a * d;
+        (Sqrt2Int::new(int, sqrt2), self.k)
+    }
+
+    /// The squared magnitude as a floating point number.
+    pub fn norm_sqr(&self) -> f64 {
+        let (v, k) = self.norm_sqr_exact();
+        v.to_f64() / 2f64.powi(k)
+    }
+
+    /// Converts to a floating point [`Complex`] (the only lossy operation).
+    pub fn to_complex(&self) -> Complex {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        // ω = s + s·i, ω² = i, ω³ = −s + s·i.
+        let re = -self.a as f64 * s + self.c as f64 * s + self.d as f64;
+        let im = self.a as f64 * s + self.b as f64 + self.c as f64 * s;
+        let scale = 2f64.powf(-(self.k as f64) / 2.0);
+        Complex::new(re * scale, im * scale)
+    }
+
+    /// The complex conjugate.
+    pub fn conj(&self) -> Self {
+        // conj(ω) = ω⁻¹ = −ω³, conj(ω²) = −ω², conj(ω³) = −ω.
+        Self::new(-self.c, -self.b, -self.a, self.d, self.k)
+    }
+}
+
+impl Default for Algebraic {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Add for Algebraic {
+    type Output = Algebraic;
+    fn add(self, rhs: Algebraic) -> Algebraic {
+        let k = self.k.max(rhs.k);
+        let x = self.with_k(k);
+        let y = rhs.with_k(k);
+        Algebraic::new(x.a + y.a, x.b + y.b, x.c + y.c, x.d + y.d, k)
+    }
+}
+
+impl Sub for Algebraic {
+    type Output = Algebraic;
+    fn sub(self, rhs: Algebraic) -> Algebraic {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Algebraic {
+    type Output = Algebraic;
+    fn neg(self) -> Algebraic {
+        Algebraic::new(-self.a, -self.b, -self.c, -self.d, self.k)
+    }
+}
+
+impl Mul for Algebraic {
+    type Output = Algebraic;
+    fn mul(self, rhs: Algebraic) -> Algebraic {
+        // Polynomial product in ω, reduced with ω⁴ = −1.
+        // Index coefficients as c[0]=d (ω⁰) .. c[3]=a (ω³).
+        let x = [self.d, self.c, self.b, self.a];
+        let y = [rhs.d, rhs.c, rhs.b, rhs.a];
+        let mut out = [0i64; 4];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0 {
+                continue;
+            }
+            for (j, &yj) in y.iter().enumerate() {
+                if yj == 0 {
+                    continue;
+                }
+                let p = i + j;
+                let term = xi * yj;
+                if p < 4 {
+                    out[p] += term;
+                } else {
+                    out[p - 4] -= term; // ω⁴ = −1
+                }
+            }
+        }
+        Algebraic::new(out[3], out[2], out[1], out[0], self.k + rhs.k)
+    }
+}
+
+impl fmt::Display for Algebraic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}ω³ + {}ω² + {}ω + {}) / √2^{}",
+            self.a, self.b, self.c, self.d, self.k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(x: Complex, y: Complex) {
+        assert!(x.approx_eq(&y, 1e-9), "{x} != {y}");
+    }
+
+    #[test]
+    fn constants_match_float_values() {
+        assert_close(Algebraic::zero().to_complex(), Complex::zero());
+        assert_close(Algebraic::one().to_complex(), Complex::one());
+        assert_close(Algebraic::i().to_complex(), Complex::i());
+        assert_close(
+            Algebraic::omega().to_complex(),
+            Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        );
+    }
+
+    #[test]
+    fn omega_has_order_eight() {
+        let mut x = Algebraic::one();
+        for _ in 0..8 {
+            x = x.mul_omega();
+        }
+        assert_eq!(x, Algebraic::one());
+        let mut y = Algebraic::one();
+        for _ in 0..4 {
+            y = y.mul_omega();
+        }
+        assert_eq!(y, -Algebraic::one());
+    }
+
+    #[test]
+    fn sqrt2_numerator_identity() {
+        // (x·√2)/√2 == x after raising k.
+        let x = Algebraic::new(3, -2, 5, 7, 0);
+        let y = x.mul_sqrt2_numerator().div_sqrt2();
+        assert_close(x.to_complex(), y.to_complex());
+        assert!(x.value_eq(&y.reduced()) || x.value_eq(&y));
+    }
+
+    #[test]
+    fn addition_aligns_denominators() {
+        let h = Algebraic::one().div_sqrt2(); // 1/√2
+        let sum = h + h; // 2/√2 = √2
+        assert_close(sum.to_complex(), Complex::new(std::f64::consts::SQRT_2, 0.0));
+        let reduced = sum.reduced();
+        assert_eq!(reduced.k, 0);
+        assert_close(reduced.to_complex(), sum.to_complex());
+    }
+
+    #[test]
+    fn multiplication_matches_floating_point() {
+        let x = Algebraic::new(1, -2, 3, 4, 1);
+        let y = Algebraic::new(-2, 0, 5, 1, 2);
+        assert_close(
+            (x * y).to_complex(),
+            x.to_complex() * y.to_complex(),
+        );
+    }
+
+    #[test]
+    fn conjugate_matches_floating_point() {
+        let x = Algebraic::new(2, -1, 4, -3, 3);
+        assert_close(x.conj().to_complex(), x.to_complex().conj());
+    }
+
+    #[test]
+    fn norm_sqr_exact_matches_float() {
+        let x = Algebraic::new(1, 1, -2, 3, 2);
+        let expected = x.to_complex().norm_sqr();
+        assert!((x.norm_sqr() - expected).abs() < 1e-9);
+        // |x|² must also equal x · conj(x).
+        let prod = x * x.conj();
+        assert!(prod.to_complex().im.abs() < 1e-9);
+        assert!((prod.to_complex().re - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_is_value_preserving() {
+        let x = Algebraic::new(2, 2, 2, 2, 4);
+        let r = x.reduced();
+        assert!(r.k < x.k);
+        assert_close(x.to_complex(), r.to_complex());
+    }
+
+    #[test]
+    fn zero_reduces_to_canonical_zero() {
+        let z = Algebraic::new(0, 0, 0, 0, 17);
+        assert_eq!(z.reduced(), Algebraic::zero());
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn value_eq_ignores_representation() {
+        let one_a = Algebraic::one();
+        let one_b = Algebraic::new(-1, 0, 1, 0, 1); // (ω − ω³)/√2 = √2/√2 = 1
+        assert!(one_a.value_eq(&one_b));
+        assert_ne!(one_a, one_b);
+    }
+}

@@ -1,0 +1,198 @@
+//! A minimal double-precision complex number.
+//!
+//! The crate deliberately avoids external numeric dependencies; the handful of
+//! operations needed by the dense and QMDD simulators are implemented here.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use sliq_math::Complex;
+/// let i = Complex::i();
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0`.
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity `1`.
+    pub const fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit `i`.
+    pub const fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// `e^{iθ}` for a phase angle `θ` in radians.
+    pub fn from_polar(magnitude: f64, theta: f64) -> Self {
+        Self::new(magnitude * theta.cos(), magnitude * theta.sin())
+    }
+
+    /// The squared magnitude `|z|² = re² + im²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `|z|`.
+    pub fn norm(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(&self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both components are within `eps` of `other`.
+    pub fn approx_eq(&self, other: &Self, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Returns `true` if the magnitude is within `eps` of zero.
+    pub fn is_approx_zero(&self, eps: f64) -> bool {
+        self.norm_sqr() <= eps * eps
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b, Complex::new(1.0, 1.0));
+        assert_eq!(a - b, Complex::new(2.0, -5.0));
+        assert_eq!(a * Complex::one(), a);
+        assert_eq!(a + Complex::zero(), a);
+        assert!( (a * b / b).approx_eq(&a, 1e-12) );
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::i() * Complex::i(), Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z * z.conj()).approx_eq(&Complex::new(25.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_4);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.re - z.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

@@ -1,0 +1,47 @@
+//! # sliq-math
+//!
+//! Exact and floating-point scalar arithmetic shared by the SliQ quantum
+//! circuit simulators:
+//!
+//! * [`Complex`] — a minimal double-precision complex number used by the
+//!   array-based (`sliq-dense`) and QMDD-based (`sliq-qmdd`) baselines.
+//! * [`Algebraic`] — the exact amplitude representation
+//!   `(a·ω³ + b·ω² + c·ω + d)/√2ᵏ` from the paper (Eq. 5), closed under the
+//!   Clifford+T / Toffoli+Hadamard gate set.
+//! * [`Sqrt2Int`] — exact reals `x + y·√2`, the form taken by squared
+//!   magnitudes of algebraic amplitudes.
+//!
+//! ```
+//! use sliq_math::{Algebraic, Complex};
+//! // ω⁸ = 1 exactly, no rounding involved:
+//! let mut x = Algebraic::one();
+//! for _ in 0..8 { x = x.mul_omega(); }
+//! assert_eq!(x, Algebraic::one());
+//! // ... and the floating point view agrees:
+//! assert!(x.to_complex().approx_eq(&Complex::one(), 1e-12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algebraic;
+mod complex;
+mod sqrt2;
+
+pub use algebraic::Algebraic;
+pub use complex::Complex;
+pub use sqrt2::Sqrt2Int;
+
+/// The floating point value of `1/√2`, shared by the baseline simulators.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebraic_and_complex_agree_on_hadamard_entries() {
+        let h = Algebraic::one().div_sqrt2();
+        assert!((h.to_complex().re - FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Exact arithmetic over the real quadratic ring `Z[√2]`.
+//!
+//! Squared magnitudes of algebraic amplitudes are always of the form
+//! `x + y·√2` with integers `x, y`; keeping them in this exact form lets the
+//! simulator check normalisation (`Σ|αᵢ|² = 1`) as an integer identity instead
+//! of a floating point comparison.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// An exact real number `int + sqrt2·√2` with `i128` coefficients.
+///
+/// ```
+/// use sliq_math::Sqrt2Int;
+/// let x = Sqrt2Int::new(1, 1);           // 1 + √2
+/// let y = x * x;                         // 3 + 2√2
+/// assert_eq!(y, Sqrt2Int::new(3, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Sqrt2Int {
+    /// Rational (integer) part.
+    pub int: i128,
+    /// Coefficient of √2.
+    pub sqrt2: i128,
+}
+
+impl Sqrt2Int {
+    /// Creates the value `int + sqrt2·√2`.
+    pub const fn new(int: i128, sqrt2: i128) -> Self {
+        Self { int, sqrt2 }
+    }
+
+    /// The value zero.
+    pub const fn zero() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// The value one.
+    pub const fn one() -> Self {
+        Self::new(1, 0)
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.int == 0 && self.sqrt2 == 0
+    }
+
+    /// Multiplies by √2 exactly: `(x + y√2)·√2 = 2y + x√2`.
+    pub fn mul_sqrt2(&self) -> Self {
+        Self::new(2 * self.sqrt2, self.int)
+    }
+
+    /// Converts to `f64` (lossy).
+    pub fn to_f64(&self) -> f64 {
+        self.int as f64 + self.sqrt2 as f64 * std::f64::consts::SQRT_2
+    }
+
+    /// Exact comparison against an integer constant.
+    pub fn eq_int(&self, value: i128) -> bool {
+        self.sqrt2 == 0 && self.int == value
+    }
+}
+
+impl Add for Sqrt2Int {
+    type Output = Sqrt2Int;
+    fn add(self, rhs: Sqrt2Int) -> Sqrt2Int {
+        Sqrt2Int::new(self.int + rhs.int, self.sqrt2 + rhs.sqrt2)
+    }
+}
+
+impl AddAssign for Sqrt2Int {
+    fn add_assign(&mut self, rhs: Sqrt2Int) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Sqrt2Int {
+    type Output = Sqrt2Int;
+    fn sub(self, rhs: Sqrt2Int) -> Sqrt2Int {
+        Sqrt2Int::new(self.int - rhs.int, self.sqrt2 - rhs.sqrt2)
+    }
+}
+
+impl Neg for Sqrt2Int {
+    type Output = Sqrt2Int;
+    fn neg(self) -> Sqrt2Int {
+        Sqrt2Int::new(-self.int, -self.sqrt2)
+    }
+}
+
+impl Mul for Sqrt2Int {
+    type Output = Sqrt2Int;
+    fn mul(self, rhs: Sqrt2Int) -> Sqrt2Int {
+        Sqrt2Int::new(
+            self.int * rhs.int + 2 * self.sqrt2 * rhs.sqrt2,
+            self.int * rhs.sqrt2 + self.sqrt2 * rhs.int,
+        )
+    }
+}
+
+impl fmt::Display for Sqrt2Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}·√2", self.int, self.sqrt2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_arithmetic() {
+        let x = Sqrt2Int::new(1, 1);
+        let y = Sqrt2Int::new(3, -2);
+        assert_eq!(x + y, Sqrt2Int::new(4, -1));
+        assert_eq!(x - y, Sqrt2Int::new(-2, 3));
+        assert_eq!(x * y, Sqrt2Int::new(3 - 4, -2 + 3));
+        assert!((x * y).to_f64() - x.to_f64() * y.to_f64() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt2_multiplication() {
+        let x = Sqrt2Int::new(3, 5);
+        assert_eq!(x.mul_sqrt2(), Sqrt2Int::new(10, 3));
+        assert!((x.mul_sqrt2().to_f64() - x.to_f64() * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Sqrt2Int::zero().is_zero());
+        assert!(Sqrt2Int::one().eq_int(1));
+        assert_eq!(Sqrt2Int::one() * Sqrt2Int::new(7, -3), Sqrt2Int::new(7, -3));
+    }
+}

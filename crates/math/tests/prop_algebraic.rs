@@ -1,0 +1,84 @@
+//! Property-based tests: the exact algebraic arithmetic must agree with
+//! double-precision complex arithmetic on every operation.
+
+use proptest::prelude::*;
+use sliq_math::{Algebraic, Complex};
+
+fn small_alg() -> impl Strategy<Value = Algebraic> {
+    (
+        -20i64..=20,
+        -20i64..=20,
+        -20i64..=20,
+        -20i64..=20,
+        0i32..=6,
+    )
+        .prop_map(|(a, b, c, d, k)| Algebraic::new(a, b, c, d, k))
+}
+
+fn close(x: Complex, y: Complex) -> bool {
+    x.approx_eq(&y, 1e-7)
+}
+
+proptest! {
+    #[test]
+    fn addition_matches_complex(x in small_alg(), y in small_alg()) {
+        prop_assert!(close((x + y).to_complex(), x.to_complex() + y.to_complex()));
+    }
+
+    #[test]
+    fn subtraction_matches_complex(x in small_alg(), y in small_alg()) {
+        prop_assert!(close((x - y).to_complex(), x.to_complex() - y.to_complex()));
+    }
+
+    #[test]
+    fn multiplication_matches_complex(x in small_alg(), y in small_alg()) {
+        prop_assert!(close((x * y).to_complex(), x.to_complex() * y.to_complex()));
+    }
+
+    #[test]
+    fn omega_multiplication_is_a_phase(x in small_alg()) {
+        let rotated = x.mul_omega();
+        let expected = x.to_complex() * Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4);
+        prop_assert!(close(rotated.to_complex(), expected));
+        // A phase never changes the magnitude, exactly:
+        prop_assert_eq!(rotated.norm_sqr_exact(), x.norm_sqr_exact());
+    }
+
+    #[test]
+    fn norm_sqr_exact_matches_complex(x in small_alg()) {
+        let exact = x.norm_sqr();
+        let float = x.to_complex().norm_sqr();
+        prop_assert!((exact - float).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reduction_preserves_value(x in small_alg()) {
+        prop_assert!(close(x.reduced().to_complex(), x.to_complex()));
+    }
+
+    #[test]
+    fn conjugation_is_involutive(x in small_alg()) {
+        prop_assert_eq!(x.conj().conj(), x);
+        prop_assert!(close(x.conj().to_complex(), x.to_complex().conj()));
+    }
+
+    #[test]
+    fn with_k_preserves_value(x in small_alg(), extra in 0i32..4) {
+        let lifted = x.with_k(x.k + extra);
+        prop_assert!(close(lifted.to_complex(), x.to_complex()));
+        prop_assert!(lifted.value_eq(&x));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(
+        x in small_alg(), y in small_alg(), z in small_alg()
+    ) {
+        prop_assert_eq!(x * y, y * x);
+        prop_assert!(((x * y) * z).value_eq(&(x * (y * z))));
+    }
+
+    #[test]
+    fn distributivity(x in small_alg(), y in small_alg(), z in small_alg()) {
+        prop_assert!((x * (y + z)).value_eq(&(x * y + x * z)));
+    }
+}

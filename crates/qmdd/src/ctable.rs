@@ -1,0 +1,195 @@
+//! The complex-number table.
+//!
+//! QMDD-based simulators (DDSIM and its relatives) keep edge weights in a
+//! global table and merge values that differ by less than a tolerance so that
+//! structurally equal nodes hash to the same unique-table entry.  This
+//! rounding is exactly the source of the numerical errors the paper reports
+//! for DDSIM on deep circuits ("error" columns of Tables III and V), so the
+//! mechanism is reproduced faithfully here.
+
+use sliq_math::Complex;
+use std::collections::HashMap;
+
+/// Index of a canonical complex value inside a [`ComplexTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CIdx(u32);
+
+impl CIdx {
+    /// The canonical zero value (always index 0).
+    pub const ZERO: CIdx = CIdx(0);
+    /// The canonical one value (always index 1).
+    pub const ONE: CIdx = CIdx(1);
+
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A table of canonical complex values with tolerance-based merging.
+#[derive(Debug, Clone)]
+pub struct ComplexTable {
+    values: Vec<Complex>,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    tolerance: f64,
+}
+
+impl ComplexTable {
+    /// Creates a table with the given merge tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        let mut table = Self {
+            values: Vec::new(),
+            buckets: HashMap::new(),
+            tolerance,
+        };
+        let zero = table.lookup(Complex::zero());
+        let one = table.lookup(Complex::one());
+        debug_assert_eq!(zero, CIdx::ZERO);
+        debug_assert_eq!(one, CIdx::ONE);
+        table
+    }
+
+    /// The merge tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The number of distinct canonical values stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the table holds no values (never the case after
+    /// construction, which interns 0 and 1).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The complex value behind an index.
+    pub fn value(&self, idx: CIdx) -> Complex {
+        self.values[idx.index()]
+    }
+
+    fn bucket_key(&self, c: Complex) -> (i64, i64) {
+        (
+            (c.re / self.tolerance).round() as i64,
+            (c.im / self.tolerance).round() as i64,
+        )
+    }
+
+    /// Finds the canonical index for `c`, inserting it if no existing value is
+    /// within the tolerance.
+    pub fn lookup(&mut self, c: Complex) -> CIdx {
+        let key = self.bucket_key(c);
+        // Search this bucket and the 8 neighbouring buckets so that values
+        // straddling a bucket boundary still merge.
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = self.buckets.get(&(key.0 + dx, key.1 + dy)) {
+                    for &id in ids {
+                        if self.values[id as usize].approx_eq(&c, self.tolerance) {
+                            return CIdx(id);
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.values.len() as u32;
+        self.values.push(c);
+        self.buckets.entry(key).or_default().push(id);
+        CIdx(id)
+    }
+
+    /// Interns the product of two stored values.
+    pub fn mul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a == CIdx::ZERO || b == CIdx::ZERO {
+            return CIdx::ZERO;
+        }
+        if a == CIdx::ONE {
+            return b;
+        }
+        if b == CIdx::ONE {
+            return a;
+        }
+        let p = self.value(a) * self.value(b);
+        self.lookup(p)
+    }
+
+    /// Interns the sum of two stored values.
+    pub fn add(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a == CIdx::ZERO {
+            return b;
+        }
+        if b == CIdx::ZERO {
+            return a;
+        }
+        let s = self.value(a) + self.value(b);
+        self.lookup(s)
+    }
+
+    /// Interns the quotient `a / b`.
+    pub fn div(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a == CIdx::ZERO {
+            return CIdx::ZERO;
+        }
+        if b == CIdx::ONE {
+            return a;
+        }
+        let q = self.value(a) / self.value(b);
+        self.lookup(q)
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_merges_close_values() {
+        let mut t = ComplexTable::new(1e-9);
+        let a = t.lookup(Complex::new(0.5, 0.25));
+        let b = t.lookup(Complex::new(0.5 + 1e-12, 0.25 - 1e-12));
+        assert_eq!(a, b, "values within tolerance share an index");
+        let c = t.lookup(Complex::new(0.5 + 1e-3, 0.25));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_and_one_are_fixed_indices() {
+        let mut t = ComplexTable::default();
+        assert_eq!(t.lookup(Complex::zero()), CIdx::ZERO);
+        assert_eq!(t.lookup(Complex::one()), CIdx::ONE);
+        assert_eq!(t.value(CIdx::ZERO), Complex::zero());
+        assert_eq!(t.value(CIdx::ONE), Complex::one());
+    }
+
+    #[test]
+    fn arithmetic_through_the_table() {
+        let mut t = ComplexTable::default();
+        let half = t.lookup(Complex::new(0.5, 0.0));
+        let i = t.lookup(Complex::i());
+        assert_eq!(t.mul(half, CIdx::ZERO), CIdx::ZERO);
+        assert_eq!(t.mul(half, CIdx::ONE), half);
+        let half_i = t.mul(half, i);
+        assert!(t.value(half_i).approx_eq(&Complex::new(0.0, 0.5), 1e-12));
+        let one = t.add(half, half);
+        assert_eq!(one, CIdx::ONE);
+        let back = t.div(half_i, i);
+        assert_eq!(back, half);
+    }
+
+    #[test]
+    fn tolerance_merging_loses_precision_by_design() {
+        // With an aggressive tolerance, repeatedly adding a tiny value is
+        // swallowed — this is the DDSIM failure mode the paper exploits.
+        let mut t = ComplexTable::new(1e-4);
+        let tiny = t.lookup(Complex::new(1e-6, 0.0));
+        assert_eq!(tiny, CIdx::ZERO, "value below tolerance folds into zero");
+    }
+}

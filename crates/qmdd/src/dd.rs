@@ -1,0 +1,575 @@
+//! The QMDD state-vector decision diagram and its operations.
+//!
+//! A state vector over `n` qubits is a rooted DAG whose nodes branch on one
+//! qubit each (qubit 0 at the top) and whose edges carry complex weights; the
+//! amplitude of a basis state is the product of the edge weights along its
+//! path.  Nodes are normalised (the child weight of largest magnitude is
+//! factored out) and hash-consed, mirroring the QMDD data structure behind
+//! DDSIM [Niemann et al. 2016; Zulehner & Wille 2019].
+
+use crate::ctable::{CIdx, ComplexTable};
+use sliq_math::Complex;
+use std::collections::HashMap;
+
+/// Index of a DD node; index 0 is the shared terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeIdx(u32);
+
+impl NodeIdx {
+    /// The terminal node (below the last qubit level).
+    pub const TERMINAL: NodeIdx = NodeIdx(0);
+
+    /// Returns `true` for the terminal node.
+    pub fn is_terminal(self) -> bool {
+        self == Self::TERMINAL
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A weighted edge into the DD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Canonical index of the complex weight.
+    pub weight: CIdx,
+    /// Target node.
+    pub node: NodeIdx,
+}
+
+impl Edge {
+    /// The all-zero vector (weight 0 into the terminal).
+    pub const ZERO: Edge = Edge {
+        weight: CIdx::ZERO,
+        node: NodeIdx::TERMINAL,
+    };
+
+    /// Returns `true` if the edge represents the zero vector.
+    pub fn is_zero(self) -> bool {
+        self.weight == CIdx::ZERO
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    level: u32,
+    children: [Edge; 2],
+}
+
+/// Level value assigned to the terminal node (below every qubit).
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// A 2×2 complex matrix used for single-qubit operations.
+pub type Matrix2 = [[Complex; 2]; 2];
+
+/// The QMDD manager: node storage, complex table and operation caches.
+#[derive(Debug)]
+pub struct DdManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Edge, Edge), NodeIdx>,
+    free: Vec<u32>,
+    /// The complex value table shared by all edges.
+    pub ctable: ComplexTable,
+    add_cache: HashMap<(Edge, Edge), Edge>,
+    apply_cache: HashMap<(usize, NodeIdx), Edge>,
+    select_cache: HashMap<(NodeIdx, u32, bool), Edge>,
+    num_qubits: usize,
+    apply_epoch: usize,
+    peak_nodes: usize,
+}
+
+impl DdManager {
+    /// Creates a manager for `num_qubits` qubits with the given complex
+    /// merge tolerance.
+    pub fn new(num_qubits: usize, tolerance: f64) -> Self {
+        Self {
+            nodes: vec![Node {
+                level: TERMINAL_LEVEL,
+                children: [Edge::ZERO; 2],
+            }],
+            unique: HashMap::new(),
+            free: Vec::new(),
+            ctable: ComplexTable::new(tolerance),
+            add_cache: HashMap::new(),
+            apply_cache: HashMap::new(),
+            select_cache: HashMap::new(),
+            num_qubits,
+            apply_epoch: 0,
+            peak_nodes: 0,
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of currently allocated DD nodes (terminal excluded).
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len() - 1 - self.free.len()
+    }
+
+    /// The largest number of allocated nodes observed so far.
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_nodes
+    }
+
+    fn level(&self, n: NodeIdx) -> u32 {
+        self.nodes[n.index()].level
+    }
+
+    fn children(&self, n: NodeIdx) -> [Edge; 2] {
+        self.nodes[n.index()].children
+    }
+
+    /// The DD of the computational basis state given by `bits`.
+    pub fn basis_state(&mut self, bits: &[bool]) -> Edge {
+        let mut edge = Edge {
+            weight: CIdx::ONE,
+            node: NodeIdx::TERMINAL,
+        };
+        for (q, &bit) in bits.iter().enumerate().rev() {
+            let children = if bit {
+                [Edge::ZERO, edge]
+            } else {
+                [edge, Edge::ZERO]
+            };
+            edge = self.make_node(q as u32, children);
+        }
+        edge
+    }
+
+    /// Creates (or reuses) a normalised node and returns the edge into it.
+    pub fn make_node(&mut self, level: u32, children: [Edge; 2]) -> Edge {
+        let [e0, e1] = children;
+        if e0.is_zero() && e1.is_zero() {
+            return Edge::ZERO;
+        }
+        // Normalise: factor out the child weight with the largest magnitude.
+        let w0 = self.ctable.value(e0.weight);
+        let w1 = self.ctable.value(e1.weight);
+        let norm_idx = if w0.norm_sqr() >= w1.norm_sqr() {
+            e0.weight
+        } else {
+            e1.weight
+        };
+        let c0 = Edge {
+            weight: self.ctable.div(e0.weight, norm_idx),
+            node: if e0.is_zero() { NodeIdx::TERMINAL } else { e0.node },
+        };
+        let c1 = Edge {
+            weight: self.ctable.div(e1.weight, norm_idx),
+            node: if e1.is_zero() { NodeIdx::TERMINAL } else { e1.node },
+        };
+        let key = (level, c0, c1);
+        let node = match self.unique.get(&key) {
+            Some(&n) => n,
+            None => {
+                let node = Node {
+                    level,
+                    children: [c0, c1],
+                };
+                let idx = match self.free.pop() {
+                    Some(slot) => {
+                        self.nodes[slot as usize] = node;
+                        NodeIdx(slot)
+                    }
+                    None => {
+                        self.nodes.push(node);
+                        NodeIdx((self.nodes.len() - 1) as u32)
+                    }
+                };
+                self.unique.insert(key, idx);
+                self.peak_nodes = self.peak_nodes.max(self.allocated_nodes());
+                idx
+            }
+        };
+        Edge {
+            weight: norm_idx,
+            node,
+        }
+    }
+
+    /// Scales a DD by a complex constant.
+    pub fn scale(&mut self, e: Edge, factor: CIdx) -> Edge {
+        if e.is_zero() || factor == CIdx::ZERO {
+            return Edge::ZERO;
+        }
+        Edge {
+            weight: self.ctable.mul(e.weight, factor),
+            node: e.node,
+        }
+    }
+
+    /// Pointwise sum of two state vectors.
+    pub fn add(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return Edge {
+                weight: self.ctable.add(a.weight, b.weight),
+                node: NodeIdx::TERMINAL,
+            };
+        }
+        if let Some(&r) = self.add_cache.get(&(a, b)) {
+            return r;
+        }
+        let level = self.level(a.node).min(self.level(b.node));
+        let cof = |mgr: &mut Self, e: Edge, c: usize| -> Edge {
+            if mgr.level(e.node) == level {
+                let child = mgr.children(e.node)[c];
+                Edge {
+                    weight: mgr.ctable.mul(e.weight, child.weight),
+                    node: child.node,
+                }
+            } else {
+                // The qubit at `level` is skipped: the sub-vector is uniform.
+                e
+            }
+        };
+        let a0 = cof(self, a, 0);
+        let b0 = cof(self, b, 0);
+        let a1 = cof(self, a, 1);
+        let b1 = cof(self, b, 1);
+        let r0 = self.add(a0, b0);
+        let r1 = self.add(a1, b1);
+        let r = self.make_node(level, [r0, r1]);
+        self.add_cache.insert((a, b), r);
+        r
+    }
+
+    /// Starts a new gate application (invalidates the per-gate caches).
+    pub fn begin_gate(&mut self) {
+        self.add_cache.clear();
+        self.apply_cache.clear();
+        self.select_cache.clear();
+        self.apply_epoch += 1;
+    }
+
+    /// Applies a single-qubit unitary `u` to qubit `target`.
+    pub fn apply_single(&mut self, e: Edge, u: &Matrix2, target: usize) -> Edge {
+        self.apply_epoch += 1;
+        self.apply_cache.clear();
+        let u_interned = [
+            [self.ctable.lookup(u[0][0]), self.ctable.lookup(u[0][1])],
+            [self.ctable.lookup(u[1][0]), self.ctable.lookup(u[1][1])],
+        ];
+        let r = self.apply_single_rec(e.node, &u_interned, target as u32);
+        self.scale(r, e.weight)
+    }
+
+    fn apply_single_rec(&mut self, node: NodeIdx, u: &[[CIdx; 2]; 2], target: u32) -> Edge {
+        let key = (self.apply_epoch, node);
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let level = self.level(node);
+        let result = if level < target {
+            // Descend: the operation is linear, so it maps each child
+            // independently.
+            let [c0, c1] = self.children(node);
+            let r0 = {
+                let sub = self.apply_single_rec(c0.node, u, target);
+                self.scale(sub, c0.weight)
+            };
+            let r1 = {
+                let sub = self.apply_single_rec(c1.node, u, target);
+                self.scale(sub, c1.weight)
+            };
+            self.make_node(level, [r0, r1])
+        } else {
+            // The target level: fetch the two cofactors (handling a skipped
+            // level, where both cofactors equal the node itself).
+            let (f0, f1) = if level == target {
+                let [c0, c1] = self.children(node);
+                (c0, c1)
+            } else {
+                let here = Edge {
+                    weight: CIdx::ONE,
+                    node,
+                };
+                (here, here)
+            };
+            let t00 = self.scale(f0, u[0][0]);
+            let t01 = self.scale(f1, u[0][1]);
+            let t10 = self.scale(f0, u[1][0]);
+            let t11 = self.scale(f1, u[1][1]);
+            let new0 = self.add(t00, t01);
+            let new1 = self.add(t10, t11);
+            self.make_node(target, [new0, new1])
+        };
+        self.apply_cache.insert(key, result);
+        result
+    }
+
+    /// Projects onto the subspace where qubit `q` has value `value`
+    /// (amplitudes elsewhere become zero; no renormalisation).
+    pub fn select(&mut self, e: Edge, q: usize, value: bool) -> Edge {
+        let r = self.select_rec(e.node, q as u32, value);
+        self.scale(r, e.weight)
+    }
+
+    fn select_rec(&mut self, node: NodeIdx, q: u32, value: bool) -> Edge {
+        if let Some(&r) = self.select_cache.get(&(node, q, value)) {
+            return r;
+        }
+        let level = self.level(node);
+        let result = if level < q {
+            let [c0, c1] = self.children(node);
+            let r0 = {
+                let sub = self.select_rec(c0.node, q, value);
+                self.scale(sub, c0.weight)
+            };
+            let r1 = {
+                let sub = self.select_rec(c1.node, q, value);
+                self.scale(sub, c1.weight)
+            };
+            self.make_node(level, [r0, r1])
+        } else {
+            let (f0, f1) = if level == q {
+                let [c0, c1] = self.children(node);
+                (c0, c1)
+            } else {
+                let here = Edge {
+                    weight: CIdx::ONE,
+                    node,
+                };
+                (here, here)
+            };
+            let children = if value {
+                [Edge::ZERO, f1]
+            } else {
+                [f0, Edge::ZERO]
+            };
+            self.make_node(q, children)
+        };
+        self.select_cache.insert((node, q, value), result);
+        result
+    }
+
+    /// The amplitude of the basis state described by `bits`.
+    pub fn amplitude(&self, e: Edge, bits: &[bool]) -> Complex {
+        let mut weight = self.ctable.value(e.weight);
+        let mut node = e.node;
+        for (q, &bit) in bits.iter().enumerate() {
+            if node.is_terminal() {
+                break;
+            }
+            if self.level(node) == q as u32 {
+                let child = self.children(node)[bit as usize];
+                weight = weight * self.ctable.value(child.weight);
+                node = child.node;
+                if weight.is_approx_zero(0.0) {
+                    return Complex::zero();
+                }
+            }
+            // Skipped level: the amplitude does not depend on this qubit.
+        }
+        weight
+    }
+
+    /// The squared 2-norm `Σ|amplitude|²` of the vector.
+    pub fn norm_sqr(&self, e: Edge) -> f64 {
+        let mut memo: HashMap<NodeIdx, f64> = HashMap::new();
+        let body = self.norm_sqr_rec(e.node, &mut memo);
+        let skip_above = if e.node.is_terminal() {
+            self.num_qubits as u32
+        } else {
+            self.level(e.node)
+        };
+        self.ctable.value(e.weight).norm_sqr() * body * 2f64.powi(skip_above as i32)
+    }
+
+    fn norm_sqr_rec(&self, node: NodeIdx, memo: &mut HashMap<NodeIdx, f64>) -> f64 {
+        if node.is_terminal() {
+            return 1.0;
+        }
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let level = self.level(node);
+        let mut total = 0.0;
+        for child in self.children(node) {
+            if child.is_zero() {
+                continue;
+            }
+            let child_level = if child.node.is_terminal() {
+                self.num_qubits as u32
+            } else {
+                self.level(child.node)
+            };
+            let skipped = child_level - level - 1;
+            total += self.ctable.value(child.weight).norm_sqr()
+                * self.norm_sqr_rec(child.node, memo)
+                * 2f64.powi(skipped as i32);
+        }
+        memo.insert(node, total);
+        total
+    }
+
+    /// The number of DD nodes reachable from `e` (terminal excluded).
+    pub fn node_count(&self, e: Edge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![e.node];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            for c in self.children(n) {
+                stack.push(c.node);
+            }
+        }
+        seen.len()
+    }
+
+    /// Mark-and-sweep garbage collection keeping only nodes reachable from
+    /// `root`.  Returns the number of freed nodes.
+    pub fn collect_garbage(&mut self, root: Edge) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        let mut stack = vec![root.node];
+        while let Some(n) = stack.pop() {
+            if marked[n.index()] {
+                continue;
+            }
+            marked[n.index()] = true;
+            for c in self.children(n) {
+                stack.push(c.node);
+            }
+        }
+        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        let mut freed = 0;
+        for idx in 1..self.nodes.len() {
+            if !marked[idx] && !already_free.contains(&(idx as u32)) {
+                self.free.push(idx as u32);
+                freed += 1;
+            }
+        }
+        self.unique.retain(|_, n| marked[n.index()]);
+        self.add_cache.clear();
+        self.apply_cache.clear();
+        self.select_cache.clear();
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_matrix() -> Matrix2 {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        [
+            [Complex::new(s, 0.0), Complex::new(s, 0.0)],
+            [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+        ]
+    }
+
+    fn x_matrix() -> Matrix2 {
+        [
+            [Complex::zero(), Complex::one()],
+            [Complex::one(), Complex::zero()],
+        ]
+    }
+
+    #[test]
+    fn basis_state_amplitudes() {
+        let mut dd = DdManager::new(3, 1e-12);
+        let e = dd.basis_state(&[true, false, true]);
+        assert!(dd
+            .amplitude(e, &[true, false, true])
+            .approx_eq(&Complex::one(), 1e-12));
+        assert!(dd
+            .amplitude(e, &[false, false, true])
+            .approx_eq(&Complex::zero(), 1e-12));
+        assert!((dd.norm_sqr(e) - 1.0).abs() < 1e-12);
+        assert_eq!(dd.node_count(e), 3);
+    }
+
+    #[test]
+    fn hadamard_then_x_on_basis_state() {
+        let mut dd = DdManager::new(2, 1e-12);
+        let zero = dd.basis_state(&[false, false]);
+        dd.begin_gate();
+        let plus = dd.apply_single(zero, &h_matrix(), 0);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(dd
+            .amplitude(plus, &[false, false])
+            .approx_eq(&Complex::new(s, 0.0), 1e-9));
+        assert!(dd
+            .amplitude(plus, &[true, false])
+            .approx_eq(&Complex::new(s, 0.0), 1e-9));
+        assert!((dd.norm_sqr(plus) - 1.0).abs() < 1e-9);
+        dd.begin_gate();
+        let flipped = dd.apply_single(plus, &x_matrix(), 1);
+        assert!(dd
+            .amplitude(flipped, &[false, true])
+            .approx_eq(&Complex::new(s, 0.0), 1e-9));
+        assert!(dd.amplitude(flipped, &[false, false]).is_approx_zero(1e-9));
+    }
+
+    #[test]
+    fn select_projects_amplitudes() {
+        let mut dd = DdManager::new(1, 1e-12);
+        let zero = dd.basis_state(&[false]);
+        dd.begin_gate();
+        let plus = dd.apply_single(zero, &h_matrix(), 0);
+        let only_one = dd.select(plus, 0, true);
+        assert!(dd.amplitude(only_one, &[false]).is_approx_zero(1e-12));
+        assert!((dd.norm_sqr(only_one) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_is_pointwise() {
+        let mut dd = DdManager::new(2, 1e-12);
+        let a = dd.basis_state(&[false, false]);
+        let b = dd.basis_state(&[true, true]);
+        let sum = dd.add(a, b);
+        assert!(dd
+            .amplitude(sum, &[false, false])
+            .approx_eq(&Complex::one(), 1e-12));
+        assert!(dd
+            .amplitude(sum, &[true, true])
+            .approx_eq(&Complex::one(), 1e-12));
+        assert!((dd.norm_sqr(sum) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_superposition_is_a_single_chain_of_nodes() {
+        // H on every qubit of |0…0⟩ gives a fully uniform vector; thanks to
+        // normalisation and sharing it needs only one node per level.
+        let n = 8;
+        let mut dd = DdManager::new(n, 1e-12);
+        let mut e = dd.basis_state(&vec![false; n]);
+        for q in 0..n {
+            dd.begin_gate();
+            e = dd.apply_single(e, &h_matrix(), q);
+        }
+        assert!((dd.norm_sqr(e) - 1.0).abs() < 1e-9);
+        assert_eq!(dd.node_count(e), n);
+        let uniform = dd.amplitude(e, &vec![false; n]);
+        assert!((uniform.norm() - (1.0 / (1u64 << n) as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_the_root() {
+        let mut dd = DdManager::new(4, 1e-12);
+        let mut e = dd.basis_state(&[false; 4]);
+        for q in 0..4 {
+            dd.begin_gate();
+            e = dd.apply_single(e, &h_matrix(), q);
+        }
+        let freed = dd.collect_garbage(e);
+        assert!(freed > 0);
+        assert!((dd.norm_sqr(e) - 1.0).abs() < 1e-9);
+        // New operations still work after GC.
+        dd.begin_gate();
+        let e2 = dd.apply_single(e, &h_matrix(), 0);
+        assert!((dd.norm_sqr(e2) - 1.0).abs() < 1e-9);
+    }
+}

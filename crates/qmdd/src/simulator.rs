@@ -1,0 +1,396 @@
+//! The [`Simulator`] facade over the QMDD decision diagram.
+
+use crate::dd::{DdManager, Edge, Matrix2};
+use sliq_circuit::{Gate, SimulationError, Simulator};
+use sliq_math::Complex;
+
+const S2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+fn matrix_of(gate: &Gate) -> Option<Matrix2> {
+    let m = match gate {
+        Gate::X(_) => [
+            [Complex::zero(), Complex::one()],
+            [Complex::one(), Complex::zero()],
+        ],
+        Gate::Y(_) => [
+            [Complex::zero(), Complex::new(0.0, -1.0)],
+            [Complex::i(), Complex::zero()],
+        ],
+        Gate::Z(_) => [
+            [Complex::one(), Complex::zero()],
+            [Complex::zero(), Complex::new(-1.0, 0.0)],
+        ],
+        Gate::H(_) => [
+            [Complex::new(S2, 0.0), Complex::new(S2, 0.0)],
+            [Complex::new(S2, 0.0), Complex::new(-S2, 0.0)],
+        ],
+        Gate::S(_) => [
+            [Complex::one(), Complex::zero()],
+            [Complex::zero(), Complex::i()],
+        ],
+        Gate::Sdg(_) => [
+            [Complex::one(), Complex::zero()],
+            [Complex::zero(), Complex::new(0.0, -1.0)],
+        ],
+        Gate::T(_) => [
+            [Complex::one(), Complex::zero()],
+            [
+                Complex::zero(),
+                Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+            ],
+        ],
+        Gate::Tdg(_) => [
+            [Complex::one(), Complex::zero()],
+            [
+                Complex::zero(),
+                Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+            ],
+        ],
+        Gate::RxPi2(_) => [
+            [Complex::new(S2, 0.0), Complex::new(0.0, -S2)],
+            [Complex::new(0.0, -S2), Complex::new(S2, 0.0)],
+        ],
+        Gate::RyPi2(_) => [
+            [Complex::new(S2, 0.0), Complex::new(-S2, 0.0)],
+            [Complex::new(S2, 0.0), Complex::new(S2, 0.0)],
+        ],
+        _ => return None,
+    };
+    Some(m)
+}
+
+/// Configuration limits emulating the memory-out behaviour of DDSIM runs in
+/// the paper (2 GB per case).
+#[derive(Debug, Clone, Copy)]
+pub struct QmddLimits {
+    /// Maximum number of live DD nodes before simulation aborts with a
+    /// resource-limit error (`None` = unlimited).
+    pub max_nodes: Option<usize>,
+}
+
+impl Default for QmddLimits {
+    fn default() -> Self {
+        Self { max_nodes: None }
+    }
+}
+
+/// A QMDD-based state-vector simulator with floating-point edge weights —
+/// the DDSIM-like baseline the paper compares against.
+///
+/// ```
+/// use sliq_circuit::{Circuit, Simulator};
+/// use sliq_qmdd::QmddSimulator;
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut sim = QmddSimulator::new(2);
+/// sim.run(&bell)?;
+/// assert!((sim.probability_of_basis_state(&[true, true]) - 0.5).abs() < 1e-9);
+/// # Ok::<(), sliq_circuit::SimulationError>(())
+/// ```
+#[derive(Debug)]
+pub struct QmddSimulator {
+    dd: DdManager,
+    root: Edge,
+    num_qubits: usize,
+    limits: QmddLimits,
+}
+
+impl QmddSimulator {
+    /// Creates the simulator in the all-zeros state with the default complex
+    /// tolerance (`1e-12`) and no node limit.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::with_tolerance(num_qubits, 1e-12)
+    }
+
+    /// Creates the simulator with an explicit complex-table merge tolerance
+    /// (larger values trade accuracy for node sharing, as DDSIM does).
+    pub fn with_tolerance(num_qubits: usize, tolerance: f64) -> Self {
+        let mut dd = DdManager::new(num_qubits, tolerance);
+        let root = dd.basis_state(&vec![false; num_qubits]);
+        Self {
+            dd,
+            root,
+            num_qubits,
+            limits: QmddLimits::default(),
+        }
+    }
+
+    /// Creates the simulator in an arbitrary basis state.
+    pub fn with_initial_bits(bits: &[bool]) -> Self {
+        let mut sim = Self::new(bits.len());
+        sim.root = sim.dd.basis_state(bits);
+        sim
+    }
+
+    /// Sets the resource limits (returns `self` for chaining).
+    pub fn with_limits(mut self, limits: QmddLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The amplitude of a basis state.
+    pub fn amplitude(&self, bits: &[bool]) -> Complex {
+        self.dd.amplitude(self.root, bits)
+    }
+
+    /// The number of DD nodes in the current state representation.
+    pub fn node_count(&self) -> usize {
+        self.dd.node_count(self.root)
+    }
+
+    /// The peak number of allocated DD nodes over the whole simulation.
+    pub fn peak_nodes(&self) -> usize {
+        self.dd.peak_nodes()
+    }
+
+    /// Applies `base` only on the subspace where all `controls` are 1 and
+    /// keeps the complementary subspace untouched.
+    fn apply_controlled<F>(&mut self, controls: &[usize], base: F) -> Edge
+    where
+        F: FnOnce(&mut DdManager, Edge) -> Edge,
+    {
+        let mut rest_parts = Vec::with_capacity(controls.len());
+        let mut active = self.root;
+        for &c in controls {
+            rest_parts.push(self.dd.select(active, c, false));
+            active = self.dd.select(active, c, true);
+        }
+        let mut result = base(&mut self.dd, active);
+        for part in rest_parts {
+            result = self.dd.add(result, part);
+        }
+        result
+    }
+
+    fn check_limits(&self) -> Result<(), SimulationError> {
+        if let Some(max) = self.limits.max_nodes {
+            if self.dd.allocated_nodes() > max {
+                return Err(SimulationError::ResourceLimit {
+                    backend: "qmdd",
+                    detail: format!(
+                        "live DD nodes {} exceed the configured limit {max}",
+                        self.dd.allocated_nodes()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Simulator for QmddSimulator {
+    fn name(&self) -> &'static str {
+        "qmdd"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
+        self.dd.begin_gate();
+        self.root = match gate {
+            // Uncontrolled single-qubit gates.
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::RxPi2(q)
+            | Gate::RyPi2(q) => {
+                let m = matrix_of(gate).expect("single-qubit gate has a matrix");
+                self.dd.apply_single(self.root, &m, *q)
+            }
+            Gate::Cnot { control, target } => {
+                let m = matrix_of(&Gate::X(*target)).expect("x matrix");
+                let t = *target;
+                self.apply_controlled(&[*control], |dd, act| dd.apply_single(act, &m, t))
+            }
+            Gate::Cz { control, target } => {
+                let m = matrix_of(&Gate::Z(*target)).expect("z matrix");
+                let t = *target;
+                self.apply_controlled(&[*control], |dd, act| dd.apply_single(act, &m, t))
+            }
+            Gate::Toffoli { controls, target } => {
+                let m = matrix_of(&Gate::X(*target)).expect("x matrix");
+                let t = *target;
+                self.apply_controlled(controls, |dd, act| dd.apply_single(act, &m, t))
+            }
+            Gate::Fredkin {
+                controls,
+                target1,
+                target2,
+            } => {
+                let m = matrix_of(&Gate::X(0)).expect("x matrix");
+                let (t1, t2) = (*target1, *target2);
+                // SWAP = CX(t1→t2) · CX(t2→t1) · CX(t1→t2), each restricted to
+                // the control subspace.
+                self.apply_controlled(controls, |dd, act| {
+                    let cx = |dd: &mut DdManager, state: Edge, c: usize, t: usize| {
+                        let rest = dd.select(state, c, false);
+                        let on = dd.select(state, c, true);
+                        let flipped = dd.apply_single(on, &m, t);
+                        dd.add(rest, flipped)
+                    };
+                    let s1 = cx(dd, act, t1, t2);
+                    let s2 = cx(dd, s1, t2, t1);
+                    cx(dd, s2, t1, t2)
+                })
+            }
+        };
+        if self.dd.allocated_nodes() > 4 * self.dd.node_count(self.root) + 1024 {
+            self.dd.collect_garbage(self.root);
+        }
+        self.check_limits()
+    }
+
+    fn probability_of_one(&mut self, qubit: usize) -> f64 {
+        let projected = self.dd.select(self.root, qubit, true);
+        self.dd.norm_sqr(projected)
+    }
+
+    fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+        self.dd.amplitude(self.root, bits).norm_sqr()
+    }
+
+    fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        let p1 = self.probability_of_one(qubit);
+        let outcome = u < p1;
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        let projected = self.dd.select(self.root, qubit, outcome);
+        let scale = self
+            .dd
+            .ctable
+            .lookup(Complex::new(1.0 / p.sqrt(), 0.0));
+        self.root = self.dd.scale(projected, scale);
+        self.dd.collect_garbage(self.root);
+        outcome
+    }
+
+    fn total_probability(&mut self) -> f64 {
+        self.dd.norm_sqr(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Circuit;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sim = QmddSimulator::new(2);
+        sim.run(&c).unwrap();
+        assert!(close(sim.probability_of_basis_state(&[false, false]), 0.5));
+        assert!(close(sim.probability_of_basis_state(&[true, true]), 0.5));
+        assert!(close(sim.probability_of_basis_state(&[true, false]), 0.0));
+        assert!(close(sim.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn ghz_needs_linear_nodes() {
+        let n = 30;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        let mut sim = QmddSimulator::new(n);
+        sim.run(&c).unwrap();
+        assert!(close(sim.probability_of_one(n - 1), 0.5));
+        // The GHZ DD needs roughly two nodes per level (one for the
+        // "remaining qubits all 0" branch, one for "all 1"), i.e. linear size.
+        assert!(sim.node_count() <= 2 * n, "GHZ states stay compact in a DD");
+        assert!(close(sim.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn toffoli_and_fredkin_on_basis_states() {
+        let mut sim = QmddSimulator::with_initial_bits(&[true, true, false]);
+        sim.apply_gate(&Gate::Toffoli {
+            controls: vec![0, 1],
+            target: 2,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        sim.apply_gate(&Gate::X(1)).unwrap();
+        sim.apply_gate(&Gate::Fredkin {
+            controls: vec![0],
+            target1: 1,
+            target2: 2,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[true, true, false]), 1.0));
+    }
+
+    #[test]
+    fn control_below_target_works() {
+        // CNOT with control qubit 1 (lower level) and target qubit 0 (upper
+        // level) — the case that is awkward for naive DD recursions.
+        let mut sim = QmddSimulator::with_initial_bits(&[false, true]);
+        sim.apply_gate(&Gate::Cnot {
+            control: 1,
+            target: 0,
+        })
+        .unwrap();
+        assert!(close(sim.probability_of_basis_state(&[true, true]), 1.0));
+    }
+
+    #[test]
+    fn measurement_collapses_and_renormalises() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sim = QmddSimulator::new(2);
+        sim.run(&c).unwrap();
+        let outcome = sim.measure_with(0, 0.99); // u ≥ 0.5 ⇒ outcome 0
+        assert!(!outcome);
+        assert!(close(sim.total_probability(), 1.0));
+        assert!(close(sim.probability_of_one(1), 0.0));
+    }
+
+    #[test]
+    fn node_limit_triggers_resource_error() {
+        let mut c = Circuit::new(12);
+        // A random-ish non-Clifford circuit that entangles everything.
+        for q in 0..12 {
+            c.h(q);
+        }
+        for q in 0..11 {
+            c.cx(q, q + 1);
+            c.t(q);
+            c.h(q);
+        }
+        for q in 0..11 {
+            c.cz(q, (q + 3) % 12);
+            c.t((q + 5) % 12);
+            c.h(q);
+        }
+        let mut sim = QmddSimulator::new(12).with_limits(QmddLimits { max_nodes: Some(16) });
+        let result = sim.run(&c);
+        assert!(matches!(
+            result,
+            Err(SimulationError::ResourceLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_gates_accumulate_correctly() {
+        // T⁸ = identity.
+        let mut sim = QmddSimulator::new(1);
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        for _ in 0..8 {
+            sim.apply_gate(&Gate::T(0)).unwrap();
+        }
+        sim.apply_gate(&Gate::H(0)).unwrap();
+        assert!(close(sim.probability_of_one(0), 0.0));
+    }
+}

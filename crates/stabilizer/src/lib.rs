@@ -1,0 +1,27 @@
+//! # sliq-stabilizer
+//!
+//! A CHP-style stabilizer (Clifford) circuit simulator after Aaronson and
+//! Gottesman, "Improved simulation of stabilizer circuits" (2004).
+//!
+//! The paper uses CHP as the specialised point of comparison for its
+//! entanglement benchmark: stabilizer circuits are efficiently simulatable
+//! classically, so a general-purpose simulator should not be expected to beat
+//! CHP there.  This crate provides that baseline, implemented from scratch on
+//! a destabilizer/stabilizer tableau with exact 0/½/1 probabilities.
+//!
+//! ```
+//! use sliq_stabilizer::Tableau;
+//! let mut t = Tableau::new(2);
+//! t.h(0);
+//! t.cnot(0, 1);
+//! assert_eq!(t.probability_of_one(1), 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simulator;
+mod tableau;
+
+pub use simulator::StabilizerSimulator;
+pub use tableau::{MeasureKind, Tableau};

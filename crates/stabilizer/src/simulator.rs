@@ -1,0 +1,169 @@
+//! The [`Simulator`] facade over the stabilizer tableau.
+
+use crate::tableau::Tableau;
+use sliq_circuit::{Gate, SimulationError, Simulator};
+
+/// A CHP-style stabilizer simulator.
+///
+/// Supports only Clifford gates (X, Y, Z, H, S, S†, CNOT, CZ and
+/// control-free SWAP); everything else returns
+/// [`SimulationError::UnsupportedGate`], mirroring the paper's observation
+/// that CHP cannot simulate the Bernstein–Vazirani benchmarks while it beats
+/// every general-purpose simulator on the entanglement benchmark.
+///
+/// ```
+/// use sliq_circuit::{Circuit, Simulator};
+/// use sliq_stabilizer::StabilizerSimulator;
+/// let mut ghz = Circuit::new(1000);
+/// ghz.h(0);
+/// for q in 1..1000 { ghz.cx(q - 1, q); }
+/// let mut sim = StabilizerSimulator::new(1000);
+/// sim.run(&ghz)?;
+/// assert_eq!(sim.probability_of_one(999), 0.5);
+/// # Ok::<(), sliq_circuit::SimulationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilizerSimulator {
+    tableau: Tableau,
+}
+
+impl StabilizerSimulator {
+    /// Creates the simulator in the all-zeros state.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            tableau: Tableau::new(num_qubits),
+        }
+    }
+
+    /// Access to the underlying tableau.
+    pub fn tableau(&self) -> &Tableau {
+        &self.tableau
+    }
+}
+
+impl Simulator for StabilizerSimulator {
+    fn name(&self) -> &'static str {
+        "stabilizer"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.tableau.num_qubits()
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
+        let unsupported = || SimulationError::UnsupportedGate {
+            backend: "stabilizer",
+            gate: gate.to_string(),
+        };
+        match gate {
+            Gate::X(q) => self.tableau.x_gate(*q),
+            Gate::Y(q) => self.tableau.y_gate(*q),
+            Gate::Z(q) => self.tableau.z_gate(*q),
+            Gate::H(q) => self.tableau.h(*q),
+            Gate::S(q) => self.tableau.s(*q),
+            Gate::Sdg(q) => self.tableau.sdg(*q),
+            Gate::Cnot { control, target } => self.tableau.cnot(*control, *target),
+            Gate::Cz { control, target } => self.tableau.cz(*control, *target),
+            Gate::Fredkin {
+                controls,
+                target1,
+                target2,
+            } if controls.is_empty() => self.tableau.swap(*target1, *target2),
+            Gate::Toffoli { controls, target } if controls.is_empty() => {
+                self.tableau.x_gate(*target)
+            }
+            Gate::Toffoli { controls, target } if controls.len() == 1 => {
+                self.tableau.cnot(controls[0], *target)
+            }
+            _ => return Err(unsupported()),
+        }
+        Ok(())
+    }
+
+    fn probability_of_one(&mut self, qubit: usize) -> f64 {
+        self.tableau.probability_of_one(qubit)
+    }
+
+    fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+        // Measure the qubits one at a time on a copy, forcing each outcome to
+        // the requested bit; the joint probability is the product of the
+        // per-step conditional probabilities (0, ½ or 1).
+        let mut copy = self.tableau.clone();
+        let mut probability = 1.0;
+        for (q, &bit) in bits.iter().enumerate() {
+            match copy.deterministic_outcome(q) {
+                Some(v) => {
+                    if v != bit {
+                        return 0.0;
+                    }
+                }
+                None => probability *= 0.5,
+            }
+            copy.measure(q, bit);
+        }
+        probability
+    }
+
+    fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        self.tableau.measure(qubit, u < 0.5).outcome()
+    }
+
+    fn total_probability(&mut self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Circuit;
+
+    #[test]
+    fn rejects_non_clifford_gates() {
+        let mut sim = StabilizerSimulator::new(2);
+        assert!(sim.apply_gate(&Gate::T(0)).is_err());
+        assert!(sim
+            .apply_gate(&Gate::Toffoli {
+                controls: vec![0, 1],
+                target: 1
+            })
+            .is_err());
+        assert!(sim.apply_gate(&Gate::H(0)).is_ok());
+    }
+
+    #[test]
+    fn basis_state_probability_of_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sim = StabilizerSimulator::new(2);
+        sim.run(&c).unwrap();
+        assert_eq!(sim.probability_of_basis_state(&[false, false]), 0.5);
+        assert_eq!(sim.probability_of_basis_state(&[true, true]), 0.5);
+        assert_eq!(sim.probability_of_basis_state(&[true, false]), 0.0);
+        assert_eq!(sim.total_probability(), 1.0);
+    }
+
+    #[test]
+    fn measurement_collapse_propagates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut sim = StabilizerSimulator::new(3);
+        sim.run(&c).unwrap();
+        let outcome = sim.measure_with(0, 0.9); // u ≥ 0.5 → outcome false
+        assert!(!outcome);
+        assert_eq!(sim.probability_of_one(2), 0.0);
+    }
+
+    #[test]
+    fn large_ghz_is_cheap() {
+        let n = 2000;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        let mut sim = StabilizerSimulator::new(n);
+        sim.run(&c).unwrap();
+        assert_eq!(sim.probability_of_one(n - 1), 0.5);
+    }
+}

@@ -1,0 +1,345 @@
+//! The Aaronson–Gottesman stabilizer tableau (the data structure behind CHP).
+
+/// A stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` hold the destabilizer generators and rows `n..2n` the
+/// stabilizer generators; each row is a Pauli string encoded as `x`/`z` bit
+/// vectors plus a sign bit.  All Clifford gates and computational-basis
+/// measurements are polynomial-time updates of this table, which is why the
+/// paper can cite CHP as the fast special-purpose baseline for its
+/// entanglement benchmark (Table V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    /// `x[i][j]`: row `i` contains an X on qubit `j`.
+    x: Vec<Vec<bool>>,
+    /// `z[i][j]`: row `i` contains a Z on qubit `j`.
+    z: Vec<Vec<bool>>,
+    /// Sign bit of each row (`true` = −1).
+    r: Vec<bool>,
+}
+
+/// The result of a measurement: whether the outcome was random, and the bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// The outcome was deterministic (probability 1).
+    Deterministic(bool),
+    /// The outcome was uniformly random; the stored bit is the one chosen.
+    Random(bool),
+}
+
+impl MeasureKind {
+    /// The measured bit regardless of determinism.
+    pub fn outcome(self) -> bool {
+        match self {
+            MeasureKind::Deterministic(b) | MeasureKind::Random(b) => b,
+        }
+    }
+}
+
+impl Tableau {
+    /// Creates the tableau of the all-zeros state `|0…0⟩`.
+    pub fn new(n: usize) -> Self {
+        let rows = 2 * n;
+        let mut t = Self {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.x[i][i] = true; // destabilizer X_i
+            t.z[n + i][i] = true; // stabilizer Z_i
+        }
+        t
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on qubit `a`.
+    pub fn h(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a] && self.z[i][a];
+            let tmp = self.x[i][a];
+            self.x[i][a] = self.z[i][a];
+            self.z[i][a] = tmp;
+        }
+    }
+
+    /// Phase gate S on qubit `a`.
+    pub fn s(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a] && self.z[i][a];
+            self.z[i][a] ^= self.x[i][a];
+        }
+    }
+
+    /// Inverse phase gate S† (implemented as S³).
+    pub fn sdg(&mut self, a: usize) {
+        self.s(a);
+        self.s(a);
+        self.s(a);
+    }
+
+    /// Pauli-X on qubit `a`.
+    pub fn x_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][a];
+        }
+    }
+
+    /// Pauli-Z on qubit `a`.
+    pub fn z_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a];
+        }
+    }
+
+    /// Pauli-Y on qubit `a`.
+    pub fn y_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a] ^ self.z[i][a];
+        }
+    }
+
+    /// Controlled-NOT with control `a` and target `b`.
+    pub fn cnot(&mut self, a: usize, b: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a] && self.z[i][b] && (self.x[i][b] ^ self.z[i][a] ^ true);
+            self.x[i][b] ^= self.x[i][a];
+            self.z[i][a] ^= self.z[i][b];
+        }
+    }
+
+    /// Controlled-Z with control `a` and target `b` (H·CNOT·H conjugation).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Unconditional SWAP of qubits `a` and `b` (three CNOTs).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cnot(a, b);
+        self.cnot(b, a);
+        self.cnot(a, b);
+    }
+
+    /// The phase exponent contribution `g` of multiplying two single-qubit
+    /// Paulis, as defined in the CHP paper.
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => z2 as i32 - x2 as i32,
+            (true, false) => (z2 as i32) * (2 * x2 as i32 - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * z2 as i32),
+        }
+    }
+
+    /// Left-multiplies row `h` by row `i` (the CHP `rowsum` operation).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * self.r[h] as i32 + 2 * self.r[i] as i32;
+        for j in 0..self.n {
+            phase += Self::g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    /// Like [`Tableau::rowsum`] but accumulating into a scratch row outside
+    /// the tableau (used by deterministic measurements).
+    fn rowsum_into(&self, scratch: &mut (Vec<bool>, Vec<bool>, bool), i: usize) {
+        let (sx, sz, sr) = scratch;
+        let mut phase = 2 * *sr as i32 + 2 * self.r[i] as i32;
+        for j in 0..self.n {
+            phase += Self::g(self.x[i][j], self.z[i][j], sx[j], sz[j]);
+        }
+        *sr = phase.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            sx[j] ^= self.x[i][j];
+            sz[j] ^= self.z[i][j];
+        }
+    }
+
+    /// Returns `Some(outcome)` if measuring qubit `a` would be deterministic,
+    /// `None` if the outcome would be uniformly random.  Does not modify the
+    /// state.
+    pub fn deterministic_outcome(&self, a: usize) -> Option<bool> {
+        let random = (self.n..2 * self.n).any(|p| self.x[p][a]);
+        if random {
+            return None;
+        }
+        let mut scratch = (vec![false; self.n], vec![false; self.n], false);
+        for i in 0..self.n {
+            if self.x[i][a] {
+                self.rowsum_into(&mut scratch, i + self.n);
+            }
+        }
+        Some(scratch.2)
+    }
+
+    /// Measures qubit `a` in the computational basis.  When the outcome is
+    /// random, `random_bit` is used as the result.
+    pub fn measure(&mut self, a: usize, random_bit: bool) -> MeasureKind {
+        let p = (self.n..2 * self.n).find(|&p| self.x[p][a]);
+        match p {
+            Some(p) => {
+                // Random outcome.
+                for i in 0..2 * self.n {
+                    if i != p && self.x[i][a] {
+                        self.rowsum(i, p);
+                    }
+                }
+                // Destabilizer row p-n becomes the old stabilizer row p.
+                let (xp, zp, rp) = (self.x[p].clone(), self.z[p].clone(), self.r[p]);
+                self.x[p - self.n] = xp;
+                self.z[p - self.n] = zp;
+                self.r[p - self.n] = rp;
+                self.x[p] = vec![false; self.n];
+                self.z[p] = vec![false; self.n];
+                self.z[p][a] = true;
+                self.r[p] = random_bit;
+                MeasureKind::Random(random_bit)
+            }
+            None => MeasureKind::Deterministic(
+                self.deterministic_outcome(a)
+                    .expect("no stabilizer anticommutes, outcome must be deterministic"),
+            ),
+        }
+    }
+
+    /// The probability of measuring `|1⟩` on qubit `a` (0, ½ or 1 for
+    /// stabilizer states).
+    pub fn probability_of_one(&self, a: usize) -> f64 {
+        match self.deterministic_outcome(a) {
+            Some(true) => 1.0,
+            Some(false) => 0.0,
+            None => 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tableau_measures_all_zero() {
+        let mut t = Tableau::new(4);
+        for q in 0..4 {
+            assert_eq!(t.probability_of_one(q), 0.0);
+            assert_eq!(t.measure(q, true), MeasureKind::Deterministic(false));
+        }
+    }
+
+    #[test]
+    fn x_flips_a_qubit() {
+        let mut t = Tableau::new(2);
+        t.x_gate(1);
+        assert_eq!(t.probability_of_one(1), 1.0);
+        assert_eq!(t.probability_of_one(0), 0.0);
+        assert_eq!(t.measure(1, false), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn hadamard_gives_uniform_outcome_and_collapses() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert_eq!(t.probability_of_one(0), 0.5);
+        let outcome = t.measure(0, true);
+        assert_eq!(outcome, MeasureKind::Random(true));
+        // After collapse, the outcome is pinned.
+        assert_eq!(t.probability_of_one(0), 1.0);
+        assert_eq!(t.measure(0, false), MeasureKind::Deterministic(true));
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        assert_eq!(t.probability_of_one(0), 0.5);
+        assert_eq!(t.probability_of_one(1), 0.5);
+        // Measuring qubit 0 as 1 forces qubit 1 to 1.
+        t.measure(0, true);
+        assert_eq!(t.probability_of_one(1), 1.0);
+    }
+
+    #[test]
+    fn ghz_chain_is_perfectly_correlated() {
+        let n = 20;
+        let mut t = Tableau::new(n);
+        t.h(0);
+        for q in 1..n {
+            t.cnot(q - 1, q);
+        }
+        t.measure(0, false);
+        for q in 1..n {
+            assert_eq!(t.probability_of_one(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let mut t = Tableau::new(1);
+        // H S S H |0⟩ = HZH |0⟩ = X |0⟩ = |1⟩.
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        assert_eq!(t.probability_of_one(0), 1.0);
+    }
+
+    #[test]
+    fn sdg_inverts_s() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.sdg(0);
+        t.h(0);
+        assert_eq!(t.probability_of_one(0), 0.0);
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_hadamard_conjugate_of_cnot() {
+        let mut a = Tableau::new(2);
+        a.h(0);
+        a.h(1);
+        a.cz(0, 1);
+        let mut b = Tableau::new(2);
+        b.h(0);
+        b.h(1);
+        b.cz(1, 0);
+        // CZ is symmetric in its operands; compare observable behaviour by
+        // measuring in the X basis (H then measure).
+        a.h(0);
+        a.h(1);
+        b.h(0);
+        b.h(1);
+        for q in 0..2 {
+            assert_eq!(a.probability_of_one(q), b.probability_of_one(q));
+        }
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut t = Tableau::new(3);
+        t.x_gate(0);
+        t.swap(0, 2);
+        assert_eq!(t.probability_of_one(0), 0.0);
+        assert_eq!(t.probability_of_one(2), 1.0);
+    }
+
+    #[test]
+    fn y_gate_flips_like_x_up_to_phase() {
+        let mut t = Tableau::new(1);
+        t.y_gate(0);
+        assert_eq!(t.probability_of_one(0), 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property test: on random Clifford circuits the stabilizer tableau must
+//! produce the same marginal and joint probabilities as the dense oracle.
+
+use proptest::prelude::*;
+use sliq_circuit::{Circuit, Gate, Simulator};
+use sliq_dense::DenseSimulator;
+use sliq_stabilizer::StabilizerSimulator;
+
+const NQ: usize = 4;
+
+fn clifford_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..NQ).prop_map(Gate::X),
+        (0..NQ).prop_map(Gate::Y),
+        (0..NQ).prop_map(Gate::Z),
+        (0..NQ).prop_map(Gate::H),
+        (0..NQ).prop_map(Gate::S),
+        (0..NQ).prop_map(Gate::Sdg),
+        (0..NQ, 0..NQ)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(control, target)| Gate::Cnot { control, target }),
+        (0..NQ, 0..NQ)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(control, target)| Gate::Cz { control, target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn marginals_match_dense(gates in proptest::collection::vec(clifford_gate(), 0..40)) {
+        let mut circuit = Circuit::new(NQ);
+        circuit.extend(gates);
+        let mut dense = DenseSimulator::new(NQ);
+        let mut stab = StabilizerSimulator::new(NQ);
+        dense.run(&circuit).unwrap();
+        stab.run(&circuit).unwrap();
+        for q in 0..NQ {
+            let pd = dense.probability_of_one(q);
+            let ps = stab.probability_of_one(q);
+            prop_assert!((pd - ps).abs() < 1e-9, "qubit {} dense={} stab={}", q, pd, ps);
+        }
+    }
+
+    #[test]
+    fn joint_probabilities_match_dense(gates in proptest::collection::vec(clifford_gate(), 0..40), basis in 0usize..(1 << NQ)) {
+        let mut circuit = Circuit::new(NQ);
+        circuit.extend(gates);
+        let mut dense = DenseSimulator::new(NQ);
+        let mut stab = StabilizerSimulator::new(NQ);
+        dense.run(&circuit).unwrap();
+        stab.run(&circuit).unwrap();
+        let bits: Vec<bool> = (0..NQ).map(|q| basis >> q & 1 == 1).collect();
+        let pd = dense.probability_of_basis_state(&bits);
+        let ps = stab.probability_of_basis_state(&bits);
+        prop_assert!((pd - ps).abs() < 1e-9, "basis {:?} dense={} stab={}", bits, pd, ps);
+    }
+
+    #[test]
+    fn forced_measurements_agree(gates in proptest::collection::vec(clifford_gate(), 0..30), q in 0..NQ) {
+        let mut circuit = Circuit::new(NQ);
+        circuit.extend(gates);
+        let mut dense = DenseSimulator::new(NQ);
+        let mut stab = StabilizerSimulator::new(NQ);
+        dense.run(&circuit).unwrap();
+        stab.run(&circuit).unwrap();
+        // Force both backends toward outcome `true` whenever it is possible.
+        let od = dense.measure_with(q, 0.0);
+        let os = stab.measure_with(q, 0.0);
+        prop_assert_eq!(od, os);
+        // After collapse both agree on the marginal of every qubit.
+        for k in 0..NQ {
+            prop_assert!((dense.probability_of_one(k) - stab.probability_of_one(k)).abs() < 1e-9);
+        }
+    }
+}

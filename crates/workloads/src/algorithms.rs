@@ -1,0 +1,125 @@
+//! Quantum-algorithm benchmark circuits (Table V of the paper): entanglement
+//! (GHZ preparation) and the Bernstein–Vazirani algorithm.
+
+use sliq_circuit::Circuit;
+
+/// The entanglement (GHZ-state preparation) circuit used in Table V: one
+/// Hadamard followed by a CNOT chain, `#gates = #qubits`.
+pub fn entanglement(num_qubits: usize) -> Circuit {
+    let mut circuit = Circuit::new(num_qubits);
+    if num_qubits == 0 {
+        return circuit;
+    }
+    circuit.h(0);
+    for q in 1..num_qubits {
+        circuit.cx(q - 1, q);
+    }
+    circuit
+}
+
+/// Alias for [`entanglement`]: the circuit prepares an `n`-qubit GHZ state.
+pub fn ghz(num_qubits: usize) -> Circuit {
+    entanglement(num_qubits)
+}
+
+/// The Bell-state preparation circuit (2-qubit entanglement).
+pub fn bell_pair() -> Circuit {
+    entanglement(2)
+}
+
+/// The Bernstein–Vazirani circuit over `secret.len()` data qubits plus one
+/// ancilla (the last qubit).
+///
+/// Structure: `X`+`H` on the ancilla, `H` on every data qubit, a CNOT from
+/// each data qubit whose secret bit is 1 into the ancilla, and a final `H`
+/// layer on the data qubits.  Measuring the data qubits afterwards recovers
+/// the secret with certainty.
+pub fn bernstein_vazirani(secret: &[bool]) -> Circuit {
+    let n = secret.len();
+    let ancilla = n;
+    let mut circuit = Circuit::new(n + 1);
+    circuit.x(ancilla).h(ancilla);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            circuit.cx(q, ancilla);
+        }
+    }
+    for q in 0..n {
+        circuit.h(q);
+    }
+    circuit
+}
+
+/// The Bernstein–Vazirani circuit with the all-ones secret over
+/// `num_qubits − 1` data qubits (so the circuit has `num_qubits` qubits in
+/// total, matching how Table V counts qubits).  The gate count is
+/// `3·(num_qubits − 1) + 2`, reproducing the `#gates ≈ 3·#qubits` column.
+pub fn bernstein_vazirani_all_ones(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 2, "BV needs at least one data qubit plus the ancilla");
+    bernstein_vazirani(&vec![true; num_qubits - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Simulator;
+    use sliq_core::BitSliceSimulator;
+    use sliq_stabilizer::StabilizerSimulator;
+
+    #[test]
+    fn entanglement_gate_count_matches_table5() {
+        for n in [2usize, 10, 100, 500] {
+            let c = entanglement(n);
+            assert_eq!(c.num_qubits(), n);
+            assert_eq!(c.len(), n, "Table V lists #gates = #qubits");
+            assert!(c.is_clifford());
+        }
+    }
+
+    #[test]
+    fn bv_gate_count_matches_table5() {
+        // Table V: 80 qubits → 239 gates, 100 → 299, 1000 → 2999.
+        for (qubits, gates) in [(80usize, 239usize), (100, 299), (1000, 2999)] {
+            let c = bernstein_vazirani_all_ones(qubits);
+            assert_eq!(c.num_qubits(), qubits);
+            assert_eq!(c.len(), gates);
+        }
+    }
+
+    #[test]
+    fn ghz_state_is_maximally_correlated() {
+        let c = ghz(5);
+        let mut sim = BitSliceSimulator::new(5);
+        sim.run(&c).unwrap();
+        assert!((sim.probability_of_basis_state(&[false; 5]) - 0.5).abs() < 1e-12);
+        assert!((sim.probability_of_basis_state(&[true; 5]) - 0.5).abs() < 1e-12);
+        // Mixed-parity outcomes are impossible.
+        assert!(sim.probability_of_basis_state(&[true, false, true, false, true]) < 1e-15);
+        // The same circuit runs on the stabilizer backend, as in the paper's
+        // CHP comparison.
+        let mut chp = StabilizerSimulator::new(5);
+        chp.run(&c).unwrap();
+        assert_eq!(chp.probability_of_one(4), 0.5);
+    }
+
+    #[test]
+    fn bv_recovers_an_arbitrary_secret() {
+        let secret = [true, false, true, true, false, false, true];
+        let c = bernstein_vazirani(&secret);
+        let mut sim = BitSliceSimulator::new(c.num_qubits());
+        sim.run(&c).unwrap();
+        for (q, &bit) in secret.iter().enumerate() {
+            let p = sim.probability_of_one(q);
+            assert!((p - if bit { 1.0 } else { 0.0 }).abs() < 1e-12, "qubit {q}");
+        }
+        assert!(sim.is_exactly_normalized());
+    }
+
+    #[test]
+    fn bell_pair_is_the_two_qubit_ghz() {
+        assert_eq!(bell_pair(), entanglement(2));
+    }
+}

@@ -1,0 +1,142 @@
+//! Grover search circuits (an extension workload beyond the paper's four
+//! benchmark sets).
+//!
+//! Grover's algorithm only needs H, X and multi-controlled Z — all inside the
+//! paper's gate set once the multi-controlled Z is expressed as
+//! `H(target) · MCX · H(target)` — so, unlike QFT-based algorithms, it can be
+//! simulated *exactly* by the bit-sliced backend.  It exercises the
+//! multi-controlled Toffoli formulas on wide control sets and produces states
+//! whose amplitudes are non-trivial algebraic numbers.
+
+use sliq_circuit::Circuit;
+
+/// Appends a multi-controlled Z over all data qubits (phase flip on
+/// `|11…1⟩`) using `H · MCX · H` on the last qubit.
+fn append_controlled_z_on_all(circuit: &mut Circuit, num_data: usize) {
+    let target = num_data - 1;
+    let controls: Vec<usize> = (0..target).collect();
+    circuit.h(target);
+    circuit.mcx(controls, target);
+    circuit.h(target);
+}
+
+/// Appends the phase oracle marking the basis state `marked`.
+fn append_oracle(circuit: &mut Circuit, marked: &[bool]) {
+    let n = marked.len();
+    for (q, &bit) in marked.iter().enumerate() {
+        if !bit {
+            circuit.x(q);
+        }
+    }
+    append_controlled_z_on_all(circuit, n);
+    for (q, &bit) in marked.iter().enumerate() {
+        if !bit {
+            circuit.x(q);
+        }
+    }
+}
+
+/// Appends the Grover diffusion operator (inversion about the mean).
+fn append_diffusion(circuit: &mut Circuit, num_data: usize) {
+    for q in 0..num_data {
+        circuit.h(q);
+    }
+    for q in 0..num_data {
+        circuit.x(q);
+    }
+    append_controlled_z_on_all(circuit, num_data);
+    for q in 0..num_data {
+        circuit.x(q);
+    }
+    for q in 0..num_data {
+        circuit.h(q);
+    }
+}
+
+/// The number of Grover iterations that (approximately) maximises the success
+/// probability for a single marked item among `2ⁿ`.
+pub fn optimal_iterations(num_data: usize) -> usize {
+    let angle = (1.0 / (1u64 << num_data) as f64).sqrt().asin();
+    ((std::f64::consts::FRAC_PI_4 / angle - 0.5).round() as usize).max(1)
+}
+
+/// Builds a Grover search circuit over `marked.len()` qubits that searches
+/// for the single basis state `marked`, running `iterations` oracle +
+/// diffusion rounds after the initial Hadamard layer.
+pub fn grover(marked: &[bool], iterations: usize) -> Circuit {
+    let n = marked.len();
+    assert!(n >= 2, "Grover search needs at least two qubits");
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for _ in 0..iterations {
+        append_oracle(&mut circuit, marked);
+        append_diffusion(&mut circuit, n);
+    }
+    circuit
+}
+
+/// Grover search with the optimal iteration count for a single marked item.
+pub fn grover_optimal(marked: &[bool]) -> Circuit {
+    grover(marked, optimal_iterations(marked.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Simulator;
+    use sliq_core::BitSliceSimulator;
+    use sliq_dense::DenseSimulator;
+
+    #[test]
+    fn iteration_count_grows_with_register_size() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert!(optimal_iterations(4) >= 3);
+        assert!(optimal_iterations(8) > optimal_iterations(6));
+    }
+
+    #[test]
+    fn grover_amplifies_the_marked_state() {
+        let marked = [true, false, true, true];
+        let circuit = grover_optimal(&marked);
+        assert!(circuit.validate().is_ok());
+        let mut sim = BitSliceSimulator::new(marked.len());
+        sim.run(&circuit).unwrap();
+        let p_marked = sim.probability_of_basis_state(&marked);
+        assert!(
+            p_marked > 0.9,
+            "optimal Grover should find the marked item with high probability, got {p_marked}"
+        );
+        assert!(sim.is_exactly_normalized());
+    }
+
+    #[test]
+    fn two_qubit_grover_is_deterministic() {
+        // For n = 2 a single iteration finds the marked item with certainty.
+        for index in 0..4usize {
+            let marked = [index & 1 == 1, index & 2 == 2];
+            let circuit = grover(&marked, 1);
+            let mut sim = BitSliceSimulator::new(2);
+            sim.run(&circuit).unwrap();
+            let p = sim.probability_of_basis_state(&marked);
+            assert!((p - 1.0).abs() < 1e-12, "marked {marked:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn bitslice_and_dense_agree_on_grover() {
+        let marked = [false, true, true, false, true];
+        let circuit = grover(&marked, 2);
+        let mut dense = DenseSimulator::new(5);
+        let mut exact = BitSliceSimulator::new(5);
+        dense.run(&circuit).unwrap();
+        exact.run(&circuit).unwrap();
+        for basis in 0..32usize {
+            let bits: Vec<bool> = (0..5).map(|q| basis >> q & 1 == 1).collect();
+            let expected = dense.amplitude(&bits);
+            let got = exact.amplitude(&bits).to_complex();
+            assert!(expected.approx_eq(&got, 1e-9), "basis {bits:?}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sliq-workloads
+//!
+//! Generators for the four benchmark families of the paper's evaluation
+//! (Section IV), parameterised so the harness can reproduce each table at
+//! any scale:
+//!
+//! * [`random`] — random Clifford+T circuits with the paper's H-prelayer and
+//!   3:1 gate/qubit ratio (Table III),
+//! * [`revlib_like`] — synthetic RevLib-style reversible circuits and the
+//!   "H on unspecified inputs" modification (Table IV),
+//! * [`algorithms`] — entanglement/GHZ and Bernstein–Vazirani circuits
+//!   (Table V),
+//! * [`supremacy`] — GRCS-style rectangular-lattice supremacy circuits
+//!   (Table VI).
+//!
+//! ```
+//! use sliq_workloads::algorithms;
+//! let bv = algorithms::bernstein_vazirani_all_ones(80);
+//! assert_eq!(bv.len(), 239);   // matches the Table V gate count
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod grover;
+pub mod random;
+pub mod revlib_like;
+pub mod supremacy;
+
+pub use algorithms::{bell_pair, bernstein_vazirani, bernstein_vazirani_all_ones, entanglement, ghz};
+pub use grover::{grover, grover_optimal};
+pub use random::{random_circuit, random_clifford_t, RandomCircuitConfig, RandomGateSet};
+pub use revlib_like::{table4_suite, ReversibleBenchmark};
+pub use supremacy::{supremacy_circuit, table6_lattices, Lattice};

@@ -1,0 +1,184 @@
+//! Random circuit generation following the recipe of the paper's first
+//! benchmark set (Table III).
+//!
+//! "In building a circuit, we first inserted an H-gate to every qubit (so to
+//! impose state superposition in the beginning), and then inserted the
+//! targeted number of gates into the circuit by picking every gate uniformly
+//! at random from the mentioned gate set and applied it to some qubit(s)
+//! selected uniformly at random."  The gate set is Table I minus `Rx(π/2)`
+//! and `Ry(π/2)`, and the gate count is three times the qubit count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sliq_circuit::{Circuit, Gate};
+
+/// Which gates the random generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomGateSet {
+    /// The paper's Table III set: Table I without the π/2 rotations.
+    PaperTable3,
+    /// Clifford gates only (useful for stabilizer cross-checks).
+    CliffordOnly,
+    /// The full supported set including `Rx(π/2)` and `Ry(π/2)`.
+    Full,
+}
+
+/// Configuration of the random circuit generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCircuitConfig {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of gates inserted after the initial H layer.
+    pub num_gates: usize,
+    /// Whether to start with a Hadamard on every qubit (the paper does).
+    pub initial_hadamard_layer: bool,
+    /// The gate alphabet.
+    pub gate_set: RandomGateSet,
+}
+
+impl RandomCircuitConfig {
+    /// The paper's Table III configuration: `#gates : #qubits = 3 : 1`.
+    pub fn paper_table3(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            num_gates: 3 * num_qubits,
+            initial_hadamard_layer: true,
+            gate_set: RandomGateSet::PaperTable3,
+        }
+    }
+}
+
+/// Generates a random circuit for `config`, deterministically from `seed`.
+pub fn random_circuit(config: &RandomCircuitConfig, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.num_qubits;
+    let mut circuit = Circuit::new(n);
+    if config.initial_hadamard_layer {
+        for q in 0..n {
+            circuit.h(q);
+        }
+    }
+    let kinds: &[&str] = match config.gate_set {
+        RandomGateSet::PaperTable3 => &[
+            "x", "y", "z", "h", "s", "t", "cx", "cz", "ccx", "cswap",
+        ],
+        RandomGateSet::CliffordOnly => &["x", "y", "z", "h", "s", "cx", "cz"],
+        RandomGateSet::Full => &[
+            "x", "y", "z", "h", "s", "t", "rx", "ry", "cx", "cz", "ccx", "cswap",
+        ],
+    };
+    for _ in 0..config.num_gates {
+        circuit.push(random_gate(&mut rng, n, kinds));
+    }
+    circuit
+}
+
+/// The paper's Table III circuit for a given qubit count and seed.
+pub fn random_clifford_t(num_qubits: usize, seed: u64) -> Circuit {
+    random_circuit(&RandomCircuitConfig::paper_table3(num_qubits), seed)
+}
+
+fn distinct_qubits<R: Rng>(rng: &mut R, n: usize, how_many: usize) -> Vec<usize> {
+    debug_assert!(how_many <= n);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(how_many);
+    all
+}
+
+fn random_gate<R: Rng>(rng: &mut R, n: usize, kinds: &[&str]) -> Gate {
+    loop {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let needs = match kind {
+            "cx" | "cz" => 2,
+            "ccx" | "cswap" => 3,
+            _ => 1,
+        };
+        if needs > n {
+            continue; // too few qubits for this gate; draw again
+        }
+        let qs = distinct_qubits(rng, n, needs);
+        return match kind {
+            "x" => Gate::X(qs[0]),
+            "y" => Gate::Y(qs[0]),
+            "z" => Gate::Z(qs[0]),
+            "h" => Gate::H(qs[0]),
+            "s" => Gate::S(qs[0]),
+            "t" => Gate::T(qs[0]),
+            "rx" => Gate::RxPi2(qs[0]),
+            "ry" => Gate::RyPi2(qs[0]),
+            "cx" => Gate::Cnot {
+                control: qs[0],
+                target: qs[1],
+            },
+            "cz" => Gate::Cz {
+                control: qs[0],
+                target: qs[1],
+            },
+            "ccx" => Gate::Toffoli {
+                controls: vec![qs[0], qs[1]],
+                target: qs[2],
+            },
+            "cswap" => Gate::Fredkin {
+                controls: vec![qs[0]],
+                target1: qs[1],
+                target2: qs[2],
+            },
+            other => unreachable!("unknown gate kind {other}"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_the_recipe() {
+        let c = random_clifford_t(40, 7);
+        assert_eq!(c.num_qubits(), 40);
+        // H prelayer + 3·n random gates.
+        assert_eq!(c.len(), 40 + 120);
+        assert!(c.validate().is_ok());
+        // The Table III set excludes the π/2 rotations.
+        assert_eq!(c.gate_counts().get("rx_pi2"), None);
+        assert_eq!(c.gate_counts().get("ry_pi2"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = random_clifford_t(16, 123);
+        let b = random_clifford_t(16, 123);
+        let c = random_clifford_t(16, 124);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clifford_only_set_is_clifford() {
+        let config = RandomCircuitConfig {
+            num_qubits: 8,
+            num_gates: 50,
+            initial_hadamard_layer: true,
+            gate_set: RandomGateSet::CliffordOnly,
+        };
+        let c = random_circuit(&config, 5);
+        assert!(c.is_clifford());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn full_set_small_qubit_counts_still_valid() {
+        // With 2 qubits, 3-operand gates must be skipped, not mis-built.
+        let config = RandomCircuitConfig {
+            num_qubits: 2,
+            num_gates: 30,
+            initial_hadamard_layer: false,
+            gate_set: RandomGateSet::Full,
+        };
+        let c = random_circuit(&config, 9);
+        assert_eq!(c.len(), 30);
+        assert!(c.validate().is_ok());
+    }
+}

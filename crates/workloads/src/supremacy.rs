@@ -1,0 +1,240 @@
+//! GRCS-style "quantum supremacy" random circuits on a rectangular qubit
+//! lattice (the paper's fourth benchmark set, Table VI).
+//!
+//! The circuits follow the published generation rules of Boixo et al.
+//! ("Characterizing quantum supremacy in near-term devices") for the
+//! `rectangular / cz_v2` instances the paper downloads from the GRCS
+//! repository:
+//!
+//! 1. a Hadamard on every qubit in cycle 0;
+//! 2. in every later cycle one of eight staggered CZ patterns couples
+//!    neighbouring qubits of the grid;
+//! 3. a qubit not touched by a CZ in the current cycle receives a
+//!    single-qubit gate: a `T` the first time it becomes idle after having
+//!    been touched by a CZ, otherwise a random `√X` or `√Y` that differs from
+//!    the previous single-qubit gate on that qubit; qubits idle in
+//!    consecutive cycles receive no new gate.
+//!
+//! The paper simplifies the depth-10 instances to depth 5; the generator
+//! takes the depth as a parameter so both variants can be produced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliq_circuit::Circuit;
+
+/// A rectangular lattice of qubits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lattice {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Lattice {
+    /// Creates a lattice; the circuit has `rows·cols` qubits.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// The CZ pairs of pattern `p ∈ 0..8`, staggered as in the GRCS layouts:
+    /// patterns 0–3 couple horizontal neighbours, 4–7 vertical neighbours,
+    /// with alternating offsets so consecutive cycles touch disjoint pairs.
+    pub fn cz_pattern(&self, p: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        match p % 8 {
+            0..=3 => {
+                let (row_parity, col_offset) = match p % 4 {
+                    0 => (0, 0),
+                    1 => (1, 0),
+                    2 => (0, 1),
+                    _ => (1, 1),
+                };
+                for row in 0..self.rows {
+                    if row % 2 != row_parity {
+                        continue;
+                    }
+                    let mut col = col_offset;
+                    while col + 1 < self.cols {
+                        pairs.push((self.index(row, col), self.index(row, col + 1)));
+                        col += 2;
+                    }
+                }
+            }
+            _ => {
+                let (col_parity, row_offset) = match p % 4 {
+                    0 => (0, 0),
+                    1 => (1, 0),
+                    2 => (0, 1),
+                    _ => (1, 1),
+                };
+                for col in 0..self.cols {
+                    if col % 2 != col_parity {
+                        continue;
+                    }
+                    let mut row = row_offset;
+                    while row + 1 < self.rows {
+                        pairs.push((self.index(row, col), self.index(row + 1, col)));
+                        row += 2;
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LastSingle {
+    None,
+    T,
+    SqrtX,
+    SqrtY,
+}
+
+/// Generates a GRCS-style supremacy circuit of `depth` CZ cycles on the
+/// lattice (plus the initial Hadamard layer), deterministically from `seed`.
+pub fn supremacy_circuit(lattice: Lattice, depth: usize, seed: u64) -> Circuit {
+    let n = lattice.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    let mut last_single = vec![LastSingle::None; n];
+    let mut had_t = vec![false; n];
+    let mut touched_by_cz = vec![false; n];
+    let mut idle_last_cycle = vec![false; n];
+
+    for cycle in 0..depth {
+        let pairs = lattice.cz_pattern(cycle);
+        let mut in_cz = vec![false; n];
+        for &(a, b) in &pairs {
+            circuit.cz(a, b);
+            in_cz[a] = true;
+            in_cz[b] = true;
+        }
+        for q in 0..n {
+            if in_cz[q] {
+                touched_by_cz[q] = true;
+                idle_last_cycle[q] = false;
+                continue;
+            }
+            // Single-qubit gate rules.
+            if !touched_by_cz[q] || idle_last_cycle[q] {
+                // Not yet entangled, or already idle in the previous cycle:
+                // leave it alone this cycle.
+                idle_last_cycle[q] = true;
+                continue;
+            }
+            if !had_t[q] {
+                circuit.t(q);
+                had_t[q] = true;
+                last_single[q] = LastSingle::T;
+            } else {
+                let pick_sqrt_x = match last_single[q] {
+                    LastSingle::SqrtX => false,
+                    LastSingle::SqrtY => true,
+                    _ => rng.gen_bool(0.5),
+                };
+                if pick_sqrt_x {
+                    circuit.rx_pi2(q);
+                    last_single[q] = LastSingle::SqrtX;
+                } else {
+                    circuit.ry_pi2(q);
+                    last_single[q] = LastSingle::SqrtY;
+                }
+            }
+            idle_last_cycle[q] = true;
+        }
+    }
+    circuit
+}
+
+/// The lattice shapes used in Table VI of the paper, keyed by qubit count:
+/// 16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81 and 90 qubits.
+pub fn table6_lattices() -> Vec<Lattice> {
+    vec![
+        Lattice::new(4, 4),
+        Lattice::new(4, 5),
+        Lattice::new(5, 5),
+        Lattice::new(5, 6),
+        Lattice::new(6, 6),
+        Lattice::new(6, 7),
+        Lattice::new(7, 7),
+        Lattice::new(7, 8),
+        Lattice::new(8, 8),
+        Lattice::new(8, 9),
+        Lattice::new(9, 9),
+        Lattice::new(9, 10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Gate;
+
+    #[test]
+    fn qubit_counts_match_table6() {
+        let counts: Vec<usize> = table6_lattices().iter().map(Lattice::num_qubits).collect();
+        assert_eq!(
+            counts,
+            vec![16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81, 90]
+        );
+    }
+
+    #[test]
+    fn cz_patterns_touch_disjoint_pairs() {
+        let lattice = Lattice::new(4, 5);
+        for p in 0..8 {
+            let pairs = lattice.cz_pattern(p);
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in pairs {
+                assert!(a < lattice.num_qubits() && b < lattice.num_qubits());
+                assert!(seen.insert(a), "qubit {a} used twice in pattern {p}");
+                assert!(seen.insert(b), "qubit {b} used twice in pattern {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_structure_follows_the_rules() {
+        let lattice = Lattice::new(4, 4);
+        let c = supremacy_circuit(lattice, 5, 42);
+        assert!(c.validate().is_ok());
+        // Starts with an H on every qubit.
+        for q in 0..16 {
+            assert_eq!(c.gates()[q], Gate::H(q));
+        }
+        // Contains CZ layers and T gates afterwards.
+        let counts = c.gate_counts();
+        assert!(counts.get("cz").copied().unwrap_or(0) > 0);
+        assert!(counts.get("t").copied().unwrap_or(0) > 0);
+        // Gate count in the same ballpark as Table VI (61 gates for 16
+        // qubits at depth 5 in the paper's simplified instances).
+        assert!(c.len() >= 30 && c.len() <= 120, "got {} gates", c.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lattice = Lattice::new(5, 5);
+        assert_eq!(
+            supremacy_circuit(lattice, 5, 1),
+            supremacy_circuit(lattice, 5, 1)
+        );
+        assert_ne!(
+            supremacy_circuit(lattice, 5, 1),
+            supremacy_circuit(lattice, 5, 2)
+        );
+    }
+}

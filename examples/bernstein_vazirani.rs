@@ -1,0 +1,59 @@
+//! Bernstein–Vazirani at a scale no array-based simulator can touch.
+//!
+//! The BV circuit over `n` data qubits hides an `n`-bit secret inside a
+//! phase oracle; a single query recovers it.  The state never develops more
+//! than a little structure, so the bit-sliced BDD simulator handles hundreds
+//! or thousands of qubits — this is the Table V experiment of the paper,
+//! where DDSIM starts reporting numerical errors at 90 qubits while the
+//! exact backend keeps going.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example bernstein_vazirani -- [num_qubits]
+//! ```
+
+use sliqsim::circuit::Simulator;
+use sliqsim::prelude::*;
+use sliqsim::workloads::algorithms;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_qubits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let data_qubits = num_qubits - 1;
+
+    // A pseudo-random secret so the oracle is not trivially uniform.
+    let secret: Vec<bool> = (0..data_qubits).map(|i| (i * 2654435761) % 3 != 0).collect();
+    let circuit = algorithms::bernstein_vazirani(&secret);
+    println!(
+        "Bernstein–Vazirani: {} qubits, {} gates, secret weight {}",
+        circuit.num_qubits(),
+        circuit.len(),
+        secret.iter().filter(|&&b| b).count()
+    );
+
+    let start = Instant::now();
+    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+    sim.run(&circuit)?;
+    let elapsed = start.elapsed();
+
+    // Read the secret back from the (deterministic) measurement outcomes.
+    let mut recovered = Vec::with_capacity(data_qubits);
+    for q in 0..data_qubits {
+        recovered.push(sim.probability_of_one(q) > 0.5);
+    }
+    assert_eq!(recovered, secret, "BV must recover the secret exactly");
+
+    println!(
+        "simulated in {:.3} s — {} live BDD nodes, integer width r = {}, k = {}",
+        elapsed.as_secs_f64(),
+        sim.node_count(),
+        sim.width(),
+        sim.k()
+    );
+    println!("secret recovered exactly: true");
+    println!("state exactly normalised: {}", sim.is_exactly_normalized());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Grover search simulated exactly — an extension workload showing that the
+//! bit-sliced backend handles wide multi-controlled gates and amplitude
+//! amplification without any floating point in the state.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example grover_search -- [num_qubits]
+//! ```
+
+use sliqsim::circuit::Simulator;
+use sliqsim::prelude::*;
+use sliqsim::workloads::grover;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    // Mark a pseudo-random basis state.
+    let marked: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
+    let iterations = grover::optimal_iterations(n);
+    let circuit = grover::grover(&marked, iterations);
+    println!(
+        "Grover search over {n} qubits (search space 2^{n}), {iterations} iterations, {} gates",
+        circuit.len()
+    );
+
+    let start = Instant::now();
+    let mut sim = BitSliceSimulator::new(n);
+    sim.run(&circuit)?;
+    let elapsed = start.elapsed();
+
+    let p_marked = sim.probability_of_basis_state(&marked);
+    println!(
+        "simulated in {:.3} s — {} BDD nodes, width r = {}, k = {}",
+        elapsed.as_secs_f64(),
+        sim.node_count(),
+        sim.width(),
+        sim.k()
+    );
+    println!(
+        "probability of the marked item after {iterations} iterations: {:.6} (uniform guessing: {:.6})",
+        p_marked,
+        1.0 / (1u64 << n) as f64
+    );
+    println!("state exactly normalised: {}", sim.is_exactly_normalized());
+    assert!(p_marked > 0.5);
+
+    // Sample a measurement of all qubits and check it finds the marked item.
+    let us: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 97) as f64 / 97.0).collect();
+    let sample = sim.state_mut().sample_all(&us);
+    println!(
+        "sampled outcome matches the marked item: {}",
+        sample == marked
+    );
+    Ok(())
+}

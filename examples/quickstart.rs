@@ -1,0 +1,50 @@
+//! Quickstart: build a Bell state, inspect its exact amplitudes, and sample
+//! measurements with the bit-sliced BDD simulator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sliqsim::prelude::*;
+use sliqsim::circuit::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the circuit with the fluent builder (or parse OpenQASM).
+    let mut circuit = Circuit::new(2);
+    circuit.h(0).cx(0, 1);
+    println!("circuit:\n{circuit}");
+
+    // 2. Run it on the exact bit-sliced BDD simulator.
+    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
+    sim.run(&circuit)?;
+
+    // 3. Amplitudes are exact algebraic numbers — no floating point involved.
+    let amp00 = sim.amplitude(&[false, false]);
+    let amp11 = sim.amplitude(&[true, true]);
+    println!("⟨00|ψ⟩ = {amp00}  (= 1/√2 exactly)");
+    println!("⟨11|ψ⟩ = {amp11}");
+    println!("state is exactly normalised: {}", sim.is_exactly_normalized());
+
+    // 4. Probabilities and measurement.
+    println!("Pr[q1 = 1] = {}", sim.probability_of_one(1));
+    let outcome0 = sim.measure_with(0, 0.3);
+    let outcome1 = sim.measure_with(1, 0.7);
+    println!("measured q0 = {}, q1 = {} (Bell correlations force equality)", outcome0 as u8, outcome1 as u8);
+    assert_eq!(outcome0, outcome1);
+
+    // 5. The same circuit runs unchanged on every baseline backend.
+    let mut dense = DenseSimulator::new(2);
+    dense.run(&circuit)?;
+    let mut qmdd = QmddSimulator::new(2);
+    qmdd.run(&circuit)?;
+    let mut chp = StabilizerSimulator::new(2);
+    chp.run(&circuit)?;
+    println!(
+        "Pr[11] — dense: {:.6}, qmdd: {:.6}, stabilizer: {:.6}",
+        dense.probability_of_basis_state(&[true, true]),
+        qmdd.probability_of_basis_state(&[true, true]),
+        chp.probability_of_basis_state(&[true, true]),
+    );
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! `sliq` — a small command-line front end for the simulators.
+//!
+//! ```text
+//! sliq <circuit.qasm|circuit.real> [--backend bitslice|qmdd|dense|stabilizer]
+//!      [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]
+//! ```
+//!
+//! The circuit format is inferred from the file extension (`.qasm` for the
+//! OpenQASM-2 subset, `.real` for RevLib).  By default the exact bit-sliced
+//! backend is used, the per-qubit |1⟩ probabilities of the first few qubits
+//! are printed, and no measurement shots are taken.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliqsim::circuit::{qasm, real, Circuit, Simulator};
+use sliqsim::prelude::*;
+use std::error::Error;
+use std::time::Instant;
+
+struct Options {
+    path: String,
+    backend: String,
+    superpose: bool,
+    shots: usize,
+    seed: u64,
+    probability_qubits: Option<Vec<usize>>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options {
+        path: String::new(),
+        backend: "bitslice".to_string(),
+        superpose: false,
+        shots: 0,
+        seed: 1,
+        probability_qubits: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                options.backend = args.next().ok_or("--backend needs a value")?;
+            }
+            "--superpose-free-inputs" => options.superpose = true,
+            "--shots" => {
+                options.shots = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--shots needs a number")?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--probabilities" => {
+                let list = args.next().ok_or("--probabilities needs a list")?;
+                options.probability_qubits = Some(
+                    list.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.trim().parse().map_err(|_| format!("bad qubit `{s}`")))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]".to_string());
+            }
+            other if options.path.is_empty() && !other.starts_with('-') => {
+                options.path = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.path.is_empty() {
+        return Err("missing circuit file (try --help)".to_string());
+    }
+    Ok(options)
+}
+
+fn load_circuit(options: &Options) -> Result<Circuit, Box<dyn Error>> {
+    let text = std::fs::read_to_string(&options.path)?;
+    if options.path.ends_with(".real") {
+        let parsed = real::parse(&text)?;
+        if options.superpose {
+            let mut circuit = Circuit::new(parsed.circuit.num_qubits());
+            for q in parsed.metadata.free_inputs() {
+                circuit.h(q);
+            }
+            circuit.append(&parsed.circuit);
+            Ok(circuit)
+        } else {
+            Ok(parsed.circuit)
+        }
+    } else {
+        Ok(qasm::parse(&text)?)
+    }
+}
+
+fn make_backend(name: &str, num_qubits: usize) -> Result<Box<dyn Simulator>, String> {
+    match name {
+        "bitslice" | "ours" => Ok(Box::new(BitSliceSimulator::new(num_qubits))),
+        "qmdd" | "ddsim" => Ok(Box::new(QmddSimulator::new(num_qubits))),
+        "dense" | "array" => Ok(Box::new(DenseSimulator::new(num_qubits))),
+        "stabilizer" | "chp" => Ok(Box::new(StabilizerSimulator::new(num_qubits))),
+        other => Err(format!("unknown backend `{other}`")),
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = run(&options) {
+        eprintln!("error: {error}");
+        std::process::exit(1);
+    }
+}
+
+fn run(options: &Options) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(options)?;
+    circuit.validate()?;
+    println!(
+        "loaded `{}`: {} qubits, {} gates (depth {})",
+        options.path,
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.depth()
+    );
+    let mut backend = make_backend(&options.backend, circuit.num_qubits())?;
+    let start = Instant::now();
+    backend.run(&circuit)?;
+    println!(
+        "simulated on `{}` in {:.3} s",
+        backend.name(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let qubits: Vec<usize> = options
+        .probability_qubits
+        .clone()
+        .unwrap_or_else(|| (0..circuit.num_qubits().min(8)).collect());
+    for q in qubits {
+        println!("Pr[q{q} = 1] = {:.10}", backend.probability_of_one(q));
+    }
+    println!("sum of probabilities = {:.12}", backend.total_probability());
+
+    if options.shots > 0 {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        println!("sampling {} shot(s):", options.shots);
+        for shot in 0..options.shots {
+            // Each shot needs a fresh state, so re-run the circuit.
+            let mut fresh = make_backend(&options.backend, circuit.num_qubits())?;
+            fresh.run(&circuit)?;
+            let outcome: String = (0..circuit.num_qubits())
+                .map(|q| {
+                    if fresh.measure_with(q, rng.gen_range(0.0..1.0)) {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect();
+            println!("  shot {shot}: {outcome}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # sliqsim
+//!
+//! Facade crate for the SliQ workspace — a Rust reproduction of
+//! *"Bit-Slicing the Hilbert Space: Scaling Up Accurate Quantum Circuit
+//! Simulation to a New Level"* (DAC 2021).
+//!
+//! The heavy lifting lives in the member crates, re-exported here so examples
+//! and downstream users only need a single dependency:
+//!
+//! * [`math`] — exact algebraic amplitudes and complex scalars.
+//! * [`bignum`] — arbitrary-precision integers for exact SAT counting.
+//! * [`bdd`] — the reduced ordered BDD package.
+//! * [`circuit`] — the gate set, circuit IR and parsers.
+//! * [`core`] — the bit-sliced BDD simulator (the paper's contribution).
+//! * [`dense`], [`qmdd`], [`stabilizer`] — baseline simulators.
+//! * [`workloads`] — benchmark circuit generators.
+//!
+//! ```
+//! use sliqsim::prelude::*;
+//!
+//! // Prepare a 2-qubit Bell state with the exact bit-sliced simulator.
+//! let mut circuit = Circuit::new(2);
+//! circuit.h(0).cx(0, 1);
+//! let mut sim = BitSliceSimulator::new(2);
+//! sim.run(&circuit).expect("supported gates only");
+//! assert!((sim.probability_of_basis_state(&[false, false]) - 0.5).abs() < 1e-12);
+//! assert!((sim.probability_of_basis_state(&[true, true]) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sliq_bdd as bdd;
+pub use sliq_bignum as bignum;
+pub use sliq_circuit as circuit;
+pub use sliq_core as core;
+pub use sliq_dense as dense;
+pub use sliq_math as math;
+pub use sliq_qmdd as qmdd;
+pub use sliq_stabilizer as stabilizer;
+pub use sliq_workloads as workloads;
+
+/// Commonly used items, importable with a single `use sliqsim::prelude::*;`.
+pub mod prelude {
+    pub use sliq_circuit::{Circuit, Gate, Simulator};
+    pub use sliq_core::BitSliceSimulator;
+    pub use sliq_dense::DenseSimulator;
+    pub use sliq_math::{Algebraic, Complex};
+    pub use sliq_qmdd::QmddSimulator;
+    pub use sliq_stabilizer::StabilizerSimulator;
+}
