@@ -62,6 +62,21 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`], for use with `HashMap::with_hasher`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// A strong 64-bit finalizer (the murmur3/splitmix64 avalanche step).
+///
+/// Used by the manager's open-addressed unique table and direct-mapped
+/// operation caches, where every bit of the index must depend on every bit of
+/// the packed key — a plain multiplicative hash leaves the low bits (the only
+/// ones a power-of-two table uses) too correlated with the node ids.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
 /// A `HashMap` keyed with the fast hasher.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
@@ -83,13 +98,9 @@ mod tests {
 
     #[test]
     fn different_keys_hash_differently_in_practice() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let hash = |k: (u32, u32, u32)| {
-            let mut h = bh.build_hasher();
-            k.hash(&mut h);
-            h.finish()
-        };
+        let hash = |k: (u32, u32, u32)| bh.hash_one(k);
         assert_ne!(hash((1, 2, 3)), hash((3, 2, 1)));
         assert_ne!(hash((0, 0, 1)), hash((0, 1, 0)));
     }

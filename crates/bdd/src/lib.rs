@@ -7,12 +7,18 @@
 //! the point the paper makes about being able to use an off-the-shelf BDD
 //! package — so this crate provides exactly that:
 //!
-//! * a hash-consing unique table giving canonical node identity,
-//! * memoised `ITE` (from which AND/OR/XOR/NOT derive),
+//! * an open-addressed hash-consing unique table giving canonical node
+//!   identity,
+//! * dedicated memoised apply recursions (`AND`/`OR`/`XOR`/`NOT`, the
+//!   full-adder `XOR3`/`MAJ`, the literal multiplexer `MUX` and the
+//!   cofactor swap `FLIP`) plus generic `ITE`, all backed by lossy
+//!   direct-mapped operation caches,
 //! * cofactors, cubes, existential quantification,
 //! * exact SAT counting with arbitrary-precision results,
-//! * mark-and-sweep garbage collection with caller-provided roots,
-//! * node counting / support / model extraction utilities.
+//! * mark-and-sweep garbage collection with caller-provided roots and O(1)
+//!   epoch-based cache invalidation,
+//! * node counting / support / model extraction utilities,
+//! * per-cache hit/miss/eviction statistics ([`ManagerStats`]).
 //!
 //! ```
 //! use sliq_bdd::Manager;
@@ -30,4 +36,4 @@ mod hash;
 mod manager;
 
 pub use hash::{FxBuildHasher, FxHashMap};
-pub use manager::{Manager, ManagerStats, NodeId};
+pub use manager::{CacheStats, Manager, ManagerStats, NodeId};

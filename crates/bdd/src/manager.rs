@@ -2,11 +2,56 @@
 //! garbage collection.
 //!
 //! The design mirrors what the paper needs from CUDD and nothing more:
-//! *reduced ordered* BDDs with a hash-consing unique table, an ITE-based
-//! operation cache, cofactor computation, SAT counting and mark-and-sweep
-//! garbage collection driven by the caller (who knows the root set).
+//! *reduced ordered* BDDs with a hash-consing unique table, memoised Boolean
+//! operations, cofactor computation, SAT counting and mark-and-sweep garbage
+//! collection driven by the caller (who knows the root set).
+//!
+//! # Kernel layout
+//!
+//! The bit-sliced simulator decomposes every gate into millions of tiny
+//! Boolean operations, so this module is organised around making those calls
+//! cheap:
+//!
+//! * **Specialised apply recursions.**  `and`, `or`, `xor` and `not` each
+//!   have a dedicated two-operand recursion with commutative key
+//!   normalisation (`and(f, g)` and `and(g, f)` probe the same cache line)
+//!   instead of lowering to three-operand `ite`, which halves the key width
+//!   and skips the ITE triangle checks on the hot path.  On top of those,
+//!   the gate formulas get single-pass recursions for their dominant
+//!   three-operand shapes: [`Manager::xor3`] (the full-adder sum),
+//!   [`Manager::maj`] (the full-adder carry), [`Manager::flip_var`] (the
+//!   X-gate cofactor swap) and [`Manager::mux_var`] (ITE on a variable
+//!   literal), each replacing a chain of two to four generic applies with
+//!   one traversal.
+//!
+//! * **Lossy direct-mapped operation caches.**  Each operation memoises into
+//!   a power-of-two array of packed `u64` words indexed by a strong 64-bit
+//!   mix of the operand ids ([`crate::hash::mix64`]).  A colliding insert
+//!   simply overwrites the previous entry (counted as an *eviction* in
+//!   [`CacheStats`]); a lookup compares the stored key words and treats any
+//!   mismatch as a miss.  Memoisation therefore costs zero allocations on
+//!   the hot path, and losing an entry only costs recomputation — never
+//!   correctness, because every cached result is reproducible from the
+//!   recursion itself.  Each cache starts at 2¹² entries and doubles
+//!   (rehashing its live entries) whenever the misses since the last resize
+//!   exceed its capacity, up to 2¹⁶ entries, so small managers stay compact
+//!   while adder-heavy workloads grow the caches they actually use.
+//!   All caches are cleared in O(1) at GC time by bumping a generation
+//!   counter (`cache_epoch`): entries stamped with an older epoch are
+//!   ignored, so no memset of the arrays is ever needed.
+//!
+//! * **Open-addressed unique table.**  Hash consing uses a single
+//!   linear-probed table whose 16-byte slots store the packed
+//!   `(low, high)` children as one `u64`, the level, and the node id
+//!   (`u32::MAX` marks an empty slot).  The table doubles when the load
+//!   factor exceeds 3/4 and is rebuilt from the mark bitmap during
+//!   [`Manager::collect_garbage`], which also rebuilds the free-list, so
+//!   deleted keys never need tombstones.
+//!
+//! [`ManagerStats`] exposes per-cache hit/miss/eviction counters plus unique
+//! table resize counts so benchmark harnesses can report cache behaviour.
 
-use crate::hash::FxHashMap;
+use crate::hash::{mix64, FxHashMap};
 use sliq_bignum::UBig;
 
 /// Handle to a BDD node owned by a [`Manager`].
@@ -53,6 +98,203 @@ struct Node {
     high: NodeId,
 }
 
+// ---------------------------------------------------------------------- //
+// Operation caches
+// ---------------------------------------------------------------------- //
+
+/// Initial and maximum entry counts (log2) of the direct-mapped caches.
+/// Every cache starts tiny and doubles whenever the misses since its last
+/// resize exceed its capacity — i.e. when the working set demonstrably does
+/// not fit.  The maximum keeps a fully grown cache at a couple of MiB: far
+/// beyond that, probing loses to recomputation on TLB and DRAM misses.
+const CACHE_INITIAL_LOG2: u32 = 12;
+const CACHE_MAX_LOG2: u32 = 16;
+
+/// A lossy direct-mapped memoisation cache backed by packed `u64` words.
+///
+/// Entry layouts (all words zero ⇒ epoch 0 ⇒ stale):
+/// * stride 2 (`and`/`or`/`xor`, `not`, `cofactor`): `[key, epoch<<32|result]`
+/// * stride 3 (`ite`): `[f<<32|g, h, epoch<<32|result]`
+///
+/// Backing the cache with `Vec<u64>` rather than entry structs lets fresh
+/// caches come from `vec![0u64; n]`, which the allocator serves as
+/// lazily-mapped zero pages — `Manager::new` costs O(1) per cache instead of
+/// a multi-MiB memset.
+#[derive(Debug, Clone)]
+struct DirectCache {
+    words: Vec<u64>,
+    /// Entry-index mask (entry count − 1).
+    mask: usize,
+    stride: usize,
+    /// Misses remaining until the next doubling.
+    grow_budget: u64,
+}
+
+impl DirectCache {
+    fn new(stride: usize) -> Self {
+        let entries = 1usize << CACHE_INITIAL_LOG2;
+        Self {
+            words: vec![0; entries * stride],
+            mask: entries - 1,
+            stride,
+            grow_budget: entries as u64,
+        }
+    }
+
+    #[inline]
+    fn base(&self, hash: u64) -> usize {
+        (hash as usize & self.mask) * self.stride
+    }
+
+    /// Called once per store (= once per miss): doubles the cache when the
+    /// miss volume since the last resize exceeds the current capacity.
+    #[inline]
+    fn note_miss(&mut self) {
+        self.grow_budget -= 1;
+        if self.grow_budget == 0 {
+            self.grow();
+        }
+    }
+
+    /// Doubles the entry count, rehashing live entries into the new array
+    /// (every entry stores its full key, so nothing warm is lost; colliding
+    /// pairs resolve lossily as usual).
+    #[cold]
+    fn grow(&mut self) {
+        let entries = self.mask + 1;
+        if entries >= (1usize << CACHE_MAX_LOG2) {
+            self.grow_budget = u64::MAX;
+            return;
+        }
+        let doubled = entries * 2;
+        let mask = doubled - 1;
+        let mut words = vec![0u64; doubled * self.stride];
+        for base in (0..self.words.len()).step_by(self.stride) {
+            let meta_word = self.words[base + self.stride - 1];
+            if meta_word == 0 {
+                continue;
+            }
+            let hash = if self.stride == 2 {
+                mix64(self.words[base])
+            } else {
+                mix64(self.words[base] ^ mix64(self.words[base + 1]))
+            };
+            let new_base = (hash as usize & mask) * self.stride;
+            words[new_base..new_base + self.stride]
+                .copy_from_slice(&self.words[base..base + self.stride]);
+        }
+        self.words = words;
+        self.mask = mask;
+        self.grow_budget = doubled as u64;
+    }
+
+    /// Looks up a stride-2 entry.
+    #[inline]
+    fn probe2(&self, epoch: u32, key: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key));
+        let found_meta = self.words[base + 1];
+        if self.words[base] == key && meta_epoch(found_meta) == epoch {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a stride-2 entry, counting lossy overwrites into `stats`.
+    #[inline]
+    fn store2(&mut self, stats: &mut CacheStats, epoch: u32, key: u64, result: NodeId) {
+        let base = self.base(mix64(key));
+        if meta_epoch(self.words[base + 1]) == epoch && self.words[base] != key {
+            stats.evictions += 1;
+        }
+        self.words[base] = key;
+        self.words[base + 1] = meta(epoch, result);
+        self.note_miss();
+    }
+
+    /// Looks up a stride-3 (`ite`) entry.
+    #[inline]
+    fn probe3(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        let found_meta = self.words[base + 2];
+        if self.words[base] == key_fg
+            && self.words[base + 1] == key_h
+            && meta_epoch(found_meta) == epoch
+        {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a stride-3 (`ite`) entry.
+    #[inline]
+    fn store3(
+        &mut self,
+        stats: &mut CacheStats,
+        epoch: u32,
+        key_fg: u64,
+        key_h: u64,
+        result: NodeId,
+    ) {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        if meta_epoch(self.words[base + 2]) == epoch
+            && (self.words[base] != key_fg || self.words[base + 1] != key_h)
+        {
+            stats.evictions += 1;
+        }
+        self.words[base] = key_fg;
+        self.words[base + 1] = key_h;
+        self.words[base + 2] = meta(epoch, result);
+        self.note_miss();
+    }
+}
+
+#[inline]
+fn meta(epoch: u32, result: NodeId) -> u64 {
+    ((epoch as u64) << 32) | result.0 as u64
+}
+
+#[inline]
+fn meta_epoch(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+#[inline]
+fn meta_result(word: u64) -> NodeId {
+    NodeId(word as u32)
+}
+
+/// Hit/miss/eviction counters of one direct-mapped operation cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the recursion.
+    pub misses: u64,
+    /// Stores that overwrote a live entry with a different key (the lossy
+    /// direct-mapped collision case).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn merged_into(self, total: &mut CacheStats) {
+        total.hits += self.hits;
+        total.misses += self.misses;
+        total.evictions += self.evictions;
+    }
+}
+
 /// Counters describing the work a [`Manager`] has performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
@@ -62,6 +304,96 @@ pub struct ManagerStats {
     pub peak_nodes: usize,
     /// Total nodes ever created (including ones later collected).
     pub created_nodes: usize,
+    /// Number of times the open-addressed unique table doubled.
+    pub unique_resizes: usize,
+    /// Counters of the `and` apply cache.
+    pub and_cache: CacheStats,
+    /// Counters of the `or` apply cache.
+    pub or_cache: CacheStats,
+    /// Counters of the `xor` apply cache.
+    pub xor_cache: CacheStats,
+    /// Counters of the `not` cache.
+    pub not_cache: CacheStats,
+    /// Counters of the `ite` cache.
+    pub ite_cache: CacheStats,
+    /// Counters of the `cofactor` cache.
+    pub cofactor_cache: CacheStats,
+    /// Counters of the three-operand `xor3` cache (the full-adder sum).
+    pub xor3_cache: CacheStats,
+    /// Counters of the three-operand `maj` cache (the full-adder carry).
+    pub maj_cache: CacheStats,
+    /// Counters of the `flip_var` cache (the X-gate permutation).
+    pub flip_cache: CacheStats,
+    /// Counters of the `mux_var` cache (ITE on a variable literal).
+    pub mux_cache: CacheStats,
+}
+
+impl ManagerStats {
+    /// Every operation cache's name and counters, in reporting order — the
+    /// single enumeration aggregate consumers (totals, reports) loop over.
+    pub fn caches(&self) -> [(&'static str, &CacheStats); 10] {
+        [
+            ("and", &self.and_cache),
+            ("or", &self.or_cache),
+            ("xor", &self.xor_cache),
+            ("not", &self.not_cache),
+            ("ite", &self.ite_cache),
+            ("cofactor", &self.cofactor_cache),
+            ("xor3", &self.xor3_cache),
+            ("maj", &self.maj_cache),
+            ("flip", &self.flip_cache),
+            ("mux", &self.mux_cache),
+        ]
+    }
+
+    /// Sum of every operation cache's counters.
+    pub fn total_cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for (_, cache) in self.caches() {
+            cache.merged_into(&mut total);
+        }
+        total
+    }
+
+    /// Overall cache hit rate across every operation cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.total_cache().hit_rate()
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Unique table
+// ---------------------------------------------------------------------- //
+
+/// Sentinel id marking an empty unique-table slot.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Initial unique-table capacity (slots, power of two).
+const INITIAL_TABLE_CAPACITY: usize = 1 << 11;
+
+/// One 16-byte slot of the open-addressed unique table: the packed
+/// `(low, high)` children, the level, and the node id.
+#[derive(Debug, Clone, Copy)]
+struct UniqueSlot {
+    children: u64,
+    level: u32,
+    id: u32,
+}
+
+const EMPTY_UNIQUE_SLOT: UniqueSlot = UniqueSlot {
+    children: 0,
+    level: 0,
+    id: EMPTY_SLOT,
+};
+
+#[inline]
+fn pack_children(low: NodeId, high: NodeId) -> u64 {
+    ((low.0 as u64) << 32) | high.0 as u64
+}
+
+#[inline]
+fn unique_hash(level: u32, children: u64) -> u64 {
+    mix64(children ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// A reduced ordered BDD manager.
@@ -86,9 +418,23 @@ pub struct ManagerStats {
 pub struct Manager {
     nodes: Vec<Node>,
     free: Vec<u32>,
-    unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
-    ite_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
-    cofactor_cache: FxHashMap<(NodeId, u32, bool), NodeId>,
+    /// Open-addressed, linear-probed unique table (power-of-two capacity).
+    table: Vec<UniqueSlot>,
+    /// Number of live entries in `table`.
+    table_len: usize,
+    and_cache: DirectCache,
+    or_cache: DirectCache,
+    xor_cache: DirectCache,
+    not_cache: DirectCache,
+    ite_cache: DirectCache,
+    cofactor_cache: DirectCache,
+    xor3_cache: DirectCache,
+    maj_cache: DirectCache,
+    flip_cache: DirectCache,
+    mux_cache: DirectCache,
+    /// Generation stamp giving O(1) cache clear: entries whose `epoch` field
+    /// differs are stale.
+    cache_epoch: u32,
     num_vars: u32,
     gc_threshold: usize,
     stats: ManagerStats,
@@ -97,17 +443,27 @@ pub struct Manager {
 impl Manager {
     /// Creates a manager with `num_vars` Boolean variables.
     pub fn new(num_vars: usize) -> Self {
-        let terminal = |_: u32| Node {
+        let terminal = Node {
             level: TERMINAL_LEVEL,
             low: NodeId::FALSE,
             high: NodeId::FALSE,
         };
         Self {
-            nodes: vec![terminal(0), terminal(1)],
+            nodes: vec![terminal, terminal],
             free: Vec::new(),
-            unique: FxHashMap::default(),
-            ite_cache: FxHashMap::default(),
-            cofactor_cache: FxHashMap::default(),
+            table: vec![EMPTY_UNIQUE_SLOT; INITIAL_TABLE_CAPACITY],
+            table_len: 0,
+            and_cache: DirectCache::new(2),
+            or_cache: DirectCache::new(2),
+            xor_cache: DirectCache::new(2),
+            not_cache: DirectCache::new(2),
+            ite_cache: DirectCache::new(3),
+            cofactor_cache: DirectCache::new(2),
+            xor3_cache: DirectCache::new(3),
+            maj_cache: DirectCache::new(3),
+            flip_cache: DirectCache::new(2),
+            mux_cache: DirectCache::new(3),
+            cache_epoch: 1,
             num_vars: num_vars as u32,
             gc_threshold: 1 << 16,
             stats: ManagerStats::default(),
@@ -167,14 +523,17 @@ impl Manager {
         self.mk(var as u32, NodeId::TRUE, NodeId::FALSE)
     }
 
+    #[inline]
     fn level(&self, f: NodeId) -> u32 {
         self.nodes[f.index()].level
     }
 
+    #[inline]
     fn low(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].low
     }
 
+    #[inline]
     fn high(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].high
     }
@@ -189,38 +548,250 @@ impl Manager {
         }
     }
 
-    /// Hash-consing node constructor (the `MK` operation).
+    /// Hash-consing node constructor (the `MK` operation): finds or creates
+    /// the node `(level, low, high)` through the open-addressed unique table.
     fn mk(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
         if low == high {
             return low;
         }
-        if let Some(&id) = self.unique.get(&(level, low, high)) {
-            return id;
+        let children = pack_children(low, high);
+        let mask = self.table.len() - 1;
+        let mut idx = unique_hash(level, children) as usize & mask;
+        loop {
+            let slot = self.table[idx];
+            if slot.id == EMPTY_SLOT {
+                break;
+            }
+            if slot.children == children && slot.level == level {
+                return NodeId(slot.id);
+            }
+            idx = (idx + 1) & mask;
+        }
+        // Miss: keep the load factor below 3/4, re-probing for the insert
+        // slot if the table moved.
+        if (self.table_len + 1) * 4 > self.table.len() * 3 {
+            self.grow_table();
+            let mask = self.table.len() - 1;
+            idx = unique_hash(level, children) as usize & mask;
+            while self.table[idx].id != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
         }
         let node = Node { level, low, high };
         let id = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
-                NodeId(slot)
+                slot
             }
             None => {
                 self.nodes.push(node);
-                NodeId((self.nodes.len() - 1) as u32)
+                (self.nodes.len() - 1) as u32
             }
         };
+        self.table[idx] = UniqueSlot {
+            children,
+            level,
+            id,
+        };
+        self.table_len += 1;
         self.stats.created_nodes += 1;
         self.stats.peak_nodes = self.stats.peak_nodes.max(self.allocated_nodes());
-        self.unique.insert((level, low, high), id);
-        id
+        NodeId(id)
+    }
+
+    /// Doubles the unique table and reinserts every live slot.
+    fn grow_table(&mut self) {
+        let new_capacity = self.table.len() * 2;
+        let mask = new_capacity - 1;
+        let mut table = vec![EMPTY_UNIQUE_SLOT; new_capacity];
+        for slot in &self.table {
+            if slot.id == EMPTY_SLOT {
+                continue;
+            }
+            let mut idx = unique_hash(slot.level, slot.children) as usize & mask;
+            while table[idx].id != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            table[idx] = *slot;
+        }
+        self.table = table;
+        self.stats.unique_resizes += 1;
+    }
+
+    /// Rebuilds the unique table and free-list from the GC mark bitmap.
+    fn rebuild_table(&mut self, marked: &[bool]) {
+        for slot in self.table.iter_mut() {
+            *slot = EMPTY_UNIQUE_SLOT;
+        }
+        self.table_len = 0;
+        self.free.clear();
+        let mask = self.table.len() - 1;
+        for (index, &is_live) in marked.iter().enumerate().skip(2) {
+            if !is_live {
+                self.free.push(index as u32);
+                continue;
+            }
+            let node = self.nodes[index];
+            let children = pack_children(node.low, node.high);
+            let mut idx = unique_hash(node.level, children) as usize & mask;
+            while self.table[idx].id != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            self.table[idx] = UniqueSlot {
+                children,
+                level: node.level,
+                id: index as u32,
+            };
+            self.table_len += 1;
+        }
     }
 
     // ----------------------------------------------------------------- //
     // Boolean operations
     // ----------------------------------------------------------------- //
 
+    #[inline]
+    fn split(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
+        let node = &self.nodes[f.index()];
+        if node.level == level {
+            (node.low, node.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Logical conjunction (dedicated apply recursion).
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return f;
+        }
+        if f.is_false() || g.is_false() {
+            return NodeId::FALSE;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if g.is_true() {
+            return f;
+        }
+        // Commutative key normalisation: canonical operand order.
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if let Some(result) = self.and_cache.probe2(self.cache_epoch, key) {
+            self.stats.and_cache.hits += 1;
+            return result;
+        }
+        self.stats.and_cache.misses += 1;
+        let top = self.level(a).min(self.level(b));
+        let (a0, a1) = self.split(a, top);
+        let (b0, b1) = self.split(b, top);
+        let low = self.and(a0, b0);
+        let high = self.and(a1, b1);
+        let result = self.mk(top, low, high);
+        self.and_cache
+            .store2(&mut self.stats.and_cache, self.cache_epoch, key, result);
+        result
+    }
+
+    /// Logical disjunction (dedicated apply recursion).
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return f;
+        }
+        if f.is_true() || g.is_true() {
+            return NodeId::TRUE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if let Some(result) = self.or_cache.probe2(self.cache_epoch, key) {
+            self.stats.or_cache.hits += 1;
+            return result;
+        }
+        self.stats.or_cache.misses += 1;
+        let top = self.level(a).min(self.level(b));
+        let (a0, a1) = self.split(a, top);
+        let (b0, b1) = self.split(b, top);
+        let low = self.or(a0, b0);
+        let high = self.or(a1, b1);
+        let result = self.mk(top, low, high);
+        self.or_cache
+            .store2(&mut self.stats.or_cache, self.cache_epoch, key, result);
+        result
+    }
+
+    /// Exclusive or (dedicated apply recursion).
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return NodeId::FALSE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        if f.is_true() {
+            return self.not(g);
+        }
+        if g.is_true() {
+            return self.not(f);
+        }
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if let Some(result) = self.xor_cache.probe2(self.cache_epoch, key) {
+            self.stats.xor_cache.hits += 1;
+            return result;
+        }
+        self.stats.xor_cache.misses += 1;
+        let top = self.level(a).min(self.level(b));
+        let (a0, a1) = self.split(a, top);
+        let (b0, b1) = self.split(b, top);
+        let low = self.xor(a0, b0);
+        let high = self.xor(a1, b1);
+        let result = self.mk(top, low, high);
+        self.xor_cache
+            .store2(&mut self.stats.xor_cache, self.cache_epoch, key, result);
+        result
+    }
+
+    /// Logical negation (dedicated recursion; without complement edges the
+    /// negation of a shared subgraph is itself heavily shared, so this cache
+    /// hits often).
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        if f.is_false() {
+            return NodeId::TRUE;
+        }
+        if f.is_true() {
+            return NodeId::FALSE;
+        }
+        let key = f.0 as u64;
+        if let Some(result) = self.not_cache.probe2(self.cache_epoch, key) {
+            self.stats.not_cache.hits += 1;
+            return result;
+        }
+        self.stats.not_cache.misses += 1;
+        let level = self.level(f);
+        let (f0, f1) = (self.low(f), self.high(f));
+        let low = self.not(f0);
+        let high = self.not(f1);
+        let result = self.mk(level, low, high);
+        self.not_cache
+            .store2(&mut self.stats.not_cache, self.cache_epoch, key, result);
+        result
+    }
+
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// Calls whose shape matches a two-operand operation are routed to the
+    /// specialised recursions (and their caches) instead.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
-        // Terminal cases.
+        // Terminal and triangle cases.
         if f.is_true() {
             return g;
         }
@@ -233,48 +804,230 @@ impl Manager {
         if g.is_true() && h.is_false() {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+        if g.is_false() && h.is_true() {
+            return self.not(f);
         }
+        // Two-operand shapes: reuse the specialised recursions.
+        if h.is_false() || f == h {
+            return self.and(f, g);
+        }
+        if g.is_true() || f == g {
+            return self.or(f, h);
+        }
+        if g.is_false() {
+            let nf = self.not(f);
+            return self.and(nf, h);
+        }
+        if h.is_true() {
+            let nf = self.not(f);
+            return self.or(nf, g);
+        }
+        let key_fg = ((f.0 as u64) << 32) | g.0 as u64;
+        let key_h = h.0 as u64;
+        if let Some(result) = self.ite_cache.probe3(self.cache_epoch, key_fg, key_h) {
+            self.stats.ite_cache.hits += 1;
+            return result;
+        }
+        self.stats.ite_cache.misses += 1;
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.split(f, top);
         let (g0, g1) = self.split(g, top);
         let (h0, h1) = self.split(h, top);
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
-        let r = self.mk(top, low, high);
-        self.ite_cache.insert((f, g, h), r);
-        r
+        let result = self.mk(top, low, high);
+        self.ite_cache.store3(
+            &mut self.stats.ite_cache,
+            self.cache_epoch,
+            key_fg,
+            key_h,
+            result,
+        );
+        result
     }
 
-    #[inline]
-    fn split(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
-        if self.level(f) == level {
-            (self.low(f), self.high(f))
-        } else {
-            (f, f)
+    /// Three-operand exclusive or `f ⊕ g ⊕ h` — the full-adder *sum* — as a
+    /// single recursion instead of two chained [`Manager::xor`] passes.
+    pub fn xor3(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Fully commutative: sort into canonical operand order.
+        let (mut a, mut b, mut c) = (f, g, h);
+        if a.0 > b.0 {
+            std::mem::swap(&mut a, &mut b);
         }
+        if b.0 > c.0 {
+            std::mem::swap(&mut b, &mut c);
+        }
+        if a.0 > b.0 {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // Duplicate operands cancel.
+        if a == b {
+            return c;
+        }
+        if b == c {
+            return a;
+        }
+        // Terminals sort first; peel them off pairwise.
+        if a.is_terminal() {
+            let rest = self.xor(b, c);
+            return if a.is_true() { self.not(rest) } else { rest };
+        }
+        let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
+        let key_c = c.0 as u64;
+        if let Some(result) = self.xor3_cache.probe3(self.cache_epoch, key_ab, key_c) {
+            self.stats.xor3_cache.hits += 1;
+            return result;
+        }
+        self.stats.xor3_cache.misses += 1;
+        let top = self.level(a).min(self.level(b)).min(self.level(c));
+        let (a0, a1) = self.split(a, top);
+        let (b0, b1) = self.split(b, top);
+        let (c0, c1) = self.split(c, top);
+        let low = self.xor3(a0, b0, c0);
+        let high = self.xor3(a1, b1, c1);
+        let result = self.mk(top, low, high);
+        self.xor3_cache.store3(
+            &mut self.stats.xor3_cache,
+            self.cache_epoch,
+            key_ab,
+            key_c,
+            result,
+        );
+        result
     }
 
-    /// Logical negation.
-    pub fn not(&mut self, f: NodeId) -> NodeId {
-        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    /// Three-operand majority `f·g ∨ f·h ∨ g·h` — the full-adder *carry*
+    /// `a·b ∨ (a ∨ b)·c` — as a single recursion instead of four chained
+    /// two-operand passes.
+    pub fn maj(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Fully commutative: sort into canonical operand order.
+        let (mut a, mut b, mut c) = (f, g, h);
+        if a.0 > b.0 {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if b.0 > c.0 {
+            std::mem::swap(&mut b, &mut c);
+        }
+        if a.0 > b.0 {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // A duplicated operand wins the vote.
+        if a == b {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        // Terminals sort first; a false vote reduces to AND, a true one to OR.
+        if a.is_terminal() {
+            return if a.is_true() {
+                self.or(b, c)
+            } else {
+                self.and(b, c)
+            };
+        }
+        let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
+        let key_c = c.0 as u64;
+        if let Some(result) = self.maj_cache.probe3(self.cache_epoch, key_ab, key_c) {
+            self.stats.maj_cache.hits += 1;
+            return result;
+        }
+        self.stats.maj_cache.misses += 1;
+        let top = self.level(a).min(self.level(b)).min(self.level(c));
+        let (a0, a1) = self.split(a, top);
+        let (b0, b1) = self.split(b, top);
+        let (c0, c1) = self.split(c, top);
+        let low = self.maj(a0, b0, c0);
+        let high = self.maj(a1, b1, c1);
+        let result = self.mk(top, low, high);
+        self.maj_cache.store3(
+            &mut self.stats.maj_cache,
+            self.cache_epoch,
+            key_ab,
+            key_c,
+            result,
+        );
+        result
     }
 
-    /// Logical conjunction.
-    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, g, NodeId::FALSE)
+    /// The composition `f(…, ¬x_var, …)`: swaps the two cofactors along
+    /// `var` in one traversal (the X-gate permutation), instead of the
+    /// three-pass `ite(x, f|₀, f|₁)` construction.
+    pub fn flip_var(&mut self, f: NodeId, var: usize) -> NodeId {
+        self.flip_var_rec(f, var as u32)
     }
 
-    /// Logical disjunction.
-    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, NodeId::TRUE, g)
+    fn flip_var_rec(&mut self, f: NodeId, var: u32) -> NodeId {
+        if f.is_terminal() || self.level(f) > var {
+            return f;
+        }
+        if self.level(f) == var {
+            let (low, high) = (self.low(f), self.high(f));
+            return self.mk(var, high, low);
+        }
+        let key = ((f.0 as u64) << 32) | var as u64;
+        if let Some(result) = self.flip_cache.probe2(self.cache_epoch, key) {
+            self.stats.flip_cache.hits += 1;
+            return result;
+        }
+        self.stats.flip_cache.misses += 1;
+        let level = self.level(f);
+        let (f0, f1) = (self.low(f), self.high(f));
+        let low = self.flip_var_rec(f0, var);
+        let high = self.flip_var_rec(f1, var);
+        let result = self.mk(level, low, high);
+        self.flip_cache
+            .store2(&mut self.stats.flip_cache, self.cache_epoch, key, result);
+        result
     }
 
-    /// Exclusive or.
-    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+    /// `ite(x_var, g, h)` without materialising the literal: the row
+    /// multiplexer used by controlled and phase gates, in one recursion with
+    /// a two-word cache key.
+    pub fn mux_var(&mut self, var: usize, g: NodeId, h: NodeId) -> NodeId {
+        self.mux_var_rec(var as u32, g, h)
+    }
+
+    fn mux_var_rec(&mut self, var: u32, g: NodeId, h: NodeId) -> NodeId {
+        if g == h {
+            return g;
+        }
+        let top = self.level(g).min(self.level(h));
+        if top > var {
+            // Neither operand depends on variables at or above `var`.
+            return self.mk(var, h, g);
+        }
+        let key_gh = ((g.0 as u64) << 32) | h.0 as u64;
+        let key_var = var as u64;
+        if let Some(result) = self.mux_cache.probe3(self.cache_epoch, key_gh, key_var) {
+            self.stats.mux_cache.hits += 1;
+            return result;
+        }
+        self.stats.mux_cache.misses += 1;
+        let result = if top == var {
+            // At the multiplexer level: low output comes from h, high from g.
+            let low = if self.level(h) == var { self.low(h) } else { h };
+            let high = if self.level(g) == var {
+                self.high(g)
+            } else {
+                g
+            };
+            self.mk(var, low, high)
+        } else {
+            let (g0, g1) = self.split(g, top);
+            let (h0, h1) = self.split(h, top);
+            let low = self.mux_var_rec(var, g0, h0);
+            let high = self.mux_var_rec(var, g1, h1);
+            self.mk(top, low, high)
+        };
+        self.mux_cache.store3(
+            &mut self.stats.mux_cache,
+            self.cache_epoch,
+            key_gh,
+            key_var,
+            result,
+        );
+        result
     }
 
     /// Conjunction of many functions.
@@ -319,22 +1072,35 @@ impl Manager {
 
     /// The cofactor `f|_{var=value}`.
     pub fn cofactor(&mut self, f: NodeId, var: usize, value: bool) -> NodeId {
-        let var = var as u32;
+        self.cofactor_rec(f, var as u32, value)
+    }
+
+    fn cofactor_rec(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
         if f.is_terminal() || self.level(f) > var {
             return f;
         }
         if self.level(f) == var {
             return if value { self.high(f) } else { self.low(f) };
         }
-        if let Some(&r) = self.cofactor_cache.get(&(f, var, value)) {
-            return r;
+        let var_value = var | (value as u32) << 31;
+        let key = ((f.0 as u64) << 32) | var_value as u64;
+        if let Some(result) = self.cofactor_cache.probe2(self.cache_epoch, key) {
+            self.stats.cofactor_cache.hits += 1;
+            return result;
         }
+        self.stats.cofactor_cache.misses += 1;
         let level = self.level(f);
-        let low = self.cofactor(self.low(f), var as usize, value);
-        let high = self.cofactor(self.high(f), var as usize, value);
-        let r = self.mk(level, low, high);
-        self.cofactor_cache.insert((f, var, value), r);
-        r
+        let (f0, f1) = (self.low(f), self.high(f));
+        let low = self.cofactor_rec(f0, var, value);
+        let high = self.cofactor_rec(f1, var, value);
+        let result = self.mk(level, low, high);
+        self.cofactor_cache.store2(
+            &mut self.stats.cofactor_cache,
+            self.cache_epoch,
+            key,
+            result,
+        );
+        result
     }
 
     /// Cofactor with respect to a cube given as `(variable, phase)` pairs.
@@ -413,12 +1179,7 @@ impl Manager {
     /// infinity around 2¹⁰²⁴ assignments).
     pub fn sat_count_f64(&self, f: NodeId, nvars: usize) -> f64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
-        fn rec(
-            mgr: &Manager,
-            f: NodeId,
-            nvars: u32,
-            memo: &mut FxHashMap<NodeId, f64>,
-        ) -> f64 {
+        fn rec(mgr: &Manager, f: NodeId, nvars: u32, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
             if f.is_false() {
                 return 0.0;
             }
@@ -528,9 +1289,28 @@ impl Manager {
         self.gc_threshold = threshold;
     }
 
+    /// Every operation cache, for whole-kernel maintenance (epoch-wrap
+    /// resets); must stay in sync with the struct fields.
+    fn op_caches_mut(&mut self) -> [&mut DirectCache; 10] {
+        [
+            &mut self.and_cache,
+            &mut self.or_cache,
+            &mut self.xor_cache,
+            &mut self.not_cache,
+            &mut self.ite_cache,
+            &mut self.cofactor_cache,
+            &mut self.xor3_cache,
+            &mut self.maj_cache,
+            &mut self.flip_cache,
+            &mut self.mux_cache,
+        ]
+    }
+
     /// Mark-and-sweep garbage collection.  Every node reachable from `roots`
-    /// survives with its `NodeId` unchanged; all other nodes are freed and the
-    /// operation caches are cleared.  Returns the number of freed nodes.
+    /// survives with its `NodeId` unchanged; all other nodes are freed, the
+    /// unique table and free-list are rebuilt from the mark bitmap, and the
+    /// operation caches are invalidated in O(1) by bumping the cache epoch.
+    /// Returns the number of freed nodes.
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -544,17 +1324,19 @@ impl Manager {
             stack.push(self.low(f));
             stack.push(self.high(f));
         }
-        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
-        let mut freed = 0;
-        for idx in 2..self.nodes.len() {
-            if !marked[idx] && !already_free.contains(&(idx as u32)) {
-                self.free.push(idx as u32);
-                freed += 1;
+        let free_before = self.free.len();
+        self.rebuild_table(&marked);
+        let freed = self.free.len() - free_before;
+        // O(1) cache clear: stale entries are recognised by their epoch.
+        self.cache_epoch = self.cache_epoch.wrapping_add(1);
+        if self.cache_epoch == 0 {
+            // Extremely rare wrap: hard-reset so no stale entry can alias the
+            // restarted epoch counter.
+            for cache in self.op_caches_mut() {
+                cache.words.fill(0);
             }
+            self.cache_epoch = 1;
         }
-        self.unique.retain(|_, id| marked[id.index()]);
-        self.ite_cache.clear();
-        self.cofactor_cache.clear();
         self.stats.gc_runs += 1;
         // Grow the threshold if little garbage was reclaimed, so we do not
         // thrash on workloads whose live set keeps growing.
@@ -722,7 +1504,7 @@ mod tests {
             assignment[i + 4] = true;
             assert!(!mgr.eval(f, &assignment));
         }
-        // And new operations still work (caches were cleared correctly).
+        // And new operations still work (caches were invalidated correctly).
         let again = mgr.xor(keep[0], keep[1]);
         assert!(!again.is_terminal());
         assert_eq!(mgr.stats().gc_runs, 1);
@@ -762,5 +1544,126 @@ mod tests {
         assert_eq!(ex, y);
         let both = mgr.exists(ex, 1);
         assert!(both.is_true());
+    }
+
+    // ------------------------------------------------------------------ //
+    // New-kernel specifics: lossy caches, epochs, open-addressed table
+    // ------------------------------------------------------------------ //
+
+    #[test]
+    fn specialized_ops_agree_with_ite_lowering() {
+        let mut mgr = Manager::new(6);
+        let mut functions = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let x = mgr.var(i);
+                let y = mgr.var(j);
+                functions.push(mgr.xor(x, y));
+                functions.push(mgr.and(x, y));
+            }
+        }
+        for &f in &functions {
+            for &g in &functions {
+                let and_direct = mgr.and(f, g);
+                let and_ite = mgr.ite(f, g, NodeId::FALSE);
+                assert_eq!(and_direct, and_ite);
+                let or_direct = mgr.or(f, g);
+                let or_ite = mgr.ite(f, NodeId::TRUE, g);
+                assert_eq!(or_direct, or_ite);
+                let xor_direct = mgr.xor(f, g);
+                let ng = mgr.not(g);
+                let xor_ite = mgr.ite(f, ng, g);
+                assert_eq!(xor_direct, xor_ite);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let mut mgr = Manager::new(8);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let first = mgr.and(x, y);
+        assert_eq!(mgr.stats().and_cache.misses, 1);
+        assert_eq!(mgr.stats().and_cache.hits, 0);
+        // Identical and argument-swapped calls hit the normalised cache key.
+        let second = mgr.and(x, y);
+        let third = mgr.and(y, x);
+        assert_eq!(first, second);
+        assert_eq!(first, third);
+        assert_eq!(mgr.stats().and_cache.hits, 2);
+        assert_eq!(mgr.stats().and_cache.misses, 1);
+        assert!(mgr.stats().cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn gc_invalidates_caches_via_epoch() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let f = mgr.xor(x, y);
+        let hits_before = mgr.stats().xor_cache.hits;
+        mgr.collect_garbage(&[f]);
+        // Same lookup after GC must MISS (epoch moved on), not alias a stale
+        // entry, and must still produce the identical canonical node.
+        let again = mgr.xor(x, y);
+        assert_eq!(again, f);
+        assert_eq!(mgr.stats().xor_cache.hits, hits_before);
+        assert!(mgr.stats().xor_cache.misses >= 2);
+    }
+
+    #[test]
+    fn unique_table_grows_and_stays_consistent() {
+        const NV: usize = 12;
+        let mut mgr = Manager::new(NV);
+        // Thousands of distinct minterm chains force several table doublings.
+        let minterm_bits =
+            |i: usize| -> Vec<(usize, bool)> { (0..NV).map(|v| (v, i >> v & 1 == 1)).collect() };
+        let cubes: Vec<NodeId> = (0..3000).map(|i| mgr.cube(&minterm_bits(i))).collect();
+        assert!(
+            mgr.stats().unique_resizes > 0,
+            "3000 minterms over {NV} vars must outgrow the initial table"
+        );
+        // Hash consing stays canonical across resizes: rebuilding any cube
+        // yields the identical node, and each evaluates to 1 exactly on its
+        // own minterm.
+        for (i, &cube) in cubes.iter().enumerate().step_by(127) {
+            assert_eq!(mgr.cube(&minterm_bits(i)), cube);
+            let assignment: Vec<bool> = (0..NV).map(|v| i >> v & 1 == 1).collect();
+            assert!(mgr.eval(cube, &assignment));
+            let mut flipped = assignment.clone();
+            flipped[3] = !flipped[3];
+            assert!(!mgr.eval(cube, &flipped));
+        }
+    }
+
+    #[test]
+    fn lossy_cache_overwrites_are_counted_not_fatal() {
+        // Hammer the small not-cache with many distinct nodes; evictions must
+        // occur and every result must stay correct.
+        let mut mgr = Manager::new(16);
+        let mut nodes = Vec::new();
+        for i in 0..16 {
+            for j in 0..16 {
+                if i == j {
+                    continue;
+                }
+                let x = mgr.var(i);
+                let y = mgr.var(j);
+                let f = mgr.and(x, y);
+                nodes.push((f, i, j));
+            }
+        }
+        for &(f, i, j) in &nodes {
+            let nf = mgr.not(f);
+            let mut assignment = [false; 16];
+            assert!(mgr.eval(nf, &assignment), "¬(xi∧xj) true on all-false");
+            assignment[i] = true;
+            assignment[j] = true;
+            assert!(!mgr.eval(nf, &assignment));
+        }
+        let stats = mgr.stats();
+        let total = stats.total_cache();
+        assert!(total.hits + total.misses > 0);
     }
 }

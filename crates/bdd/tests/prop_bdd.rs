@@ -29,8 +29,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
@@ -159,6 +162,74 @@ proptest! {
             prop_assert_eq!(mgr.eval(f2b, &a), eval_expr(&e2, &a));
         }
         let _ = f2;
+    }
+
+    #[test]
+    fn specialized_applies_equal_their_ite_encodings(e1 in expr_strategy(), e2 in expr_strategy()) {
+        // The dedicated two-operand recursions must return the *identical*
+        // node (not merely an equivalent function) as the generic ITE
+        // formulations they replace — BDD canonicity makes this an equality
+        // on NodeIds.
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e1);
+        let g = build_bdd(&mut mgr, &e2);
+
+        let and_direct = mgr.and(f, g);
+        let and_ite = mgr.ite(f, g, NodeId::FALSE);
+        prop_assert_eq!(and_direct, and_ite);
+
+        let or_direct = mgr.or(f, g);
+        let or_ite = mgr.ite(f, NodeId::TRUE, g);
+        prop_assert_eq!(or_direct, or_ite);
+
+        let xor_direct = mgr.xor(f, g);
+        let ng = mgr.not(g);
+        let xor_ite = mgr.ite(f, ng, g);
+        prop_assert_eq!(xor_direct, xor_ite);
+
+        let not_direct = mgr.not(f);
+        let not_ite = mgr.ite(f, NodeId::FALSE, NodeId::TRUE);
+        prop_assert_eq!(not_direct, not_ite);
+    }
+
+    #[test]
+    fn three_operand_applies_equal_their_ite_encodings(
+        e1 in expr_strategy(),
+        e2 in expr_strategy(),
+        e3 in expr_strategy(),
+        var in 0..NVARS,
+    ) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e1);
+        let g = build_bdd(&mut mgr, &e2);
+        let h = build_bdd(&mut mgr, &e3);
+
+        // xor3 = f ⊕ g ⊕ h via chained two-operand xors.
+        let xor3_direct = mgr.xor3(f, g, h);
+        let fg = mgr.xor(f, g);
+        let xor3_chained = mgr.xor(fg, h);
+        prop_assert_eq!(xor3_direct, xor3_chained);
+
+        // maj = f·g ∨ (f ∨ g)·h, the full-adder carry.
+        let maj_direct = mgr.maj(f, g, h);
+        let fg_and = mgr.and(f, g);
+        let fg_or = mgr.or(f, g);
+        let propagate = mgr.and(fg_or, h);
+        let maj_chained = mgr.or(fg_and, propagate);
+        prop_assert_eq!(maj_direct, maj_chained);
+
+        // mux_var = ite(x_var, g, h) with the literal materialised.
+        let mux_direct = mgr.mux_var(var, g, h);
+        let x = mgr.var(var);
+        let mux_ite = mgr.ite(x, g, h);
+        prop_assert_eq!(mux_direct, mux_ite);
+
+        // flip_var = ite(x_var, f|_{var=0}, f|_{var=1}).
+        let flip_direct = mgr.flip_var(f, var);
+        let f0 = mgr.cofactor(f, var, false);
+        let f1 = mgr.cofactor(f, var, true);
+        let flip_ite = mgr.ite(x, f0, f1);
+        prop_assert_eq!(flip_direct, flip_ite);
     }
 
     #[test]

@@ -77,4 +77,29 @@ fn main() {
         let rows = bitwidth_rows(scale);
         println!("{}", format_bitwidth(&rows));
     }
+    if wants("kernel") {
+        print_kernel_report(limits);
+    }
+}
+
+/// Runs two representative bit-sliced cases and prints the BDD kernel's
+/// per-cache hit/miss/eviction counters.
+fn print_kernel_report(limits: CaseLimits) {
+    use sliq_bench::{kernel_stats_report, run_case, Backend};
+    let cases = [
+        ("ghz(64)", sliq_workloads::algorithms::ghz(64)),
+        (
+            "random_clifford_t(16)",
+            sliq_workloads::random::random_clifford_t(16, 1),
+        ),
+    ];
+    println!("## BDD kernel cache statistics (bit-sliced backend)");
+    for (name, circuit) in &cases {
+        let result = run_case(Backend::BitSlice, circuit, limits);
+        println!("{name}: {}", result.time_cell());
+        match &result.bdd_stats {
+            Some(stats) => print!("{}", kernel_stats_report(stats)),
+            None => println!("  (no kernel statistics reported)"),
+        }
+    }
 }

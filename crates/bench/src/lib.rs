@@ -20,5 +20,7 @@ pub mod runner;
 pub mod tables;
 
 pub use parallel::run_cases_parallel;
-pub use runner::{run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary};
+pub use runner::{
+    kernel_stats_report, run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary,
+};
 pub use tables::Scale;

@@ -2,11 +2,16 @@
 //!
 //! Each row of the paper's tables averages over several independently
 //! generated circuits; those cases are embarrassingly parallel, so the sweep
-//! runner fans them out over a scoped thread pool (one worker per case, capped
-//! at the available parallelism).
+//! runner fans them out over a scoped thread pool (capped at the available
+//! parallelism).  Workers claim cases dynamically through an atomic index —
+//! so a slow (e.g. timeout-bound) case never serializes the rest behind it —
+//! and stream `(index, result)` pairs over a channel instead of contending on
+//! a shared results vector.
 
 use crate::runner::{run_case, Backend, CaseLimits, CaseResult};
 use sliq_circuit::Circuit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Runs every circuit on `backend` under `limits`, in parallel, returning the
 /// results in the input order.
@@ -25,22 +30,28 @@ pub fn run_cases_parallel(
             .map(|c| run_case(backend, c, limits))
             .collect();
     }
-    let mut results: Vec<Option<CaseResult>> = vec![None; circuits.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= circuits.len() {
                     break;
                 }
                 let result = run_case(backend, &circuits[index], limits);
-                results_mutex.lock()[index] = Some(result);
+                // The receiver outlives the scope; the send cannot fail.
+                let _ = tx.send((index, result));
             });
         }
-    })
-    .expect("benchmark worker panicked");
+    });
+    drop(tx);
+    let mut results: Vec<Option<CaseResult>> = vec![None; circuits.len()];
+    for (index, result) in rx.iter() {
+        results[index] = Some(result);
+    }
     results
         .into_iter()
         .map(|r| r.expect("every case produced a result"))

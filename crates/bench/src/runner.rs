@@ -64,6 +64,9 @@ pub struct CaseResult {
     /// Deviation of the total probability from 1 (the paper flags a case as
     /// "error" when the probabilities no longer sum to one).
     pub probability_error: f64,
+    /// BDD kernel counters (only populated by the bit-sliced backend):
+    /// per-operation-cache hits/misses/evictions, GC runs and node totals.
+    pub bdd_stats: Option<sliq_bdd::ManagerStats>,
 }
 
 impl CaseResult {
@@ -102,11 +105,9 @@ impl Default for CaseLimits {
 const BYTES_PER_BDD_NODE: f64 = 48.0;
 const BYTES_PER_QMDD_NODE: f64 = 96.0;
 
-fn run_backend(
-    backend: Backend,
-    circuit: &Circuit,
-    limits: CaseLimits,
-) -> (CaseStatus, f64, f64) {
+type BackendOutcome = (CaseStatus, f64, f64, Option<sliq_bdd::ManagerStats>);
+
+fn run_backend(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> BackendOutcome {
     let n = circuit.num_qubits();
     let check = |r: Result<(), SimulationError>| match r {
         Ok(()) => None,
@@ -119,14 +120,14 @@ fn run_backend(
                 max_nodes: Some(limits.max_nodes),
             });
             if let Some(status) = check(sim.run(circuit)) {
-                let mem = sim.state().manager().stats().peak_nodes as f64 * BYTES_PER_BDD_NODE
-                    / (1024.0 * 1024.0);
-                return (status, mem, f64::NAN);
+                let stats = sim.state().manager().stats();
+                let mem = stats.peak_nodes as f64 * BYTES_PER_BDD_NODE / (1024.0 * 1024.0);
+                return (status, mem, f64::NAN, Some(stats));
             }
-            let mem = sim.state().manager().stats().peak_nodes as f64 * BYTES_PER_BDD_NODE
-                / (1024.0 * 1024.0);
+            let stats = sim.state().manager().stats();
+            let mem = stats.peak_nodes as f64 * BYTES_PER_BDD_NODE / (1024.0 * 1024.0);
             let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err)
+            (CaseStatus::Completed, mem, err, Some(stats))
         }
         Backend::Qmdd => {
             let mut sim = QmddSimulator::new(n).with_limits(QmddLimits {
@@ -134,31 +135,31 @@ fn run_backend(
             });
             if let Some(status) = check(sim.run(circuit)) {
                 let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
-                return (status, mem, f64::NAN);
+                return (status, mem, f64::NAN, None);
             }
             let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
             let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err)
+            (CaseStatus::Completed, mem, err, None)
         }
         Backend::Dense => {
             if n > sliq_dense::MAX_DENSE_QUBITS {
-                return (CaseStatus::MemoryOut, f64::INFINITY, f64::NAN);
+                return (CaseStatus::MemoryOut, f64::INFINITY, f64::NAN, None);
             }
             let mut sim = DenseSimulator::new(n);
             if let Some(status) = check(sim.run(circuit)) {
-                return (status, 0.0, f64::NAN);
+                return (status, 0.0, f64::NAN, None);
             }
             let mem = (1u64 << n) as f64 * 16.0 / (1024.0 * 1024.0);
             let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err)
+            (CaseStatus::Completed, mem, err, None)
         }
         Backend::Stabilizer => {
             let mut sim = StabilizerSimulator::new(n);
             if let Some(status) = check(sim.run(circuit)) {
-                return (status, 0.0, f64::NAN);
+                return (status, 0.0, f64::NAN, None);
             }
             let mem = (2 * n * n) as f64 * 2.0 / (1024.0 * 1024.0);
-            (CaseStatus::Completed, mem, 0.0)
+            (CaseStatus::Completed, mem, 0.0, None)
         }
     }
 }
@@ -175,12 +176,13 @@ pub fn run_case(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> Case
         let _ = tx.send(result);
     });
     match rx.recv_timeout(limits.timeout) {
-        Ok((status, memory_mib, probability_error)) => CaseResult {
+        Ok((status, memory_mib, probability_error, bdd_stats)) => CaseResult {
             backend,
             status,
             seconds: start.elapsed().as_secs_f64(),
             memory_mib,
             probability_error,
+            bdd_stats,
         },
         Err(_) => CaseResult {
             backend,
@@ -188,8 +190,34 @@ pub fn run_case(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> Case
             seconds: limits.timeout.as_secs_f64(),
             memory_mib: f64::NAN,
             probability_error: f64::NAN,
+            bdd_stats: None,
         },
     }
+}
+
+/// Renders the BDD kernel counters of a bit-sliced case as a small table:
+/// one line per operation cache plus node/GC totals, so perf work has a
+/// hit-rate baseline to compare against.
+pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
+    let mut out = String::new();
+    let mut line = |name: &str, c: &sliq_bdd::CacheStats| {
+        out.push_str(&format!(
+            "  {name:<9} hits {:>10}  misses {:>10}  evictions {:>9}  hit-rate {:>5.1}%\n",
+            c.hits,
+            c.misses,
+            c.evictions,
+            100.0 * c.hit_rate()
+        ));
+    };
+    for (name, cache) in stats.caches() {
+        line(name, cache);
+    }
+    line("TOTAL", &stats.total_cache());
+    out.push_str(&format!(
+        "  nodes created {}  peak {}  unique-resizes {}  gc-runs {}\n",
+        stats.created_nodes, stats.peak_nodes, stats.unique_resizes, stats.gc_runs
+    ));
+    out
 }
 
 /// Aggregates results of several cases (e.g. the 10 random circuits per row
@@ -269,6 +297,23 @@ mod tests {
         assert!(result.seconds < 20.0);
         assert!(result.memory_mib >= 0.0);
         assert!(result.probability_error < 1e-9);
+    }
+
+    #[test]
+    fn bitslice_case_reports_kernel_cache_stats() {
+        // A Clifford+T circuit re-uses subfunctions, so the kernel caches
+        // must report a nonzero hit rate (GHZ alone is all compulsory
+        // misses).
+        let circuit = sliq_workloads::random::random_clifford_t(10, 3);
+        let result = run_case(Backend::BitSlice, &circuit, CaseLimits::default());
+        let stats = result.bdd_stats.expect("bit-sliced backend reports stats");
+        let total = stats.total_cache();
+        assert!(total.hits + total.misses > 0, "kernel did cached work");
+        assert!(stats.cache_hit_rate() > 0.0, "nonzero cache hit rate");
+        assert!(!kernel_stats_report(&stats).is_empty());
+        // The other backends have no BDD kernel to report on.
+        let dense = run_case(Backend::Dense, &circuit, CaseLimits::default());
+        assert!(dense.bdd_stats.is_none());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use crate::parallel::run_cases_parallel;
 use crate::runner::{run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary};
 use sliq_circuit::Circuit;
-use sliq_core::BitSliceSimulator;
 use sliq_circuit::Simulator;
+use sliq_core::BitSliceSimulator;
 use sliq_qmdd::QmddSimulator;
 use sliq_workloads::{algorithms, random, revlib_like, supremacy};
 
@@ -264,7 +264,11 @@ pub fn table6_rows(scale: Scale, limits: CaseLimits) -> Vec<Table6Row> {
             2,
             5,
         ),
-        Scale::Full => (supremacy::table6_lattices().into_iter().take(8).collect(), 3, 5),
+        Scale::Full => (
+            supremacy::table6_lattices().into_iter().take(8).collect(),
+            3,
+            5,
+        ),
     };
     lattices
         .into_iter()
@@ -272,8 +276,7 @@ pub fn table6_rows(scale: Scale, limits: CaseLimits) -> Vec<Table6Row> {
             let circuits: Vec<Circuit> = (0..seeds)
                 .map(|seed| supremacy::supremacy_circuit(lattice, depth, seed))
                 .collect();
-            let gates =
-                circuits.iter().map(Circuit::len).sum::<usize>() / circuits.len().max(1);
+            let gates = circuits.iter().map(Circuit::len).sum::<usize>() / circuits.len().max(1);
             let run_all = |backend: Backend| -> RowSummary {
                 RowSummary::from_cases(&run_cases_parallel(backend, &circuits, limits))
             };
@@ -389,7 +392,13 @@ pub fn format_accuracy(rows: &[AccuracyRow]) -> String {
     out.push_str("ACCURACY: floating-point drift vs the exact backend on deep random circuits\n");
     out.push_str(&format!(
         "{:>8} {:>8} | {:>12} {:>12} {:>14} | {:>10} {:>12}\n",
-        "#Qubits", "#Gates", "QMDD |Σp-1|", "QMDD max|Δα|", "QMDD(1e-4)|Δα|", "Ours exact", "Ours |Σp-1|"
+        "#Qubits",
+        "#Gates",
+        "QMDD |Σp-1|",
+        "QMDD max|Δα|",
+        "QMDD(1e-4)|Δα|",
+        "Ours exact",
+        "Ours |Σp-1|"
     ));
     for row in rows {
         out.push_str(&format!(

@@ -133,7 +133,9 @@ impl Add for IBig {
                 Ordering::Greater => {
                     IBig::from_sign_magnitude(self.negative, UBig::sub(&self.mag, &rhs.mag))
                 }
-                Ordering::Less => IBig::from_sign_magnitude(rhs.negative, UBig::sub(&rhs.mag, &self.mag)),
+                Ordering::Less => {
+                    IBig::from_sign_magnitude(rhs.negative, UBig::sub(&rhs.mag, &self.mag))
+                }
             }
         }
     }
@@ -155,13 +157,16 @@ impl Sub for IBig {
 impl Mul for IBig {
     type Output = IBig;
     fn mul(self, rhs: IBig) -> IBig {
-        IBig::from_sign_magnitude(self.negative != rhs.negative, UBig::mul(&self.mag, &rhs.mag))
+        IBig::from_sign_magnitude(
+            self.negative != rhs.negative,
+            UBig::mul(&self.mag, &rhs.mag),
+        )
     }
 }
 
 impl PartialOrd for IBig {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 

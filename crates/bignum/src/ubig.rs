@@ -76,8 +76,8 @@ impl UBig {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let a = long[i] as u128;
+        for (i, &limb) in long.iter().enumerate() {
+            let a = limb as u128;
             let b = *short.get(i).unwrap_or(&0) as u128;
             let s = a + b + carry as u128;
             out.push(s as u64);
@@ -284,7 +284,7 @@ impl std::ops::Sub for UBig {
 
 impl PartialOrd for UBig {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -326,10 +326,13 @@ mod tests {
             UBig::add(&a, &b),
             UBig::from(123_456_789_012_345_678u128 + 987_654_321_098_765_432u128)
         );
-        assert_eq!(UBig::sub(&b, &a), UBig::from(987_654_321_098_765_432u64 - 123_456_789_012_345_678u64));
+        assert_eq!(
+            UBig::sub(&b, &a),
+            UBig::from(987_654_321_098_765_432u64 - 123_456_789_012_345_678u64)
+        );
         assert_eq!(
             UBig::mul(&a, &b),
-            UBig::from(123_456_789_012_345_678u128 * 987_654_321_098_765_432u128 as u128)
+            UBig::from(123_456_789_012_345_678u128 * 987_654_321_098_765_432_u128)
         );
     }
 

@@ -65,8 +65,11 @@ fn parse_statement(
     gates: &mut Vec<Gate>,
 ) -> Result<(), ParseError> {
     let lower = stmt.to_ascii_lowercase();
-    if lower.starts_with("openqasm") || lower.starts_with("include") || lower.starts_with("creg")
-        || lower.starts_with("barrier") || lower.starts_with("measure")
+    if lower.starts_with("openqasm")
+        || lower.starts_with("include")
+        || lower.starts_with("creg")
+        || lower.starts_with("barrier")
+        || lower.starts_with("measure")
     {
         return Ok(());
     }
@@ -100,17 +103,23 @@ fn parse_statement(
         } else {
             Err(ParseError::new(
                 line,
-                format!("gate `{head}` expects {n} operand(s), got {}", operands.len()),
+                format!(
+                    "gate `{head}` expects {n} operand(s), got {}",
+                    operands.len()
+                ),
             ))
         }
     };
 
     let (mnemonic, param) = match head.find('(') {
         Some(pos) => {
-            let close = head.rfind(')').ok_or_else(|| {
-                ParseError::new(line, format!("missing `)` in gate `{head}`"))
-            })?;
-            (head[..pos].to_string(), Some(head[pos + 1..close].to_string()))
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| ParseError::new(line, format!("missing `)` in gate `{head}`")))?;
+            (
+                head[..pos].to_string(),
+                Some(head[pos + 1..close].to_string()),
+            )
         }
         None => (head.clone(), None),
     };

@@ -158,9 +158,10 @@ fn parse_gate_line(
     let kind = parts.next().unwrap_or("").to_ascii_lowercase();
     let operands: Vec<usize> = parts
         .map(|name| {
-            names.get(name).copied().ok_or_else(|| {
-                ParseError::new(line_no, format!("unknown variable `{name}`"))
-            })
+            names
+                .get(name)
+                .copied()
+                .ok_or_else(|| ParseError::new(line_no, format!("unknown variable `{name}`")))
         })
         .collect::<Result<_, _>>()?;
 
@@ -201,7 +202,10 @@ fn parse_gate_line(
         if operands.len() != arity || arity < 2 {
             return Err(ParseError::new(
                 line_no,
-                format!("`{kind}` expects {arity} (≥2) operands, got {}", operands.len()),
+                format!(
+                    "`{kind}` expects {arity} (≥2) operands, got {}",
+                    operands.len()
+                ),
             ));
         }
         let (controls, targets) = operands.split_at(arity - 2);
@@ -213,7 +217,9 @@ fn parse_gate_line(
     }
     Err(ParseError::new(
         line_no,
-        format!("unsupported RevLib gate kind `{kind}` (only t*/f* lines are in the paper's gate set)"),
+        format!(
+            "unsupported RevLib gate kind `{kind}` (only t*/f* lines are in the paper's gate set)"
+        ),
     ))
 }
 

@@ -14,30 +14,23 @@
 
 use sliq_bdd::{Manager, NodeId};
 
-/// `Sum(a, b, c) = a ⊕ b ⊕ c` — the full-adder sum function over BDDs.
+/// `Sum(a, b, c) = a ⊕ b ⊕ c` — the full-adder sum function over BDDs,
+/// computed by the manager's single-pass three-operand XOR.
 pub fn sum(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
-    let ab = mgr.xor(a, b);
-    mgr.xor(ab, c)
+    mgr.xor3(a, b, c)
 }
 
-/// `Car(a, b, c) = a·b ∨ (a ∨ b)·c` — the full-adder carry function.
+/// `Car(a, b, c) = a·b ∨ (a ∨ b)·c` — the full-adder carry function, which
+/// is exactly the three-operand majority, computed in a single pass.
 pub fn carry(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
-    let ab = mgr.and(a, b);
-    let a_or_b = mgr.or(a, b);
-    let propagate = mgr.and(a_or_b, c);
-    mgr.or(ab, propagate)
+    mgr.maj(a, b, c)
 }
 
 /// Slice-wise ripple-carry addition `A + B + carry_in` of two equally long
 /// bit-sliced vectors.  The caller is responsible for sign-extending the
 /// operands so that no overflow can occur (one extra slice suffices for a
 /// single addition).
-pub fn add_sliced(
-    mgr: &mut Manager,
-    a: &[NodeId],
-    b: &[NodeId],
-    carry_in: NodeId,
-) -> Vec<NodeId> {
+pub fn add_sliced(mgr: &mut Manager, a: &[NodeId], b: &[NodeId], carry_in: NodeId) -> Vec<NodeId> {
     debug_assert_eq!(a.len(), b.len(), "operands must have equal width");
     let mut out = Vec::with_capacity(a.len());
     let mut c = carry_in;
@@ -52,35 +45,41 @@ pub fn add_sliced(
 
 /// Per-row conditional negation of a bit-sliced vector: rows where `cond`
 /// holds are replaced by their two's-complement negation, other rows are
-/// unchanged.  (Complement every slice where `cond` holds, then add `cond` as
-/// the initial carry.)
+/// unchanged.
+///
+/// Complementing every slice where `cond` holds and adding `cond` as the
+/// initial carry gives `out_j = v_j ⊕ cond ⊕ c_j` with the carry recurrence
+/// `c_0 = cond`, `c_{j+1} = c_j ∧ ¬v_j` (the `+1` ripple only propagates
+/// through zero bits of `v`), so each slice costs one three-operand XOR and
+/// one AND instead of a full adder step.
 pub fn negate_where(mgr: &mut Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId> {
-    let complemented: Vec<NodeId> = v.iter().map(|&f| mgr.xor(f, cond)).collect();
-    let zeros = vec![NodeId::FALSE; v.len()];
-    add_sliced(mgr, &complemented, &zeros, cond)
+    let mut out = Vec::with_capacity(v.len());
+    let mut carry = cond;
+    for (j, &f) in v.iter().enumerate() {
+        out.push(mgr.xor3(f, cond, carry));
+        if j + 1 < v.len() {
+            let not_f = mgr.not(f);
+            carry = mgr.and(carry, not_f);
+        }
+    }
+    out
 }
 
-/// Slice-wise `if cond then x else y` (row-wise multiplexer).
-pub fn select_where(
-    mgr: &mut Manager,
-    cond: NodeId,
-    x: &[NodeId],
-    y: &[NodeId],
-) -> Vec<NodeId> {
+/// Slice-wise `if q_var then x else y` (row-wise multiplexer on a qubit
+/// literal), routed through the manager's one-pass multiplexer.
+pub fn select_where_var(mgr: &mut Manager, var: usize, x: &[NodeId], y: &[NodeId]) -> Vec<NodeId> {
     debug_assert_eq!(x.len(), y.len());
     x.iter()
         .zip(y.iter())
-        .map(|(&xi, &yi)| mgr.ite(cond, xi, yi))
+        .map(|(&xi, &yi)| mgr.mux_var(var, xi, yi))
         .collect()
 }
 
 /// The value at every row with qubit `t` flipped (the "swap halves along
-/// qubit `t`" permutation used by the X/Y gates): `F'(…, qₜ, …) = F(…, ¬qₜ, …)`.
+/// qubit `t`" permutation used by the X/Y gates): `F'(…, qₜ, …) = F(…, ¬qₜ, …)`,
+/// computed by the manager's one-pass cofactor swap.
 pub fn swap_along(mgr: &mut Manager, f: NodeId, t: usize) -> NodeId {
-    let f0 = mgr.cofactor(f, t, false);
-    let f1 = mgr.cofactor(f, t, true);
-    let qt = mgr.var(t);
-    mgr.ite(qt, f0, f1)
+    mgr.flip_var(f, t)
 }
 
 /// The value at every row with qubits `t1` and `t2` exchanged (the SWAP
@@ -91,11 +90,9 @@ pub fn swap_pair(mgr: &mut Manager, f: NodeId, t1: usize, t2: usize) -> NodeId {
     let f10 = mgr.cofactor_cube(f, &[(t1, true), (t2, false)]);
     let f11 = mgr.cofactor_cube(f, &[(t1, true), (t2, true)]);
     // New value at (t1, t2) = (x, y) is the old value at (y, x).
-    let q1 = mgr.var(t1);
-    let q2 = mgr.var(t2);
-    let when_t1_set = mgr.ite(q2, f11, f01);
-    let when_t1_clear = mgr.ite(q2, f10, f00);
-    mgr.ite(q1, when_t1_set, when_t1_clear)
+    let when_t1_set = mgr.mux_var(t2, f11, f01);
+    let when_t1_clear = mgr.mux_var(t2, f10, f00);
+    mgr.mux_var(t1, when_t1_set, when_t1_clear)
 }
 
 /// The replicated cofactor `F|_{qₜ = value}` (a function that no longer
@@ -205,12 +202,11 @@ mod tests {
     }
 
     #[test]
-    fn select_where_is_a_row_multiplexer() {
+    fn select_where_var_is_a_row_multiplexer() {
         let mut mgr = Manager::new(1);
         let three = constant_vector(&mut mgr, 3, 4);
         let five = constant_vector(&mut mgr, 5, 4);
-        let q0 = mgr.var(0);
-        let mixed = select_where(&mut mgr, q0, &three, &five);
+        let mixed = select_where_var(&mut mgr, 0, &three, &five);
         assert_eq!(value_at(&mgr, &mixed, &[true]), 3);
         assert_eq!(value_at(&mgr, &mixed, &[false]), 5);
     }

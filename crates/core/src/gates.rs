@@ -22,8 +22,7 @@ pub(crate) fn apply(state: &mut BitSliceState, gate: &Gate) {
             let (c, t) = (*control, *target);
             permute_all(state, |mgr, f| {
                 let swapped = arith::swap_along(mgr, f, t);
-                let qc = mgr.var(c);
-                mgr.ite(qc, swapped, f)
+                mgr.mux_var(c, swapped, f)
             });
         }
         Gate::Toffoli { controls, target } => {
@@ -120,20 +119,34 @@ fn apply_phase_family_rotation(state: &mut BitSliceState, t: usize, rotation: Ph
     // For each output family: which input family feeds the rows with qₜ = 1,
     // and whether that contribution is negated there.
     let plan: [(&Vec<NodeId>, &Vec<NodeId>, bool); 4] = match rotation {
-        PhaseRotation::I => [(&c, &a, false), (&d, &b, false), (&a, &c, true), (&b, &d, true)],
-        PhaseRotation::MinusI => {
-            [(&c, &a, true), (&d, &b, true), (&a, &c, false), (&b, &d, false)]
-        }
-        PhaseRotation::Omega => {
-            [(&b, &a, false), (&c, &b, false), (&d, &c, false), (&a, &d, true)]
-        }
-        PhaseRotation::OmegaInv => {
-            [(&d, &a, true), (&a, &b, false), (&b, &c, false), (&c, &d, false)]
-        }
+        PhaseRotation::I => [
+            (&c, &a, false),
+            (&d, &b, false),
+            (&a, &c, true),
+            (&b, &d, true),
+        ],
+        PhaseRotation::MinusI => [
+            (&c, &a, true),
+            (&d, &b, true),
+            (&a, &c, false),
+            (&b, &d, false),
+        ],
+        PhaseRotation::Omega => [
+            (&b, &a, false),
+            (&c, &b, false),
+            (&d, &c, false),
+            (&a, &d, true),
+        ],
+        PhaseRotation::OmegaInv => [
+            (&d, &a, true),
+            (&a, &b, false),
+            (&b, &c, false),
+            (&c, &d, false),
+        ],
     };
     let mut new_slices: [Vec<NodeId>; 4] = Default::default();
     for (family, (source_when_set, keep_otherwise, negate)) in plan.into_iter().enumerate() {
-        let mixed = arith::select_where(&mut state.mgr, qt, source_when_set, keep_otherwise);
+        let mixed = arith::select_where_var(&mut state.mgr, t, source_when_set, keep_otherwise);
         new_slices[family] = if negate {
             arith::negate_where(&mut state.mgr, &mixed, qt)
         } else {
@@ -148,9 +161,9 @@ fn apply_phase_family_rotation(state: &mut BitSliceState, t: usize, rotation: Ph
 /// every family, returning the permuted copies (originals untouched).
 fn swap_all_families(state: &mut BitSliceState, t: usize) -> [Vec<NodeId>; 4] {
     let mut swapped: [Vec<NodeId>; 4] = Default::default();
-    for family in 0..4 {
+    for (family, out) in swapped.iter_mut().enumerate() {
         let old = state.slices[family].clone();
-        swapped[family] = old
+        *out = old
             .iter()
             .map(|&f| arith::swap_along(&mut state.mgr, f, t))
             .collect();
@@ -203,10 +216,7 @@ fn apply_hadamard_like(state: &mut BitSliceState, t: usize, kind: HadamardKind) 
             .iter()
             .map(|&f| arith::cofactor_replicated(&mut state.mgr, f, t, true))
             .collect();
-        let second: Vec<NodeId> = f1
-            .iter()
-            .map(|&f| state.mgr.xor(f, negate_cond))
-            .collect();
+        let second: Vec<NodeId> = f1.iter().map(|&f| state.mgr.xor(f, negate_cond)).collect();
         state.slices[family as usize] =
             arith::add_sliced(&mut state.mgr, &f0, &second, negate_cond);
     }

@@ -22,12 +22,7 @@ use sliq_bignum::{IBig, Sqrt2Big};
 impl BitSliceState {
     /// `Σᵢ uᵢ·vᵢ` over the basis states selected by `restriction` (all states
     /// when `None`), where `u`/`v` are two of the coefficient vectors.
-    fn weighted_inner_product(
-        &mut self,
-        u: usize,
-        v: usize,
-        restriction: Option<NodeId>,
-    ) -> IBig {
+    fn weighted_inner_product(&mut self, u: usize, v: usize, restriction: Option<NodeId>) -> IBig {
         let r = self.r;
         let n = self.num_qubits;
         let mut total = IBig::zero();
@@ -64,7 +59,8 @@ impl BitSliceState {
         let [a, b, c, d] = [0usize, 1, 2, 3];
         let mut square_sum = IBig::zero();
         for family in FAMILIES {
-            square_sum += self.weighted_inner_product(family as usize, family as usize, restriction);
+            square_sum +=
+                self.weighted_inner_product(family as usize, family as usize, restriction);
         }
         let mut cross = self.weighted_inner_product(a, b, restriction);
         cross += self.weighted_inner_product(b, c, restriction);
@@ -88,8 +84,7 @@ impl BitSliceState {
     /// computed from the exact weighted SAT count restricted to the minterm
     /// of `bits` (valid for any coefficient width).
     pub fn probability_of_basis(&mut self, bits: &[bool]) -> f64 {
-        let literals: Vec<(usize, bool)> =
-            bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
+        let literals: Vec<(usize, bool)> = bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
         let minterm = self.mgr.cube(&literals);
         let unscaled = self.unscaled_probability(Some(minterm));
         unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
@@ -263,8 +258,8 @@ mod tests {
         gates::apply(&mut state, &Gate::H(0));
         gates::apply(&mut state, &Gate::H(1));
         state.measure_with(0, 0.9); // outcome 0 with probability 1/2
-        // After collapsing qubit 0, qubit 1 is still uniform and the total
-        // probability is 1 again thanks to the factor s.
+                                    // After collapsing qubit 0, qubit 1 is still uniform and the total
+                                    // probability is 1 again thanks to the factor s.
         assert!(close(state.probability_of(1, true), 0.5));
         assert!(close(state.total_probability(), 1.0));
     }

@@ -175,7 +175,15 @@ impl BitSliceState {
         }
 
         let mut memo: FxHashMap<(NodeId, usize), f64> = FxHashMap::default();
-        let p = accumulate(self, info.root, 0, n, qubit, &mut memo, &mut decode_norm_sqr);
+        let p = accumulate(
+            self,
+            info.root,
+            0,
+            n,
+            qubit,
+            &mut memo,
+            &mut decode_norm_sqr,
+        );
         p * norm * norm
     }
 }
@@ -303,7 +311,7 @@ mod tests {
         let from_monolithic = state.manager().eval(info.root, &assignment);
         let from_slice = state
             .manager()
-            .eval(state.family_slices(crate::Family::D)[0], &assignment[..2].to_vec());
+            .eval(state.family_slices(crate::Family::D)[0], &assignment[..2]);
         assert_eq!(from_monolithic, from_slice);
         assert!(from_slice, "Bell state has d₀ = 1 on |11⟩");
         let _ = r;

@@ -189,9 +189,7 @@ mod tests {
             circuit.t(q);
             circuit.h(q);
         }
-        let mut sim = BitSliceSimulator::new(10).with_limits(BitSliceLimits {
-            max_nodes: Some(8),
-        });
+        let mut sim = BitSliceSimulator::new(10).with_limits(BitSliceLimits { max_nodes: Some(8) });
         assert!(matches!(
             sim.run(&circuit),
             Err(SimulationError::ResourceLimit { .. })

@@ -170,12 +170,7 @@ impl BitSliceState {
     /// the bit width proportional to the *significant* precision rather than
     /// to the circuit depth.
     pub(crate) fn shrink(&mut self) {
-        while self.r > MIN_WIDTH
-            && self
-                .slices
-                .iter()
-                .all(|s| s[self.r - 1] == s[self.r - 2])
-        {
+        while self.r > MIN_WIDTH && self.slices.iter().all(|s| s[self.r - 1] == s[self.r - 2]) {
             for s in self.slices.iter_mut() {
                 s.pop();
             }
@@ -183,10 +178,7 @@ impl BitSliceState {
         }
         // Factor out common powers of two into k.
         while self.k >= 2 && self.slices.iter().all(|s| s[0].is_false()) {
-            let all_zero = self
-                .slices
-                .iter()
-                .all(|s| s.iter().all(|f| f.is_false()));
+            let all_zero = self.slices.iter().all(|s| s.iter().all(|f| f.is_false()));
             if all_zero {
                 // The zero vector would reduce forever; it only occurs for an
                 // unnormalised state, so leave it alone.
@@ -226,8 +218,7 @@ impl BitSliceState {
             self.r <= 63,
             "amplitude extraction supports widths up to 63 bits"
         );
-        let literals: Vec<(usize, bool)> =
-            bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
+        let literals: Vec<(usize, bool)> = bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
         let mut coeffs = [0i64; 4];
         for (fi, family) in self.slices.iter().enumerate() {
             let mut value: i64 = 0;
@@ -263,8 +254,7 @@ impl BitSliceState {
     /// exceed 63 bits.
     pub fn amplitude_complex(&mut self, bits: &[bool]) -> sliq_math::Complex {
         assert_eq!(bits.len(), self.num_qubits, "wrong number of qubit values");
-        let literals: Vec<(usize, bool)> =
-            bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
+        let literals: Vec<(usize, bool)> = bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
         let mut coeffs = [0.0f64; 4];
         for (fi, family) in self.slices.iter().enumerate() {
             let mut value = 0.0f64;
@@ -285,10 +275,7 @@ impl BitSliceState {
         let (a, b, c, d) = (coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let scale = 2f64.powf(-(self.k as f64) / 2.0) * self.norm_factor;
-        sliq_math::Complex::new(
-            ((c - a) * s + d) * scale,
-            ((a + c) * s + b) * scale,
-        )
+        sliq_math::Complex::new(((c - a) * s + d) * scale, ((a + c) * s + b) * scale)
     }
 
     /// The full state vector as exact algebraic amplitudes (index `i` has
@@ -299,7 +286,10 @@ impl BitSliceState {
     ///
     /// Panics if `num_qubits() > 20`.
     pub fn to_algebraic_vector(&mut self) -> Vec<Algebraic> {
-        assert!(self.num_qubits <= 20, "explicit expansion limited to 20 qubits");
+        assert!(
+            self.num_qubits <= 20,
+            "explicit expansion limited to 20 qubits"
+        );
         let n = self.num_qubits;
         (0..(1usize << n))
             .map(|i| {

@@ -29,10 +29,12 @@ fn any_gate() -> impl Strategy<Value = Gate> {
             .clone()
             .prop_map(|(control, target)| Gate::Cnot { control, target }),
         distinct2.prop_map(|(control, target)| Gate::Cz { control, target }),
-        distinct3.clone().prop_map(|(c0, c1, target)| Gate::Toffoli {
-            controls: vec![c0, c1],
-            target
-        }),
+        distinct3
+            .clone()
+            .prop_map(|(c0, c1, target)| Gate::Toffoli {
+                controls: vec![c0, c1],
+                target
+            }),
         distinct3.prop_map(|(c, target1, target2)| Gate::Fredkin {
             controls: vec![c],
             target1,
@@ -130,7 +132,7 @@ proptest! {
         bitslice.run(&circuit).unwrap();
         bitslice.run(&inverse).unwrap();
         // The state must be |0…0⟩ again (up to the exact global 1/√2ᵏ bookkeeping).
-        prop_assert!((bitslice.probability_of_basis_state(&vec![false; NQ]) - 1.0).abs() < 1e-9);
+        prop_assert!((bitslice.probability_of_basis_state(&[false; NQ]) - 1.0).abs() < 1e-9);
         prop_assert!(bitslice.is_exactly_normalized());
     }
 }

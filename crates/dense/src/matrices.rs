@@ -59,7 +59,10 @@ pub fn sdg() -> Matrix2 {
 pub fn t() -> Matrix2 {
     [
         [Complex::one(), Complex::zero()],
-        [Complex::zero(), Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+        [
+            Complex::zero(),
+            Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ],
     ]
 }
 
@@ -67,7 +70,10 @@ pub fn t() -> Matrix2 {
 pub fn tdg() -> Matrix2 {
     [
         [Complex::one(), Complex::zero()],
-        [Complex::zero(), Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+        [
+            Complex::zero(),
+            Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+        ],
     ]
 }
 
@@ -130,15 +136,11 @@ mod tests {
             out
         };
         let tt = mul(t(), t());
-        for i in 0..2 {
-            for j in 0..2 {
-                assert!(tt[i][j].approx_eq(&s()[i][j], 1e-12));
-            }
-        }
         let ss = mul(s(), s());
-        for i in 0..2 {
+        for (i, (tt_row, ss_row)) in tt.iter().zip(ss.iter()).enumerate() {
             for j in 0..2 {
-                assert!(ss[i][j].approx_eq(&z()[i][j], 1e-12));
+                assert!(tt_row[j].approx_eq(&s()[i][j], 1e-12));
+                assert!(ss_row[j].approx_eq(&z()[i][j], 1e-12));
             }
         }
     }

@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn initial_state_is_all_zeros() {
         let mut sim = DenseSimulator::new(3);
-        assert!(close(sim.probability_of_basis_state(&[false, false, false]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[false, false, false]),
+            1.0
+        ));
         assert!(close(sim.total_probability(), 1.0));
         assert_eq!(sim.name(), "dense");
         assert_eq!(sim.num_qubits(), 3);
@@ -229,7 +232,10 @@ mod tests {
     #[test]
     fn custom_initial_state() {
         let mut sim = DenseSimulator::with_initial_bits(&[true, false, true]);
-        assert!(close(sim.probability_of_basis_state(&[true, false, true]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, false, true]),
+            1.0
+        ));
     }
 
     #[test]
@@ -268,7 +274,10 @@ mod tests {
             target: 2,
         })
         .unwrap();
-        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, true, true]),
+            1.0
+        ));
         sim.apply_gate(&Gate::Fredkin {
             controls: vec![0],
             target1: 1,
@@ -276,7 +285,10 @@ mod tests {
         })
         .unwrap();
         // Swap of two equal bits is a no-op.
-        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, true, true]),
+            1.0
+        ));
         sim.apply_gate(&Gate::X(1)).unwrap();
         sim.apply_gate(&Gate::Fredkin {
             controls: vec![0],
@@ -284,7 +296,10 @@ mod tests {
             target2: 2,
         })
         .unwrap();
-        assert!(close(sim.probability_of_basis_state(&[true, true, false]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, true, false]),
+            1.0
+        ));
     }
 
     #[test]

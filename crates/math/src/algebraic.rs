@@ -311,7 +311,10 @@ mod tests {
     fn addition_aligns_denominators() {
         let h = Algebraic::one().div_sqrt2(); // 1/√2
         let sum = h + h; // 2/√2 = √2
-        assert_close(sum.to_complex(), Complex::new(std::f64::consts::SQRT_2, 0.0));
+        assert_close(
+            sum.to_complex(),
+            Complex::new(std::f64::consts::SQRT_2, 0.0),
+        );
         let reduced = sum.reduced();
         assert_eq!(reduced.k, 0);
         assert_close(reduced.to_complex(), sum.to_complex());
@@ -321,10 +324,7 @@ mod tests {
     fn multiplication_matches_floating_point() {
         let x = Algebraic::new(1, -2, 3, 4, 1);
         let y = Algebraic::new(-2, 0, 5, 1, 2);
-        assert_close(
-            (x * y).to_complex(),
-            x.to_complex() * y.to_complex(),
-        );
+        assert_close((x * y).to_complex(), x.to_complex() * y.to_complex());
     }
 
     #[test]

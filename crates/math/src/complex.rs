@@ -167,7 +167,7 @@ mod tests {
         assert_eq!(a - b, Complex::new(2.0, -5.0));
         assert_eq!(a * Complex::one(), a);
         assert_eq!(a + Complex::zero(), a);
-        assert!( (a * b / b).approx_eq(&a, 1e-12) );
+        assert!((a * b / b).approx_eq(&a, 1e-12));
     }
 
     #[test]

@@ -5,13 +5,7 @@ use proptest::prelude::*;
 use sliq_math::{Algebraic, Complex};
 
 fn small_alg() -> impl Strategy<Value = Algebraic> {
-    (
-        -20i64..=20,
-        -20i64..=20,
-        -20i64..=20,
-        -20i64..=20,
-        0i32..=6,
-    )
+    (-20i64..=20, -20i64..=20, -20i64..=20, -20i64..=20, 0i32..=6)
         .prop_map(|(a, b, c, d, k)| Algebraic::new(a, b, c, d, k))
 }
 

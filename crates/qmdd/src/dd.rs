@@ -156,11 +156,19 @@ impl DdManager {
         };
         let c0 = Edge {
             weight: self.ctable.div(e0.weight, norm_idx),
-            node: if e0.is_zero() { NodeIdx::TERMINAL } else { e0.node },
+            node: if e0.is_zero() {
+                NodeIdx::TERMINAL
+            } else {
+                e0.node
+            },
         };
         let c1 = Edge {
             weight: self.ctable.div(e1.weight, norm_idx),
-            node: if e1.is_zero() { NodeIdx::TERMINAL } else { e1.node },
+            node: if e1.is_zero() {
+                NodeIdx::TERMINAL
+            } else {
+                e1.node
+            },
         };
         let key = (level, c0, c1);
         let node = match self.unique.get(&key) {
@@ -362,7 +370,7 @@ impl DdManager {
             }
             if self.level(node) == q as u32 {
                 let child = self.children(node)[bit as usize];
-                weight = weight * self.ctable.value(child.weight);
+                weight *= self.ctable.value(child.weight);
                 node = child.node;
                 if weight.is_approx_zero(0.0) {
                     return Complex::zero();
@@ -444,8 +452,8 @@ impl DdManager {
         }
         let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
         let mut freed = 0;
-        for idx in 1..self.nodes.len() {
-            if !marked[idx] && !already_free.contains(&(idx as u32)) {
+        for (idx, &is_live) in marked.iter().enumerate().skip(1) {
+            if !is_live && !already_free.contains(&(idx as u32)) {
                 self.free.push(idx as u32);
                 freed += 1;
             }

@@ -61,17 +61,11 @@ fn matrix_of(gate: &Gate) -> Option<Matrix2> {
 
 /// Configuration limits emulating the memory-out behaviour of DDSIM runs in
 /// the paper (2 GB per case).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QmddLimits {
     /// Maximum number of live DD nodes before simulation aborts with a
     /// resource-limit error (`None` = unlimited).
     pub max_nodes: Option<usize>,
-}
-
-impl Default for QmddLimits {
-    fn default() -> Self {
-        Self { max_nodes: None }
-    }
 }
 
 /// A QMDD-based state-vector simulator with floating-point edge weights —
@@ -261,10 +255,7 @@ impl Simulator for QmddSimulator {
         let outcome = u < p1;
         let p = if outcome { p1 } else { 1.0 - p1 };
         let projected = self.dd.select(self.root, qubit, outcome);
-        let scale = self
-            .dd
-            .ctable
-            .lookup(Complex::new(1.0 / p.sqrt(), 0.0));
+        let scale = self.dd.ctable.lookup(Complex::new(1.0 / p.sqrt(), 0.0));
         self.root = self.dd.scale(projected, scale);
         self.dd.collect_garbage(self.root);
         outcome
@@ -321,7 +312,10 @@ mod tests {
             target: 2,
         })
         .unwrap();
-        assert!(close(sim.probability_of_basis_state(&[true, true, true]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, true, true]),
+            1.0
+        ));
         sim.apply_gate(&Gate::X(1)).unwrap();
         sim.apply_gate(&Gate::Fredkin {
             controls: vec![0],
@@ -329,7 +323,10 @@ mod tests {
             target2: 2,
         })
         .unwrap();
-        assert!(close(sim.probability_of_basis_state(&[true, true, false]), 1.0));
+        assert!(close(
+            sim.probability_of_basis_state(&[true, true, false]),
+            1.0
+        ));
     }
 
     #[test]
@@ -374,12 +371,11 @@ mod tests {
             c.t((q + 5) % 12);
             c.h(q);
         }
-        let mut sim = QmddSimulator::new(12).with_limits(QmddLimits { max_nodes: Some(16) });
+        let mut sim = QmddSimulator::new(12).with_limits(QmddLimits {
+            max_nodes: Some(16),
+        });
         let result = sim.run(&c);
-        assert!(matches!(
-            result,
-            Err(SimulationError::ResourceLimit { .. })
-        ));
+        assert!(matches!(result, Err(SimulationError::ResourceLimit { .. })));
     }
 
     #[test]

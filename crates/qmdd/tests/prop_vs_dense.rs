@@ -10,8 +10,8 @@ const NQ: usize = 4;
 
 fn any_gate() -> impl Strategy<Value = Gate> {
     let distinct2 = (0..NQ, 0..NQ).prop_filter("distinct", |(a, b)| a != b);
-    let distinct3 = (0..NQ, 0..NQ, 0..NQ)
-        .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
+    let distinct3 =
+        (0..NQ, 0..NQ, 0..NQ).prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
     prop_oneof![
         (0..NQ).prop_map(Gate::X),
         (0..NQ).prop_map(Gate::Y),
@@ -27,10 +27,12 @@ fn any_gate() -> impl Strategy<Value = Gate> {
             .clone()
             .prop_map(|(control, target)| Gate::Cnot { control, target }),
         distinct2.prop_map(|(control, target)| Gate::Cz { control, target }),
-        distinct3.clone().prop_map(|(c0, c1, target)| Gate::Toffoli {
-            controls: vec![c0, c1],
-            target
-        }),
+        distinct3
+            .clone()
+            .prop_map(|(c0, c1, target)| Gate::Toffoli {
+                controls: vec![c0, c1],
+                target
+            }),
         distinct3.prop_map(|(c, target1, target2)| Gate::Fredkin {
             controls: vec![c],
             target1,

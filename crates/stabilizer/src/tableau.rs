@@ -63,9 +63,7 @@ impl Tableau {
     pub fn h(&mut self, a: usize) {
         for i in 0..2 * self.n {
             self.r[i] ^= self.x[i][a] && self.z[i][a];
-            let tmp = self.x[i][a];
-            self.x[i][a] = self.z[i][a];
-            self.z[i][a] = tmp;
+            std::mem::swap(&mut self.x[i][a], &mut self.z[i][a]);
         }
     }
 

@@ -58,7 +58,10 @@ pub fn bernstein_vazirani(secret: &[bool]) -> Circuit {
 /// total, matching how Table V counts qubits).  The gate count is
 /// `3·(num_qubits − 1) + 2`, reproducing the `#gates ≈ 3·#qubits` column.
 pub fn bernstein_vazirani_all_ones(num_qubits: usize) -> Circuit {
-    assert!(num_qubits >= 2, "BV needs at least one data qubit plus the ancilla");
+    assert!(
+        num_qubits >= 2,
+        "BV needs at least one data qubit plus the ancilla"
+    );
     bernstein_vazirani(&vec![true; num_qubits - 1])
 }
 

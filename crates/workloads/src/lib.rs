@@ -28,7 +28,9 @@ pub mod random;
 pub mod revlib_like;
 pub mod supremacy;
 
-pub use algorithms::{bell_pair, bernstein_vazirani, bernstein_vazirani_all_ones, entanglement, ghz};
+pub use algorithms::{
+    bell_pair, bernstein_vazirani, bernstein_vazirani_all_ones, entanglement, ghz,
+};
 pub use grover::{grover, grover_optimal};
 pub use random::{random_circuit, random_clifford_t, RandomCircuitConfig, RandomGateSet};
 pub use revlib_like::{table4_suite, ReversibleBenchmark};

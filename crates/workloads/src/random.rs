@@ -60,9 +60,7 @@ pub fn random_circuit(config: &RandomCircuitConfig, seed: u64) -> Circuit {
         }
     }
     let kinds: &[&str] = match config.gate_set {
-        RandomGateSet::PaperTable3 => &[
-            "x", "y", "z", "h", "s", "t", "cx", "cz", "ccx", "cswap",
-        ],
+        RandomGateSet::PaperTable3 => &["x", "y", "z", "h", "s", "t", "cx", "cz", "ccx", "cswap"],
         RandomGateSet::CliffordOnly => &["x", "y", "z", "h", "s", "cx", "cz"],
         RandomGateSet::Full => &[
             "x", "y", "z", "h", "s", "t", "rx", "ry", "cx", "cz", "ccx", "cswap",

@@ -244,7 +244,9 @@ mod tests {
             }
             let mut sim = DenseSimulator::with_initial_bits(&init);
             sim.run(&bench.circuit).unwrap();
-            assert!((sim.probability_of_one(2 * bits) - if equal { 1.0 } else { 0.0 }).abs() < 1e-9);
+            assert!(
+                (sim.probability_of_one(2 * bits) - if equal { 1.0 } else { 0.0 }).abs() < 1e-9
+            );
         }
     }
 
@@ -270,10 +272,10 @@ mod tests {
             assert!(bench.circuit.num_qubits() >= 9);
             assert!(!bench.circuit.is_empty());
             // Every benchmark is a pure reversible (classical) circuit.
-            assert!(bench
-                .circuit
-                .iter()
-                .all(|g| matches!(g, Gate::X(_) | Gate::Cnot { .. } | Gate::Toffoli { .. } | Gate::Fredkin { .. })));
+            assert!(bench.circuit.iter().all(|g| matches!(
+                g,
+                Gate::X(_) | Gate::Cnot { .. } | Gate::Toffoli { .. } | Gate::Fredkin { .. }
+            )));
         }
     }
 

@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn qubit_counts_match_table6() {
         let counts: Vec<usize> = table6_lattices().iter().map(Lattice::num_qubits).collect();
-        assert_eq!(
-            counts,
-            vec![16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81, 90]
-        );
+        assert_eq!(counts, vec![16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81, 90]);
     }
 
     #[test]

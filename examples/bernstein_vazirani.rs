@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data_qubits = num_qubits - 1;
 
     // A pseudo-random secret so the oracle is not trivially uniform.
-    let secret: Vec<bool> = (0..data_qubits).map(|i| (i * 2654435761) % 3 != 0).collect();
+    let secret: Vec<bool> = (0..data_qubits)
+        .map(|i| (i * 2654435761) % 3 != 0)
+        .collect();
     let circuit = algorithms::bernstein_vazirani(&secret);
     println!(
         "Bernstein–Vazirani: {} qubits, {} gates, secret weight {}",

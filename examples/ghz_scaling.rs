@@ -22,7 +22,10 @@ fn time<F: FnOnce() -> R, R>(f: F) -> (R, f64) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>8} | {:>12} | {:>12} | {:>12} | {:>12}", "qubits", "bitslice(s)", "qmdd(s)", "chp(s)", "dense(s)");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
+        "qubits", "bitslice(s)", "qmdd(s)", "chp(s)", "dense(s)"
+    );
     println!("{}", "-".repeat(70));
     for n in [16usize, 64, 256, 1024, 4096] {
         let circuit = algorithms::ghz(n);
@@ -55,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:>12}", "—")
         };
 
-        println!(
-            "{n:>8} | {t_bitslice:>12.4} | {t_qmdd:>12.4} | {t_chp:>12.4} | {t_dense}",
-        );
+        println!("{n:>8} | {t_bitslice:>12.4} | {t_qmdd:>12.4} | {t_chp:>12.4} | {t_dense}",);
     }
     println!();
     println!("CHP is fastest on this stabilizer-only family (as the paper notes); the");

@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sliqsim::prelude::*;
 use sliqsim::circuit::Simulator;
+use sliqsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the circuit with the fluent builder (or parse OpenQASM).
@@ -24,13 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let amp11 = sim.amplitude(&[true, true]);
     println!("⟨00|ψ⟩ = {amp00}  (= 1/√2 exactly)");
     println!("⟨11|ψ⟩ = {amp11}");
-    println!("state is exactly normalised: {}", sim.is_exactly_normalized());
+    println!(
+        "state is exactly normalised: {}",
+        sim.is_exactly_normalized()
+    );
 
     // 4. Probabilities and measurement.
     println!("Pr[q1 = 1] = {}", sim.probability_of_one(1));
     let outcome0 = sim.measure_with(0, 0.3);
     let outcome1 = sim.measure_with(1, 0.7);
-    println!("measured q0 = {}, q1 = {} (Bell correlations force equality)", outcome0 as u8, outcome1 as u8);
+    println!(
+        "measured q0 = {}, q1 = {} (Bell correlations force equality)",
+        outcome0 as u8, outcome1 as u8
+    );
     assert_eq!(outcome0, outcome1);
 
     // 5. The same circuit runs unchanged on every baseline backend.

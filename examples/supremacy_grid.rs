@@ -59,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Cross-check a handful of amplitudes across all three backends.
         let mut max_err: f64 = 0.0;
         for i in 0..16usize {
-            let bits: Vec<bool> = (0..n).map(|q| (i.wrapping_mul(2654435761) >> (q % 30)) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..n)
+                .map(|q| (i.wrapping_mul(2654435761) >> (q % 30)) & 1 == 1)
+                .collect();
             let exact = bitslice.amplitude(&bits).to_complex();
             let d = dense.amplitude(&bits);
             let q = qmdd.amplitude(&bits);

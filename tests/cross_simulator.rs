@@ -89,7 +89,10 @@ fn clifford_circuits_also_agree_with_the_stabilizer_backend() {
         for q in 0..6 {
             let ps = stab.probability_of_one(q);
             let pb = bitslice.probability_of_one(q);
-            assert!((ps - pb).abs() < 1e-9, "seed {seed} qubit {q}: {ps} vs {pb}");
+            assert!(
+                (ps - pb).abs() < 1e-9,
+                "seed {seed} qubit {q}: {ps} vs {pb}"
+            );
         }
     }
 }
@@ -159,7 +162,9 @@ fn peephole_optimization_preserves_the_state() {
         pruned.run(&optimized).unwrap();
         for bits in all_basis_states(5) {
             assert!(
-                reference.amplitude(&bits).approx_eq(&pruned.amplitude(&bits), 1e-9),
+                reference
+                    .amplitude(&bits)
+                    .approx_eq(&pruned.amplitude(&bits), 1e-9),
                 "seed {seed}, basis {bits:?}, removed {} merged {}",
                 stats.cancelled,
                 stats.merged
