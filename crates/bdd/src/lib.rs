@@ -7,12 +7,18 @@
 //! the point the paper makes about being able to use an off-the-shelf BDD
 //! package — so this crate provides exactly that:
 //!
+//! * **complement edges** (CUDD-style): every [`NodeId`] carries a
+//!   complement bit, negation is an O(1) bit flip, a function and its
+//!   negation share one subgraph, and `mk` keeps the representation
+//!   canonical by never storing a complemented low edge,
 //! * an open-addressed hash-consing unique table giving canonical node
 //!   identity,
-//! * dedicated memoised apply recursions (`AND`/`OR`/`XOR`/`NOT`, the
-//!   full-adder `XOR3`/`MAJ`, the literal multiplexer `MUX` and the
-//!   cofactor swap `FLIP`) plus generic `ITE`, all backed by lossy
-//!   direct-mapped operation caches,
+//! * dedicated memoised apply recursions (`AND`/`XOR` — with `OR` and `NOT`
+//!   folded onto them through the complement bit — the full-adder
+//!   `XOR3`/`MAJ`, the literal multiplexer `MUX` and the cofactor swap
+//!   `FLIP`) plus generic `ITE`, all backed by lossy direct-mapped
+//!   operation caches whose growth cap auto-tunes from GC-time eviction
+//!   rates,
 //! * cofactors, cubes, existential quantification,
 //! * exact SAT counting with arbitrary-precision results,
 //! * mark-and-sweep garbage collection with caller-provided roots and O(1)

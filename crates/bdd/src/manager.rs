@@ -2,9 +2,39 @@
 //! garbage collection.
 //!
 //! The design mirrors what the paper needs from CUDD and nothing more:
-//! *reduced ordered* BDDs with a hash-consing unique table, memoised Boolean
-//! operations, cofactor computation, SAT counting and mark-and-sweep garbage
-//! collection driven by the caller (who knows the root set).
+//! *reduced ordered* BDDs **with complement edges**, a hash-consing unique
+//! table, memoised Boolean operations, cofactor computation, SAT counting and
+//! mark-and-sweep garbage collection driven by the caller (who knows the
+//! root set).
+//!
+//! # Complement edges
+//!
+//! Every [`NodeId`] is an *edge*: bits `0..31` index the node arena and bit
+//! 31 is the **complement bit** (mask [`NodeId`]`::COMPLEMENT` internally).
+//! An edge with the bit set denotes the *negation* of the function rooted at
+//! its node.  There is a single terminal node (index 0) representing the
+//! constant **true**; `NodeId::TRUE` is the regular edge to it and
+//! `NodeId::FALSE` the complemented one.
+//!
+//! Canonical form (CUDD's rule): **the low/else edge of a stored node is
+//! never complemented.**  [`Manager::mk`] enforces this by flipping both
+//! children and complementing the returned edge whenever the low child
+//! arrives complemented, so every Boolean function keeps exactly one
+//! representation and `NodeId` equality remains semantic equality.
+//!
+//! Consequences exploited throughout the kernel:
+//!
+//! * **O(1) negation.** [`Manager::not`] flips one bit — no recursion, no
+//!   cache, no allocation.  A function and its negation share their entire
+//!   subgraph.
+//! * **De Morgan folding.** `or(f, g) = ¬and(¬f, ¬g)`, so OR needs no
+//!   recursion or cache of its own and shares the AND cache's entries.
+//! * **XOR parity folding.** `¬f ⊕ g = ¬(f ⊕ g)`: complement bits are
+//!   stripped off XOR/XOR3 operands and re-applied to the result, so the
+//!   caches are probed with regular operands only and the XNOR terminal
+//!   cases disappear (ITE routes `ite(f, g, ¬g)` straight to XOR).
+//! * **Self-dual majority.** `maj(¬f, ¬g, ¬h) = ¬maj(f, g, h)` normalises
+//!   the carry recursion to at most one complemented operand per cache key.
 //!
 //! # Kernel layout
 //!
@@ -12,11 +42,9 @@
 //! Boolean operations, so this module is organised around making those calls
 //! cheap:
 //!
-//! * **Specialised apply recursions.**  `and`, `or`, `xor` and `not` each
-//!   have a dedicated two-operand recursion with commutative key
-//!   normalisation (`and(f, g)` and `and(g, f)` probe the same cache line)
-//!   instead of lowering to three-operand `ite`, which halves the key width
-//!   and skips the ITE triangle checks on the hot path.  On top of those,
+//! * **Specialised apply recursions.**  `and` and `xor` have dedicated
+//!   two-operand recursions with commutative key normalisation; `not` and
+//!   `or` reduce to them in O(1) via the complement bit.  On top of those,
 //!   the gate formulas get single-pass recursions for their dominant
 //!   three-operand shapes: [`Manager::xor3`] (the full-adder sum),
 //!   [`Manager::maj`] (the full-adder carry), [`Manager::flip_var`] (the
@@ -26,71 +54,118 @@
 //!
 //! * **Lossy direct-mapped operation caches.**  Each operation memoises into
 //!   a power-of-two array of packed `u64` words indexed by a strong 64-bit
-//!   mix of the operand ids ([`crate::hash::mix64`]).  A colliding insert
+//!   mix of the operand edges ([`crate::hash::mix64`]; complement bits are
+//!   part of the key wherever they do not fold out).  A colliding insert
 //!   simply overwrites the previous entry (counted as an *eviction* in
 //!   [`CacheStats`]); a lookup compares the stored key words and treats any
 //!   mismatch as a miss.  Memoisation therefore costs zero allocations on
 //!   the hot path, and losing an entry only costs recomputation — never
-//!   correctness, because every cached result is reproducible from the
-//!   recursion itself.  Each cache starts at 2¹² entries and doubles
-//!   (rehashing its live entries) whenever the misses since the last resize
-//!   exceed its capacity, up to 2¹⁶ entries, so small managers stay compact
-//!   while adder-heavy workloads grow the caches they actually use.
+//!   correctness.  Each cache starts at 2¹² entries and doubles (rehashing
+//!   its live entries) whenever the misses since the last resize exceed its
+//!   capacity, up to a cap that itself is auto-tuned: when the eviction rate
+//!   observed between two consecutive garbage collections stays above 1/4 of
+//!   the stores, the cap is raised one power of two (up to 2²⁰), so
+//!   machines whose working sets outgrow the default keep their hit rates.
 //!   All caches are cleared in O(1) at GC time by bumping a generation
-//!   counter (`cache_epoch`): entries stamped with an older epoch are
-//!   ignored, so no memset of the arrays is ever needed.
+//!   counter (`cache_epoch`).
 //!
 //! * **Open-addressed unique table.**  Hash consing uses a single
 //!   linear-probed table whose 16-byte slots store the packed
-//!   `(low, high)` children as one `u64`, the level, and the node id
-//!   (`u32::MAX` marks an empty slot).  The table doubles when the load
-//!   factor exceeds 3/4 and is rebuilt from the mark bitmap during
-//!   [`Manager::collect_garbage`], which also rebuilds the free-list, so
-//!   deleted keys never need tombstones.
+//!   `(low, high)` children as one `u64` (the high edge keeps its complement
+//!   bit; the low edge is regular by canonical form), the level, and the
+//!   node id (`u32::MAX` marks an empty slot).  The table doubles when the
+//!   load factor exceeds 3/4 and is rebuilt from the mark bitmap during
+//!   [`Manager::collect_garbage`].
 //!
-//! [`ManagerStats`] exposes per-cache hit/miss/eviction counters plus unique
-//! table resize counts so benchmark harnesses can report cache behaviour.
+//! [`ManagerStats`] exposes per-cache hit/miss/eviction counters, O(1)
+//! negation and canonical-flip counters, plus unique table resize counts so
+//! benchmark harnesses can report kernel behaviour.
 
 use crate::hash::{mix64, FxHashMap};
 use sliq_bignum::UBig;
 
-/// Handle to a BDD node owned by a [`Manager`].
+/// Complement-bit mask of a [`NodeId`] edge.
+const COMPLEMENT: u32 = 1 << 31;
+
+/// Handle to a BDD *edge* owned by a [`Manager`]: a node index in bits
+/// `0..31` plus the complement bit 31.
 ///
 /// `NodeId`s stay valid across garbage collections as long as the node is
 /// reachable from one of the roots passed to [`Manager::collect_garbage`].
+/// A `NodeId` and its [`NodeId::complement`] share the same node, so
+/// [`NodeId::index`] alone does not identify a function — external memo
+/// tables must key on the full `NodeId`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(u32);
 
 impl NodeId {
-    /// The constant-false terminal.
-    pub const FALSE: NodeId = NodeId(0);
-    /// The constant-true terminal.
-    pub const TRUE: NodeId = NodeId(1);
+    /// The constant-true function: the regular edge to the terminal node.
+    pub const TRUE: NodeId = NodeId(0);
+    /// The constant-false function: the complemented edge to the terminal.
+    pub const FALSE: NodeId = NodeId(COMPLEMENT);
 
-    /// Returns `true` if this is one of the two terminal nodes.
+    /// Returns `true` if this edge points at the terminal node (i.e. the
+    /// function is constant true or false).
     pub fn is_terminal(self) -> bool {
-        self.0 <= 1
+        self.0 & !COMPLEMENT == 0
     }
 
-    /// Returns `true` if this is the constant-false terminal.
+    /// Returns `true` if this is the constant-false function.
     pub fn is_false(self) -> bool {
         self == Self::FALSE
     }
 
-    /// Returns `true` if this is the constant-true terminal.
+    /// Returns `true` if this is the constant-true function.
     pub fn is_true(self) -> bool {
         self == Self::TRUE
     }
 
-    /// The raw index (useful for external memo tables).
+    /// Returns `true` if the complement bit is set on this edge.
+    pub fn is_complemented(self) -> bool {
+        self.0 & COMPLEMENT != 0
+    }
+
+    /// The negation of this function — a pure bit flip, no manager needed.
+    /// [`Manager::not`] is the counted, stats-visible spelling of the same
+    /// operation.
+    #[must_use]
+    pub fn complement(self) -> NodeId {
+        NodeId(self.0 ^ COMPLEMENT)
+    }
+
+    /// This edge with the complement bit cleared (the positive function of
+    /// the shared node).
+    #[must_use]
+    pub fn regular(self) -> NodeId {
+        NodeId(self.0 & !COMPLEMENT)
+    }
+
+    /// The raw node index (complement bit stripped).  Two edges with equal
+    /// `index()` may still denote *different* functions — compare whole
+    /// `NodeId`s for semantic identity.
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & !COMPLEMENT) as usize
+    }
+
+    /// The complement bit of this edge as a mask (0 or bit 31), for XOR
+    /// application onto other edges.
+    #[inline]
+    fn cmask(self) -> u32 {
+        self.0 & COMPLEMENT
+    }
+
+    /// This edge with `mask` (0 or the complement bit) XORed in.
+    #[inline]
+    fn xor_mask(self, mask: u32) -> NodeId {
+        NodeId(self.0 ^ mask)
     }
 }
 
 /// Level used for terminal nodes: below every real variable.
 const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// One stored BDD node.  Canonical-form invariant: `low` is always a
+/// regular (non-complemented) edge; `high` may carry the complement bit.
 #[derive(Debug, Clone, Copy)]
 struct Node {
     level: u32,
@@ -102,19 +177,18 @@ struct Node {
 // Operation caches
 // ---------------------------------------------------------------------- //
 
-/// Initial and maximum entry counts (log2) of the direct-mapped caches.
-/// Every cache starts tiny and doubles whenever the misses since its last
-/// resize exceed its capacity — i.e. when the working set demonstrably does
-/// not fit.  The maximum keeps a fully grown cache at a couple of MiB: far
-/// beyond that, probing loses to recomputation on TLB and DRAM misses.
+/// Initial entry count (log2) of the direct-mapped caches.
 const CACHE_INITIAL_LOG2: u32 = 12;
-const CACHE_MAX_LOG2: u32 = 16;
+/// Default growth cap (log2): a fully grown cache stays at a couple of MiB.
+const CACHE_DEFAULT_MAX_LOG2: u32 = 16;
+/// Absolute cap (log2) the GC-time auto-tuner may raise the limit to.
+const CACHE_HARD_MAX_LOG2: u32 = 20;
 
 /// A lossy direct-mapped memoisation cache backed by packed `u64` words.
 ///
 /// Entry layouts (all words zero ⇒ epoch 0 ⇒ stale):
-/// * stride 2 (`and`/`or`/`xor`, `not`, `cofactor`): `[key, epoch<<32|result]`
-/// * stride 3 (`ite`): `[f<<32|g, h, epoch<<32|result]`
+/// * stride 2 (`and`/`xor`, `cofactor`, `flip`): `[key, epoch<<32|result]`
+/// * stride 3 (`ite`, `xor3`, `maj`, `mux`): `[k0, k1, epoch<<32|result]`
 ///
 /// Backing the cache with `Vec<u64>` rather than entry structs lets fresh
 /// caches come from `vec![0u64; n]`, which the allocator serves as
@@ -128,6 +202,8 @@ struct DirectCache {
     stride: usize,
     /// Misses remaining until the next doubling.
     grow_budget: u64,
+    /// Current growth cap (log2 entries); raised by the GC auto-tuner.
+    max_log2: u32,
 }
 
 impl DirectCache {
@@ -138,6 +214,7 @@ impl DirectCache {
             mask: entries - 1,
             stride,
             grow_budget: entries as u64,
+            max_log2: CACHE_DEFAULT_MAX_LOG2,
         }
     }
 
@@ -156,13 +233,25 @@ impl DirectCache {
         }
     }
 
+    /// Raises the growth cap (GC-time auto-tuning).  A cache that had
+    /// saturated its previous cap gets its miss budget re-armed so renewed
+    /// pressure can trigger the next doubling.
+    fn raise_cap(&mut self, max_log2: u32) {
+        if max_log2 > self.max_log2 {
+            self.max_log2 = max_log2;
+            if self.grow_budget == u64::MAX {
+                self.grow_budget = (self.mask + 1) as u64;
+            }
+        }
+    }
+
     /// Doubles the entry count, rehashing live entries into the new array
     /// (every entry stores its full key, so nothing warm is lost; colliding
     /// pairs resolve lossily as usual).
     #[cold]
     fn grow(&mut self) {
         let entries = self.mask + 1;
-        if entries >= (1usize << CACHE_MAX_LOG2) {
+        if entries >= (1usize << self.max_log2) {
             self.grow_budget = u64::MAX;
             return;
         }
@@ -212,7 +301,7 @@ impl DirectCache {
         self.note_miss();
     }
 
-    /// Looks up a stride-3 (`ite`) entry.
+    /// Looks up a stride-3 entry.
     #[inline]
     fn probe3(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
         let base = self.base(mix64(key_fg ^ mix64(key_h)));
@@ -227,7 +316,7 @@ impl DirectCache {
         }
     }
 
-    /// Stores a stride-3 (`ite`) entry.
+    /// Stores a stride-3 entry.
     #[inline]
     fn store3(
         &mut self,
@@ -306,14 +395,20 @@ pub struct ManagerStats {
     pub created_nodes: usize,
     /// Number of times the open-addressed unique table doubled.
     pub unique_resizes: usize,
-    /// Counters of the `and` apply cache.
+    /// O(1) complement-edge negations served by [`Manager::not`] (each one
+    /// replaces a full traversal of the pre-complement-edge kernel).
+    pub not_ops: u64,
+    /// Canonical-form flips performed by `mk` (a complemented low edge was
+    /// normalised by complementing both children and the result).
+    pub complement_flips: u64,
+    /// Current op-cache growth cap (log2 entries; starts at 2¹⁶).
+    pub cache_cap_log2: u32,
+    /// Times the GC auto-tuner raised the op-cache growth cap.
+    pub cache_cap_raises: u32,
+    /// Counters of the `and` apply cache (also serves `or` via De Morgan).
     pub and_cache: CacheStats,
-    /// Counters of the `or` apply cache.
-    pub or_cache: CacheStats,
-    /// Counters of the `xor` apply cache.
+    /// Counters of the `xor` apply cache (complement parity folded out).
     pub xor_cache: CacheStats,
-    /// Counters of the `not` cache.
-    pub not_cache: CacheStats,
     /// Counters of the `ite` cache.
     pub ite_cache: CacheStats,
     /// Counters of the `cofactor` cache.
@@ -331,12 +426,13 @@ pub struct ManagerStats {
 impl ManagerStats {
     /// Every operation cache's name and counters, in reporting order — the
     /// single enumeration aggregate consumers (totals, reports) loop over.
-    pub fn caches(&self) -> [(&'static str, &CacheStats); 10] {
+    /// `or` and `not` no longer appear: OR folds into the AND cache via
+    /// De Morgan and NOT is a cache-free bit flip (see
+    /// [`ManagerStats::not_ops`]).
+    pub fn caches(&self) -> [(&'static str, &CacheStats); 8] {
         [
             ("and", &self.and_cache),
-            ("or", &self.or_cache),
             ("xor", &self.xor_cache),
-            ("not", &self.not_cache),
             ("ite", &self.ite_cache),
             ("cofactor", &self.cofactor_cache),
             ("xor3", &self.xor3_cache),
@@ -365,14 +461,16 @@ impl ManagerStats {
 // Unique table
 // ---------------------------------------------------------------------- //
 
-/// Sentinel id marking an empty unique-table slot.
+/// Sentinel id marking an empty unique-table slot (regular node ids never
+/// reach bit 31, so this cannot collide with a live id).
 const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Initial unique-table capacity (slots, power of two).
 const INITIAL_TABLE_CAPACITY: usize = 1 << 11;
 
 /// One 16-byte slot of the open-addressed unique table: the packed
-/// `(low, high)` children, the level, and the node id.
+/// `(low, high)` children (low regular, high possibly complemented), the
+/// level, and the node id.
 #[derive(Debug, Clone, Copy)]
 struct UniqueSlot {
     children: u64,
@@ -396,7 +494,7 @@ fn unique_hash(level: u32, children: u64) -> u64 {
     mix64(children ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-/// A reduced ordered BDD manager.
+/// A reduced ordered BDD manager with complement edges.
 ///
 /// Variables are identified by their index `0..num_vars()`, which is also the
 /// variable order (index 0 is the topmost level).  The simulator places qubit
@@ -413,6 +511,11 @@ fn unique_hash(level: u32, children: u64) -> u64 {
 /// assert!(!mgr.eval(f, &[true, false]));
 /// assert_eq!(mgr.sat_count(f, 2), sliq_bignum::UBig::from(1u64));
 /// assert_ne!(f, NodeId::FALSE);
+/// // Negation is a bit flip: no nodes are allocated.
+/// let nodes_before = mgr.stats().created_nodes;
+/// let nf = mgr.not(f);
+/// assert_eq!(mgr.stats().created_nodes, nodes_before);
+/// assert_eq!(mgr.not(nf), f);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Manager {
@@ -423,9 +526,7 @@ pub struct Manager {
     /// Number of live entries in `table`.
     table_len: usize,
     and_cache: DirectCache,
-    or_cache: DirectCache,
     xor_cache: DirectCache,
-    not_cache: DirectCache,
     ite_cache: DirectCache,
     cofactor_cache: DirectCache,
     xor3_cache: DirectCache,
@@ -437,6 +538,14 @@ pub struct Manager {
     cache_epoch: u32,
     num_vars: u32,
     gc_threshold: usize,
+    /// Current op-cache growth cap (log2), raised by the GC auto-tuner.
+    cache_max_log2: u32,
+    /// Total-cache miss/eviction counts at the end of the previous GC, for
+    /// the auto-tuner's per-GC-interval rates.
+    misses_at_last_gc: u64,
+    evictions_at_last_gc: u64,
+    /// Consecutive GC intervals whose eviction rate exceeded the threshold.
+    high_eviction_streak: u32,
     stats: ManagerStats,
 }
 
@@ -445,18 +554,16 @@ impl Manager {
     pub fn new(num_vars: usize) -> Self {
         let terminal = Node {
             level: TERMINAL_LEVEL,
-            low: NodeId::FALSE,
-            high: NodeId::FALSE,
+            low: NodeId::TRUE,
+            high: NodeId::TRUE,
         };
         Self {
-            nodes: vec![terminal, terminal],
+            nodes: vec![terminal],
             free: Vec::new(),
             table: vec![EMPTY_UNIQUE_SLOT; INITIAL_TABLE_CAPACITY],
             table_len: 0,
             and_cache: DirectCache::new(2),
-            or_cache: DirectCache::new(2),
             xor_cache: DirectCache::new(2),
-            not_cache: DirectCache::new(2),
             ite_cache: DirectCache::new(3),
             cofactor_cache: DirectCache::new(2),
             xor3_cache: DirectCache::new(3),
@@ -466,7 +573,14 @@ impl Manager {
             cache_epoch: 1,
             num_vars: num_vars as u32,
             gc_threshold: 1 << 16,
-            stats: ManagerStats::default(),
+            cache_max_log2: CACHE_DEFAULT_MAX_LOG2,
+            misses_at_last_gc: 0,
+            evictions_at_last_gc: 0,
+            high_eviction_streak: 0,
+            stats: ManagerStats {
+                cache_cap_log2: CACHE_DEFAULT_MAX_LOG2,
+                ..ManagerStats::default()
+            },
         }
     }
 
@@ -489,9 +603,9 @@ impl Manager {
     }
 
     /// The number of currently allocated (live or garbage, not yet freed)
-    /// nodes, excluding the two terminals.
+    /// nodes, excluding the terminal.
     pub fn allocated_nodes(&self) -> usize {
-        self.nodes.len() - 2 - self.free.len()
+        self.nodes.len() - 1 - self.free.len()
     }
 
     // ----------------------------------------------------------------- //
@@ -528,32 +642,56 @@ impl Manager {
         self.nodes[f.index()].level
     }
 
+    /// The stored low child of `f`'s node (regular by canonical form),
+    /// *without* `f`'s own complement bit applied.
     #[inline]
-    fn low(&self, f: NodeId) -> NodeId {
+    fn raw_low(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].low
     }
 
+    /// The stored high child of `f`'s node, *without* `f`'s own complement
+    /// bit applied.
     #[inline]
-    fn high(&self, f: NodeId) -> NodeId {
+    fn raw_high(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].high
     }
 
-    /// Returns `(level, low, high)` of a non-terminal node.
+    /// The semantic cofactors of `f` at its own top level: the stored
+    /// children with `f`'s complement bit pushed down into them.
+    #[inline]
+    fn cofactors_of(&self, f: NodeId) -> (NodeId, NodeId) {
+        let node = &self.nodes[f.index()];
+        let c = f.cmask();
+        (node.low.xor_mask(c), node.high.xor_mask(c))
+    }
+
+    /// Returns `(level, low, high)` of a non-terminal edge, with the edge's
+    /// complement bit pushed into the children (so recursing on the returned
+    /// edges traverses the *function*, not just the shared node).
     pub fn node(&self, f: NodeId) -> Option<(usize, NodeId, NodeId)> {
         if f.is_terminal() {
             None
         } else {
-            let n = &self.nodes[f.index()];
-            Some((n.level as usize, n.low, n.high))
+            let (low, high) = self.cofactors_of(f);
+            Some((self.level(f) as usize, low, high))
         }
     }
 
     /// Hash-consing node constructor (the `MK` operation): finds or creates
-    /// the node `(level, low, high)` through the open-addressed unique table.
+    /// the node `(level, low, high)` through the open-addressed unique
+    /// table.  Enforces the canonical form — if `low` arrives complemented,
+    /// both children are flipped and the returned edge is complemented, so
+    /// the *stored* low edge is always regular.
     fn mk(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
         if low == high {
             return low;
         }
+        let out_c = low.cmask();
+        if out_c != 0 {
+            self.stats.complement_flips += 1;
+        }
+        let low = low.xor_mask(out_c);
+        let high = high.xor_mask(out_c);
         let children = pack_children(low, high);
         let mask = self.table.len() - 1;
         let mut idx = unique_hash(level, children) as usize & mask;
@@ -563,7 +701,7 @@ impl Manager {
                 break;
             }
             if slot.children == children && slot.level == level {
-                return NodeId(slot.id);
+                return NodeId(slot.id ^ out_c);
             }
             idx = (idx + 1) & mask;
         }
@@ -585,7 +723,11 @@ impl Manager {
             }
             None => {
                 self.nodes.push(node);
-                (self.nodes.len() - 1) as u32
+                let id = (self.nodes.len() - 1) as u32;
+                // Bit 31 is the complement flag: an index reaching it would
+                // silently alias complemented edges. Abort loudly instead.
+                assert!(id & COMPLEMENT == 0, "node arena overflow (2^31 nodes)");
+                id
             }
         };
         self.table[idx] = UniqueSlot {
@@ -596,7 +738,7 @@ impl Manager {
         self.table_len += 1;
         self.stats.created_nodes += 1;
         self.stats.peak_nodes = self.stats.peak_nodes.max(self.allocated_nodes());
-        NodeId(id)
+        NodeId(id ^ out_c)
     }
 
     /// Doubles the unique table and reinserts every live slot.
@@ -626,7 +768,7 @@ impl Manager {
         self.table_len = 0;
         self.free.clear();
         let mask = self.table.len() - 1;
-        for (index, &is_live) in marked.iter().enumerate().skip(2) {
+        for (index, &is_live) in marked.iter().enumerate().skip(1) {
             if !is_live {
                 self.free.push(index as u32);
                 continue;
@@ -650,20 +792,33 @@ impl Manager {
     // Boolean operations
     // ----------------------------------------------------------------- //
 
+    /// The cofactors of `f` with respect to `level`: `f`'s own children
+    /// (complement pushed down) when `f` sits at `level`, else `f` twice.
     #[inline]
     fn split(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
-        let node = &self.nodes[f.index()];
-        if node.level == level {
-            (node.low, node.high)
+        if self.level(f) == level {
+            self.cofactors_of(f)
         } else {
             (f, f)
         }
     }
 
-    /// Logical conjunction (dedicated apply recursion).
+    /// Logical negation: with complement edges this is a single bit flip —
+    /// no recursion, no cache lookup, no allocation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.stats.not_ops += 1;
+        f.complement()
+    }
+
+    /// Logical conjunction (dedicated apply recursion; complement bits are
+    /// part of the cache key because they do not fold out of AND).
     pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
         if f == g {
             return f;
+        }
+        if f.0 ^ g.0 == COMPLEMENT {
+            // f ∧ ¬f
+            return NodeId::FALSE;
         }
         if f.is_false() || g.is_false() {
             return NodeId::FALSE;
@@ -693,60 +848,38 @@ impl Manager {
         result
     }
 
-    /// Logical disjunction (dedicated apply recursion).
+    /// Logical disjunction, by De Morgan: `or(f, g) = ¬and(¬f, ¬g)`.  The
+    /// complements are O(1) bit flips, so OR shares the AND recursion and
+    /// its cache instead of maintaining its own.
     pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        if f == g {
-            return f;
-        }
-        if f.is_true() || g.is_true() {
-            return NodeId::TRUE;
-        }
-        if f.is_false() {
-            return g;
-        }
-        if g.is_false() {
-            return f;
-        }
-        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
-        let key = ((a.0 as u64) << 32) | b.0 as u64;
-        if let Some(result) = self.or_cache.probe2(self.cache_epoch, key) {
-            self.stats.or_cache.hits += 1;
-            return result;
-        }
-        self.stats.or_cache.misses += 1;
-        let top = self.level(a).min(self.level(b));
-        let (a0, a1) = self.split(a, top);
-        let (b0, b1) = self.split(b, top);
-        let low = self.or(a0, b0);
-        let high = self.or(a1, b1);
-        let result = self.mk(top, low, high);
-        self.or_cache
-            .store2(&mut self.stats.or_cache, self.cache_epoch, key, result);
-        result
+        self.and(f.complement(), g.complement()).complement()
     }
 
-    /// Exclusive or (dedicated apply recursion).
+    /// Exclusive or (dedicated apply recursion).  Complement parity folds
+    /// out entirely — `¬f ⊕ g = ¬(f ⊕ g)` — so the cache is probed with
+    /// regular operands and one entry serves XOR and XNOR of both phases.
     pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        if f == g {
-            return NodeId::FALSE;
+        let parity = (f.0 ^ g.0) & COMPLEMENT;
+        let (a, b) = (f.regular(), g.regular());
+        if a == b {
+            return if parity != 0 {
+                NodeId::TRUE
+            } else {
+                NodeId::FALSE
+            };
         }
-        if f.is_false() {
-            return g;
+        if a.is_terminal() {
+            // a is the regular terminal (true): true ⊕ b = ¬b.
+            return b.complement().xor_mask(parity);
         }
-        if g.is_false() {
-            return f;
+        if b.is_terminal() {
+            return a.complement().xor_mask(parity);
         }
-        if f.is_true() {
-            return self.not(g);
-        }
-        if g.is_true() {
-            return self.not(f);
-        }
-        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        let (a, b) = if a.0 < b.0 { (a, b) } else { (b, a) };
         let key = ((a.0 as u64) << 32) | b.0 as u64;
         if let Some(result) = self.xor_cache.probe2(self.cache_epoch, key) {
             self.stats.xor_cache.hits += 1;
-            return result;
+            return result.xor_mask(parity);
         }
         self.stats.xor_cache.misses += 1;
         let top = self.level(a).min(self.level(b));
@@ -757,41 +890,17 @@ impl Manager {
         let result = self.mk(top, low, high);
         self.xor_cache
             .store2(&mut self.stats.xor_cache, self.cache_epoch, key, result);
-        result
-    }
-
-    /// Logical negation (dedicated recursion; without complement edges the
-    /// negation of a shared subgraph is itself heavily shared, so this cache
-    /// hits often).
-    pub fn not(&mut self, f: NodeId) -> NodeId {
-        if f.is_false() {
-            return NodeId::TRUE;
-        }
-        if f.is_true() {
-            return NodeId::FALSE;
-        }
-        let key = f.0 as u64;
-        if let Some(result) = self.not_cache.probe2(self.cache_epoch, key) {
-            self.stats.not_cache.hits += 1;
-            return result;
-        }
-        self.stats.not_cache.misses += 1;
-        let level = self.level(f);
-        let (f0, f1) = (self.low(f), self.high(f));
-        let low = self.not(f0);
-        let high = self.not(f1);
-        let result = self.mk(level, low, high);
-        self.not_cache
-            .store2(&mut self.stats.not_cache, self.cache_epoch, key, result);
-        result
+        result.xor_mask(parity)
     }
 
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     ///
     /// Calls whose shape matches a two-operand operation are routed to the
-    /// specialised recursions (and their caches) instead.
+    /// specialised recursions (and their caches) instead; the standard
+    /// triple is normalised so the predicate and the then-branch are
+    /// regular edges (`ite(¬f, g, h) = ite(f, h, g)` and
+    /// `ite(f, ¬g, ¬h) = ¬ite(f, g, h)`).
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
-        // Terminal and triangle cases.
         if f.is_true() {
             return g;
         }
@@ -801,32 +910,56 @@ impl Manager {
         if g == h {
             return g;
         }
-        if g.is_true() && h.is_false() {
-            return f;
-        }
-        if g.is_false() && h.is_true() {
-            return self.not(f);
+        // Predicate normalisation: regular f.
+        let (f, g, h) = if f.is_complemented() {
+            (f.complement(), h, g)
+        } else {
+            (f, g, h)
+        };
+        if g.0 ^ h.0 == COMPLEMENT {
+            // ite(f, g, ¬g) = ¬(f ⊕ g): the XNOR terminal case folds into
+            // the XOR recursion via the complement bit.
+            return self.xor(f, g).complement();
         }
         // Two-operand shapes: reuse the specialised recursions.
-        if h.is_false() || f == h {
-            return self.and(f, g);
-        }
-        if g.is_true() || f == g {
+        if g.is_true() {
+            if h.is_false() {
+                return f;
+            }
             return self.or(f, h);
         }
         if g.is_false() {
-            let nf = self.not(f);
-            return self.and(nf, h);
+            if h.is_true() {
+                return f.complement();
+            }
+            return self.and(f.complement(), h);
+        }
+        if h.is_false() || f == h {
+            return self.and(f, g);
+        }
+        if f == g {
+            return self.or(f, h);
         }
         if h.is_true() {
-            let nf = self.not(f);
-            return self.or(nf, g);
+            return self.or(f.complement(), g);
         }
+        if f.0 ^ g.0 == COMPLEMENT {
+            // g = ¬f: ite(f, ¬f, h) = ¬f ∧ h.
+            return self.and(f.complement(), h);
+        }
+        if f.0 ^ h.0 == COMPLEMENT {
+            // h = ¬f: ite(f, g, ¬f) = ¬f ∨ g.
+            return self.or(f.complement(), g);
+        }
+        // Then-branch normalisation: regular g, so ite(f, g, h) and
+        // ¬ite(f, ¬g, ¬h) probe the same cache line.
+        let out_c = g.cmask();
+        let (g, h) = (g.xor_mask(out_c), h.xor_mask(out_c));
         let key_fg = ((f.0 as u64) << 32) | g.0 as u64;
         let key_h = h.0 as u64;
         if let Some(result) = self.ite_cache.probe3(self.cache_epoch, key_fg, key_h) {
             self.stats.ite_cache.hits += 1;
-            return result;
+            return result.xor_mask(out_c);
         }
         self.stats.ite_cache.misses += 1;
         let top = self.level(f).min(self.level(g)).min(self.level(h));
@@ -843,14 +976,17 @@ impl Manager {
             key_h,
             result,
         );
-        result
+        result.xor_mask(out_c)
     }
 
     /// Three-operand exclusive or `f ⊕ g ⊕ h` — the full-adder *sum* — as a
     /// single recursion instead of two chained [`Manager::xor`] passes.
+    /// Complement parity folds out of all three operands at once, so the
+    /// cache is keyed on regular edges only.
     pub fn xor3(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
-        // Fully commutative: sort into canonical operand order.
-        let (mut a, mut b, mut c) = (f, g, h);
+        let parity = (f.0 ^ g.0 ^ h.0) & COMPLEMENT;
+        // Fully commutative: sort the regular edges into canonical order.
+        let (mut a, mut b, mut c) = (f.regular(), g.regular(), h.regular());
         if a.0 > b.0 {
             std::mem::swap(&mut a, &mut b);
         }
@@ -860,23 +996,24 @@ impl Manager {
         if a.0 > b.0 {
             std::mem::swap(&mut a, &mut b);
         }
-        // Duplicate operands cancel.
+        // Duplicate operands cancel (their complement bits already folded
+        // into `parity`).
         if a == b {
-            return c;
+            return c.xor_mask(parity);
         }
         if b == c {
-            return a;
+            return a.xor_mask(parity);
         }
-        // Terminals sort first; peel them off pairwise.
+        // The only regular terminal is `true`, and it sorts first:
+        // true ⊕ b ⊕ c = ¬(b ⊕ c).
         if a.is_terminal() {
-            let rest = self.xor(b, c);
-            return if a.is_true() { self.not(rest) } else { rest };
+            return self.xor(b, c).complement().xor_mask(parity);
         }
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
         if let Some(result) = self.xor3_cache.probe3(self.cache_epoch, key_ab, key_c) {
             self.stats.xor3_cache.hits += 1;
-            return result;
+            return result.xor_mask(parity);
         }
         self.stats.xor3_cache.misses += 1;
         let top = self.level(a).min(self.level(b)).min(self.level(c));
@@ -893,15 +1030,61 @@ impl Manager {
             key_c,
             result,
         );
-        result
+        result.xor_mask(parity)
     }
 
     /// Three-operand majority `f·g ∨ f·h ∨ g·h` — the full-adder *carry*
     /// `a·b ∨ (a ∨ b)·c` — as a single recursion instead of four chained
-    /// two-operand passes.
+    /// two-operand passes.  Majority is self-dual
+    /// (`maj(¬f, ¬g, ¬h) = ¬maj(f, g, h)`), which normalises every call to
+    /// at most one complemented operand before the cache is probed.
     pub fn maj(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
-        // Fully commutative: sort into canonical operand order.
-        let (mut a, mut b, mut c) = (f, g, h);
+        // A duplicated operand wins the vote; an operand voting against its
+        // own complement leaves the third the deciding vote.
+        if f == g || f == h {
+            return f;
+        }
+        if g == h {
+            return g;
+        }
+        if f.0 ^ g.0 == COMPLEMENT {
+            return h;
+        }
+        if f.0 ^ h.0 == COMPLEMENT {
+            return g;
+        }
+        if g.0 ^ h.0 == COMPLEMENT {
+            return f;
+        }
+        // A constant vote reduces to OR (true) or AND (false).
+        if f.is_terminal() {
+            return if f.is_true() {
+                self.or(g, h)
+            } else {
+                self.and(g, h)
+            };
+        }
+        if g.is_terminal() {
+            return if g.is_true() {
+                self.or(f, h)
+            } else {
+                self.and(f, h)
+            };
+        }
+        if h.is_terminal() {
+            return if h.is_true() {
+                self.or(f, g)
+            } else {
+                self.and(f, g)
+            };
+        }
+        // Self-duality: flip all three when two or more are complemented,
+        // complementing the result.
+        let complemented =
+            f.is_complemented() as u32 + g.is_complemented() as u32 + h.is_complemented() as u32;
+        let out_c = if complemented >= 2 { COMPLEMENT } else { 0 };
+        // Fully commutative: sort the (normalised) operands canonically.
+        let (mut a, mut b, mut c) = (f.xor_mask(out_c), g.xor_mask(out_c), h.xor_mask(out_c));
         if a.0 > b.0 {
             std::mem::swap(&mut a, &mut b);
         }
@@ -911,26 +1094,11 @@ impl Manager {
         if a.0 > b.0 {
             std::mem::swap(&mut a, &mut b);
         }
-        // A duplicated operand wins the vote.
-        if a == b {
-            return a;
-        }
-        if b == c {
-            return b;
-        }
-        // Terminals sort first; a false vote reduces to AND, a true one to OR.
-        if a.is_terminal() {
-            return if a.is_true() {
-                self.or(b, c)
-            } else {
-                self.and(b, c)
-            };
-        }
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
         if let Some(result) = self.maj_cache.probe3(self.cache_epoch, key_ab, key_c) {
             self.stats.maj_cache.hits += 1;
-            return result;
+            return result.xor_mask(out_c);
         }
         self.stats.maj_cache.misses += 1;
         let top = self.level(a).min(self.level(b)).min(self.level(c));
@@ -947,43 +1115,47 @@ impl Manager {
             key_c,
             result,
         );
-        result
+        result.xor_mask(out_c)
     }
 
     /// The composition `f(…, ¬x_var, …)`: swaps the two cofactors along
     /// `var` in one traversal (the X-gate permutation), instead of the
-    /// three-pass `ite(x, f|₀, f|₁)` construction.
+    /// three-pass `ite(x, f|₀, f|₁)` construction.  The swap commutes with
+    /// complementation, so the cache is keyed on the regular edge.
     pub fn flip_var(&mut self, f: NodeId, var: usize) -> NodeId {
         self.flip_var_rec(f, var as u32)
     }
 
     fn flip_var_rec(&mut self, f: NodeId, var: u32) -> NodeId {
-        if f.is_terminal() || self.level(f) > var {
+        let out_c = f.cmask();
+        let fr = f.xor_mask(out_c);
+        if fr.is_terminal() || self.level(fr) > var {
             return f;
         }
-        if self.level(f) == var {
-            let (low, high) = (self.low(f), self.high(f));
-            return self.mk(var, high, low);
+        if self.level(fr) == var {
+            let (low, high) = (self.raw_low(fr), self.raw_high(fr));
+            return self.mk(var, high, low).xor_mask(out_c);
         }
-        let key = ((f.0 as u64) << 32) | var as u64;
+        let key = ((fr.0 as u64) << 32) | var as u64;
         if let Some(result) = self.flip_cache.probe2(self.cache_epoch, key) {
             self.stats.flip_cache.hits += 1;
-            return result;
+            return result.xor_mask(out_c);
         }
         self.stats.flip_cache.misses += 1;
-        let level = self.level(f);
-        let (f0, f1) = (self.low(f), self.high(f));
+        let level = self.level(fr);
+        let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
         let low = self.flip_var_rec(f0, var);
         let high = self.flip_var_rec(f1, var);
         let result = self.mk(level, low, high);
         self.flip_cache
             .store2(&mut self.stats.flip_cache, self.cache_epoch, key, result);
-        result
+        result.xor_mask(out_c)
     }
 
     /// `ite(x_var, g, h)` without materialising the literal: the row
     /// multiplexer used by controlled and phase gates, in one recursion with
-    /// a two-word cache key.
+    /// a two-word cache key.  Normalised so the then-input is regular
+    /// (`mux(v, ¬g, ¬h) = ¬mux(v, g, h)`).
     pub fn mux_var(&mut self, var: usize, g: NodeId, h: NodeId) -> NodeId {
         self.mux_var_rec(var as u32, g, h)
     }
@@ -992,23 +1164,29 @@ impl Manager {
         if g == h {
             return g;
         }
+        let out_c = g.cmask();
+        let (g, h) = (g.xor_mask(out_c), h.xor_mask(out_c));
         let top = self.level(g).min(self.level(h));
         if top > var {
             // Neither operand depends on variables at or above `var`.
-            return self.mk(var, h, g);
+            return self.mk(var, h, g).xor_mask(out_c);
         }
         let key_gh = ((g.0 as u64) << 32) | h.0 as u64;
         let key_var = var as u64;
         if let Some(result) = self.mux_cache.probe3(self.cache_epoch, key_gh, key_var) {
             self.stats.mux_cache.hits += 1;
-            return result;
+            return result.xor_mask(out_c);
         }
         self.stats.mux_cache.misses += 1;
         let result = if top == var {
             // At the multiplexer level: low output comes from h, high from g.
-            let low = if self.level(h) == var { self.low(h) } else { h };
+            let low = if self.level(h) == var {
+                self.cofactors_of(h).0
+            } else {
+                h
+            };
             let high = if self.level(g) == var {
-                self.high(g)
+                self.cofactors_of(g).1
             } else {
                 g
             };
@@ -1027,7 +1205,7 @@ impl Manager {
             key_var,
             result,
         );
-        result
+        result.xor_mask(out_c)
     }
 
     /// Conjunction of many functions.
@@ -1070,27 +1248,31 @@ impl Manager {
         acc
     }
 
-    /// The cofactor `f|_{var=value}`.
+    /// The cofactor `f|_{var=value}`.  Restriction commutes with
+    /// complementation, so the cache is keyed on the regular edge.
     pub fn cofactor(&mut self, f: NodeId, var: usize, value: bool) -> NodeId {
         self.cofactor_rec(f, var as u32, value)
     }
 
     fn cofactor_rec(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
-        if f.is_terminal() || self.level(f) > var {
+        let out_c = f.cmask();
+        let fr = f.xor_mask(out_c);
+        if fr.is_terminal() || self.level(fr) > var {
             return f;
         }
-        if self.level(f) == var {
-            return if value { self.high(f) } else { self.low(f) };
+        if self.level(fr) == var {
+            let (low, high) = self.cofactors_of(f);
+            return if value { high } else { low };
         }
         let var_value = var | (value as u32) << 31;
-        let key = ((f.0 as u64) << 32) | var_value as u64;
+        let key = ((fr.0 as u64) << 32) | var_value as u64;
         if let Some(result) = self.cofactor_cache.probe2(self.cache_epoch, key) {
             self.stats.cofactor_cache.hits += 1;
-            return result;
+            return result.xor_mask(out_c);
         }
         self.stats.cofactor_cache.misses += 1;
-        let level = self.level(f);
-        let (f0, f1) = (self.low(f), self.high(f));
+        let level = self.level(fr);
+        let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
         let low = self.cofactor_rec(f0, var, value);
         let high = self.cofactor_rec(f1, var, value);
         let result = self.mk(level, low, high);
@@ -1100,7 +1282,7 @@ impl Manager {
             key,
             result,
         );
-        result
+        result.xor_mask(out_c)
     }
 
     /// Cofactor with respect to a cube given as `(variable, phase)` pairs.
@@ -1123,117 +1305,167 @@ impl Manager {
     // Queries
     // ----------------------------------------------------------------- //
 
-    /// Evaluates `f` under a complete assignment (index = variable).
+    /// Evaluates `f` under a complete assignment (index = variable),
+    /// folding the complement bits of the traversed edges into the result.
     pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
         let mut cur = f;
         while !cur.is_terminal() {
-            let level = self.level(cur) as usize;
-            cur = if assignment[level] {
-                self.high(cur)
+            let node = &self.nodes[cur.index()];
+            let next = if assignment[node.level as usize] {
+                node.high
             } else {
-                self.low(cur)
+                node.low
             };
+            cur = next.xor_mask(cur.cmask());
         }
         cur.is_true()
     }
 
     /// Number of satisfying assignments of `f` over the first `nvars`
     /// variables.  `f` must not depend on variables `≥ nvars`.
+    ///
+    /// Complemented edges count by subtraction:
+    /// `|¬f| = 2^(remaining vars) − |f|`, memoised per regular node.
     pub fn sat_count(&self, f: NodeId, nvars: usize) -> UBig {
         let mut memo: FxHashMap<NodeId, UBig> = FxHashMap::default();
-        let count = self.sat_count_rec(f, nvars as u32, &mut memo);
-        count.shl(self.level_or(f, nvars as u32) as usize)
+        self.count_edge(f, 0, nvars as u32, &mut memo)
     }
 
-    fn level_or(&self, f: NodeId, max: u32) -> u32 {
-        self.level(f).min(max)
-    }
-
-    fn sat_count_rec(&self, f: NodeId, nvars: u32, memo: &mut FxHashMap<NodeId, UBig>) -> UBig {
+    /// Models of the function reached through edge `f` over the variables
+    /// `from..nvars` (all of which are at or below `f`'s level).
+    fn count_edge(
+        &self,
+        f: NodeId,
+        from: u32,
+        nvars: u32,
+        memo: &mut FxHashMap<NodeId, UBig>,
+    ) -> UBig {
+        if f.is_true() {
+            return UBig::pow2((nvars - from) as usize);
+        }
         if f.is_false() {
             return UBig::zero();
         }
-        if f.is_true() {
-            return UBig::one();
-        }
-        if let Some(c) = memo.get(&f) {
-            return c.clone();
-        }
-        let level = self.level(f);
+        let fr = f.regular();
+        let level = self.level(fr);
         debug_assert!(level < nvars, "function depends on variables beyond nvars");
-        let low = self.low(f);
-        let high = self.high(f);
-        let skip = |child: NodeId, this: &Self| this.level_or(child, nvars) - level - 1;
-        let cl = self
-            .sat_count_rec(low, nvars, memo)
-            .shl(skip(low, self) as usize);
-        let ch = self
-            .sat_count_rec(high, nvars, memo)
-            .shl(skip(high, self) as usize);
-        let total = UBig::add(&cl, &ch);
-        memo.insert(f, total.clone());
-        total
+        let models = match memo.get(&fr) {
+            Some(c) => c.clone(),
+            None => {
+                let low = self.raw_low(fr);
+                let high = self.raw_high(fr);
+                let cl = self.count_edge(low, level + 1, nvars, memo);
+                let ch = self.count_edge(high, level + 1, nvars, memo);
+                let total = UBig::add(&cl, &ch);
+                memo.insert(fr, total.clone());
+                total
+            }
+        };
+        let models = if f.is_complemented() {
+            UBig::pow2((nvars - level) as usize).sub(&models)
+        } else {
+            models
+        };
+        models.shl((level - from) as usize)
     }
 
     /// Like [`Manager::sat_count`] but in floating point (may overflow to
     /// infinity around 2¹⁰²⁴ assignments).
     pub fn sat_count_f64(&self, f: NodeId, nvars: usize) -> f64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
-        fn rec(mgr: &Manager, f: NodeId, nvars: u32, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
-            if f.is_false() {
-                return 0.0;
-            }
-            if f.is_true() {
-                return 1.0;
-            }
-            if let Some(&c) = memo.get(&f) {
-                return c;
-            }
-            let level = mgr.level(f);
-            let low = mgr.low(f);
-            let high = mgr.high(f);
-            // Guard against `0 × ∞ = NaN` when a child count is zero but the
-            // level gap is enormous.
-            let weighted = |count: f64, child: NodeId, mgr: &Manager| {
-                if count == 0.0 {
-                    0.0
-                } else {
-                    count * 2f64.powi((mgr.level_or(child, nvars) - level - 1) as i32)
-                }
-            };
-            let cl_raw = rec(mgr, low, nvars, memo);
-            let ch_raw = rec(mgr, high, nvars, memo);
-            let total = weighted(cl_raw, low, mgr) + weighted(ch_raw, high, mgr);
-            memo.insert(f, total);
-            total
+        self.count_edge_f64(f, 0, nvars as u32, &mut memo)
+    }
+
+    fn count_edge_f64(
+        &self,
+        f: NodeId,
+        from: u32,
+        nvars: u32,
+        memo: &mut FxHashMap<NodeId, f64>,
+    ) -> f64 {
+        if f.is_true() {
+            return 2f64.powi((nvars - from) as i32);
         }
-        let c = rec(self, f, nvars as u32, &mut memo);
-        if c == 0.0 {
+        if f.is_false() {
+            return 0.0;
+        }
+        let fr = f.regular();
+        let level = self.level(fr);
+        let models = match memo.get(&fr) {
+            Some(&c) => c,
+            None => {
+                let low = self.raw_low(fr);
+                let high = self.raw_high(fr);
+                let total = self.count_edge_f64(low, level + 1, nvars, memo)
+                    + self.count_edge_f64(high, level + 1, nvars, memo);
+                memo.insert(fr, total);
+                total
+            }
+        };
+        let models = if f.is_complemented() {
+            // Beyond ~2¹⁰²⁴ assignments the subtraction is inf − inf; the
+            // complement count is astronomically large too, so saturate.
+            let pow = 2f64.powi((nvars - level) as i32);
+            if pow.is_finite() {
+                pow - models
+            } else {
+                pow
+            }
+        } else {
+            models
+        };
+        // Guard against `0 × ∞ = NaN` when the model count is zero but the
+        // level gap is enormous.
+        if models == 0.0 {
             0.0
         } else {
-            c * 2f64.powi(self.level_or(f, nvars as u32) as i32)
+            models * 2f64.powi((level - from) as i32)
         }
     }
 
-    /// The number of BDD nodes reachable from `f` (terminals excluded).
+    /// The number of BDD nodes reachable from `f` (the terminal excluded).
+    /// A function and its complement share all their nodes.
     pub fn node_count(&self, f: NodeId) -> usize {
         self.node_count_many(std::slice::from_ref(&f))
     }
 
     /// The number of distinct BDD nodes reachable from any of the `roots`
-    /// (terminals excluded); shared nodes are counted once.
+    /// (the terminal excluded); shared nodes — including nodes shared
+    /// between a function and a complemented occurrence — are counted once.
     pub fn node_count_many(&self, roots: &[NodeId]) -> usize {
         let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
             Default::default();
-        let mut stack: Vec<NodeId> = roots.iter().copied().filter(|f| !f.is_terminal()).collect();
+        let mut stack: Vec<NodeId> = roots.iter().map(|f| f.regular()).collect();
         while let Some(f) = stack.pop() {
             if f.is_terminal() || !seen.insert(f) {
                 continue;
             }
-            stack.push(self.low(f));
-            stack.push(self.high(f));
+            stack.push(self.raw_low(f));
+            stack.push(self.raw_high(f).regular());
         }
         seen.len()
+    }
+
+    /// Counts the complement edges among the nodes reachable from `roots`:
+    /// returns `(complemented_high_edges, reachable_nodes)`.  Low edges are
+    /// never complemented by canonical form, so the first component counts
+    /// every stored complement bit in the subgraph — a direct measure of
+    /// the sharing the complement-edge representation buys.
+    pub fn complement_edge_count(&self, roots: &[NodeId]) -> (usize, usize) {
+        let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
+            Default::default();
+        let mut stack: Vec<NodeId> = roots.iter().map(|f| f.regular()).collect();
+        let mut complemented = 0usize;
+        while let Some(f) = stack.pop() {
+            if f.is_terminal() || !seen.insert(f) {
+                continue;
+            }
+            let high = self.raw_high(f);
+            complemented += high.is_complemented() as usize;
+            stack.push(self.raw_low(f));
+            stack.push(high.regular());
+        }
+        (complemented, seen.len())
     }
 
     /// The set of variables `f` depends on, in increasing order.
@@ -1241,14 +1473,14 @@ impl Manager {
         let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
             Default::default();
         let mut vars: std::collections::BTreeSet<usize> = Default::default();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(g) = stack.pop() {
             if g.is_terminal() || !seen.insert(g) {
                 continue;
             }
             vars.insert(self.level(g) as usize);
-            stack.push(self.low(g));
-            stack.push(self.high(g));
+            stack.push(self.raw_low(g));
+            stack.push(self.raw_high(g).regular());
         }
         vars.into_iter().collect()
     }
@@ -1263,12 +1495,13 @@ impl Manager {
         let mut cur = f;
         while !cur.is_terminal() {
             let v = self.level(cur) as usize;
-            if self.low(cur).is_false() {
+            let (low, high) = self.cofactors_of(cur);
+            if low.is_false() {
                 cube.push((v, true));
-                cur = self.high(cur);
+                cur = high;
             } else {
                 cube.push((v, false));
-                cur = self.low(cur);
+                cur = low;
             }
         }
         Some(cube)
@@ -1290,13 +1523,11 @@ impl Manager {
     }
 
     /// Every operation cache, for whole-kernel maintenance (epoch-wrap
-    /// resets); must stay in sync with the struct fields.
-    fn op_caches_mut(&mut self) -> [&mut DirectCache; 10] {
+    /// resets, cap raises); must stay in sync with the struct fields.
+    fn op_caches_mut(&mut self) -> [&mut DirectCache; 8] {
         [
             &mut self.and_cache,
-            &mut self.or_cache,
             &mut self.xor_cache,
-            &mut self.not_cache,
             &mut self.ite_cache,
             &mut self.cofactor_cache,
             &mut self.xor3_cache,
@@ -1306,27 +1537,57 @@ impl Manager {
         ]
     }
 
+    /// GC-time cache-cap auto-tuning: when the eviction rate over the GC
+    /// interval stays above 1/4 of the stores for two consecutive
+    /// collections, raise the growth cap one power of two (up to 2²⁰).
+    /// Intervals with fewer than 4096 stores are ignored as noise.
+    fn tune_cache_cap(&mut self, interval_stores: u64, interval_evictions: u64) {
+        if interval_stores >= 4096 && interval_evictions * 4 >= interval_stores {
+            self.high_eviction_streak += 1;
+        } else {
+            self.high_eviction_streak = 0;
+            return;
+        }
+        if self.high_eviction_streak >= 2 && self.cache_max_log2 < CACHE_HARD_MAX_LOG2 {
+            self.cache_max_log2 += 1;
+            self.stats.cache_cap_log2 = self.cache_max_log2;
+            self.stats.cache_cap_raises += 1;
+            let cap = self.cache_max_log2;
+            for cache in self.op_caches_mut() {
+                cache.raise_cap(cap);
+            }
+            self.high_eviction_streak = 0;
+        }
+    }
+
     /// Mark-and-sweep garbage collection.  Every node reachable from `roots`
-    /// survives with its `NodeId` unchanged; all other nodes are freed, the
-    /// unique table and free-list are rebuilt from the mark bitmap, and the
-    /// operation caches are invalidated in O(1) by bumping the cache epoch.
-    /// Returns the number of freed nodes.
+    /// survives with its `NodeId` unchanged (complement bits are ignored for
+    /// marking: a node is live if *either* phase of it is reachable); all
+    /// other nodes are freed, the unique table and free-list are rebuilt
+    /// from the mark bitmap, and the operation caches are invalidated in
+    /// O(1) by bumping the cache epoch.  Returns the number of freed nodes.
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
-        marked[1] = true;
-        let mut stack: Vec<NodeId> = roots.to_vec();
-        while let Some(f) = stack.pop() {
-            if marked[f.index()] {
+        let mut stack: Vec<usize> = roots.iter().map(|f| f.index()).collect();
+        while let Some(index) = stack.pop() {
+            if marked[index] {
                 continue;
             }
-            marked[f.index()] = true;
-            stack.push(self.low(f));
-            stack.push(self.high(f));
+            marked[index] = true;
+            stack.push(self.nodes[index].low.index());
+            stack.push(self.nodes[index].high.index());
         }
         let free_before = self.free.len();
         self.rebuild_table(&marked);
         let freed = self.free.len() - free_before;
+        // Cache-cap auto-tuning from the eviction rate of this GC interval.
+        let totals = self.stats.total_cache();
+        let interval_stores = totals.misses - self.misses_at_last_gc;
+        let interval_evictions = totals.evictions - self.evictions_at_last_gc;
+        self.misses_at_last_gc = totals.misses;
+        self.evictions_at_last_gc = totals.evictions;
+        self.tune_cache_cap(interval_stores, interval_evictions);
         // O(1) cache clear: stale entries are recognised by their epoch.
         self.cache_epoch = self.cache_epoch.wrapping_add(1);
         if self.cache_epoch == 0 {
@@ -1365,6 +1626,80 @@ mod tests {
     }
 
     #[test]
+    fn complement_bit_semantics() {
+        assert!(NodeId::TRUE.is_terminal());
+        assert!(NodeId::FALSE.is_terminal());
+        assert_eq!(NodeId::TRUE.complement(), NodeId::FALSE);
+        assert_eq!(NodeId::FALSE.regular(), NodeId::TRUE);
+        assert_eq!(NodeId::TRUE.index(), NodeId::FALSE.index());
+        assert!(NodeId::FALSE.is_complemented());
+        assert!(!NodeId::TRUE.is_complemented());
+        let mut mgr = Manager::new(2);
+        let x = mgr.var(0);
+        assert_eq!(x.complement().complement(), x);
+        assert_eq!(x.index(), x.complement().index(), "one shared node");
+    }
+
+    #[test]
+    fn not_is_o1_and_allocation_free() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let f = mgr.and(x, y);
+        let created_before = mgr.stats().created_nodes;
+        let nf = mgr.not(f);
+        let back = mgr.not(nf);
+        // No nodes were created, no cache was consulted: pure bit flips.
+        assert_eq!(mgr.stats().created_nodes, created_before);
+        assert_eq!(back, f, "double negation is the identical edge");
+        assert_ne!(nf, f);
+        assert_eq!(mgr.stats().not_ops, 2);
+        // The negation evaluates correctly everywhere.
+        for bits in 0..4u32 {
+            let a = [bits & 1 == 1, bits & 2 == 2, false, false];
+            assert_eq!(mgr.eval(nf, &a), !mgr.eval(f, &a));
+        }
+    }
+
+    #[test]
+    fn low_edges_are_never_complemented() {
+        // Build a varied population of nodes and check the canonical-form
+        // invariant on every live unique-table entry.
+        let mut mgr = Manager::new(6);
+        let mut pool = Vec::new();
+        for i in 0..6 {
+            pool.push(mgr.var(i));
+            pool.push(mgr.nvar(i));
+        }
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                let (f, g) = (pool[i], pool[j]);
+                pool.push(mgr.and(f, g));
+                pool.push(mgr.xor(f, g));
+                if pool.len() > 400 {
+                    break;
+                }
+            }
+            if pool.len() > 400 {
+                break;
+            }
+        }
+        let mut live = 0usize;
+        for slot in &mgr.table {
+            if slot.id == EMPTY_SLOT {
+                continue;
+            }
+            live += 1;
+            let low = NodeId((slot.children >> 32) as u32);
+            assert!(
+                !low.is_complemented(),
+                "canonical form violated: stored low edge is complemented"
+            );
+        }
+        assert!(live > 20, "the population must have created real nodes");
+    }
+
+    #[test]
     fn hash_consing_gives_canonical_forms() {
         let mut mgr = Manager::new(2);
         let x0 = mgr.var(0);
@@ -1376,7 +1711,7 @@ mod tests {
         let n2 = mgr.not(b);
         assert_eq!(n1, n2);
         let back = mgr.not(n1);
-        assert_eq!(back, a, "double negation restores the identical node");
+        assert_eq!(back, a, "double negation restores the identical edge");
     }
 
     #[test]
@@ -1397,6 +1732,68 @@ mod tests {
     }
 
     #[test]
+    fn or_shares_the_and_cache() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let _ = mgr.or(x, y);
+        let misses_after_or = mgr.stats().and_cache.misses;
+        assert!(misses_after_or > 0, "or lowers to the and recursion");
+        // The De Morgan image of the same call hits the identical entry.
+        let nx = mgr.not(x);
+        let ny = mgr.not(y);
+        let _ = mgr.and(nx, ny);
+        assert_eq!(mgr.stats().and_cache.misses, misses_after_or);
+        assert!(mgr.stats().and_cache.hits > 0);
+    }
+
+    #[test]
+    fn xor_complement_parity_folds_out() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let f = mgr.xor(x, y);
+        let nx = mgr.not(x);
+        let g = mgr.xor(nx, y);
+        assert_eq!(g, f.complement(), "¬x ⊕ y = ¬(x ⊕ y)");
+        let ny = mgr.not(y);
+        let h = mgr.xor(nx, ny);
+        assert_eq!(h, f, "¬x ⊕ ¬y = x ⊕ y");
+        // All four phases probe one cache entry: only the first call missed.
+        assert_eq!(mgr.stats().xor_cache.misses, 1);
+        assert_eq!(mgr.stats().xor_cache.hits, 2);
+    }
+
+    #[test]
+    fn three_operand_complement_identities() {
+        let mut mgr = Manager::new(6);
+        let f = {
+            let a = mgr.var(0);
+            let b = mgr.var(3);
+            mgr.and(a, b)
+        };
+        let g = {
+            let a = mgr.var(1);
+            let b = mgr.var(4);
+            mgr.xor(a, b)
+        };
+        let h = {
+            let a = mgr.var(2);
+            let b = mgr.var(5);
+            mgr.or(a, b)
+        };
+        let (nf, ng, nh) = (f.complement(), g.complement(), h.complement());
+        let s = mgr.xor3(f, g, h);
+        let s_flipped = mgr.xor3(nf, g, h);
+        assert_eq!(s_flipped, s.complement(), "xor3 parity");
+        let c = mgr.maj(f, g, h);
+        let c_dual = mgr.maj(nf, ng, nh);
+        assert_eq!(c_dual, c.complement(), "majority is self-dual");
+        // maj with a complement pair reduces to the deciding vote.
+        assert_eq!(mgr.maj(f, nf, h), h);
+    }
+
+    #[test]
     fn xor_and_ite_consistency() {
         let mut mgr = Manager::new(2);
         let x = mgr.var(0);
@@ -1407,6 +1804,10 @@ mod tests {
                 assert_eq!(mgr.eval(x_xor_y, &[a, b]), a ^ b);
             }
         }
+        // The XNOR shape routes through the XOR cache via the complement bit.
+        let ny = mgr.not(y);
+        let xnor = mgr.ite(x, y, ny);
+        assert_eq!(xnor, x_xor_y.complement());
     }
 
     #[test]
@@ -1420,6 +1821,10 @@ mod tests {
         assert!(mgr.eval(co, &[false, false, false, true]));
         let co_false = mgr.cofactor(cube, 0, false);
         assert!(co_false.is_false());
+        // Cofactor commutes with complement.
+        let ncube = mgr.not(cube);
+        let co_n = mgr.cofactor(ncube, 0, true);
+        assert_eq!(co_n, co.complement());
     }
 
     #[test]
@@ -1436,6 +1841,18 @@ mod tests {
         let f = mgr.xor(x, y);
         assert_eq!(mgr.sat_count(f, 10), UBig::pow2(9));
         assert_eq!(mgr.sat_count_f64(f, 10), 512.0);
+        // Complemented edges count by subtraction.
+        let nf = mgr.not(f);
+        assert_eq!(mgr.sat_count(nf, 10), UBig::pow2(9));
+        let g = mgr.and(x, y);
+        let ng = mgr.not(g);
+        assert_eq!(mgr.sat_count(g, 10), UBig::pow2(8));
+        assert_eq!(
+            mgr.sat_count(ng, 10),
+            UBig::pow2(10).sub(&UBig::pow2(8)),
+            "|¬f| = 2^n − |f|"
+        );
+        assert_eq!(mgr.sat_count_f64(ng, 10), 1024.0 - 256.0);
     }
 
     #[test]
@@ -1458,6 +1875,12 @@ mod tests {
         assert_eq!(mgr.node_count(f), 2);
         assert_eq!(mgr.node_count_many(&[f, y]), 2, "subgraphs are shared");
         assert_eq!(mgr.node_count_many(&[f, x]), 3, "x is a distinct root node");
+        // f and ¬f share every node.
+        let nf = mgr.not(f);
+        assert_eq!(mgr.node_count_many(&[f, nf]), mgr.node_count(f));
+        let (complemented, nodes) = mgr.complement_edge_count(&[f]);
+        assert_eq!(nodes, mgr.node_count(f));
+        assert!(complemented <= nodes, "only high edges can be complemented");
     }
 
     #[test]
@@ -1473,6 +1896,15 @@ mod tests {
         }
         assert!(mgr.eval(f, &assignment));
         assert_eq!(mgr.pick_one(NodeId::FALSE), None);
+        // The complement of a satisfiable-but-not-tautological function is
+        // satisfiable too, through the same shared nodes.
+        let nf = mgr.not(f);
+        let ncube = mgr.pick_one(nf).expect("¬f satisfiable");
+        let mut nassignment = [false; 3];
+        for (v, val) in ncube {
+            nassignment[v] = val;
+        }
+        assert!(!mgr.eval(f, &nassignment));
     }
 
     #[test]
@@ -1508,6 +1940,21 @@ mod tests {
         let again = mgr.xor(keep[0], keep[1]);
         assert!(!again.is_terminal());
         assert_eq!(mgr.stats().gc_runs, 1);
+    }
+
+    #[test]
+    fn gc_marks_through_complemented_roots() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let f = mgr.and(x, y);
+        let nf = mgr.not(f);
+        // Keep only the complemented phase: the shared node must survive.
+        mgr.collect_garbage(&[nf]);
+        assert!(mgr.eval(nf, &[false, false, false, false]));
+        assert!(!mgr.eval(nf, &[true, true, false, false]));
+        // The regular phase is the same node and still valid.
+        assert!(mgr.eval(f, &[true, true, false, false]));
     }
 
     #[test]
@@ -1547,7 +1994,7 @@ mod tests {
     }
 
     // ------------------------------------------------------------------ //
-    // New-kernel specifics: lossy caches, epochs, open-addressed table
+    // Kernel specifics: lossy caches, epochs, auto-tuning, unique table
     // ------------------------------------------------------------------ //
 
     #[test]
@@ -1613,6 +2060,33 @@ mod tests {
     }
 
     #[test]
+    fn cache_cap_auto_tunes_on_sustained_evictions() {
+        let mut mgr = Manager::new(2);
+        assert_eq!(mgr.stats().cache_cap_log2, CACHE_DEFAULT_MAX_LOG2);
+        // One noisy interval (too few stores) does nothing.
+        mgr.tune_cache_cap(100, 90);
+        assert_eq!(mgr.stats().cache_cap_log2, CACHE_DEFAULT_MAX_LOG2);
+        // One high-eviction interval arms the streak, the second raises the
+        // cap by one power of two.
+        mgr.tune_cache_cap(10_000, 4_000);
+        assert_eq!(mgr.stats().cache_cap_log2, CACHE_DEFAULT_MAX_LOG2);
+        mgr.tune_cache_cap(10_000, 4_000);
+        assert_eq!(mgr.stats().cache_cap_log2, CACHE_DEFAULT_MAX_LOG2 + 1);
+        assert_eq!(mgr.stats().cache_cap_raises, 1);
+        assert_eq!(mgr.and_cache.max_log2, CACHE_DEFAULT_MAX_LOG2 + 1);
+        // A quiet interval resets the streak.
+        mgr.tune_cache_cap(10_000, 4_000);
+        mgr.tune_cache_cap(10_000, 10);
+        mgr.tune_cache_cap(10_000, 4_000);
+        assert_eq!(mgr.stats().cache_cap_raises, 1);
+        // The cap never exceeds the hard maximum.
+        for _ in 0..64 {
+            mgr.tune_cache_cap(10_000, 9_999);
+        }
+        assert_eq!(mgr.stats().cache_cap_log2, CACHE_HARD_MAX_LOG2);
+    }
+
+    #[test]
     fn unique_table_grows_and_stays_consistent() {
         const NV: usize = 12;
         let mut mgr = Manager::new(NV);
@@ -1639,8 +2113,9 @@ mod tests {
 
     #[test]
     fn lossy_cache_overwrites_are_counted_not_fatal() {
-        // Hammer the small not-cache with many distinct nodes; evictions must
-        // occur and every result must stay correct.
+        // Hammer the caches with many distinct node pairs; evictions may
+        // occur and every result must stay correct (negation itself is a
+        // bit flip and can no longer evict anything).
         let mut mgr = Manager::new(16);
         let mut nodes = Vec::new();
         for i in 0..16 {

@@ -1,5 +1,10 @@
 //! Property-based tests: BDD operations must agree with a brute-force
-//! truth-table oracle on random Boolean expressions over a small variable set.
+//! truth-table oracle on random Boolean expressions over a small variable
+//! set, and the complement-edge manager must match a regular-edge reference
+//! manager *node for node* — on random formulas and on random
+//! Clifford+T-shaped kernel-op workloads — while maintaining the canonical
+//! form (no stored low edge is ever complemented, `¬¬f` is the identical
+//! edge without any allocation).
 
 use proptest::prelude::*;
 use sliq_bdd::{Manager, NodeId};
@@ -244,6 +249,383 @@ proptest! {
             a1[var] = true;
             let expected = eval_expr(&e, &a0) || eval_expr(&e, &a1);
             prop_assert_eq!(mgr.eval(ex, &a), expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Complement-edge oracle: a minimal *regular-edge* ROBDD manager (the
+// pre-complement-edge kernel distilled to its semantics) that the
+// complement-edge manager is compared against node-for-node.
+// ---------------------------------------------------------------------- //
+
+mod reference {
+    use std::collections::HashMap;
+
+    const TERM_LEVEL: u32 = u32::MAX;
+    /// Reference false terminal.
+    pub const R_FALSE: usize = 0;
+    /// Reference true terminal.
+    pub const R_TRUE: usize = 1;
+
+    /// A hash-consed ROBDD manager *without* complement edges: two terminal
+    /// nodes, ITE-based operations, no operation sharing between a function
+    /// and its negation.  Deliberately simple — correctness oracle only.
+    pub struct RefManager {
+        /// `(level, low, high)`; entries 0 and 1 are the terminals.
+        pub nodes: Vec<(u32, usize, usize)>,
+        unique: HashMap<(u32, usize, usize), usize>,
+        ite_memo: HashMap<(usize, usize, usize), usize>,
+    }
+
+    impl RefManager {
+        pub fn new() -> Self {
+            Self {
+                nodes: vec![(TERM_LEVEL, 0, 0), (TERM_LEVEL, 1, 1)],
+                unique: HashMap::new(),
+                ite_memo: HashMap::new(),
+            }
+        }
+
+        fn mk(&mut self, level: u32, low: usize, high: usize) -> usize {
+            if low == high {
+                return low;
+            }
+            *self.unique.entry((level, low, high)).or_insert_with(|| {
+                self.nodes.push((level, low, high));
+                self.nodes.len() - 1
+            })
+        }
+
+        fn level(&self, f: usize) -> u32 {
+            self.nodes[f].0
+        }
+
+        fn split(&self, f: usize, level: u32) -> (usize, usize) {
+            let (l, low, high) = self.nodes[f];
+            if l == level {
+                (low, high)
+            } else {
+                (f, f)
+            }
+        }
+
+        pub fn var(&mut self, v: usize) -> usize {
+            self.mk(v as u32, R_FALSE, R_TRUE)
+        }
+
+        pub fn ite(&mut self, f: usize, g: usize, h: usize) -> usize {
+            if f == R_TRUE {
+                return g;
+            }
+            if f == R_FALSE {
+                return h;
+            }
+            if g == h {
+                return g;
+            }
+            if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+                return r;
+            }
+            let top = self.level(f).min(self.level(g)).min(self.level(h));
+            let (f0, f1) = self.split(f, top);
+            let (g0, g1) = self.split(g, top);
+            let (h0, h1) = self.split(h, top);
+            let low = self.ite(f0, g0, h0);
+            let high = self.ite(f1, g1, h1);
+            let r = self.mk(top, low, high);
+            self.ite_memo.insert((f, g, h), r);
+            r
+        }
+
+        pub fn not(&mut self, f: usize) -> usize {
+            self.ite(f, R_FALSE, R_TRUE)
+        }
+
+        pub fn and(&mut self, f: usize, g: usize) -> usize {
+            self.ite(f, g, R_FALSE)
+        }
+
+        pub fn or(&mut self, f: usize, g: usize) -> usize {
+            self.ite(f, R_TRUE, g)
+        }
+
+        pub fn xor(&mut self, f: usize, g: usize) -> usize {
+            let ng = self.not(g);
+            self.ite(f, ng, g)
+        }
+
+        pub fn restrict(&mut self, f: usize, var: usize, value: bool) -> usize {
+            let (level, low, high) = self.nodes[f];
+            if level > var as u32 {
+                return f;
+            }
+            if level == var as u32 {
+                return if value { high } else { low };
+            }
+            let l = self.restrict(low, var, value);
+            let h = self.restrict(high, var, value);
+            self.mk(level, l, h)
+        }
+
+        pub fn node_count(&self, f: usize) -> usize {
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![f];
+            while let Some(g) = stack.pop() {
+                if g <= 1 || !seen.insert(g) {
+                    continue;
+                }
+                let (_, low, high) = self.nodes[g];
+                stack.push(low);
+                stack.push(high);
+            }
+            seen.len()
+        }
+    }
+}
+
+use reference::{RefManager, R_FALSE, R_TRUE};
+use std::collections::{HashMap, HashSet};
+
+fn build_ref(r: &mut RefManager, e: &Expr) -> usize {
+    match e {
+        Expr::Const(b) => {
+            if *b {
+                R_TRUE
+            } else {
+                R_FALSE
+            }
+        }
+        Expr::Var(v) => r.var(*v),
+        Expr::Not(a) => {
+            let fa = build_ref(r, a);
+            r.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build_ref(r, a);
+            let fb = build_ref(r, b);
+            r.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build_ref(r, a);
+            let fb = build_ref(r, b);
+            r.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build_ref(r, a);
+            let fb = build_ref(r, b);
+            r.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let fa = build_ref(r, a);
+            let fb = build_ref(r, b);
+            let fc = build_ref(r, c);
+            r.ite(fa, fb, fc)
+        }
+    }
+}
+
+/// Node-for-node comparison: unfolding the complement bits of `f` must give
+/// exactly the regular-edge BDD rooted at `rf` — same levels, same branch
+/// structure, same terminals on every path.
+fn structurally_equal(
+    mgr: &Manager,
+    f: NodeId,
+    r: &RefManager,
+    rf: usize,
+    memo: &mut HashMap<(NodeId, usize), bool>,
+) -> bool {
+    if f.is_true() {
+        return rf == R_TRUE;
+    }
+    if f.is_false() {
+        return rf == R_FALSE;
+    }
+    if rf <= 1 {
+        return false;
+    }
+    if let Some(&cached) = memo.get(&(f, rf)) {
+        return cached;
+    }
+    let (level, low, high) = mgr.node(f).expect("non-terminal");
+    let (rlevel, rlow, rhigh) = r.nodes[rf];
+    let equal = rlevel != u32::MAX
+        && level == rlevel as usize
+        && structurally_equal(mgr, low, r, rlow, memo)
+        && structurally_equal(mgr, high, r, rhigh, memo);
+    memo.insert((f, rf), equal);
+    equal
+}
+
+/// Walks every node reachable from `f` asserting the canonical form: no
+/// stored low edge carries the complement bit.
+fn assert_low_edges_regular(mgr: &Manager, f: NodeId) -> Result<(), String> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![f.regular()];
+    while let Some(g) = stack.pop() {
+        if g.is_terminal() || !seen.insert(g) {
+            continue;
+        }
+        // `g` is regular, so node() returns the stored edges verbatim.
+        let (_, low, high) = mgr.node(g).expect("non-terminal");
+        if low.is_complemented() {
+            return Err(format!("node {:?} stores a complemented low edge", g));
+        }
+        stack.push(low);
+        stack.push(high.regular());
+    }
+    Ok(())
+}
+
+/// One step of a random Clifford+T-shaped workload over a pool of slice
+/// functions, expressed in the kernel ops the gate formulas of
+/// `sliq-core::gates` actually use (flip for X, mux for CX, XOR for the
+/// conditional phase flip, cofactor + XOR3/MAJ full-adder steps for H).
+#[derive(Debug, Clone)]
+enum CtOp {
+    X { t: usize },
+    Cx { c: usize, t: usize },
+    Phase { t: usize, slice: usize },
+    H { t: usize, slice: usize },
+}
+
+fn ct_op_strategy() -> impl Strategy<Value = CtOp> {
+    let distinct = (0..NVARS, 0..NVARS).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        (0..NVARS).prop_map(|t| CtOp::X { t }),
+        distinct.prop_map(|(c, t)| CtOp::Cx { c, t }),
+        (0..NVARS, 0..4usize).prop_map(|(t, slice)| CtOp::Phase { t, slice }),
+        (0..NVARS, 0..4usize).prop_map(|(t, slice)| CtOp::H { t, slice }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn complement_manager_matches_regular_edge_reference(e in expr_strategy()) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        let mut r = RefManager::new();
+        let rf = build_ref(&mut r, &e);
+        let mut memo = HashMap::new();
+        prop_assert!(
+            structurally_equal(&mgr, f, &r, rf, &mut memo),
+            "complement-edge BDD does not unfold to the regular-edge reference"
+        );
+        // Sharing a function with its negation can only shrink the graph.
+        prop_assert!(mgr.node_count(f) <= r.node_count(rf));
+        // And the negation is the *same* comparison against the reference
+        // negation, through the identical shared nodes.
+        let nf = mgr.not(f);
+        let nrf = r.not(rf);
+        let mut memo = HashMap::new();
+        prop_assert!(structurally_equal(&mgr, nf, &r, nrf, &mut memo));
+    }
+
+    #[test]
+    fn canonicity_invariants_hold_on_random_formulas(e in expr_strategy()) {
+        let mut mgr = Manager::new(NVARS);
+        let f = build_bdd(&mut mgr, &e);
+        if let Err(msg) = assert_low_edges_regular(&mgr, f) {
+            prop_assert!(false, "{}", msg);
+        }
+        // not is an O(1) involution: no allocation, no cache traffic.
+        let created = mgr.stats().created_nodes;
+        let cache_total = mgr.stats().total_cache();
+        let nf = mgr.not(f);
+        let back = mgr.not(nf);
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(mgr.stats().created_nodes, created);
+        let cache_after = mgr.stats().total_cache();
+        prop_assert_eq!(cache_after.hits, cache_total.hits);
+        prop_assert_eq!(cache_after.misses, cache_total.misses);
+    }
+
+    #[test]
+    fn clifford_t_shaped_workload_matches_reference(
+        ops in proptest::collection::vec(ct_op_strategy(), 1..24)
+    ) {
+        // A pool of four "slice" functions seeded with the literals the
+        // bit-sliced state starts from, evolved by the same kernel-op
+        // recipes the gate layer uses, mirrored onto the reference manager
+        // with ITE-only regular-edge operations.
+        let mut mgr = Manager::new(NVARS);
+        let mut r = RefManager::new();
+        let mut pool: Vec<NodeId> = Vec::new();
+        let mut rpool: Vec<usize> = Vec::new();
+        for v in 0..4 {
+            pool.push(mgr.var(v % NVARS));
+            rpool.push(r.var(v % NVARS));
+        }
+        for op in &ops {
+            match *op {
+                CtOp::X { t } => {
+                    for (f, rf) in pool.iter_mut().zip(rpool.iter_mut()) {
+                        *f = mgr.flip_var(*f, t);
+                        let r0 = r.restrict(*rf, t, false);
+                        let r1 = r.restrict(*rf, t, true);
+                        let x = r.var(t);
+                        *rf = r.ite(x, r0, r1);
+                    }
+                }
+                CtOp::Cx { c, t } => {
+                    for (f, rf) in pool.iter_mut().zip(rpool.iter_mut()) {
+                        let swapped = mgr.flip_var(*f, t);
+                        *f = mgr.mux_var(c, swapped, *f);
+                        let r0 = r.restrict(*rf, t, false);
+                        let r1 = r.restrict(*rf, t, true);
+                        let x = r.var(t);
+                        let rswapped = r.ite(x, r0, r1);
+                        let qc = r.var(c);
+                        *rf = r.ite(qc, rswapped, *rf);
+                    }
+                }
+                CtOp::Phase { t, slice } => {
+                    let i = slice % pool.len();
+                    let qt = mgr.var(t);
+                    pool[i] = mgr.xor(pool[i], qt);
+                    let rqt = r.var(t);
+                    rpool[i] = r.xor(rpool[i], rqt);
+                }
+                CtOp::H { t, slice } => {
+                    // One full-adder step of the Hadamard formula: sum and
+                    // carry of (F|₀, F|₁ ⊕ qₜ, qₜ).
+                    let i = slice % pool.len();
+                    let qt = mgr.var(t);
+                    let f0 = mgr.cofactor(pool[i], t, false);
+                    let f1 = mgr.cofactor(pool[i], t, true);
+                    let second = mgr.xor(f1, qt);
+                    let sum = mgr.xor3(f0, second, qt);
+                    let carry = mgr.maj(f0, second, qt);
+                    pool[i] = sum;
+                    pool[(i + 1) % 4] = carry;
+
+                    let rqt = r.var(t);
+                    let rf0 = r.restrict(rpool[i], t, false);
+                    let rf1 = r.restrict(rpool[i], t, true);
+                    let rsecond = r.xor(rf1, rqt);
+                    let s1 = r.xor(rf0, rsecond);
+                    let rsum = r.xor(s1, rqt);
+                    let ab = r.and(rf0, rsecond);
+                    let ab_or = r.or(rf0, rsecond);
+                    let prop_c = r.and(ab_or, rqt);
+                    let rcarry = r.or(ab, prop_c);
+                    rpool[i] = rsum;
+                    rpool[(i + 1) % 4] = rcarry;
+                }
+            }
+        }
+        // Node-for-node agreement of every live slice, plus canonicity.
+        for (f, rf) in pool.iter().zip(rpool.iter()) {
+            let mut memo = HashMap::new();
+            prop_assert!(
+                structurally_equal(&mgr, *f, &r, *rf, &mut memo),
+                "slice diverged from the regular-edge reference"
+            );
+            if let Err(msg) = assert_low_edges_regular(&mgr, *f) {
+                prop_assert!(false, "{}", msg);
+            }
         }
     }
 }

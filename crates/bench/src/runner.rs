@@ -217,6 +217,10 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
         "  nodes created {}  peak {}  unique-resizes {}  gc-runs {}\n",
         stats.created_nodes, stats.peak_nodes, stats.unique_resizes, stats.gc_runs
     ));
+    out.push_str(&format!(
+        "  O(1) negations {}  complement canonical flips {}  cache-cap 2^{} (raised {}x)\n",
+        stats.not_ops, stats.complement_flips, stats.cache_cap_log2, stats.cache_cap_raises
+    ));
     out
 }
 

@@ -51,7 +51,9 @@ pub fn add_sliced(mgr: &mut Manager, a: &[NodeId], b: &[NodeId], carry_in: NodeI
 /// initial carry gives `out_j = v_j ⊕ cond ⊕ c_j` with the carry recurrence
 /// `c_0 = cond`, `c_{j+1} = c_j ∧ ¬v_j` (the `+1` ripple only propagates
 /// through zero bits of `v`), so each slice costs one three-operand XOR and
-/// one AND instead of a full adder step.
+/// one AND instead of a full adder step.  With the kernel's complement
+/// edges, `¬v_j` is an O(1) bit flip, so the per-slice negations allocate
+/// no BDD work at all.
 pub fn negate_where(mgr: &mut Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(v.len());
     let mut carry = cond;

@@ -241,6 +241,8 @@ fn apply_rx_pi2(state: &mut BitSliceState, t: usize) {
     let b_old = state.slices[Family::B as usize].clone();
     let c_old = state.slices[Family::C as usize].clone();
     let d_old = state.slices[Family::D as usize].clone();
+    // Whole-vector negation is 2·r complement-bit flips — the kernel's
+    // complement edges make these O(1), no traversal or allocation.
     let not_sc: Vec<NodeId> = sc.iter().map(|&f| state.mgr.not(f)).collect();
     let not_sd: Vec<NodeId> = sd.iter().map(|&f| state.mgr.not(f)).collect();
     state.slices[Family::A as usize] =

@@ -129,6 +129,14 @@ impl BitSliceState {
         self.mgr.node_count_many(&self.all_roots())
     }
 
+    /// `(complemented_high_edges, reachable_nodes)` over the live state
+    /// BDDs — the sharing the kernel's complement edges buy (a slice and
+    /// its negation are one subgraph; see
+    /// [`sliq_bdd::Manager::complement_edge_count`]).
+    pub fn complement_edge_count(&self) -> (usize, usize) {
+        self.mgr.complement_edge_count(&self.all_roots())
+    }
+
     /// Runs a garbage collection if the manager considers it worthwhile.
     pub fn maybe_collect_garbage(&mut self) {
         if self.mgr.should_collect() {

@@ -135,4 +135,32 @@ proptest! {
         prop_assert!((bitslice.probability_of_basis_state(&[false; NQ]) - 1.0).abs() < 1e-9);
         prop_assert!(bitslice.is_exactly_normalized());
     }
+
+    #[test]
+    fn random_circuit_state_respects_complement_canonicity(gates in proptest::collection::vec(any_gate(), 0..35)) {
+        // The kernel's complement-edge canonical form must survive whole
+        // circuits: walking every live slice BDD of the final state, no
+        // stored low edge may carry the complement bit, and the sharing
+        // report must be consistent with the reachable-node walk.
+        let mut circuit = Circuit::new(NQ);
+        circuit.extend(gates);
+        let mut bitslice = BitSliceSimulator::new(NQ);
+        bitslice.run(&circuit).unwrap();
+        let state = bitslice.state();
+        let mgr = state.manager();
+        let mut stack: Vec<_> = state.all_roots().iter().map(|f| f.regular()).collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(f) = stack.pop() {
+            if f.is_terminal() || !seen.insert(f) {
+                continue;
+            }
+            let (_, low, high) = mgr.node(f).expect("non-terminal");
+            prop_assert!(!low.is_complemented(), "stored low edge is complemented");
+            stack.push(low);
+            stack.push(high.regular());
+        }
+        let (complemented, nodes) = state.complement_edge_count();
+        prop_assert_eq!(nodes, seen.len());
+        prop_assert!(complemented <= nodes);
+    }
 }

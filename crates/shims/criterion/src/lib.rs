@@ -22,6 +22,10 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     filter: Option<String>,
     default_sample_size: usize,
+    /// Smoke mode (`SLIQ_BENCH_SMOKE=1`): run every benchmark exactly once
+    /// with no warm-up and a single sample, so CI can exercise the bench
+    /// harness end-to-end without paying measurement-grade runtimes.
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -32,6 +36,7 @@ impl Default for Criterion {
         Self {
             filter,
             default_sample_size: 20,
+            smoke: std::env::var_os("SLIQ_BENCH_SMOKE").is_some_and(|v| v != "0"),
         }
     }
 }
@@ -64,7 +69,8 @@ impl Criterion {
             }
         }
         let mut bencher = Bencher {
-            sample_size,
+            sample_size: if self.smoke { 1 } else { sample_size },
+            smoke: self.smoke,
             samples: Vec::new(),
         };
         routine(&mut bencher);
@@ -152,12 +158,19 @@ pub enum BatchSize {
 /// measure.
 pub struct Bencher {
     sample_size: usize,
+    smoke: bool,
     samples: Vec<Duration>,
 }
 
 impl Bencher {
     /// Measures `routine`, retaining per-iteration timings.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples = vec![start.elapsed()];
+            return;
+        }
         // Warm-up and batch sizing: one batch should take ≳2 ms so that
         // Instant overhead is negligible.
         let start = Instant::now();
@@ -188,6 +201,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.smoke {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples = vec![start.elapsed()];
+            return;
+        }
         let input = setup();
         let start = Instant::now();
         black_box(routine(input));

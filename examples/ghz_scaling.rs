@@ -23,18 +23,23 @@ fn time<F: FnOnce() -> R, R>(f: F) -> (R, f64) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
-        "qubits", "bitslice(s)", "qmdd(s)", "chp(s)", "dense(s)"
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12} | {:>7} {:>7}",
+        "qubits", "bitslice(s)", "qmdd(s)", "chp(s)", "dense(s)", "nodes", "c-edges"
     );
-    println!("{}", "-".repeat(70));
+    println!("{}", "-".repeat(88));
     for n in [16usize, 64, 256, 1024, 4096] {
         let circuit = algorithms::ghz(n);
 
-        let ((), t_bitslice) = time(|| {
+        let (sim, t_bitslice) = time(|| {
             let mut sim = BitSliceSimulator::new(n);
             sim.run(&circuit).expect("supported gates");
             assert!((sim.probability_of_one(n - 1) - 0.5).abs() < 1e-12);
+            sim
         });
+        // Complement-edge sharing of the final state: how many of the live
+        // high edges carry the O(1)-negation bit.  Walked outside the timed
+        // region so the cross-backend comparison stays honest.
+        let (complemented, nodes) = sim.state().complement_edge_count();
 
         let ((), t_qmdd) = time(|| {
             let mut sim = QmddSimulator::new(n);
@@ -58,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:>12}", "—")
         };
 
-        println!("{n:>8} | {t_bitslice:>12.4} | {t_qmdd:>12.4} | {t_chp:>12.4} | {t_dense}",);
+        println!(
+            "{n:>8} | {t_bitslice:>12.4} | {t_qmdd:>12.4} | {t_chp:>12.4} | {t_dense} | {nodes:>7} {complemented:>7}",
+        );
     }
     println!();
     println!("CHP is fastest on this stabilizer-only family (as the paper notes); the");
