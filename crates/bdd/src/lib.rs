@@ -11,8 +11,14 @@
 //!   complement bit, negation is an O(1) bit flip, a function and its
 //!   negation share one subgraph, and `mk` keeps the representation
 //!   canonical by never storing a complemented low edge,
-//! * an open-addressed hash-consing unique table giving canonical node
-//!   identity,
+//! * per-variable open-addressed hash-consing unique subtables giving
+//!   canonical node identity,
+//! * **dynamic variable reordering**: an in-place adjacent-level swap and
+//!   Rudell-style sifting (with a converging option and an automatic
+//!   trigger), plus a root registry so external [`NodeId`] handles survive
+//!   reordering — see the [`Manager::reorder`] /
+//!   [`Manager::swap_adjacent_levels`] / [`Manager::register_root`] family
+//!   and the `reorder` module docs,
 //! * dedicated memoised apply recursions (`AND`/`XOR` — with `OR` and `NOT`
 //!   folded onto them through the complement bit — the full-adder
 //!   `XOR3`/`MAJ`, the literal multiplexer `MUX` and the cofactor swap
@@ -40,6 +46,8 @@
 
 mod hash;
 mod manager;
+mod reorder;
 
 pub use hash::{FxBuildHasher, FxHashMap};
-pub use manager::{CacheStats, Manager, ManagerStats, NodeId};
+pub use manager::{CacheStats, Manager, ManagerStats, NodeId, RootSlot};
+pub use reorder::ReorderStats;

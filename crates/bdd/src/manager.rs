@@ -69,17 +69,40 @@
 //!   All caches are cleared in O(1) at GC time by bumping a generation
 //!   counter (`cache_epoch`).
 //!
-//! * **Open-addressed unique table.**  Hash consing uses a single
-//!   linear-probed table whose 16-byte slots store the packed
-//!   `(low, high)` children as one `u64` (the high edge keeps its complement
-//!   bit; the low edge is regular by canonical form), the level, and the
-//!   node id (`u32::MAX` marks an empty slot).  The table doubles when the
-//!   load factor exceeds 3/4 and is rebuilt from the mark bitmap during
-//!   [`Manager::collect_garbage`].
+//! * **Per-variable unique subtables.**  Hash consing uses one open-addressed
+//!   linear-probed subtable *per variable*, whose 16-byte slots store the
+//!   packed `(low, high)` children as one `u64` (the high edge keeps its
+//!   complement bit; the low edge is regular by canonical form) and the node
+//!   id (`u32::MAX` marks an empty slot).  Each subtable doubles
+//!   independently when its load factor exceeds 3/4, supports exact
+//!   backward-shift deletion (needed by reordering), and is rebuilt from the
+//!   mark bitmap during [`Manager::collect_garbage`].
+//!
+//! # Variable order and reordering
+//!
+//! Nodes store the *variable index* of their label; a pair of permutation
+//! arrays ([`Manager::var_at_level`] / [`Manager::level_of_var`]) maps
+//! variables to their current position (level) in the order.  All the apply
+//! recursions compare **levels**, so the order can change at runtime: the
+//! [`crate::reorder`] module (see `reorder.rs`) implements an in-place
+//! adjacent-level swap and Rudell-style sifting on top of the per-variable
+//! subtables.  Because subtables are keyed by variable, a swap only touches
+//! the upper-level nodes that actually depend on the lower variable — every
+//! other node (and every external edge into the swapped levels) keeps its
+//! id and its function.  The public read API (`eval`, `support`,
+//! `pick_one`, `cofactor`, …) is expressed in *variable* space throughout,
+//! so callers never observe the order.
+//!
+//! External handles survive reordering through the **root registry**
+//! ([`Manager::register_root`]): registered edges act as GC roots and as
+//! reference-count sources during reordering, so the nodes they reach are
+//! never freed and the handles stay valid (same id, same function) across
+//! any sequence of swaps.
 //!
 //! [`ManagerStats`] exposes per-cache hit/miss/eviction counters, O(1)
-//! negation and canonical-flip counters, plus unique table resize counts so
-//! benchmark harnesses can report kernel behaviour.
+//! negation and canonical-flip counters, unique table resize counts and
+//! reordering counters (swaps, sizes, time) so benchmark harnesses can
+//! report kernel behaviour.
 
 use crate::hash::{mix64, FxHashMap};
 use sliq_bignum::UBig;
@@ -150,32 +173,49 @@ impl NodeId {
     /// The complement bit of this edge as a mask (0 or bit 31), for XOR
     /// application onto other edges.
     #[inline]
-    fn cmask(self) -> u32 {
+    pub(crate) fn cmask(self) -> u32 {
         self.0 & COMPLEMENT
     }
 
     /// This edge with `mask` (0 or the complement bit) XORed in.
     #[inline]
-    fn xor_mask(self, mask: u32) -> NodeId {
+    pub(crate) fn xor_mask(self, mask: u32) -> NodeId {
         NodeId(self.0 ^ mask)
     }
 }
 
-/// Level used for terminal nodes: below every real variable.
-const TERMINAL_LEVEL: u32 = u32::MAX;
+/// Handle to a slot in the manager's root registry (see
+/// [`Manager::register_root`]).  A registered edge survives garbage
+/// collection and variable reordering: the manager treats it as a GC root
+/// and as an external reference during level swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootSlot(u32);
+
+/// Level reported for terminal nodes: below every real variable.  The
+/// terminal's stored `var` is the sentinel index `num_vars`, whose
+/// `var_to_level` entry is kept at this value, so the hot-path level lookup
+/// needs no branch.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 /// One stored BDD node.  Canonical-form invariant: `low` is always a
 /// regular (non-complemented) edge; `high` may carry the complement bit.
+/// `var` is the *variable index* of the label (not its level): the current
+/// position in the order is `var_to_level[var]`, which reordering permutes
+/// without rewriting nodes.
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    level: u32,
-    low: NodeId,
-    high: NodeId,
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) low: NodeId,
+    pub(crate) high: NodeId,
 }
 
 // ---------------------------------------------------------------------- //
 // Operation caches
 // ---------------------------------------------------------------------- //
+
+/// Default allocated-node count that arms the first automatic reordering
+/// (CUDD arms its first reordering at a similar size).
+pub(crate) const DEFAULT_REORDER_THRESHOLD: usize = 4096;
 
 /// Initial entry count (log2) of the direct-mapped caches.
 const CACHE_INITIAL_LOG2: u32 = 12;
@@ -405,6 +445,17 @@ pub struct ManagerStats {
     pub cache_cap_log2: u32,
     /// Times the GC auto-tuner raised the op-cache growth cap.
     pub cache_cap_raises: u32,
+    /// Number of variable reorderings (sifting runs) performed.
+    pub reorders: usize,
+    /// Total adjacent-level swaps executed across all reorderings.
+    pub reorder_swaps: u64,
+    /// Live node count immediately before the most recent reordering.
+    pub reorder_last_before: usize,
+    /// Live node count immediately after the most recent reordering.
+    pub reorder_last_after: usize,
+    /// Total wall-clock time spent inside [`Manager::reorder`], in
+    /// microseconds.
+    pub reorder_micros: u64,
     /// Counters of the `and` apply cache (also serves `or` via De Morgan).
     pub and_cache: CacheStats,
     /// Counters of the `xor` apply cache (complement parity folded out).
@@ -458,40 +509,172 @@ impl ManagerStats {
 }
 
 // ---------------------------------------------------------------------- //
-// Unique table
+// Unique table: one open-addressed subtable per variable
 // ---------------------------------------------------------------------- //
 
 /// Sentinel id marking an empty unique-table slot (regular node ids never
 /// reach bit 31, so this cannot collide with a live id).
 const EMPTY_SLOT: u32 = u32::MAX;
 
-/// Initial unique-table capacity (slots, power of two).
-const INITIAL_TABLE_CAPACITY: usize = 1 << 11;
+/// Initial per-variable subtable capacity (slots, power of two).
+const SUBTABLE_INITIAL_CAPACITY: usize = 1 << 3;
 
-/// One 16-byte slot of the open-addressed unique table: the packed
-/// `(low, high)` children (low regular, high possibly complemented), the
-/// level, and the node id.
+/// One 16-byte slot of an open-addressed subtable: the packed `(low, high)`
+/// children (low regular, high possibly complemented) and the node id.  The
+/// variable is implicit — it is the subtable's index.
 #[derive(Debug, Clone, Copy)]
 struct UniqueSlot {
     children: u64,
-    level: u32,
     id: u32,
 }
 
 const EMPTY_UNIQUE_SLOT: UniqueSlot = UniqueSlot {
     children: 0,
-    level: 0,
     id: EMPTY_SLOT,
 };
 
 #[inline]
-fn pack_children(low: NodeId, high: NodeId) -> u64 {
+pub(crate) fn pack_children(low: NodeId, high: NodeId) -> u64 {
     ((low.0 as u64) << 32) | high.0 as u64
 }
 
-#[inline]
-fn unique_hash(level: u32, children: u64) -> u64 {
-    mix64(children ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+/// The hash-consing table of one variable: linear-probed, power-of-two
+/// capacity, 3/4 load-factor doubling, and exact backward-shift deletion so
+/// reordering can remove dead nodes without tombstones.
+#[derive(Debug, Clone)]
+pub(crate) struct SubTable {
+    slots: Vec<UniqueSlot>,
+    /// Number of live entries.
+    len: usize,
+}
+
+impl SubTable {
+    fn new() -> Self {
+        Self {
+            slots: vec![EMPTY_UNIQUE_SLOT; SUBTABLE_INITIAL_CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Number of live nodes labelled with this subtable's variable.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up the node with the given packed children.
+    #[inline]
+    fn lookup(&self, children: u64) -> Option<u32> {
+        self.probe(children).ok()
+    }
+
+    /// Probes for `children`: `Ok(id)` when present, `Err(slot)` with the
+    /// insertion position otherwise (valid until the next mutation).
+    #[inline]
+    fn probe(&self, children: u64) -> Result<u32, usize> {
+        let mask = self.slots.len() - 1;
+        let mut idx = mix64(children) as usize & mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot.id == EMPTY_SLOT {
+                return Err(idx);
+            }
+            if slot.children == children {
+                return Ok(slot.id);
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts `(children, id)`, which must not already be present.
+    /// Returns `true` if the subtable doubled.
+    pub(crate) fn insert(&mut self, children: u64, id: u32) -> bool {
+        let mut grew = false;
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+            grew = true;
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = mix64(children) as usize & mask;
+        while self.slots[idx].id != EMPTY_SLOT {
+            idx = (idx + 1) & mask;
+        }
+        self.slots[idx] = UniqueSlot { children, id };
+        self.len += 1;
+        grew
+    }
+
+    /// Doubles the slot array, rehashing every live entry.
+    #[cold]
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let mask = doubled - 1;
+        let mut slots = vec![EMPTY_UNIQUE_SLOT; doubled];
+        for slot in &self.slots {
+            if slot.id == EMPTY_SLOT {
+                continue;
+            }
+            let mut idx = mix64(slot.children) as usize & mask;
+            while slots[idx].id != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = *slot;
+        }
+        self.slots = slots;
+    }
+
+    /// Removes the entry for `children` (which must be present) by
+    /// backward-shift deletion: subsequent probe-chain entries are moved up
+    /// while doing so keeps them reachable from their home slot, so lookups
+    /// never need tombstones.
+    pub(crate) fn remove(&mut self, children: u64) {
+        let mask = self.slots.len() - 1;
+        let mut idx = mix64(children) as usize & mask;
+        while self.slots[idx].id == EMPTY_SLOT || self.slots[idx].children != children {
+            debug_assert!(
+                self.slots[idx].id != EMPTY_SLOT,
+                "removing a key that is not in the subtable"
+            );
+            idx = (idx + 1) & mask;
+        }
+        let mut hole = idx;
+        let mut probe = idx;
+        loop {
+            probe = (probe + 1) & mask;
+            let slot = self.slots[probe];
+            if slot.id == EMPTY_SLOT {
+                break;
+            }
+            // The entry at `probe` may move into the hole iff its home slot
+            // is not cyclically inside (hole, probe] — otherwise the move
+            // would put it before its home and break its probe chain.
+            let home = mix64(slot.children) as usize & mask;
+            let in_gap = if hole <= probe {
+                home > hole && home <= probe
+            } else {
+                home > hole || home <= probe
+            };
+            if !in_gap {
+                self.slots[hole] = slot;
+                hole = probe;
+            }
+        }
+        self.slots[hole] = EMPTY_UNIQUE_SLOT;
+        self.len -= 1;
+    }
+
+    /// Empties the subtable, keeping its capacity.
+    fn clear(&mut self) {
+        self.slots.fill(EMPTY_UNIQUE_SLOT);
+        self.len = 0;
+    }
+
+    /// Iterates over the live node ids in the subtable.
+    pub(crate) fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.id != EMPTY_SLOT)
+            .map(|s| s.id)
+    }
 }
 
 /// A reduced ordered BDD manager with complement edges.
@@ -519,12 +702,34 @@ fn unique_hash(level: u32, children: u64) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Manager {
-    nodes: Vec<Node>,
-    free: Vec<u32>,
-    /// Open-addressed, linear-probed unique table (power-of-two capacity).
-    table: Vec<UniqueSlot>,
-    /// Number of live entries in `table`.
-    table_len: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<u32>,
+    /// One open-addressed unique subtable per variable.
+    pub(crate) subtables: Vec<SubTable>,
+    /// Total number of live entries across all subtables (= allocated nodes).
+    pub(crate) table_len: usize,
+    /// `var_to_level[var]` is the current level of `var`; the extra last
+    /// entry is the terminal sentinel, pinned at [`TERMINAL_LEVEL`].
+    pub(crate) var_to_level: Vec<u32>,
+    /// `level_to_var[level]` is the variable currently at `level`.
+    pub(crate) level_to_var: Vec<u32>,
+    /// Registered external roots: GC roots and reorder protection.  Released
+    /// slots hold `NodeId::TRUE` and are recycled through `free_roots`.
+    pub(crate) roots: Vec<NodeId>,
+    free_roots: Vec<u32>,
+    /// Automatic reordering trigger (off by default).
+    auto_reorder: bool,
+    /// Allocated-node count beyond which [`Manager::maybe_reorder`] sifts.
+    reorder_threshold: usize,
+    /// Caller-configured lower bound the re-armed threshold never drops
+    /// below (defaults to [`DEFAULT_REORDER_THRESHOLD`]).
+    reorder_threshold_floor: usize,
+    /// Number of top levels eligible for sifting (`usize::MAX` = all).
+    /// Variables below the window never move — used by the simulator to pin
+    /// auxiliary encoding variables underneath the qubit block.
+    pub(crate) reorder_window: usize,
+    /// Whether [`Manager::reorder`] repeats sifting passes to convergence.
+    pub(crate) converging_sifting: bool,
     and_cache: DirectCache,
     xor_cache: DirectCache,
     ite_cache: DirectCache,
@@ -546,22 +751,36 @@ pub struct Manager {
     evictions_at_last_gc: u64,
     /// Consecutive GC intervals whose eviction rate exceeded the threshold.
     high_eviction_streak: u32,
-    stats: ManagerStats,
+    pub(crate) stats: ManagerStats,
 }
 
 impl Manager {
-    /// Creates a manager with `num_vars` Boolean variables.
+    /// Creates a manager with `num_vars` Boolean variables, initially in the
+    /// identity order (variable `i` at level `i`).
     pub fn new(num_vars: usize) -> Self {
         let terminal = Node {
-            level: TERMINAL_LEVEL,
+            // The sentinel variable index; its var_to_level entry is pinned
+            // at TERMINAL_LEVEL so level lookups need no terminal branch.
+            var: num_vars as u32,
             low: NodeId::TRUE,
             high: NodeId::TRUE,
         };
+        let mut var_to_level: Vec<u32> = (0..num_vars as u32).collect();
+        var_to_level.push(TERMINAL_LEVEL);
         Self {
             nodes: vec![terminal],
             free: Vec::new(),
-            table: vec![EMPTY_UNIQUE_SLOT; INITIAL_TABLE_CAPACITY],
+            subtables: (0..num_vars).map(|_| SubTable::new()).collect(),
             table_len: 0,
+            var_to_level,
+            level_to_var: (0..num_vars as u32).collect(),
+            roots: Vec::new(),
+            free_roots: Vec::new(),
+            auto_reorder: false,
+            reorder_threshold: DEFAULT_REORDER_THRESHOLD,
+            reorder_threshold_floor: DEFAULT_REORDER_THRESHOLD,
+            reorder_window: usize::MAX,
+            converging_sifting: false,
             and_cache: DirectCache::new(2),
             xor_cache: DirectCache::new(2),
             ite_cache: DirectCache::new(3),
@@ -594,7 +813,41 @@ impl Manager {
     pub fn add_vars(&mut self, extra: usize) -> usize {
         let first = self.num_vars as usize;
         self.num_vars += extra as u32;
+        // The new variables start at the bottom levels; the terminal
+        // sentinel entry moves to the new end of `var_to_level`.
+        self.var_to_level.pop();
+        for i in 0..extra {
+            self.var_to_level.push((first + i) as u32);
+            self.level_to_var.push((first + i) as u32);
+            self.subtables.push(SubTable::new());
+        }
+        self.var_to_level.push(TERMINAL_LEVEL);
+        self.nodes[0].var = self.num_vars;
         first
+    }
+
+    /// The variable currently at `level` (level 0 is the top of the order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= num_vars()`.
+    pub fn var_at_level(&self, level: usize) -> usize {
+        self.level_to_var[level] as usize
+    }
+
+    /// The current level of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars()`.
+    pub fn level_of_var(&self, var: usize) -> usize {
+        assert!(var < self.num_vars as usize, "variable {var} out of range");
+        self.var_to_level[var] as usize
+    }
+
+    /// The current variable order, top level first.
+    pub fn current_order(&self) -> Vec<usize> {
+        self.level_to_var.iter().map(|&v| v as usize).collect()
     }
 
     /// Operational statistics.
@@ -606,6 +859,123 @@ impl Manager {
     /// nodes, excluding the terminal.
     pub fn allocated_nodes(&self) -> usize {
         self.nodes.len() - 1 - self.free.len()
+    }
+
+    // ----------------------------------------------------------------- //
+    // Root registry
+    // ----------------------------------------------------------------- //
+
+    /// Registers `f` as an external root.  Registered roots are implicitly
+    /// added to every [`Manager::collect_garbage`] root set and act as
+    /// reference-count sources during reordering, so the registered edge —
+    /// and every node it reaches — keeps its id and its function across
+    /// garbage collections and any sequence of level swaps.
+    ///
+    /// The returned slot stays valid until [`Manager::release_root`];
+    /// overwrite the protected edge with [`Manager::set_root`].
+    pub fn register_root(&mut self, f: NodeId) -> RootSlot {
+        match self.free_roots.pop() {
+            Some(slot) => {
+                self.roots[slot as usize] = f;
+                RootSlot(slot)
+            }
+            None => {
+                self.roots.push(f);
+                RootSlot((self.roots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Replaces the edge protected by `slot`, returning the previous one.
+    pub fn set_root(&mut self, slot: RootSlot, f: NodeId) -> NodeId {
+        std::mem::replace(&mut self.roots[slot.0 as usize], f)
+    }
+
+    /// The edge currently protected by `slot`.
+    pub fn root(&self, slot: RootSlot) -> NodeId {
+        self.roots[slot.0 as usize]
+    }
+
+    /// Releases a registry slot, returning the edge it protected.  The slot
+    /// must not be used afterwards.
+    pub fn release_root(&mut self, slot: RootSlot) -> NodeId {
+        self.free_roots.push(slot.0);
+        // The terminal is always live, so a released slot is inert.
+        std::mem::replace(&mut self.roots[slot.0 as usize], NodeId::TRUE)
+    }
+
+    /// The currently registered root edges (released slots read as the
+    /// terminal, which is harmless for marking and counting).
+    pub fn registered_roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Exhaustive structural validation, for tests and debugging: checks
+    /// the canonical form (stored low edges regular, no redundant nodes),
+    /// subtable membership (every allocated node in its variable's
+    /// subtable under the right key, counts consistent), the order
+    /// invariant (children strictly below their parent's level) and that
+    /// the permutation arrays are inverse bijections.  Returns a
+    /// description of the first violation, if any.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let n = self.num_vars as usize;
+        for (var, &level) in self.var_to_level.iter().take(n).enumerate() {
+            if self.level_to_var.get(level as usize).copied() != Some(var as u32) {
+                return Err(format!("var {var} at level {level} not mapped back"));
+            }
+        }
+        if self.var_to_level.len() != n + 1
+            || self.var_to_level[n] != TERMINAL_LEVEL
+            || self.nodes[0].var != self.num_vars
+        {
+            return Err("terminal sentinel mapping corrupted".to_string());
+        }
+        let mut free_mark = vec![false; self.nodes.len()];
+        for &f in &self.free {
+            free_mark[f as usize] = true;
+        }
+        let mut in_table = 0usize;
+        for (var, subtable) in self.subtables.iter().enumerate() {
+            if subtable.len != subtable.ids().count() {
+                return Err(format!("subtable {var} length out of sync"));
+            }
+            for id in subtable.ids() {
+                in_table += 1;
+                if id as usize >= self.nodes.len() || free_mark[id as usize] {
+                    return Err(format!("subtable {var} holds freed node {id}"));
+                }
+                let node = self.nodes[id as usize];
+                if node.var as usize != var {
+                    return Err(format!("node {id} in wrong subtable {var}"));
+                }
+                if subtable.lookup(pack_children(node.low, node.high)) != Some(id) {
+                    return Err(format!("node {id} not findable under its key"));
+                }
+            }
+        }
+        if in_table != self.allocated_nodes() || in_table != self.table_len {
+            return Err(format!(
+                "table entries {in_table} vs allocated {} vs table_len {}",
+                self.allocated_nodes(),
+                self.table_len
+            ));
+        }
+        for (id, node) in self.nodes.iter().enumerate().skip(1) {
+            if free_mark[id] {
+                continue;
+            }
+            if node.low.is_complemented() {
+                return Err(format!("node {id} stores a complemented low edge"));
+            }
+            if node.low == node.high {
+                return Err(format!("node {id} is redundant (low == high)"));
+            }
+            let level = self.var_to_level[node.var as usize];
+            if self.level(node.low) <= level || self.level(node.high.regular()) <= level {
+                return Err(format!("node {id} has a child at or above its level"));
+            }
+        }
+        Ok(())
     }
 
     // ----------------------------------------------------------------- //
@@ -637,22 +1007,31 @@ impl Manager {
         self.mk(var as u32, NodeId::TRUE, NodeId::FALSE)
     }
 
+    /// The current level of `f`'s top node ([`TERMINAL_LEVEL`] for
+    /// terminals): one permutation-array lookup on top of the node read.
     #[inline]
-    fn level(&self, f: NodeId) -> u32 {
-        self.nodes[f.index()].level
+    pub(crate) fn level(&self, f: NodeId) -> u32 {
+        self.var_to_level[self.nodes[f.index()].var as usize]
+    }
+
+    /// The variable labelling `f`'s top node (the sentinel `num_vars` for
+    /// terminals).
+    #[inline]
+    pub(crate) fn var_of(&self, f: NodeId) -> u32 {
+        self.nodes[f.index()].var
     }
 
     /// The stored low child of `f`'s node (regular by canonical form),
     /// *without* `f`'s own complement bit applied.
     #[inline]
-    fn raw_low(&self, f: NodeId) -> NodeId {
+    pub(crate) fn raw_low(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].low
     }
 
     /// The stored high child of `f`'s node, *without* `f`'s own complement
     /// bit applied.
     #[inline]
-    fn raw_high(&self, f: NodeId) -> NodeId {
+    pub(crate) fn raw_high(&self, f: NodeId) -> NodeId {
         self.nodes[f.index()].high
     }
 
@@ -668,6 +1047,10 @@ impl Manager {
     /// Returns `(level, low, high)` of a non-terminal edge, with the edge's
     /// complement bit pushed into the children (so recursing on the returned
     /// edges traverses the *function*, not just the shared node).
+    ///
+    /// The first component is the node's current **level** (order
+    /// position), not its variable — map it through
+    /// [`Manager::var_at_level`] when the variable identity matters.
     pub fn node(&self, f: NodeId) -> Option<(usize, NodeId, NodeId)> {
         if f.is_terminal() {
             None
@@ -678,13 +1061,28 @@ impl Manager {
     }
 
     /// Hash-consing node constructor (the `MK` operation): finds or creates
-    /// the node `(level, low, high)` through the open-addressed unique
-    /// table.  Enforces the canonical form — if `low` arrives complemented,
-    /// both children are flipped and the returned edge is complemented, so
-    /// the *stored* low edge is always regular.
-    fn mk(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
+    /// the node `(var, low, high)` through `var`'s unique subtable.
+    /// Enforces the canonical form — if `low` arrives complemented, both
+    /// children are flipped and the returned edge is complemented, so the
+    /// *stored* low edge is always regular.
+    pub(crate) fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+        let (edge, _created) = self.mk_core(var, low, high);
+        edge
+    }
+
+    /// Like [`Manager::mk`] but for a *level*: labels the node with the
+    /// variable currently at `level` (the form the apply recursions use).
+    #[inline]
+    fn mk_level(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
+        let var = self.level_to_var[level as usize];
+        self.mk(var, low, high)
+    }
+
+    /// The `mk` workhorse; additionally reports whether a fresh node was
+    /// allocated (the reordering swap needs this for its reference counts).
+    pub(crate) fn mk_core(&mut self, var: u32, low: NodeId, high: NodeId) -> (NodeId, bool) {
         if low == high {
-            return low;
+            return (low, false);
         }
         let out_c = low.cmask();
         if out_c != 0 {
@@ -693,29 +1091,13 @@ impl Manager {
         let low = low.xor_mask(out_c);
         let high = high.xor_mask(out_c);
         let children = pack_children(low, high);
-        let mask = self.table.len() - 1;
-        let mut idx = unique_hash(level, children) as usize & mask;
-        loop {
-            let slot = self.table[idx];
-            if slot.id == EMPTY_SLOT {
-                break;
-            }
-            if slot.children == children && slot.level == level {
-                return NodeId(slot.id ^ out_c);
-            }
-            idx = (idx + 1) & mask;
-        }
-        // Miss: keep the load factor below 3/4, re-probing for the insert
-        // slot if the table moved.
-        if (self.table_len + 1) * 4 > self.table.len() * 3 {
-            self.grow_table();
-            let mask = self.table.len() - 1;
-            idx = unique_hash(level, children) as usize & mask;
-            while self.table[idx].id != EMPTY_SLOT {
-                idx = (idx + 1) & mask;
-            }
-        }
-        let node = Node { level, low, high };
+        // One probe serves both the hit and the insert position (re-probed
+        // only when the miss forces the subtable to grow).
+        let mut slot_idx = match self.subtables[var as usize].probe(children) {
+            Ok(id) => return (NodeId(id ^ out_c), false),
+            Err(idx) => idx,
+        };
+        let node = Node { var, low, high };
         let id = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
@@ -730,44 +1112,31 @@ impl Manager {
                 id
             }
         };
-        self.table[idx] = UniqueSlot {
-            children,
-            level,
-            id,
-        };
+        let subtable = &mut self.subtables[var as usize];
+        if (subtable.len + 1) * 4 > subtable.slots.len() * 3 {
+            subtable.grow();
+            self.stats.unique_resizes += 1;
+            slot_idx = match subtable.probe(children) {
+                Err(idx) => idx,
+                Ok(_) => unreachable!("key cannot appear during growth"),
+            };
+        }
+        subtable.slots[slot_idx] = UniqueSlot { children, id };
+        subtable.len += 1;
         self.table_len += 1;
         self.stats.created_nodes += 1;
         self.stats.peak_nodes = self.stats.peak_nodes.max(self.allocated_nodes());
-        NodeId(id ^ out_c)
+        (NodeId(id ^ out_c), true)
     }
 
-    /// Doubles the unique table and reinserts every live slot.
-    fn grow_table(&mut self) {
-        let new_capacity = self.table.len() * 2;
-        let mask = new_capacity - 1;
-        let mut table = vec![EMPTY_UNIQUE_SLOT; new_capacity];
-        for slot in &self.table {
-            if slot.id == EMPTY_SLOT {
-                continue;
-            }
-            let mut idx = unique_hash(slot.level, slot.children) as usize & mask;
-            while table[idx].id != EMPTY_SLOT {
-                idx = (idx + 1) & mask;
-            }
-            table[idx] = *slot;
-        }
-        self.table = table;
-        self.stats.unique_resizes += 1;
-    }
-
-    /// Rebuilds the unique table and free-list from the GC mark bitmap.
+    /// Rebuilds every unique subtable and the free-list from the GC mark
+    /// bitmap.
     fn rebuild_table(&mut self, marked: &[bool]) {
-        for slot in self.table.iter_mut() {
-            *slot = EMPTY_UNIQUE_SLOT;
+        for subtable in self.subtables.iter_mut() {
+            subtable.clear();
         }
         self.table_len = 0;
         self.free.clear();
-        let mask = self.table.len() - 1;
         for (index, &is_live) in marked.iter().enumerate().skip(1) {
             if !is_live {
                 self.free.push(index as u32);
@@ -775,15 +1144,7 @@ impl Manager {
             }
             let node = self.nodes[index];
             let children = pack_children(node.low, node.high);
-            let mut idx = unique_hash(node.level, children) as usize & mask;
-            while self.table[idx].id != EMPTY_SLOT {
-                idx = (idx + 1) & mask;
-            }
-            self.table[idx] = UniqueSlot {
-                children,
-                level: node.level,
-                id: index as u32,
-            };
+            self.subtables[node.var as usize].insert(children, index as u32);
             self.table_len += 1;
         }
     }
@@ -797,6 +1158,18 @@ impl Manager {
     #[inline]
     fn split(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
         if self.level(f) == level {
+            self.cofactors_of(f)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// [`Manager::split`] with `f`'s level already at hand (the apply
+    /// recursions compute it for the top-level comparison anyway; passing
+    /// it through avoids a second permutation-array lookup per operand).
+    #[inline]
+    fn split_at(&self, f: NodeId, flevel: u32, top: u32) -> (NodeId, NodeId) {
+        if flevel == top {
             self.cofactors_of(f)
         } else {
             (f, f)
@@ -837,12 +1210,13 @@ impl Manager {
             return result;
         }
         self.stats.and_cache.misses += 1;
-        let top = self.level(a).min(self.level(b));
-        let (a0, a1) = self.split(a, top);
-        let (b0, b1) = self.split(b, top);
+        let (la, lb) = (self.level(a), self.level(b));
+        let top = la.min(lb);
+        let (a0, a1) = self.split_at(a, la, top);
+        let (b0, b1) = self.split_at(b, lb, top);
         let low = self.and(a0, b0);
         let high = self.and(a1, b1);
-        let result = self.mk(top, low, high);
+        let result = self.mk_level(top, low, high);
         self.and_cache
             .store2(&mut self.stats.and_cache, self.cache_epoch, key, result);
         result
@@ -882,12 +1256,13 @@ impl Manager {
             return result.xor_mask(parity);
         }
         self.stats.xor_cache.misses += 1;
-        let top = self.level(a).min(self.level(b));
-        let (a0, a1) = self.split(a, top);
-        let (b0, b1) = self.split(b, top);
+        let (la, lb) = (self.level(a), self.level(b));
+        let top = la.min(lb);
+        let (a0, a1) = self.split_at(a, la, top);
+        let (b0, b1) = self.split_at(b, lb, top);
         let low = self.xor(a0, b0);
         let high = self.xor(a1, b1);
-        let result = self.mk(top, low, high);
+        let result = self.mk_level(top, low, high);
         self.xor_cache
             .store2(&mut self.stats.xor_cache, self.cache_epoch, key, result);
         result.xor_mask(parity)
@@ -962,13 +1337,14 @@ impl Manager {
             return result.xor_mask(out_c);
         }
         self.stats.ite_cache.misses += 1;
-        let top = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = self.split(f, top);
-        let (g0, g1) = self.split(g, top);
-        let (h0, h1) = self.split(h, top);
+        let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
+        let top = lf.min(lg).min(lh);
+        let (f0, f1) = self.split_at(f, lf, top);
+        let (g0, g1) = self.split_at(g, lg, top);
+        let (h0, h1) = self.split_at(h, lh, top);
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
-        let result = self.mk(top, low, high);
+        let result = self.mk_level(top, low, high);
         self.ite_cache.store3(
             &mut self.stats.ite_cache,
             self.cache_epoch,
@@ -1016,13 +1392,14 @@ impl Manager {
             return result.xor_mask(parity);
         }
         self.stats.xor3_cache.misses += 1;
-        let top = self.level(a).min(self.level(b)).min(self.level(c));
-        let (a0, a1) = self.split(a, top);
-        let (b0, b1) = self.split(b, top);
-        let (c0, c1) = self.split(c, top);
+        let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
+        let top = la.min(lb).min(lc);
+        let (a0, a1) = self.split_at(a, la, top);
+        let (b0, b1) = self.split_at(b, lb, top);
+        let (c0, c1) = self.split_at(c, lc, top);
         let low = self.xor3(a0, b0, c0);
         let high = self.xor3(a1, b1, c1);
-        let result = self.mk(top, low, high);
+        let result = self.mk_level(top, low, high);
         self.xor3_cache.store3(
             &mut self.stats.xor3_cache,
             self.cache_epoch,
@@ -1101,13 +1478,14 @@ impl Manager {
             return result.xor_mask(out_c);
         }
         self.stats.maj_cache.misses += 1;
-        let top = self.level(a).min(self.level(b)).min(self.level(c));
-        let (a0, a1) = self.split(a, top);
-        let (b0, b1) = self.split(b, top);
-        let (c0, c1) = self.split(c, top);
+        let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
+        let top = la.min(lb).min(lc);
+        let (a0, a1) = self.split_at(a, la, top);
+        let (b0, b1) = self.split_at(b, lb, top);
+        let (c0, c1) = self.split_at(c, lc, top);
         let low = self.maj(a0, b0, c0);
         let high = self.maj(a1, b1, c1);
-        let result = self.mk(top, low, high);
+        let result = self.mk_level(top, low, high);
         self.maj_cache.store3(
             &mut self.stats.maj_cache,
             self.cache_epoch,
@@ -1123,16 +1501,17 @@ impl Manager {
     /// three-pass `ite(x, f|₀, f|₁)` construction.  The swap commutes with
     /// complementation, so the cache is keyed on the regular edge.
     pub fn flip_var(&mut self, f: NodeId, var: usize) -> NodeId {
-        self.flip_var_rec(f, var as u32)
+        let vlevel = self.var_to_level[var];
+        self.flip_var_rec(f, var as u32, vlevel)
     }
 
-    fn flip_var_rec(&mut self, f: NodeId, var: u32) -> NodeId {
+    fn flip_var_rec(&mut self, f: NodeId, var: u32, vlevel: u32) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
-        if fr.is_terminal() || self.level(fr) > var {
+        if fr.is_terminal() || self.level(fr) > vlevel {
             return f;
         }
-        if self.level(fr) == var {
+        if self.var_of(fr) == var {
             let (low, high) = (self.raw_low(fr), self.raw_high(fr));
             return self.mk(var, high, low).xor_mask(out_c);
         }
@@ -1142,11 +1521,11 @@ impl Manager {
             return result.xor_mask(out_c);
         }
         self.stats.flip_cache.misses += 1;
-        let level = self.level(fr);
+        let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
-        let low = self.flip_var_rec(f0, var);
-        let high = self.flip_var_rec(f1, var);
-        let result = self.mk(level, low, high);
+        let low = self.flip_var_rec(f0, var, vlevel);
+        let high = self.flip_var_rec(f1, var, vlevel);
+        let result = self.mk(top_var, low, high);
         self.flip_cache
             .store2(&mut self.stats.flip_cache, self.cache_epoch, key, result);
         result.xor_mask(out_c)
@@ -1157,18 +1536,19 @@ impl Manager {
     /// a two-word cache key.  Normalised so the then-input is regular
     /// (`mux(v, ¬g, ¬h) = ¬mux(v, g, h)`).
     pub fn mux_var(&mut self, var: usize, g: NodeId, h: NodeId) -> NodeId {
-        self.mux_var_rec(var as u32, g, h)
+        let vlevel = self.var_to_level[var];
+        self.mux_var_rec(var as u32, vlevel, g, h)
     }
 
-    fn mux_var_rec(&mut self, var: u32, g: NodeId, h: NodeId) -> NodeId {
+    fn mux_var_rec(&mut self, var: u32, vlevel: u32, g: NodeId, h: NodeId) -> NodeId {
         if g == h {
             return g;
         }
         let out_c = g.cmask();
         let (g, h) = (g.xor_mask(out_c), h.xor_mask(out_c));
         let top = self.level(g).min(self.level(h));
-        if top > var {
-            // Neither operand depends on variables at or above `var`.
+        if top > vlevel {
+            // Neither operand depends on variables at or above `var`'s level.
             return self.mk(var, h, g).xor_mask(out_c);
         }
         let key_gh = ((g.0 as u64) << 32) | h.0 as u64;
@@ -1178,14 +1558,14 @@ impl Manager {
             return result.xor_mask(out_c);
         }
         self.stats.mux_cache.misses += 1;
-        let result = if top == var {
+        let result = if top == vlevel {
             // At the multiplexer level: low output comes from h, high from g.
-            let low = if self.level(h) == var {
+            let low = if self.level(h) == vlevel {
                 self.cofactors_of(h).0
             } else {
                 h
             };
-            let high = if self.level(g) == var {
+            let high = if self.level(g) == vlevel {
                 self.cofactors_of(g).1
             } else {
                 g
@@ -1194,9 +1574,9 @@ impl Manager {
         } else {
             let (g0, g1) = self.split(g, top);
             let (h0, h1) = self.split(h, top);
-            let low = self.mux_var_rec(var, g0, h0);
-            let high = self.mux_var_rec(var, g1, h1);
-            self.mk(top, low, high)
+            let low = self.mux_var_rec(var, vlevel, g0, h0);
+            let high = self.mux_var_rec(var, vlevel, g1, h1);
+            self.mk_level(top, low, high)
         };
         self.mux_cache.store3(
             &mut self.stats.mux_cache,
@@ -1235,8 +1615,10 @@ impl Manager {
     /// The cube (conjunction of literals) described by `(variable, phase)`
     /// pairs; `phase == true` means the positive literal.
     pub fn cube(&mut self, literals: &[(usize, bool)]) -> NodeId {
+        // Build bottom-up in *level* order, so the construction is valid
+        // under any variable order.
         let mut sorted: Vec<_> = literals.to_vec();
-        sorted.sort_by_key(|&(v, _)| std::cmp::Reverse(v));
+        sorted.sort_by_key(|&(v, _)| std::cmp::Reverse(self.var_to_level[v]));
         let mut acc = NodeId::TRUE;
         for (v, phase) in sorted {
             acc = if phase {
@@ -1251,16 +1633,17 @@ impl Manager {
     /// The cofactor `f|_{var=value}`.  Restriction commutes with
     /// complementation, so the cache is keyed on the regular edge.
     pub fn cofactor(&mut self, f: NodeId, var: usize, value: bool) -> NodeId {
-        self.cofactor_rec(f, var as u32, value)
+        let vlevel = self.var_to_level[var];
+        self.cofactor_rec(f, var as u32, vlevel, value)
     }
 
-    fn cofactor_rec(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
+    fn cofactor_rec(&mut self, f: NodeId, var: u32, vlevel: u32, value: bool) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
-        if fr.is_terminal() || self.level(fr) > var {
+        if fr.is_terminal() || self.level(fr) > vlevel {
             return f;
         }
-        if self.level(fr) == var {
+        if self.var_of(fr) == var {
             let (low, high) = self.cofactors_of(f);
             return if value { high } else { low };
         }
@@ -1271,11 +1654,11 @@ impl Manager {
             return result.xor_mask(out_c);
         }
         self.stats.cofactor_cache.misses += 1;
-        let level = self.level(fr);
+        let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
-        let low = self.cofactor_rec(f0, var, value);
-        let high = self.cofactor_rec(f1, var, value);
-        let result = self.mk(level, low, high);
+        let low = self.cofactor_rec(f0, var, vlevel, value);
+        let high = self.cofactor_rec(f1, var, vlevel, value);
+        let result = self.mk(top_var, low, high);
         self.cofactor_cache.store2(
             &mut self.stats.cofactor_cache,
             self.cache_epoch,
@@ -1305,13 +1688,14 @@ impl Manager {
     // Queries
     // ----------------------------------------------------------------- //
 
-    /// Evaluates `f` under a complete assignment (index = variable),
-    /// folding the complement bits of the traversed edges into the result.
+    /// Evaluates `f` under a complete assignment (index = **variable**, so
+    /// the call is oblivious to the current variable order), folding the
+    /// complement bits of the traversed edges into the result.
     pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
         let mut cur = f;
         while !cur.is_terminal() {
             let node = &self.nodes[cur.index()];
-            let next = if assignment[node.level as usize] {
+            let next = if assignment[node.var as usize] {
                 node.high
             } else {
                 node.low
@@ -1321,70 +1705,91 @@ impl Manager {
         cur.is_true()
     }
 
-    /// Number of satisfying assignments of `f` over the first `nvars`
-    /// variables.  `f` must not depend on variables `≥ nvars`.
+    /// Number of satisfying assignments of `f` over the variables
+    /// `0..nvars`.  `f` must not depend on variables `≥ nvars`.  The count
+    /// is over the variable *set*, so it is independent of the current
+    /// order (the counted variables need not occupy contiguous levels).
     ///
     /// Complemented edges count by subtraction:
     /// `|¬f| = 2^(remaining vars) − |f|`, memoised per regular node.
     pub fn sat_count(&self, f: NodeId, nvars: usize) -> UBig {
         let mut memo: FxHashMap<NodeId, UBig> = FxHashMap::default();
-        self.count_edge(f, 0, nvars as u32, &mut memo)
+        let pc = self.counted_prefix(nvars);
+        self.count_edge(f, 0, &pc, &mut memo)
     }
 
-    /// Models of the function reached through edge `f` over the variables
-    /// `from..nvars` (all of which are at or below `f`'s level).
+    /// `pc[l]` = number of counted variables (index `< nvars`) at levels
+    /// `< l`; the exponent of a level gap `[a, b)` is `pc[b] − pc[a]`.
+    fn counted_prefix(&self, nvars: usize) -> Vec<u32> {
+        let n = self.num_vars as usize;
+        let mut pc = vec![0u32; n + 1];
+        for l in 0..n {
+            pc[l + 1] = pc[l] + (self.level_to_var[l] < nvars as u32) as u32;
+        }
+        pc
+    }
+
+    /// Models of the function reached through edge `f` over the counted
+    /// variables at levels `≥ from` (all of which are at or below `f`'s
+    /// level).
     fn count_edge(
         &self,
         f: NodeId,
         from: u32,
-        nvars: u32,
+        pc: &[u32],
         memo: &mut FxHashMap<NodeId, UBig>,
     ) -> UBig {
+        let total = *pc.last().expect("prefix array is non-empty");
         if f.is_true() {
-            return UBig::pow2((nvars - from) as usize);
+            return UBig::pow2((total - pc[from as usize]) as usize);
         }
         if f.is_false() {
             return UBig::zero();
         }
         let fr = f.regular();
         let level = self.level(fr);
-        debug_assert!(level < nvars, "function depends on variables beyond nvars");
+        debug_assert!(
+            self.var_of(fr) < pc.len() as u32 - 1 && pc[level as usize + 1] > pc[level as usize],
+            "function depends on variables beyond nvars"
+        );
         let models = match memo.get(&fr) {
             Some(c) => c.clone(),
             None => {
                 let low = self.raw_low(fr);
                 let high = self.raw_high(fr);
-                let cl = self.count_edge(low, level + 1, nvars, memo);
-                let ch = self.count_edge(high, level + 1, nvars, memo);
+                let cl = self.count_edge(low, level + 1, pc, memo);
+                let ch = self.count_edge(high, level + 1, pc, memo);
                 let total = UBig::add(&cl, &ch);
                 memo.insert(fr, total.clone());
                 total
             }
         };
         let models = if f.is_complemented() {
-            UBig::pow2((nvars - level) as usize).sub(&models)
+            UBig::pow2((total - pc[level as usize]) as usize).sub(&models)
         } else {
             models
         };
-        models.shl((level - from) as usize)
+        models.shl((pc[level as usize] - pc[from as usize]) as usize)
     }
 
     /// Like [`Manager::sat_count`] but in floating point (may overflow to
     /// infinity around 2¹⁰²⁴ assignments).
     pub fn sat_count_f64(&self, f: NodeId, nvars: usize) -> f64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
-        self.count_edge_f64(f, 0, nvars as u32, &mut memo)
+        let pc = self.counted_prefix(nvars);
+        self.count_edge_f64(f, 0, &pc, &mut memo)
     }
 
     fn count_edge_f64(
         &self,
         f: NodeId,
         from: u32,
-        nvars: u32,
+        pc: &[u32],
         memo: &mut FxHashMap<NodeId, f64>,
     ) -> f64 {
+        let total = *pc.last().expect("prefix array is non-empty");
         if f.is_true() {
-            return 2f64.powi((nvars - from) as i32);
+            return 2f64.powi((total - pc[from as usize]) as i32);
         }
         if f.is_false() {
             return 0.0;
@@ -1396,8 +1801,8 @@ impl Manager {
             None => {
                 let low = self.raw_low(fr);
                 let high = self.raw_high(fr);
-                let total = self.count_edge_f64(low, level + 1, nvars, memo)
-                    + self.count_edge_f64(high, level + 1, nvars, memo);
+                let total = self.count_edge_f64(low, level + 1, pc, memo)
+                    + self.count_edge_f64(high, level + 1, pc, memo);
                 memo.insert(fr, total);
                 total
             }
@@ -1405,7 +1810,7 @@ impl Manager {
         let models = if f.is_complemented() {
             // Beyond ~2¹⁰²⁴ assignments the subtraction is inf − inf; the
             // complement count is astronomically large too, so saturate.
-            let pow = 2f64.powi((nvars - level) as i32);
+            let pow = 2f64.powi((total - pc[level as usize]) as i32);
             if pow.is_finite() {
                 pow - models
             } else {
@@ -1419,7 +1824,7 @@ impl Manager {
         if models == 0.0 {
             0.0
         } else {
-            models * 2f64.powi((level - from) as i32)
+            models * 2f64.powi((pc[level as usize] - pc[from as usize]) as i32)
         }
     }
 
@@ -1468,7 +1873,8 @@ impl Manager {
         (complemented, seen.len())
     }
 
-    /// The set of variables `f` depends on, in increasing order.
+    /// The set of variables `f` depends on, as *variable indices* in
+    /// increasing order (independent of the current variable order).
     pub fn support(&self, f: NodeId) -> Vec<usize> {
         let mut seen: std::collections::HashSet<NodeId, crate::hash::FxBuildHasher> =
             Default::default();
@@ -1478,7 +1884,7 @@ impl Manager {
             if g.is_terminal() || !seen.insert(g) {
                 continue;
             }
-            vars.insert(self.level(g) as usize);
+            vars.insert(self.var_of(g) as usize);
             stack.push(self.raw_low(g));
             stack.push(self.raw_high(g).regular());
         }
@@ -1486,7 +1892,8 @@ impl Manager {
     }
 
     /// Returns one satisfying assignment (as `(variable, value)` pairs over
-    /// the support of `f`), or `None` if `f` is unsatisfiable.
+    /// the support of `f`, in *variable* space), or `None` if `f` is
+    /// unsatisfiable.
     pub fn pick_one(&self, f: NodeId) -> Option<Vec<(usize, bool)>> {
         if f.is_false() {
             return None;
@@ -1494,7 +1901,7 @@ impl Manager {
         let mut cube = Vec::new();
         let mut cur = f;
         while !cur.is_terminal() {
-            let v = self.level(cur) as usize;
+            let v = self.var_of(cur) as usize;
             let (low, high) = self.cofactors_of(cur);
             if low.is_false() {
                 cube.push((v, true));
@@ -1560,16 +1967,22 @@ impl Manager {
         }
     }
 
-    /// Mark-and-sweep garbage collection.  Every node reachable from `roots`
-    /// survives with its `NodeId` unchanged (complement bits are ignored for
-    /// marking: a node is live if *either* phase of it is reachable); all
-    /// other nodes are freed, the unique table and free-list are rebuilt
-    /// from the mark bitmap, and the operation caches are invalidated in
-    /// O(1) by bumping the cache epoch.  Returns the number of freed nodes.
+    /// Mark-and-sweep garbage collection.  Every node reachable from
+    /// `roots` *or from a registered root* (see [`Manager::register_root`])
+    /// survives with its `NodeId` unchanged (complement bits are ignored
+    /// for marking: a node is live if *either* phase of it is reachable);
+    /// all other nodes are freed, the unique subtables and free-list are
+    /// rebuilt from the mark bitmap, and the operation caches are
+    /// invalidated in O(1) by bumping the cache epoch.  Returns the number
+    /// of freed nodes.
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
-        let mut stack: Vec<usize> = roots.iter().map(|f| f.index()).collect();
+        let mut stack: Vec<usize> = roots
+            .iter()
+            .chain(self.roots.iter())
+            .map(|f| f.index())
+            .collect();
         while let Some(index) = stack.pop() {
             if marked[index] {
                 continue;
@@ -1588,16 +2001,7 @@ impl Manager {
         self.misses_at_last_gc = totals.misses;
         self.evictions_at_last_gc = totals.evictions;
         self.tune_cache_cap(interval_stores, interval_evictions);
-        // O(1) cache clear: stale entries are recognised by their epoch.
-        self.cache_epoch = self.cache_epoch.wrapping_add(1);
-        if self.cache_epoch == 0 {
-            // Extremely rare wrap: hard-reset so no stale entry can alias the
-            // restarted epoch counter.
-            for cache in self.op_caches_mut() {
-                cache.words.fill(0);
-            }
-            self.cache_epoch = 1;
-        }
+        self.invalidate_caches();
         self.stats.gc_runs += 1;
         // Grow the threshold if little garbage was reclaimed, so we do not
         // thrash on workloads whose live set keeps growing.
@@ -1605,6 +2009,80 @@ impl Manager {
             self.gc_threshold = (self.allocated_nodes() * 2).max(self.gc_threshold);
         }
         freed
+    }
+
+    /// Garbage collection with the registered roots as the only root set.
+    pub fn collect_garbage_registered(&mut self) -> usize {
+        self.collect_garbage(&[])
+    }
+
+    /// O(1) invalidation of every operation cache: bumps the epoch stamp
+    /// (stale entries are recognised by their epoch), hard-resetting on the
+    /// extremely rare wrap so no stale entry can alias the restarted
+    /// counter.  Called at GC time and after reordering (level swaps free
+    /// dead nodes whose ids may be recycled, which would otherwise leave
+    /// the caches pointing at different functions).
+    pub(crate) fn invalidate_caches(&mut self) {
+        self.cache_epoch = self.cache_epoch.wrapping_add(1);
+        if self.cache_epoch == 0 {
+            for cache in self.op_caches_mut() {
+                cache.words.fill(0);
+            }
+            self.cache_epoch = 1;
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Reordering configuration (the algorithms live in `reorder.rs`)
+    // ----------------------------------------------------------------- //
+
+    /// Enables or disables the automatic reordering trigger polled by
+    /// [`Manager::maybe_reorder`].
+    pub fn set_auto_reorder(&mut self, enabled: bool) {
+        self.auto_reorder = enabled;
+    }
+
+    /// Whether automatic reordering is armed.
+    pub fn auto_reorder_enabled(&self) -> bool {
+        self.auto_reorder
+    }
+
+    /// Sets the allocated-node count beyond which [`Manager::maybe_reorder`]
+    /// sifts.  The threshold re-arms itself at twice the post-reorder size,
+    /// never dropping below the value configured here.
+    pub fn set_reorder_threshold(&mut self, threshold: usize) {
+        self.reorder_threshold = threshold;
+        self.reorder_threshold_floor = threshold;
+    }
+
+    /// Restricts sifting to the top `levels` levels of the order: variables
+    /// below the window never move, and windowed variables never sink out
+    /// of it.  The simulator uses this to pin measurement-encoding
+    /// variables underneath the qubit block, the ordering requirement of
+    /// the paper's monolithic measurement traversal.
+    pub fn set_reorder_window(&mut self, levels: usize) {
+        self.reorder_window = levels;
+    }
+
+    /// Enables converging sifting: [`Manager::reorder`] repeats whole
+    /// passes until a pass improves the size by less than 1% (or a small
+    /// pass cap is hit).
+    pub fn set_converging_sifting(&mut self, converge: bool) {
+        self.converging_sifting = converge;
+    }
+
+    /// Runs [`Manager::reorder`] iff automatic reordering is enabled and
+    /// the allocated-node count exceeds the trigger threshold; re-arms the
+    /// threshold at twice the post-reorder live size.  Call at safe points
+    /// only (no apply recursion in flight) — the simulator calls it between
+    /// gates.  Returns `true` if a reordering ran.
+    pub fn maybe_reorder(&mut self) -> bool {
+        if !self.auto_reorder || self.allocated_nodes() <= self.reorder_threshold {
+            return false;
+        }
+        self.reorder();
+        self.reorder_threshold = (2 * self.allocated_nodes()).max(self.reorder_threshold_floor);
+        true
     }
 }
 
@@ -1685,16 +2163,18 @@ mod tests {
             }
         }
         let mut live = 0usize;
-        for slot in &mgr.table {
-            if slot.id == EMPTY_SLOT {
-                continue;
+        for subtable in &mgr.subtables {
+            for slot in &subtable.slots {
+                if slot.id == EMPTY_SLOT {
+                    continue;
+                }
+                live += 1;
+                let low = NodeId((slot.children >> 32) as u32);
+                assert!(
+                    !low.is_complemented(),
+                    "canonical form violated: stored low edge is complemented"
+                );
             }
-            live += 1;
-            let low = NodeId((slot.children >> 32) as u32);
-            assert!(
-                !low.is_complemented(),
-                "canonical form violated: stored low edge is complemented"
-            );
         }
         assert!(live > 20, "the population must have created real nodes");
     }

@@ -1,0 +1,501 @@
+//! Dynamic variable reordering: in-place adjacent-level swap and
+//! Rudell-style sifting over the per-variable unique subtables.
+//!
+//! # The swap primitive
+//!
+//! [`Manager::swap_adjacent_levels`]`(l)` exchanges the variables at levels
+//! `l` and `l+1` (call them `x` above `y`).  Because nodes store their
+//! *variable* and the order lives in the manager's permutation arrays, only
+//! the `x`-nodes that actually depend on `y` need touching:
+//!
+//! * an `x`-node with no `y`-child keeps its label and children; it simply
+//!   finds itself one level lower when the permutation arrays are swapped,
+//! * an interacting `x`-node `f = x ? (y ? f11 : f10) : (y ? f01 : f00)` is
+//!   rewritten **in place** to `y ? (x ? f11 : f01) : (x ? f10 : f00)`: the
+//!   two inner `x`-nodes are hash-consed at the new (lower) `x` position and
+//!   the original node is relabelled to `y` with the new children — same id,
+//!   same function — so every edge pointing at it from above (or from an
+//!   external handle) stays valid without rewriting any parent,
+//! * `y`-nodes never move; those that lose their last reference in the
+//!   rewrite are freed immediately, which keeps the per-level sizes exact.
+//!
+//! ## Correctness with complement edges
+//!
+//! The canonical form (stored low edges regular, PR 2) survives the swap
+//! without any explicit re-normalisation:
+//!
+//! * `f00`/`f01` come from the *low* child `L` of the `x`-node.  `L` is
+//!   stored regular, and if `L` is a `y`-node its own stored low `f00` is
+//!   regular too — so the new low grandchild `mk(x, f00, f10)` always
+//!   receives a regular low edge and returns a regular edge, which becomes
+//!   the relabelled node's low child.  The stored-low-regular invariant is
+//!   therefore preserved structurally, not by case analysis.
+//! * `f10`/`f11` come from the high child, whose complement bit is pushed
+//!   into them first (`cofactors_of`), exactly as the apply recursions do;
+//!   `mk`'s usual canonical flip handles a complemented `f01`/`f11`.
+//! * A relabelled node can never collide with an existing `y`-node: before
+//!   the swap no `y`-node can have an `x`-child (x was above y), and at
+//!   least one of the two new children is an `x`-labelled node (if both
+//!   reduced away, `L` and `H` would denote the same function, contradicting
+//!   canonicity of the *pre*-swap diagram).
+//!
+//! Reference counts are not maintained by the kernel (garbage collection is
+//! mark-and-sweep), so a reordering operation first derives them in one
+//! O(allocated) pass: one count per stored parent edge plus one per
+//! registered root (the root registry is what makes external handles
+//! first-class here).  The counts are then maintained incrementally across
+//! every swap of the run, so node death is detected exactly.
+//!
+//! # Sifting
+//!
+//! [`Manager::reorder`] implements Rudell's sifting: variables are visited
+//! in decreasing subtable-size order; each is moved to every level of the
+//! window by adjacent swaps (closer end first), the best total size seen is
+//! remembered, and the variable is parked there.  A move aborts early when
+//! the size grows past `max(size·6/5, size+20)` — the classic 1.2× growth
+//! limit.  With the converging option the whole pass repeats until a pass
+//! improves the total size by less than 1%.
+//!
+//! ## Cost model
+//!
+//! One swap costs O(interacting nodes at the upper level) hash-cons
+//! operations — no traversal of the rest of the diagram, no parent
+//! rewriting.  A full sift of `n` variables performs O(n²) swaps on a
+//! diagram of size `m`, i.e. O(n·m) node touches in the worst case per
+//! direction, bounded in practice by the growth limit's early aborts.  The
+//! op caches are invalidated once per reordering run (epoch bump), not per
+//! swap: cached results keyed on surviving ids stay semantically correct
+//! because ids keep their functions, but freed ids may be recycled, so the
+//! whole epoch is retired at the end of the run.
+
+use crate::manager::{pack_children, Manager, Node};
+
+/// Summary of one [`Manager::reorder`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Adjacent-level swaps performed.
+    pub swaps: u64,
+    /// Live nodes before the run (after the pre-reorder GC).
+    pub size_before: usize,
+    /// Live nodes after the run.
+    pub size_after: usize,
+    /// Sifting passes executed (> 1 only with converging sifting).
+    pub passes: u32,
+    /// Wall-clock duration of the run, in microseconds.
+    pub micros: u64,
+}
+
+impl Manager {
+    /// Derives reference counts for every allocated node: one per stored
+    /// parent edge plus one per registered root.  Freed arena slots count
+    /// zero and are never referenced by live nodes.
+    fn build_refs(&self) -> Vec<u32> {
+        let mut refs = vec![0u32; self.nodes.len()];
+        let mut free_mark = vec![false; self.nodes.len()];
+        for &f in &self.free {
+            free_mark[f as usize] = true;
+        }
+        for (index, node) in self.nodes.iter().enumerate().skip(1) {
+            if free_mark[index] {
+                continue;
+            }
+            refs[node.low.index()] += 1;
+            refs[node.high.index()] += 1;
+        }
+        for root in &self.roots {
+            refs[root.index()] += 1;
+        }
+        refs
+    }
+
+    /// Swaps the variables at `level` and `level + 1` in place, relinking
+    /// only the interacting upper-level nodes (see the module docs).
+    /// `refs` must hold the current reference counts and is kept exact.
+    /// Returns the number of interacting nodes rewritten.
+    fn swap_levels(&mut self, level: usize, refs: &mut Vec<u32>) -> usize {
+        let x = self.level_to_var[level];
+        let y = self.level_to_var[level + 1];
+        // Collect the interacting x-nodes first: the subtable is mutated
+        // (removals, fresh inserts, growth) while they are processed.
+        let interacting: Vec<u32> = self.subtables[x as usize]
+            .ids()
+            .filter(|&id| {
+                let node = &self.nodes[id as usize];
+                self.nodes[node.low.index()].var == y
+                    || self.nodes[node.high.regular().index()].var == y
+            })
+            .collect();
+        for &id in &interacting {
+            let node = self.nodes[id as usize];
+            let low = node.low;
+            let high = node.high;
+            let hreg = high.regular();
+            // Cofactors of f by (x, y); the high edge's complement bit is
+            // pushed into its children, the low edge is regular already.
+            let (f00, f01) = if self.nodes[low.index()].var == y {
+                (self.nodes[low.index()].low, self.nodes[low.index()].high)
+            } else {
+                (low, low)
+            };
+            let (f10, f11) = if self.nodes[hreg.index()].var == y {
+                let hn = self.nodes[hreg.index()];
+                let c = high.cmask();
+                (hn.low.xor_mask(c), hn.high.xor_mask(c))
+            } else {
+                (high, high)
+            };
+            // The node's key changes: take it out of x's subtable before
+            // hash-consing the new children there.
+            self.subtables[x as usize].remove(pack_children(low, high));
+            self.table_len -= 1;
+            let a = self.mk_counted(x, f00, f10, refs);
+            let b = self.mk_counted(x, f01, f11, refs);
+            refs[a.index()] += 1;
+            refs[b.index()] += 1;
+            debug_assert!(!a.is_complemented(), "new low child must be regular");
+            debug_assert!(a != b, "interacting node cannot become redundant");
+            self.nodes[id as usize] = Node {
+                var: y,
+                low: a,
+                high: b,
+            };
+            self.subtables[y as usize].insert(pack_children(a, b), id);
+            self.table_len += 1;
+            // The old children each lose one parent; a y-node dropping to
+            // zero references dies on the spot.  (Nothing below y can die:
+            // every grandchild is re-referenced through `a`/`b`.)
+            for child in [low, hreg] {
+                let ci = child.index();
+                refs[ci] -= 1;
+                if refs[ci] == 0 && self.nodes[ci].var == y {
+                    let dead = self.nodes[ci];
+                    self.subtables[y as usize].remove(pack_children(dead.low, dead.high));
+                    self.table_len -= 1;
+                    self.free.push(ci as u32);
+                    refs[dead.low.index()] -= 1;
+                    refs[dead.high.index()] -= 1;
+                }
+            }
+        }
+        // The variables trade places.
+        self.level_to_var.swap(level, level + 1);
+        self.var_to_level[x as usize] = (level + 1) as u32;
+        self.var_to_level[y as usize] = level as u32;
+        self.stats.reorder_swaps += 1;
+        interacting.len()
+    }
+
+    /// [`Manager::mk_core`] plus reference-count maintenance: a freshly
+    /// allocated node starts at zero references (the caller adds the parent
+    /// edge) and charges one reference to each of its children.
+    fn mk_counted(
+        &mut self,
+        var: u32,
+        low: crate::NodeId,
+        high: crate::NodeId,
+        refs: &mut Vec<u32>,
+    ) -> crate::NodeId {
+        let (edge, created) = self.mk_core(var, low, high);
+        if created {
+            if refs.len() < self.nodes.len() {
+                refs.resize(self.nodes.len(), 0);
+            }
+            let node = self.nodes[edge.index()];
+            refs[edge.index()] = 0;
+            refs[node.low.index()] += 1;
+            refs[node.high.index()] += 1;
+        }
+        edge
+    }
+
+    /// Swaps the variables at `level` and `level + 1` as a standalone
+    /// operation: derives reference counts, swaps, and retires the cache
+    /// epoch.  Every live edge keeps its id and its function; registered
+    /// roots additionally pin their subgraphs against the swap's eager
+    /// dead-node reclamation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1 >= num_vars()`.
+    pub fn swap_adjacent_levels(&mut self, level: usize) {
+        assert!(
+            level + 1 < self.num_vars(),
+            "swap level {level} out of range"
+        );
+        let mut refs = self.build_refs();
+        self.swap_levels(level, &mut refs);
+        self.invalidate_caches();
+    }
+
+    /// One sifting pass over every variable in the window, largest subtable
+    /// first.  Returns the total size after the pass.
+    fn sift_pass(&mut self, bound: usize, refs: &mut Vec<u32>) -> usize {
+        let mut vars: Vec<u32> = (0..bound as u32)
+            .map(|l| self.level_to_var[l as usize])
+            .collect();
+        vars.sort_by_key(|&v| std::cmp::Reverse(self.subtables[v as usize].len()));
+        for var in vars {
+            if self.subtables[var as usize].len() == 0 {
+                continue;
+            }
+            self.sift_var(var, bound, refs);
+        }
+        self.table_len
+    }
+
+    /// Moves `var` through every level of `[0, bound)`, then parks it at
+    /// the best position seen.  The classic growth limit aborts a direction
+    /// once the diagram exceeds 1.2× the size at which the sift started;
+    /// after each direction the variable sifts *back to the best seen
+    /// position* first, so an aborted first direction never starves the
+    /// second one (the return journey undoes the growth, making the limit
+    /// guard irrelevant to it).
+    fn sift_var(&mut self, var: u32, bound: usize, refs: &mut Vec<u32>) {
+        let start = self.var_to_level[var as usize] as usize;
+        let start_size = self.table_len;
+        let limit = (start_size + start_size / 5).max(start_size + 20);
+        let mut level = start;
+        let mut best_size = start_size;
+        let mut best_level = start;
+        let down_first = bound - 1 - start <= start;
+        for phase in 0..2 {
+            let go_down = (phase == 0) == down_first;
+            if go_down {
+                while level + 1 < bound {
+                    self.swap_levels(level, refs);
+                    level += 1;
+                    if self.table_len < best_size {
+                        best_size = self.table_len;
+                        best_level = level;
+                    }
+                    if self.table_len > limit {
+                        break;
+                    }
+                }
+            } else {
+                while level > 0 {
+                    self.swap_levels(level - 1, refs);
+                    level -= 1;
+                    if self.table_len < best_size {
+                        best_size = self.table_len;
+                        best_level = level;
+                    }
+                    if self.table_len > limit {
+                        break;
+                    }
+                }
+            }
+            // Park at the best position seen so far: restores the size
+            // before the other direction explores (and doubles as the final
+            // placement after the second phase).
+            while level < best_level {
+                self.swap_levels(level, refs);
+                level += 1;
+            }
+            while level > best_level {
+                self.swap_levels(level - 1, refs);
+                level -= 1;
+            }
+        }
+        debug_assert_eq!(self.table_len, best_size, "sift-back must restore size");
+    }
+
+    /// Full Rudell sifting over the reorder window (see
+    /// [`Manager::set_reorder_window`]): garbage-collects against the
+    /// registered roots (when any are registered, so sizes are honest),
+    /// sifts every windowed variable, optionally repeats to convergence,
+    /// and retires the op-cache epoch.  Every surviving edge keeps its id
+    /// and function, so external handles — registered or not — remain
+    /// valid; registration is what *guarantees* survival.
+    pub fn reorder(&mut self) -> ReorderStats {
+        let started = std::time::Instant::now();
+        let bound = self.reorder_window.min(self.num_vars());
+        if bound < 2 {
+            return ReorderStats::default();
+        }
+        if !self.roots.is_empty() {
+            self.collect_garbage_registered();
+        }
+        let swaps_before = self.stats.reorder_swaps;
+        let size_before = self.table_len;
+        let mut refs = self.build_refs();
+        let mut passes = 0u32;
+        let mut previous = size_before;
+        loop {
+            passes += 1;
+            let size = self.sift_pass(bound, &mut refs);
+            // Converge: stop when a pass gains less than 1% (or after a
+            // safety cap of passes).
+            if !self.converging_sifting || passes >= 8 || size * 100 >= previous * 99 {
+                break;
+            }
+            previous = size;
+        }
+        self.invalidate_caches();
+        let stats = ReorderStats {
+            swaps: self.stats.reorder_swaps - swaps_before,
+            size_before,
+            size_after: self.table_len,
+            passes,
+            micros: started.elapsed().as_micros() as u64,
+        };
+        self.stats.reorders += 1;
+        self.stats.reorder_last_before = size_before;
+        self.stats.reorder_last_after = stats.size_after;
+        self.stats.reorder_micros += stats.micros;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    /// A non-trivial function whose size depends strongly on the order:
+    /// pairwise ANDs `x_i ∧ x_{i+n/2}` OR-ed together are linear when pairs
+    /// are adjacent and exponential when interleaved.
+    fn paired_or(mgr: &mut Manager, n: usize) -> NodeId {
+        let mut acc = NodeId::FALSE;
+        for i in 0..n / 2 {
+            let a = mgr.var(i);
+            let b = mgr.var(i + n / 2);
+            let ab = mgr.and(a, b);
+            acc = mgr.or(acc, ab);
+        }
+        acc
+    }
+
+    #[test]
+    fn swap_preserves_functions_and_ids() {
+        let mut mgr = Manager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let z = mgr.var(2);
+        let xy = mgr.and(x, y);
+        let f = mgr.xor(xy, z);
+        let slot = mgr.register_root(f);
+        let truth: Vec<bool> = (0..16u32)
+            .map(|bits| {
+                mgr.eval(
+                    f,
+                    &[bits & 1 == 1, bits & 2 == 2, bits & 4 == 4, bits & 8 == 8],
+                )
+            })
+            .collect();
+        for level in [0usize, 1, 2, 0, 2, 1] {
+            mgr.swap_adjacent_levels(level);
+            mgr.check_integrity().expect("integrity after swap");
+            let now: Vec<bool> = (0..16u32)
+                .map(|bits| {
+                    mgr.eval(
+                        f,
+                        &[bits & 1 == 1, bits & 2 == 2, bits & 4 == 4, bits & 8 == 8],
+                    )
+                })
+                .collect();
+            assert_eq!(now, truth, "swap must preserve every function");
+        }
+        assert_eq!(mgr.root(slot), f, "registered root id is untouched");
+    }
+
+    #[test]
+    fn swap_is_its_own_inverse_on_node_count() {
+        let mut mgr = Manager::new(6);
+        let f = paired_or(&mut mgr, 6);
+        let _slot = mgr.register_root(f);
+        mgr.collect_garbage_registered();
+        let count = mgr.allocated_nodes();
+        for level in 0..5 {
+            mgr.swap_adjacent_levels(level);
+            mgr.swap_adjacent_levels(level);
+            assert_eq!(
+                mgr.allocated_nodes(),
+                count,
+                "swap ∘ swap at level {level} must restore the exact size"
+            );
+            mgr.check_integrity().expect("integrity");
+        }
+    }
+
+    #[test]
+    fn sifting_finds_the_linear_order_for_paired_ands() {
+        let n = 12;
+        let mut mgr = Manager::new(n);
+        let f = paired_or(&mut mgr, n);
+        let slot = mgr.register_root(f);
+        mgr.collect_garbage_registered();
+        let before = mgr.allocated_nodes();
+        let stats = mgr.reorder();
+        mgr.check_integrity().expect("integrity after sifting");
+        assert_eq!(stats.size_before, before);
+        assert!(
+            stats.size_after * 2 < before,
+            "interleaved pairs must shrink a lot: {before} -> {}",
+            stats.size_after
+        );
+        assert_eq!(mgr.root(slot), f);
+        // The function is intact under the new order.
+        for i in 0..n / 2 {
+            let mut assignment = vec![false; n];
+            assignment[i] = true;
+            assignment[i + n / 2] = true;
+            assert!(mgr.eval(f, &assignment));
+            assignment[i + n / 2] = false;
+            assert!(!mgr.eval(f, &assignment));
+        }
+        assert_eq!(mgr.stats().reorders, 1);
+        assert!(mgr.stats().reorder_swaps > 0);
+    }
+
+    #[test]
+    fn reorder_window_pins_bottom_variables() {
+        let n = 8;
+        let mut mgr = Manager::new(n);
+        let f = paired_or(&mut mgr, n);
+        let _slot = mgr.register_root(f);
+        mgr.set_reorder_window(n / 2);
+        mgr.reorder();
+        for var in n / 2..n {
+            assert_eq!(
+                mgr.level_of_var(var),
+                var,
+                "variables below the window must not move"
+            );
+        }
+        for level in 0..n / 2 {
+            assert!(
+                mgr.var_at_level(level) < n / 2,
+                "windowed variables must stay inside the window"
+            );
+        }
+    }
+
+    #[test]
+    fn maybe_reorder_triggers_on_threshold() {
+        let n = 12;
+        let mut mgr = Manager::new(n);
+        mgr.set_auto_reorder(true);
+        mgr.set_reorder_threshold(8);
+        let f = paired_or(&mut mgr, n);
+        let _slot = mgr.register_root(f);
+        assert!(mgr.maybe_reorder(), "threshold exceeded: must reorder");
+        assert_eq!(mgr.stats().reorders, 1);
+        assert!(
+            !mgr.maybe_reorder(),
+            "threshold re-armed at twice the post-reorder size"
+        );
+    }
+
+    #[test]
+    fn converging_sift_runs_multiple_passes_when_asked() {
+        let n = 10;
+        let mut mgr = Manager::new(n);
+        let f = paired_or(&mut mgr, n);
+        let _slot = mgr.register_root(f);
+        mgr.set_converging_sifting(true);
+        let stats = mgr.reorder();
+        assert!(stats.passes >= 1);
+        mgr.check_integrity().expect("integrity");
+    }
+}

@@ -49,7 +49,11 @@ fn bench_single_gates(c: &mut Criterion) {
         ),
     ];
 
-    let mut bitslice = BitSliceSimulator::new(QUBITS);
+    // SLIQ_AUTO_REORDER=1 (the CI bench-smoke job sets it) runs the whole
+    // preparation and every timed gate with automatic sifting armed, so the
+    // reorder path is exercised end-to-end on every push.
+    let mut bitslice =
+        BitSliceSimulator::new(QUBITS).with_auto_reorder(sliq_bench::auto_reorder_env());
     bitslice.run(&prep).unwrap();
     let mut qmdd = QmddSimulator::new(QUBITS);
     qmdd.run(&prep).unwrap();

@@ -11,7 +11,7 @@ use sliq_workloads::random;
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_random");
     group.sample_size(10);
-    for &qubits in &[8usize, 12, 16, 20] {
+    for &qubits in &[8usize, 12, 16, 20, 24] {
         let circuit = random::random_clifford_t(qubits, 1);
         group.bench_with_input(
             BenchmarkId::new("bitslice", qubits),
@@ -24,6 +24,23 @@ fn bench_table3(c: &mut Criterion) {
                 });
             },
         );
+        // The reordering rows: same circuits with automatic sifting armed,
+        // so the 20+-qubit blow-up of the fixed qubit-major order (and the
+        // auto-reorder trigger that tames it) is actually measured.
+        if qubits >= 20 {
+            group.bench_with_input(
+                BenchmarkId::new("bitslice_reorder", qubits),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let mut sim =
+                            BitSliceSimulator::new(circuit.num_qubits()).with_auto_reorder(true);
+                        sim.run(circuit).unwrap();
+                        sim.node_count()
+                    });
+                },
+            );
+        }
         group.bench_with_input(BenchmarkId::new("qmdd", qubits), &circuit, |b, circuit| {
             b.iter(|| {
                 let mut sim = QmddSimulator::new(circuit.num_qubits());
@@ -33,6 +50,26 @@ fn bench_table3(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Peak-node ablation for the reordering rows (printed, not timed): the
+    // number sifting is meant to shrink.
+    for &qubits in &[20usize, 24] {
+        let circuit = random::random_clifford_t(qubits, 1);
+        let mut fixed = BitSliceSimulator::new(qubits);
+        fixed.run(&circuit).unwrap();
+        let mut sifted = BitSliceSimulator::new(qubits).with_auto_reorder(true);
+        sifted.run(&circuit).unwrap();
+        let fixed_stats = fixed.state().manager().stats();
+        let sifted_stats = sifted.state().manager().stats();
+        println!(
+            "random_clifford_t({qubits}): peak nodes {} fixed-order vs {} auto-reorder \
+             ({} reorders, {} swaps)",
+            fixed_stats.peak_nodes,
+            sifted_stats.peak_nodes,
+            sifted_stats.reorders,
+            sifted_stats.reorder_swaps
+        );
+    }
 }
 
 criterion_group!(benches, bench_table3);

@@ -35,6 +35,7 @@ fn main() {
                     limits.max_nodes = v;
                 }
             }
+            "--reorder" => limits.auto_reorder = true,
             other => which.push(other.to_string()),
         }
     }
@@ -82,8 +83,9 @@ fn main() {
     }
 }
 
-/// Runs two representative bit-sliced cases and prints the BDD kernel's
-/// per-cache hit/miss/eviction counters.
+/// Runs representative bit-sliced cases and prints the BDD kernel's
+/// per-cache hit/miss/eviction counters (plus reorder statistics when
+/// `--reorder` / `SLIQ_AUTO_REORDER` enabled automatic sifting).
 fn print_kernel_report(limits: CaseLimits) {
     use sliq_bench::{kernel_stats_report, run_case, Backend};
     let cases = [
@@ -91,6 +93,10 @@ fn print_kernel_report(limits: CaseLimits) {
         (
             "random_clifford_t(16)",
             sliq_workloads::random::random_clifford_t(16, 1),
+        ),
+        (
+            "random_clifford_t(20)",
+            sliq_workloads::random::random_clifford_t(20, 1),
         ),
     ];
     println!("## BDD kernel cache statistics (bit-sliced backend)");

@@ -21,6 +21,7 @@ pub mod tables;
 
 pub use parallel::run_cases_parallel;
 pub use runner::{
-    kernel_stats_report, run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary,
+    auto_reorder_env, kernel_stats_report, run_case, Backend, CaseLimits, CaseResult, CaseStatus,
+    RowSummary,
 };
 pub use tables::Scale;

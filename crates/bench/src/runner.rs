@@ -89,6 +89,11 @@ pub struct CaseLimits {
     pub timeout: Duration,
     /// Node limit for the symbolic backends (emulates the 2 GB memory-out).
     pub max_nodes: usize,
+    /// Enables automatic variable reordering on the bit-sliced backend
+    /// (sifting when the live BDD outgrows the kernel's trigger).  Also
+    /// forced on by the `SLIQ_AUTO_REORDER` environment variable, which the
+    /// CI bench-smoke job uses to exercise the reorder path.
+    pub auto_reorder: bool,
 }
 
 impl Default for CaseLimits {
@@ -96,8 +101,15 @@ impl Default for CaseLimits {
         Self {
             timeout: Duration::from_secs(20),
             max_nodes: 2_000_000,
+            auto_reorder: false,
         }
     }
+}
+
+/// `true` when the `SLIQ_AUTO_REORDER` environment variable asks for
+/// reordering regardless of the per-case configuration.
+pub fn auto_reorder_env() -> bool {
+    std::env::var_os("SLIQ_AUTO_REORDER").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Bytes per node estimates used to convert node counts into MiB, roughly
@@ -116,9 +128,11 @@ fn run_backend(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> Backe
     };
     match backend {
         Backend::BitSlice => {
-            let mut sim = BitSliceSimulator::new(n).with_limits(BitSliceLimits {
-                max_nodes: Some(limits.max_nodes),
-            });
+            let mut sim = BitSliceSimulator::new(n)
+                .with_limits(BitSliceLimits {
+                    max_nodes: Some(limits.max_nodes),
+                })
+                .with_auto_reorder(limits.auto_reorder || auto_reorder_env());
             if let Some(status) = check(sim.run(circuit)) {
                 let stats = sim.state().manager().stats();
                 let mem = stats.peak_nodes as f64 * BYTES_PER_BDD_NODE / (1024.0 * 1024.0);
@@ -221,6 +235,16 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
         "  O(1) negations {}  complement canonical flips {}  cache-cap 2^{} (raised {}x)\n",
         stats.not_ops, stats.complement_flips, stats.cache_cap_log2, stats.cache_cap_raises
     ));
+    if stats.reorders > 0 {
+        out.push_str(&format!(
+            "  reorders {}  swaps {}  last size {} -> {}  total reorder time {:.1} ms\n",
+            stats.reorders,
+            stats.reorder_swaps,
+            stats.reorder_last_before,
+            stats.reorder_last_after,
+            stats.reorder_micros as f64 / 1000.0
+        ));
+    }
     out
 }
 
@@ -321,6 +345,32 @@ mod tests {
     }
 
     #[test]
+    fn auto_reorder_cuts_peak_nodes_on_random_clifford_t_20() {
+        // The reordering acceptance bar: sifting must reduce the peak live
+        // node count on the 20-qubit random Clifford+T workload by >= 20%
+        // versus the fixed qubit-major order, while producing the identical
+        // (exactly normalised) state.
+        let circuit = sliq_workloads::random::random_clifford_t(20, 1);
+        let mut fixed = BitSliceSimulator::new(20);
+        fixed.run(&circuit).unwrap();
+        let mut sifted = BitSliceSimulator::new(20).with_auto_reorder(true);
+        sifted.run(&circuit).unwrap();
+        let peak_fixed = fixed.state().manager().stats().peak_nodes;
+        let peak_sifted = sifted.state().manager().stats().peak_nodes;
+        assert!(
+            sifted.state().manager().stats().reorders > 0,
+            "the auto-reorder trigger must fire on this workload"
+        );
+        assert!(
+            peak_sifted * 5 <= peak_fixed * 4,
+            "sifting must cut peak nodes by >= 20%: fixed {peak_fixed} vs sifted {peak_sifted}"
+        );
+        // The state itself is untouched by reordering.
+        assert!(sifted.is_exactly_normalized());
+        assert!((sifted.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn stabilizer_rejects_t_gates_as_an_error() {
         let mut circuit = sliq_circuit::Circuit::new(2);
         circuit.h(0).t(0);
@@ -335,6 +385,7 @@ mod tests {
         let limits = CaseLimits {
             timeout: Duration::from_secs(30),
             max_nodes: 64,
+            ..CaseLimits::default()
         };
         let result = run_case(Backend::Qmdd, &circuit, limits);
         assert_eq!(result.status, CaseStatus::MemoryOut);

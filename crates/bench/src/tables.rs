@@ -499,6 +499,7 @@ mod tests {
         CaseLimits {
             timeout: Duration::from_secs(15),
             max_nodes: 500_000,
+            ..CaseLimits::default()
         }
     }
 
@@ -507,6 +508,7 @@ mod tests {
         let limits = CaseLimits {
             timeout: Duration::from_secs(10),
             max_nodes: 200_000,
+            ..CaseLimits::default()
         };
         let rows = table3_rows(Scale::Quick, limits);
         assert_eq!(rows.len(), 4);

@@ -14,8 +14,15 @@ use crate::state::{BitSliceState, Family, FAMILIES};
 use sliq_bdd::NodeId;
 use sliq_circuit::Gate;
 
-/// Applies `gate` to the bit-sliced state.
+/// Applies `gate` to the bit-sliced state and re-registers the new slice
+/// roots with the manager (the registry is what keeps the roots valid
+/// across garbage collection and automatic variable reordering).
 pub(crate) fn apply(state: &mut BitSliceState, gate: &Gate) {
+    apply_inner(state, gate);
+    state.sync_registered_roots();
+}
+
+fn apply_inner(state: &mut BitSliceState, gate: &Gate) {
     match gate {
         Gate::X(t) => permute_all(state, |mgr, f| arith::swap_along(mgr, f, *t)),
         Gate::Cnot { control, target } => {

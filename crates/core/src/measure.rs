@@ -128,6 +128,7 @@ impl BitSliceState {
         }
         self.norm_factor /= p_outcome.sqrt();
         self.shrink();
+        self.sync_registered_roots();
         self.maybe_collect_garbage();
         outcome
     }

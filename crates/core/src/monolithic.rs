@@ -153,10 +153,15 @@ impl BitSliceState {
                 // the function does not depend on the remaining qubits.
                 _ => (n, node, node),
             };
+            // The measured qubit is identified by *variable*; with dynamic
+            // reordering the qubit block may be permuted within the top `n`
+            // levels (the reorder window pins the encoding variables below).
+            let measured_here = state.mgr.var_at_level(level) == qubit;
             let result = if node_level > level {
-                // Qubit `level` is skipped: both branches are identical.
+                // The variable at `level` is skipped: both branches are
+                // identical.
                 let below = accumulate(state, node, level + 1, n, qubit, memo, decode);
-                if level == qubit {
+                if measured_here {
                     below
                 } else {
                     2.0 * below
@@ -164,7 +169,7 @@ impl BitSliceState {
             } else {
                 let p0 = accumulate(state, low, level + 1, n, qubit, memo, decode);
                 let p1 = accumulate(state, high, level + 1, n, qubit, memo, decode);
-                if level == qubit {
+                if measured_here {
                     p1
                 } else {
                     p0 + p1

@@ -65,6 +65,22 @@ impl BitSliceSimulator {
         self
     }
 
+    /// Enables automatic variable reordering (builder style): the qubit
+    /// order is sifted whenever the live BDD outgrows the kernel's trigger
+    /// threshold, shrinking the state representation on workloads where the
+    /// qubit-major order is bad (e.g. 20+-qubit random Clifford+T
+    /// circuits).  All amplitudes and probabilities are unaffected — only
+    /// the internal BDD shape changes.
+    pub fn with_auto_reorder(mut self, enabled: bool) -> Self {
+        self.state.set_auto_reorder(enabled);
+        self
+    }
+
+    /// Sifts the qubit variable order now, returning the run's statistics.
+    pub fn reorder(&mut self) -> sliq_bdd::ReorderStats {
+        self.state.reorder()
+    }
+
     /// Access to the underlying bit-sliced state.
     pub fn state(&self) -> &BitSliceState {
         &self.state
@@ -140,6 +156,9 @@ impl Simulator for BitSliceSimulator {
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
         gates::apply(&mut self.state, gate);
         self.gates_applied += 1;
+        // Between-gate safe point: no apply recursion is in flight, so the
+        // kernel may sift the variable order if its trigger fired.
+        self.state.maybe_reorder();
         self.state.maybe_collect_garbage();
         self.check_limits()
     }

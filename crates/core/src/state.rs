@@ -12,7 +12,7 @@
 //! the full state occupies `4·r` BDDs over `n` variables plus one machine
 //! integer — never an explicit `2ⁿ`-element array.
 
-use sliq_bdd::{Manager, NodeId};
+use sliq_bdd::{Manager, NodeId, ReorderStats, RootSlot};
 use sliq_math::Algebraic;
 
 /// Index of one of the four coefficient vector families.
@@ -43,6 +43,13 @@ pub struct BitSliceState {
     pub(crate) k: i64,
     /// `slices[f][j]` is the BDD of bit `j` (LSB first) of family `f`.
     pub(crate) slices: [Vec<NodeId>; 4],
+    /// Registry slots protecting the live slice roots inside the manager
+    /// (one block of `4·r` slots, kept in sync by
+    /// [`BitSliceState::sync_registered_roots`]).  The registration is what
+    /// lets the manager garbage-collect and *reorder* autonomously: the
+    /// slice handles survive because the registered nodes keep their ids
+    /// and functions across level swaps.
+    root_slots: Vec<RootSlot>,
     /// Floating-point normalisation factor accumulated by measurements
     /// (`s` in Eq. 13 of the paper); exactly 1.0 until the first collapse.
     pub(crate) norm_factor: f64,
@@ -78,14 +85,21 @@ impl BitSliceState {
             vec![zero; MIN_WIDTH],
         ];
         slices[Family::D as usize][0] = minterm;
-        Self {
+        // Pin any later auxiliary variables (the monolithic measurement
+        // encoding) below the qubit block: sifting must preserve the
+        // paper's "qubits above encoding variables" order requirement.
+        mgr.set_reorder_window(num_qubits);
+        let mut state = Self {
             mgr,
             num_qubits,
             r: MIN_WIDTH,
             k: 0,
             slices,
+            root_slots: Vec::new(),
             norm_factor: 1.0,
-        }
+        };
+        state.sync_registered_roots();
+        state
     }
 
     /// The number of qubits.
@@ -137,18 +151,76 @@ impl BitSliceState {
         self.mgr.complement_edge_count(&self.all_roots())
     }
 
-    /// Runs a garbage collection if the manager considers it worthwhile.
-    pub fn maybe_collect_garbage(&mut self) {
-        if self.mgr.should_collect() {
-            let roots = self.all_roots();
-            self.mgr.collect_garbage(&roots);
+    /// Re-registers the current `4·r` slice roots with the manager's root
+    /// registry (growing or shrinking the slot block as the width changed).
+    /// Called after every state mutation, so the manager always knows the
+    /// live root set — for garbage collection and for reordering.
+    pub(crate) fn sync_registered_roots(&mut self) {
+        let roots = self.all_roots();
+        while self.root_slots.len() < roots.len() {
+            let slot = self.mgr.register_root(NodeId::FALSE);
+            self.root_slots.push(slot);
+        }
+        while self.root_slots.len() > roots.len() {
+            let slot = self.root_slots.pop().expect("length checked");
+            self.mgr.release_root(slot);
+        }
+        for (&slot, f) in self.root_slots.iter().zip(roots) {
+            self.mgr.set_root(slot, f);
         }
     }
 
-    /// Forces a garbage collection.
+    /// Runs a garbage collection if the manager considers it worthwhile.
+    /// Trusts the root registry (every mutation path ends with
+    /// [`BitSliceState::sync_registered_roots`]), so the no-op case costs
+    /// one counter comparison.
+    pub fn maybe_collect_garbage(&mut self) {
+        if self.mgr.should_collect() {
+            self.mgr.collect_garbage_registered();
+        }
+    }
+
+    /// Forces a garbage collection (rooted at the registered slice roots).
     pub fn collect_garbage(&mut self) -> usize {
-        let roots = self.all_roots();
-        self.mgr.collect_garbage(&roots)
+        self.sync_registered_roots();
+        self.mgr.collect_garbage_registered()
+    }
+
+    // ------------------------------------------------------------------ //
+    // Variable reordering
+    // ------------------------------------------------------------------ //
+
+    /// Enables or disables automatic variable reordering: when enabled, the
+    /// simulator sifts the qubit order whenever the live BDD grows past the
+    /// manager's trigger threshold.  All slice handles stay valid across a
+    /// reordering (they are registered roots).
+    pub fn set_auto_reorder(&mut self, enabled: bool) {
+        self.mgr.set_auto_reorder(enabled);
+    }
+
+    /// Sets the allocated-node trigger for automatic reordering.
+    pub fn set_reorder_threshold(&mut self, threshold: usize) {
+        self.mgr.set_reorder_threshold(threshold);
+    }
+
+    /// Enables converging sifting (repeat passes until < 1% gain).
+    pub fn set_converging_sifting(&mut self, converge: bool) {
+        self.mgr.set_converging_sifting(converge);
+    }
+
+    /// Sifts the qubit variable order now, returning the run's statistics.
+    pub fn reorder(&mut self) -> ReorderStats {
+        self.sync_registered_roots();
+        self.mgr.reorder()
+    }
+
+    /// Lets the manager reorder if its automatic trigger fires (a no-op
+    /// unless [`BitSliceState::set_auto_reorder`] enabled it).  Trusts the
+    /// root registry like [`BitSliceState::maybe_collect_garbage`], so the
+    /// per-gate fast path is two comparisons.  Returns `true` if a
+    /// reordering ran.
+    pub fn maybe_reorder(&mut self) -> bool {
+        self.mgr.maybe_reorder()
     }
 
     // ------------------------------------------------------------------ //

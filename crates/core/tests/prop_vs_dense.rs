@@ -137,6 +137,36 @@ proptest! {
     }
 
     #[test]
+    fn amplitudes_match_dense_oracle_under_constant_reordering(gates in proptest::collection::vec(any_gate(), 0..35)) {
+        // End-to-end reordering equivalence: with the auto-reorder trigger
+        // forced to fire after every gate (threshold 1, converging sifting),
+        // the slice roots must survive every sift and the final state must
+        // still agree amplitude-by-amplitude with the dense oracle.
+        let mut circuit = Circuit::new(NQ);
+        circuit.extend(gates);
+        let mut dense = DenseSimulator::new(NQ);
+        let mut bitslice = BitSliceSimulator::new(NQ).with_auto_reorder(true);
+        bitslice.state_mut().set_reorder_threshold(1);
+        bitslice.state_mut().set_converging_sifting(true);
+        dense.run(&circuit).unwrap();
+        bitslice.run(&circuit).unwrap();
+        for bits in all_basis_states() {
+            let expected = dense.amplitude(&bits);
+            let got = bitslice.amplitude_complex(&bits);
+            prop_assert!(
+                expected.approx_eq(&got, 1e-9),
+                "basis {:?}: dense {} vs reordered bit-sliced {}", bits, expected, got
+            );
+        }
+        for q in 0..NQ {
+            let pd = dense.probability_of_one(q);
+            let pb = bitslice.probability_of_one(q);
+            prop_assert!((pd - pb).abs() < 1e-9, "qubit {}: dense {} reordered {}", q, pd, pb);
+        }
+        prop_assert!(bitslice.is_exactly_normalized());
+    }
+
+    #[test]
     fn random_circuit_state_respects_complement_canonicity(gates in proptest::collection::vec(any_gate(), 0..35)) {
         // The kernel's complement-edge canonical form must survive whole
         // circuits: walking every live slice BDD of the final state, no
