@@ -1,16 +1,17 @@
 //! Command-line harness that regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|all]
-//!                                                   [--full] [--timeout <secs>] [--max-nodes <n>]
+//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|all]
+//!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--reorder]
 //! ```
 //!
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
 //! to the paper's regime (expect several minutes).
 
 use sliq_bench::tables::{
-    accuracy_rows, bitwidth_rows, format_accuracy, format_bitwidth, format_table3, format_table4,
-    format_table5, format_table6, table3_rows, table4_rows, table5_rows, table6_rows, Scale,
+    accuracy_rows, bitwidth_rows, format_accuracy, format_bitwidth, format_sample, format_table3,
+    format_table4, format_table5, format_table6, sample_rows, table3_rows, table4_rows,
+    table5_rows, table6_rows, Scale,
 };
 use sliq_bench::CaseLimits;
 use std::time::Duration;
@@ -77,6 +78,10 @@ fn main() {
     if wants("ablation") {
         let rows = bitwidth_rows(scale);
         println!("{}", format_bitwidth(&rows));
+    }
+    if wants("sample") {
+        let rows = sample_rows(scale, limits);
+        println!("{}", format_sample(&rows));
     }
     if wants("kernel") {
         print_kernel_report(limits);

@@ -2,11 +2,13 @@
 //!
 //! The benchmark harness that reproduces the evaluation section of the paper:
 //!
-//! * [`runner`] — runs a circuit on a chosen backend with a per-case
-//!   wall-clock timeout and a node limit (the scaled-down analogue of the
-//!   paper's 7200 s TO / 2 GB MO protocol) and aggregates `TO/MO/err` counts.
-//! * [`tables`] — generates the four benchmark families and renders rows in
-//!   the layout of Tables III–VI, plus the accuracy and bit-width ablations.
+//! * [`runner`] — runs a circuit on a chosen backend through the
+//!   [`sliq_exec::Session`] layer with a per-case wall-clock timeout and a
+//!   node limit (the scaled-down analogue of the paper's 7200 s TO / 2 GB MO
+//!   protocol) and aggregates `TO/MO/err` counts.
+//! * [`tables`] — generates the benchmark families and renders rows in the
+//!   layout of Tables III–VI, plus the accuracy and bit-width ablations and
+//!   the batched-sampling throughput sweep (`tables -- sample`).
 //!
 //! The `tables` binary (`cargo run -p sliq-bench --release --bin tables`)
 //! prints any of the tables; the Criterion benches under `benches/` measure
@@ -21,7 +23,7 @@ pub mod tables;
 
 pub use parallel::run_cases_parallel;
 pub use runner::{
-    auto_reorder_env, kernel_stats_report, run_case, Backend, CaseLimits, CaseResult, CaseStatus,
-    RowSummary,
+    auto_reorder_env, bench_smoke_env, kernel_stats_report, run_case, Backend, CaseLimits,
+    CaseResult, CaseStatus, RowSummary,
 };
 pub use tables::Scale;

@@ -1,39 +1,20 @@
 //! Per-case execution with wall-clock timeouts and resource limits,
 //! emulating the paper's experimental protocol (7200 s time-out and 2 GB
 //! memory-out per case, scaled down to interactive sizes).
+//!
+//! All backend construction and execution goes through the
+//! [`sliq_exec::Session`] API; this module only adds the wall-clock timeout
+//! (a worker thread per case) and the paper-style `TO/MO/err` aggregation
+//! on top.
 
-use sliq_circuit::{Circuit, SimulationError, Simulator};
-use sliq_core::{BitSliceLimits, BitSliceSimulator};
-use sliq_dense::DenseSimulator;
-use sliq_qmdd::{QmddLimits, QmddSimulator};
-use sliq_stabilizer::StabilizerSimulator;
+use sliq_circuit::Circuit;
+use sliq_exec::{ExecError, Session, SessionConfig};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-/// The simulator backends the harness can drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// The bit-sliced BDD simulator (the paper's method, "Ours").
-    BitSlice,
-    /// The QMDD baseline (the DDSIM stand-in).
-    Qmdd,
-    /// The dense array-based simulator.
-    Dense,
-    /// The CHP stabilizer simulator (Clifford circuits only).
-    Stabilizer,
-}
-
-impl Backend {
-    /// Short column label used in the printed tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Backend::BitSlice => "Ours",
-            Backend::Qmdd => "QMDD",
-            Backend::Dense => "Dense",
-            Backend::Stabilizer => "CHP",
-        }
-    }
-}
+/// The simulator backends the harness can drive — the executor layer's
+/// backend registry (`Auto` resolves per circuit).
+pub use sliq_exec::BackendKind as Backend;
 
 /// Outcome status of one benchmark case.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,68 +93,48 @@ pub fn auto_reorder_env() -> bool {
     std::env::var_os("SLIQ_AUTO_REORDER").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
-/// Bytes per node estimates used to convert node counts into MiB, roughly
-/// matching the footprint of the respective C/C++ implementations.
-const BYTES_PER_BDD_NODE: f64 = 48.0;
-const BYTES_PER_QMDD_NODE: f64 = 96.0;
+/// `true` when the `SLIQ_BENCH_SMOKE` environment variable asks for a
+/// single-iteration smoke run (shared convention with the criterion shim).
+pub fn bench_smoke_env() -> bool {
+    std::env::var_os("SLIQ_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+impl CaseLimits {
+    /// The [`SessionConfig`] equivalent of these limits for `backend`.
+    pub fn session_config(&self, backend: Backend) -> SessionConfig {
+        SessionConfig::with_backend(backend)
+            .max_nodes(self.max_nodes)
+            .auto_reorder(self.auto_reorder || auto_reorder_env())
+    }
+}
 
 type BackendOutcome = (CaseStatus, f64, f64, Option<sliq_bdd::ManagerStats>);
 
 fn run_backend(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> BackendOutcome {
-    let n = circuit.num_qubits();
-    let check = |r: Result<(), SimulationError>| match r {
-        Ok(()) => None,
-        Err(SimulationError::ResourceLimit { .. }) => Some(CaseStatus::MemoryOut),
-        Err(e) => Some(CaseStatus::Error(e.to_string())),
+    let config = limits.session_config(backend);
+    let mut session = match Session::new(circuit.num_qubits(), config) {
+        // A hard qubit-capacity miss is the moral equivalent of the paper's
+        // memory-out (the dense vector would not fit).
+        Err(ExecError::CapacityExceeded { .. }) => {
+            return (CaseStatus::MemoryOut, f64::INFINITY, f64::NAN, None)
+        }
+        Err(e) => return (CaseStatus::Error(e.to_string()), 0.0, f64::NAN, None),
+        Ok(session) => session,
     };
-    match backend {
-        Backend::BitSlice => {
-            let mut sim = BitSliceSimulator::new(n)
-                .with_limits(BitSliceLimits {
-                    max_nodes: Some(limits.max_nodes),
-                })
-                .with_auto_reorder(limits.auto_reorder || auto_reorder_env());
-            if let Some(status) = check(sim.run(circuit)) {
-                let stats = sim.state().manager().stats();
-                let mem = stats.peak_nodes as f64 * BYTES_PER_BDD_NODE / (1024.0 * 1024.0);
-                return (status, mem, f64::NAN, Some(stats));
-            }
-            let stats = sim.state().manager().stats();
-            let mem = stats.peak_nodes as f64 * BYTES_PER_BDD_NODE / (1024.0 * 1024.0);
-            let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err, Some(stats))
-        }
-        Backend::Qmdd => {
-            let mut sim = QmddSimulator::new(n).with_limits(QmddLimits {
-                max_nodes: Some(limits.max_nodes),
-            });
-            if let Some(status) = check(sim.run(circuit)) {
-                let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
-                return (status, mem, f64::NAN, None);
-            }
-            let mem = sim.peak_nodes() as f64 * BYTES_PER_QMDD_NODE / (1024.0 * 1024.0);
-            let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err, None)
-        }
-        Backend::Dense => {
-            if n > sliq_dense::MAX_DENSE_QUBITS {
-                return (CaseStatus::MemoryOut, f64::INFINITY, f64::NAN, None);
-            }
-            let mut sim = DenseSimulator::new(n);
-            if let Some(status) = check(sim.run(circuit)) {
-                return (status, 0.0, f64::NAN, None);
-            }
-            let mem = (1u64 << n) as f64 * 16.0 / (1024.0 * 1024.0);
-            let err = (sim.total_probability() - 1.0).abs();
-            (CaseStatus::Completed, mem, err, None)
-        }
-        Backend::Stabilizer => {
-            let mut sim = StabilizerSimulator::new(n);
-            if let Some(status) = check(sim.run(circuit)) {
-                return (status, 0.0, f64::NAN, None);
-            }
-            let mem = (2 * n * n) as f64 * 2.0 / (1024.0 * 1024.0);
-            (CaseStatus::Completed, mem, 0.0, None)
+    match session.run(circuit) {
+        Ok(result) => (
+            CaseStatus::Completed,
+            result.stats.memory_mib,
+            result.probability_error(),
+            result.stats.bdd,
+        ),
+        Err(err) => {
+            let stats = session.stats();
+            let status = match err {
+                ExecError::Resource { .. } => CaseStatus::MemoryOut,
+                other => CaseStatus::Error(other.to_string()),
+            };
+            (status, stats.memory_mib, f64::NAN, stats.bdd)
         }
     }
 }
@@ -315,6 +276,8 @@ impl RowSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sliq_circuit::Simulator;
+    use sliq_core::BitSliceSimulator;
     use sliq_workloads::algorithms;
 
     #[test]

@@ -9,10 +9,13 @@
 //! is after (see EXPERIMENTS.md).
 
 use crate::parallel::run_cases_parallel;
-use crate::runner::{run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary};
+use crate::runner::{
+    bench_smoke_env, run_case, Backend, CaseLimits, CaseResult, CaseStatus, RowSummary,
+};
 use sliq_circuit::Circuit;
 use sliq_circuit::Simulator;
 use sliq_core::BitSliceSimulator;
+use sliq_exec::Session;
 use sliq_qmdd::QmddSimulator;
 use sliq_workloads::{algorithms, random, revlib_like, supremacy};
 
@@ -482,6 +485,198 @@ pub fn format_bitwidth(rows: &[BitWidthRow]) -> String {
     out
 }
 
+/// One backend's cell of the sampling-throughput sweep.
+#[derive(Debug, Clone)]
+pub struct SampleCell {
+    /// The backend that sampled.
+    pub backend: Backend,
+    /// Why the backend was skipped or failed, when it was.
+    pub note: Option<String>,
+    /// Wall-clock seconds of the single circuit simulation.
+    pub run_secs: f64,
+    /// Wall-clock seconds of the batched sampling call.
+    pub sample_secs: f64,
+    /// Batched sampling throughput.
+    pub shots_per_sec: f64,
+    /// Speedup of batched sampling over naive per-shot re-simulation
+    /// (`shots × run_secs / sample_secs`): how many times faster the batch
+    /// is than running the circuit once per shot.
+    pub speedup_vs_resim: f64,
+}
+
+/// One row (circuit) of the sampling-throughput sweep.
+#[derive(Debug, Clone)]
+pub struct SampleRow {
+    /// Workload name.
+    pub name: String,
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Shots drawn per backend.
+    pub shots: u64,
+    /// One cell per registry backend.
+    pub cells: Vec<SampleCell>,
+}
+
+/// Runs the batched-sampling sweep: each workload is simulated **once** per
+/// backend, then `shots` measurement shots are drawn via `Session::sample`;
+/// the speedup column compares against re-simulating the circuit per shot.
+pub fn sample_rows(scale: Scale, limits: CaseLimits) -> Vec<SampleRow> {
+    let shots: u64 = if bench_smoke_env() {
+        512
+    } else {
+        match scale {
+            Scale::Quick => 4096,
+            Scale::Full => 16384,
+        }
+    };
+    sample_rows_with_shots(scale, limits, shots)
+}
+
+/// [`sample_rows`] with an explicit shot count (used by quick smoke tests).
+pub fn sample_rows_with_shots(scale: Scale, limits: CaseLimits, shots: u64) -> Vec<SampleRow> {
+    let workloads: Vec<(String, Circuit)> = match scale {
+        Scale::Quick => vec![
+            ("ghz(16)".into(), algorithms::ghz(16)),
+            (
+                "bv_ones(14)".into(),
+                algorithms::bernstein_vazirani_all_ones(14),
+            ),
+            (
+                "random_clifford_t(14)".into(),
+                random::random_clifford_t(14, 1),
+            ),
+        ],
+        Scale::Full => vec![
+            ("ghz(24)".into(), algorithms::ghz(24)),
+            (
+                "bv_ones(18)".into(),
+                algorithms::bernstein_vazirani_all_ones(18),
+            ),
+            (
+                "random_clifford_t(16)".into(),
+                random::random_clifford_t(16, 1),
+            ),
+            (
+                "random_clifford_t(18)".into(),
+                random::random_clifford_t(18, 1),
+            ),
+        ],
+    };
+    workloads
+        .into_iter()
+        .map(|(name, circuit)| {
+            let cells = Backend::ALL
+                .iter()
+                .map(|&backend| sample_cell(backend, &circuit, shots, limits))
+                .collect();
+            SampleRow {
+                name,
+                qubits: circuit.num_qubits(),
+                shots,
+                cells,
+            }
+        })
+        .collect()
+}
+
+fn skipped_cell(backend: Backend, note: String) -> SampleCell {
+    SampleCell {
+        backend,
+        note: Some(note),
+        run_secs: f64::NAN,
+        sample_secs: f64::NAN,
+        shots_per_sec: f64::NAN,
+        speedup_vs_resim: f64::NAN,
+    }
+}
+
+/// One backend cell under the sweep's wall-clock limit: the simulate+sample
+/// work runs in a worker thread (like [`run_case`] does for the paper
+/// tables), so a pathological case reports `TO` instead of hanging the
+/// binary.
+fn sample_cell(backend: Backend, circuit: &Circuit, shots: u64, limits: CaseLimits) -> SampleCell {
+    if let Err(e) = backend.check_circuit(circuit) {
+        return skipped_cell(backend, format!("n/a ({e})"));
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    let circuit = circuit.clone();
+    std::thread::spawn(move || {
+        // The receiver may have timed out already; ignore the send error.
+        let _ = tx.send(sample_cell_inner(backend, &circuit, shots, limits));
+    });
+    match rx.recv_timeout(limits.timeout) {
+        Ok(cell) => cell,
+        Err(_) => skipped_cell(backend, "TO".to_string()),
+    }
+}
+
+fn sample_cell_inner(
+    backend: Backend,
+    circuit: &Circuit,
+    shots: u64,
+    limits: CaseLimits,
+) -> SampleCell {
+    let skipped = |note: String| skipped_cell(backend, note);
+    let mut session = match Session::for_circuit(circuit, limits.session_config(backend)) {
+        Ok(session) => session,
+        Err(e) => return skipped(e.to_string()),
+    };
+    let run = match session.run(circuit) {
+        Ok(run) => run,
+        Err(e) => return skipped(e.to_string()),
+    };
+    let sample = match session.sample(shots, 2021) {
+        Ok(sample) => sample,
+        Err(e) => return skipped(e.to_string()),
+    };
+    let run_secs = run.elapsed.as_secs_f64();
+    let sample_secs = sample.elapsed.as_secs_f64().max(1e-9);
+    SampleCell {
+        backend,
+        note: None,
+        run_secs,
+        sample_secs,
+        shots_per_sec: shots as f64 / sample_secs,
+        speedup_vs_resim: shots as f64 * run_secs / sample_secs,
+    }
+}
+
+/// Formats the sampling sweep: shots/sec per backend plus the speedup over
+/// per-shot re-simulation.
+pub fn format_sample(rows: &[SampleRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "SAMPLING: batched multi-shot throughput per backend (one simulation, many shots)\n",
+    );
+    out.push_str(&format!(
+        "{:<22} {:>7} {:>7} | {:<10} {:>9} {:>10} {:>12} {:>12}\n",
+        "Workload", "#Qubits", "#Shots", "Backend", "run(s)", "sample(s)", "shots/s", "vs resim"
+    ));
+    for row in rows {
+        for cell in &row.cells {
+            let label = cell.backend.label();
+            match &cell.note {
+                Some(note) => out.push_str(&format!(
+                    "{:<22} {:>7} {:>7} | {:<10} {note}\n",
+                    row.name, row.qubits, row.shots, label
+                )),
+                None => out.push_str(&format!(
+                    "{:<22} {:>7} {:>7} | {:<10} {:>9.4} {:>10.4} {:>12.0} {:>11.0}x\n",
+                    row.name,
+                    row.qubits,
+                    row.shots,
+                    label,
+                    cell.run_secs,
+                    cell.sample_secs,
+                    cell.shots_per_sec,
+                    cell.speedup_vs_resim
+                )),
+            }
+        }
+    }
+    out
+}
+
 /// Convenience: `true` if any case in the pair of results hit a limit (used
 /// by the harness tests).
 pub fn any_failure(results: &[&CaseResult]) -> bool {
@@ -550,6 +745,37 @@ mod tests {
         assert!(rows.last().unwrap().qmdd_coarse_amp_error > 1e-9);
         let text = format_accuracy(&rows);
         assert!(text.contains("ACCURACY"));
+    }
+
+    #[test]
+    fn sample_sweep_reports_throughput_and_capability_skips() {
+        let rows = sample_rows_with_shots(Scale::Quick, tiny_limits(), 128);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.cells.len(), Backend::ALL.len());
+            for cell in &row.cells {
+                // GHZ and Bernstein–Vazirani are Clifford-only; only the
+                // Clifford+T random circuit is out of CHP's reach.
+                let clifford_skip = cell.backend == Backend::Stabilizer
+                    && row.name.starts_with("random_clifford_t");
+                if clifford_skip {
+                    assert!(cell.note.is_some(), "{}: CHP must be skipped", row.name);
+                } else {
+                    assert!(
+                        cell.note.is_none(),
+                        "{} on {}: {:?}",
+                        row.name,
+                        cell.backend,
+                        cell.note
+                    );
+                    assert!(cell.shots_per_sec > 0.0);
+                }
+            }
+        }
+        let text = format_sample(&rows);
+        assert!(text.contains("SAMPLING"));
+        assert!(text.contains("vs resim"));
+        assert!(text.contains("n/a"));
     }
 
     #[test]

@@ -56,18 +56,32 @@ pub trait Simulator {
     /// The sum of all outcome probabilities.  Exactly 1 for exact backends;
     /// floating point backends may drift, which is precisely the numerical
     /// error the paper's Table III/V "error" columns report.
+    ///
+    /// The default implementation sums [`Simulator::probability_of_basis_state`]
+    /// over every basis state, so it actually observes normalization drift —
+    /// a `p0 + p1` shortcut over one qubit would be identically 1 and hide
+    /// it.  The enumeration is exponential, so it is limited to 16 qubits;
+    /// every real backend overrides this with a representation-native sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits() > 16` and the backend did not override.
     fn total_probability(&mut self) -> f64 {
         let n = self.num_qubits();
-        // Default implementation: Pr[q0=0]·(…) is not generally available, so
-        // backends are expected to override this.  The fallback sums the two
-        // outcomes of the first qubit, which is exact for normalised states.
-        if n == 0 {
-            1.0
-        } else {
-            let p1 = self.probability_of_one(0);
-            let p0 = 1.0 - p1;
-            p0 + p1
+        assert!(
+            n <= 16,
+            "the default total_probability enumerates all 2^n basis states; \
+             backends with more than 16 qubits must override it"
+        );
+        let mut total = 0.0;
+        let mut bits = vec![false; n];
+        for i in 0..(1usize << n) {
+            for (q, bit) in bits.iter_mut().enumerate() {
+                *bit = i >> q & 1 == 1;
+            }
+            total += self.probability_of_basis_state(&bits);
         }
+        total
     }
 }
 

@@ -46,4 +46,4 @@ mod state;
 
 pub use monolithic::MonolithicInfo;
 pub use simulator::{BitSliceLimits, BitSliceSimulator};
-pub use state::{BitSliceState, Family};
+pub use state::{BitSliceState, Family, StateSnapshot};

@@ -133,19 +133,69 @@ impl BitSliceState {
         outcome
     }
 
-    /// Samples a complete measurement of all qubits (in index order) using
-    /// the supplied uniform random values, one per qubit.  The state collapses
-    /// to the sampled basis state.
+    /// Restricts the state to the subspace where `qubit` reads `value`
+    /// **without renormalising**: every slice is conjoined with the literal,
+    /// but `s` stays untouched, so [`BitSliceState::total_probability`]
+    /// afterwards reports the joint probability of all conditions applied so
+    /// far.  This is the building block of non-collapsing conditional-
+    /// probability descent (batched sampling): condition, read a conditional
+    /// probability, then roll back via [`BitSliceState::restore`].
+    ///
+    /// Like [`BitSliceState::measure_with`] this shrinks the coefficient
+    /// width and may trigger a registered-roots garbage collection —
+    /// snapshots are registered, so they survive it; restoring one undoes
+    /// both the restriction and the width change.
+    pub fn condition_on(&mut self, qubit: usize, value: bool) {
+        let literal = if value {
+            self.mgr.var(qubit)
+        } else {
+            self.mgr.nvar(qubit)
+        };
+        for family in 0..4 {
+            for j in 0..self.r {
+                let old = self.slices[family][j];
+                self.slices[family][j] = self.mgr.and(old, literal);
+            }
+        }
+        self.shrink();
+        self.sync_registered_roots();
+        self.maybe_collect_garbage();
+    }
+
+    /// Measures every qubit (in index order) using the supplied uniform
+    /// random values, one per qubit, **collapsing the state** to the sampled
+    /// basis state — the historical `sample_all` behaviour under a name that
+    /// says what it does.  For repeated sampling use
+    /// [`BitSliceState::sample_all`], which restores the state afterwards,
+    /// or the batched `Session::sample` API in `sliq_exec`, which draws many
+    /// shots for one simulation.
     ///
     /// # Panics
     ///
     /// Panics if `us.len() != num_qubits()`.
-    pub fn sample_all(&mut self, us: &[f64]) -> Vec<bool> {
+    pub fn measure_all_collapsing(&mut self, us: &[f64]) -> Vec<bool> {
         assert_eq!(us.len(), self.num_qubits, "one random value per qubit");
         us.iter()
             .enumerate()
             .map(|(q, &u)| self.measure_with(q, u))
             .collect()
+    }
+
+    /// Samples a complete measurement of all qubits (in index order) using
+    /// the supplied uniform random values, one per qubit, and **restores the
+    /// pre-measurement state** before returning (snapshot → collapse →
+    /// rollback).  Use [`BitSliceState::measure_all_collapsing`] when the
+    /// collapsed state itself is wanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us.len() != num_qubits()`.
+    pub fn sample_all(&mut self, us: &[f64]) -> Vec<bool> {
+        let snapshot = self.snapshot();
+        let outcome = self.measure_all_collapsing(us);
+        self.restore(&snapshot);
+        self.release_snapshot(snapshot);
+        outcome
     }
 }
 
@@ -238,7 +288,7 @@ mod tests {
     }
 
     #[test]
-    fn sample_all_follows_forced_random_values() {
+    fn sample_all_follows_forced_random_values_and_restores_the_state() {
         let mut state = BitSliceState::new(2);
         gates::apply(&mut state, &Gate::H(0));
         gates::apply(
@@ -251,6 +301,62 @@ mod tests {
         // Force qubit 0 to outcome 1; qubit 1 must follow deterministically.
         let sample = state.sample_all(&[0.0, 0.99]);
         assert_eq!(sample, vec![true, true]);
+        // Non-destructive: the Bell state survives and can be sampled again,
+        // this time forcing the other branch.
+        assert!(close(state.probability_of(0, true), 0.5));
+        assert!(close(state.normalization_factor(), 1.0));
+        let sample = state.sample_all(&[0.99, 0.99]);
+        assert_eq!(sample, vec![false, false]);
+    }
+
+    #[test]
+    fn measure_all_collapsing_collapses() {
+        let mut state = BitSliceState::new(2);
+        gates::apply(&mut state, &Gate::H(0));
+        gates::apply(
+            &mut state,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        let sample = state.measure_all_collapsing(&[0.0, 0.99]);
+        assert_eq!(sample, vec![true, true]);
+        assert!(close(state.probability_of(0, true), 1.0));
+        assert!((state.normalization_factor() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_on_tracks_joint_probabilities_and_snapshots_roll_back() {
+        // GHZ(3): Pr[q0=1] = 1/2, Pr[q0=1 ∧ q1=1] = 1/2, Pr[q0=1 ∧ q1=0] = 0.
+        let mut state = BitSliceState::new(3);
+        gates::apply(&mut state, &Gate::H(0));
+        for (c, t) in [(0, 1), (1, 2)] {
+            gates::apply(
+                &mut state,
+                &Gate::Cnot {
+                    control: c,
+                    target: t,
+                },
+            );
+        }
+        let snapshot = state.snapshot();
+        state.condition_on(0, true);
+        assert!(close(state.total_probability(), 0.5));
+        // A conditional read on the restricted state: Pr[cond ∧ q1=1].
+        assert!(close(state.probability_of(1, true), 0.5));
+        state.condition_on(1, false);
+        assert!(close(state.total_probability(), 0.0));
+        // Roll back: the full GHZ state returns, including width and k.
+        state.restore(&snapshot);
+        assert!(close(state.total_probability(), 1.0));
+        assert!(close(state.probability_of(0, true), 0.5));
+        assert!(state.is_exactly_normalized());
+        // The snapshot survives GC while registered.
+        state.collect_garbage();
+        state.restore(&snapshot);
+        assert!(close(state.total_probability(), 1.0));
+        state.release_snapshot(snapshot);
     }
 
     #[test]

@@ -130,6 +130,30 @@ impl BitSliceSimulator {
         self.state.is_exactly_normalized()
     }
 
+    /// Captures a checkpoint of the current state (O(r) — no BDD nodes are
+    /// copied, the slice roots are pinned in the manager's root registry).
+    pub fn snapshot(&mut self) -> crate::StateSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Rolls the state back to `snapshot` (which stays valid for further
+    /// restores until released).
+    pub fn restore(&mut self, snapshot: &crate::StateSnapshot) {
+        self.state.restore(snapshot);
+    }
+
+    /// Releases a checkpoint, unpinning its roots.
+    pub fn release_snapshot(&mut self, snapshot: crate::StateSnapshot) {
+        self.state.release_snapshot(snapshot);
+    }
+
+    /// Samples a full measurement of all qubits from the supplied uniform
+    /// values (one per qubit) and restores the state afterwards; see
+    /// [`BitSliceState::sample_all`].
+    pub fn sample_all(&mut self, us: &[f64]) -> Vec<bool> {
+        self.state.sample_all(us)
+    }
+
     fn check_limits(&self) -> Result<(), SimulationError> {
         if let Some(max) = self.limits.max_nodes {
             let live = self.state.manager().allocated_nodes();

@@ -58,6 +58,34 @@ pub struct BitSliceState {
 /// The minimum representable bit width (value +1 needs a sign bit).
 pub(crate) const MIN_WIDTH: usize = 2;
 
+/// A checkpoint of a [`BitSliceState`] taken by [`BitSliceState::snapshot`].
+///
+/// The snapshot does not copy any BDD nodes — it records the `4·r` slice
+/// roots (plus the scalars `r`, `k` and the measurement factor `s`) and
+/// registers them with the manager's root registry, so the captured nodes
+/// survive garbage collection and variable reordering for as long as the
+/// snapshot is alive.  Restoring is O(r); taking a snapshot is O(r) root
+/// registrations.
+///
+/// Release a snapshot with [`BitSliceState::release_snapshot`] when it is no
+/// longer needed; a dropped-but-unreleased snapshot keeps its nodes
+/// registered (and therefore live) until the manager itself is dropped.
+#[derive(Debug)]
+pub struct StateSnapshot {
+    r: usize,
+    k: i64,
+    norm_factor: f64,
+    /// One registry slot per slice root, in `all_roots` order (family-major).
+    slots: Vec<RootSlot>,
+}
+
+impl StateSnapshot {
+    /// The coefficient bit width at the time of the snapshot.
+    pub fn width(&self) -> usize {
+        self.r
+    }
+}
+
 impl BitSliceState {
     /// Creates the state `|0…0⟩` over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
@@ -184,6 +212,52 @@ impl BitSliceState {
     pub fn collect_garbage(&mut self) -> usize {
         self.sync_registered_roots();
         self.mgr.collect_garbage_registered()
+    }
+
+    // ------------------------------------------------------------------ //
+    // Snapshots (non-destructive measurement and batched sampling)
+    // ------------------------------------------------------------------ //
+
+    /// Captures the current state as a [`StateSnapshot`].
+    ///
+    /// The snapshot pins its `4·r` slice roots in the manager's root
+    /// registry, so later mutations (collapses, gates, GC, reordering) can
+    /// never invalidate it; [`BitSliceState::restore`] rolls the state back
+    /// in O(r).
+    pub fn snapshot(&mut self) -> StateSnapshot {
+        let roots = self.all_roots();
+        let slots = roots
+            .into_iter()
+            .map(|f| self.mgr.register_root(f))
+            .collect();
+        StateSnapshot {
+            r: self.r,
+            k: self.k,
+            norm_factor: self.norm_factor,
+            slots,
+        }
+    }
+
+    /// Restores the state captured by `snapshot` (which stays valid and can
+    /// be restored again).  The restored slice roots may have been relabelled
+    /// by reordering in the meantime; the registry slots track that, so the
+    /// snapshot is re-read through the registry rather than from the raw ids.
+    pub fn restore(&mut self, snapshot: &StateSnapshot) {
+        for (family, chunk) in snapshot.slots.chunks(snapshot.r).enumerate() {
+            self.slices[family].clear();
+            self.slices[family].extend(chunk.iter().map(|&slot| self.mgr.root(slot)));
+        }
+        self.r = snapshot.r;
+        self.k = snapshot.k;
+        self.norm_factor = snapshot.norm_factor;
+        self.sync_registered_roots();
+    }
+
+    /// Releases a snapshot, unpinning its roots from the manager registry.
+    pub fn release_snapshot(&mut self, snapshot: StateSnapshot) {
+        for slot in snapshot.slots {
+            self.mgr.release_root(slot);
+        }
     }
 
     // ------------------------------------------------------------------ //

@@ -83,6 +83,32 @@ impl DenseSimulator {
         &self.amplitudes
     }
 
+    /// Captures the current state vector as a checkpoint.
+    pub fn snapshot(&self) -> Vec<Complex> {
+        self.amplitudes.clone()
+    }
+
+    /// Rolls the state back to a snapshot taken by
+    /// [`DenseSimulator::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot.len() != 2^num_qubits`.
+    pub fn restore(&mut self, snapshot: &[Complex]) {
+        assert_eq!(
+            snapshot.len(),
+            self.amplitudes.len(),
+            "snapshot dimension mismatch"
+        );
+        self.amplitudes.copy_from_slice(snapshot);
+    }
+
+    /// The probability of every basis state (index `i` has qubit `q` equal
+    /// to bit `q` of `i`) — one pass over the state vector.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(Complex::norm_sqr).collect()
+    }
+
     /// The amplitude of a basis state given per-qubit bit values.
     pub fn amplitude(&self, bits: &[bool]) -> Complex {
         self.amplitudes[Self::index_of(bits)]

@@ -1,0 +1,235 @@
+//! The backend registry and capability negotiation.
+//!
+//! Every simulator backend in the workspace is described by a
+//! [`BackendKind`] and a static [`Capabilities`] record (exact vs floating
+//! point, Clifford-only, reorder support, practical qubit limits, memory
+//! model).  [`BackendKind::Auto`] resolves against a concrete circuit:
+//! Clifford-only circuits go to the stabilizer tableau (polynomial in any
+//! qubit count), everything else to the bit-sliced BDD backend (the paper's
+//! method, exact for the full gate set).
+
+use crate::error::ExecError;
+use sliq_circuit::Circuit;
+
+/// The simulator backends a [`crate::Session`] can own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Pick automatically from the circuit (stabilizer for Clifford-only
+    /// circuits, bit-sliced BDD otherwise).
+    Auto,
+    /// The bit-sliced BDD simulator (the paper's method, "Ours").
+    BitSlice,
+    /// The QMDD baseline (the DDSIM stand-in).
+    Qmdd,
+    /// The dense array-based simulator.
+    Dense,
+    /// The CHP stabilizer simulator (Clifford circuits only).
+    Stabilizer,
+}
+
+/// Static description of what a backend can and cannot do — the data the
+/// session layer negotiates against before any state is allocated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capabilities {
+    /// The backend's `Simulator::name`.
+    pub name: &'static str,
+    /// Short column label used in printed tables ("Ours", "QMDD", …).
+    pub label: &'static str,
+    /// `true` if amplitudes/probabilities are exact (algebraic or
+    /// combinatorial), `false` for floating-point representations that
+    /// accumulate rounding drift.
+    pub exact: bool,
+    /// `true` if only Clifford-group gates are supported.
+    pub clifford_only: bool,
+    /// `true` if the backend supports dynamic variable reordering.
+    pub supports_reorder: bool,
+    /// Hard qubit capacity, if the representation is exponential in memory.
+    pub max_qubits: Option<usize>,
+    /// Bytes per representation node, for symbolic backends (memory
+    /// estimates roughly matching the respective C/C++ implementations).
+    pub bytes_per_node: Option<f64>,
+}
+
+const BITSLICE_CAPS: Capabilities = Capabilities {
+    name: "bitslice",
+    label: "Ours",
+    exact: true,
+    clifford_only: false,
+    supports_reorder: true,
+    max_qubits: None,
+    bytes_per_node: Some(48.0),
+};
+
+const QMDD_CAPS: Capabilities = Capabilities {
+    name: "qmdd",
+    label: "QMDD",
+    exact: false,
+    clifford_only: false,
+    supports_reorder: false,
+    max_qubits: None,
+    bytes_per_node: Some(96.0),
+};
+
+const DENSE_CAPS: Capabilities = Capabilities {
+    name: "dense",
+    label: "Dense",
+    exact: false,
+    clifford_only: false,
+    supports_reorder: false,
+    max_qubits: Some(sliq_dense::MAX_DENSE_QUBITS),
+    bytes_per_node: None,
+};
+
+const STABILIZER_CAPS: Capabilities = Capabilities {
+    name: "stabilizer",
+    label: "CHP",
+    exact: true,
+    clifford_only: true,
+    supports_reorder: false,
+    max_qubits: None,
+    bytes_per_node: None,
+};
+
+impl BackendKind {
+    /// Every concrete backend, in registry order (no `Auto`).
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::BitSlice,
+        BackendKind::Qmdd,
+        BackendKind::Dense,
+        BackendKind::Stabilizer,
+    ];
+
+    /// The backend's static capability record.
+    ///
+    /// `Auto` reports the bit-sliced capabilities (its fallback choice).
+    pub fn capabilities(&self) -> &'static Capabilities {
+        match self {
+            BackendKind::Auto | BackendKind::BitSlice => &BITSLICE_CAPS,
+            BackendKind::Qmdd => &QMDD_CAPS,
+            BackendKind::Dense => &DENSE_CAPS,
+            BackendKind::Stabilizer => &STABILIZER_CAPS,
+        }
+    }
+
+    /// Short column label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        self.capabilities().label
+    }
+
+    /// The backend's `Simulator::name`.
+    pub fn name(&self) -> &'static str {
+        self.capabilities().name
+    }
+
+    /// Resolves `Auto` against a concrete circuit: the stabilizer tableau
+    /// for Clifford-only circuits, the bit-sliced BDD backend otherwise.
+    /// Concrete kinds resolve to themselves.
+    pub fn resolve(&self, circuit: &Circuit) -> BackendKind {
+        match self {
+            BackendKind::Auto => {
+                if circuit.is_clifford() {
+                    BackendKind::Stabilizer
+                } else {
+                    BackendKind::BitSlice
+                }
+            }
+            concrete => *concrete,
+        }
+    }
+
+    /// Checks the qubit capacity only (all a backend can promise without
+    /// seeing the circuit).
+    pub fn check_capacity(&self, num_qubits: usize) -> Result<(), ExecError> {
+        let caps = self.capabilities();
+        if let Some(limit) = caps.max_qubits {
+            if num_qubits > limit {
+                return Err(ExecError::CapacityExceeded {
+                    backend: caps.name,
+                    qubits: num_qubits,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full capability negotiation against a circuit: qubit capacity plus
+    /// gate-set support.  `Auto` always negotiates successfully for the
+    /// supported gate set (it routes around the Clifford restriction).
+    pub fn check_circuit(&self, circuit: &Circuit) -> Result<(), ExecError> {
+        let resolved = self.resolve(circuit);
+        let caps = resolved.capabilities();
+        resolved.check_capacity(circuit.num_qubits())?;
+        if caps.clifford_only && !circuit.is_clifford() {
+            return Err(ExecError::Unsupported {
+                backend: caps.name,
+                what: "non-Clifford circuits".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Auto => write!(f, "auto"),
+            concrete => write!(f, "{}", concrete.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_routes_clifford_circuits_to_the_stabilizer() {
+        let mut clifford = Circuit::new(2);
+        clifford.h(0).cx(0, 1).s(1);
+        assert_eq!(
+            BackendKind::Auto.resolve(&clifford),
+            BackendKind::Stabilizer
+        );
+        let mut universal = Circuit::new(2);
+        universal.h(0).t(0);
+        assert_eq!(BackendKind::Auto.resolve(&universal), BackendKind::BitSlice);
+        assert_eq!(BackendKind::Qmdd.resolve(&clifford), BackendKind::Qmdd);
+    }
+
+    #[test]
+    fn negotiation_rejects_what_the_capabilities_say() {
+        let mut t_circuit = Circuit::new(2);
+        t_circuit.h(0).t(0);
+        assert!(matches!(
+            BackendKind::Stabilizer.check_circuit(&t_circuit),
+            Err(ExecError::Unsupported { .. })
+        ));
+        assert!(BackendKind::Auto.check_circuit(&t_circuit).is_ok());
+        let wide = Circuit::new(40);
+        assert!(matches!(
+            BackendKind::Dense.check_circuit(&wide),
+            Err(ExecError::CapacityExceeded {
+                backend: "dense",
+                qubits: 40,
+                limit: 30,
+            })
+        ));
+        assert!(BackendKind::BitSlice.check_circuit(&wide).is_ok());
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        for kind in BackendKind::ALL {
+            let caps = kind.capabilities();
+            assert!(!caps.name.is_empty());
+            assert!(!caps.label.is_empty());
+            assert_eq!(kind.to_string(), caps.name);
+        }
+        // Exactly the exact backends claim exactness.
+        assert!(BackendKind::BitSlice.capabilities().exact);
+        assert!(BackendKind::Stabilizer.capabilities().exact);
+        assert!(!BackendKind::Qmdd.capabilities().exact);
+        assert!(!BackendKind::Dense.capabilities().exact);
+    }
+}

@@ -1,0 +1,175 @@
+//! The unified error taxonomy of the execution layer.
+//!
+//! Every failure mode of every backend funnels into [`ExecError`], so
+//! callers (the bench harness, examples, services) match on one enum instead
+//! of per-backend error types: capability mismatches are
+//! [`ExecError::Unsupported`] / [`ExecError::CapacityExceeded`], runtime
+//! gate rejections are [`ExecError::Gate`], configured resource limits are
+//! [`ExecError::Resource`].
+
+use sliq_circuit::{CircuitError, SimulationError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the session/executor layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Capability negotiation failed: the requested backend cannot serve
+    /// this workload at all (e.g. a non-Clifford circuit on the stabilizer
+    /// backend, or sampling more qubits than an outcome word holds).
+    Unsupported {
+        /// The backend that declined.
+        backend: &'static str,
+        /// What was asked of it.
+        what: String,
+    },
+    /// The backend's hard qubit capacity is exceeded (e.g. the dense state
+    /// vector beyond 30 qubits).  Distinct from [`ExecError::Unsupported`]
+    /// so harnesses can report it as a memory-out rather than an error.
+    CapacityExceeded {
+        /// The backend that declined.
+        backend: &'static str,
+        /// Requested qubit count.
+        qubits: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
+    /// A gate the backend cannot represent was applied.
+    Gate {
+        /// The backend that rejected the gate.
+        backend: &'static str,
+        /// Human-readable gate description.
+        gate: String,
+    },
+    /// A configured resource limit (live nodes, memory) was exceeded.
+    Resource {
+        /// The backend that hit the limit.
+        backend: &'static str,
+        /// Description of the limit.
+        detail: String,
+    },
+    /// The circuit failed validation before execution started.
+    Circuit(CircuitError),
+    /// A circuit over a different qubit count was fed to the session.
+    QubitMismatch {
+        /// Qubits the session was opened with.
+        session: usize,
+        /// Qubits of the offending circuit.
+        circuit: usize,
+    },
+    /// A snapshot from one backend was restored into another.
+    SnapshotMismatch {
+        /// The session's backend.
+        session: &'static str,
+        /// The snapshot's backend.
+        snapshot: &'static str,
+    },
+    /// A snapshot from a *different session* (even of the same backend
+    /// kind) was restored or discarded here; symbolic snapshots hold
+    /// manager-internal handles that only their own session can interpret.
+    ForeignSnapshot {
+        /// The session's backend.
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unsupported { backend, what } => {
+                write!(f, "{backend} does not support {what}")
+            }
+            ExecError::CapacityExceeded {
+                backend,
+                qubits,
+                limit,
+            } => write!(
+                f,
+                "{backend} is limited to {limit} qubits ({qubits} requested)"
+            ),
+            ExecError::Gate { backend, gate } => {
+                write!(f, "{backend} does not support gate {gate}")
+            }
+            ExecError::Resource { backend, detail } => {
+                write!(f, "{backend} exceeded a resource limit: {detail}")
+            }
+            ExecError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            ExecError::QubitMismatch { session, circuit } => write!(
+                f,
+                "session holds {session} qubits but the circuit needs {circuit}"
+            ),
+            ExecError::SnapshotMismatch { session, snapshot } => write!(
+                f,
+                "cannot restore a {snapshot} snapshot into a {session} session"
+            ),
+            ExecError::ForeignSnapshot { backend } => write!(
+                f,
+                "snapshot belongs to a different {backend} session and cannot be used here"
+            ),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimulationError> for ExecError {
+    fn from(value: SimulationError) -> Self {
+        match value {
+            SimulationError::UnsupportedGate { backend, gate } => ExecError::Gate { backend, gate },
+            SimulationError::ResourceLimit { backend, detail } => {
+                ExecError::Resource { backend, detail }
+            }
+            SimulationError::InvalidCircuit(e) => ExecError::Circuit(e),
+        }
+    }
+}
+
+impl From<CircuitError> for ExecError {
+    fn from(value: CircuitError) -> Self {
+        ExecError::Circuit(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_backend_and_problem() {
+        let e = ExecError::Unsupported {
+            backend: "stabilizer",
+            what: "non-Clifford circuits".into(),
+        };
+        assert!(e.to_string().contains("stabilizer"));
+        let e = ExecError::CapacityExceeded {
+            backend: "dense",
+            qubits: 40,
+            limit: 30,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn simulation_errors_map_onto_the_taxonomy() {
+        let gate: ExecError = SimulationError::UnsupportedGate {
+            backend: "stabilizer",
+            gate: "t q[0]".into(),
+        }
+        .into();
+        assert!(matches!(gate, ExecError::Gate { .. }));
+        let limit: ExecError = SimulationError::ResourceLimit {
+            backend: "bitslice",
+            detail: "nodes".into(),
+        }
+        .into();
+        assert!(matches!(limit, ExecError::Resource { .. }));
+    }
+}

@@ -1,0 +1,197 @@
+//! # sliq-exec
+//!
+//! The session/executor layer of the workspace: one API over every
+//! simulator backend, realising the paper's claim that a single bit-sliced
+//! representation serves both strong simulation (exact amplitudes) and weak
+//! simulation (measurement sampling) — and extending that surface to the
+//! baseline backends so callers never hand-roll backend construction.
+//!
+//! * [`BackendKind`] / [`Capabilities`] — the backend registry with
+//!   capability negotiation ([`BackendKind::Auto`] picks the stabilizer
+//!   tableau for Clifford-only circuits, the bit-sliced BDD otherwise).
+//! * [`Session`] — owns a backend; streams gates ([`Session::apply_gate`])
+//!   or runs circuits ([`Session::run`] → structured [`RunResult`]),
+//!   checkpoints ([`Session::snapshot`] / [`Session::restore`]).
+//! * [`Session::sample`] — **batched multi-shot sampling**: `shots`
+//!   measurement shots from one simulated state, via non-collapsing
+//!   conditional-probability descent (orders of magnitude faster than
+//!   re-simulating the circuit per shot; see [`sample`]).
+//! * [`ExecError`] — the unified failure taxonomy.
+//!
+//! ```
+//! use sliq_exec::{BackendKind, Session, SessionConfig};
+//! use sliq_circuit::Circuit;
+//!
+//! let mut circuit = Circuit::new(3);
+//! circuit.h(0).cx(0, 1).cx(1, 2).t(2);   // non-Clifford ⇒ Auto → bitslice
+//! let mut session = Session::for_circuit(&circuit, SessionConfig::default())?;
+//! assert_eq!(session.kind(), BackendKind::BitSlice);
+//! let result = session.run(&circuit)?;
+//! assert!(result.probability_error() < 1e-12);
+//! let shots = session.sample(2000, 7)?;
+//! assert_eq!(shots.histogram.shots(), 2000);
+//! # Ok::<(), sliq_exec::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod error;
+pub mod sample;
+mod session;
+
+pub use backend::{BackendKind, Capabilities};
+pub use error::ExecError;
+pub use sample::Histogram;
+pub use session::{ExecStats, RunResult, SampleResult, Session, SessionConfig, Snapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::Circuit;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c
+    }
+
+    #[test]
+    fn session_runs_and_reports_structured_results() {
+        let mut circuit = ghz(4);
+        circuit.t(3); // force the bit-sliced backend
+        let config = SessionConfig::default().expectations(true);
+        let mut session = Session::for_circuit(&circuit, config).unwrap();
+        assert_eq!(session.kind(), BackendKind::BitSlice);
+        let result = session.run(&circuit).unwrap();
+        assert_eq!(result.gates_applied, 5);
+        assert!(result.probability_error() < 1e-12);
+        let expectations = result.expectations_z.as_ref().unwrap();
+        assert_eq!(expectations.len(), 4);
+        // GHZ marginals are uniform: ⟨Z⟩ = 0 on every qubit (T adds a phase
+        // only).
+        for &z in expectations {
+            assert!(z.abs() < 1e-9);
+        }
+        assert!(result.stats.live_nodes.unwrap() > 0);
+        assert!(result.stats.memory_mib > 0.0);
+        assert!(result.stats.bdd.is_some());
+    }
+
+    #[test]
+    fn streaming_and_whole_circuit_execution_agree() {
+        let circuit = ghz(3);
+        let mut streamed = Session::new(3, SessionConfig::with_backend(BackendKind::Qmdd)).unwrap();
+        for gate in circuit.iter() {
+            streamed.apply_gate(gate).unwrap();
+        }
+        let mut whole = Session::new(3, SessionConfig::with_backend(BackendKind::Qmdd)).unwrap();
+        whole.run(&circuit).unwrap();
+        assert_eq!(streamed.gates_applied(), whole.gates_applied());
+        for bits in [[false; 3], [true; 3]] {
+            let a = streamed.probability_of_basis_state(&bits);
+            let b = whole.probability_of_basis_state(&bits);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qubit_mismatch_is_rejected() {
+        let mut session = Session::new(3, SessionConfig::with_backend(BackendKind::Dense)).unwrap();
+        let err = session.run(&ghz(4)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::QubitMismatch {
+                session: 3,
+                circuit: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn snapshots_roll_back_every_backend() {
+        for kind in BackendKind::ALL {
+            let mut session = Session::new(2, SessionConfig::with_backend(kind)).unwrap();
+            session.run(&ghz(2)).unwrap();
+            let snapshot = session.snapshot();
+            let gates_at_snapshot = session.gates_applied();
+            // Collapse qubit 0 to a definite outcome.
+            let outcome = session.measure_with(0, 0.3);
+            let collapsed = session.probability_of_one(0);
+            assert!(
+                (collapsed - if outcome { 1.0 } else { 0.0 }).abs() < 1e-9,
+                "{kind}"
+            );
+            session.restore(&snapshot).unwrap();
+            assert_eq!(session.gates_applied(), gates_at_snapshot);
+            assert!(
+                (session.probability_of_one(0) - 0.5).abs() < 1e-9,
+                "{kind}: snapshot must restore the superposition"
+            );
+            session.discard(snapshot).unwrap();
+        }
+    }
+
+    #[test]
+    fn foreign_snapshots_are_rejected() {
+        // Cross-backend and cross-session (same backend) snapshots both
+        // fail instead of corrupting manager-internal handles.
+        let mut dense = Session::new(2, SessionConfig::with_backend(BackendKind::Dense)).unwrap();
+        let mut qmdd_a = Session::new(2, SessionConfig::with_backend(BackendKind::Qmdd)).unwrap();
+        let mut qmdd_b = Session::new(2, SessionConfig::with_backend(BackendKind::Qmdd)).unwrap();
+        let dense_snapshot = dense.snapshot();
+        assert!(matches!(
+            qmdd_a.restore(&dense_snapshot),
+            Err(ExecError::ForeignSnapshot { .. })
+        ));
+        let a_snapshot = qmdd_a.snapshot();
+        assert!(matches!(
+            qmdd_b.restore(&a_snapshot),
+            Err(ExecError::ForeignSnapshot { backend: "qmdd" })
+        ));
+        assert!(qmdd_b.discard(a_snapshot).is_err());
+        dense.discard(dense_snapshot).unwrap();
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_distribution_shaped() {
+        let circuit = ghz(5);
+        let mut session = Session::for_circuit(&circuit, SessionConfig::default()).unwrap();
+        assert_eq!(session.kind(), BackendKind::Stabilizer);
+        session.run(&circuit).unwrap();
+        let a = session.sample(4000, 3).unwrap();
+        let b = session.sample(4000, 3).unwrap();
+        assert_eq!(a.histogram, b.histogram);
+        let c = session.sample(4000, 4).unwrap();
+        assert_ne!(a.histogram, c.histogram);
+        // Only the two GHZ outcomes occur.
+        assert_eq!(
+            a.histogram.count_of(0) + a.histogram.count_of(0b11111),
+            4000
+        );
+        assert!(a.shots_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn node_limit_surfaces_as_a_resource_error() {
+        let mut circuit = Circuit::new(12);
+        for q in 0..12 {
+            circuit.h(q);
+        }
+        for q in 0..11 {
+            circuit.cx(q, q + 1);
+            circuit.t(q);
+            circuit.h(q);
+        }
+        let config = SessionConfig::with_backend(BackendKind::BitSlice).max_nodes(16);
+        let mut session = Session::for_circuit(&circuit, config).unwrap();
+        assert!(matches!(
+            session.run(&circuit),
+            Err(ExecError::Resource { .. })
+        ));
+    }
+}

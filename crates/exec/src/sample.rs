@@ -1,0 +1,571 @@
+//! Batched multi-shot sampling: many measurement shots from **one**
+//! simulation of the circuit.
+//!
+//! Every backend implements the same semantics — each shot draws one
+//! uniform `u ∈ [0, 1)` from a seeded generator and maps it through the
+//! inverse CDF of the outcome distribution, where the CDF is ordered by a
+//! qubit-0-first conditional descent (outcome 1 before outcome 0 at every
+//! qubit).  Shots sharing an outcome prefix share all the work for that
+//! prefix, so the cost scales with the number of *distinct* outcome
+//! prefixes rather than with `shots × circuit`:
+//!
+//! * **bit-sliced BDD** — non-collapsing conditional-probability descent:
+//!   the state is restricted qubit by qubit with
+//!   [`sliq_core::BitSliceState::condition_on`] and rolled back through the
+//!   snapshot API; conditional probabilities are exact weighted SAT counts.
+//! * **dense** — a single pass over the state vector builds the probability
+//!   vector and its per-level subtree sums (a CDF tree); the descent then
+//!   only reads precomputed sums.
+//! * **QMDD** — snapshot–project–restore on edges: `select` projects the DD
+//!   without renormalising, `norm_sqr` reads the joint probability, and the
+//!   edge stack doubles as the snapshot set pinned across periodic GC.
+//! * **stabilizer** — snapshot–measure–restore on tableau clones;
+//!   conditional probabilities are 0, ½ or 1 by the CHP determinism rule.
+//!
+//! Because all four backends partition the *same* `u` sequence with the
+//! same descent, backends that compute bit-identical conditional
+//! probabilities (e.g. every exact backend on a dyadic-probability circuit)
+//! produce **identical histograms** for a shared seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliq_circuit::Simulator as _;
+use sliq_core::{BitSliceSimulator, BitSliceState, StateSnapshot};
+use sliq_dense::DenseSimulator;
+use sliq_qmdd::{Edge, QmddSimulator};
+use sliq_stabilizer::{StabilizerSimulator, Tableau};
+use std::collections::BTreeMap;
+
+/// A histogram of measurement outcomes over all qubits.
+///
+/// Outcomes are packed little-endian: bit `q` of the key is the outcome of
+/// qubit `q` (so at most 64 qubits can be sampled into a histogram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    num_qubits: usize,
+    shots: u64,
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            shots: 0,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn add(&mut self, outcome: u64, count: u64) {
+        if count > 0 {
+            *self.counts.entry(outcome).or_insert(0) += count;
+            self.shots += count;
+        }
+    }
+
+    /// The number of qubits per outcome.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The observed outcomes and their counts, in ascending outcome order.
+    pub fn counts(&self) -> &BTreeMap<u64, u64> {
+        &self.counts
+    }
+
+    /// The count of one specific outcome.
+    pub fn count_of(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// The observed relative frequency of one outcome.
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count_of(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// The fraction of shots in which `qubit` read 1.
+    pub fn marginal_one(&self, qubit: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let ones: u64 = self
+            .counts
+            .iter()
+            .filter(|(outcome, _)| *outcome >> qubit & 1 == 1)
+            .map(|(_, count)| count)
+            .sum();
+        ones as f64 / self.shots as f64
+    }
+
+    /// The empirical ⟨Z⟩ expectation of one qubit (`1 − 2·Pr[q = 1]`).
+    pub fn expectation_z(&self, qubit: usize) -> f64 {
+        1.0 - 2.0 * self.marginal_one(qubit)
+    }
+
+    /// The most frequent outcome and its count.
+    pub fn most_frequent(&self) -> Option<(u64, u64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(outcome, count)| (*count, std::cmp::Reverse(*outcome)))
+            .map(|(&outcome, &count)| (outcome, count))
+    }
+
+    /// Pearson's χ² statistic against expected probabilities given by
+    /// `prob_of(outcome)`, summed over every outcome with nonzero expected
+    /// count (enumerates all `2^n` outcomes, so `n` is capped at 20).
+    /// Outcomes observed despite zero expected probability yield infinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 20`.
+    pub fn chi_square(&self, mut prob_of: impl FnMut(u64) -> f64) -> f64 {
+        assert!(
+            self.num_qubits <= 20,
+            "chi-square enumeration limited to 20 qubits"
+        );
+        let mut statistic = 0.0;
+        for outcome in 0..(1u64 << self.num_qubits) {
+            let expected = prob_of(outcome) * self.shots as f64;
+            let observed = self.count_of(outcome) as f64;
+            if expected > 0.0 {
+                let d = observed - expected;
+                statistic += d * d / expected;
+            } else if observed > 0.0 {
+                return f64::INFINITY;
+            }
+        }
+        statistic
+    }
+
+    /// The outcome as per-qubit bits (`bits[q]` is the outcome of qubit `q`).
+    pub fn outcome_bits(&self, outcome: u64) -> Vec<bool> {
+        (0..self.num_qubits)
+            .map(|q| outcome >> q & 1 == 1)
+            .collect()
+    }
+
+    /// Renders the most frequent `max_rows` outcomes as `|q0 q1 …⟩ count
+    /// frequency` lines (qubit 0 leftmost, matching `&[bool]` slice order).
+    pub fn format_top(&self, max_rows: usize) -> String {
+        let mut rows: Vec<(u64, u64)> = self.counts.iter().map(|(&o, &c)| (o, c)).collect();
+        rows.sort_by_key(|&(outcome, count)| (std::cmp::Reverse(count), outcome));
+        let mut out = String::new();
+        for &(outcome, count) in rows.iter().take(max_rows) {
+            let bits: String = (0..self.num_qubits)
+                .map(|q| if outcome >> q & 1 == 1 { '1' } else { '0' })
+                .collect();
+            out.push_str(&format!(
+                "  |{bits}⟩  {count:>8}  {:.4}\n",
+                count as f64 / self.shots.max(1) as f64
+            ));
+        }
+        if rows.len() > max_rows {
+            out.push_str(&format!("  … {} more outcomes\n", rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+/// The uniform draws for `shots` shots under `seed` — one `u ∈ [0, 1)` per
+/// shot, identical for every backend.
+fn uniform_draws(shots: u64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shots).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+/// Keeps a rescaled draw strictly below 1.0 so rounding can never push a
+/// shot into a zero-probability branch further down.
+const BELOW_ONE: f64 = 1.0 - f64::EPSILON;
+
+/// A backend's view of the conditional outcome distribution: the descent
+/// driver asks for `Pr[qubit = 1 | pushed prefix]` and pushes/pops outcome
+/// conditions in depth-first order (always qubit 0, 1, 2, … and always the
+/// 1-branch before the 0-branch).
+trait ConditionalChain {
+    /// `Pr[qubit = 1]` conditioned on every pushed `(qubit, value)` pair.
+    fn conditional_one(&mut self, qubit: usize) -> f64;
+    /// Adds the condition `qubit = value`.  Called at most once per branch,
+    /// and only after `conditional_one(qubit)` at the same depth.
+    fn push(&mut self, qubit: usize, value: bool);
+    /// Removes the most recently pushed condition.
+    fn pop(&mut self, qubit: usize);
+}
+
+/// Shared inverse-CDF descent: partitions the draws by the conditional
+/// probability at each qubit, rescaling them into the chosen branch, so
+/// shots with a common outcome prefix traverse that prefix once.
+fn descend<C: ConditionalChain>(
+    chain: &mut C,
+    num_qubits: usize,
+    depth: usize,
+    prefix: u64,
+    us: Vec<f64>,
+    histogram: &mut Histogram,
+) {
+    if us.is_empty() {
+        return;
+    }
+    if depth == num_qubits {
+        histogram.add(prefix, us.len() as u64);
+        return;
+    }
+    let raw = chain.conditional_one(depth);
+    let p1 = if raw.is_finite() {
+        raw.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let p0 = 1.0 - p1;
+    let mut ones = Vec::new();
+    let mut zeros = Vec::new();
+    for u in us {
+        if u < p1 {
+            ones.push((u / p1).min(BELOW_ONE));
+        } else {
+            let rescaled = if p0 > 0.0 { (u - p1) / p0 } else { 0.0 };
+            zeros.push(rescaled.min(BELOW_ONE));
+        }
+    }
+    if !ones.is_empty() {
+        chain.push(depth, true);
+        descend(
+            chain,
+            num_qubits,
+            depth + 1,
+            prefix | 1 << depth,
+            ones,
+            histogram,
+        );
+        chain.pop(depth);
+    }
+    if !zeros.is_empty() {
+        chain.push(depth, false);
+        descend(chain, num_qubits, depth + 1, prefix, zeros, histogram);
+        chain.pop(depth);
+    }
+}
+
+fn run_descent<C: ConditionalChain>(
+    chain: &mut C,
+    num_qubits: usize,
+    shots: u64,
+    seed: u64,
+) -> Histogram {
+    let mut histogram = Histogram::new(num_qubits);
+    let us = uniform_draws(shots, seed);
+    descend(chain, num_qubits, 0, 0, us, &mut histogram);
+    histogram
+}
+
+// ---------------------------------------------------------------------- //
+// Bit-sliced BDD backend
+// ---------------------------------------------------------------------- //
+
+struct BitSliceChain<'a> {
+    state: &'a mut BitSliceState,
+    stack: Vec<(StateSnapshot, f64)>,
+    /// Joint probability of the pushed conditions (1.0 at the root).
+    p_current: f64,
+    /// Per-depth cache of the *unconditional* `Pr[prefix ∧ qubit = 1]` from
+    /// the last `conditional_one` call, reused by `push` for either branch.
+    p_one_abs: Vec<f64>,
+}
+
+impl ConditionalChain for BitSliceChain<'_> {
+    fn conditional_one(&mut self, qubit: usize) -> f64 {
+        // On the conditioned (unrenormalised) state this reads the joint
+        // probability Pr[conditions ∧ qubit = 1] as an exact SAT count.
+        let joint = self.state.probability_of(qubit, true);
+        self.p_one_abs[qubit] = joint;
+        if self.p_current <= 0.0 {
+            0.0
+        } else {
+            joint / self.p_current
+        }
+    }
+
+    fn push(&mut self, qubit: usize, value: bool) {
+        let snapshot = self.state.snapshot();
+        self.stack.push((snapshot, self.p_current));
+        self.state.condition_on(qubit, value);
+        let joint_one = self.p_one_abs[qubit];
+        self.p_current = if value {
+            joint_one
+        } else {
+            (self.p_current - joint_one).max(0.0)
+        };
+    }
+
+    fn pop(&mut self, _qubit: usize) {
+        let (snapshot, p) = self.stack.pop().expect("pop matches a push");
+        self.state.restore(&snapshot);
+        self.state.release_snapshot(snapshot);
+        self.p_current = p;
+    }
+}
+
+pub(crate) fn sample_bitslice(sim: &mut BitSliceSimulator, shots: u64, seed: u64) -> Histogram {
+    let num_qubits = sim.num_qubits();
+    let state = sim.state_mut();
+    let p_total = state.total_probability();
+    let mut chain = BitSliceChain {
+        state,
+        stack: Vec::new(),
+        p_current: p_total,
+        p_one_abs: vec![0.0; num_qubits],
+    };
+    run_descent(&mut chain, num_qubits, shots, seed)
+}
+
+// ---------------------------------------------------------------------- //
+// Dense backend (CDF tree)
+// ---------------------------------------------------------------------- //
+
+struct DenseChain {
+    /// `sums[d][p]` = Pr[qubits 0..d read the bits of `p`]; `sums[n]` is the
+    /// probability vector itself, built in one pass over the state.
+    sums: Vec<Vec<f64>>,
+    prefix: usize,
+}
+
+impl ConditionalChain for DenseChain {
+    fn conditional_one(&mut self, qubit: usize) -> f64 {
+        let parent = self.sums[qubit][self.prefix];
+        if parent <= 0.0 {
+            0.0
+        } else {
+            self.sums[qubit + 1][self.prefix | 1 << qubit] / parent
+        }
+    }
+
+    fn push(&mut self, qubit: usize, value: bool) {
+        if value {
+            self.prefix |= 1 << qubit;
+        }
+    }
+
+    fn pop(&mut self, qubit: usize) {
+        self.prefix &= !(1 << qubit);
+    }
+}
+
+pub(crate) fn sample_dense(sim: &DenseSimulator, shots: u64, seed: u64) -> Histogram {
+    let num_qubits = sim.num_qubits();
+    let mut sums: Vec<Vec<f64>> = Vec::with_capacity(num_qubits + 1);
+    sums.push(sim.probabilities());
+    for _ in 0..num_qubits {
+        let last = sums.last().expect("seeded with the probability vector");
+        let half = last.len() / 2;
+        let folded: Vec<f64> = (0..half).map(|p| last[p] + last[p + half]).collect();
+        sums.push(folded);
+    }
+    sums.reverse();
+    let mut chain = DenseChain { sums, prefix: 0 };
+    run_descent(&mut chain, num_qubits, shots, seed)
+}
+
+// ---------------------------------------------------------------------- //
+// QMDD backend (snapshot–project–restore on edges)
+// ---------------------------------------------------------------------- //
+
+struct QmddChain<'a> {
+    sim: &'a mut QmddSimulator,
+    stack: Vec<(Edge, f64)>,
+    current: Edge,
+    p_current: f64,
+    p_one_abs: Vec<f64>,
+    gc_limit: usize,
+}
+
+impl ConditionalChain for QmddChain<'_> {
+    fn conditional_one(&mut self, qubit: usize) -> f64 {
+        let projected = self.sim.project(self.current, qubit, true);
+        let joint = self.sim.edge_norm_sqr(projected);
+        self.p_one_abs[qubit] = joint;
+        if self.p_current <= 0.0 {
+            0.0
+        } else {
+            joint / self.p_current
+        }
+    }
+
+    fn push(&mut self, qubit: usize, value: bool) {
+        self.stack.push((self.current, self.p_current));
+        self.current = self.sim.project(self.current, qubit, value);
+        let joint_one = self.p_one_abs[qubit];
+        self.p_current = if value {
+            joint_one
+        } else {
+            (self.p_current - joint_one).max(0.0)
+        };
+        if self.sim.allocated_nodes() > self.gc_limit {
+            let mut keep: Vec<Edge> = self.stack.iter().map(|&(e, _)| e).collect();
+            keep.push(self.current);
+            self.sim.collect_garbage_keeping(&keep);
+            self.gc_limit = (self.sim.allocated_nodes() * 2).max(1 << 16);
+        }
+    }
+
+    fn pop(&mut self, _qubit: usize) {
+        let (edge, p) = self.stack.pop().expect("pop matches a push");
+        self.current = edge;
+        self.p_current = p;
+    }
+}
+
+pub(crate) fn sample_qmdd(sim: &mut QmddSimulator, shots: u64, seed: u64) -> Histogram {
+    let num_qubits = sim.num_qubits();
+    let root = sim.root_edge();
+    let p_total = sim.edge_norm_sqr(root);
+    let gc_limit = (sim.allocated_nodes() * 2).max(1 << 16);
+    let mut chain = QmddChain {
+        sim,
+        stack: Vec::new(),
+        current: root,
+        p_current: p_total,
+        p_one_abs: vec![0.0; num_qubits],
+        gc_limit,
+    };
+    run_descent(&mut chain, num_qubits, shots, seed)
+}
+
+// ---------------------------------------------------------------------- //
+// Stabilizer backend (snapshot–measure–restore on tableau clones)
+// ---------------------------------------------------------------------- //
+
+struct StabilizerChain {
+    current: Tableau,
+    stack: Vec<Tableau>,
+}
+
+impl ConditionalChain for StabilizerChain {
+    fn conditional_one(&mut self, qubit: usize) -> f64 {
+        match self.current.deterministic_outcome(qubit) {
+            Some(true) => 1.0,
+            Some(false) => 0.0,
+            None => 0.5,
+        }
+    }
+
+    fn push(&mut self, qubit: usize, value: bool) {
+        self.stack.push(self.current.clone());
+        self.current.measure(qubit, value);
+    }
+
+    fn pop(&mut self, _qubit: usize) {
+        self.current = self.stack.pop().expect("pop matches a push");
+    }
+}
+
+pub(crate) fn sample_stabilizer(sim: &StabilizerSimulator, shots: u64, seed: u64) -> Histogram {
+    let num_qubits = sim.tableau().num_qubits();
+    let mut chain = StabilizerChain {
+        current: sim.tableau().clone(),
+        stack: Vec::new(),
+    };
+    run_descent(&mut chain, num_qubits, shots, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliq_circuit::{Circuit, Simulator};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn all_backends_agree_exactly_on_the_bell_state() {
+        let circuit = bell();
+        let shots = 500;
+        let seed = 11;
+        let mut bitslice = BitSliceSimulator::new(2);
+        bitslice.run(&circuit).unwrap();
+        let h_bitslice = sample_bitslice(&mut bitslice, shots, seed);
+        let mut dense = DenseSimulator::new(2);
+        dense.run(&circuit).unwrap();
+        let h_dense = sample_dense(&dense, shots, seed);
+        let mut qmdd = QmddSimulator::new(2);
+        qmdd.run(&circuit).unwrap();
+        let h_qmdd = sample_qmdd(&mut qmdd, shots, seed);
+        let mut stab = StabilizerSimulator::new(2);
+        stab.run(&circuit).unwrap();
+        let h_stab = sample_stabilizer(&stab, shots, seed);
+        assert_eq!(h_bitslice, h_dense);
+        assert_eq!(h_bitslice, h_qmdd);
+        assert_eq!(h_bitslice, h_stab);
+        // Only |00⟩ and |11⟩ appear, in roughly equal proportion.
+        assert_eq!(h_bitslice.count_of(0b00) + h_bitslice.count_of(0b11), shots);
+        assert!(h_bitslice.count_of(0b00) > shots / 4);
+        assert!(h_bitslice.count_of(0b11) > shots / 4);
+    }
+
+    #[test]
+    fn sampling_leaves_the_state_untouched() {
+        let circuit = bell();
+        let mut bitslice = BitSliceSimulator::new(2);
+        bitslice.run(&circuit).unwrap();
+        let _ = sample_bitslice(&mut bitslice, 200, 1);
+        assert!((bitslice.probability_of_one(0) - 0.5).abs() < 1e-12);
+        assert!(bitslice.is_exactly_normalized());
+        let mut qmdd = QmddSimulator::new(2);
+        qmdd.run(&circuit).unwrap();
+        let _ = sample_qmdd(&mut qmdd, 200, 1);
+        assert!((qmdd.probability_of_one(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_states_sample_deterministically() {
+        let mut circuit = Circuit::new(3);
+        circuit.x(0).x(2);
+        let mut sim = BitSliceSimulator::new(3);
+        sim.run(&circuit).unwrap();
+        let hist = sample_bitslice(&mut sim, 64, 5);
+        assert_eq!(hist.count_of(0b101), 64);
+        assert_eq!(hist.counts().len(), 1);
+        assert_eq!(hist.marginal_one(0), 1.0);
+        assert_eq!(hist.marginal_one(1), 0.0);
+        assert_eq!(hist.expectation_z(2), -1.0);
+    }
+
+    #[test]
+    fn histogram_statistics_and_rendering() {
+        let mut hist = Histogram::new(2);
+        hist.add(0b00, 30);
+        hist.add(0b11, 70);
+        assert_eq!(hist.shots(), 100);
+        assert_eq!(hist.most_frequent(), Some((0b11, 70)));
+        assert!((hist.frequency(0b00) - 0.3).abs() < 1e-12);
+        // Expected (50, 50), observed (30, 70): χ² = 20²/50 + 20²/50 = 16.
+        let chi = hist.chi_square(|o| if o == 0 || o == 3 { 0.5 } else { 0.0 });
+        assert!((chi - 16.0).abs() < 1e-9);
+        let text = hist.format_top(1);
+        assert!(text.contains("|11⟩"));
+        assert!(text.contains("1 more"));
+        // Impossible outcomes observed ⇒ infinite statistic.
+        let chi = hist.chi_square(|o| if o == 0 { 1.0 } else { 0.0 });
+        assert!(chi.is_infinite());
+    }
+
+    #[test]
+    fn shared_seed_draws_are_deterministic() {
+        assert_eq!(uniform_draws(16, 9), uniform_draws(16, 9));
+        assert_ne!(uniform_draws(16, 9), uniform_draws(16, 10));
+        assert!(uniform_draws(1000, 3)
+            .iter()
+            .all(|u| (0.0..1.0).contains(u)));
+    }
+}

@@ -1,0 +1,546 @@
+//! The [`Session`]: one owned backend, streamed gates, checkpoints and
+//! batched sampling behind a single façade.
+//!
+//! A session is opened for a fixed qubit count with a [`SessionConfig`]
+//! (backend choice, resource limits, reorder policy), fed gates or whole
+//! circuits, and queried for probabilities, samples and structured
+//! [`RunResult`]s.  All four workspace backends sit behind the same calls;
+//! [`crate::BackendKind::Auto`] picks the backend from the circuit.
+
+use crate::backend::BackendKind;
+use crate::error::ExecError;
+use crate::sample::{self, Histogram};
+use sliq_circuit::{Circuit, Gate, Simulator};
+use sliq_core::{BitSliceLimits, BitSliceSimulator, StateSnapshot};
+use sliq_dense::DenseSimulator;
+use sliq_math::Complex;
+use sliq_qmdd::{QmddLimits, QmddSimulator, QmddSnapshot};
+use sliq_stabilizer::{StabilizerSimulator, Tableau};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Which backend to own ([`BackendKind::Auto`] resolves per circuit in
+    /// [`Session::for_circuit`], and to the bit-sliced backend in
+    /// [`Session::new`]).
+    pub backend: BackendKind,
+    /// Live-node limit for the symbolic backends (`None` = unlimited);
+    /// exceeding it fails the offending gate with [`ExecError::Resource`].
+    pub max_nodes: Option<usize>,
+    /// Enables automatic variable reordering on backends that support it.
+    pub auto_reorder: bool,
+    /// Collect per-qubit ⟨Z⟩ expectations into every [`RunResult`] (costs
+    /// one probability query per qubit on symbolic backends).
+    pub collect_expectations: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::Auto,
+            max_nodes: None,
+            auto_reorder: false,
+            collect_expectations: false,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Starts from defaults with an explicit backend.
+    pub fn with_backend(backend: BackendKind) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the live-node limit (builder style).
+    pub fn max_nodes(mut self, limit: usize) -> Self {
+        self.max_nodes = Some(limit);
+        self
+    }
+
+    /// Enables automatic variable reordering (builder style).
+    pub fn auto_reorder(mut self, enabled: bool) -> Self {
+        self.auto_reorder = enabled;
+        self
+    }
+
+    /// Enables ⟨Z⟩ expectation collection in run results (builder style).
+    pub fn expectations(mut self, enabled: bool) -> Self {
+        self.collect_expectations = enabled;
+        self
+    }
+}
+
+/// Representation statistics of a session's backend at a point in time.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Live representation nodes (symbolic backends only).
+    pub live_nodes: Option<usize>,
+    /// Peak allocated nodes over the session (symbolic backends only).
+    pub peak_nodes: Option<usize>,
+    /// Approximate peak memory of the state representation in MiB.
+    pub memory_mib: f64,
+    /// Full BDD kernel counters (bit-sliced backend only): cache hit rates,
+    /// GC runs, reorder statistics.
+    pub bdd: Option<sliq_bdd::ManagerStats>,
+}
+
+impl ExecStats {
+    /// Reorder runs so far (0 for backends without reordering).
+    pub fn reorders(&self) -> usize {
+        self.bdd.as_ref().map_or(0, |s| s.reorders)
+    }
+}
+
+/// The structured result of [`Session::run`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The concrete backend that executed the circuit.
+    pub backend: BackendKind,
+    /// Gates applied by this run.
+    pub gates_applied: usize,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+    /// The sum of all outcome probabilities after the run (1 up to float
+    /// conversion for exact backends; drifts on floating-point backends).
+    pub total_probability: f64,
+    /// Per-qubit ⟨Z⟩ expectations (`1 − 2·Pr[q = 1]`), when
+    /// [`SessionConfig::collect_expectations`] is set.
+    pub expectations_z: Option<Vec<f64>>,
+    /// Representation statistics at the end of the run.
+    pub stats: ExecStats,
+}
+
+impl RunResult {
+    /// Deviation of the total probability from 1 — the paper's "error"
+    /// criterion for floating-point backends.
+    pub fn probability_error(&self) -> f64 {
+        (self.total_probability - 1.0).abs()
+    }
+}
+
+/// The result of one [`Session::sample`] call.
+#[derive(Debug, Clone)]
+pub struct SampleResult {
+    /// The backend that sampled.
+    pub backend: BackendKind,
+    /// Number of shots drawn.
+    pub shots: u64,
+    /// Wall-clock time of the batched sampling.
+    pub elapsed: Duration,
+    /// Outcome counts.
+    pub histogram: Histogram,
+}
+
+impl SampleResult {
+    /// Sampling throughput.
+    pub fn shots_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.shots as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+enum Inner {
+    BitSlice(Box<BitSliceSimulator>),
+    Dense(Box<DenseSimulator>),
+    Qmdd(Box<QmddSimulator>),
+    Stabilizer(Box<StabilizerSimulator>),
+}
+
+enum SnapshotInner {
+    BitSlice(StateSnapshot),
+    Dense(Vec<Complex>),
+    Qmdd(QmddSnapshot),
+    Stabilizer(Box<Tableau>),
+}
+
+/// A session checkpoint taken by [`Session::snapshot`].
+///
+/// Snapshots are cheap for every backend (pinned roots for the symbolic
+/// backends, a vector/tableau copy otherwise), survive any number of later
+/// gates and measurements, and can be restored repeatedly.  Call
+/// [`Session::discard`] when done; an undiscarded symbolic snapshot keeps
+/// its nodes pinned until the session is dropped.
+pub struct Snapshot {
+    backend: &'static str,
+    /// The [`Session::id`] this snapshot belongs to — symbolic snapshots
+    /// hold manager-internal handles that are meaningless anywhere else.
+    session_id: u64,
+    gates_applied: usize,
+    inner: SnapshotInner,
+}
+
+/// A simulation session owning one backend.
+///
+/// ```
+/// use sliq_exec::{Session, SessionConfig, BackendKind};
+/// use sliq_circuit::Circuit;
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.h(0).cx(0, 1);
+/// // Auto picks the stabilizer backend: the circuit is Clifford-only.
+/// let mut session = Session::for_circuit(&circuit, SessionConfig::default())?;
+/// assert_eq!(session.kind(), BackendKind::Stabilizer);
+/// session.run(&circuit)?;
+/// // 1000 measurement shots from the one simulated state.
+/// let sample = session.sample(1000, 42)?;
+/// assert_eq!(sample.histogram.count_of(0b00) + sample.histogram.count_of(0b11), 1000);
+/// # Ok::<(), sliq_exec::ExecError>(())
+/// ```
+pub struct Session {
+    kind: BackendKind,
+    /// Process-unique id tying snapshots to the session that took them.
+    id: u64,
+    inner: Inner,
+    config: SessionConfig,
+    num_qubits: usize,
+    gates_applied: usize,
+}
+
+/// Source of process-unique session ids.
+static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Session {
+    /// Opens a session over `num_qubits` qubits with an explicit backend.
+    /// [`BackendKind::Auto`] falls back to the bit-sliced backend here —
+    /// without a circuit there is nothing to negotiate against; use
+    /// [`Session::for_circuit`] for capability-based selection.
+    pub fn new(num_qubits: usize, config: SessionConfig) -> Result<Self, ExecError> {
+        let kind = match config.backend {
+            BackendKind::Auto => BackendKind::BitSlice,
+            concrete => concrete,
+        };
+        kind.check_capacity(num_qubits)?;
+        let inner = match kind {
+            BackendKind::BitSlice => Inner::BitSlice(Box::new(
+                BitSliceSimulator::new(num_qubits)
+                    .with_limits(BitSliceLimits {
+                        max_nodes: config.max_nodes,
+                    })
+                    .with_auto_reorder(config.auto_reorder),
+            )),
+            BackendKind::Qmdd => Inner::Qmdd(Box::new(QmddSimulator::new(num_qubits).with_limits(
+                QmddLimits {
+                    max_nodes: config.max_nodes,
+                },
+            ))),
+            BackendKind::Dense => Inner::Dense(Box::new(DenseSimulator::new(num_qubits))),
+            BackendKind::Stabilizer => {
+                Inner::Stabilizer(Box::new(StabilizerSimulator::new(num_qubits)))
+            }
+            BackendKind::Auto => unreachable!("resolved above"),
+        };
+        Ok(Self {
+            kind,
+            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            inner,
+            config,
+            num_qubits,
+            gates_applied: 0,
+        })
+    }
+
+    /// Opens a session negotiated for `circuit`: resolves
+    /// [`BackendKind::Auto`] (stabilizer for Clifford-only circuits,
+    /// bit-sliced otherwise) and fails fast with the capability verdict if
+    /// the requested backend cannot serve the circuit.  Does **not** run the
+    /// circuit; call [`Session::run`] next.
+    pub fn for_circuit(circuit: &Circuit, config: SessionConfig) -> Result<Self, ExecError> {
+        config.backend.check_circuit(circuit)?;
+        let resolved = config.backend.resolve(circuit);
+        Self::new(
+            circuit.num_qubits(),
+            SessionConfig {
+                backend: resolved,
+                ..config
+            },
+        )
+    }
+
+    /// The concrete backend this session owns.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The backend's `Simulator::name`.
+    pub fn backend_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// The session's qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total gates applied over the session's lifetime (rolled back by
+    /// [`Session::restore`]).
+    pub fn gates_applied(&self) -> usize {
+        self.gates_applied
+    }
+
+    fn sim(&mut self) -> &mut dyn Simulator {
+        match &mut self.inner {
+            Inner::BitSlice(s) => s.as_mut(),
+            Inner::Dense(s) => s.as_mut(),
+            Inner::Qmdd(s) => s.as_mut(),
+            Inner::Stabilizer(s) => s.as_mut(),
+        }
+    }
+
+    /// Applies a single gate (streaming interface).
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), ExecError> {
+        self.sim().apply_gate(gate)?;
+        self.gates_applied += 1;
+        Ok(())
+    }
+
+    /// Applies every gate of `circuit` and returns a structured
+    /// [`RunResult`] (timing, total probability, representation statistics,
+    /// optional per-qubit ⟨Z⟩ expectations).
+    pub fn run(&mut self, circuit: &Circuit) -> Result<RunResult, ExecError> {
+        if circuit.num_qubits() != self.num_qubits {
+            return Err(ExecError::QubitMismatch {
+                session: self.num_qubits,
+                circuit: circuit.num_qubits(),
+            });
+        }
+        let collect_expectations = self.collect_expectations_enabled();
+        let start = Instant::now();
+        let mut gates = 0usize;
+        for gate in circuit.iter() {
+            self.sim().apply_gate(gate)?;
+            gates += 1;
+            self.gates_applied += 1;
+        }
+        let total_probability = self.sim().total_probability();
+        let expectations_z = if collect_expectations {
+            Some(
+                (0..self.num_qubits)
+                    .map(|q| 1.0 - 2.0 * self.sim().probability_of_one(q))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let elapsed = start.elapsed();
+        Ok(RunResult {
+            backend: self.kind,
+            gates_applied: gates,
+            elapsed,
+            total_probability,
+            expectations_z,
+            stats: self.stats(),
+        })
+    }
+
+    fn collect_expectations_enabled(&self) -> bool {
+        self.config.collect_expectations
+    }
+
+    /// The probability of measuring `|1⟩` on `qubit`.
+    pub fn probability_of_one(&mut self, qubit: usize) -> f64 {
+        self.sim().probability_of_one(qubit)
+    }
+
+    /// The probability of observing the full basis state `bits`.
+    pub fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+        self.sim().probability_of_basis_state(bits)
+    }
+
+    /// The ⟨Z⟩ expectation of one qubit.
+    pub fn expectation_z(&mut self, qubit: usize) -> f64 {
+        1.0 - 2.0 * self.sim().probability_of_one(qubit)
+    }
+
+    /// The sum of all outcome probabilities.
+    pub fn total_probability(&mut self) -> f64 {
+        self.sim().total_probability()
+    }
+
+    /// Measures `qubit` with the supplied uniform random value, collapsing
+    /// the session state.
+    pub fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        self.sim().measure_with(qubit, u)
+    }
+
+    /// Draws `shots` full-register measurement shots from the current state
+    /// **without re-simulating the circuit and without collapsing the
+    /// state**; see [`crate::sample`] for the per-backend mechanics.  Shots
+    /// are reproducible: the same `seed` yields the same histogram, and
+    /// backends computing identical probabilities yield identical
+    /// histograms under a shared seed.
+    pub fn sample(&mut self, shots: u64, seed: u64) -> Result<SampleResult, ExecError> {
+        if self.num_qubits > 64 {
+            return Err(ExecError::Unsupported {
+                backend: self.kind.name(),
+                what: format!(
+                    "sampling over {} qubits (outcome words hold 64)",
+                    self.num_qubits
+                ),
+            });
+        }
+        let start = Instant::now();
+        let histogram = match &mut self.inner {
+            Inner::BitSlice(s) => sample::sample_bitslice(s, shots, seed),
+            Inner::Dense(s) => sample::sample_dense(s, shots, seed),
+            Inner::Qmdd(s) => sample::sample_qmdd(s, shots, seed),
+            Inner::Stabilizer(s) => sample::sample_stabilizer(s, shots, seed),
+        };
+        Ok(SampleResult {
+            backend: self.kind,
+            shots,
+            elapsed: start.elapsed(),
+            histogram,
+        })
+    }
+
+    /// Captures a checkpoint of the session state.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let inner = match &mut self.inner {
+            Inner::BitSlice(s) => SnapshotInner::BitSlice(s.snapshot()),
+            Inner::Dense(s) => SnapshotInner::Dense(s.snapshot()),
+            Inner::Qmdd(s) => SnapshotInner::Qmdd(s.snapshot()),
+            Inner::Stabilizer(s) => SnapshotInner::Stabilizer(Box::new(s.snapshot())),
+        };
+        Snapshot {
+            backend: self.kind.name(),
+            session_id: self.id,
+            gates_applied: self.gates_applied,
+            inner,
+        }
+    }
+
+    /// Rolls the session back to `snapshot` (which stays valid for further
+    /// restores until [`Session::discard`]).  The snapshot must come from
+    /// *this* session: symbolic snapshots hold manager-internal handles, so
+    /// restoring one into any other session — even of the same backend kind
+    /// — is rejected rather than silently corrupting state.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), ExecError> {
+        if snapshot.session_id != self.id {
+            return Err(ExecError::ForeignSnapshot {
+                backend: self.kind.name(),
+            });
+        }
+        match (&mut self.inner, &snapshot.inner) {
+            (Inner::BitSlice(s), SnapshotInner::BitSlice(snap)) => s.restore(snap),
+            (Inner::Dense(s), SnapshotInner::Dense(snap)) => s.restore(snap),
+            (Inner::Qmdd(s), SnapshotInner::Qmdd(snap)) => s.restore(snap),
+            (Inner::Stabilizer(s), SnapshotInner::Stabilizer(snap)) => s.restore(snap),
+            _ => {
+                return Err(ExecError::SnapshotMismatch {
+                    session: self.kind.name(),
+                    snapshot: snapshot.backend,
+                })
+            }
+        }
+        self.gates_applied = snapshot.gates_applied;
+        Ok(())
+    }
+
+    /// Releases a checkpoint (unpinning symbolic-backend roots).  Fails on
+    /// a snapshot from another session — its pins index that session's
+    /// manager, so releasing them here would unpin the wrong nodes.
+    pub fn discard(&mut self, snapshot: Snapshot) -> Result<(), ExecError> {
+        if snapshot.session_id != self.id {
+            return Err(ExecError::ForeignSnapshot {
+                backend: self.kind.name(),
+            });
+        }
+        match (&mut self.inner, snapshot.inner) {
+            (Inner::BitSlice(s), SnapshotInner::BitSlice(snap)) => s.release_snapshot(snap),
+            (Inner::Qmdd(s), SnapshotInner::Qmdd(snap)) => s.release(snap),
+            // Dense / stabilizer snapshots are plain copies; dropping frees
+            // them.  (Kind mismatch with a matching session id cannot occur:
+            // the id pins the snapshot to this very session.)
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Current representation statistics (node counts, memory estimate and
+    /// — on the bit-sliced backend — the full BDD kernel counters).
+    pub fn stats(&self) -> ExecStats {
+        const MIB: f64 = 1024.0 * 1024.0;
+        match &self.inner {
+            Inner::BitSlice(s) => {
+                let kernel = s.state().manager().stats();
+                let bytes = self
+                    .kind
+                    .capabilities()
+                    .bytes_per_node
+                    .expect("bitslice has a node memory model");
+                ExecStats {
+                    live_nodes: Some(s.node_count()),
+                    peak_nodes: Some(kernel.peak_nodes),
+                    memory_mib: kernel.peak_nodes as f64 * bytes / MIB,
+                    bdd: Some(kernel),
+                }
+            }
+            Inner::Qmdd(s) => {
+                let bytes = self
+                    .kind
+                    .capabilities()
+                    .bytes_per_node
+                    .expect("qmdd has a node memory model");
+                ExecStats {
+                    live_nodes: Some(s.node_count()),
+                    peak_nodes: Some(s.peak_nodes()),
+                    memory_mib: s.peak_nodes() as f64 * bytes / MIB,
+                    bdd: None,
+                }
+            }
+            Inner::Dense(_) => ExecStats {
+                live_nodes: None,
+                peak_nodes: None,
+                memory_mib: (1u64 << self.num_qubits) as f64 * 16.0 / MIB,
+                bdd: None,
+            },
+            Inner::Stabilizer(_) => ExecStats {
+                live_nodes: None,
+                peak_nodes: None,
+                memory_mib: (2 * self.num_qubits * self.num_qubits) as f64 * 2.0 / MIB,
+                bdd: None,
+            },
+        }
+    }
+
+    /// The underlying bit-sliced simulator, when that is the owned backend
+    /// (for backend-specific features: exact amplitudes, manual reordering).
+    pub fn bitslice_mut(&mut self) -> Option<&mut BitSliceSimulator> {
+        match &mut self.inner {
+            Inner::BitSlice(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The underlying dense simulator, when that is the owned backend.
+    pub fn dense_mut(&mut self) -> Option<&mut DenseSimulator> {
+        match &mut self.inner {
+            Inner::Dense(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The underlying QMDD simulator, when that is the owned backend.
+    pub fn qmdd_mut(&mut self) -> Option<&mut QmddSimulator> {
+        match &mut self.inner {
+            Inner::Qmdd(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The underlying stabilizer simulator, when that is the owned backend.
+    pub fn stabilizer_mut(&mut self) -> Option<&mut StabilizerSimulator> {
+        match &mut self.inner {
+            Inner::Stabilizer(s) => Some(s),
+            _ => None,
+        }
+    }
+}

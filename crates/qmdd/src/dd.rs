@@ -438,9 +438,16 @@ impl DdManager {
     /// Mark-and-sweep garbage collection keeping only nodes reachable from
     /// `root`.  Returns the number of freed nodes.
     pub fn collect_garbage(&mut self, root: Edge) -> usize {
+        self.collect_garbage_many(&[root])
+    }
+
+    /// Mark-and-sweep garbage collection keeping every node reachable from
+    /// any of `roots` (e.g. the live state plus pinned snapshot edges).
+    /// Returns the number of freed nodes.
+    pub fn collect_garbage_many(&mut self, roots: &[Edge]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
-        let mut stack = vec![root.node];
+        let mut stack: Vec<NodeIdx> = roots.iter().map(|e| e.node).collect();
         while let Some(n) = stack.pop() {
             if marked[n.index()] {
                 continue;

@@ -31,4 +31,4 @@ mod simulator;
 
 pub use ctable::{CIdx, ComplexTable};
 pub use dd::{DdManager, Edge, NodeIdx};
-pub use simulator::{QmddLimits, QmddSimulator};
+pub use simulator::{QmddLimits, QmddSimulator, QmddSnapshot};

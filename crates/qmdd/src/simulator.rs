@@ -87,6 +87,18 @@ pub struct QmddSimulator {
     root: Edge,
     num_qubits: usize,
     limits: QmddLimits,
+    /// Snapshot edges pinned against garbage collection (slot-addressed so
+    /// snapshots can be released out of order).
+    pinned: Vec<Option<Edge>>,
+}
+
+/// A checkpoint of a [`QmddSimulator`] state taken by
+/// [`QmddSimulator::snapshot`]: the root edge at snapshot time, pinned
+/// against the simulator's garbage collector until released.
+#[derive(Debug)]
+pub struct QmddSnapshot {
+    edge: Edge,
+    slot: usize,
 }
 
 impl QmddSimulator {
@@ -106,6 +118,7 @@ impl QmddSimulator {
             root,
             num_qubits,
             limits: QmddLimits::default(),
+            pinned: Vec::new(),
         }
     }
 
@@ -135,6 +148,76 @@ impl QmddSimulator {
     /// The peak number of allocated DD nodes over the whole simulation.
     pub fn peak_nodes(&self) -> usize {
         self.dd.peak_nodes()
+    }
+
+    /// The number of live DD nodes right now (allocation slots minus the
+    /// free list) — the quantity the node limit and GC heuristics compare
+    /// against.
+    pub fn allocated_nodes(&self) -> usize {
+        self.dd.allocated_nodes()
+    }
+
+    /// Captures the current state as a pinned checkpoint: the returned
+    /// snapshot's root edge survives every later gate, measurement and
+    /// garbage collection until [`QmddSimulator::release`] is called.
+    pub fn snapshot(&mut self) -> QmddSnapshot {
+        let slot = self
+            .pinned
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.pinned.push(None);
+                self.pinned.len() - 1
+            });
+        self.pinned[slot] = Some(self.root);
+        QmddSnapshot {
+            edge: self.root,
+            slot,
+        }
+    }
+
+    /// Rolls the state back to `snapshot` (which stays pinned and can be
+    /// restored again).
+    pub fn restore(&mut self, snapshot: &QmddSnapshot) {
+        self.root = snapshot.edge;
+    }
+
+    /// Releases a checkpoint, unpinning its edge.
+    pub fn release(&mut self, snapshot: QmddSnapshot) {
+        self.pinned[snapshot.slot] = None;
+    }
+
+    /// The root edge of the current state (for read-only DD traversals; the
+    /// edge is only guaranteed live until the next gate or GC).
+    pub fn root_edge(&self) -> Edge {
+        self.root
+    }
+
+    /// Projects `e` onto the subspace where `qubit` reads `value`, without
+    /// renormalising: the squared norm of the result is the joint probability
+    /// of the projections applied so far.  Building block for non-collapsing
+    /// conditional-probability descent (batched sampling).
+    pub fn project(&mut self, e: Edge, qubit: usize, value: bool) -> Edge {
+        self.dd.select(e, qubit, value)
+    }
+
+    /// The squared 2-norm of the vector rooted at `e`.
+    pub fn edge_norm_sqr(&self, e: Edge) -> f64 {
+        self.dd.norm_sqr(e)
+    }
+
+    /// Runs a garbage collection keeping the current root, every pinned
+    /// snapshot and every edge in `extra` alive.  Returns freed node count.
+    pub fn collect_garbage_keeping(&mut self, extra: &[Edge]) -> usize {
+        let roots = self.gc_roots(extra);
+        self.dd.collect_garbage_many(&roots)
+    }
+
+    fn gc_roots(&self, extra: &[Edge]) -> Vec<Edge> {
+        let mut roots = vec![self.root];
+        roots.extend(self.pinned.iter().flatten().copied());
+        roots.extend_from_slice(extra);
+        roots
     }
 
     /// Applies `base` only on the subspace where all `controls` are 1 and
@@ -236,7 +319,8 @@ impl Simulator for QmddSimulator {
             }
         };
         if self.dd.allocated_nodes() > 4 * self.dd.node_count(self.root) + 1024 {
-            self.dd.collect_garbage(self.root);
+            let roots = self.gc_roots(&[]);
+            self.dd.collect_garbage_many(&roots);
         }
         self.check_limits()
     }
@@ -257,7 +341,8 @@ impl Simulator for QmddSimulator {
         let projected = self.dd.select(self.root, qubit, outcome);
         let scale = self.dd.ctable.lookup(Complex::new(1.0 / p.sqrt(), 0.0));
         self.root = self.dd.scale(projected, scale);
-        self.dd.collect_garbage(self.root);
+        let roots = self.gc_roots(&[]);
+        self.dd.collect_garbage_many(&roots);
         outcome
     }
 

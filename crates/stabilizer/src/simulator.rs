@@ -39,6 +39,17 @@ impl StabilizerSimulator {
     pub fn tableau(&self) -> &Tableau {
         &self.tableau
     }
+
+    /// Captures the current tableau as a checkpoint (`O(n²)` copy).
+    pub fn snapshot(&self) -> Tableau {
+        self.tableau.clone()
+    }
+
+    /// Rolls the state back to a snapshot taken by
+    /// [`StabilizerSimulator::snapshot`].
+    pub fn restore(&mut self, snapshot: &Tableau) {
+        self.tableau = snapshot.clone();
+    }
 }
 
 impl Simulator for StabilizerSimulator {

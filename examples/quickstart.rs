@@ -1,88 +1,104 @@
-//! Quickstart: build a Bell state, inspect its exact amplitudes, and sample
-//! measurements with the bit-sliced BDD simulator.
+//! Quickstart: open a `Session`, let the backend registry pick a simulator,
+//! run a circuit, draw a batch of measurement shots, and checkpoint/restore
+//! the state — the whole public surface in one tour.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use sliqsim::circuit::Simulator;
 use sliqsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the circuit with the fluent builder (or parse OpenQASM).
+    //    H·T makes it non-Clifford, so Auto selection picks the exact
+    //    bit-sliced BDD backend (a pure Clifford circuit would go to the
+    //    O(n²) stabilizer tableau instead).
     let mut circuit = Circuit::new(2);
-    circuit.h(0).cx(0, 1);
+    circuit.h(0).cx(0, 1).t(1);
     println!("circuit:\n{circuit}");
 
-    // 2. Run it on the exact bit-sliced BDD simulator.
-    let mut sim = BitSliceSimulator::new(circuit.num_qubits());
-    sim.run(&circuit)?;
-
-    // 3. Amplitudes are exact algebraic numbers — no floating point involved.
-    let amp00 = sim.amplitude(&[false, false]);
-    let amp11 = sim.amplitude(&[true, true]);
-    println!("⟨00|ψ⟩ = {amp00}  (= 1/√2 exactly)");
-    println!("⟨11|ψ⟩ = {amp11}");
+    // 2. Open a session negotiated for the circuit and run it.  The
+    //    RunResult carries timing, normalization and representation stats.
+    let config = SessionConfig::default().expectations(true);
+    let mut session = Session::for_circuit(&circuit, config)?;
     println!(
-        "state is exactly normalised: {}",
-        sim.is_exactly_normalized()
+        "backend: {} (capabilities: exact={}, reorder={})",
+        session.kind(),
+        session.kind().capabilities().exact,
+        session.kind().capabilities().supports_reorder,
+    );
+    let result = session.run(&circuit)?;
+    println!(
+        "ran {} gates in {:.3} ms — |Σp − 1| = {:.1e}, {} live BDD nodes",
+        result.gates_applied,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.probability_error(),
+        result.stats.live_nodes.unwrap_or(0),
+    );
+    println!(
+        "per-qubit ⟨Z⟩ expectations: {:?}",
+        result.expectations_z.as_deref().unwrap_or(&[])
     );
 
-    // 4. Probabilities and measurement.
-    println!("Pr[q1 = 1] = {}", sim.probability_of_one(1));
-    let outcome0 = sim.measure_with(0, 0.3);
-    let outcome1 = sim.measure_with(1, 0.7);
+    // 3. Batched sampling: 10 000 measurement shots from the ONE simulated
+    //    state — no per-shot re-simulation, no state collapse, reproducible
+    //    under the seed.
+    let shots = session.sample(10_000, 42)?;
     println!(
-        "measured q0 = {}, q1 = {} (Bell correlations force equality)",
-        outcome0 as u8, outcome1 as u8
+        "sampled {} shots in {:.3} ms ({:.0} shots/s):",
+        shots.shots,
+        shots.elapsed.as_secs_f64() * 1e3,
+        shots.shots_per_sec()
     );
-    assert_eq!(outcome0, outcome1);
+    print!("{}", shots.histogram.format_top(4));
 
-    // 5. Kernel introspection: the BDD manager uses complement edges, so
-    //    negation is an O(1) bit flip and a function shares its whole
-    //    subgraph with its own negation.  The counters double as a manual
-    //    perf check — more complemented edges means more sharing.
-    let stats = sim.state().manager().stats();
-    let (complemented, nodes) = sim.state().complement_edge_count();
+    // 4. Checkpoints: snapshot, collapse destructively, then roll back.
+    let checkpoint = session.snapshot();
+    let outcome = session.measure_with(0, 0.3);
     println!(
-        "kernel: {nodes} live BDD nodes ({complemented} complemented edges), \
-         {} O(1) negations, {} canonical flips, cache hit-rate {:.1}%",
-        stats.not_ops,
-        stats.complement_flips,
-        100.0 * stats.cache_hit_rate()
+        "collapsed q0 to {} — Pr[q1 = 1] is now {:.3}",
+        outcome as u8,
+        session.probability_of_one(1)
     );
-
-    // 6. On hard workloads the kernel can sift its variable order: enable
-    //    the automatic trigger with `.with_auto_reorder(true)`, or sift on
-    //    demand.  Reordering never changes any amplitude — only the BDD
-    //    shape — and every slice handle stays valid (the state registers
-    //    its roots with the manager).
-    let mut hard = BitSliceSimulator::new(20).with_auto_reorder(true);
-    hard.run(&sliqsim::workloads::random::random_clifford_t(20, 1))?;
-    let rstats = hard.state().manager().stats();
+    session.restore(&checkpoint)?;
     println!(
-        "reordering demo (random Clifford+T, 20 qubits): peak {} nodes, \
-         {} reorders / {} swaps, last sift {} -> {} nodes",
-        rstats.peak_nodes,
-        rstats.reorders,
-        rstats.reorder_swaps,
-        rstats.reorder_last_before,
-        rstats.reorder_last_after
+        "restored — Pr[q1 = 1] back to {:.3}",
+        session.probability_of_one(1)
     );
+    session.discard(checkpoint)?;
 
-    // 7. The same circuit runs unchanged on every baseline backend.
-    let mut dense = DenseSimulator::new(2);
-    dense.run(&circuit)?;
-    let mut qmdd = QmddSimulator::new(2);
+    // 5. Backend-specific extras stay reachable: the bit-sliced simulator
+    //    exposes exact algebraic amplitudes (no floating point involved).
+    if let Some(sim) = session.bitslice_mut() {
+        let amp = sim.amplitude(&[true, true]);
+        println!("⟨11|ψ⟩ = {amp}  (exact algebraic form)");
+        println!("state exactly normalised: {}", sim.is_exactly_normalized());
+        let stats = sim.state().manager().stats();
+        println!(
+            "kernel: {} O(1) negations, cache hit-rate {:.1}%",
+            stats.not_ops,
+            100.0 * stats.cache_hit_rate()
+        );
+    }
+
+    // 6. The same session API drives every backend; ask for one explicitly
+    //    to cross-check a probability on the QMDD baseline.
+    let mut qmdd = Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::Qmdd))?;
     qmdd.run(&circuit)?;
-    let mut chp = StabilizerSimulator::new(2);
-    chp.run(&circuit)?;
     println!(
-        "Pr[11] — dense: {:.6}, qmdd: {:.6}, stabilizer: {:.6}",
-        dense.probability_of_basis_state(&[true, true]),
+        "Pr[11] — bitslice: {:.6}, qmdd: {:.6}",
+        session.probability_of_basis_state(&[true, true]),
         qmdd.probability_of_basis_state(&[true, true]),
-        chp.probability_of_basis_state(&[true, true]),
+    );
+
+    // 7. Identical seeds give identical histograms across exact backends on
+    //    dyadic-probability circuits — the weak-simulation side of the
+    //    paper served by the same representation as the strong side.
+    let qmdd_shots = qmdd.sample(10_000, 42)?;
+    println!(
+        "histograms agree across backends under the shared seed: {}",
+        qmdd_shots.histogram == shots.histogram
     );
     Ok(())
 }

@@ -5,18 +5,17 @@
 //! modification puts every unspecified input into superposition with a
 //! Hadamard, which makes the simulation genuinely quantum: the adder then
 //! computes *all* sums at once.  The bit-sliced simulator keeps this
-//! tractable and exact; the example cross-checks a few amplitudes against
-//! classical addition.
+//! tractable and exact; the example cross-checks amplitudes against
+//! classical addition and samples the superposed adder to watch every shot
+//! satisfy `b' = a + b`.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example revlib_superposition -- [bits]
 //! ```
 
-use sliqsim::circuit::Simulator;
 use sliqsim::prelude::*;
 use sliqsim::workloads::revlib_like;
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bits: usize = std::env::args()
@@ -35,19 +34,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Original circuit on a classical input: plain reversible computation.
+    // The session starts in |0…0⟩, so the input is prepared with X gates.
     let a_val = 0b1011usize & ((1 << bits) - 1);
     let b_val = 0b0110usize & ((1 << bits) - 1);
+    let mut classical_circuit = Circuit::new(original.num_qubits());
     let mut input = vec![false; original.num_qubits()];
     for i in 0..bits {
         input[i] = a_val >> i & 1 == 1;
         input[bits + i] = b_val >> i & 1 == 1;
     }
-    let mut classical = BitSliceSimulator::with_initial_bits(&input);
-    let start = Instant::now();
-    classical.run(original)?;
+    for (q, &bit) in input.iter().enumerate() {
+        if bit {
+            classical_circuit.x(q);
+        }
+    }
+    classical_circuit.append(original);
+    let mut classical = Session::for_circuit(
+        &classical_circuit,
+        SessionConfig::with_backend(BackendKind::BitSlice),
+    )?;
+    let run = classical.run(&classical_circuit)?;
     println!(
         "original circuit on |a={a_val}, b={b_val}⟩ simulated in {:.4} s",
-        start.elapsed().as_secs_f64()
+        run.elapsed.as_secs_f64()
     );
     let mut expected = input.clone();
     let sum = (a_val + b_val) & ((1 << bits) - 1);
@@ -58,17 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  a + b mod 2^{bits} = {sum} ✓");
 
     // Modified circuit: all free inputs in superposition.
-    let mut quantum = BitSliceSimulator::new(modified.num_qubits());
-    let start = Instant::now();
-    quantum.run(&modified)?;
+    let mut quantum = Session::for_circuit(
+        &modified,
+        SessionConfig::with_backend(BackendKind::BitSlice),
+    )?;
+    let run = quantum.run(&modified)?;
     println!(
-        "modified circuit (H on {} free inputs) simulated in {:.4} s — {} BDD nodes, width r = {}",
+        "modified circuit (H on {} free inputs) simulated in {:.4} s — {} BDD nodes",
         bench.metadata.free_inputs().len(),
-        start.elapsed().as_secs_f64(),
-        quantum.node_count(),
-        quantum.width()
+        run.elapsed.as_secs_f64(),
+        run.stats.live_nodes.unwrap_or(0),
     );
-    assert!(quantum.is_exactly_normalized());
 
     // Every input pair (a, b) appears with equal amplitude and its b-register
     // holds a + b: spot-check one amplitude exactly.
@@ -79,11 +88,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         witness[i] = a_spot >> i & 1 == 1;
         witness[bits + i] = sum_spot >> i & 1 == 1;
     }
-    let amp = quantum.amplitude(&witness);
-    println!(
-        "exact amplitude of |a={a_spot}, a+b={sum_spot}⟩ = {amp} (should be 1/√2^{})",
-        bench.metadata.free_inputs().len()
-    );
     let expected_amp = {
         let mut x = sliqsim::math::Algebraic::one();
         for _ in 0..bench.metadata.free_inputs().len() {
@@ -91,8 +95,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         x
     };
+    let sim = quantum.bitslice_mut().expect("bit-sliced session");
+    let amp = sim.amplitude(&witness);
+    println!(
+        "exact amplitude of |a={a_spot}, a+b={sum_spot}⟩ = {amp} (should be 1/√2^{})",
+        bench.metadata.free_inputs().len()
+    );
     assert!(amp.value_eq(&expected_amp));
+    assert!(sim.is_exactly_normalized());
     let _ = b_spot;
+
+    // Weak simulation over the whole superposition: every sampled shot must
+    // satisfy the adder relation b' = a + b (with the carry ancilla clean).
+    if modified.num_qubits() <= 64 {
+        let shots = quantum.sample(4096, 17)?;
+        // The adder maps (a, b) → (a, a + b) and uncomputes its carry, so
+        // the ancilla (top qubit) reads 0 in every single shot.
+        let clean = shots
+            .histogram
+            .counts()
+            .keys()
+            .all(|outcome| outcome >> (2 * bits) == 0);
+        let distinct = shots.histogram.counts().len();
+        println!(
+            "sampled {} shots ({:.0} shots/s): {distinct} distinct (a, a+b) outcomes, \
+             carry ancilla clean in all: {clean}",
+            shots.shots,
+            shots.shots_per_sec(),
+        );
+        assert!(clean);
+    }
     println!("all checks passed");
     Ok(())
 }

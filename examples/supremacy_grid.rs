@@ -4,18 +4,17 @@
 //! These circuits are designed to entangle qubits as fast as possible, which
 //! makes them the hardest family for every decision-diagram simulator; the
 //! paper reports both DDSIM and SliQSim giving out on the larger grids.  The
-//! example runs a small lattice on the bit-sliced and QMDD backends and
-//! compares their amplitudes against the dense oracle.
+//! example runs a small lattice through one `Session` per backend, compares
+//! amplitudes against the dense oracle, and cross-checks the sampling
+//! histograms of the exact and dense backends.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example supremacy_grid -- [rows] [cols] [depth]
 //! ```
 
-use sliqsim::circuit::Simulator;
 use sliqsim::prelude::*;
 use sliqsim::workloads::supremacy::{supremacy_circuit, Lattice};
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -30,44 +29,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.len()
     );
 
-    let start = Instant::now();
-    let mut bitslice = BitSliceSimulator::new(n);
-    bitslice.run(&circuit)?;
+    let mut bitslice =
+        Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::BitSlice))?;
+    let run = bitslice.run(&circuit)?;
     println!(
-        "bit-sliced BDD : {:.3} s, {} nodes, width r = {}, exactly normalised = {}",
-        start.elapsed().as_secs_f64(),
-        bitslice.node_count(),
-        bitslice.width(),
-        bitslice.is_exactly_normalized()
+        "bit-sliced BDD : {:.3} s, {} nodes ({:.2} MiB peak), |Σp − 1| = {:.1e}",
+        run.elapsed.as_secs_f64(),
+        run.stats.live_nodes.unwrap_or(0),
+        run.stats.memory_mib,
+        run.probability_error(),
     );
 
-    let start = Instant::now();
-    let mut qmdd = QmddSimulator::new(n);
-    qmdd.run(&circuit)?;
+    let mut qmdd = Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::Qmdd))?;
+    let run = qmdd.run(&circuit)?;
     println!(
-        "QMDD baseline  : {:.3} s, {} nodes, Σp = {:.12}",
-        start.elapsed().as_secs_f64(),
-        qmdd.node_count(),
-        qmdd.total_probability()
+        "QMDD baseline  : {:.3} s, {} nodes, |Σp − 1| = {:.1e}",
+        run.elapsed.as_secs_f64(),
+        run.stats.live_nodes.unwrap_or(0),
+        run.probability_error(),
     );
 
-    if n <= 24 {
-        let start = Instant::now();
-        let mut dense = DenseSimulator::new(n);
-        dense.run(&circuit)?;
-        println!("dense oracle   : {:.3} s", start.elapsed().as_secs_f64());
+    if BackendKind::Dense.check_circuit(&circuit).is_ok() && n <= 24 {
+        let mut dense =
+            Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::Dense))?;
+        let run = dense.run(&circuit)?;
+        println!("dense oracle   : {:.3} s", run.elapsed.as_secs_f64());
         // Cross-check a handful of amplitudes across all three backends.
         let mut max_err: f64 = 0.0;
         for i in 0..16usize {
             let bits: Vec<bool> = (0..n)
                 .map(|q| (i.wrapping_mul(2654435761) >> (q % 30)) & 1 == 1)
                 .collect();
-            let exact = bitslice.amplitude(&bits).to_complex();
-            let d = dense.amplitude(&bits);
-            let q = qmdd.amplitude(&bits);
+            let exact = bitslice
+                .bitslice_mut()
+                .expect("bit-sliced session")
+                .amplitude(&bits)
+                .to_complex();
+            let d = dense.dense_mut().expect("dense session").amplitude(&bits);
+            let q = qmdd.qmdd_mut().expect("qmdd session").amplitude(&bits);
             max_err = max_err.max((exact - d).norm()).max((q - d).norm());
         }
         println!("max amplitude deviation vs dense over 16 spot checks: {max_err:.3e}");
+
+        // Weak simulation on a near-uniform distribution: the exact and
+        // dense histograms stay statistically indistinguishable (total
+        // variation distance shrinks with shot count).
+        let shots = 20_000;
+        let a = bitslice.sample(shots, 99)?;
+        let b = dense.sample(shots, 99)?;
+        let mut tv = 0.0;
+        for outcome in 0..(1u64 << n) {
+            tv += (a.histogram.frequency(outcome) - b.histogram.frequency(outcome)).abs();
+        }
+        println!(
+            "sampling: {} shots at {:.0}/s (bitslice) vs {:.0}/s (dense); \
+             total-variation distance between the histograms: {:.4}",
+            shots,
+            a.shots_per_sec(),
+            b.shots_per_sec(),
+            tv / 2.0
+        );
     } else {
         println!("dense oracle   : skipped ({n} qubits exceeds the array-based limit)");
     }

@@ -1,28 +1,31 @@
 //! `sliq` — a small command-line front end for the simulators.
 //!
 //! ```text
-//! sliq <circuit.qasm|circuit.real> [--backend bitslice|qmdd|dense|stabilizer]
+//! sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer]
 //!      [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]
+//!      [--reorder]
 //! ```
 //!
 //! The circuit format is inferred from the file extension (`.qasm` for the
-//! OpenQASM-2 subset, `.real` for RevLib).  By default the exact bit-sliced
-//! backend is used, the per-qubit |1⟩ probabilities of the first few qubits
-//! are printed, and no measurement shots are taken.
+//! OpenQASM-2 subset, `.real` for RevLib).  Execution goes through the
+//! `sliq_exec::Session` layer: `--backend auto` negotiates the backend from
+//! the circuit (stabilizer for Clifford-only, bit-sliced otherwise), and
+//! `--shots N` draws all N measurement shots from the one simulated state
+//! (batched sampling — the circuit is never re-run per shot).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sliqsim::circuit::{qasm, real, Circuit, Simulator};
+use sliqsim::circuit::{qasm, real, Circuit};
 use sliqsim::prelude::*;
 use std::error::Error;
-use std::time::Instant;
 
 struct Options {
     path: String,
     backend: String,
     superpose: bool,
-    shots: usize,
+    shots: u64,
     seed: u64,
+    reorder: bool,
     probability_qubits: Option<Vec<usize>>,
 }
 
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         superpose: false,
         shots: 0,
         seed: 1,
+        reorder: false,
         probability_qubits: None,
     };
     while let Some(arg) = args.next() {
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
                 options.backend = args.next().ok_or("--backend needs a value")?;
             }
             "--superpose-free-inputs" => options.superpose = true,
+            "--reorder" => options.reorder = true,
             "--shots" => {
                 options.shots = args
                     .next()
@@ -64,7 +69,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]".to_string());
+                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…] [--reorder]".to_string());
             }
             other if options.path.is_empty() && !other.starts_with('-') => {
                 options.path = other.to_string();
@@ -97,12 +102,13 @@ fn load_circuit(options: &Options) -> Result<Circuit, Box<dyn Error>> {
     }
 }
 
-fn make_backend(name: &str, num_qubits: usize) -> Result<Box<dyn Simulator>, String> {
+fn backend_kind(name: &str) -> Result<BackendKind, String> {
     match name {
-        "bitslice" | "ours" => Ok(Box::new(BitSliceSimulator::new(num_qubits))),
-        "qmdd" | "ddsim" => Ok(Box::new(QmddSimulator::new(num_qubits))),
-        "dense" | "array" => Ok(Box::new(DenseSimulator::new(num_qubits))),
-        "stabilizer" | "chp" => Ok(Box::new(StabilizerSimulator::new(num_qubits))),
+        "auto" => Ok(BackendKind::Auto),
+        "bitslice" | "ours" => Ok(BackendKind::BitSlice),
+        "qmdd" | "ddsim" => Ok(BackendKind::Qmdd),
+        "dense" | "array" => Ok(BackendKind::Dense),
+        "stabilizer" | "chp" => Ok(BackendKind::Stabilizer),
         other => Err(format!("unknown backend `{other}`")),
     }
 }
@@ -131,34 +137,55 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
         circuit.len(),
         circuit.depth()
     );
-    let mut backend = make_backend(&options.backend, circuit.num_qubits())?;
-    let start = Instant::now();
-    backend.run(&circuit)?;
+    let config =
+        SessionConfig::with_backend(backend_kind(&options.backend)?).auto_reorder(options.reorder);
+    let mut session = Session::for_circuit(&circuit, config)?;
+    let result = session.run(&circuit)?;
     println!(
         "simulated on `{}` in {:.3} s",
-        backend.name(),
-        start.elapsed().as_secs_f64()
+        session.backend_name(),
+        result.elapsed.as_secs_f64()
     );
+    if let Some(nodes) = result.stats.live_nodes {
+        println!(
+            "representation: {} live nodes ({:.2} MiB peak)",
+            nodes, result.stats.memory_mib
+        );
+    }
 
     let qubits: Vec<usize> = options
         .probability_qubits
         .clone()
         .unwrap_or_else(|| (0..circuit.num_qubits().min(8)).collect());
     for q in qubits {
-        println!("Pr[q{q} = 1] = {:.10}", backend.probability_of_one(q));
+        println!("Pr[q{q} = 1] = {:.10}", session.probability_of_one(q));
     }
-    println!("sum of probabilities = {:.12}", backend.total_probability());
+    println!("sum of probabilities = {:.12}", session.total_probability());
 
-    if options.shots > 0 {
+    if options.shots > 0 && circuit.num_qubits() <= 64 {
+        // Batched sampling: every shot comes from the one simulated state
+        // (conditional-probability descent), not from re-running the
+        // circuit; identical seeds give identical histograms.
+        let sample = session.sample(options.shots, options.seed)?;
+        println!(
+            "sampled {} shot(s) in {:.3} ms ({:.0} shots/s), {} distinct outcomes:",
+            sample.shots,
+            sample.elapsed.as_secs_f64() * 1e3,
+            sample.shots_per_sec(),
+            sample.histogram.counts().len()
+        );
+        print!("{}", sample.histogram.format_top(16));
+    } else if options.shots > 0 {
+        // Registers wider than an outcome word: draw shots one at a time by
+        // collapsing a checkpoint of the simulated state and rolling back —
+        // still no circuit re-simulation per shot.
         let mut rng = StdRng::seed_from_u64(options.seed);
         println!("sampling {} shot(s):", options.shots);
+        let checkpoint = session.snapshot();
         for shot in 0..options.shots {
-            // Each shot needs a fresh state, so re-run the circuit.
-            let mut fresh = make_backend(&options.backend, circuit.num_qubits())?;
-            fresh.run(&circuit)?;
             let outcome: String = (0..circuit.num_qubits())
                 .map(|q| {
-                    if fresh.measure_with(q, rng.gen_range(0.0..1.0)) {
+                    if session.measure_with(q, rng.gen_range(0.0..1.0)) {
                         '1'
                     } else {
                         '0'
@@ -166,7 +193,9 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
                 })
                 .collect();
             println!("  shot {shot}: {outcome}");
+            session.restore(&checkpoint)?;
         }
+        session.discard(checkpoint)?;
     }
     Ok(())
 }

@@ -13,18 +13,28 @@
 //! * [`circuit`] — the gate set, circuit IR and parsers.
 //! * [`core`] — the bit-sliced BDD simulator (the paper's contribution).
 //! * [`dense`], [`qmdd`], [`stabilizer`] — baseline simulators.
+//! * [`exec`] — the session/executor layer: backend registry, capability
+//!   negotiation, checkpoints and batched multi-shot sampling.
 //! * [`workloads`] — benchmark circuit generators.
+//!
+//! The recommended entry point is a [`prelude::Session`]: it owns whichever
+//! backend fits the circuit and exposes one API for running, measuring,
+//! checkpointing and sampling.
 //!
 //! ```
 //! use sliqsim::prelude::*;
 //!
-//! // Prepare a 2-qubit Bell state with the exact bit-sliced simulator.
+//! // Prepare a 2-qubit Bell state; Auto picks the best backend (the
+//! // circuit is Clifford-only, so the stabilizer tableau wins).
 //! let mut circuit = Circuit::new(2);
 //! circuit.h(0).cx(0, 1);
-//! let mut sim = BitSliceSimulator::new(2);
-//! sim.run(&circuit).expect("supported gates only");
-//! assert!((sim.probability_of_basis_state(&[false, false]) - 0.5).abs() < 1e-12);
-//! assert!((sim.probability_of_basis_state(&[true, true]) - 0.5).abs() < 1e-12);
+//! let mut session = Session::for_circuit(&circuit, SessionConfig::default())
+//!     .expect("supported circuit");
+//! session.run(&circuit).expect("supported gates only");
+//! assert!((session.probability_of_basis_state(&[false, false]) - 0.5).abs() < 1e-12);
+//! // 1000 measurement shots without re-simulating the circuit.
+//! let shots = session.sample(1000, 42).expect("small register");
+//! assert_eq!(shots.histogram.shots(), 1000);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,6 +44,7 @@ pub use sliq_bignum as bignum;
 pub use sliq_circuit as circuit;
 pub use sliq_core as core;
 pub use sliq_dense as dense;
+pub use sliq_exec as exec;
 pub use sliq_math as math;
 pub use sliq_qmdd as qmdd;
 pub use sliq_stabilizer as stabilizer;
@@ -44,6 +55,9 @@ pub mod prelude {
     pub use sliq_circuit::{Circuit, Gate, Simulator};
     pub use sliq_core::BitSliceSimulator;
     pub use sliq_dense::DenseSimulator;
+    pub use sliq_exec::{
+        BackendKind, ExecError, Histogram, RunResult, SampleResult, Session, SessionConfig,
+    };
     pub use sliq_math::{Algebraic, Complex};
     pub use sliq_qmdd::QmddSimulator;
     pub use sliq_stabilizer::StabilizerSimulator;

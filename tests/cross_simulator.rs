@@ -143,6 +143,130 @@ fn sampling_distributions_match_between_bitslice_and_dense() {
 }
 
 #[test]
+fn batched_sampling_histograms_identical_across_all_four_backends() {
+    // A 4-qubit Clifford circuit: every outcome probability is dyadic
+    // (0 or 2^-k), so all four backends compute bit-identical conditional
+    // probabilities and the shared-seed descent produces the exact same
+    // histogram — per-outcome frequency equality, not just statistical
+    // agreement.
+    let mut circuit = Circuit::new(4);
+    circuit.h(0).cx(0, 1).h(2).cx(2, 3).cx(1, 2).s(3).z(0);
+    let shots = 10_000;
+    let seed = 99;
+    let mut histograms = Vec::new();
+    for kind in BackendKind::ALL {
+        let mut session = Session::for_circuit(&circuit, SessionConfig::with_backend(kind))
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        session.run(&circuit).unwrap();
+        let sample = session.sample(shots, seed).unwrap();
+        assert_eq!(sample.histogram.shots(), shots, "{kind}");
+        histograms.push((kind, sample.histogram));
+    }
+    let (first_kind, reference) = &histograms[0];
+    for (kind, histogram) in &histograms[1..] {
+        assert_eq!(
+            histogram, reference,
+            "histogram of {kind} deviates from {first_kind} under the shared seed"
+        );
+    }
+    // And the shared histogram matches the exact distribution: frequencies
+    // within 5σ of the dense-oracle probabilities.
+    let mut dense = DenseSimulator::new(4);
+    dense.run(&circuit).unwrap();
+    for outcome in 0..16u64 {
+        let bits: Vec<bool> = (0..4).map(|q| outcome >> q & 1 == 1).collect();
+        let p = dense.probability_of_basis_state(&bits);
+        let sigma = (p * (1.0 - p) / shots as f64).sqrt();
+        let observed = reference.frequency(outcome);
+        assert!(
+            (observed - p).abs() <= 5.0 * sigma + 1e-12,
+            "outcome {outcome:04b}: frequency {observed} vs probability {p}"
+        );
+    }
+}
+
+#[test]
+fn ghz_sampling_chi_square_sanity_at_10k_shots() {
+    let circuit = algorithms::ghz(4);
+    // Auto routes the Clifford-only GHZ circuit to the stabilizer backend.
+    let mut session = Session::for_circuit(&circuit, SessionConfig::default()).unwrap();
+    assert_eq!(session.kind(), BackendKind::Stabilizer);
+    session.run(&circuit).unwrap();
+    let sample = session.sample(10_000, 2021).unwrap();
+    let hist = &sample.histogram;
+    // Only the two GHZ outcomes ever occur.
+    assert_eq!(hist.count_of(0b0000) + hist.count_of(0b1111), 10_000);
+    // χ² against the exact half/half distribution, 1 degree of freedom:
+    // values above ~11 have p < 0.001; the seeded draw is deterministic, so
+    // this can never flake.
+    let chi = hist.chi_square(|o| if o == 0b0000 || o == 0b1111 { 0.5 } else { 0.0 });
+    assert!(chi.is_finite() && chi < 11.0, "χ² = {chi}");
+}
+
+#[test]
+fn bernstein_vazirani_sampling_chi_square_at_10k_shots() {
+    let secret = [true, false, true, true, false];
+    let circuit = algorithms::bernstein_vazirani(&secret);
+    let n = circuit.num_qubits();
+    // Pin the bit-sliced backend: this exercises the non-collapsing
+    // conditional-probability descent over the BDD state.
+    let mut session =
+        Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::BitSlice)).unwrap();
+    session.run(&circuit).unwrap();
+    let sample = session.sample(10_000, 2021).unwrap();
+    let hist = &sample.histogram;
+    // Data qubits are deterministic (the secret); only the |−⟩ ancilla is
+    // uniform, so exactly two outcomes occur.
+    let secret_word = secret
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (q, &b)| acc | (u64::from(b) << q));
+    let ancilla = 1u64 << (n - 1);
+    assert_eq!(
+        hist.count_of(secret_word) + hist.count_of(secret_word | ancilla),
+        10_000
+    );
+    let chi = hist.chi_square(|o| {
+        if o & !ancilla == secret_word {
+            0.5
+        } else {
+            0.0
+        }
+    });
+    assert!(chi.is_finite() && chi < 11.0, "χ² = {chi}");
+    // Sampling is non-collapsing: the session state is still the full BV
+    // output superposition.
+    assert!((session.probability_of_one(n - 1) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn batched_sampling_matches_the_exact_distribution_on_non_dyadic_states() {
+    // T gates make the outcome probabilities irrational — the backends may
+    // legitimately differ in the last ulp here, so the check is statistical
+    // (5σ per outcome) rather than bit-exact, on both exact backends.
+    let mut circuit = Circuit::new(3);
+    circuit.h(0).t(0).h(0).h(1).cx(1, 2).t(2).h(2);
+    let shots = 20_000u64;
+    let mut dense = DenseSimulator::new(3);
+    dense.run(&circuit).unwrap();
+    for kind in [BackendKind::BitSlice, BackendKind::Qmdd] {
+        let mut session =
+            Session::for_circuit(&circuit, SessionConfig::with_backend(kind)).unwrap();
+        session.run(&circuit).unwrap();
+        let sample = session.sample(shots, 5).unwrap();
+        for outcome in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|q| outcome >> q & 1 == 1).collect();
+            let p = dense.probability_of_basis_state(&bits);
+            let sigma = (p * (1.0 - p) / shots as f64).sqrt();
+            assert!(
+                (sample.histogram.frequency(outcome) - p).abs() <= 5.0 * sigma + 1e-9,
+                "{kind}, outcome {outcome:03b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn peephole_optimization_preserves_the_state() {
     for seed in 0..5 {
         let circuit = random::random_circuit(

@@ -1,10 +1,14 @@
 //! End-to-end scenarios exercising the headline capabilities of the paper:
-//! exact simulation of large-but-structured circuits, and the accuracy
-//! advantage over floating-point decision diagrams.
+//! exact simulation of large-but-structured circuits, the accuracy
+//! advantage over floating-point decision diagrams, and the session layer's
+//! batched sampling (many shots from one simulation).
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sliqsim::circuit::Simulator;
 use sliqsim::prelude::*;
-use sliqsim::workloads::{algorithms, revlib_like};
+use sliqsim::workloads::{algorithms, random, revlib_like};
+use std::time::Instant;
 
 #[test]
 fn bernstein_vazirani_at_two_hundred_qubits_is_exact_and_fast() {
@@ -123,6 +127,100 @@ fn facade_prelude_exposes_every_backend() {
             backend.name()
         );
     }
+}
+
+/// Measures the wall-clock cost of drawing one shot by full re-simulation
+/// (fresh simulator + run + collapse), the pre-session way of sampling.
+fn resimulation_secs_per_shot(circuit: &Circuit, shots: usize, rng: &mut StdRng) -> f64 {
+    let n = circuit.num_qubits();
+    let start = Instant::now();
+    for _ in 0..shots {
+        let mut sim = BitSliceSimulator::new(n);
+        sim.run(circuit).unwrap();
+        let us: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let _ = sim.state_mut().measure_all_collapsing(&us);
+    }
+    start.elapsed().as_secs_f64() / shots as f64
+}
+
+#[test]
+fn batched_sampling_beats_resimulation_by_10x_per_shot() {
+    // The acceptance bar scaled to debug-test size: batched Session::sample
+    // must be ≥ 10× cheaper per shot than sequential re-simulation on a
+    // random Clifford+T workload (the release-mode rc_t(16)/10k-shot
+    // numbers live in CHANGES.md; see the SLIQ_PERF_TEST variant below).
+    let circuit = random::random_clifford_t(12, 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let resim_per_shot = resimulation_secs_per_shot(&circuit, 4, &mut rng);
+    let mut session =
+        Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::BitSlice)).unwrap();
+    session.run(&circuit).unwrap();
+    let shots = 4000u64;
+    let start = Instant::now();
+    let sample = session.sample(shots, 1).unwrap();
+    let batched_per_shot = start.elapsed().as_secs_f64() / shots as f64;
+    assert_eq!(sample.histogram.shots(), shots);
+    assert!(
+        batched_per_shot * 10.0 <= resim_per_shot,
+        "batched sampling must be ≥ 10× faster per shot: \
+         {batched_per_shot:.2e}s batched vs {resim_per_shot:.2e}s resimulated"
+    );
+}
+
+#[test]
+fn acceptance_rc_t16_10k_shots_at_least_10x_faster() {
+    // The full acceptance measurement (release-sized); run explicitly with
+    //   SLIQ_PERF_TEST=1 cargo test --release acceptance_rc_t16
+    if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+        return;
+    }
+    let circuit = random::random_clifford_t(16, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let resim_per_shot = resimulation_secs_per_shot(&circuit, 20, &mut rng);
+    let mut session =
+        Session::for_circuit(&circuit, SessionConfig::with_backend(BackendKind::BitSlice)).unwrap();
+    session.run(&circuit).unwrap();
+    let start = Instant::now();
+    let sample = session.sample(10_000, 1).unwrap();
+    let batched = start.elapsed().as_secs_f64();
+    let equivalent_resim = resim_per_shot * 10_000.0;
+    println!(
+        "rc_t(16), 10k shots: batched {batched:.3}s vs {equivalent_resim:.1}s resimulated \
+         ({:.0}x, {:.0} shots/s, {} distinct outcomes)",
+        equivalent_resim / batched,
+        10_000.0 / batched,
+        sample.histogram.counts().len()
+    );
+    assert!(batched * 10.0 <= equivalent_resim);
+}
+
+#[test]
+fn session_checkpoint_survives_further_gates_and_sampling() {
+    // One session serves interleaved strong and weak simulation: run a
+    // prefix, checkpoint, extend the circuit, sample, roll back, and verify
+    // the prefix state returns bit-exactly.
+    let mut prefix = Circuit::new(4);
+    prefix.h(0).cx(0, 1).t(1).cx(1, 2).h(3);
+    let mut session = Session::for_circuit(&prefix, SessionConfig::default()).unwrap();
+    session.run(&prefix).unwrap();
+    let p_before: Vec<f64> = (0..4).map(|q| session.probability_of_one(q)).collect();
+    let checkpoint = session.snapshot();
+    let mut suffix = Circuit::new(4);
+    suffix.cx(2, 3).t(3).h(2).s(0);
+    session.run(&suffix).unwrap();
+    let _ = session.sample(500, 8).unwrap();
+    let outcome = session.measure_with(0, 0.4);
+    let _ = outcome;
+    session.restore(&checkpoint).unwrap();
+    session.discard(checkpoint).unwrap();
+    for (q, &expected) in p_before.iter().enumerate() {
+        let p = session.probability_of_one(q);
+        assert!(
+            (p - expected).abs() < 1e-12,
+            "qubit {q}: {p} after restore vs {expected}"
+        );
+    }
+    assert_eq!(session.gates_applied(), prefix.len());
 }
 
 #[test]
