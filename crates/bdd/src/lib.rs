@@ -11,8 +11,13 @@
 //!   complement bit, negation is an O(1) bit flip, a function and its
 //!   negation share one subgraph, and `mk` keeps the representation
 //!   canonical by never storing a complemented low edge,
-//! * per-variable open-addressed hash-consing unique subtables giving
-//!   canonical node identity,
+//! * **a sharded, concurrency-safe kernel**: apply operations take
+//!   `&Manager` and may run from many threads at once — hash consing
+//!   publishes nodes into per-variable subtable shards with a lock-free
+//!   CAS, the operation caches are per-entry seqlocks, and statistics are
+//!   thread-sharded; GC/reordering take `&mut Manager`, so the borrow
+//!   checker enforces their stop-the-world phases (see the `shard` module
+//!   docs for the full argument),
 //! * **dynamic variable reordering**: an in-place adjacent-level swap and
 //!   Rudell-style sifting (with a converging option and an automatic
 //!   trigger), plus a root registry so external [`NodeId`] handles survive
@@ -30,7 +35,11 @@
 //! * mark-and-sweep garbage collection with caller-provided roots and O(1)
 //!   epoch-based cache invalidation,
 //! * node counting / support / model extraction utilities,
-//! * per-cache hit/miss/eviction statistics ([`ManagerStats`]).
+//! * per-cache hit/miss/eviction and contention statistics
+//!   ([`ManagerStats`]),
+//! * a small persistent [`pool::WorkerPool`] (atomic work claiming, parked
+//!   workers) that the simulator uses to fan the per-gate slice updates
+//!   out over the concurrent kernel.
 //!
 //! ```
 //! use sliq_bdd::Manager;
@@ -41,13 +50,18 @@
 //! assert_eq!(mgr.sat_count(f, 3), sliq_bignum::UBig::from(5u64));
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the worker pool's type-erased borrowed
+// job pointer (see `pool.rs` for the containment argument).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod hash;
 mod manager;
+pub mod pool;
 mod reorder;
+mod shard;
 
 pub use hash::{FxBuildHasher, FxHashMap};
 pub use manager::{CacheStats, Manager, ManagerStats, NodeId, RootSlot};
+pub use pool::{default_threads, WorkerPool};
 pub use reorder::ReorderStats;

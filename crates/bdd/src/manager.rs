@@ -7,6 +7,21 @@
 //! mark-and-sweep garbage collection driven by the caller (who knows the
 //! root set).
 //!
+//! # Concurrency
+//!
+//! Since the sharded-kernel rework, every apply recursion (`and`, `xor`,
+//! `ite`, `xor3`, `maj`, `flip_var`, `mux_var`, `cofactor`) and the node
+//! constructor take **`&self`**: any number of threads may share one
+//! manager and apply operations concurrently.  The per-variable unique
+//! subtables are the shards — hash consing publishes nodes with a lock-free
+//! CAS, the operation caches are per-entry seqlocks, and statistics are
+//! thread-sharded.  Garbage collection, variable reordering, cache growth
+//! and root-registry updates remain **`&mut self`**, so the borrow checker
+//! itself guarantees the stop-the-world property: an exclusive phase cannot
+//! overlap an apply recursion.  See [`crate::shard`] for the full
+//! synchronization argument, and [`crate::pool::WorkerPool`] for the
+//! fan-out used by the simulator.
+//!
 //! # Complement edges
 //!
 //! Every [`NodeId`] is an *edge*: bits `0..31` index the node arena and bit
@@ -53,27 +68,24 @@
 //!   one traversal.
 //!
 //! * **Lossy direct-mapped operation caches.**  Each operation memoises into
-//!   a power-of-two array of packed `u64` words indexed by a strong 64-bit
-//!   mix of the operand edges ([`crate::hash::mix64`]; complement bits are
-//!   part of the key wherever they do not fold out).  A colliding insert
-//!   simply overwrites the previous entry (counted as an *eviction* in
-//!   [`CacheStats`]); a lookup compares the stored key words and treats any
-//!   mismatch as a miss.  Memoisation therefore costs zero allocations on
-//!   the hot path, and losing an entry only costs recomputation — never
-//!   correctness.  Each cache starts at 2¹² entries and doubles (rehashing
-//!   its live entries) whenever the misses since the last resize exceed its
-//!   capacity, up to a cap that itself is auto-tuned: when the eviction rate
-//!   observed between two consecutive garbage collections stays above 1/4 of
-//!   the stores, the cap is raised one power of two (up to 2²⁰), so
-//!   machines whose working sets outgrow the default keep their hit rates.
-//!   All caches are cleared in O(1) at GC time by bumping a generation
-//!   counter (`cache_epoch`).
+//!   a power-of-two array of seqlock-guarded entries indexed by a strong
+//!   64-bit mix of the operand edges ([`crate::hash::mix64`]; complement
+//!   bits are part of the key wherever they do not fold out).  A colliding
+//!   insert simply overwrites the previous entry (counted as an *eviction*
+//!   in [`CacheStats`]); a lookup compares the stored key words and treats
+//!   any mismatch — including a torn concurrent read — as a miss.
+//!   Memoisation therefore costs zero allocations on the hot path, and
+//!   losing an entry only costs recomputation — never correctness.  Each
+//!   cache starts at 2¹² entries and doubles (at the next exclusive phase)
+//!   whenever the misses since the last resize exceed its capacity, up to a
+//!   cap that itself is auto-tuned at GC time (up to 2²⁰).  All caches are
+//!   cleared in O(1) at GC time by bumping a generation counter
+//!   (`cache_epoch`).
 //!
 //! * **Per-variable unique subtables.**  Hash consing uses one open-addressed
-//!   linear-probed subtable *per variable*, whose 16-byte slots store the
-//!   packed `(low, high)` children as one `u64` (the high edge keeps its
-//!   complement bit; the low edge is regular by canonical form) and the node
-//!   id (`u32::MAX` marks an empty slot).  Each subtable doubles
+//!   linear-probed subtable *per variable* whose atomic slots store the node
+//!   id plus a hash tag; concurrent `mk` calls publish fresh nodes with a
+//!   release CAS (see [`crate::shard`]).  Each subtable doubles
 //!   independently when its load factor exceeds 3/4, supports exact
 //!   backward-shift deletion (needed by reordering), and is rebuilt from the
 //!   mark bitmap during [`Manager::collect_garbage`].
@@ -100,12 +112,20 @@
 //! any sequence of swaps.
 //!
 //! [`ManagerStats`] exposes per-cache hit/miss/eviction counters, O(1)
-//! negation and canonical-flip counters, unique table resize counts and
-//! reordering counters (swaps, sizes, time) so benchmark harnesses can
-//! report kernel behaviour.
+//! negation and canonical-flip counters, unique table resize counts,
+//! reordering counters (swaps, sizes, time) and — since the sharded kernel —
+//! contention counters (unique-table CAS retries, lost `mk` races, dropped
+//! cache stores) so benchmark harnesses can report kernel behaviour.
 
-use crate::hash::{mix64, FxHashMap};
+use crate::hash::FxHashMap;
+use crate::shard::{
+    DirectCache, FreeList, NodeArena, StatShards, SubTable, CACHE_DEFAULT_MAX_LOG2,
+    CACHE_HARD_MAX_LOG2,
+};
 use sliq_bignum::UBig;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+pub(crate) use crate::shard::Node;
 
 /// Complement-bit mask of a [`NodeId`] edge.
 const COMPLEMENT: u32 = 1 << 31;
@@ -182,6 +202,18 @@ impl NodeId {
     pub(crate) fn xor_mask(self, mask: u32) -> NodeId {
         NodeId(self.0 ^ mask)
     }
+
+    /// The raw edge word (arena storage form).
+    #[inline]
+    pub(crate) fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// An edge from its raw word.
+    #[inline]
+    pub(crate) fn from_bits(bits: u32) -> NodeId {
+        NodeId(bits)
+    }
 }
 
 /// Handle to a slot in the manager's root registry (see
@@ -197,201 +229,13 @@ pub struct RootSlot(u32);
 /// needs no branch.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
-/// One stored BDD node.  Canonical-form invariant: `low` is always a
-/// regular (non-complemented) edge; `high` may carry the complement bit.
-/// `var` is the *variable index* of the label (not its level): the current
-/// position in the order is `var_to_level[var]`, which reordering permutes
-/// without rewriting nodes.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Node {
-    pub(crate) var: u32,
-    pub(crate) low: NodeId,
-    pub(crate) high: NodeId,
-}
-
-// ---------------------------------------------------------------------- //
-// Operation caches
-// ---------------------------------------------------------------------- //
-
 /// Default allocated-node count that arms the first automatic reordering
 /// (CUDD arms its first reordering at a similar size).
 pub(crate) const DEFAULT_REORDER_THRESHOLD: usize = 4096;
 
-/// Initial entry count (log2) of the direct-mapped caches.
-const CACHE_INITIAL_LOG2: u32 = 12;
-/// Default growth cap (log2): a fully grown cache stays at a couple of MiB.
-const CACHE_DEFAULT_MAX_LOG2: u32 = 16;
-/// Absolute cap (log2) the GC-time auto-tuner may raise the limit to.
-const CACHE_HARD_MAX_LOG2: u32 = 20;
-
-/// A lossy direct-mapped memoisation cache backed by packed `u64` words.
-///
-/// Entry layouts (all words zero ⇒ epoch 0 ⇒ stale):
-/// * stride 2 (`and`/`xor`, `cofactor`, `flip`): `[key, epoch<<32|result]`
-/// * stride 3 (`ite`, `xor3`, `maj`, `mux`): `[k0, k1, epoch<<32|result]`
-///
-/// Backing the cache with `Vec<u64>` rather than entry structs lets fresh
-/// caches come from `vec![0u64; n]`, which the allocator serves as
-/// lazily-mapped zero pages — `Manager::new` costs O(1) per cache instead of
-/// a multi-MiB memset.
-#[derive(Debug, Clone)]
-struct DirectCache {
-    words: Vec<u64>,
-    /// Entry-index mask (entry count − 1).
-    mask: usize,
-    stride: usize,
-    /// Misses remaining until the next doubling.
-    grow_budget: u64,
-    /// Current growth cap (log2 entries); raised by the GC auto-tuner.
-    max_log2: u32,
-}
-
-impl DirectCache {
-    fn new(stride: usize) -> Self {
-        let entries = 1usize << CACHE_INITIAL_LOG2;
-        Self {
-            words: vec![0; entries * stride],
-            mask: entries - 1,
-            stride,
-            grow_budget: entries as u64,
-            max_log2: CACHE_DEFAULT_MAX_LOG2,
-        }
-    }
-
-    #[inline]
-    fn base(&self, hash: u64) -> usize {
-        (hash as usize & self.mask) * self.stride
-    }
-
-    /// Called once per store (= once per miss): doubles the cache when the
-    /// miss volume since the last resize exceeds the current capacity.
-    #[inline]
-    fn note_miss(&mut self) {
-        self.grow_budget -= 1;
-        if self.grow_budget == 0 {
-            self.grow();
-        }
-    }
-
-    /// Raises the growth cap (GC-time auto-tuning).  A cache that had
-    /// saturated its previous cap gets its miss budget re-armed so renewed
-    /// pressure can trigger the next doubling.
-    fn raise_cap(&mut self, max_log2: u32) {
-        if max_log2 > self.max_log2 {
-            self.max_log2 = max_log2;
-            if self.grow_budget == u64::MAX {
-                self.grow_budget = (self.mask + 1) as u64;
-            }
-        }
-    }
-
-    /// Doubles the entry count, rehashing live entries into the new array
-    /// (every entry stores its full key, so nothing warm is lost; colliding
-    /// pairs resolve lossily as usual).
-    #[cold]
-    fn grow(&mut self) {
-        let entries = self.mask + 1;
-        if entries >= (1usize << self.max_log2) {
-            self.grow_budget = u64::MAX;
-            return;
-        }
-        let doubled = entries * 2;
-        let mask = doubled - 1;
-        let mut words = vec![0u64; doubled * self.stride];
-        for base in (0..self.words.len()).step_by(self.stride) {
-            let meta_word = self.words[base + self.stride - 1];
-            if meta_word == 0 {
-                continue;
-            }
-            let hash = if self.stride == 2 {
-                mix64(self.words[base])
-            } else {
-                mix64(self.words[base] ^ mix64(self.words[base + 1]))
-            };
-            let new_base = (hash as usize & mask) * self.stride;
-            words[new_base..new_base + self.stride]
-                .copy_from_slice(&self.words[base..base + self.stride]);
-        }
-        self.words = words;
-        self.mask = mask;
-        self.grow_budget = doubled as u64;
-    }
-
-    /// Looks up a stride-2 entry.
-    #[inline]
-    fn probe2(&self, epoch: u32, key: u64) -> Option<NodeId> {
-        let base = self.base(mix64(key));
-        let found_meta = self.words[base + 1];
-        if self.words[base] == key && meta_epoch(found_meta) == epoch {
-            Some(meta_result(found_meta))
-        } else {
-            None
-        }
-    }
-
-    /// Stores a stride-2 entry, counting lossy overwrites into `stats`.
-    #[inline]
-    fn store2(&mut self, stats: &mut CacheStats, epoch: u32, key: u64, result: NodeId) {
-        let base = self.base(mix64(key));
-        if meta_epoch(self.words[base + 1]) == epoch && self.words[base] != key {
-            stats.evictions += 1;
-        }
-        self.words[base] = key;
-        self.words[base + 1] = meta(epoch, result);
-        self.note_miss();
-    }
-
-    /// Looks up a stride-3 entry.
-    #[inline]
-    fn probe3(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
-        let base = self.base(mix64(key_fg ^ mix64(key_h)));
-        let found_meta = self.words[base + 2];
-        if self.words[base] == key_fg
-            && self.words[base + 1] == key_h
-            && meta_epoch(found_meta) == epoch
-        {
-            Some(meta_result(found_meta))
-        } else {
-            None
-        }
-    }
-
-    /// Stores a stride-3 entry.
-    #[inline]
-    fn store3(
-        &mut self,
-        stats: &mut CacheStats,
-        epoch: u32,
-        key_fg: u64,
-        key_h: u64,
-        result: NodeId,
-    ) {
-        let base = self.base(mix64(key_fg ^ mix64(key_h)));
-        if meta_epoch(self.words[base + 2]) == epoch
-            && (self.words[base] != key_fg || self.words[base + 1] != key_h)
-        {
-            stats.evictions += 1;
-        }
-        self.words[base] = key_fg;
-        self.words[base + 1] = key_h;
-        self.words[base + 2] = meta(epoch, result);
-        self.note_miss();
-    }
-}
-
 #[inline]
-fn meta(epoch: u32, result: NodeId) -> u64 {
-    ((epoch as u64) << 32) | result.0 as u64
-}
-
-#[inline]
-fn meta_epoch(word: u64) -> u32 {
-    (word >> 32) as u32
-}
-
-#[inline]
-fn meta_result(word: u64) -> NodeId {
-    NodeId(word as u32)
+pub(crate) fn pack_children(low: NodeId, high: NodeId) -> u64 {
+    ((low.0 as u64) << 32) | high.0 as u64
 }
 
 /// Hit/miss/eviction counters of one direct-mapped operation cache.
@@ -433,8 +277,21 @@ pub struct ManagerStats {
     pub peak_nodes: usize,
     /// Total nodes ever created (including ones later collected).
     pub created_nodes: usize,
-    /// Number of times the open-addressed unique table doubled.
+    /// Number of times an open-addressed unique subtable doubled.
     pub unique_resizes: usize,
+    /// Number of unique-table shards (one open-addressed subtable per
+    /// variable; threads working at different levels never share a shard).
+    pub unique_shards: usize,
+    /// Unique-table CAS attempts that lost a slot to a racing insert and
+    /// re-probed (a direct measure of same-shard contention).
+    pub unique_cas_retries: u64,
+    /// `mk` races lost outright: a speculative node was allocated but a
+    /// concurrent thread published the same key first, so the node was
+    /// rolled back and the winner's id adopted.
+    pub unique_dup_races: u64,
+    /// Operation-cache stores dropped because the entry's seqlock was held
+    /// by a racing writer (lossy by design; never affects correctness).
+    pub cache_write_skips: u64,
     /// O(1) complement-edge negations served by [`Manager::not`] (each one
     /// replaces a full traversal of the pre-complement-edge kernel).
     pub not_ops: u64,
@@ -493,6 +350,19 @@ impl ManagerStats {
         ]
     }
 
+    fn caches_mut(&mut self) -> [&mut CacheStats; 8] {
+        [
+            &mut self.and_cache,
+            &mut self.xor_cache,
+            &mut self.ite_cache,
+            &mut self.cofactor_cache,
+            &mut self.xor3_cache,
+            &mut self.maj_cache,
+            &mut self.flip_cache,
+            &mut self.mux_cache,
+        ]
+    }
+
     /// Sum of every operation cache's counters.
     pub fn total_cache(&self) -> CacheStats {
         let mut total = CacheStats::default();
@@ -508,174 +378,30 @@ impl ManagerStats {
     }
 }
 
-// ---------------------------------------------------------------------- //
-// Unique table: one open-addressed subtable per variable
-// ---------------------------------------------------------------------- //
-
-/// Sentinel id marking an empty unique-table slot (regular node ids never
-/// reach bit 31, so this cannot collide with a live id).
-const EMPTY_SLOT: u32 = u32::MAX;
-
-/// Initial per-variable subtable capacity (slots, power of two).
-const SUBTABLE_INITIAL_CAPACITY: usize = 1 << 3;
-
-/// One 16-byte slot of an open-addressed subtable: the packed `(low, high)`
-/// children (low regular, high possibly complemented) and the node id.  The
-/// variable is implicit — it is the subtable's index.
-#[derive(Debug, Clone, Copy)]
-struct UniqueSlot {
-    children: u64,
-    id: u32,
+/// Counters mutated only in the exclusive phase (`&mut Manager`), so they
+/// need no atomics.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SerialStats {
+    pub(crate) gc_runs: usize,
+    pub(crate) cache_cap_log2: u32,
+    pub(crate) cache_cap_raises: u32,
+    pub(crate) reorders: usize,
+    pub(crate) reorder_swaps: u64,
+    pub(crate) reorder_last_before: usize,
+    pub(crate) reorder_last_after: usize,
+    pub(crate) reorder_micros: u64,
 }
 
-const EMPTY_UNIQUE_SLOT: UniqueSlot = UniqueSlot {
-    children: 0,
-    id: EMPTY_SLOT,
-};
-
-#[inline]
-pub(crate) fn pack_children(low: NodeId, high: NodeId) -> u64 {
-    ((low.0 as u64) << 32) | high.0 as u64
-}
-
-/// The hash-consing table of one variable: linear-probed, power-of-two
-/// capacity, 3/4 load-factor doubling, and exact backward-shift deletion so
-/// reordering can remove dead nodes without tombstones.
-#[derive(Debug, Clone)]
-pub(crate) struct SubTable {
-    slots: Vec<UniqueSlot>,
-    /// Number of live entries.
-    len: usize,
-}
-
-impl SubTable {
-    fn new() -> Self {
-        Self {
-            slots: vec![EMPTY_UNIQUE_SLOT; SUBTABLE_INITIAL_CAPACITY],
-            len: 0,
-        }
-    }
-
-    /// Number of live nodes labelled with this subtable's variable.
-    pub(crate) fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Looks up the node with the given packed children.
-    #[inline]
-    fn lookup(&self, children: u64) -> Option<u32> {
-        self.probe(children).ok()
-    }
-
-    /// Probes for `children`: `Ok(id)` when present, `Err(slot)` with the
-    /// insertion position otherwise (valid until the next mutation).
-    #[inline]
-    fn probe(&self, children: u64) -> Result<u32, usize> {
-        let mask = self.slots.len() - 1;
-        let mut idx = mix64(children) as usize & mask;
-        loop {
-            let slot = self.slots[idx];
-            if slot.id == EMPTY_SLOT {
-                return Err(idx);
-            }
-            if slot.children == children {
-                return Ok(slot.id);
-            }
-            idx = (idx + 1) & mask;
-        }
-    }
-
-    /// Inserts `(children, id)`, which must not already be present.
-    /// Returns `true` if the subtable doubled.
-    pub(crate) fn insert(&mut self, children: u64, id: u32) -> bool {
-        let mut grew = false;
-        if (self.len + 1) * 4 > self.slots.len() * 3 {
-            self.grow();
-            grew = true;
-        }
-        let mask = self.slots.len() - 1;
-        let mut idx = mix64(children) as usize & mask;
-        while self.slots[idx].id != EMPTY_SLOT {
-            idx = (idx + 1) & mask;
-        }
-        self.slots[idx] = UniqueSlot { children, id };
-        self.len += 1;
-        grew
-    }
-
-    /// Doubles the slot array, rehashing every live entry.
-    #[cold]
-    fn grow(&mut self) {
-        let doubled = self.slots.len() * 2;
-        let mask = doubled - 1;
-        let mut slots = vec![EMPTY_UNIQUE_SLOT; doubled];
-        for slot in &self.slots {
-            if slot.id == EMPTY_SLOT {
-                continue;
-            }
-            let mut idx = mix64(slot.children) as usize & mask;
-            while slots[idx].id != EMPTY_SLOT {
-                idx = (idx + 1) & mask;
-            }
-            slots[idx] = *slot;
-        }
-        self.slots = slots;
-    }
-
-    /// Removes the entry for `children` (which must be present) by
-    /// backward-shift deletion: subsequent probe-chain entries are moved up
-    /// while doing so keeps them reachable from their home slot, so lookups
-    /// never need tombstones.
-    pub(crate) fn remove(&mut self, children: u64) {
-        let mask = self.slots.len() - 1;
-        let mut idx = mix64(children) as usize & mask;
-        while self.slots[idx].id == EMPTY_SLOT || self.slots[idx].children != children {
-            debug_assert!(
-                self.slots[idx].id != EMPTY_SLOT,
-                "removing a key that is not in the subtable"
-            );
-            idx = (idx + 1) & mask;
-        }
-        let mut hole = idx;
-        let mut probe = idx;
-        loop {
-            probe = (probe + 1) & mask;
-            let slot = self.slots[probe];
-            if slot.id == EMPTY_SLOT {
-                break;
-            }
-            // The entry at `probe` may move into the hole iff its home slot
-            // is not cyclically inside (hole, probe] — otherwise the move
-            // would put it before its home and break its probe chain.
-            let home = mix64(slot.children) as usize & mask;
-            let in_gap = if hole <= probe {
-                home > hole && home <= probe
-            } else {
-                home > hole || home <= probe
-            };
-            if !in_gap {
-                self.slots[hole] = slot;
-                hole = probe;
-            }
-        }
-        self.slots[hole] = EMPTY_UNIQUE_SLOT;
-        self.len -= 1;
-    }
-
-    /// Empties the subtable, keeping its capacity.
-    fn clear(&mut self) {
-        self.slots.fill(EMPTY_UNIQUE_SLOT);
-        self.len = 0;
-    }
-
-    /// Iterates over the live node ids in the subtable.
-    pub(crate) fn ids(&self) -> impl Iterator<Item = u32> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.id != EMPTY_SLOT)
-            .map(|s| s.id)
-    }
-}
+/// Cache indices into `Manager::caches` and `StatShard::caches` (the same
+/// order as [`ManagerStats::caches`]).
+const AND: usize = 0;
+const XOR: usize = 1;
+const ITE: usize = 2;
+const COFACTOR: usize = 3;
+const XOR3: usize = 4;
+const MAJ: usize = 5;
+const FLIP: usize = 6;
+const MUX: usize = 7;
 
 /// A reduced ordered BDD manager with complement edges.
 ///
@@ -683,6 +409,11 @@ impl SubTable {
 /// variable order (index 0 is the topmost level).  The simulator places qubit
 /// variables first and measurement-encoding variables after them, matching
 /// the ordering requirement of the paper's measurement procedure (§III-E).
+///
+/// Apply operations take `&self` and may be called from any number of
+/// threads sharing the manager (e.g. through [`crate::pool::WorkerPool`] or
+/// `std::thread::scope`); garbage collection and reordering take `&mut
+/// self` and therefore cannot overlap them.
 ///
 /// ```
 /// use sliq_bdd::{Manager, NodeId};
@@ -700,14 +431,14 @@ impl SubTable {
 /// assert_eq!(mgr.stats().created_nodes, nodes_before);
 /// assert_eq!(mgr.not(nf), f);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Manager {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) free: Vec<u32>,
-    /// One open-addressed unique subtable per variable.
+    pub(crate) arena: NodeArena,
+    pub(crate) free: FreeList,
+    /// One open-addressed unique subtable (shard) per variable.
     pub(crate) subtables: Vec<SubTable>,
     /// Total number of live entries across all subtables (= allocated nodes).
-    pub(crate) table_len: usize,
+    pub(crate) table_len: AtomicUsize,
     /// `var_to_level[var]` is the current level of `var`; the extra last
     /// entry is the terminal sentinel, pinned at [`TERMINAL_LEVEL`].
     pub(crate) var_to_level: Vec<u32>,
@@ -730,17 +461,11 @@ pub struct Manager {
     pub(crate) reorder_window: usize,
     /// Whether [`Manager::reorder`] repeats sifting passes to convergence.
     pub(crate) converging_sifting: bool,
-    and_cache: DirectCache,
-    xor_cache: DirectCache,
-    ite_cache: DirectCache,
-    cofactor_cache: DirectCache,
-    xor3_cache: DirectCache,
-    maj_cache: DirectCache,
-    flip_cache: DirectCache,
-    mux_cache: DirectCache,
+    /// The eight operation caches, indexed by the `AND..MUX` constants.
+    caches: [DirectCache; 8],
     /// Generation stamp giving O(1) cache clear: entries whose `epoch` field
     /// differs are stale.
-    cache_epoch: u32,
+    cache_epoch: AtomicU32,
     num_vars: u32,
     gc_threshold: usize,
     /// Current op-cache growth cap (log2), raised by the GC auto-tuner.
@@ -751,27 +476,75 @@ pub struct Manager {
     evictions_at_last_gc: u64,
     /// Consecutive GC intervals whose eviction rate exceeded the threshold.
     high_eviction_streak: u32,
-    pub(crate) stats: ManagerStats,
+    /// Unique subtable doublings (shared phase, hence atomic).
+    unique_resizes: AtomicUsize,
+    /// Peak allocated nodes; exact because nodes are only freed in the
+    /// exclusive phase, which records the pre-free high-water mark.
+    peak_nodes: AtomicUsize,
+    /// Hot-path counters, sharded by thread.
+    pub(crate) shards: StatShards,
+    /// Exclusive-phase counters.
+    pub(crate) serial: SerialStats,
+}
+
+impl Clone for Manager {
+    fn clone(&self) -> Self {
+        // Clone is for QUIESCENT managers: a clone racing shared-phase
+        // inserts may be structurally inconsistent (an id mid-`mk` — popped
+        // from the free list or awaiting its rollback push — can land in
+        // neither the cloned free list nor a cloned subtable, so node
+        // accounting and `check_integrity` can disagree on the clone).  The
+        // ordering below only guarantees a racy clone never *dangles*:
+        // subtables first (acquire-loaded slots), arena last, so every id a
+        // cloned slot carries was bump-allocated before its publish CAS and
+        // is therefore covered by the later arena snapshot with visible
+        // fields.
+        let subtables = self.subtables.clone();
+        let free = self.free.clone();
+        let arena = self.arena.clone();
+        Self {
+            arena,
+            free,
+            subtables,
+            table_len: AtomicUsize::new(self.table_len.load(Ordering::Relaxed)),
+            var_to_level: self.var_to_level.clone(),
+            level_to_var: self.level_to_var.clone(),
+            roots: self.roots.clone(),
+            free_roots: self.free_roots.clone(),
+            auto_reorder: self.auto_reorder,
+            reorder_threshold: self.reorder_threshold,
+            reorder_threshold_floor: self.reorder_threshold_floor,
+            reorder_window: self.reorder_window,
+            converging_sifting: self.converging_sifting,
+            caches: self.caches.clone(),
+            cache_epoch: AtomicU32::new(self.cache_epoch.load(Ordering::Relaxed)),
+            num_vars: self.num_vars,
+            gc_threshold: self.gc_threshold,
+            cache_max_log2: self.cache_max_log2,
+            misses_at_last_gc: self.misses_at_last_gc,
+            evictions_at_last_gc: self.evictions_at_last_gc,
+            high_eviction_streak: self.high_eviction_streak,
+            unique_resizes: AtomicUsize::new(self.unique_resizes.load(Ordering::Relaxed)),
+            peak_nodes: AtomicUsize::new(self.peak_nodes.load(Ordering::Relaxed)),
+            shards: self.shards.clone(),
+            serial: self.serial,
+        }
+    }
 }
 
 impl Manager {
     /// Creates a manager with `num_vars` Boolean variables, initially in the
     /// identity order (variable `i` at level `i`).
     pub fn new(num_vars: usize) -> Self {
-        let terminal = Node {
-            // The sentinel variable index; its var_to_level entry is pinned
-            // at TERMINAL_LEVEL so level lookups need no terminal branch.
-            var: num_vars as u32,
-            low: NodeId::TRUE,
-            high: NodeId::TRUE,
-        };
         let mut var_to_level: Vec<u32> = (0..num_vars as u32).collect();
         var_to_level.push(TERMINAL_LEVEL);
         Self {
-            nodes: vec![terminal],
-            free: Vec::new(),
+            // The sentinel variable index; its var_to_level entry is pinned
+            // at TERMINAL_LEVEL so level lookups need no terminal branch.
+            arena: NodeArena::new(num_vars as u32),
+            free: FreeList::default(),
             subtables: (0..num_vars).map(|_| SubTable::new()).collect(),
-            table_len: 0,
+            table_len: AtomicUsize::new(0),
             var_to_level,
             level_to_var: (0..num_vars as u32).collect(),
             roots: Vec::new(),
@@ -781,24 +554,29 @@ impl Manager {
             reorder_threshold_floor: DEFAULT_REORDER_THRESHOLD,
             reorder_window: usize::MAX,
             converging_sifting: false,
-            and_cache: DirectCache::new(2),
-            xor_cache: DirectCache::new(2),
-            ite_cache: DirectCache::new(3),
-            cofactor_cache: DirectCache::new(2),
-            xor3_cache: DirectCache::new(3),
-            maj_cache: DirectCache::new(3),
-            flip_cache: DirectCache::new(2),
-            mux_cache: DirectCache::new(3),
-            cache_epoch: 1,
+            caches: [
+                DirectCache::new(2), // and
+                DirectCache::new(2), // xor
+                DirectCache::new(3), // ite
+                DirectCache::new(2), // cofactor
+                DirectCache::new(3), // xor3
+                DirectCache::new(3), // maj
+                DirectCache::new(2), // flip
+                DirectCache::new(3), // mux
+            ],
+            cache_epoch: AtomicU32::new(1),
             num_vars: num_vars as u32,
             gc_threshold: 1 << 16,
             cache_max_log2: CACHE_DEFAULT_MAX_LOG2,
             misses_at_last_gc: 0,
             evictions_at_last_gc: 0,
             high_eviction_streak: 0,
-            stats: ManagerStats {
+            unique_resizes: AtomicUsize::new(0),
+            peak_nodes: AtomicUsize::new(0),
+            shards: StatShards::new(),
+            serial: SerialStats {
                 cache_cap_log2: CACHE_DEFAULT_MAX_LOG2,
-                ..ManagerStats::default()
+                ..SerialStats::default()
             },
         }
     }
@@ -822,7 +600,10 @@ impl Manager {
             self.subtables.push(SubTable::new());
         }
         self.var_to_level.push(TERMINAL_LEVEL);
-        self.nodes[0].var = self.num_vars;
+        self.arena
+            .cell(0)
+            .var
+            .store(self.num_vars, Ordering::Relaxed);
         first
     }
 
@@ -850,15 +631,84 @@ impl Manager {
         self.level_to_var.iter().map(|&v| v as usize).collect()
     }
 
-    /// Operational statistics.
+    /// Records the current allocation level as a peak candidate.  Nodes are
+    /// only ever freed in the exclusive phase, so sampling on entry to
+    /// GC/reordering, after every adjacent-level swap, and from
+    /// [`Manager::stats`] keeps the peak exact up to the transient
+    /// allocations *inside* a single swap (a handful of nodes created just
+    /// before their dead counterparts are reclaimed).
+    #[inline]
+    pub(crate) fn note_peak(&self) {
+        self.peak_nodes
+            .fetch_max(self.allocated_nodes(), Ordering::Relaxed);
+    }
+
+    /// Operational statistics: a snapshot summed over the thread shards.
     pub fn stats(&self) -> ManagerStats {
-        self.stats
+        self.note_peak();
+        let mut stats = ManagerStats {
+            gc_runs: self.serial.gc_runs,
+            peak_nodes: self.peak_nodes.load(Ordering::Relaxed),
+            unique_resizes: self.unique_resizes.load(Ordering::Relaxed),
+            unique_shards: self.num_vars as usize,
+            cache_cap_log2: self.serial.cache_cap_log2,
+            cache_cap_raises: self.serial.cache_cap_raises,
+            reorders: self.serial.reorders,
+            reorder_swaps: self.serial.reorder_swaps,
+            reorder_last_before: self.serial.reorder_last_before,
+            reorder_last_after: self.serial.reorder_last_after,
+            reorder_micros: self.serial.reorder_micros,
+            ..ManagerStats::default()
+        };
+        for shard in self.shards.iter() {
+            stats.not_ops += shard.not_ops.load(Ordering::Relaxed);
+            stats.complement_flips += shard.complement_flips.load(Ordering::Relaxed);
+            stats.created_nodes += shard.created_nodes.load(Ordering::Relaxed) as usize;
+            stats.unique_cas_retries += shard.unique_cas_retries.load(Ordering::Relaxed);
+            stats.unique_dup_races += shard.unique_dup_races.load(Ordering::Relaxed);
+            stats.cache_write_skips += shard.cache_write_skips.load(Ordering::Relaxed);
+            for (which, totals) in stats.caches_mut().into_iter().enumerate() {
+                totals.hits += shard.caches[which].hits.load(Ordering::Relaxed);
+                totals.misses += shard.caches[which].misses.load(Ordering::Relaxed);
+                totals.evictions += shard.caches[which].evictions.load(Ordering::Relaxed);
+            }
+        }
+        stats
     }
 
     /// The number of currently allocated (live or garbage, not yet freed)
     /// nodes, excluding the terminal.
     pub fn allocated_nodes(&self) -> usize {
-        self.nodes.len() - 1 - self.free.len()
+        self.arena.len() - 1 - self.free.len()
+    }
+
+    /// The current cache epoch (relaxed load; changes only in the exclusive
+    /// phase).
+    #[inline]
+    fn epoch(&self) -> u32 {
+        self.cache_epoch.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn cache_hit(&self, which: usize) {
+        crate::shard::bump(&self.shards.local().caches[which].hits);
+    }
+
+    #[inline]
+    fn cache_miss(&self, which: usize) {
+        crate::shard::bump(&self.shards.local().caches[which].misses);
+    }
+
+    #[inline]
+    fn cache_store2(&self, which: usize, epoch: u32, key: u64, result: NodeId) {
+        let shard = self.shards.local();
+        self.caches[which].store2(&shard.caches[which], shard, epoch, key, result);
+    }
+
+    #[inline]
+    fn cache_store3(&self, which: usize, epoch: u32, key_fg: u64, key_h: u64, result: NodeId) {
+        let shard = self.shards.local();
+        self.caches[which].store3(&shard.caches[which], shard, epoch, key_fg, key_h, result);
     }
 
     // ----------------------------------------------------------------- //
@@ -926,44 +776,48 @@ impl Manager {
         }
         if self.var_to_level.len() != n + 1
             || self.var_to_level[n] != TERMINAL_LEVEL
-            || self.nodes[0].var != self.num_vars
+            || self.arena.var_of(0) != self.num_vars
         {
             return Err("terminal sentinel mapping corrupted".to_string());
         }
-        let mut free_mark = vec![false; self.nodes.len()];
-        for &f in &self.free {
+        let arena_len = self.arena.len();
+        let mut free_mark = vec![false; arena_len];
+        for f in self.free.snapshot() {
             free_mark[f as usize] = true;
         }
         let mut in_table = 0usize;
         for (var, subtable) in self.subtables.iter().enumerate() {
-            if subtable.len != subtable.ids().count() {
+            let ids = subtable.ids();
+            if subtable.len() != ids.len() {
                 return Err(format!("subtable {var} length out of sync"));
             }
-            for id in subtable.ids() {
+            for id in ids {
                 in_table += 1;
-                if id as usize >= self.nodes.len() || free_mark[id as usize] {
+                if id as usize >= arena_len || free_mark[id as usize] {
                     return Err(format!("subtable {var} holds freed node {id}"));
                 }
-                let node = self.nodes[id as usize];
+                let node = self.arena.get(id);
                 if node.var as usize != var {
                     return Err(format!("node {id} in wrong subtable {var}"));
                 }
-                if subtable.lookup(pack_children(node.low, node.high)) != Some(id) {
+                if subtable.lookup(&self.arena, pack_children(node.low, node.high)) != Some(id) {
                     return Err(format!("node {id} not findable under its key"));
                 }
             }
         }
-        if in_table != self.allocated_nodes() || in_table != self.table_len {
+        let table_len = self.table_len.load(Ordering::Relaxed);
+        if in_table != self.allocated_nodes() || in_table != table_len {
             return Err(format!(
                 "table entries {in_table} vs allocated {} vs table_len {}",
                 self.allocated_nodes(),
-                self.table_len
+                table_len
             ));
         }
-        for (id, node) in self.nodes.iter().enumerate().skip(1) {
-            if free_mark[id] {
+        for (id, &is_free) in free_mark.iter().enumerate().skip(1) {
+            if is_free {
                 continue;
             }
+            let node = self.arena.get(id as u32);
             if node.low.is_complemented() {
                 return Err(format!("node {id} stores a complemented low edge"));
             }
@@ -996,13 +850,13 @@ impl Manager {
     /// # Panics
     ///
     /// Panics if `var` is out of range.
-    pub fn var(&mut self, var: usize) -> NodeId {
+    pub fn var(&self, var: usize) -> NodeId {
         assert!(var < self.num_vars as usize, "variable {var} out of range");
         self.mk(var as u32, NodeId::FALSE, NodeId::TRUE)
     }
 
     /// The negative literal of variable `var`.
-    pub fn nvar(&mut self, var: usize) -> NodeId {
+    pub fn nvar(&self, var: usize) -> NodeId {
         assert!(var < self.num_vars as usize, "variable {var} out of range");
         self.mk(var as u32, NodeId::TRUE, NodeId::FALSE)
     }
@@ -1011,35 +865,48 @@ impl Manager {
     /// terminals): one permutation-array lookup on top of the node read.
     #[inline]
     pub(crate) fn level(&self, f: NodeId) -> u32 {
-        self.var_to_level[self.nodes[f.index()].var as usize]
+        self.var_to_level[self.arena.var_of(f.index() as u32) as usize]
     }
 
     /// The variable labelling `f`'s top node (the sentinel `num_vars` for
     /// terminals).
     #[inline]
     pub(crate) fn var_of(&self, f: NodeId) -> u32 {
-        self.nodes[f.index()].var
+        self.arena.var_of(f.index() as u32)
     }
 
     /// The stored low child of `f`'s node (regular by canonical form),
     /// *without* `f`'s own complement bit applied.
     #[inline]
     pub(crate) fn raw_low(&self, f: NodeId) -> NodeId {
-        self.nodes[f.index()].low
+        self.arena.low_of(f.index() as u32)
     }
 
     /// The stored high child of `f`'s node, *without* `f`'s own complement
     /// bit applied.
     #[inline]
     pub(crate) fn raw_high(&self, f: NodeId) -> NodeId {
-        self.nodes[f.index()].high
+        self.arena.high_of(f.index() as u32)
+    }
+
+    /// The full stored node of an id (exclusive-phase bookkeeping and
+    /// read-only traversals).
+    #[inline]
+    pub(crate) fn node_raw(&self, id: u32) -> Node {
+        self.arena.get(id)
+    }
+
+    /// Overwrites a stored node (exclusive phase: reordering relabels).
+    #[inline]
+    pub(crate) fn set_node_raw(&mut self, id: u32, node: Node) {
+        self.arena.write(id, node);
     }
 
     /// The semantic cofactors of `f` at its own top level: the stored
     /// children with `f`'s complement bit pushed down into them.
     #[inline]
     fn cofactors_of(&self, f: NodeId) -> (NodeId, NodeId) {
-        let node = &self.nodes[f.index()];
+        let node = self.arena.get(f.index() as u32);
         let c = f.cmask();
         (node.low.xor_mask(c), node.high.xor_mask(c))
     }
@@ -1060,12 +927,21 @@ impl Manager {
         }
     }
 
+    /// Allocates a node id: the free list first, the arena bump second.
+    fn alloc_node(&self) -> u32 {
+        match self.free.pop() {
+            Some(id) => id,
+            None => self.arena.bump(),
+        }
+    }
+
     /// Hash-consing node constructor (the `MK` operation): finds or creates
     /// the node `(var, low, high)` through `var`'s unique subtable.
     /// Enforces the canonical form — if `low` arrives complemented, both
     /// children are flipped and the returned edge is complemented, so the
-    /// *stored* low edge is always regular.
-    pub(crate) fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+    /// *stored* low edge is always regular.  Safe to call concurrently; see
+    /// [`crate::shard`] for the publication protocol.
+    pub(crate) fn mk(&self, var: u32, low: NodeId, high: NodeId) -> NodeId {
         let (edge, _created) = self.mk_core(var, low, high);
         edge
     }
@@ -1073,80 +949,92 @@ impl Manager {
     /// Like [`Manager::mk`] but for a *level*: labels the node with the
     /// variable currently at `level` (the form the apply recursions use).
     #[inline]
-    fn mk_level(&mut self, level: u32, low: NodeId, high: NodeId) -> NodeId {
+    fn mk_level(&self, level: u32, low: NodeId, high: NodeId) -> NodeId {
         let var = self.level_to_var[level as usize];
         self.mk(var, low, high)
     }
 
     /// The `mk` workhorse; additionally reports whether a fresh node was
     /// allocated (the reordering swap needs this for its reference counts).
-    pub(crate) fn mk_core(&mut self, var: u32, low: NodeId, high: NodeId) -> (NodeId, bool) {
+    pub(crate) fn mk_core(&self, var: u32, low: NodeId, high: NodeId) -> (NodeId, bool) {
         if low == high {
             return (low, false);
         }
+        let shard = self.shards.local();
         let out_c = low.cmask();
         if out_c != 0 {
-            self.stats.complement_flips += 1;
+            crate::shard::bump(&shard.complement_flips);
         }
         let low = low.xor_mask(out_c);
         let high = high.xor_mask(out_c);
         let children = pack_children(low, high);
-        // One probe serves both the hit and the insert position (re-probed
-        // only when the miss forces the subtable to grow).
-        let mut slot_idx = match self.subtables[var as usize].probe(children) {
-            Ok(id) => return (NodeId(id ^ out_c), false),
-            Err(idx) => idx,
-        };
-        let node = Node { var, low, high };
-        let id = match self.free.pop() {
-            Some(slot) => {
-                self.nodes[slot as usize] = node;
-                slot
+        let subtable = &self.subtables[var as usize];
+        let mut speculative: Option<u32> = None;
+        let (id, created, rollback) = loop {
+            match subtable.find_or_publish(
+                &self.arena,
+                children,
+                speculative.take(),
+                || {
+                    let id = self.alloc_node();
+                    self.arena.write(id, Node { var, low, high });
+                    id
+                },
+                shard,
+            ) {
+                crate::shard::Consed::Done {
+                    id,
+                    created,
+                    rollback,
+                } => break (id, created, rollback),
+                crate::shard::Consed::TableFull { speculative: spec } => {
+                    // Concurrent inserts filled the table before anyone's
+                    // post-insert growth ran; the probe released its read
+                    // guard, so growing here cannot deadlock.  Keep the
+                    // speculative node for the retry.
+                    speculative = spec;
+                    if subtable.grow(&self.arena) {
+                        self.unique_resizes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
-            None => {
-                self.nodes.push(node);
-                let id = (self.nodes.len() - 1) as u32;
-                // Bit 31 is the complement flag: an index reaching it would
-                // silently alias complemented edges. Abort loudly instead.
-                assert!(id & COMPLEMENT == 0, "node arena overflow (2^31 nodes)");
-                id
-            }
         };
-        let subtable = &mut self.subtables[var as usize];
-        if (subtable.len + 1) * 4 > subtable.slots.len() * 3 {
-            subtable.grow();
-            self.stats.unique_resizes += 1;
-            slot_idx = match subtable.probe(children) {
-                Err(idx) => idx,
-                Ok(_) => unreachable!("key cannot appear during growth"),
-            };
+        if let Some(speculative) = rollback {
+            // Lost the publication race: the node was never visible, so its
+            // id can be recycled immediately.
+            crate::shard::bump(&shard.unique_dup_races);
+            self.free.push(speculative);
         }
-        subtable.slots[slot_idx] = UniqueSlot { children, id };
-        subtable.len += 1;
-        self.table_len += 1;
-        self.stats.created_nodes += 1;
-        self.stats.peak_nodes = self.stats.peak_nodes.max(self.allocated_nodes());
-        (NodeId(id ^ out_c), true)
+        if created {
+            crate::shard::bump(&shard.created_nodes);
+            self.table_len.fetch_add(1, Ordering::Relaxed);
+            if subtable.overloaded() && subtable.grow(&self.arena) {
+                self.unique_resizes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (NodeId(id ^ out_c), created)
     }
 
     /// Rebuilds every unique subtable and the free-list from the GC mark
-    /// bitmap.
+    /// bitmap (exclusive phase).
     fn rebuild_table(&mut self, marked: &[bool]) {
         for subtable in self.subtables.iter_mut() {
-            subtable.clear();
+            subtable.clear_exclusive();
         }
-        self.table_len = 0;
-        self.free.clear();
+        let mut table_len = 0usize;
+        let mut free = Vec::new();
         for (index, &is_live) in marked.iter().enumerate().skip(1) {
             if !is_live {
-                self.free.push(index as u32);
+                free.push(index as u32);
                 continue;
             }
-            let node = self.nodes[index];
+            let node = self.arena.get(index as u32);
             let children = pack_children(node.low, node.high);
-            self.subtables[node.var as usize].insert(children, index as u32);
-            self.table_len += 1;
+            self.subtables[node.var as usize].insert_exclusive(&self.arena, children, index as u32);
+            table_len += 1;
         }
+        self.free.replace(free);
+        self.table_len.store(table_len, Ordering::Relaxed);
     }
 
     // ----------------------------------------------------------------- //
@@ -1178,14 +1066,14 @@ impl Manager {
 
     /// Logical negation: with complement edges this is a single bit flip —
     /// no recursion, no cache lookup, no allocation.
-    pub fn not(&mut self, f: NodeId) -> NodeId {
-        self.stats.not_ops += 1;
+    pub fn not(&self, f: NodeId) -> NodeId {
+        self.shards.local().not_ops.fetch_add(1, Ordering::Relaxed);
         f.complement()
     }
 
     /// Logical conjunction (dedicated apply recursion; complement bits are
     /// part of the cache key because they do not fold out of AND).
-    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+    pub fn and(&self, f: NodeId, g: NodeId) -> NodeId {
         if f == g {
             return f;
         }
@@ -1205,11 +1093,12 @@ impl Manager {
         // Commutative key normalisation: canonical operand order.
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         let key = ((a.0 as u64) << 32) | b.0 as u64;
-        if let Some(result) = self.and_cache.probe2(self.cache_epoch, key) {
-            self.stats.and_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[AND].probe2(epoch, key) {
+            self.cache_hit(AND);
             return result;
         }
-        self.stats.and_cache.misses += 1;
+        self.cache_miss(AND);
         let (la, lb) = (self.level(a), self.level(b));
         let top = la.min(lb);
         let (a0, a1) = self.split_at(a, la, top);
@@ -1217,22 +1106,21 @@ impl Manager {
         let low = self.and(a0, b0);
         let high = self.and(a1, b1);
         let result = self.mk_level(top, low, high);
-        self.and_cache
-            .store2(&mut self.stats.and_cache, self.cache_epoch, key, result);
+        self.cache_store2(AND, epoch, key, result);
         result
     }
 
     /// Logical disjunction, by De Morgan: `or(f, g) = ¬and(¬f, ¬g)`.  The
     /// complements are O(1) bit flips, so OR shares the AND recursion and
     /// its cache instead of maintaining its own.
-    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+    pub fn or(&self, f: NodeId, g: NodeId) -> NodeId {
         self.and(f.complement(), g.complement()).complement()
     }
 
     /// Exclusive or (dedicated apply recursion).  Complement parity folds
     /// out entirely — `¬f ⊕ g = ¬(f ⊕ g)` — so the cache is probed with
     /// regular operands and one entry serves XOR and XNOR of both phases.
-    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+    pub fn xor(&self, f: NodeId, g: NodeId) -> NodeId {
         let parity = (f.0 ^ g.0) & COMPLEMENT;
         let (a, b) = (f.regular(), g.regular());
         if a == b {
@@ -1251,11 +1139,12 @@ impl Manager {
         }
         let (a, b) = if a.0 < b.0 { (a, b) } else { (b, a) };
         let key = ((a.0 as u64) << 32) | b.0 as u64;
-        if let Some(result) = self.xor_cache.probe2(self.cache_epoch, key) {
-            self.stats.xor_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[XOR].probe2(epoch, key) {
+            self.cache_hit(XOR);
             return result.xor_mask(parity);
         }
-        self.stats.xor_cache.misses += 1;
+        self.cache_miss(XOR);
         let (la, lb) = (self.level(a), self.level(b));
         let top = la.min(lb);
         let (a0, a1) = self.split_at(a, la, top);
@@ -1263,8 +1152,7 @@ impl Manager {
         let low = self.xor(a0, b0);
         let high = self.xor(a1, b1);
         let result = self.mk_level(top, low, high);
-        self.xor_cache
-            .store2(&mut self.stats.xor_cache, self.cache_epoch, key, result);
+        self.cache_store2(XOR, epoch, key, result);
         result.xor_mask(parity)
     }
 
@@ -1275,7 +1163,7 @@ impl Manager {
     /// triple is normalised so the predicate and the then-branch are
     /// regular edges (`ite(¬f, g, h) = ite(f, h, g)` and
     /// `ite(f, ¬g, ¬h) = ¬ite(f, g, h)`).
-    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+    pub fn ite(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
         if f.is_true() {
             return g;
         }
@@ -1332,11 +1220,12 @@ impl Manager {
         let (g, h) = (g.xor_mask(out_c), h.xor_mask(out_c));
         let key_fg = ((f.0 as u64) << 32) | g.0 as u64;
         let key_h = h.0 as u64;
-        if let Some(result) = self.ite_cache.probe3(self.cache_epoch, key_fg, key_h) {
-            self.stats.ite_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[ITE].probe3(epoch, key_fg, key_h) {
+            self.cache_hit(ITE);
             return result.xor_mask(out_c);
         }
-        self.stats.ite_cache.misses += 1;
+        self.cache_miss(ITE);
         let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
         let top = lf.min(lg).min(lh);
         let (f0, f1) = self.split_at(f, lf, top);
@@ -1345,13 +1234,7 @@ impl Manager {
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
         let result = self.mk_level(top, low, high);
-        self.ite_cache.store3(
-            &mut self.stats.ite_cache,
-            self.cache_epoch,
-            key_fg,
-            key_h,
-            result,
-        );
+        self.cache_store3(ITE, epoch, key_fg, key_h, result);
         result.xor_mask(out_c)
     }
 
@@ -1359,7 +1242,7 @@ impl Manager {
     /// single recursion instead of two chained [`Manager::xor`] passes.
     /// Complement parity folds out of all three operands at once, so the
     /// cache is keyed on regular edges only.
-    pub fn xor3(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+    pub fn xor3(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
         let parity = (f.0 ^ g.0 ^ h.0) & COMPLEMENT;
         // Fully commutative: sort the regular edges into canonical order.
         let (mut a, mut b, mut c) = (f.regular(), g.regular(), h.regular());
@@ -1387,11 +1270,12 @@ impl Manager {
         }
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
-        if let Some(result) = self.xor3_cache.probe3(self.cache_epoch, key_ab, key_c) {
-            self.stats.xor3_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[XOR3].probe3(epoch, key_ab, key_c) {
+            self.cache_hit(XOR3);
             return result.xor_mask(parity);
         }
-        self.stats.xor3_cache.misses += 1;
+        self.cache_miss(XOR3);
         let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
         let top = la.min(lb).min(lc);
         let (a0, a1) = self.split_at(a, la, top);
@@ -1400,13 +1284,7 @@ impl Manager {
         let low = self.xor3(a0, b0, c0);
         let high = self.xor3(a1, b1, c1);
         let result = self.mk_level(top, low, high);
-        self.xor3_cache.store3(
-            &mut self.stats.xor3_cache,
-            self.cache_epoch,
-            key_ab,
-            key_c,
-            result,
-        );
+        self.cache_store3(XOR3, epoch, key_ab, key_c, result);
         result.xor_mask(parity)
     }
 
@@ -1415,7 +1293,7 @@ impl Manager {
     /// two-operand passes.  Majority is self-dual
     /// (`maj(¬f, ¬g, ¬h) = ¬maj(f, g, h)`), which normalises every call to
     /// at most one complemented operand before the cache is probed.
-    pub fn maj(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+    pub fn maj(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
         // A duplicated operand wins the vote; an operand voting against its
         // own complement leaves the third the deciding vote.
         if f == g || f == h {
@@ -1473,11 +1351,12 @@ impl Manager {
         }
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
-        if let Some(result) = self.maj_cache.probe3(self.cache_epoch, key_ab, key_c) {
-            self.stats.maj_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[MAJ].probe3(epoch, key_ab, key_c) {
+            self.cache_hit(MAJ);
             return result.xor_mask(out_c);
         }
-        self.stats.maj_cache.misses += 1;
+        self.cache_miss(MAJ);
         let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
         let top = la.min(lb).min(lc);
         let (a0, a1) = self.split_at(a, la, top);
@@ -1486,13 +1365,7 @@ impl Manager {
         let low = self.maj(a0, b0, c0);
         let high = self.maj(a1, b1, c1);
         let result = self.mk_level(top, low, high);
-        self.maj_cache.store3(
-            &mut self.stats.maj_cache,
-            self.cache_epoch,
-            key_ab,
-            key_c,
-            result,
-        );
+        self.cache_store3(MAJ, epoch, key_ab, key_c, result);
         result.xor_mask(out_c)
     }
 
@@ -1500,12 +1373,12 @@ impl Manager {
     /// `var` in one traversal (the X-gate permutation), instead of the
     /// three-pass `ite(x, f|₀, f|₁)` construction.  The swap commutes with
     /// complementation, so the cache is keyed on the regular edge.
-    pub fn flip_var(&mut self, f: NodeId, var: usize) -> NodeId {
+    pub fn flip_var(&self, f: NodeId, var: usize) -> NodeId {
         let vlevel = self.var_to_level[var];
         self.flip_var_rec(f, var as u32, vlevel)
     }
 
-    fn flip_var_rec(&mut self, f: NodeId, var: u32, vlevel: u32) -> NodeId {
+    fn flip_var_rec(&self, f: NodeId, var: u32, vlevel: u32) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
         if fr.is_terminal() || self.level(fr) > vlevel {
@@ -1516,18 +1389,18 @@ impl Manager {
             return self.mk(var, high, low).xor_mask(out_c);
         }
         let key = ((fr.0 as u64) << 32) | var as u64;
-        if let Some(result) = self.flip_cache.probe2(self.cache_epoch, key) {
-            self.stats.flip_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[FLIP].probe2(epoch, key) {
+            self.cache_hit(FLIP);
             return result.xor_mask(out_c);
         }
-        self.stats.flip_cache.misses += 1;
+        self.cache_miss(FLIP);
         let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
         let low = self.flip_var_rec(f0, var, vlevel);
         let high = self.flip_var_rec(f1, var, vlevel);
         let result = self.mk(top_var, low, high);
-        self.flip_cache
-            .store2(&mut self.stats.flip_cache, self.cache_epoch, key, result);
+        self.cache_store2(FLIP, epoch, key, result);
         result.xor_mask(out_c)
     }
 
@@ -1535,12 +1408,12 @@ impl Manager {
     /// multiplexer used by controlled and phase gates, in one recursion with
     /// a two-word cache key.  Normalised so the then-input is regular
     /// (`mux(v, ¬g, ¬h) = ¬mux(v, g, h)`).
-    pub fn mux_var(&mut self, var: usize, g: NodeId, h: NodeId) -> NodeId {
+    pub fn mux_var(&self, var: usize, g: NodeId, h: NodeId) -> NodeId {
         let vlevel = self.var_to_level[var];
         self.mux_var_rec(var as u32, vlevel, g, h)
     }
 
-    fn mux_var_rec(&mut self, var: u32, vlevel: u32, g: NodeId, h: NodeId) -> NodeId {
+    fn mux_var_rec(&self, var: u32, vlevel: u32, g: NodeId, h: NodeId) -> NodeId {
         if g == h {
             return g;
         }
@@ -1553,11 +1426,12 @@ impl Manager {
         }
         let key_gh = ((g.0 as u64) << 32) | h.0 as u64;
         let key_var = var as u64;
-        if let Some(result) = self.mux_cache.probe3(self.cache_epoch, key_gh, key_var) {
-            self.stats.mux_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[MUX].probe3(epoch, key_gh, key_var) {
+            self.cache_hit(MUX);
             return result.xor_mask(out_c);
         }
-        self.stats.mux_cache.misses += 1;
+        self.cache_miss(MUX);
         let result = if top == vlevel {
             // At the multiplexer level: low output comes from h, high from g.
             let low = if self.level(h) == vlevel {
@@ -1578,18 +1452,12 @@ impl Manager {
             let high = self.mux_var_rec(var, vlevel, g1, h1);
             self.mk_level(top, low, high)
         };
-        self.mux_cache.store3(
-            &mut self.stats.mux_cache,
-            self.cache_epoch,
-            key_gh,
-            key_var,
-            result,
-        );
+        self.cache_store3(MUX, epoch, key_gh, key_var, result);
         result.xor_mask(out_c)
     }
 
     /// Conjunction of many functions.
-    pub fn and_many(&mut self, fs: &[NodeId]) -> NodeId {
+    pub fn and_many(&self, fs: &[NodeId]) -> NodeId {
         let mut acc = NodeId::TRUE;
         for &f in fs {
             acc = self.and(acc, f);
@@ -1601,7 +1469,7 @@ impl Manager {
     }
 
     /// Disjunction of many functions.
-    pub fn or_many(&mut self, fs: &[NodeId]) -> NodeId {
+    pub fn or_many(&self, fs: &[NodeId]) -> NodeId {
         let mut acc = NodeId::FALSE;
         for &f in fs {
             acc = self.or(acc, f);
@@ -1614,7 +1482,7 @@ impl Manager {
 
     /// The cube (conjunction of literals) described by `(variable, phase)`
     /// pairs; `phase == true` means the positive literal.
-    pub fn cube(&mut self, literals: &[(usize, bool)]) -> NodeId {
+    pub fn cube(&self, literals: &[(usize, bool)]) -> NodeId {
         // Build bottom-up in *level* order, so the construction is valid
         // under any variable order.
         let mut sorted: Vec<_> = literals.to_vec();
@@ -1632,12 +1500,12 @@ impl Manager {
 
     /// The cofactor `f|_{var=value}`.  Restriction commutes with
     /// complementation, so the cache is keyed on the regular edge.
-    pub fn cofactor(&mut self, f: NodeId, var: usize, value: bool) -> NodeId {
+    pub fn cofactor(&self, f: NodeId, var: usize, value: bool) -> NodeId {
         let vlevel = self.var_to_level[var];
         self.cofactor_rec(f, var as u32, vlevel, value)
     }
 
-    fn cofactor_rec(&mut self, f: NodeId, var: u32, vlevel: u32, value: bool) -> NodeId {
+    fn cofactor_rec(&self, f: NodeId, var: u32, vlevel: u32, value: bool) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
         if fr.is_terminal() || self.level(fr) > vlevel {
@@ -1649,27 +1517,23 @@ impl Manager {
         }
         let var_value = var | (value as u32) << 31;
         let key = ((fr.0 as u64) << 32) | var_value as u64;
-        if let Some(result) = self.cofactor_cache.probe2(self.cache_epoch, key) {
-            self.stats.cofactor_cache.hits += 1;
+        let epoch = self.epoch();
+        if let Some(result) = self.caches[COFACTOR].probe2(epoch, key) {
+            self.cache_hit(COFACTOR);
             return result.xor_mask(out_c);
         }
-        self.stats.cofactor_cache.misses += 1;
+        self.cache_miss(COFACTOR);
         let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
         let low = self.cofactor_rec(f0, var, vlevel, value);
         let high = self.cofactor_rec(f1, var, vlevel, value);
         let result = self.mk(top_var, low, high);
-        self.cofactor_cache.store2(
-            &mut self.stats.cofactor_cache,
-            self.cache_epoch,
-            key,
-            result,
-        );
+        self.cache_store2(COFACTOR, epoch, key, result);
         result.xor_mask(out_c)
     }
 
     /// Cofactor with respect to a cube given as `(variable, phase)` pairs.
-    pub fn cofactor_cube(&mut self, f: NodeId, literals: &[(usize, bool)]) -> NodeId {
+    pub fn cofactor_cube(&self, f: NodeId, literals: &[(usize, bool)]) -> NodeId {
         let mut acc = f;
         for &(v, phase) in literals {
             acc = self.cofactor(acc, v, phase);
@@ -1678,7 +1542,7 @@ impl Manager {
     }
 
     /// Existential quantification of a single variable.
-    pub fn exists(&mut self, f: NodeId, var: usize) -> NodeId {
+    pub fn exists(&self, f: NodeId, var: usize) -> NodeId {
         let f0 = self.cofactor(f, var, false);
         let f1 = self.cofactor(f, var, true);
         self.or(f0, f1)
@@ -1694,7 +1558,7 @@ impl Manager {
     pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
         let mut cur = f;
         while !cur.is_terminal() {
-            let node = &self.nodes[cur.index()];
+            let node = self.arena.get(cur.index() as u32);
             let next = if assignment[node.var as usize] {
                 node.high
             } else {
@@ -1929,21 +1793,6 @@ impl Manager {
         self.gc_threshold = threshold;
     }
 
-    /// Every operation cache, for whole-kernel maintenance (epoch-wrap
-    /// resets, cap raises); must stay in sync with the struct fields.
-    fn op_caches_mut(&mut self) -> [&mut DirectCache; 8] {
-        [
-            &mut self.and_cache,
-            &mut self.xor_cache,
-            &mut self.ite_cache,
-            &mut self.cofactor_cache,
-            &mut self.xor3_cache,
-            &mut self.maj_cache,
-            &mut self.flip_cache,
-            &mut self.mux_cache,
-        ]
-    }
-
     /// GC-time cache-cap auto-tuning: when the eviction rate over the GC
     /// interval stays above 1/4 of the stores for two consecutive
     /// collections, raise the growth cap one power of two (up to 2²⁰).
@@ -1957,13 +1806,25 @@ impl Manager {
         }
         if self.high_eviction_streak >= 2 && self.cache_max_log2 < CACHE_HARD_MAX_LOG2 {
             self.cache_max_log2 += 1;
-            self.stats.cache_cap_log2 = self.cache_max_log2;
-            self.stats.cache_cap_raises += 1;
+            self.serial.cache_cap_log2 = self.cache_max_log2;
+            self.serial.cache_cap_raises += 1;
             let cap = self.cache_max_log2;
-            for cache in self.op_caches_mut() {
+            for cache in self.caches.iter_mut() {
                 cache.raise_cap(cap);
             }
             self.high_eviction_streak = 0;
+        }
+    }
+
+    /// Applies deferred operation-cache growth: any cache whose miss budget
+    /// ran out since the last exclusive phase doubles now (up to its cap).
+    /// The shared phase never reallocates a cache; the simulator calls this
+    /// at gate boundaries (it is also folded into GC and reordering).
+    pub fn maybe_grow_caches(&mut self) {
+        for cache in self.caches.iter_mut() {
+            while cache.wants_growth() {
+                cache.grow();
+            }
         }
     }
 
@@ -1976,7 +1837,9 @@ impl Manager {
     /// invalidated in O(1) by bumping the cache epoch.  Returns the number
     /// of freed nodes.
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> usize {
-        let mut marked = vec![false; self.nodes.len()];
+        self.note_peak();
+        let arena_len = self.arena.len();
+        let mut marked = vec![false; arena_len];
         marked[0] = true;
         let mut stack: Vec<usize> = roots
             .iter()
@@ -1988,21 +1851,23 @@ impl Manager {
                 continue;
             }
             marked[index] = true;
-            stack.push(self.nodes[index].low.index());
-            stack.push(self.nodes[index].high.index());
+            let node = self.arena.get(index as u32);
+            stack.push(node.low.index());
+            stack.push(node.high.index());
         }
         let free_before = self.free.len();
         self.rebuild_table(&marked);
         let freed = self.free.len() - free_before;
         // Cache-cap auto-tuning from the eviction rate of this GC interval.
-        let totals = self.stats.total_cache();
+        let totals = self.stats().total_cache();
         let interval_stores = totals.misses - self.misses_at_last_gc;
         let interval_evictions = totals.evictions - self.evictions_at_last_gc;
         self.misses_at_last_gc = totals.misses;
         self.evictions_at_last_gc = totals.evictions;
         self.tune_cache_cap(interval_stores, interval_evictions);
+        self.maybe_grow_caches();
         self.invalidate_caches();
-        self.stats.gc_runs += 1;
+        self.serial.gc_runs += 1;
         // Grow the threshold if little garbage was reclaimed, so we do not
         // thrash on workloads whose live set keeps growing.
         if freed * 4 < self.allocated_nodes() {
@@ -2023,12 +1888,13 @@ impl Manager {
     /// dead nodes whose ids may be recycled, which would otherwise leave
     /// the caches pointing at different functions).
     pub(crate) fn invalidate_caches(&mut self) {
-        self.cache_epoch = self.cache_epoch.wrapping_add(1);
-        if self.cache_epoch == 0 {
-            for cache in self.op_caches_mut() {
-                cache.words.fill(0);
+        let epoch = self.cache_epoch.get_mut();
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            for cache in self.caches.iter_mut() {
+                cache.reset();
             }
-            self.cache_epoch = 1;
+            *epoch = 1;
         }
     }
 
@@ -2073,16 +1939,40 @@ impl Manager {
 
     /// Runs [`Manager::reorder`] iff automatic reordering is enabled and
     /// the allocated-node count exceeds the trigger threshold; re-arms the
-    /// threshold at twice the post-reorder live size.  Call at safe points
-    /// only (no apply recursion in flight) — the simulator calls it between
+    /// threshold at twice the post-reorder live size.  Also applies any
+    /// deferred cache growth — this is the designated exclusive-phase
+    /// housekeeping hook.  Call at safe points only (no apply recursion in
+    /// flight; `&mut self` proves it) — the simulator calls it between
     /// gates.  Returns `true` if a reordering ran.
     pub fn maybe_reorder(&mut self) -> bool {
+        self.maybe_grow_caches();
         if !self.auto_reorder || self.allocated_nodes() <= self.reorder_threshold {
             return false;
         }
         self.reorder();
         self.reorder_threshold = (2 * self.allocated_nodes()).max(self.reorder_threshold_floor);
         true
+    }
+
+    // ----------------------------------------------------------------- //
+    // Exclusive-phase accessors for the reordering module
+    // ----------------------------------------------------------------- //
+
+    /// The total number of live unique-table entries.
+    #[inline]
+    pub(crate) fn live_table_len(&self) -> usize {
+        self.table_len.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn table_len_add(&mut self, delta: isize) {
+        let len = self.table_len.get_mut();
+        *len = (*len as isize + delta) as usize;
+    }
+
+    /// Pushes a freed node id (exclusive phase: eager reclamation during
+    /// level swaps).
+    pub(crate) fn free_push(&mut self, id: u32) {
+        self.free.push(id);
     }
 }
 
@@ -2092,7 +1982,7 @@ mod tests {
 
     #[test]
     fn terminals_and_literals() {
-        let mut mgr = Manager::new(3);
+        let mgr = Manager::new(3);
         assert!(mgr.constant(true).is_true());
         assert!(mgr.constant(false).is_false());
         let x = mgr.var(1);
@@ -2112,7 +2002,7 @@ mod tests {
         assert_eq!(NodeId::TRUE.index(), NodeId::FALSE.index());
         assert!(NodeId::FALSE.is_complemented());
         assert!(!NodeId::TRUE.is_complemented());
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         let x = mgr.var(0);
         assert_eq!(x.complement().complement(), x);
         assert_eq!(x.index(), x.complement().index(), "one shared node");
@@ -2120,7 +2010,7 @@ mod tests {
 
     #[test]
     fn not_is_o1_and_allocation_free() {
-        let mut mgr = Manager::new(4);
+        let mgr = Manager::new(4);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let f = mgr.and(x, y);
@@ -2143,7 +2033,7 @@ mod tests {
     fn low_edges_are_never_complemented() {
         // Build a varied population of nodes and check the canonical-form
         // invariant on every live unique-table entry.
-        let mut mgr = Manager::new(6);
+        let mgr = Manager::new(6);
         let mut pool = Vec::new();
         for i in 0..6 {
             pool.push(mgr.var(i));
@@ -2164,14 +2054,11 @@ mod tests {
         }
         let mut live = 0usize;
         for subtable in &mgr.subtables {
-            for slot in &subtable.slots {
-                if slot.id == EMPTY_SLOT {
-                    continue;
-                }
+            for id in subtable.ids() {
                 live += 1;
-                let low = NodeId((slot.children >> 32) as u32);
+                let node = mgr.node_raw(id);
                 assert!(
-                    !low.is_complemented(),
+                    !node.low.is_complemented(),
                     "canonical form violated: stored low edge is complemented"
                 );
             }
@@ -2181,7 +2068,7 @@ mod tests {
 
     #[test]
     fn hash_consing_gives_canonical_forms() {
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         let x0 = mgr.var(0);
         let x1 = mgr.var(1);
         let a = mgr.and(x0, x1);
@@ -2196,7 +2083,7 @@ mod tests {
 
     #[test]
     fn de_morgan() {
-        let mut mgr = Manager::new(4);
+        let mgr = Manager::new(4);
         let x = mgr.var(2);
         let y = mgr.var(3);
         let lhs = {
@@ -2213,7 +2100,7 @@ mod tests {
 
     #[test]
     fn or_shares_the_and_cache() {
-        let mut mgr = Manager::new(4);
+        let mgr = Manager::new(4);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let _ = mgr.or(x, y);
@@ -2229,7 +2116,7 @@ mod tests {
 
     #[test]
     fn xor_complement_parity_folds_out() {
-        let mut mgr = Manager::new(4);
+        let mgr = Manager::new(4);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let f = mgr.xor(x, y);
@@ -2246,7 +2133,7 @@ mod tests {
 
     #[test]
     fn three_operand_complement_identities() {
-        let mut mgr = Manager::new(6);
+        let mgr = Manager::new(6);
         let f = {
             let a = mgr.var(0);
             let b = mgr.var(3);
@@ -2275,7 +2162,7 @@ mod tests {
 
     #[test]
     fn xor_and_ite_consistency() {
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let x_xor_y = mgr.xor(x, y);
@@ -2292,7 +2179,7 @@ mod tests {
 
     #[test]
     fn cube_and_cofactor() {
-        let mut mgr = Manager::new(4);
+        let mgr = Manager::new(4);
         let cube = mgr.cube(&[(0, true), (2, false), (3, true)]);
         assert!(mgr.eval(cube, &[true, false, false, true]));
         assert!(mgr.eval(cube, &[true, true, false, true]));
@@ -2309,7 +2196,7 @@ mod tests {
 
     #[test]
     fn sat_count_exact() {
-        let mut mgr = Manager::new(10);
+        let mgr = Manager::new(10);
         let x = mgr.var(0);
         // A single positive literal over 10 variables has 2^9 models.
         assert_eq!(mgr.sat_count(x, 10), UBig::pow2(9));
@@ -2339,7 +2226,7 @@ mod tests {
     fn sat_count_huge_variable_count() {
         // Exact counting far beyond what f64 can hold: a single literal over
         // 4000 variables has 2^3999 models.
-        let mut mgr = Manager::new(4000);
+        let mgr = Manager::new(4000);
         let x = mgr.var(17);
         assert_eq!(mgr.sat_count(x, 4000), UBig::pow2(3999));
         assert!(mgr.sat_count_f64(x, 4000).is_infinite());
@@ -2347,7 +2234,7 @@ mod tests {
 
     #[test]
     fn support_and_node_count() {
-        let mut mgr = Manager::new(5);
+        let mgr = Manager::new(5);
         let x = mgr.var(1);
         let y = mgr.var(3);
         let f = mgr.and(x, y);
@@ -2365,7 +2252,7 @@ mod tests {
 
     #[test]
     fn pick_one_returns_a_model() {
-        let mut mgr = Manager::new(3);
+        let mgr = Manager::new(3);
         let x = mgr.var(0);
         let nz = mgr.nvar(2);
         let f = mgr.and(x, nz);
@@ -2443,12 +2330,12 @@ mod tests {
         let x = mgr.var(0);
         let y = mgr.var(1);
         let _garbage = mgr.and(x, y);
-        let allocated_before = mgr.nodes.len();
+        let allocated_before = mgr.arena.len();
         mgr.collect_garbage(&[x, y]);
         // Recreating a node reuses a freed slot instead of growing the arena.
         let z = mgr.var(2);
         let _new = mgr.and(x, z);
-        assert!(mgr.nodes.len() <= allocated_before + 1);
+        assert!(mgr.arena.len() <= allocated_before + 1);
     }
 
     #[test]
@@ -2463,7 +2350,7 @@ mod tests {
 
     #[test]
     fn exists_quantification() {
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let f = mgr.and(x, y);
@@ -2479,7 +2366,7 @@ mod tests {
 
     #[test]
     fn specialized_ops_agree_with_ite_lowering() {
-        let mut mgr = Manager::new(6);
+        let mgr = Manager::new(6);
         let mut functions = Vec::new();
         for i in 0..6 {
             for j in 0..6 {
@@ -2507,7 +2394,7 @@ mod tests {
 
     #[test]
     fn cache_stats_count_hits_and_misses() {
-        let mut mgr = Manager::new(8);
+        let mgr = Manager::new(8);
         let x = mgr.var(0);
         let y = mgr.var(1);
         let first = mgr.and(x, y);
@@ -2553,7 +2440,7 @@ mod tests {
         mgr.tune_cache_cap(10_000, 4_000);
         assert_eq!(mgr.stats().cache_cap_log2, CACHE_DEFAULT_MAX_LOG2 + 1);
         assert_eq!(mgr.stats().cache_cap_raises, 1);
-        assert_eq!(mgr.and_cache.max_log2, CACHE_DEFAULT_MAX_LOG2 + 1);
+        assert_eq!(mgr.caches[AND].max_log2, CACHE_DEFAULT_MAX_LOG2 + 1);
         // A quiet interval resets the streak.
         mgr.tune_cache_cap(10_000, 4_000);
         mgr.tune_cache_cap(10_000, 10);
@@ -2569,7 +2456,7 @@ mod tests {
     #[test]
     fn unique_table_grows_and_stays_consistent() {
         const NV: usize = 12;
-        let mut mgr = Manager::new(NV);
+        let mgr = Manager::new(NV);
         // Thousands of distinct minterm chains force several table doublings.
         let minterm_bits =
             |i: usize| -> Vec<(usize, bool)> { (0..NV).map(|v| (v, i >> v & 1 == 1)).collect() };
@@ -2596,7 +2483,7 @@ mod tests {
         // Hammer the caches with many distinct node pairs; evictions may
         // occur and every result must stay correct (negation itself is a
         // bit flip and can no longer evict anything).
-        let mut mgr = Manager::new(16);
+        let mgr = Manager::new(16);
         let mut nodes = Vec::new();
         for i in 0..16 {
             for j in 0..16 {
@@ -2620,5 +2507,54 @@ mod tests {
         let stats = mgr.stats();
         let total = stats.total_cache();
         assert!(total.hits + total.misses > 0);
+    }
+
+    #[test]
+    fn shared_apply_from_scoped_threads_is_canonical() {
+        // The concurrency smoke test at unit scale: several threads build
+        // overlapping formula populations through one shared `&Manager`;
+        // afterwards every function must be canonical (rebuilding it
+        // serially finds the identical edge without allocating) and the
+        // structure must pass the exhaustive integrity check.
+        let mgr = Manager::new(10);
+        let results: Vec<Vec<NodeId>> = std::thread::scope(|scope| {
+            let mgr = &mgr;
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..10 {
+                            for j in 0..10 {
+                                let x = mgr.var(i);
+                                let y = mgr.var((j + t) % 10);
+                                let a = mgr.and(x, y);
+                                let b = mgr.xor(a, x);
+                                out.push(mgr.or(b, y));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        mgr.check_integrity()
+            .expect("integrity after parallel build");
+        let created = mgr.stats().created_nodes;
+        for (t, formulas) in results.iter().enumerate() {
+            for (k, &f) in formulas.iter().enumerate() {
+                let (i, j) = (k / 10, (k % 10 + t) % 10);
+                let x = mgr.var(i);
+                let y = mgr.var(j);
+                let a = mgr.and(x, y);
+                let b = mgr.xor(a, x);
+                assert_eq!(mgr.or(b, y), f, "thread {t} formula {k} is canonical");
+            }
+        }
+        assert_eq!(
+            mgr.stats().created_nodes,
+            created,
+            "serial rebuild allocates nothing new"
+        );
     }
 }

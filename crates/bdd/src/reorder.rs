@@ -90,15 +90,17 @@ impl Manager {
     /// parent edge plus one per registered root.  Freed arena slots count
     /// zero and are never referenced by live nodes.
     fn build_refs(&self) -> Vec<u32> {
-        let mut refs = vec![0u32; self.nodes.len()];
-        let mut free_mark = vec![false; self.nodes.len()];
-        for &f in &self.free {
+        let arena_len = self.arena.len();
+        let mut refs = vec![0u32; arena_len];
+        let mut free_mark = vec![false; arena_len];
+        for f in self.free.snapshot() {
             free_mark[f as usize] = true;
         }
-        for (index, node) in self.nodes.iter().enumerate().skip(1) {
-            if free_mark[index] {
+        for (index, &is_free) in free_mark.iter().enumerate().skip(1) {
+            if is_free {
                 continue;
             }
+            let node = self.node_raw(index as u32);
             refs[node.low.index()] += 1;
             refs[node.high.index()] += 1;
         }
@@ -119,59 +121,65 @@ impl Manager {
         // (removals, fresh inserts, growth) while they are processed.
         let interacting: Vec<u32> = self.subtables[x as usize]
             .ids()
+            .into_iter()
             .filter(|&id| {
-                let node = &self.nodes[id as usize];
-                self.nodes[node.low.index()].var == y
-                    || self.nodes[node.high.regular().index()].var == y
+                let node = self.node_raw(id);
+                self.node_raw(node.low.index() as u32).var == y
+                    || self.node_raw(node.high.regular().index() as u32).var == y
             })
             .collect();
         for &id in &interacting {
-            let node = self.nodes[id as usize];
+            let node = self.node_raw(id);
             let low = node.low;
             let high = node.high;
             let hreg = high.regular();
             // Cofactors of f by (x, y); the high edge's complement bit is
             // pushed into its children, the low edge is regular already.
-            let (f00, f01) = if self.nodes[low.index()].var == y {
-                (self.nodes[low.index()].low, self.nodes[low.index()].high)
+            let low_node = self.node_raw(low.index() as u32);
+            let (f00, f01) = if low_node.var == y {
+                (low_node.low, low_node.high)
             } else {
                 (low, low)
             };
-            let (f10, f11) = if self.nodes[hreg.index()].var == y {
-                let hn = self.nodes[hreg.index()];
+            let hreg_node = self.node_raw(hreg.index() as u32);
+            let (f10, f11) = if hreg_node.var == y {
                 let c = high.cmask();
-                (hn.low.xor_mask(c), hn.high.xor_mask(c))
+                (hreg_node.low.xor_mask(c), hreg_node.high.xor_mask(c))
             } else {
                 (high, high)
             };
             // The node's key changes: take it out of x's subtable before
             // hash-consing the new children there.
-            self.subtables[x as usize].remove(pack_children(low, high));
-            self.table_len -= 1;
+            self.subtables[x as usize].remove_exclusive(&self.arena, pack_children(low, high));
+            self.table_len_add(-1);
             let a = self.mk_counted(x, f00, f10, refs);
             let b = self.mk_counted(x, f01, f11, refs);
             refs[a.index()] += 1;
             refs[b.index()] += 1;
             debug_assert!(!a.is_complemented(), "new low child must be regular");
             debug_assert!(a != b, "interacting node cannot become redundant");
-            self.nodes[id as usize] = Node {
-                var: y,
-                low: a,
-                high: b,
-            };
-            self.subtables[y as usize].insert(pack_children(a, b), id);
-            self.table_len += 1;
+            self.set_node_raw(
+                id,
+                Node {
+                    var: y,
+                    low: a,
+                    high: b,
+                },
+            );
+            self.subtables[y as usize].insert_exclusive(&self.arena, pack_children(a, b), id);
+            self.table_len_add(1);
             // The old children each lose one parent; a y-node dropping to
             // zero references dies on the spot.  (Nothing below y can die:
             // every grandchild is re-referenced through `a`/`b`.)
             for child in [low, hreg] {
                 let ci = child.index();
                 refs[ci] -= 1;
-                if refs[ci] == 0 && self.nodes[ci].var == y {
-                    let dead = self.nodes[ci];
-                    self.subtables[y as usize].remove(pack_children(dead.low, dead.high));
-                    self.table_len -= 1;
-                    self.free.push(ci as u32);
+                if refs[ci] == 0 && self.node_raw(ci as u32).var == y {
+                    let dead = self.node_raw(ci as u32);
+                    self.subtables[y as usize]
+                        .remove_exclusive(&self.arena, pack_children(dead.low, dead.high));
+                    self.table_len_add(-1);
+                    self.free_push(ci as u32);
                     refs[dead.low.index()] -= 1;
                     refs[dead.high.index()] -= 1;
                 }
@@ -181,7 +189,11 @@ impl Manager {
         self.level_to_var.swap(level, level + 1);
         self.var_to_level[x as usize] = (level + 1) as u32;
         self.var_to_level[y as usize] = level as u32;
-        self.stats.reorder_swaps += 1;
+        self.serial.reorder_swaps += 1;
+        // Sifting can grow the diagram (up to the 1.2× limit) before the
+        // sift-back shrinks it again; sample the high-water mark per swap
+        // so `peak_nodes` sees the excursion.
+        self.note_peak();
         interacting.len()
     }
 
@@ -197,10 +209,10 @@ impl Manager {
     ) -> crate::NodeId {
         let (edge, created) = self.mk_core(var, low, high);
         if created {
-            if refs.len() < self.nodes.len() {
-                refs.resize(self.nodes.len(), 0);
+            if refs.len() < self.arena.len() {
+                refs.resize(self.arena.len(), 0);
             }
-            let node = self.nodes[edge.index()];
+            let node = self.node_raw(edge.index() as u32);
             refs[edge.index()] = 0;
             refs[node.low.index()] += 1;
             refs[node.high.index()] += 1;
@@ -222,6 +234,7 @@ impl Manager {
             level + 1 < self.num_vars(),
             "swap level {level} out of range"
         );
+        self.note_peak();
         let mut refs = self.build_refs();
         self.swap_levels(level, &mut refs);
         self.invalidate_caches();
@@ -240,7 +253,7 @@ impl Manager {
             }
             self.sift_var(var, bound, refs);
         }
-        self.table_len
+        self.live_table_len()
     }
 
     /// Moves `var` through every level of `[0, bound)`, then parks it at
@@ -252,7 +265,7 @@ impl Manager {
     /// guard irrelevant to it).
     fn sift_var(&mut self, var: u32, bound: usize, refs: &mut Vec<u32>) {
         let start = self.var_to_level[var as usize] as usize;
-        let start_size = self.table_len;
+        let start_size = self.live_table_len();
         let limit = (start_size + start_size / 5).max(start_size + 20);
         let mut level = start;
         let mut best_size = start_size;
@@ -264,11 +277,11 @@ impl Manager {
                 while level + 1 < bound {
                     self.swap_levels(level, refs);
                     level += 1;
-                    if self.table_len < best_size {
-                        best_size = self.table_len;
+                    if self.live_table_len() < best_size {
+                        best_size = self.live_table_len();
                         best_level = level;
                     }
-                    if self.table_len > limit {
+                    if self.live_table_len() > limit {
                         break;
                     }
                 }
@@ -276,11 +289,11 @@ impl Manager {
                 while level > 0 {
                     self.swap_levels(level - 1, refs);
                     level -= 1;
-                    if self.table_len < best_size {
-                        best_size = self.table_len;
+                    if self.live_table_len() < best_size {
+                        best_size = self.live_table_len();
                         best_level = level;
                     }
-                    if self.table_len > limit {
+                    if self.live_table_len() > limit {
                         break;
                     }
                 }
@@ -297,7 +310,11 @@ impl Manager {
                 level -= 1;
             }
         }
-        debug_assert_eq!(self.table_len, best_size, "sift-back must restore size");
+        debug_assert_eq!(
+            self.live_table_len(),
+            best_size,
+            "sift-back must restore size"
+        );
     }
 
     /// Full Rudell sifting over the reorder window (see
@@ -313,11 +330,12 @@ impl Manager {
         if bound < 2 {
             return ReorderStats::default();
         }
+        self.note_peak();
         if !self.roots.is_empty() {
             self.collect_garbage_registered();
         }
-        let swaps_before = self.stats.reorder_swaps;
-        let size_before = self.table_len;
+        let swaps_before = self.serial.reorder_swaps;
+        let size_before = self.live_table_len();
         let mut refs = self.build_refs();
         let mut passes = 0u32;
         let mut previous = size_before;
@@ -333,16 +351,16 @@ impl Manager {
         }
         self.invalidate_caches();
         let stats = ReorderStats {
-            swaps: self.stats.reorder_swaps - swaps_before,
+            swaps: self.serial.reorder_swaps - swaps_before,
             size_before,
-            size_after: self.table_len,
+            size_after: self.live_table_len(),
             passes,
             micros: started.elapsed().as_micros() as u64,
         };
-        self.stats.reorders += 1;
-        self.stats.reorder_last_before = size_before;
-        self.stats.reorder_last_after = stats.size_after;
-        self.stats.reorder_micros += stats.micros;
+        self.serial.reorders += 1;
+        self.serial.reorder_last_before = size_before;
+        self.serial.reorder_last_after = stats.size_after;
+        self.serial.reorder_micros += stats.micros;
         stats
     }
 }

@@ -1,0 +1,1127 @@
+//! Concurrency primitives of the sharded BDD kernel: the chunked atomic
+//! node arena, the per-variable unique subtables with lock-free CAS
+//! insertion, the seqlock-protected operation caches and the thread-sharded
+//! statistics counters.
+//!
+//! # Synchronization design
+//!
+//! The manager distinguishes two phases, and the Rust borrow checker is the
+//! phase switch:
+//!
+//! * **Shared phase** (`&Manager`): every apply recursion (`and`, `xor`,
+//!   `ite`, `xor3`, `maj`, `flip_var`, `mux_var`, `cofactor`) and the node
+//!   constructor `mk` take `&self`, so any number of threads may run them
+//!   concurrently on one manager.  All mutation in this phase goes through
+//!   the atomic structures in this module.
+//! * **Exclusive phase** (`&mut Manager`): garbage collection, variable
+//!   reordering, cache growth/invalidation, root-registry updates and
+//!   `add_vars` take `&mut self`.  Holding `&mut Manager` *proves* no apply
+//!   recursion is in flight — the stop-the-world property is enforced at
+//!   compile time, not by a runtime flag.  The simulator enters this phase
+//!   only at gate boundaries.
+//!
+//! ## Why canonical hash-consing stays sound under concurrent insertion
+//!
+//! Canonicity requires that `(var, low, high)` maps to exactly one node id
+//! for the manager's lifetime (between exclusive phases).  The concurrent
+//! `mk` guarantees this with a *speculate-then-publish* protocol on the
+//! open-addressed subtable of `var`:
+//!
+//! 1. The inserting thread probes the subtable.  If it finds an entry whose
+//!    children match, that node is the canonical one — done, no node was
+//!    allocated.
+//! 2. On a miss it allocates a fresh id from the arena, writes the node
+//!    fields, and publishes the id into the first empty slot of the probe
+//!    chain with a `compare_exchange` (release ordering).  **The CAS is the
+//!    single linearization point**: whichever thread wins owns the canonical
+//!    node for that key.
+//! 3. A thread whose CAS fails re-reads the slot.  If the winner inserted
+//!    the *same* key, the loser rolls its speculative node back onto the
+//!    free list (the node was never published, so nothing can reference it)
+//!    and adopts the winner's id.  Otherwise a different key claimed the
+//!    slot and the loser simply continues down the probe chain.
+//!
+//! Because entries are only ever *added* during the shared phase (deletion
+//! and rehashing are exclusive-phase operations), a probe that started
+//! before a concurrent insert either sees the new entry (and adopts it) or
+//! reaches an empty slot later in the chain and CASes there — in both cases
+//! the key maps to one id.  Readers load slots with acquire ordering, which
+//! pairs with the publishing CAS's release ordering, so the node fields
+//! written in step 2 are visible to any thread that observes the id.
+//!
+//! Subtable *growth* swaps the slot array and therefore cannot run under
+//! concurrent probes: each subtable wraps its slots in an `RwLock` whose
+//! read side is taken (uncontended in the common case, shared across all
+//! probing threads) for lookups and CAS inserts, and whose write side is
+//! taken only for the occasional doubling.  The lock is per *variable*, so
+//! this is the sharding: threads working at different levels of the diagram
+//! never touch the same lock.
+//!
+//! The operation caches are lossy, so they only have to be *atomic*, never
+//! lossless: each entry is guarded by a per-entry sequence word (a seqlock).
+//! Writers claim the entry with a CAS to an odd sequence number (a claimed
+//! entry is simply skipped by other writers — dropping a memoisation is
+//! always safe), write the key/value words, and release with an even
+//! sequence number.  Readers re-check the sequence word after reading; a
+//! torn read is treated as a miss.  Cache *growth* is deferred to the
+//! exclusive phase: misses decrement an atomic budget, and the manager
+//! doubles any cache whose budget ran out at the next gate boundary.
+//!
+//! The node arena is append-only during the shared phase: a chunked array
+//! (doubling chunk sizes, lazily initialised through `OnceLock`) with an
+//! atomic bump allocator, so node ids are stable pointers that never move.
+//! The free list is a mutex-protected stack popped on allocation — the
+//! mutex is taken once per *created node*, not per lookup.  It is a **leaf
+//! lock**: `mk` does acquire it while holding a subtable's read lock (the
+//! allocation happens inside the probe), but nothing ever blocks while
+//! holding the free-list mutex itself, so the lock order
+//! `subtable → free list` is acyclic.
+//!
+//! Statistics counters are sharded 16 ways and indexed by a thread-local
+//! slot, so hot-path increments do not bounce one cache line between
+//! cores; [`crate::ManagerStats`] snapshots are the shard sums.
+
+use crate::hash::mix64;
+use crate::manager::{pack_children, NodeId};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+// ---------------------------------------------------------------------- //
+// Chunked atomic node arena
+// ---------------------------------------------------------------------- //
+
+/// log2 of the first chunk's capacity (4096 nodes).
+const ARENA_BASE_BITS: u32 = 12;
+/// Number of chunks; sizes double, so the arena addresses
+/// `4096 · (2²⁰ − 1) > 2³¹` node ids — beyond the id space itself.
+const ARENA_CHUNKS: usize = 20;
+
+/// One node's storage.  Fields are written relaxed by the allocating thread
+/// and become visible to others through the release/acquire pair on the
+/// subtable slot (or cache entry) that publishes the id.
+#[derive(Debug)]
+pub(crate) struct NodeCell {
+    pub(crate) var: AtomicU32,
+    pub(crate) low: AtomicU32,
+    pub(crate) high: AtomicU32,
+}
+
+/// A plain (non-atomic) node value, the unit the rest of the kernel reads
+/// and writes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) low: NodeId,
+    pub(crate) high: NodeId,
+}
+
+/// Chunk index and offset of a node id.
+#[inline]
+fn locate(id: u32) -> (usize, usize) {
+    let shifted = (id >> ARENA_BASE_BITS) + 1;
+    let chunk = (31 - shifted.leading_zeros()) as usize;
+    let base = ((1u32 << chunk) - 1) << ARENA_BASE_BITS;
+    (chunk, (id - base) as usize)
+}
+
+/// Capacity of chunk `chunk`.
+#[inline]
+fn chunk_len(chunk: usize) -> usize {
+    1usize << (chunk as u32 + ARENA_BASE_BITS)
+}
+
+/// Append-only chunked node storage with an atomic bump allocator.  Node
+/// ids are never relocated, so `&NodeCell` references handed out while the
+/// arena grows stay valid (growth only initialises a *new* chunk).
+#[derive(Debug)]
+pub(crate) struct NodeArena {
+    chunks: [OnceLock<Box<[NodeCell]>>; ARENA_CHUNKS],
+    /// Total ids ever allocated (terminal included); the bump pointer.
+    next: AtomicU32,
+}
+
+impl NodeArena {
+    /// An arena containing only the terminal node (id 0) with the given
+    /// sentinel variable index.
+    pub(crate) fn new(terminal_var: u32) -> Self {
+        let arena = Self {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            next: AtomicU32::new(1),
+        };
+        arena.ensure_chunk(0);
+        arena.write(
+            0,
+            Node {
+                var: terminal_var,
+                low: NodeId::TRUE,
+                high: NodeId::TRUE,
+            },
+        );
+        arena
+    }
+
+    /// Number of ids ever allocated (freed ids included).
+    pub(crate) fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    fn ensure_chunk(&self, id: u32) {
+        let (chunk, _) = locate(id);
+        self.chunks[chunk].get_or_init(|| {
+            (0..chunk_len(chunk))
+                .map(|_| NodeCell {
+                    var: AtomicU32::new(0),
+                    low: AtomicU32::new(0),
+                    high: AtomicU32::new(0),
+                })
+                .collect()
+        });
+    }
+
+    /// Bump-allocates a fresh id (the caller handles the free list) and
+    /// makes sure its chunk exists.
+    pub(crate) fn bump(&self) -> u32 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(id & (1 << 31) == 0, "node arena overflow (2^31 nodes)");
+        self.ensure_chunk(id);
+        id
+    }
+
+    #[inline]
+    pub(crate) fn cell(&self, id: u32) -> &NodeCell {
+        let (chunk, offset) = locate(id);
+        // The chunk exists for every allocated id: the allocator initialises
+        // it before handing the id out, and ids reach other threads only
+        // through release/acquire publication.
+        &self.chunks[chunk].get().expect("chunk of a live id")[offset]
+    }
+
+    #[inline]
+    pub(crate) fn var_of(&self, id: u32) -> u32 {
+        self.cell(id).var.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn low_of(&self, id: u32) -> NodeId {
+        NodeId::from_bits(self.cell(id).low.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn high_of(&self, id: u32) -> NodeId {
+        NodeId::from_bits(self.cell(id).high.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> Node {
+        let cell = self.cell(id);
+        Node {
+            var: cell.var.load(Ordering::Relaxed),
+            low: NodeId::from_bits(cell.low.load(Ordering::Relaxed)),
+            high: NodeId::from_bits(cell.high.load(Ordering::Relaxed)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn children_of(&self, id: u32) -> u64 {
+        let cell = self.cell(id);
+        pack_children(
+            NodeId::from_bits(cell.low.load(Ordering::Relaxed)),
+            NodeId::from_bits(cell.high.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Writes a node's fields.  Safe in the shared phase only for ids that
+    /// have not been published yet (the speculative half of `mk`); the
+    /// exclusive phase (reordering) may rewrite any node.
+    #[inline]
+    pub(crate) fn write(&self, id: u32, node: Node) {
+        let cell = self.cell(id);
+        cell.var.store(node.var, Ordering::Relaxed);
+        cell.low.store(node.low.to_bits(), Ordering::Relaxed);
+        cell.high.store(node.high.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Clone for NodeArena {
+    fn clone(&self) -> Self {
+        let len = self.next.load(Ordering::Relaxed);
+        let arena = Self {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            next: AtomicU32::new(len),
+        };
+        for id in 0..len {
+            arena.ensure_chunk(id);
+            arena.write(id, self.get(id));
+        }
+        arena
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Per-variable unique subtables (the unique-table shards)
+// ---------------------------------------------------------------------- //
+
+/// Sentinel id marking an empty unique-table slot (regular node ids never
+/// reach bit 31, so this cannot collide with a live id).
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
+
+/// An empty slot word: low 32 bits are [`EMPTY_SLOT`].
+const EMPTY_WORD: u64 = u64::MAX;
+
+/// Initial per-variable subtable capacity (slots, power of two).
+const SUBTABLE_INITIAL_CAPACITY: usize = 1 << 3;
+
+#[inline]
+fn slot_word(tag: u32, id: u32) -> u64 {
+    ((tag as u64) << 32) | id as u64
+}
+
+#[inline]
+pub(crate) fn slot_id(word: u64) -> u32 {
+    word as u32
+}
+
+#[inline]
+fn slot_tag(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// The hash-consing shard of one variable: an open-addressed, linear-probed
+/// power-of-two array of atomic slot words `tag ‖ id`.  The tag is the high
+/// half of the key hash — probes only dereference the arena when the tag
+/// matches, so a probe step is usually one cache line.  Lookups and CAS
+/// inserts share the `RwLock`'s read side; only growth (doubling) takes the
+/// write side.  Deletion (backward-shift, needed by reordering) and
+/// wholesale rebuilds are exclusive-phase operations.
+#[derive(Debug)]
+pub(crate) struct SubTable {
+    slots: RwLock<Box<[AtomicU64]>>,
+    len: AtomicUsize,
+}
+
+fn empty_slots(capacity: usize) -> Box<[AtomicU64]> {
+    (0..capacity).map(|_| AtomicU64::new(EMPTY_WORD)).collect()
+}
+
+/// Outcome of [`SubTable::find_or_publish`].
+pub(crate) enum Consed {
+    /// The key resolved to a canonical node.  `created` says whether the
+    /// caller's speculative node won the publication; `rollback` carries a
+    /// speculative id that lost the race and must be returned to the free
+    /// list by the caller (it was never published, so nothing can
+    /// reference it).
+    Done {
+        id: u32,
+        created: bool,
+        rollback: Option<u32>,
+    },
+    /// The probe wrapped the entire slot array without finding the key or
+    /// an empty slot.  Possible only transiently, when concurrent inserts
+    /// fill the table faster than the post-insert growth keeps up: the
+    /// caller must release, grow the subtable and retry (re-passing the
+    /// speculative id so at most one node is ever allocated per `mk`).
+    TableFull { speculative: Option<u32> },
+}
+
+impl SubTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: RwLock::new(empty_slots(SUBTABLE_INITIAL_CAPACITY)),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live nodes labelled with this subtable's variable.
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Looks up the node with the given packed children.
+    pub(crate) fn lookup(&self, arena: &NodeArena, children: u64) -> Option<u32> {
+        let slots = self.slots.read().expect("subtable lock");
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        loop {
+            let word = slots[idx].load(Ordering::Acquire);
+            if slot_id(word) == EMPTY_SLOT {
+                return None;
+            }
+            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+                return Some(slot_id(word));
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// The concurrent hash-consing step: finds `children`, or publishes the
+    /// node `alloc()` allocates for it.  `alloc` is called at most once
+    /// across retries — lazily, only when an empty slot is reached and no
+    /// `speculative` id from an earlier [`Consed::TableFull`] attempt is
+    /// supplied — and its node must carry exactly these children.  The
+    /// probe is bounded by the slot count: a wrap without resolution (a
+    /// transiently 100%-full table under concurrent insertion) returns
+    /// [`Consed::TableFull`] *after releasing the read guard*, so the
+    /// caller's grow — and every other thread's — can always make
+    /// progress.  See the module docs for the race argument.
+    pub(crate) fn find_or_publish(
+        &self,
+        arena: &NodeArena,
+        children: u64,
+        speculative_in: Option<u32>,
+        alloc: impl FnOnce() -> u32,
+        stats: &StatShard,
+    ) -> Consed {
+        let slots = self.slots.read().expect("subtable lock");
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        let mut probed = 0usize;
+        let mut speculative: Option<u32> = speculative_in;
+        let mut alloc = Some(alloc);
+        loop {
+            let word = slots[idx].load(Ordering::Acquire);
+            if slot_id(word) == EMPTY_SLOT {
+                let id = match speculative {
+                    Some(id) => id,
+                    None => {
+                        let id = (alloc.take().expect("alloc is called once"))();
+                        speculative = Some(id);
+                        id
+                    }
+                };
+                match slots[idx].compare_exchange(
+                    EMPTY_WORD,
+                    slot_word(tag, id),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return Consed::Done {
+                            id,
+                            created: true,
+                            rollback: None,
+                        };
+                    }
+                    Err(_) => {
+                        // Another thread claimed this slot; re-inspect it.
+                        bump(&stats.unique_cas_retries);
+                        continue;
+                    }
+                }
+            }
+            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+                return Consed::Done {
+                    id: slot_id(word),
+                    created: false,
+                    rollback: speculative,
+                };
+            }
+            idx = (idx + 1) & mask;
+            probed += 1;
+            if probed > mask {
+                // Visited every slot: the table filled up under us.
+                return Consed::TableFull { speculative };
+            }
+        }
+    }
+
+    /// Whether the subtable is past its 3/4 load factor (growth is the
+    /// caller's job, *after* releasing any probe in flight).
+    pub(crate) fn overloaded(&self) -> bool {
+        let capacity = self.slots.read().expect("subtable lock").len();
+        (self.len() + 1) * 4 > capacity * 3
+    }
+
+    /// Doubles the slot array, rehashing every live entry.  Takes the write
+    /// lock, so it waits for in-flight probes and blocks new ones.  Returns
+    /// `false` when a racing grow already did the job.
+    #[cold]
+    pub(crate) fn grow(&self, arena: &NodeArena) -> bool {
+        let mut slots = self.slots.write().expect("subtable lock");
+        if (self.len() + 1) * 4 <= slots.len() * 3 {
+            return false;
+        }
+        let doubled = empty_slots(slots.len() * 2);
+        let mask = doubled.len() - 1;
+        for slot in slots.iter() {
+            let word = slot.load(Ordering::Relaxed);
+            if slot_id(word) == EMPTY_SLOT {
+                continue;
+            }
+            let hash = mix64(arena.children_of(slot_id(word)));
+            let mut idx = hash as usize & mask;
+            while slot_id(doubled[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            doubled[idx].store(word, Ordering::Relaxed);
+        }
+        *slots = doubled;
+        true
+    }
+
+    // ------------------------------------------------------------------ //
+    // Exclusive-phase operations (&mut Manager ⇒ sole access)
+    // ------------------------------------------------------------------ //
+
+    /// Inserts `(children, id)`, which must not already be present
+    /// (exclusive phase: GC rebuild, reordering).
+    pub(crate) fn insert_exclusive(&mut self, arena: &NodeArena, children: u64, id: u32) {
+        if (self.len() + 1) * 4 > self.slots.get_mut().expect("subtable lock").len() * 3 {
+            self.grow(arena);
+        }
+        let slots = self.slots.get_mut().expect("subtable lock");
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        while slot_id(slots[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+            idx = (idx + 1) & mask;
+        }
+        slots[idx].store(slot_word(tag, id), Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes the entry for `children` (which must be present) by
+    /// backward-shift deletion: subsequent probe-chain entries are moved up
+    /// while doing so keeps them reachable from their home slot, so lookups
+    /// never need tombstones.  Exclusive phase only (reordering).
+    pub(crate) fn remove_exclusive(&mut self, arena: &NodeArena, children: u64) {
+        let slots = self.slots.get_mut().expect("subtable lock");
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        loop {
+            let word = slots[idx].load(Ordering::Relaxed);
+            debug_assert!(
+                slot_id(word) != EMPTY_SLOT,
+                "removing a key that is not in the subtable"
+            );
+            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+                break;
+            }
+            idx = (idx + 1) & mask;
+        }
+        let mut hole = idx;
+        let mut probe = idx;
+        loop {
+            probe = (probe + 1) & mask;
+            let word = slots[probe].load(Ordering::Relaxed);
+            if slot_id(word) == EMPTY_SLOT {
+                break;
+            }
+            // The entry at `probe` may move into the hole iff its home slot
+            // is not cyclically inside (hole, probe] — otherwise the move
+            // would put it before its home and break its probe chain.
+            let home = mix64(arena.children_of(slot_id(word))) as usize & mask;
+            let in_gap = if hole <= probe {
+                home > hole && home <= probe
+            } else {
+                home > hole || home <= probe
+            };
+            if !in_gap {
+                slots[hole].store(word, Ordering::Relaxed);
+                hole = probe;
+            }
+        }
+        slots[hole].store(EMPTY_WORD, Ordering::Relaxed);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Empties the subtable, keeping its capacity (exclusive phase).
+    pub(crate) fn clear_exclusive(&mut self) {
+        for slot in self.slots.get_mut().expect("subtable lock").iter_mut() {
+            *slot.get_mut() = EMPTY_WORD;
+        }
+        self.len.store(0, Ordering::Relaxed);
+    }
+
+    /// The live node ids in the subtable, collected under the read lock.
+    pub(crate) fn ids(&self) -> Vec<u32> {
+        self.slots
+            .read()
+            .expect("subtable lock")
+            .iter()
+            .map(|slot| slot_id(slot.load(Ordering::Relaxed)))
+            .filter(|&id| id != EMPTY_SLOT)
+            .collect()
+    }
+}
+
+impl Clone for SubTable {
+    fn clone(&self) -> Self {
+        let slots = self.slots.read().expect("subtable lock");
+        // Acquire loads pair with the publication CAS, so every id the
+        // cloned slots carry has fully visible node fields even if the
+        // clone races a shared-phase insert.
+        let copied: Box<[AtomicU64]> = slots
+            .iter()
+            .map(|slot| AtomicU64::new(slot.load(Ordering::Acquire)))
+            .collect();
+        let len = copied
+            .iter()
+            .filter(|slot| slot_id(slot.load(Ordering::Relaxed)) != EMPTY_SLOT)
+            .count();
+        Self {
+            slots: RwLock::new(copied),
+            len: AtomicUsize::new(len),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Seqlock-protected lossy operation caches
+// ---------------------------------------------------------------------- //
+
+/// Initial entry count (log2) of the direct-mapped caches.
+pub(crate) const CACHE_INITIAL_LOG2: u32 = 12;
+/// Default growth cap (log2): a fully grown cache stays at a couple of MiB.
+pub(crate) const CACHE_DEFAULT_MAX_LOG2: u32 = 16;
+/// Absolute cap (log2) the GC-time auto-tuner may raise the limit to.
+pub(crate) const CACHE_HARD_MAX_LOG2: u32 = 20;
+
+/// A lossy direct-mapped memoisation cache safe for concurrent use.
+///
+/// Entry layouts (`width = stride + 1` words per entry):
+/// * stride 2 (`and`/`xor`, `cofactor`, `flip`): `[seq, key, epoch<<32|result]`
+/// * stride 3 (`ite`, `xor3`, `maj`, `mux`): `[seq, k0, k1, epoch<<32|result]`
+///
+/// The leading `seq` word is a per-entry seqlock: writers claim the entry by
+/// CASing an even sequence to odd (claim failure just drops the store — a
+/// lossy cache may always forget), write the data words relaxed, and release
+/// with `seq + 2`.  Readers verify the sequence word is even and unchanged
+/// around their reads; any torn read is a miss.  Entries never lie.
+///
+/// Growth is *deferred*: misses decrement `grow_budget`, and the manager
+/// doubles exhausted caches during the next exclusive phase
+/// ([`crate::Manager::maybe_grow_caches`]); until then the cache keeps
+/// serving at its current size.
+#[derive(Debug)]
+pub(crate) struct DirectCache {
+    words: Box<[AtomicU64]>,
+    /// Entry-index mask (entry count − 1).  Mutated only in the exclusive
+    /// phase, in lockstep with `words`.
+    mask: usize,
+    /// Data words per entry (2 or 3); the stored width is `stride + 1`.
+    stride: usize,
+    /// Misses remaining until the next doubling is requested; at most 0
+    /// means "grow at the next exclusive phase".
+    grow_budget: std::sync::atomic::AtomicI64,
+    /// Current growth cap (log2 entries); raised by the GC auto-tuner.
+    pub(crate) max_log2: u32,
+}
+
+#[inline]
+fn meta(epoch: u32, result: NodeId) -> u64 {
+    ((epoch as u64) << 32) | result.to_bits() as u64
+}
+
+#[inline]
+fn meta_epoch(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+#[inline]
+fn meta_result(word: u64) -> NodeId {
+    NodeId::from_bits(word as u32)
+}
+
+fn zero_words(entries: usize, width: usize) -> Box<[AtomicU64]> {
+    (0..entries * width).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl DirectCache {
+    pub(crate) fn new(stride: usize) -> Self {
+        let entries = 1usize << CACHE_INITIAL_LOG2;
+        Self {
+            words: zero_words(entries, stride + 1),
+            mask: entries - 1,
+            stride,
+            grow_budget: std::sync::atomic::AtomicI64::new(entries as i64),
+            max_log2: CACHE_DEFAULT_MAX_LOG2,
+        }
+    }
+
+    #[inline]
+    fn base(&self, hash: u64) -> usize {
+        (hash as usize & self.mask) * (self.stride + 1)
+    }
+
+    /// Called once per store (= once per miss): requests a doubling when
+    /// the miss volume since the last resize exceeds the current capacity.
+    #[inline]
+    fn note_miss(&self) {
+        self.grow_budget.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Whether the miss budget ran out (the exclusive phase grows then).
+    pub(crate) fn wants_growth(&self) -> bool {
+        self.grow_budget.load(Ordering::Relaxed) <= 0 && self.mask + 1 < (1usize << self.max_log2)
+    }
+
+    /// Raises the growth cap (GC-time auto-tuning).  A cache that had
+    /// saturated its previous cap gets its miss budget re-armed so renewed
+    /// pressure can trigger the next doubling.
+    pub(crate) fn raise_cap(&mut self, max_log2: u32) {
+        if max_log2 > self.max_log2 {
+            self.max_log2 = max_log2;
+            if *self.grow_budget.get_mut() == i64::MAX {
+                *self.grow_budget.get_mut() = (self.mask + 1) as i64;
+            }
+        }
+    }
+
+    /// Doubles the entry count (exclusive phase), rehashing live entries
+    /// into the new array (every entry stores its full key, so nothing warm
+    /// is lost; colliding pairs resolve lossily as usual).
+    #[cold]
+    pub(crate) fn grow(&mut self) {
+        let entries = self.mask + 1;
+        if entries >= (1usize << self.max_log2) {
+            self.grow_budget.store(i64::MAX, Ordering::Relaxed);
+            return;
+        }
+        let width = self.stride + 1;
+        let doubled = entries * 2;
+        let mask = doubled - 1;
+        let words = zero_words(doubled, width);
+        for base in (0..self.words.len()).step_by(width) {
+            let meta_word = self.words[base + width - 1].load(Ordering::Relaxed);
+            if meta_word == 0 {
+                continue;
+            }
+            let k0 = self.words[base + 1].load(Ordering::Relaxed);
+            let hash = if self.stride == 2 {
+                mix64(k0)
+            } else {
+                mix64(k0 ^ mix64(self.words[base + 2].load(Ordering::Relaxed)))
+            };
+            let new_base = (hash as usize & mask) * width;
+            for offset in 0..width {
+                words[new_base + offset].store(
+                    self.words[base + offset].load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        self.words = words;
+        self.mask = mask;
+        self.grow_budget.store(doubled as i64, Ordering::Relaxed);
+    }
+
+    /// Zeroes every entry (exclusive phase; epoch-wrap fallback).
+    pub(crate) fn reset(&mut self) {
+        for word in self.words.iter_mut() {
+            *word.get_mut() = 0;
+        }
+    }
+
+    /// Looks up a stride-2 entry.
+    #[inline]
+    pub(crate) fn probe2(&self, epoch: u32, key: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key));
+        let seq = self.words[base].load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            return None;
+        }
+        let found_key = self.words[base + 1].load(Ordering::Relaxed);
+        let found_meta = self.words[base + 2].load(Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Acquire);
+        if self.words[base].load(Ordering::Relaxed) != seq {
+            return None;
+        }
+        if found_key == key && meta_epoch(found_meta) == epoch {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a stride-2 entry, counting lossy overwrites (and dropped
+    /// stores, when the entry is claimed by a racing writer) into `stats`.
+    #[inline]
+    pub(crate) fn store2(
+        &self,
+        stats: &AtomicCacheStats,
+        shard: &StatShard,
+        epoch: u32,
+        key: u64,
+        result: NodeId,
+    ) {
+        let base = self.base(mix64(key));
+        self.note_miss();
+        let seq = self.words[base].load(Ordering::Relaxed);
+        if seq & 1 == 1
+            || self.words[base]
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            bump(&shard.cache_write_skips);
+            return;
+        }
+        let old_key = self.words[base + 1].load(Ordering::Relaxed);
+        let old_meta = self.words[base + 2].load(Ordering::Relaxed);
+        if meta_epoch(old_meta) == epoch && old_key != key {
+            bump(&stats.evictions);
+        }
+        self.words[base + 1].store(key, Ordering::Relaxed);
+        self.words[base + 2].store(meta(epoch, result), Ordering::Relaxed);
+        self.words[base].store(seq + 2, Ordering::Release);
+    }
+
+    /// Looks up a stride-3 entry.
+    #[inline]
+    pub(crate) fn probe3(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        let seq = self.words[base].load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            return None;
+        }
+        let found_fg = self.words[base + 1].load(Ordering::Relaxed);
+        let found_h = self.words[base + 2].load(Ordering::Relaxed);
+        let found_meta = self.words[base + 3].load(Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Acquire);
+        if self.words[base].load(Ordering::Relaxed) != seq {
+            return None;
+        }
+        if found_fg == key_fg && found_h == key_h && meta_epoch(found_meta) == epoch {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a stride-3 entry.
+    #[inline]
+    pub(crate) fn store3(
+        &self,
+        stats: &AtomicCacheStats,
+        shard: &StatShard,
+        epoch: u32,
+        key_fg: u64,
+        key_h: u64,
+        result: NodeId,
+    ) {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        self.note_miss();
+        let seq = self.words[base].load(Ordering::Relaxed);
+        if seq & 1 == 1
+            || self.words[base]
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            bump(&shard.cache_write_skips);
+            return;
+        }
+        let old_fg = self.words[base + 1].load(Ordering::Relaxed);
+        let old_h = self.words[base + 2].load(Ordering::Relaxed);
+        let old_meta = self.words[base + 3].load(Ordering::Relaxed);
+        if meta_epoch(old_meta) == epoch && (old_fg != key_fg || old_h != key_h) {
+            bump(&stats.evictions);
+        }
+        self.words[base + 1].store(key_fg, Ordering::Relaxed);
+        self.words[base + 2].store(key_h, Ordering::Relaxed);
+        self.words[base + 3].store(meta(epoch, result), Ordering::Relaxed);
+        self.words[base].store(seq + 2, Ordering::Release);
+    }
+}
+
+impl Clone for DirectCache {
+    fn clone(&self) -> Self {
+        Self {
+            words: self
+                .words
+                .iter()
+                .map(|word| AtomicU64::new(word.load(Ordering::Relaxed)))
+                .collect(),
+            mask: self.mask,
+            stride: self.stride,
+            grow_budget: std::sync::atomic::AtomicI64::new(
+                self.grow_budget.load(Ordering::Relaxed),
+            ),
+            max_log2: self.max_log2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Thread-sharded statistics
+// ---------------------------------------------------------------------- //
+
+/// Number of statistic shards (power of two).
+pub(crate) const STAT_SHARDS: usize = 16;
+
+/// Increments a statistics counter with a plain load/store pair instead of
+/// an atomic read-modify-write.  Each thread is pinned to one shard, so a
+/// shard counter has a single writer and the racy increment is exact up to
+/// [`STAT_SHARDS`] concurrent threads (beyond that, slot collisions may
+/// drop a *statistics* increment — never anything load-bearing).  On x86
+/// this removes a `lock xadd` from every hot-path counter bump.
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+}
+
+/// Hit/miss/eviction counters of one operation cache, atomic flavour.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCacheStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+}
+
+/// One shard of the hot-path counters, padded to its own cache lines so
+/// concurrent threads do not bounce a shared line per increment.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct StatShard {
+    /// Indexed like [`crate::ManagerStats::caches`]: and, xor, ite,
+    /// cofactor, xor3, maj, flip, mux.
+    pub(crate) caches: [AtomicCacheStats; 8],
+    pub(crate) not_ops: AtomicU64,
+    pub(crate) complement_flips: AtomicU64,
+    pub(crate) created_nodes: AtomicU64,
+    /// Unique-table CAS attempts that lost a slot to a racing insert.
+    pub(crate) unique_cas_retries: AtomicU64,
+    /// `mk` races lost outright: a speculative node was rolled back because
+    /// another thread published the same key first.
+    pub(crate) unique_dup_races: AtomicU64,
+    /// Cache stores dropped because the entry was claimed by another writer.
+    pub(crate) cache_write_skips: AtomicU64,
+}
+
+impl StatShard {
+    fn clone_values(&self) -> StatShard {
+        let shard = StatShard::default();
+        for (src, dst) in self.caches.iter().zip(shard.caches.iter()) {
+            dst.hits
+                .store(src.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.misses
+                .store(src.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.evictions
+                .store(src.evictions.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (src, dst) in [
+            (&self.not_ops, &shard.not_ops),
+            (&self.complement_flips, &shard.complement_flips),
+            (&self.created_nodes, &shard.created_nodes),
+            (&self.unique_cas_retries, &shard.unique_cas_retries),
+            (&self.unique_dup_races, &shard.unique_dup_races),
+            (&self.cache_write_skips, &shard.cache_write_skips),
+        ] {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        shard
+    }
+}
+
+/// The sharded counter block of one manager.
+#[derive(Debug)]
+pub(crate) struct StatShards {
+    shards: Box<[StatShard]>,
+}
+
+impl StatShards {
+    pub(crate) fn new() -> Self {
+        Self {
+            shards: (0..STAT_SHARDS).map(|_| StatShard::default()).collect(),
+        }
+    }
+
+    /// The current thread's shard.
+    #[inline]
+    pub(crate) fn local(&self) -> &StatShard {
+        &self.shards[stat_slot()]
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &StatShard> {
+        self.shards.iter()
+    }
+}
+
+impl Clone for StatShards {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.iter().map(StatShard::clone_values).collect(),
+        }
+    }
+}
+
+/// Source of thread stat-slot assignments (round-robin over the shards).
+static NEXT_STAT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STAT_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's statistics shard index.
+#[inline]
+fn stat_slot() -> usize {
+    STAT_SLOT.with(|slot| {
+        let current = slot.get();
+        if current != usize::MAX {
+            return current;
+        }
+        let assigned = NEXT_STAT_SLOT.fetch_add(1, Ordering::Relaxed) & (STAT_SHARDS - 1);
+        slot.set(assigned);
+        assigned
+    })
+}
+
+/// The free list of the arena: a mutex-protected stack with a relaxed
+/// length mirror so the empty case skips the lock entirely.
+#[derive(Debug, Default)]
+pub(crate) struct FreeList {
+    stack: Mutex<Vec<u32>>,
+    len: AtomicUsize,
+}
+
+impl FreeList {
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn pop(&self) -> Option<u32> {
+        if self.len() == 0 {
+            return None;
+        }
+        let mut stack = self.stack.lock().expect("free list lock");
+        let id = stack.pop();
+        if id.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        id
+    }
+
+    pub(crate) fn push(&self, id: u32) {
+        let mut stack = self.stack.lock().expect("free list lock");
+        stack.push(id);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replaces the whole stack (exclusive phase: GC rebuild).
+    pub(crate) fn replace(&mut self, ids: Vec<u32>) {
+        self.len.store(ids.len(), Ordering::Relaxed);
+        *self.stack.get_mut().expect("free list lock") = ids;
+    }
+
+    /// A snapshot of the stack (integrity checks, GC / reorder bookkeeping).
+    pub(crate) fn snapshot(&self) -> Vec<u32> {
+        self.stack.lock().expect("free list lock").clone()
+    }
+}
+
+impl Clone for FreeList {
+    fn clone(&self) -> Self {
+        let stack = self.stack.lock().expect("free list lock").clone();
+        let len = stack.len();
+        Self {
+            stack: Mutex::new(stack),
+            len: AtomicUsize::new(len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_locate_is_consistent() {
+        // Every id maps to a (chunk, offset) whose base + offset returns it.
+        for id in [0u32, 1, 4095, 4096, 12287, 12288, 1 << 20, (1 << 31) - 1] {
+            let (chunk, offset) = locate(id);
+            let base = ((1u32 << chunk) - 1) << ARENA_BASE_BITS;
+            assert!(offset < chunk_len(chunk), "offset in range for {id}");
+            assert_eq!(base + offset as u32, id, "roundtrip for {id}");
+        }
+    }
+
+    #[test]
+    fn arena_allocates_across_chunk_boundaries() {
+        let arena = NodeArena::new(7);
+        let mut ids = Vec::new();
+        for i in 0..10_000u32 {
+            let id = arena.bump();
+            arena.write(
+                id,
+                Node {
+                    var: i % 5,
+                    low: NodeId::TRUE,
+                    high: NodeId::FALSE,
+                },
+            );
+            ids.push((id, i % 5));
+        }
+        for (id, var) in ids {
+            assert_eq!(arena.var_of(id), var);
+            assert_eq!(arena.high_of(id), NodeId::FALSE);
+        }
+        assert_eq!(arena.var_of(0), 7, "terminal sentinel kept");
+    }
+
+    #[test]
+    fn subtable_find_or_publish_is_canonical() {
+        let arena = NodeArena::new(3);
+        let table = SubTable::new();
+        let shard = StatShard::default();
+        let mut published = Vec::new();
+        for i in 0..100u64 {
+            let children = pack_children(NodeId::TRUE, NodeId::from_bits(i as u32 + 1));
+            let id = arena.bump();
+            arena.write(
+                id,
+                Node {
+                    var: 0,
+                    low: NodeId::TRUE,
+                    high: NodeId::from_bits(i as u32 + 1),
+                },
+            );
+            match table.find_or_publish(&arena, children, None, || id, &shard) {
+                Consed::Done {
+                    id: got, created, ..
+                } => {
+                    assert!(created, "fresh key must publish");
+                    assert_eq!(got, id);
+                }
+                Consed::TableFull { .. } => panic!("serial insert cannot fill the table"),
+            }
+            published.push((children, id));
+            // Growth is the caller's responsibility (mk does exactly this).
+            if table.overloaded() {
+                table.grow(&arena);
+            }
+        }
+        for (children, id) in published {
+            assert_eq!(table.lookup(&arena, children), Some(id));
+            // Re-publishing the same key finds the canonical node without
+            // calling the allocator.
+            match table.find_or_publish(&arena, children, None, || panic!("no alloc"), &shard) {
+                Consed::Done {
+                    id: got, created, ..
+                } => {
+                    assert!(!created, "existing key must be found");
+                    assert_eq!(got, id);
+                }
+                Consed::TableFull { .. } => panic!("table has room"),
+            }
+        }
+        assert_eq!(table.len(), 100);
+    }
+
+    #[test]
+    fn cache_seqlock_roundtrip() {
+        let cache = DirectCache::new(2);
+        let stats = AtomicCacheStats::default();
+        let shard = StatShard::default();
+        cache.store2(&stats, &shard, 1, 42, NodeId::TRUE);
+        assert_eq!(cache.probe2(1, 42), Some(NodeId::TRUE));
+        // A different epoch is a miss, not a stale hit.
+        assert_eq!(cache.probe2(2, 42), None);
+    }
+}

@@ -61,7 +61,7 @@ fn eval_expr(e: &Expr, assignment: &[bool]) -> bool {
     }
 }
 
-fn build_bdd(mgr: &mut Manager, e: &Expr) -> NodeId {
+fn build_bdd(mgr: &Manager, e: &Expr) -> NodeId {
     match e {
         Expr::Const(b) => mgr.constant(*b),
         Expr::Var(v) => mgr.var(*v),
@@ -102,8 +102,8 @@ proptest! {
 
     #[test]
     fn bdd_matches_truth_table(e in expr_strategy()) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         for a in assignments() {
             prop_assert_eq!(mgr.eval(f, &a), eval_expr(&e, &a));
         }
@@ -111,8 +111,8 @@ proptest! {
 
     #[test]
     fn sat_count_matches_truth_table(e in expr_strategy()) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         let expected = assignments().filter(|a| eval_expr(&e, a)).count() as u64;
         prop_assert_eq!(mgr.sat_count(f, NVARS), sliq_bignum::UBig::from(expected));
         prop_assert_eq!(mgr.sat_count_f64(f, NVARS), expected as f64);
@@ -121,16 +121,16 @@ proptest! {
     #[test]
     fn semantically_equal_expressions_share_one_node(e in expr_strategy()) {
         // Canonicity: building ¬¬e and e must give the identical NodeId.
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
-        let g = build_bdd(&mut mgr, &Expr::Not(Box::new(Expr::Not(Box::new(e)))));
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
+        let g = build_bdd(&mgr, &Expr::Not(Box::new(Expr::Not(Box::new(e)))));
         prop_assert_eq!(f, g);
     }
 
     #[test]
     fn cofactor_matches_restricted_truth_table(e in expr_strategy(), var in 0..NVARS, value in any::<bool>()) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         let cf = mgr.cofactor(f, var, value);
         for mut a in assignments() {
             a[var] = value;
@@ -142,8 +142,8 @@ proptest! {
 
     #[test]
     fn shannon_expansion_reconstructs_function(e in expr_strategy(), var in 0..NVARS) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         let f0 = mgr.cofactor(f, var, false);
         let f1 = mgr.cofactor(f, var, true);
         let x = mgr.var(var);
@@ -154,15 +154,15 @@ proptest! {
     #[test]
     fn gc_preserves_roots(e1 in expr_strategy(), e2 in expr_strategy()) {
         let mut mgr = Manager::new(NVARS);
-        let f1 = build_bdd(&mut mgr, &e1);
-        let f2 = build_bdd(&mut mgr, &e2);
+        let f1 = build_bdd(&mgr, &e1);
+        let f2 = build_bdd(&mgr, &e2);
         // Drop f2 (treat as garbage), keep f1.
         mgr.collect_garbage(&[f1]);
         for a in assignments() {
             prop_assert_eq!(mgr.eval(f1, &a), eval_expr(&e1, &a));
         }
         // Rebuilding e2 after GC still yields a correct function.
-        let f2b = build_bdd(&mut mgr, &e2);
+        let f2b = build_bdd(&mgr, &e2);
         for a in assignments() {
             prop_assert_eq!(mgr.eval(f2b, &a), eval_expr(&e2, &a));
         }
@@ -175,9 +175,9 @@ proptest! {
         // node (not merely an equivalent function) as the generic ITE
         // formulations they replace — BDD canonicity makes this an equality
         // on NodeIds.
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e1);
-        let g = build_bdd(&mut mgr, &e2);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e1);
+        let g = build_bdd(&mgr, &e2);
 
         let and_direct = mgr.and(f, g);
         let and_ite = mgr.ite(f, g, NodeId::FALSE);
@@ -204,10 +204,10 @@ proptest! {
         e3 in expr_strategy(),
         var in 0..NVARS,
     ) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e1);
-        let g = build_bdd(&mut mgr, &e2);
-        let h = build_bdd(&mut mgr, &e3);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e1);
+        let g = build_bdd(&mgr, &e2);
+        let h = build_bdd(&mgr, &e3);
 
         // xor3 = f ⊕ g ⊕ h via chained two-operand xors.
         let xor3_direct = mgr.xor3(f, g, h);
@@ -239,8 +239,8 @@ proptest! {
 
     #[test]
     fn exists_matches_truth_table(e in expr_strategy(), var in 0..NVARS) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         let ex = mgr.exists(f, var);
         for a in assignments() {
             let mut a0 = a.clone();
@@ -263,8 +263,8 @@ proptest! {
         swaps in proptest::collection::vec(0..NVARS - 1, 0..24),
     ) {
         let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e1);
-        let g = build_bdd(&mut mgr, &e2);
+        let f = build_bdd(&mgr, &e1);
+        let g = build_bdd(&mgr, &e2);
         let slot_f = mgr.register_root(f);
         let slot_g = mgr.register_root(g);
         let count_f = mgr.sat_count(f, NVARS);
@@ -301,8 +301,8 @@ proptest! {
         level in 0..NVARS - 1,
     ) {
         let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e1);
-        let g = build_bdd(&mut mgr, &e2);
+        let f = build_bdd(&mgr, &e1);
+        let g = build_bdd(&mgr, &e2);
         let _sf = mgr.register_root(f);
         let _sg = mgr.register_root(g);
         // Start from a garbage-free diagram so sizes are canonical.
@@ -322,8 +322,8 @@ proptest! {
         converge in any::<bool>(),
     ) {
         let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e1);
-        let g = build_bdd(&mut mgr, &e2);
+        let f = build_bdd(&mgr, &e1);
+        let g = build_bdd(&mgr, &e2);
         let _sf = mgr.register_root(f);
         let _sg = mgr.register_root(g);
         let count_f = mgr.sat_count(f, NVARS);
@@ -601,8 +601,8 @@ proptest! {
 
     #[test]
     fn complement_manager_matches_regular_edge_reference(e in expr_strategy()) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         let mut r = RefManager::new();
         let rf = build_ref(&mut r, &e);
         let mut memo = HashMap::new();
@@ -622,8 +622,8 @@ proptest! {
 
     #[test]
     fn canonicity_invariants_hold_on_random_formulas(e in expr_strategy()) {
-        let mut mgr = Manager::new(NVARS);
-        let f = build_bdd(&mut mgr, &e);
+        let mgr = Manager::new(NVARS);
+        let f = build_bdd(&mgr, &e);
         if let Err(msg) = assert_low_edges_regular(&mgr, f) {
             prop_assert!(false, "{}", msg);
         }
@@ -647,7 +647,7 @@ proptest! {
         // bit-sliced state starts from, evolved by the same kernel-op
         // recipes the gate layer uses, mirrored onto the reference manager
         // with ITE-only regular-edge operations.
-        let mut mgr = Manager::new(NVARS);
+        let mgr = Manager::new(NVARS);
         let mut r = RefManager::new();
         let mut pool: Vec<NodeId> = Vec::new();
         let mut rpool: Vec<usize> = Vec::new();
@@ -721,6 +721,129 @@ proptest! {
                 "slice diverged from the regular-edge reference"
             );
             if let Err(msg) = assert_low_edges_regular(&mgr, *f) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Interleaved parallel apply + GC + reordering: the sharded kernel's phase
+// discipline.  Shared phases run apply recursions from several threads on
+// one `&Manager`; exclusive phases (GC, swaps, auto-reorder) run on `&mut
+// Manager`, which the borrow checker guarantees cannot overlap an in-flight
+// apply — this test exercises the full cycle and then holds the result to
+// the regular-edge oracle node-for-node.
+// ---------------------------------------------------------------------- //
+
+/// `e` with every variable substituted through `map` — used to express the
+/// oracle in *level* space after a reordering, so the node-for-node
+/// structural comparison stays valid under any variable order.
+fn remap_expr(e: &Expr, map: &[usize]) -> Expr {
+    match e {
+        Expr::Const(b) => Expr::Const(*b),
+        Expr::Var(v) => Expr::Var(map[*v]),
+        Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, map))),
+        Expr::And(a, b) => Expr::And(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
+        Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
+        Expr::Xor(a, b) => Expr::Xor(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
+        Expr::Ite(a, b, c) => Expr::Ite(
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+            Box::new(remap_expr(c, map)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_apply_interleaved_with_gc_and_reorder_matches_oracle(
+        base in expr_strategy(),
+        others in proptest::collection::vec(expr_strategy(), 4..5),
+        swaps in proptest::collection::vec(0..NVARS - 1, 0..6),
+    ) {
+        // Shared phase 1: one thread per expression builds through a single
+        // `&Manager`; the shared `base` sub-expression forces cross-thread
+        // hash-consing collisions.
+        let mgr = Manager::new(NVARS);
+        let roots: Vec<NodeId> = std::thread::scope(|scope| {
+            let mgr = &mgr;
+            let base = &base;
+            let handles: Vec<_> = others
+                .iter()
+                .map(|e| {
+                    scope.spawn(move || {
+                        let fb = build_bdd(mgr, base);
+                        let fe = build_bdd(mgr, e);
+                        mgr.xor(fb, fe)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exclusive phase: GC, explicit swaps and an auto-reorder pass —
+        // stop-the-world by construction (`&mut Manager`).
+        let mut mgr = mgr;
+        let slots: Vec<_> = roots.iter().map(|&f| mgr.register_root(f)).collect();
+        mgr.collect_garbage_registered();
+        for &level in &swaps {
+            mgr.swap_adjacent_levels(level);
+        }
+        mgr.set_auto_reorder(true);
+        mgr.set_reorder_threshold(1);
+        mgr.maybe_reorder();
+        if let Err(violation) = mgr.check_integrity() {
+            prop_assert!(false, "integrity after exclusive phase: {}", violation);
+        }
+        for (slot, &f) in slots.iter().zip(roots.iter()) {
+            prop_assert_eq!(mgr.root(*slot), f, "registered roots survive the exclusive phase");
+        }
+        // Shared phase 2: conjoin every root with a literal, again from
+        // several threads, now against the permuted order and the recycled
+        // node ids the exclusive phase produced.
+        let mgr = mgr;
+        let conjoined: Vec<NodeId> = std::thread::scope(|scope| {
+            let mgr = &mgr;
+            let handles: Vec<_> = roots
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| {
+                    scope.spawn(move || {
+                        let lit = mgr.var(i % NVARS);
+                        mgr.and(f, lit)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        if let Err(violation) = mgr.check_integrity() {
+            prop_assert!(false, "integrity after shared phase 2: {}", violation);
+        }
+        // Oracle comparison, node-for-node in *level* space (the order may
+        // have changed, so the reference is built over remapped variables).
+        let level_of: Vec<usize> = (0..NVARS).map(|v| mgr.level_of_var(v)).collect();
+        for (i, (&f, &g)) in roots.iter().zip(conjoined.iter()).enumerate() {
+            let expr = Expr::Xor(Box::new(base.clone()), Box::new(others[i].clone()));
+            let full = Expr::And(Box::new(expr.clone()), Box::new(Expr::Var(i % NVARS)));
+            for a in assignments() {
+                prop_assert_eq!(mgr.eval(f, &a), eval_expr(&expr, &a));
+                prop_assert_eq!(mgr.eval(g, &a), eval_expr(&full, &a));
+            }
+            let mut r = RefManager::new();
+            let rf = build_ref(&mut r, &remap_expr(&expr, &level_of));
+            let rg = build_ref(&mut r, &remap_expr(&full, &level_of));
+            let mut memo = HashMap::new();
+            prop_assert!(
+                structurally_equal(&mgr, f, &r, rf, &mut memo),
+                "root {} diverged from the oracle node-for-node", i
+            );
+            prop_assert!(
+                structurally_equal(&mgr, g, &r, rg, &mut memo),
+                "conjunction {} diverged from the oracle node-for-node", i
+            );
+            if let Err(msg) = assert_low_edges_regular(&mgr, g) {
                 prop_assert!(false, "{}", msg);
             }
         }

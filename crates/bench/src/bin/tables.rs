@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|all]
 //!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--reorder]
+//!                                                   [--threads <n>]
 //! ```
 //!
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
@@ -37,6 +38,11 @@ fn main() {
                 }
             }
             "--reorder" => limits.auto_reorder = true,
+            "--threads" => {
+                if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                    limits.threads = Some(v);
+                }
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -50,8 +56,13 @@ fn main() {
     };
 
     println!(
-        "# SliQ table reproduction — scale: {:?}, per-case timeout: {:?}, node limit: {}",
-        scale, limits.timeout, limits.max_nodes
+        "# SliQ table reproduction — scale: {:?}, per-case timeout: {:?}, node limit: {}, threads: {}",
+        scale,
+        limits.timeout,
+        limits.max_nodes,
+        limits
+            .threads
+            .unwrap_or_else(sliq_bdd::pool::default_threads)
     );
     println!();
 

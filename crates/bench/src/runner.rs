@@ -75,6 +75,11 @@ pub struct CaseLimits {
     /// forced on by the `SLIQ_AUTO_REORDER` environment variable, which the
     /// CI bench-smoke job uses to exercise the reorder path.
     pub auto_reorder: bool,
+    /// Parallel-apply fan-out width for the bit-sliced backend (`--threads`
+    /// on the `tables` binary).  `None` defers to `SLIQ_THREADS` / the
+    /// machine default, so BENCH entries should always state the effective
+    /// value.
+    pub threads: Option<usize>,
 }
 
 impl Default for CaseLimits {
@@ -83,6 +88,7 @@ impl Default for CaseLimits {
             timeout: Duration::from_secs(20),
             max_nodes: 2_000_000,
             auto_reorder: false,
+            threads: None,
         }
     }
 }
@@ -102,9 +108,13 @@ pub fn bench_smoke_env() -> bool {
 impl CaseLimits {
     /// The [`SessionConfig`] equivalent of these limits for `backend`.
     pub fn session_config(&self, backend: Backend) -> SessionConfig {
-        SessionConfig::with_backend(backend)
+        let mut config = SessionConfig::with_backend(backend)
             .max_nodes(self.max_nodes)
-            .auto_reorder(self.auto_reorder || auto_reorder_env())
+            .auto_reorder(self.auto_reorder || auto_reorder_env());
+        if let Some(threads) = self.threads {
+            config = config.threads(threads);
+        }
+        config
     }
 }
 
@@ -195,6 +205,13 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
     out.push_str(&format!(
         "  O(1) negations {}  complement canonical flips {}  cache-cap 2^{} (raised {}x)\n",
         stats.not_ops, stats.complement_flips, stats.cache_cap_log2, stats.cache_cap_raises
+    ));
+    out.push_str(&format!(
+        "  unique shards {}  CAS retries {}  lost mk races {}  cache store skips {}\n",
+        stats.unique_shards,
+        stats.unique_cas_retries,
+        stats.unique_dup_races,
+        stats.cache_write_skips
     ));
     if stats.reorders > 0 {
         out.push_str(&format!(

@@ -16,13 +16,13 @@ use sliq_bdd::{Manager, NodeId};
 
 /// `Sum(a, b, c) = a ⊕ b ⊕ c` — the full-adder sum function over BDDs,
 /// computed by the manager's single-pass three-operand XOR.
-pub fn sum(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+pub fn sum(mgr: &Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
     mgr.xor3(a, b, c)
 }
 
 /// `Car(a, b, c) = a·b ∨ (a ∨ b)·c` — the full-adder carry function, which
 /// is exactly the three-operand majority, computed in a single pass.
-pub fn carry(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+pub fn carry(mgr: &Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
     mgr.maj(a, b, c)
 }
 
@@ -30,7 +30,7 @@ pub fn carry(mgr: &mut Manager, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
 /// bit-sliced vectors.  The caller is responsible for sign-extending the
 /// operands so that no overflow can occur (one extra slice suffices for a
 /// single addition).
-pub fn add_sliced(mgr: &mut Manager, a: &[NodeId], b: &[NodeId], carry_in: NodeId) -> Vec<NodeId> {
+pub fn add_sliced(mgr: &Manager, a: &[NodeId], b: &[NodeId], carry_in: NodeId) -> Vec<NodeId> {
     debug_assert_eq!(a.len(), b.len(), "operands must have equal width");
     let mut out = Vec::with_capacity(a.len());
     let mut c = carry_in;
@@ -54,7 +54,7 @@ pub fn add_sliced(mgr: &mut Manager, a: &[NodeId], b: &[NodeId], carry_in: NodeI
 /// one AND instead of a full adder step.  With the kernel's complement
 /// edges, `¬v_j` is an O(1) bit flip, so the per-slice negations allocate
 /// no BDD work at all.
-pub fn negate_where(mgr: &mut Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId> {
+pub fn negate_where(mgr: &Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(v.len());
     let mut carry = cond;
     for (j, &f) in v.iter().enumerate() {
@@ -67,26 +67,16 @@ pub fn negate_where(mgr: &mut Manager, v: &[NodeId], cond: NodeId) -> Vec<NodeId
     out
 }
 
-/// Slice-wise `if q_var then x else y` (row-wise multiplexer on a qubit
-/// literal), routed through the manager's one-pass multiplexer.
-pub fn select_where_var(mgr: &mut Manager, var: usize, x: &[NodeId], y: &[NodeId]) -> Vec<NodeId> {
-    debug_assert_eq!(x.len(), y.len());
-    x.iter()
-        .zip(y.iter())
-        .map(|(&xi, &yi)| mgr.mux_var(var, xi, yi))
-        .collect()
-}
-
 /// The value at every row with qubit `t` flipped (the "swap halves along
 /// qubit `t`" permutation used by the X/Y gates): `F'(…, qₜ, …) = F(…, ¬qₜ, …)`,
 /// computed by the manager's one-pass cofactor swap.
-pub fn swap_along(mgr: &mut Manager, f: NodeId, t: usize) -> NodeId {
+pub fn swap_along(mgr: &Manager, f: NodeId, t: usize) -> NodeId {
     mgr.flip_var(f, t)
 }
 
 /// The value at every row with qubits `t1` and `t2` exchanged (the SWAP
 /// permutation used by the Fredkin gate).
-pub fn swap_pair(mgr: &mut Manager, f: NodeId, t1: usize, t2: usize) -> NodeId {
+pub fn swap_pair(mgr: &Manager, f: NodeId, t1: usize, t2: usize) -> NodeId {
     let f00 = mgr.cofactor_cube(f, &[(t1, false), (t2, false)]);
     let f01 = mgr.cofactor_cube(f, &[(t1, false), (t2, true)]);
     let f10 = mgr.cofactor_cube(f, &[(t1, true), (t2, false)]);
@@ -99,7 +89,7 @@ pub fn swap_pair(mgr: &mut Manager, f: NodeId, t1: usize, t2: usize) -> NodeId {
 
 /// The replicated cofactor `F|_{qₜ = value}` (a function that no longer
 /// depends on qubit `t`).
-pub fn cofactor_replicated(mgr: &mut Manager, f: NodeId, t: usize, value: bool) -> NodeId {
+pub fn cofactor_replicated(mgr: &Manager, f: NodeId, t: usize, value: bool) -> NodeId {
     mgr.cofactor(f, t, value)
 }
 
@@ -124,7 +114,7 @@ mod tests {
     }
 
     /// Builds a 4-bit constant vector (same value at every row).
-    fn constant_vector(mgr: &mut Manager, value: i64, width: usize) -> Vec<NodeId> {
+    fn constant_vector(mgr: &Manager, value: i64, width: usize) -> Vec<NodeId> {
         (0..width)
             .map(|j| mgr.constant((value >> j) & 1 == 1))
             .collect()
@@ -132,13 +122,13 @@ mod tests {
 
     #[test]
     fn adder_matches_integer_addition() {
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         for x in -4i64..4 {
             for y in -4i64..4 {
                 // 5-bit two's complement holds the sum of two 4-bit values.
-                let a = constant_vector(&mut mgr, x & 0x1f, 5);
-                let b = constant_vector(&mut mgr, y & 0x1f, 5);
-                let s = add_sliced(&mut mgr, &a, &b, NodeId::FALSE);
+                let a = constant_vector(&mgr, x & 0x1f, 5);
+                let b = constant_vector(&mgr, y & 0x1f, 5);
+                let s = add_sliced(&mgr, &a, &b, NodeId::FALSE);
                 assert_eq!(value_at(&mgr, &s, &[false, false]), x + y, "{x}+{y}");
             }
         }
@@ -146,69 +136,73 @@ mod tests {
 
     #[test]
     fn conditional_negation_only_affects_matching_rows() {
-        let mut mgr = Manager::new(1);
+        let mgr = Manager::new(1);
         // Vector whose value is +3 at every row, width 4.
-        let v = constant_vector(&mut mgr, 3, 4);
+        let v = constant_vector(&mgr, 3, 4);
         let q0 = mgr.var(0);
-        let negated = negate_where(&mut mgr, &v, q0);
+        let negated = negate_where(&mgr, &v, q0);
         assert_eq!(value_at(&mgr, &negated, &[false]), 3);
         assert_eq!(value_at(&mgr, &negated, &[true]), -3);
         // Negating where `false` never changes anything.
-        let untouched = negate_where(&mut mgr, &v, NodeId::FALSE);
+        let untouched = negate_where(&mgr, &v, NodeId::FALSE);
         assert_eq!(value_at(&mgr, &untouched, &[true]), 3);
         // Negating everywhere is plain negation.
-        let all = negate_where(&mut mgr, &v, NodeId::TRUE);
+        let all = negate_where(&mgr, &v, NodeId::TRUE);
         assert_eq!(value_at(&mgr, &all, &[false]), -3);
     }
 
     #[test]
     fn negation_of_minimum_value_needs_the_extended_width() {
-        let mut mgr = Manager::new(1);
+        let mgr = Manager::new(1);
         // -8 in 4 bits; its negation (+8) needs 5 bits, so extend first.
-        let mut v = constant_vector(&mut mgr, -8i64 & 0xf, 4);
+        let mut v = constant_vector(&mgr, -8i64 & 0xf, 4);
         let msb = *v.last().unwrap();
         v.push(msb); // sign extension to 5 bits
-        let negated = negate_where(&mut mgr, &v, NodeId::TRUE);
+        let negated = negate_where(&mgr, &v, NodeId::TRUE);
         assert_eq!(value_at(&mgr, &negated, &[false]), 8);
     }
 
     #[test]
     fn swap_along_exchanges_the_two_halves() {
-        let mut mgr = Manager::new(2);
+        let mgr = Manager::new(2);
         // f = q0 (value 1 exactly on rows with q0 = 1)
         let f = mgr.var(0);
-        let swapped = swap_along(&mut mgr, f, 0);
+        let swapped = swap_along(&mgr, f, 0);
         assert!(mgr.eval(swapped, &[false, false]));
         assert!(!mgr.eval(swapped, &[true, false]));
         // Swapping along an independent qubit is a no-op.
-        let same = swap_along(&mut mgr, f, 1);
+        let same = swap_along(&mgr, f, 1);
         assert_eq!(same, f);
     }
 
     #[test]
     fn swap_pair_permutes_rows() {
-        let mut mgr = Manager::new(3);
+        let mgr = Manager::new(3);
         // f is true exactly on (q0, q1, q2) = (1, 0, *).
         let q0 = mgr.var(0);
         let nq1 = mgr.nvar(1);
         let f = mgr.and(q0, nq1);
-        let g = swap_pair(&mut mgr, f, 0, 1);
+        let g = swap_pair(&mgr, f, 0, 1);
         // g must be true exactly on (0, 1, *).
         assert!(mgr.eval(g, &[false, true, false]));
         assert!(mgr.eval(g, &[false, true, true]));
         assert!(!mgr.eval(g, &[true, false, false]));
         assert!(!mgr.eval(g, &[true, true, false]));
         // Swapping twice restores the original function.
-        let back = swap_pair(&mut mgr, g, 0, 1);
+        let back = swap_pair(&mgr, g, 0, 1);
         assert_eq!(back, f);
     }
 
     #[test]
-    fn select_where_var_is_a_row_multiplexer() {
-        let mut mgr = Manager::new(1);
-        let three = constant_vector(&mut mgr, 3, 4);
-        let five = constant_vector(&mut mgr, 5, 4);
-        let mixed = select_where_var(&mut mgr, 0, &three, &five);
+    fn mux_var_is_a_row_multiplexer() {
+        let mgr = Manager::new(1);
+        let three = constant_vector(&mgr, 3, 4);
+        let five = constant_vector(&mgr, 5, 4);
+        let mixed: Vec<_> = three
+            .iter()
+            .zip(five.iter())
+            .map(|(&x, &y)| mgr.mux_var(0, x, y))
+            .collect();
         assert_eq!(value_at(&mgr, &mixed, &[true]), 3);
         assert_eq!(value_at(&mgr, &mixed, &[false]), 5);
     }

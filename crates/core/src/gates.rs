@@ -8,10 +8,31 @@
 //! The formulas were re-derived from the gate matrices (several overlines in
 //! the published table are typographically ambiguous) and are cross-checked
 //! against the dense state-vector oracle by the crate's property tests.
+//!
+//! # Parallel slice application
+//!
+//! Every gate decomposes into per-slice BDD updates that are mutually
+//! independent given the kernel's concurrent manager (`&Manager` apply
+//! operations since the sharded-kernel rework).  The fan-out has two
+//! granularities:
+//!
+//! * **permutation-shaped stages** (X/CNOT/Toffoli/Fredkin row permutations,
+//!   the cofactor and swap stages of H/Ry/Rx/Y, the family selection of
+//!   S/S†/T/T†) update each of the `4·r` slices independently — they fan
+//!   out one task per slice;
+//! * **adder-shaped stages** (the ripple-carry chains of H/Ry/Rx and the
+//!   conditional negations of Z/CZ/Y/S-family) carry a dependency across
+//!   the slices of one family but none across families — they fan out one
+//!   task per family (4-way).
+//!
+//! The scheduling never changes results: each task writes its own output
+//! index, and hash consing keeps node identity canonical no matter which
+//! thread inserts a node first.  [`crate::state::BitSliceState::set_threads`]
+//! (or `SLIQ_THREADS`) configures the width; 1 runs everything inline.
 
 use crate::arith;
-use crate::state::{BitSliceState, Family, FAMILIES};
-use sliq_bdd::NodeId;
+use crate::state::{BitSliceState, Family};
+use sliq_bdd::{Manager, NodeId};
 use sliq_circuit::Gate;
 
 /// Applies `gate` to the bit-sliced state and re-registers the new slice
@@ -35,7 +56,7 @@ fn apply_inner(state: &mut BitSliceState, gate: &Gate) {
         Gate::Toffoli { controls, target } => {
             let t = *target;
             let controls = controls.clone();
-            permute_all(state, |mgr, f| {
+            permute_all(state, move |mgr, f| {
                 let swapped = arith::swap_along(mgr, f, t);
                 let control_vars: Vec<NodeId> = controls.iter().map(|&c| mgr.var(c)).collect();
                 let qc = mgr.and_many(&control_vars);
@@ -49,7 +70,7 @@ fn apply_inner(state: &mut BitSliceState, gate: &Gate) {
         } => {
             let (t1, t2) = (*target1, *target2);
             let controls = controls.clone();
-            permute_all(state, |mgr, f| {
+            permute_all(state, move |mgr, f| {
                 let swapped = arith::swap_pair(mgr, f, t1, t2);
                 let control_vars: Vec<NodeId> = controls.iter().map(|&c| mgr.var(c)).collect();
                 let qc = mgr.and_many(&control_vars);
@@ -81,25 +102,37 @@ fn apply_inner(state: &mut BitSliceState, gate: &Gate) {
     }
 }
 
-/// Applies the same row permutation to every slice of every family.
-fn permute_all(
-    state: &mut BitSliceState,
-    mut permute: impl FnMut(&mut sliq_bdd::Manager, NodeId) -> NodeId,
-) {
-    for family in 0..4 {
-        for j in 0..state.r {
-            let f = state.slices[family][j];
-            state.slices[family][j] = permute(&mut state.mgr, f);
-        }
-    }
+/// The `4·r` slice BDDs as one flat task list (family-major, the layout the
+/// fan-out helpers index).
+fn flat_slices(state: &BitSliceState) -> Vec<NodeId> {
+    state.slices.iter().flatten().copied().collect()
 }
 
-/// Conditionally negates every family where `cond` holds (used by Z and CZ).
-fn negate_all_where(state: &mut BitSliceState, cond: NodeId) {
-    for family in 0..4 {
-        let old = state.slices[family].clone();
-        state.slices[family] = arith::negate_where(&mut state.mgr, &old, cond);
+/// Regroups a family-major flat vector back into the four family vectors.
+fn regroup(flat: Vec<NodeId>, r: usize) -> [Vec<NodeId>; 4] {
+    let mut out: [Vec<NodeId>; 4] = Default::default();
+    for (family, chunk) in flat.chunks(r).enumerate() {
+        out[family] = chunk.to_vec();
     }
+    out
+}
+
+/// Applies the same row permutation to every slice of every family — `4·r`
+/// independent tasks.
+fn permute_all(state: &mut BitSliceState, permute: impl Fn(&Manager, NodeId) -> NodeId + Sync) {
+    let inputs = flat_slices(state);
+    let flat = state.par_map(inputs.len(), |mgr, i| permute(mgr, inputs[i]));
+    state.slices = regroup(flat, state.r);
+}
+
+/// Conditionally negates every family where `cond` holds (used by Z and CZ):
+/// a carry chain within each family, so the fan-out is per family.
+fn negate_all_where(state: &mut BitSliceState, cond: NodeId) {
+    let slices = state.slices.clone();
+    let out = state.par_map(4, |mgr, family| {
+        arith::negate_where(mgr, &slices[family], cond)
+    });
+    state.slices = out.try_into().expect("four families");
 }
 
 /// The four phase rotations of the form `diag(1, φ)` whose φ is a power of ω:
@@ -119,6 +152,7 @@ enum PhaseRotation {
 fn apply_phase_family_rotation(state: &mut BitSliceState, t: usize, rotation: PhaseRotation) {
     state.extend(1);
     let qt = state.mgr.var(t);
+    let r = state.r;
     let a = state.slices[Family::A as usize].clone();
     let b = state.slices[Family::B as usize].clone();
     let c = state.slices[Family::C as usize].clone();
@@ -151,31 +185,32 @@ fn apply_phase_family_rotation(state: &mut BitSliceState, t: usize, rotation: Ph
             (&c, &d, false),
         ],
     };
-    let mut new_slices: [Vec<NodeId>; 4] = Default::default();
-    for (family, (source_when_set, keep_otherwise, negate)) in plan.into_iter().enumerate() {
-        let mixed = arith::select_where_var(&mut state.mgr, t, source_when_set, keep_otherwise);
-        new_slices[family] = if negate {
-            arith::negate_where(&mut state.mgr, &mixed, qt)
+    // Stage 1: the per-row family selection — 4·r independent multiplexers.
+    let mixed = state.par_map(4 * r, |mgr, task| {
+        let (family, j) = (task / r, task % r);
+        let (source_when_set, keep_otherwise, _) = plan[family];
+        mgr.mux_var(t, source_when_set[j], keep_otherwise[j])
+    });
+    // Stage 2: the conditional negations — one carry chain per family.
+    let out = state.par_map(4, |mgr, family| {
+        let slice = &mixed[family * r..(family + 1) * r];
+        if plan[family].2 {
+            arith::negate_where(mgr, slice, qt)
         } else {
-            mixed
-        };
-    }
-    state.slices = new_slices;
+            slice.to_vec()
+        }
+    });
+    state.slices = out.try_into().expect("four families");
     state.shrink();
 }
 
 /// Applies the "swap halves along qubit `t`" permutation to every slice of
-/// every family, returning the permuted copies (originals untouched).
-fn swap_all_families(state: &mut BitSliceState, t: usize) -> [Vec<NodeId>; 4] {
-    let mut swapped: [Vec<NodeId>; 4] = Default::default();
-    for (family, out) in swapped.iter_mut().enumerate() {
-        let old = state.slices[family].clone();
-        *out = old
-            .iter()
-            .map(|&f| arith::swap_along(&mut state.mgr, f, t))
-            .collect();
-    }
-    swapped
+/// every family, returning the permuted copies (originals untouched) —
+/// `4·r` independent tasks.
+fn swap_all_families(state: &BitSliceState, t: usize) -> [Vec<NodeId>; 4] {
+    let inputs = flat_slices(state);
+    let flat = state.par_map(inputs.len(), |mgr, i| arith::swap_along(mgr, inputs[i], t));
+    regroup(flat, state.r)
 }
 
 /// Pauli-Y: swap the two halves along the target and rotate the coefficient
@@ -185,12 +220,18 @@ fn apply_y(state: &mut BitSliceState, t: usize) {
     let qt = state.mgr.var(t);
     let not_qt = state.mgr.not(qt);
     let swapped = swap_all_families(state, t);
-    let (sa, sb, sc, sd) = (&swapped[0], &swapped[1], &swapped[2], &swapped[3]);
-    // new a = ±swap(c): negated on rows with qₜ = 0 (−i branch), and so on.
-    state.slices[Family::A as usize] = arith::negate_where(&mut state.mgr, sc, not_qt);
-    state.slices[Family::B as usize] = arith::negate_where(&mut state.mgr, sd, not_qt);
-    state.slices[Family::C as usize] = arith::negate_where(&mut state.mgr, sa, qt);
-    state.slices[Family::D as usize] = arith::negate_where(&mut state.mgr, sb, qt);
+    // new a = ±swap(c): negated on rows with qₜ = 0 (−i branch), and so on;
+    // each conditional negation is a per-family carry chain.
+    let plan: [(&Vec<NodeId>, NodeId); 4] = [
+        (&swapped[Family::C as usize], not_qt),
+        (&swapped[Family::D as usize], not_qt),
+        (&swapped[Family::A as usize], qt),
+        (&swapped[Family::B as usize], qt),
+    ];
+    let out = state.par_map(4, |mgr, family| {
+        arith::negate_where(mgr, plan[family].0, plan[family].1)
+    });
+    state.slices = out.try_into().expect("four families");
     state.shrink();
 }
 
@@ -213,20 +254,23 @@ fn apply_hadamard_like(state: &mut BitSliceState, t: usize, kind: HadamardKind) 
         HadamardKind::H => qt,
         HadamardKind::RyPi2 => not_qt,
     };
-    for family in FAMILIES {
-        let old = state.slices[family as usize].clone();
-        let f0: Vec<NodeId> = old
-            .iter()
-            .map(|&f| arith::cofactor_replicated(&mut state.mgr, f, t, false))
-            .collect();
-        let f1: Vec<NodeId> = old
-            .iter()
-            .map(|&f| arith::cofactor_replicated(&mut state.mgr, f, t, true))
-            .collect();
-        let second: Vec<NodeId> = f1.iter().map(|&f| state.mgr.xor(f, negate_cond)).collect();
-        state.slices[family as usize] =
-            arith::add_sliced(&mut state.mgr, &f0, &second, negate_cond);
-    }
+    let r = state.r;
+    let inputs = flat_slices(state);
+    // Stage 1: per-slice cofactor pair + sign fold — 4·r independent tasks.
+    let pairs = state.par_map(inputs.len(), |mgr, i| {
+        let f = inputs[i];
+        let f0 = arith::cofactor_replicated(mgr, f, t, false);
+        let f1 = arith::cofactor_replicated(mgr, f, t, true);
+        (f0, mgr.xor(f1, negate_cond))
+    });
+    // Stage 2: the ripple-carry addition — one carry chain per family.
+    let out = state.par_map(4, |mgr, family| {
+        let chunk = &pairs[family * r..(family + 1) * r];
+        let f0: Vec<NodeId> = chunk.iter().map(|pair| pair.0).collect();
+        let second: Vec<NodeId> = chunk.iter().map(|pair| pair.1).collect();
+        arith::add_sliced(mgr, &f0, &second, negate_cond)
+    });
+    state.slices = out.try_into().expect("four families");
     state.k += 1;
     state.shrink();
 }
@@ -236,12 +280,6 @@ fn apply_hadamard_like(state: &mut BitSliceState, t: usize, kind: HadamardKind) 
 fn apply_rx_pi2(state: &mut BitSliceState, t: usize) {
     state.extend(1);
     let swapped = swap_all_families(state, t);
-    let (sa, sb, sc, sd) = (
-        swapped[0].clone(),
-        swapped[1].clone(),
-        swapped[2].clone(),
-        swapped[3].clone(),
-    );
     // (−i)·(a, b, c, d) = (−c, −d, a, b): subtract swap(c)/swap(d) from a/b and
     // add swap(a)/swap(b) to c/d.
     let a_old = state.slices[Family::A as usize].clone();
@@ -250,16 +288,26 @@ fn apply_rx_pi2(state: &mut BitSliceState, t: usize) {
     let d_old = state.slices[Family::D as usize].clone();
     // Whole-vector negation is 2·r complement-bit flips — the kernel's
     // complement edges make these O(1), no traversal or allocation.
-    let not_sc: Vec<NodeId> = sc.iter().map(|&f| state.mgr.not(f)).collect();
-    let not_sd: Vec<NodeId> = sd.iter().map(|&f| state.mgr.not(f)).collect();
-    state.slices[Family::A as usize] =
-        arith::add_sliced(&mut state.mgr, &a_old, &not_sc, NodeId::TRUE);
-    state.slices[Family::B as usize] =
-        arith::add_sliced(&mut state.mgr, &b_old, &not_sd, NodeId::TRUE);
-    state.slices[Family::C as usize] =
-        arith::add_sliced(&mut state.mgr, &c_old, &sa, NodeId::FALSE);
-    state.slices[Family::D as usize] =
-        arith::add_sliced(&mut state.mgr, &d_old, &sb, NodeId::FALSE);
+    let not_sc: Vec<NodeId> = swapped[Family::C as usize]
+        .iter()
+        .map(|&f| state.mgr.not(f))
+        .collect();
+    let not_sd: Vec<NodeId> = swapped[Family::D as usize]
+        .iter()
+        .map(|&f| state.mgr.not(f))
+        .collect();
+    // One ripple-carry chain per family.
+    let plan: [(&Vec<NodeId>, &Vec<NodeId>, NodeId); 4] = [
+        (&a_old, &not_sc, NodeId::TRUE),
+        (&b_old, &not_sd, NodeId::TRUE),
+        (&c_old, &swapped[Family::A as usize], NodeId::FALSE),
+        (&d_old, &swapped[Family::B as usize], NodeId::FALSE),
+    ];
+    let out = state.par_map(4, |mgr, family| {
+        let (x, y, carry_in) = plan[family];
+        arith::add_sliced(mgr, x, y, carry_in)
+    });
+    state.slices = out.try_into().expect("four families");
     state.k += 1;
     state.shrink();
 }

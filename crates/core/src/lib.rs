@@ -44,6 +44,7 @@ mod monolithic;
 mod simulator;
 mod state;
 
+pub use measure::ConditionedView;
 pub use monolithic::MonolithicInfo;
 pub use simulator::{BitSliceLimits, BitSliceSimulator};
 pub use state::{BitSliceState, Family, StateSnapshot};

@@ -15,62 +15,170 @@
 //! point.  This computes the same value as the paper's monolithic-BDD
 //! traversal, with the same "only the last step rounds" property.
 
-use crate::state::{BitSliceState, FAMILIES};
-use sliq_bdd::NodeId;
+use crate::state::{shrink_slices, BitSliceState, FAMILIES};
+use sliq_bdd::{Manager, NodeId};
 use sliq_bignum::{IBig, Sqrt2Big};
 
-impl BitSliceState {
-    /// `Σᵢ uᵢ·vᵢ` over the basis states selected by `restriction` (all states
-    /// when `None`), where `u`/`v` are two of the coefficient vectors.
-    fn weighted_inner_product(&mut self, u: usize, v: usize, restriction: Option<NodeId>) -> IBig {
-        let r = self.r;
-        let n = self.num_qubits;
-        let mut total = IBig::zero();
-        for j in 0..r {
-            let fu = self.slices[u][j];
-            if fu.is_false() {
+/// `Σᵢ uᵢ·vᵢ` over the basis states selected by `restriction` (all states
+/// when `None`), where `u`/`v` are two of the coefficient vectors of
+/// `slices`.  A free function over `(&Manager, slices)` so both the state
+/// and the non-mutating sampling views ([`ConditionedView`]) share one
+/// implementation — and therefore bit-identical floating-point behaviour.
+fn weighted_inner_product_of(
+    mgr: &Manager,
+    slices: &[Vec<NodeId>; 4],
+    r: usize,
+    n: usize,
+    u: usize,
+    v: usize,
+    restriction: Option<NodeId>,
+) -> IBig {
+    let mut total = IBig::zero();
+    for j in 0..r {
+        let fu = slices[u][j];
+        if fu.is_false() {
+            continue;
+        }
+        for (l, &fv) in slices[v].iter().enumerate().take(r) {
+            if fv.is_false() {
                 continue;
             }
-            for l in 0..r {
-                let fv = self.slices[v][l];
-                if fv.is_false() {
-                    continue;
-                }
-                let mut conj = self.mgr.and(fu, fv);
-                if let Some(lit) = restriction {
-                    conj = self.mgr.and(conj, lit);
-                }
-                if conj.is_false() {
-                    continue;
-                }
-                let count = self.mgr.sat_count(conj, n);
-                // Two's-complement weights: the top slice weighs −2^{r−1}.
-                let negative = (j == r - 1) != (l == r - 1);
-                let term = IBig::from_sign_magnitude(negative, count).shl(j + l);
-                total += term;
+            let mut conj = mgr.and(fu, fv);
+            if let Some(lit) = restriction {
+                conj = mgr.and(conj, lit);
             }
+            if conj.is_false() {
+                continue;
+            }
+            let count = mgr.sat_count(conj, n);
+            // Two's-complement weights: the top slice weighs −2^{r−1}.
+            let negative = (j == r - 1) != (l == r - 1);
+            let term = IBig::from_sign_magnitude(negative, count).shl(j + l);
+            total += term;
         }
-        total
+    }
+    total
+}
+
+/// The exact value of `2ᵏ · Σ |αᵢ|²` over the selected basis states as an
+/// `x + y·√2` pair (before the `1/2ᵏ` scaling and the `s²` factor).
+fn unscaled_probability_of(
+    mgr: &Manager,
+    slices: &[Vec<NodeId>; 4],
+    r: usize,
+    n: usize,
+    restriction: Option<NodeId>,
+) -> Sqrt2Big {
+    let [a, b, c, d] = [0usize, 1, 2, 3];
+    let mut square_sum = IBig::zero();
+    for family in FAMILIES {
+        square_sum += weighted_inner_product_of(
+            mgr,
+            slices,
+            r,
+            n,
+            family as usize,
+            family as usize,
+            restriction,
+        );
+    }
+    let mut cross = weighted_inner_product_of(mgr, slices, r, n, a, b, restriction);
+    cross += weighted_inner_product_of(mgr, slices, r, n, b, c, restriction);
+    cross += weighted_inner_product_of(mgr, slices, r, n, c, d, restriction);
+    cross += -weighted_inner_product_of(mgr, slices, r, n, a, d, restriction);
+    Sqrt2Big::new(square_sum, cross)
+}
+
+/// An immutable, unregistered view of a (possibly conditioned) bit-sliced
+/// state: the `4·r` slice roots plus the scalars, **without** root-registry
+/// pins.  The batched-sampling descent conditions views functionally —
+/// `view.condition(mgr, q, v)` returns a new view, the original stays valid
+/// — so independent subtrees of the outcome trie can be explored
+/// concurrently through the kernel's `&Manager` apply operations.
+///
+/// Safety of the missing pins: a view's nodes are only guaranteed alive
+/// while no garbage collection runs, and GC needs `&mut Manager` — which
+/// cannot coexist with the `&Manager` the view's methods borrow.  The
+/// borrow checker therefore enforces the "no GC during descent" discipline;
+/// run one afterwards to reclaim the transient conditioned slices.
+#[derive(Debug, Clone)]
+pub struct ConditionedView {
+    slices: [Vec<NodeId>; 4],
+    r: usize,
+    k: i64,
+    num_qubits: usize,
+    norm_factor: f64,
+}
+
+impl ConditionedView {
+    /// A view of the state as it currently is.
+    pub fn of_state(state: &BitSliceState) -> Self {
+        Self {
+            slices: state.slices.clone(),
+            r: state.r,
+            k: state.k,
+            num_qubits: state.num_qubits,
+            norm_factor: state.norm_factor,
+        }
     }
 
-    /// The exact value of `2ᵏ · Σ |αᵢ|²` over the selected basis states as an
-    /// `x + y·√2` pair (before the `1/2ᵏ` scaling and the `s²` factor).
-    fn unscaled_probability(&mut self, restriction: Option<NodeId>) -> Sqrt2Big {
-        let [a, b, c, d] = [0usize, 1, 2, 3];
-        let mut square_sum = IBig::zero();
-        for family in FAMILIES {
-            square_sum +=
-                self.weighted_inner_product(family as usize, family as usize, restriction);
+    /// The view restricted to `qubit = value` **without renormalising** —
+    /// the same slice conjunctions and width normalisation as
+    /// [`BitSliceState::condition_on`], as a pure function.
+    pub fn condition(&self, mgr: &Manager, qubit: usize, value: bool) -> Self {
+        let literal = if value {
+            mgr.var(qubit)
+        } else {
+            mgr.nvar(qubit)
+        };
+        let mut slices = self.slices.clone();
+        for family in slices.iter_mut() {
+            for slice in family.iter_mut() {
+                *slice = mgr.and(*slice, literal);
+            }
         }
-        let mut cross = self.weighted_inner_product(a, b, restriction);
-        cross += self.weighted_inner_product(b, c, restriction);
-        cross += self.weighted_inner_product(c, d, restriction);
-        cross += -self.weighted_inner_product(a, d, restriction);
-        Sqrt2Big::new(square_sum, cross)
+        let mut r = self.r;
+        let mut k = self.k;
+        shrink_slices(&mut slices, &mut r, &mut k);
+        Self {
+            slices,
+            r,
+            k,
+            num_qubits: self.num_qubits,
+            norm_factor: self.norm_factor,
+        }
+    }
+
+    /// The joint probability `Pr[conditions ∧ qubit = 1]` (an exact SAT
+    /// count, rounded only at the final conversion).
+    pub fn joint_probability_of_one(&self, mgr: &Manager, qubit: usize) -> f64 {
+        let literal = mgr.var(qubit);
+        let unscaled =
+            unscaled_probability_of(mgr, &self.slices, self.r, self.num_qubits, Some(literal));
+        unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
+    }
+
+    /// The joint probability of every condition applied so far.
+    pub fn total_probability(&self, mgr: &Manager) -> f64 {
+        let unscaled = unscaled_probability_of(mgr, &self.slices, self.r, self.num_qubits, None);
+        unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
+    }
+}
+
+impl BitSliceState {
+    /// The exact value of `2ᵏ · Σ |αᵢ|²` over the selected basis states.
+    fn unscaled_probability(&self, restriction: Option<NodeId>) -> Sqrt2Big {
+        unscaled_probability_of(
+            &self.mgr,
+            &self.slices,
+            self.r,
+            self.num_qubits,
+            restriction,
+        )
     }
 
     /// The probability that measuring `qubit` yields `value`.
-    pub fn probability_of(&mut self, qubit: usize, value: bool) -> f64 {
+    pub fn probability_of(&self, qubit: usize, value: bool) -> f64 {
         let literal = if value {
             self.mgr.var(qubit)
         } else {
@@ -83,7 +191,7 @@ impl BitSliceState {
     /// The probability of observing the complete basis state `bits`,
     /// computed from the exact weighted SAT count restricted to the minterm
     /// of `bits` (valid for any coefficient width).
-    pub fn probability_of_basis(&mut self, bits: &[bool]) -> f64 {
+    pub fn probability_of_basis(&self, bits: &[bool]) -> f64 {
         let literals: Vec<(usize, bool)> = bits.iter().enumerate().map(|(q, &b)| (q, b)).collect();
         let minterm = self.mgr.cube(&literals);
         let unscaled = self.unscaled_probability(Some(minterm));
@@ -93,7 +201,7 @@ impl BitSliceState {
     /// The total probability `Σᵢ Pr[i]`, computed exactly and converted to
     /// `f64` at the very end.  Equal to 1 up to the float conversion for any
     /// state produced by unitary evolution.
-    pub fn total_probability(&mut self) -> f64 {
+    pub fn total_probability(&self) -> f64 {
         let unscaled = self.unscaled_probability(None);
         unscaled.to_f64_div_pow2(self.k) * self.norm_factor * self.norm_factor
     }
@@ -102,7 +210,7 @@ impl BitSliceState {
     /// magnitudes is *exactly* `2ᵏ` (i.e. the state is exactly normalised as
     /// an algebraic identity — no tolerance involved).  Only meaningful while
     /// no measurement has been performed (`normalization_factor() == 1`).
-    pub fn is_exactly_normalized(&mut self) -> bool {
+    pub fn is_exactly_normalized(&self) -> bool {
         let unscaled = self.unscaled_probability(None);
         self.k >= 0 && unscaled.eq_pow2(self.k as usize)
     }
@@ -211,7 +319,7 @@ mod tests {
 
     #[test]
     fn basis_state_probabilities() {
-        let mut state = BitSliceState::with_initial_bits(&[true, false]);
+        let state = BitSliceState::with_initial_bits(&[true, false]);
         assert!(close(state.probability_of(0, true), 1.0));
         assert!(close(state.probability_of(1, true), 0.0));
         assert!(close(state.probability_of_basis(&[true, false]), 1.0));

@@ -76,6 +76,21 @@ impl BitSliceSimulator {
         self
     }
 
+    /// Sets the per-gate slice fan-out width (builder style): the `4·r`
+    /// independent slice updates of every gate run across this many threads
+    /// over the kernel's concurrent manager.  1 disables the worker pool;
+    /// the default comes from `SLIQ_THREADS` / the machine's available
+    /// parallelism.  Results are identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.state.set_threads(threads);
+        self
+    }
+
+    /// The configured fan-out width.
+    pub fn threads(&self) -> usize {
+        self.state.threads()
+    }
+
     /// Sifts the qubit variable order now, returning the run's statistics.
     pub fn reorder(&mut self) -> sliq_bdd::ReorderStats {
         self.state.reorder()

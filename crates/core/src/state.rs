@@ -12,8 +12,9 @@
 //! the full state occupies `4·r` BDDs over `n` variables plus one machine
 //! integer — never an explicit `2ⁿ`-element array.
 
-use sliq_bdd::{Manager, NodeId, ReorderStats, RootSlot};
+use sliq_bdd::{pool, Manager, NodeId, ReorderStats, RootSlot, WorkerPool};
 use sliq_math::Algebraic;
+use std::sync::Arc;
 
 /// Index of one of the four coefficient vector families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,10 +54,52 @@ pub struct BitSliceState {
     /// Floating-point normalisation factor accumulated by measurements
     /// (`s` in Eq. 13 of the paper); exactly 1.0 until the first collapse.
     pub(crate) norm_factor: f64,
+    /// Threads used for the per-gate slice fan-out (1 = serial).  The BDD
+    /// kernel's apply operations take `&Manager`, so the `4·r` independent
+    /// slice updates of a gate can run concurrently; GC and reordering stay
+    /// stop-the-world at gate boundaries (`&mut Manager`).
+    threads: usize,
+    /// Shared worker pool backing the fan-out when `threads > 1`.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// The minimum representable bit width (value +1 needs a sign bit).
 pub(crate) const MIN_WIDTH: usize = 2;
+
+/// The width-normalisation shared by [`BitSliceState::shrink`] and the
+/// sampling views ([`crate::ConditionedView`]): drop redundant sign slices,
+/// then factor common powers of two into `k`.  Kept as one function so the
+/// non-mutating sampling descent normalises *exactly* like the state
+/// mutations do (bit-identical widths and exponents ⇒ bit-identical
+/// probabilities).
+pub(crate) fn shrink_slices(slices: &mut [Vec<NodeId>; 4], r: &mut usize, k: &mut i64) {
+    while *r > MIN_WIDTH && slices.iter().all(|s| s[*r - 1] == s[*r - 2]) {
+        for s in slices.iter_mut() {
+            s.pop();
+        }
+        *r -= 1;
+    }
+    // Factor out common powers of two into k.
+    while *k >= 2 && slices.iter().all(|s| s[0].is_false()) {
+        let all_zero = slices.iter().all(|s| s.iter().all(|f| f.is_false()));
+        if all_zero {
+            // The zero vector would reduce forever; it only occurs for an
+            // unnormalised state, so leave it alone.
+            break;
+        }
+        for s in slices.iter_mut() {
+            s.remove(0);
+            let msb = *s.last().expect("width at least MIN_WIDTH - 1");
+            if s.len() < MIN_WIDTH {
+                s.push(msb);
+            }
+        }
+        if *r > MIN_WIDTH {
+            *r -= 1;
+        }
+        *k -= 2;
+    }
+}
 
 /// A checkpoint of a [`BitSliceState`] taken by [`BitSliceState::snapshot`].
 ///
@@ -117,6 +160,7 @@ impl BitSliceState {
         // encoding) below the qubit block: sifting must preserve the
         // paper's "qubits above encoding variables" order requirement.
         mgr.set_reorder_window(num_qubits);
+        let threads = pool::default_threads();
         let mut state = Self {
             mgr,
             num_qubits,
@@ -125,9 +169,52 @@ impl BitSliceState {
             slices,
             root_slots: Vec::new(),
             norm_factor: 1.0,
+            threads,
+            pool: if threads > 1 {
+                Some(pool::global(threads))
+            } else {
+                None
+            },
         };
         state.sync_registered_roots();
         state
+    }
+
+    /// Sets the number of threads the per-gate slice fan-out uses (clamped
+    /// to at least 1; 1 disables the worker pool entirely).  The default is
+    /// the `SLIQ_THREADS` environment variable, falling back to the
+    /// machine's available parallelism.  Thread count never changes any
+    /// result — amplitudes, probabilities and samples are exact either way —
+    /// only how the independent slice updates are scheduled.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.threads = threads;
+        self.pool = if threads > 1 {
+            Some(pool::global(threads))
+        } else {
+            None
+        };
+    }
+
+    /// The configured fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f(manager, index)` over `0..tasks`, fanning out across the
+    /// worker pool when one is configured.  Every task result lands at its
+    /// own index, so the output is deterministic regardless of scheduling —
+    /// and hash consing makes the *BDD contents* canonical regardless of
+    /// which thread created a node first.
+    pub(crate) fn par_map<T: Send + Sync>(
+        &self,
+        tasks: usize,
+        f: impl Fn(&Manager, usize) -> T + Sync,
+    ) -> Vec<T> {
+        match &self.pool {
+            Some(pool) if tasks > 1 => pool.map(tasks, |index| f(&self.mgr, index)),
+            _ => (0..tasks).map(|index| f(&self.mgr, index)).collect(),
+        }
     }
 
     /// The number of qubits.
@@ -324,32 +411,7 @@ impl BitSliceState {
     /// the bit width proportional to the *significant* precision rather than
     /// to the circuit depth.
     pub(crate) fn shrink(&mut self) {
-        while self.r > MIN_WIDTH && self.slices.iter().all(|s| s[self.r - 1] == s[self.r - 2]) {
-            for s in self.slices.iter_mut() {
-                s.pop();
-            }
-            self.r -= 1;
-        }
-        // Factor out common powers of two into k.
-        while self.k >= 2 && self.slices.iter().all(|s| s[0].is_false()) {
-            let all_zero = self.slices.iter().all(|s| s.iter().all(|f| f.is_false()));
-            if all_zero {
-                // The zero vector would reduce forever; it only occurs for an
-                // unnormalised state, so leave it alone.
-                break;
-            }
-            for s in self.slices.iter_mut() {
-                s.remove(0);
-                let msb = *s.last().expect("width at least MIN_WIDTH - 1");
-                if s.len() < MIN_WIDTH {
-                    s.push(msb);
-                }
-            }
-            if self.r > MIN_WIDTH {
-                self.r -= 1;
-            }
-            self.k -= 2;
-        }
+        shrink_slices(&mut self.slices, &mut self.r, &mut self.k);
     }
 
     // ------------------------------------------------------------------ //

@@ -29,8 +29,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sliq_bdd::Manager;
 use sliq_circuit::Simulator as _;
-use sliq_core::{BitSliceSimulator, BitSliceState, StateSnapshot};
+use sliq_core::{BitSliceSimulator, ConditionedView};
 use sliq_dense::DenseSimulator;
 use sliq_qmdd::{Edge, QmddSimulator};
 use sliq_stabilizer::{StabilizerSimulator, Tableau};
@@ -61,6 +62,14 @@ impl Histogram {
         if count > 0 {
             *self.counts.entry(outcome).or_insert(0) += count;
             self.shots += count;
+        }
+    }
+
+    /// Folds another histogram in (used to merge the per-subtree partial
+    /// histograms of the parallel descent; addition is order-independent).
+    fn merge(&mut self, other: Histogram) {
+        for (outcome, count) in other.counts {
+            self.add(outcome, count);
         }
     }
 
@@ -271,60 +280,146 @@ fn run_descent<C: ConditionalChain>(
 // Bit-sliced BDD backend
 // ---------------------------------------------------------------------- //
 
-struct BitSliceChain<'a> {
-    state: &'a mut BitSliceState,
-    stack: Vec<(StateSnapshot, f64)>,
-    /// Joint probability of the pushed conditions (1.0 at the root).
+/// One node of the bit-sliced descent: an unregistered conditioned view of
+/// the state plus the draws that landed in its branch.  Views are
+/// conditioned *functionally* (`ConditionedView::condition` returns a new
+/// view through the kernel's `&Manager` apply operations), so independent
+/// subtrees are data-independent and can be explored concurrently; the
+/// partition arithmetic is byte-for-byte the one `descend` uses, so thread
+/// count never changes a histogram.
+#[derive(Clone)]
+struct ViewTask {
+    view: ConditionedView,
+    depth: usize,
+    prefix: u64,
+    us: Vec<f64>,
+    /// Joint probability of the conditions above this node.
     p_current: f64,
-    /// Per-depth cache of the *unconditional* `Pr[prefix ∧ qubit = 1]` from
-    /// the last `conditional_one` call, reused by `push` for either branch.
-    p_one_abs: Vec<f64>,
 }
 
-impl ConditionalChain for BitSliceChain<'_> {
-    fn conditional_one(&mut self, qubit: usize) -> f64 {
-        // On the conditioned (unrenormalised) state this reads the joint
-        // probability Pr[conditions ∧ qubit = 1] as an exact SAT count.
-        let joint = self.state.probability_of(qubit, true);
-        self.p_one_abs[qubit] = joint;
-        if self.p_current <= 0.0 {
-            0.0
+enum ViewStep {
+    /// All qubits decided: `(outcome, shot count)`.
+    Leaf(u64, u64),
+    /// The 1-branch and/or 0-branch children (empty branches dropped).
+    Children(Vec<ViewTask>),
+}
+
+/// One partition step of the inverse-CDF descent on views.
+fn step_view(mgr: &Manager, task: ViewTask, num_qubits: usize) -> ViewStep {
+    if task.us.is_empty() {
+        return ViewStep::Children(Vec::new());
+    }
+    if task.depth == num_qubits {
+        return ViewStep::Leaf(task.prefix, task.us.len() as u64);
+    }
+    let joint_one = task.view.joint_probability_of_one(mgr, task.depth);
+    let raw = if task.p_current <= 0.0 {
+        0.0
+    } else {
+        joint_one / task.p_current
+    };
+    let p1 = if raw.is_finite() {
+        raw.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let p0 = 1.0 - p1;
+    let mut ones = Vec::new();
+    let mut zeros = Vec::new();
+    for u in task.us {
+        if u < p1 {
+            ones.push((u / p1).min(BELOW_ONE));
         } else {
-            joint / self.p_current
+            let rescaled = if p0 > 0.0 { (u - p1) / p0 } else { 0.0 };
+            zeros.push(rescaled.min(BELOW_ONE));
         }
     }
-
-    fn push(&mut self, qubit: usize, value: bool) {
-        let snapshot = self.state.snapshot();
-        self.stack.push((snapshot, self.p_current));
-        self.state.condition_on(qubit, value);
-        let joint_one = self.p_one_abs[qubit];
-        self.p_current = if value {
-            joint_one
-        } else {
-            (self.p_current - joint_one).max(0.0)
-        };
+    let mut children = Vec::new();
+    if !ones.is_empty() {
+        children.push(ViewTask {
+            view: task.view.condition(mgr, task.depth, true),
+            depth: task.depth + 1,
+            prefix: task.prefix | 1 << task.depth,
+            us: ones,
+            p_current: joint_one,
+        });
     }
+    if !zeros.is_empty() {
+        children.push(ViewTask {
+            view: task.view.condition(mgr, task.depth, false),
+            depth: task.depth + 1,
+            prefix: task.prefix,
+            us: zeros,
+            p_current: (task.p_current - joint_one).max(0.0),
+        });
+    }
+    ViewStep::Children(children)
+}
 
-    fn pop(&mut self, _qubit: usize) {
-        let (snapshot, p) = self.stack.pop().expect("pop matches a push");
-        self.state.restore(&snapshot);
-        self.state.release_snapshot(snapshot);
-        self.p_current = p;
+/// Serial depth-first descent of one subtree.
+fn descend_view(mgr: &Manager, task: ViewTask, num_qubits: usize, histogram: &mut Histogram) {
+    match step_view(mgr, task, num_qubits) {
+        ViewStep::Leaf(prefix, count) => histogram.add(prefix, count),
+        ViewStep::Children(children) => {
+            for child in children {
+                descend_view(mgr, child, num_qubits, histogram);
+            }
+        }
     }
 }
 
 pub(crate) fn sample_bitslice(sim: &mut BitSliceSimulator, shots: u64, seed: u64) -> Histogram {
     let num_qubits = sim.num_qubits();
-    let state = sim.state_mut();
-    let p_total = state.total_probability();
-    let mut chain = BitSliceChain {
-        state,
-        stack: Vec::new(),
-        p_current: p_total,
-        p_one_abs: vec![0.0; num_qubits],
-    };
-    run_descent(&mut chain, num_qubits, shots, seed)
+    let threads = sim.threads();
+    let mut histogram = Histogram::new(num_qubits);
+    {
+        let state = sim.state();
+        let mgr = state.manager();
+        let view = ConditionedView::of_state(state);
+        let p_total = view.total_probability(mgr);
+        let root = ViewTask {
+            view,
+            depth: 0,
+            prefix: 0,
+            us: uniform_draws(shots, seed),
+            p_current: p_total,
+        };
+        if threads <= 1 {
+            descend_view(mgr, root, num_qubits, &mut histogram);
+        } else {
+            // Peel the outcome trie breadth-first until there are enough
+            // independent subtrees to keep the pool busy, then fan the
+            // subtree descents out (partial histograms merge by addition,
+            // so scheduling cannot change the result).
+            let target = threads * 4;
+            let mut frontier = std::collections::VecDeque::new();
+            frontier.push_back(root);
+            let mut ready: Vec<ViewTask> = Vec::new();
+            while let Some(task) = frontier.pop_front() {
+                if task.depth < num_qubits && frontier.len() + ready.len() + 1 >= target {
+                    ready.push(task);
+                    continue;
+                }
+                match step_view(mgr, task, num_qubits) {
+                    ViewStep::Leaf(prefix, count) => histogram.add(prefix, count),
+                    ViewStep::Children(children) => frontier.extend(children),
+                }
+            }
+            let pool = sliq_bdd::pool::global(threads);
+            let partials = pool.map(ready.len(), |index| {
+                let mut partial = Histogram::new(num_qubits);
+                descend_view(mgr, ready[index].clone(), num_qubits, &mut partial);
+                partial
+            });
+            for partial in partials {
+                histogram.merge(partial);
+            }
+        }
+    }
+    // The descent hash-consed transient conditioned slices that no root
+    // registers; reclaim them if the manager considers it worthwhile.
+    sim.state_mut().maybe_collect_garbage();
+    histogram
 }
 
 // ---------------------------------------------------------------------- //

@@ -33,6 +33,12 @@ pub struct SessionConfig {
     /// Collect per-qubit ⟨Z⟩ expectations into every [`RunResult`] (costs
     /// one probability query per qubit on symbolic backends).
     pub collect_expectations: bool,
+    /// Fan-out width for backends with parallel apply (the bit-sliced
+    /// backend's per-gate slice updates and its batched-sampling descent).
+    /// `None` defers to the backend default (`SLIQ_THREADS`, falling back
+    /// to the machine's available parallelism); results are identical at
+    /// every thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -42,6 +48,7 @@ impl Default for SessionConfig {
             max_nodes: None,
             auto_reorder: false,
             collect_expectations: false,
+            threads: None,
         }
     }
 }
@@ -70,6 +77,13 @@ impl SessionConfig {
     /// Enables ⟨Z⟩ expectation collection in run results (builder style).
     pub fn expectations(mut self, enabled: bool) -> Self {
         self.collect_expectations = enabled;
+        self
+    }
+
+    /// Sets the parallel-apply fan-out width (builder style); 1 forces the
+    /// serial path.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -219,13 +233,17 @@ impl Session {
         };
         kind.check_capacity(num_qubits)?;
         let inner = match kind {
-            BackendKind::BitSlice => Inner::BitSlice(Box::new(
-                BitSliceSimulator::new(num_qubits)
+            BackendKind::BitSlice => {
+                let mut sim = BitSliceSimulator::new(num_qubits)
                     .with_limits(BitSliceLimits {
                         max_nodes: config.max_nodes,
                     })
-                    .with_auto_reorder(config.auto_reorder),
-            )),
+                    .with_auto_reorder(config.auto_reorder);
+                if let Some(threads) = config.threads {
+                    sim = sim.with_threads(threads);
+                }
+                Inner::BitSlice(Box::new(sim))
+            }
             BackendKind::Qmdd => Inner::Qmdd(Box::new(QmddSimulator::new(num_qubits).with_limits(
                 QmddLimits {
                     max_nodes: config.max_nodes,

@@ -3,7 +3,7 @@
 //! ```text
 //! sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer]
 //!      [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]
-//!      [--reorder]
+//!      [--reorder] [--threads N]
 //! ```
 //!
 //! The circuit format is inferred from the file extension (`.qasm` for the
@@ -26,6 +26,7 @@ struct Options {
     shots: u64,
     seed: u64,
     reorder: bool,
+    threads: Option<usize>,
     probability_qubits: Option<Vec<usize>>,
 }
 
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         shots: 0,
         seed: 1,
         reorder: false,
+        threads: None,
         probability_qubits: None,
     };
     while let Some(arg) = args.next() {
@@ -47,6 +49,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--superpose-free-inputs" => options.superpose = true,
             "--reorder" => options.reorder = true,
+            "--threads" => {
+                options.threads = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a number")?,
+                );
+            }
             "--shots" => {
                 options.shots = args
                     .next()
@@ -69,7 +78,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…] [--reorder]".to_string());
+                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…] [--reorder] [--threads N]".to_string());
             }
             other if options.path.is_empty() && !other.starts_with('-') => {
                 options.path = other.to_string();
@@ -137,8 +146,11 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
         circuit.len(),
         circuit.depth()
     );
-    let config =
+    let mut config =
         SessionConfig::with_backend(backend_kind(&options.backend)?).auto_reorder(options.reorder);
+    if let Some(threads) = options.threads {
+        config = config.threads(threads);
+    }
     let mut session = Session::for_circuit(&circuit, config)?;
     let result = session.run(&circuit)?;
     println!(

@@ -98,6 +98,44 @@ fn clifford_circuits_also_agree_with_the_stabilizer_backend() {
 }
 
 #[test]
+fn parallel_bitslice_agrees_with_the_dense_oracle_at_every_thread_count() {
+    // The cross-backend flavour of the parallel differential suite: the
+    // fan-out width must be unobservable not just against the serial
+    // bit-sliced path but against an independent oracle too.
+    for seed in 0..3 {
+        let circuit = random::random_circuit(
+            &random::RandomCircuitConfig {
+                num_qubits: 6,
+                num_gates: 36,
+                initial_hadamard_layer: true,
+                gate_set: random::RandomGateSet::PaperTable3,
+            },
+            300 + seed,
+        );
+        let mut dense = DenseSimulator::new(6);
+        dense.run(&circuit).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let mut bitslice = BitSliceSimulator::new(6).with_threads(threads);
+            bitslice.run(&circuit).unwrap();
+            bitslice
+                .state()
+                .manager()
+                .check_integrity()
+                .unwrap_or_else(|e| panic!("seed {seed}, {threads} threads: {e}"));
+            for bits in all_basis_states(6) {
+                let reference = dense.amplitude(&bits);
+                let ours = bitslice.amplitude(&bits).to_complex();
+                assert!(
+                    reference.approx_eq(&ours, 1e-9),
+                    "seed {seed}, {threads} threads deviate on {bits:?}"
+                );
+            }
+            assert!(bitslice.is_exactly_normalized());
+        }
+    }
+}
+
+#[test]
 fn supremacy_circuits_agree_on_a_small_lattice() {
     let lattice = supremacy::Lattice::new(3, 3);
     for seed in 0..3 {

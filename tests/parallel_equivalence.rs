@@ -1,0 +1,259 @@
+//! Differential tests for parallel slice application: the fan-out width
+//! must be **unobservable** — for random Clifford+T circuits at several
+//! widths, running the bit-sliced backend with 1/2/4/8 threads produces
+//! slice functions with identical `eval`/`sat_count`/`amplitude` results,
+//! identical probabilities, and a kernel that passes the exhaustive
+//! `Manager::check_integrity` after every circuit.  The seeded
+//! `Session::sample` histograms (including the parallel descent path) are
+//! bit-identical across thread counts.
+//!
+//! All comparisons are *exact* (integer/`NodeId` equality, or `f64`s whose
+//! every input is an exact SAT count): any scheduling-dependent behaviour
+//! shows up as a hard failure, not a tolerance miss.
+
+use sliqsim::circuit::Simulator;
+use sliqsim::prelude::*;
+use sliqsim::workloads::{algorithms, random};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_bitslice(circuit: &Circuit, threads: usize, reorder: bool) -> BitSliceSimulator {
+    let mut sim = BitSliceSimulator::new(circuit.num_qubits())
+        .with_threads(threads)
+        .with_auto_reorder(reorder);
+    sim.run(circuit).expect("supported gates");
+    assert_eq!(sim.threads(), threads);
+    sim
+}
+
+/// A deterministic sample of basis states (all of them for small registers).
+fn probe_states(n: usize) -> Vec<Vec<bool>> {
+    if n <= 10 {
+        (0..(1usize << n))
+            .map(|i| (0..n).map(|q| i >> q & 1 == 1).collect())
+            .collect()
+    } else {
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        (0..256)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (0..n).map(|q| state >> (q % 58) & 1 == 1).collect()
+            })
+            .collect()
+    }
+}
+
+/// The full differential comparison of one circuit across thread counts.
+fn assert_thread_count_invariance(circuit: &Circuit, reorder: bool) {
+    let n = circuit.num_qubits();
+    let mut serial = run_bitslice(circuit, 1, reorder);
+    serial
+        .state()
+        .manager()
+        .check_integrity()
+        .expect("serial integrity");
+    let states = probe_states(n);
+    let serial_total = serial.total_probability();
+    let serial_probs: Vec<f64> = (0..n).map(|q| serial.probability_of_one(q)).collect();
+    let serial_amps: Vec<Algebraic> = states.iter().map(|bits| serial.amplitude(bits)).collect();
+    let serial_counts: Vec<sliqsim::bignum::UBig> = serial
+        .state()
+        .all_roots()
+        .iter()
+        .map(|&slice| serial.state().manager().sat_count(slice, n))
+        .collect();
+    assert!(serial.is_exactly_normalized());
+
+    for &threads in &THREAD_COUNTS[1..] {
+        let mut parallel = run_bitslice(circuit, threads, reorder);
+        parallel
+            .state()
+            .manager()
+            .check_integrity()
+            .unwrap_or_else(|e| panic!("integrity at {threads} threads: {e}"));
+        // The representation scalars agree exactly.
+        assert_eq!(parallel.width(), serial.width(), "{threads} threads");
+        assert_eq!(parallel.k(), serial.k(), "{threads} threads");
+        // Slice-level sat counts agree exactly (slice j of family F in the
+        // parallel run denotes the same Boolean function as in the serial
+        // run, so its model count is the same arbitrary-precision integer).
+        let counts: Vec<sliqsim::bignum::UBig> = parallel
+            .state()
+            .all_roots()
+            .iter()
+            .map(|&slice| parallel.state().manager().sat_count(slice, n))
+            .collect();
+        assert_eq!(counts, serial_counts, "{threads} threads: sat counts");
+        // Slice-level eval agrees on every probe state.
+        for bits in &states {
+            for (i, (&ps, &ss)) in parallel
+                .state()
+                .all_roots()
+                .iter()
+                .zip(serial.state().all_roots().iter())
+                .enumerate()
+            {
+                assert_eq!(
+                    parallel.state().manager().eval(ps, bits),
+                    serial.state().manager().eval(ss, bits),
+                    "{threads} threads: slice {i} eval"
+                );
+            }
+        }
+        // Exact amplitudes and probabilities are bit-identical.
+        for (bits, expected) in states.iter().zip(&serial_amps) {
+            assert_eq!(
+                &parallel.amplitude(bits),
+                expected,
+                "{threads} threads: amplitude at {bits:?}"
+            );
+        }
+        for (q, &expected) in serial_probs.iter().enumerate() {
+            assert_eq!(
+                parallel.probability_of_one(q),
+                expected,
+                "{threads} threads: Pr[q{q}=1]"
+            );
+        }
+        assert_eq!(
+            parallel.total_probability(),
+            serial_total,
+            "{threads} threads: total probability"
+        );
+        assert!(parallel.is_exactly_normalized());
+    }
+}
+
+#[test]
+fn parallel_apply_is_identical_to_serial_on_random_clifford_t() {
+    for &(qubits, seed) in &[(6usize, 11u64), (10, 5), (14, 1)] {
+        let circuit = random::random_clifford_t(qubits, seed);
+        assert_thread_count_invariance(&circuit, false);
+    }
+}
+
+#[test]
+fn parallel_apply_is_identical_to_serial_on_the_full_gate_set() {
+    let circuit = random::random_circuit(
+        &random::RandomCircuitConfig {
+            num_qubits: 8,
+            num_gates: 120,
+            initial_hadamard_layer: true,
+            gate_set: random::RandomGateSet::Full,
+        },
+        2026,
+    );
+    assert_thread_count_invariance(&circuit, false);
+}
+
+#[test]
+fn parallel_apply_is_identical_under_auto_reorder() {
+    // Reordering and GC are stop-the-world phases between gates; they must
+    // compose with the fan-out without observable effect.
+    let circuit = random::random_clifford_t(12, 3);
+    assert_thread_count_invariance(&circuit, true);
+}
+
+#[test]
+fn ghz_and_bv_are_thread_count_invariant() {
+    for circuit in [
+        algorithms::ghz(16),
+        algorithms::bernstein_vazirani_all_ones(12),
+    ] {
+        assert_thread_count_invariance(&circuit, false);
+    }
+}
+
+#[test]
+fn sample_histograms_are_bit_identical_across_thread_counts() {
+    // Clifford+T forces the bit-sliced backend under Auto; the multi-thread
+    // sessions additionally exercise the parallel descent of the sampling
+    // trie (independent subtrees fanned over the pool).
+    let circuit = random::random_clifford_t(10, 9);
+    let mut reference: Option<Histogram> = None;
+    for &threads in &THREAD_COUNTS {
+        let config = SessionConfig::with_backend(BackendKind::BitSlice).threads(threads);
+        let mut session = Session::for_circuit(&circuit, config).expect("session");
+        session.run(&circuit).expect("run");
+        let sample = session.sample(4096, 42).expect("sample");
+        assert_eq!(sample.histogram.shots(), 4096);
+        match &reference {
+            None => reference = Some(sample.histogram),
+            Some(expected) => assert_eq!(
+                &sample.histogram, expected,
+                "histogram differs at {threads} threads"
+            ),
+        }
+    }
+    // Distinct seeds still differ (the determinism is per seed, not a
+    // degenerate constant histogram).
+    let config = SessionConfig::with_backend(BackendKind::BitSlice).threads(2);
+    let mut session = Session::for_circuit(&circuit, config).expect("session");
+    session.run(&circuit).expect("run");
+    let other_seed = session.sample(4096, 43).expect("sample").histogram;
+    assert_ne!(Some(other_seed), reference);
+}
+
+#[test]
+fn sampling_determinism_holds_after_measurement_collapse() {
+    // The descent must also be thread-count invariant on a state with a
+    // non-trivial normalisation factor (post-measurement `s != 1`).
+    let circuit = random::random_clifford_t(8, 4);
+    let mut reference: Option<Histogram> = None;
+    for &threads in &THREAD_COUNTS {
+        let config = SessionConfig::with_backend(BackendKind::BitSlice).threads(threads);
+        let mut session = Session::for_circuit(&circuit, config).expect("session");
+        session.run(&circuit).expect("run");
+        session.measure_with(0, 0.3);
+        let sample = session.sample(1024, 7).expect("sample");
+        match &reference {
+            None => reference = Some(sample.histogram),
+            Some(expected) => assert_eq!(
+                &sample.histogram, expected,
+                "post-collapse histogram differs at {threads} threads"
+            ),
+        }
+    }
+}
+
+/// The tentpole's perf acceptance bar: with ≥ 4 threads, whole-circuit
+/// `random_clifford_t(20)` (fixed order, reorder off) is ≥ 1.5× faster than
+/// the single-thread path.  Wall-clock perf needs real cores and a quiet
+/// machine, so the test is gated like the other perf acceptance tests: set
+/// `SLIQ_PERF_TEST=1` on a machine with ≥ 4 hardware threads.
+#[test]
+fn perf_parallel_apply_speedup_on_random_clifford_t_20() {
+    if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+        eprintln!("skipped (set SLIQ_PERF_TEST=1 to run the wall-clock acceptance test)");
+        return;
+    }
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if available < 4 {
+        eprintln!("skipped (needs >= 4 hardware threads, have {available})");
+        return;
+    }
+    let circuit = random::random_clifford_t(20, 1);
+    let median_secs = |threads: usize| -> f64 {
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let _ = run_bitslice(&circuit, threads, false);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        runs[1]
+    };
+    let serial = median_secs(1);
+    let parallel = median_secs(4);
+    let speedup = serial / parallel;
+    eprintln!("rc_t(20): serial {serial:.3}s, 4 threads {parallel:.3}s, speedup {speedup:.2}x");
+    assert!(
+        speedup >= 1.5,
+        "4-thread whole-circuit speedup {speedup:.2}x below the 1.5x acceptance bar"
+    );
+}
