@@ -62,6 +62,6 @@ mod reorder;
 mod shard;
 
 pub use hash::{FxBuildHasher, FxHashMap};
-pub use manager::{CacheStats, Manager, ManagerStats, NodeId, RootSlot};
+pub use manager::{CacheStats, KernelMode, Manager, ManagerStats, NodeId, RootSlot};
 pub use pool::{default_threads, WorkerPool};
 pub use reorder::ReorderStats;

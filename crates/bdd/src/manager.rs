@@ -22,6 +22,19 @@
 //! synchronization argument, and [`crate::pool::WorkerPool`] for the
 //! fan-out used by the simulator.
 //!
+//! The kernel is additionally **phase-typed**: every apply recursion and
+//! `mk` are compiled in two flavours through a `const SERIAL: bool`
+//! parameter.  The shared flavour is the machinery above; the serial
+//! flavour — selected per manager with [`Manager::set_kernel_mode`], an
+//! exclusive-phase (`&mut self`) switch — drops the coordination entirely
+//! (no seqlock claim/release on cache stores, no speculate-then-publish
+//! CAS in `mk`, no atomic read-modify-writes on the bump allocator and
+//! counters), so a single-threaded session pays no concurrency tax.  Both
+//! flavours hoist the thread-local stat-shard lookup to the public entry
+//! point and thread it through the recursion.  [`KernelMode::Shared`]
+//! remains the default; see [`crate::shard`] ("The phase-typed serial
+//! flavour") for the soundness argument.
+//!
 //! # Complement edges
 //!
 //! Every [`NodeId`] is an *edge*: bits `0..31` index the node arena and bit
@@ -119,7 +132,7 @@
 
 use crate::hash::FxHashMap;
 use crate::shard::{
-    DirectCache, FreeList, NodeArena, StatShards, SubTable, CACHE_DEFAULT_MAX_LOG2,
+    DirectCache, FreeList, NodeArena, StatShard, StatShards, SubTable, CACHE_DEFAULT_MAX_LOG2,
     CACHE_HARD_MAX_LOG2,
 };
 use sliq_bignum::UBig;
@@ -238,6 +251,22 @@ pub(crate) fn pack_children(low: NodeId, high: NodeId) -> u64 {
     ((low.0 as u64) << 32) | high.0 as u64
 }
 
+/// Which flavour of the phase-typed kernel a [`Manager`] runs its apply
+/// recursions in (see the module docs and [`crate::shard`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// The concurrency-safe flavour: CAS publication in `mk`, seqlock
+    /// claim/release on cache stores.  Any number of threads may share the
+    /// manager.  The default.
+    #[default]
+    Shared,
+    /// The unsynchronized fast-path flavour: plain probes and stores, no
+    /// CAS, no seqlock protocol.  The manager must be used from exactly one
+    /// thread at a time while this mode is selected; switching modes is an
+    /// exclusive-phase (`&mut self`) action.
+    Serial,
+}
+
 /// Hit/miss/eviction counters of one direct-mapped operation cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -271,6 +300,10 @@ impl CacheStats {
 /// Counters describing the work a [`Manager`] has performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
+    /// Which kernel flavour ([`KernelMode`]) the manager was running when
+    /// the snapshot was taken — makes fast-path regressions visible instead
+    /// of inferred from timings.
+    pub kernel_mode: KernelMode,
     /// Number of garbage collections run so far.
     pub gc_runs: usize,
     /// Peak number of live (allocated, non-freed) nodes observed.
@@ -313,6 +346,9 @@ pub struct ManagerStats {
     /// Total wall-clock time spent inside [`Manager::reorder`], in
     /// microseconds.
     pub reorder_micros: u64,
+    /// Adjacent-level swaps whose relink batch was fanned over the worker
+    /// pool (a subset of [`ManagerStats::reorder_swaps`]).
+    pub reorder_parallel_batches: u64,
     /// Counters of the `and` apply cache (also serves `or` via De Morgan).
     pub and_cache: CacheStats,
     /// Counters of the `xor` apply cache (complement parity folded out).
@@ -390,6 +426,7 @@ pub(crate) struct SerialStats {
     pub(crate) reorder_last_before: usize,
     pub(crate) reorder_last_after: usize,
     pub(crate) reorder_micros: u64,
+    pub(crate) reorder_parallel_batches: u64,
 }
 
 /// Cache indices into `Manager::caches` and `StatShard::caches` (the same
@@ -485,6 +522,12 @@ pub struct Manager {
     pub(crate) shards: StatShards,
     /// Exclusive-phase counters.
     pub(crate) serial: SerialStats,
+    /// Which flavour of the phase-typed kernel the apply entry points
+    /// dispatch to (see [`KernelMode`]).  Mutated only via `&mut self`.
+    mode: KernelMode,
+    /// Worker threads [`Manager::reorder`] fans the per-swap relink batch
+    /// over (1 = fully serial sifting).
+    pub(crate) reorder_threads: usize,
 }
 
 impl Clone for Manager {
@@ -528,6 +571,8 @@ impl Clone for Manager {
             peak_nodes: AtomicUsize::new(self.peak_nodes.load(Ordering::Relaxed)),
             shards: self.shards.clone(),
             serial: self.serial,
+            mode: self.mode,
+            reorder_threads: self.reorder_threads,
         }
     }
 }
@@ -578,7 +623,35 @@ impl Manager {
                 cache_cap_log2: CACHE_DEFAULT_MAX_LOG2,
                 ..SerialStats::default()
             },
+            mode: KernelMode::Shared,
+            reorder_threads: 1,
         }
+    }
+
+    /// Selects the kernel flavour the apply entry points dispatch to.
+    /// Taking `&mut self` makes the switch an exclusive-phase action: no
+    /// apply recursion can be in flight, so the flavours never interleave
+    /// on one operation.  Callers selecting [`KernelMode::Serial`] promise
+    /// single-threaded use until the mode is switched back.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected kernel flavour.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Sets how many worker threads [`Manager::reorder`] fans each swap's
+    /// relink batch over (clamped to at least 1).  Orthogonal to the kernel
+    /// mode: the parallel batch always uses the shared `mk` flavour.
+    pub fn set_reorder_threads(&mut self, threads: usize) {
+        self.reorder_threads = threads.max(1);
+    }
+
+    /// The reordering fan-out width.
+    pub fn reorder_threads(&self) -> usize {
+        self.reorder_threads
     }
 
     /// The number of declared variables.
@@ -647,6 +720,7 @@ impl Manager {
     pub fn stats(&self) -> ManagerStats {
         self.note_peak();
         let mut stats = ManagerStats {
+            kernel_mode: self.mode,
             gc_runs: self.serial.gc_runs,
             peak_nodes: self.peak_nodes.load(Ordering::Relaxed),
             unique_resizes: self.unique_resizes.load(Ordering::Relaxed),
@@ -658,6 +732,7 @@ impl Manager {
             reorder_last_before: self.serial.reorder_last_before,
             reorder_last_after: self.serial.reorder_last_after,
             reorder_micros: self.serial.reorder_micros,
+            reorder_parallel_batches: self.serial.reorder_parallel_batches,
             ..ManagerStats::default()
         };
         for shard in self.shards.iter() {
@@ -689,26 +764,71 @@ impl Manager {
         self.cache_epoch.load(Ordering::Relaxed)
     }
 
+    // Flavour-dispatched cache accessors.  The stat shard is *passed in*:
+    // the apply entry points look it up once and thread it through the
+    // recursion, so the thread-local access is paid per apply call, not per
+    // recursive step.
+
     #[inline]
-    fn cache_hit(&self, which: usize) {
-        crate::shard::bump(&self.shards.local().caches[which].hits);
+    fn cache_probe2<const SERIAL: bool>(
+        &self,
+        which: usize,
+        epoch: u32,
+        key: u64,
+    ) -> Option<NodeId> {
+        if SERIAL {
+            self.caches[which].probe2_serial(epoch, key)
+        } else {
+            self.caches[which].probe2(epoch, key)
+        }
     }
 
     #[inline]
-    fn cache_miss(&self, which: usize) {
-        crate::shard::bump(&self.shards.local().caches[which].misses);
+    fn cache_probe3<const SERIAL: bool>(
+        &self,
+        which: usize,
+        epoch: u32,
+        key_fg: u64,
+        key_h: u64,
+    ) -> Option<NodeId> {
+        if SERIAL {
+            self.caches[which].probe3_serial(epoch, key_fg, key_h)
+        } else {
+            self.caches[which].probe3(epoch, key_fg, key_h)
+        }
     }
 
     #[inline]
-    fn cache_store2(&self, which: usize, epoch: u32, key: u64, result: NodeId) {
-        let shard = self.shards.local();
-        self.caches[which].store2(&shard.caches[which], shard, epoch, key, result);
+    fn cache_store2<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        which: usize,
+        epoch: u32,
+        key: u64,
+        result: NodeId,
+    ) {
+        if SERIAL {
+            self.caches[which].store2_serial(&shard.caches[which], epoch, key, result);
+        } else {
+            self.caches[which].store2(&shard.caches[which], shard, epoch, key, result);
+        }
     }
 
     #[inline]
-    fn cache_store3(&self, which: usize, epoch: u32, key_fg: u64, key_h: u64, result: NodeId) {
-        let shard = self.shards.local();
-        self.caches[which].store3(&shard.caches[which], shard, epoch, key_fg, key_h, result);
+    fn cache_store3<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        which: usize,
+        epoch: u32,
+        key_fg: u64,
+        key_h: u64,
+        result: NodeId,
+    ) {
+        if SERIAL {
+            self.caches[which].store3_serial(&shard.caches[which], epoch, key_fg, key_h, result);
+        } else {
+            self.caches[which].store3(&shard.caches[which], shard, epoch, key_fg, key_h, result);
+        }
     }
 
     // ----------------------------------------------------------------- //
@@ -935,6 +1055,14 @@ impl Manager {
         }
     }
 
+    /// Serial-flavour allocation: same policy, non-RMW bump.
+    fn alloc_node_serial(&self) -> u32 {
+        match self.free.pop() {
+            Some(id) => id,
+            None => self.arena.bump_serial(),
+        }
+    }
+
     /// Hash-consing node constructor (the `MK` operation): finds or creates
     /// the node `(var, low, high)` through `var`'s unique subtable.
     /// Enforces the canonical form — if `low` arrives complemented, both
@@ -947,16 +1075,74 @@ impl Manager {
     }
 
     /// Like [`Manager::mk`] but for a *level*: labels the node with the
-    /// variable currently at `level` (the form the apply recursions use).
+    /// variable currently at `level` (the flavoured form the apply
+    /// recursions use).
     #[inline]
-    fn mk_level(&self, level: u32, low: NodeId, high: NodeId) -> NodeId {
+    fn mk_level_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        level: u32,
+        low: NodeId,
+        high: NodeId,
+    ) -> NodeId {
         let var = self.level_to_var[level as usize];
-        self.mk(var, low, high)
+        self.mk_in::<SERIAL>(shard, var, low, high)
+    }
+
+    /// The flavoured [`Manager::mk`] used inside the apply recursions (the
+    /// stat shard is already hoisted there).
+    #[inline]
+    fn mk_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        var: u32,
+        low: NodeId,
+        high: NodeId,
+    ) -> NodeId {
+        self.mk_core_in::<SERIAL>(shard, var, low, high, || {
+            if SERIAL {
+                self.alloc_node_serial()
+            } else {
+                self.alloc_node()
+            }
+        })
+        .0
     }
 
     /// The `mk` workhorse; additionally reports whether a fresh node was
     /// allocated (the reordering swap needs this for its reference counts).
+    /// Dispatches on the manager's [`KernelMode`].
     pub(crate) fn mk_core(&self, var: u32, low: NodeId, high: NodeId) -> (NodeId, bool) {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => {
+                self.mk_core_in::<true>(shard, var, low, high, || self.alloc_node_serial())
+            }
+            KernelMode::Shared => {
+                self.mk_core_in::<false>(shard, var, low, high, || self.alloc_node())
+            }
+        }
+    }
+
+    /// The shared-flavour `mk` driven through a pre-acquired probe session
+    /// over `var`'s subtable, with a caller-supplied id allocator and every
+    /// per-cons shared-line RMW stripped: no read-guard acquisition, no
+    /// free-list mutex, no subtable length or global `table_len` update
+    /// (the caller batches those from its `created` counts via
+    /// [`SubTable::len_add`](crate::shard::SubTable) and `table_len`).  The
+    /// parallel reordering batch uses this: its worker threads cons
+    /// thousands of nodes into the *same* subtable concurrently, and at
+    /// ~100 ns per cons every shared cache-line RMW serializes the whole
+    /// fan-out.  The caller must have `grow_for`-reserved the batch's
+    /// worst-case insert count first.
+    pub(crate) fn mk_session(
+        &self,
+        prober: &crate::shard::SubTableProber<'_>,
+        var: u32,
+        low: NodeId,
+        high: NodeId,
+        alloc: impl FnOnce() -> u32,
+    ) -> (NodeId, bool) {
         if low == high {
             return (low, false);
         }
@@ -968,46 +1154,111 @@ impl Manager {
         let low = low.xor_mask(out_c);
         let high = high.xor_mask(out_c);
         let children = pack_children(low, high);
-        let subtable = &self.subtables[var as usize];
-        let mut speculative: Option<u32> = None;
-        let (id, created, rollback) = loop {
-            match subtable.find_or_publish(
-                &self.arena,
-                children,
-                speculative.take(),
-                || {
-                    let id = self.alloc_node();
-                    self.arena.write(id, Node { var, low, high });
-                    id
-                },
-                shard,
-            ) {
-                crate::shard::Consed::Done {
-                    id,
-                    created,
-                    rollback,
-                } => break (id, created, rollback),
-                crate::shard::Consed::TableFull { speculative: spec } => {
-                    // Concurrent inserts filled the table before anyone's
-                    // post-insert growth ran; the probe released its read
-                    // guard, so growing here cannot deadlock.  Keep the
-                    // speculative node for the retry.
-                    speculative = spec;
-                    if subtable.grow(&self.arena) {
-                        self.unique_resizes.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        };
+        let (id, created, rollback) = prober.find_or_publish(
+            &self.arena,
+            children,
+            || {
+                let id = alloc();
+                self.arena.write(id, Node { var, low, high });
+                id
+            },
+            shard,
+        );
         if let Some(speculative) = rollback {
             // Lost the publication race: the node was never visible, so its
-            // id can be recycled immediately.
+            // id can be recycled immediately (rare enough that the free-list
+            // mutex is fine here).
             crate::shard::bump(&shard.unique_dup_races);
             self.free.push(speculative);
         }
         if created {
             crate::shard::bump(&shard.created_nodes);
-            self.table_len.fetch_add(1, Ordering::Relaxed);
+        }
+        (NodeId(id ^ out_c), created)
+    }
+
+    fn mk_core_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        var: u32,
+        low: NodeId,
+        high: NodeId,
+        alloc: impl Fn() -> u32,
+    ) -> (NodeId, bool) {
+        if low == high {
+            return (low, false);
+        }
+        let out_c = low.cmask();
+        if out_c != 0 {
+            crate::shard::bump(&shard.complement_flips);
+        }
+        let low = low.xor_mask(out_c);
+        let high = high.xor_mask(out_c);
+        let children = pack_children(low, high);
+        let subtable = &self.subtables[var as usize];
+        let (id, created) = if SERIAL {
+            // Serial flavour: one probe walk, plain store, no speculation.
+            loop {
+                match subtable.find_or_insert_serial(&self.arena, children, || {
+                    let id = alloc();
+                    self.arena.write(id, Node { var, low, high });
+                    id
+                }) {
+                    Some(found) => break found,
+                    None => {
+                        if subtable.grow(&self.arena) {
+                            self.unique_resizes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut speculative: Option<u32> = None;
+            let (id, created, rollback) = loop {
+                match subtable.find_or_publish(
+                    &self.arena,
+                    children,
+                    speculative.take(),
+                    || {
+                        let id = alloc();
+                        self.arena.write(id, Node { var, low, high });
+                        id
+                    },
+                    shard,
+                ) {
+                    crate::shard::Consed::Done {
+                        id,
+                        created,
+                        rollback,
+                    } => break (id, created, rollback),
+                    crate::shard::Consed::TableFull { speculative: spec } => {
+                        // Concurrent inserts filled the table before anyone's
+                        // post-insert growth ran; the probe released its read
+                        // guard, so growing here cannot deadlock.  Keep the
+                        // speculative node for the retry.
+                        speculative = spec;
+                        if subtable.grow(&self.arena) {
+                            self.unique_resizes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            };
+            if let Some(speculative) = rollback {
+                // Lost the publication race: the node was never visible, so
+                // its id can be recycled immediately.
+                crate::shard::bump(&shard.unique_dup_races);
+                self.free.push(speculative);
+            }
+            (id, created)
+        };
+        if created {
+            crate::shard::bump(&shard.created_nodes);
+            if SERIAL {
+                let len = self.table_len.load(Ordering::Relaxed);
+                self.table_len.store(len + 1, Ordering::Relaxed);
+            } else {
+                self.table_len.fetch_add(1, Ordering::Relaxed);
+            }
             if subtable.overloaded() && subtable.grow(&self.arena) {
                 self.unique_resizes.fetch_add(1, Ordering::Relaxed);
             }
@@ -1067,13 +1318,21 @@ impl Manager {
     /// Logical negation: with complement edges this is a single bit flip —
     /// no recursion, no cache lookup, no allocation.
     pub fn not(&self, f: NodeId) -> NodeId {
-        self.shards.local().not_ops.fetch_add(1, Ordering::Relaxed);
+        crate::shard::bump(&self.shards.local().not_ops);
         f.complement()
     }
 
     /// Logical conjunction (dedicated apply recursion; complement bits are
     /// part of the cache key because they do not fold out of AND).
     pub fn and(&self, f: NodeId, g: NodeId) -> NodeId {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.and_in::<true>(shard, f, g),
+            KernelMode::Shared => self.and_in::<false>(shard, f, g),
+        }
+    }
+
+    fn and_in<const SERIAL: bool>(&self, shard: &StatShard, f: NodeId, g: NodeId) -> NodeId {
         if f == g {
             return f;
         }
@@ -1094,19 +1353,19 @@ impl Manager {
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         let key = ((a.0 as u64) << 32) | b.0 as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[AND].probe2(epoch, key) {
-            self.cache_hit(AND);
+        if let Some(result) = self.cache_probe2::<SERIAL>(AND, epoch, key) {
+            crate::shard::bump(&shard.caches[AND].hits);
             return result;
         }
-        self.cache_miss(AND);
+        crate::shard::bump(&shard.caches[AND].misses);
         let (la, lb) = (self.level(a), self.level(b));
         let top = la.min(lb);
         let (a0, a1) = self.split_at(a, la, top);
         let (b0, b1) = self.split_at(b, lb, top);
-        let low = self.and(a0, b0);
-        let high = self.and(a1, b1);
-        let result = self.mk_level(top, low, high);
-        self.cache_store2(AND, epoch, key, result);
+        let low = self.and_in::<SERIAL>(shard, a0, b0);
+        let high = self.and_in::<SERIAL>(shard, a1, b1);
+        let result = self.mk_level_in::<SERIAL>(shard, top, low, high);
+        self.cache_store2::<SERIAL>(shard, AND, epoch, key, result);
         result
     }
 
@@ -1117,10 +1376,24 @@ impl Manager {
         self.and(f.complement(), g.complement()).complement()
     }
 
+    #[inline]
+    fn or_in<const SERIAL: bool>(&self, shard: &StatShard, f: NodeId, g: NodeId) -> NodeId {
+        self.and_in::<SERIAL>(shard, f.complement(), g.complement())
+            .complement()
+    }
+
     /// Exclusive or (dedicated apply recursion).  Complement parity folds
     /// out entirely — `¬f ⊕ g = ¬(f ⊕ g)` — so the cache is probed with
     /// regular operands and one entry serves XOR and XNOR of both phases.
     pub fn xor(&self, f: NodeId, g: NodeId) -> NodeId {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.xor_in::<true>(shard, f, g),
+            KernelMode::Shared => self.xor_in::<false>(shard, f, g),
+        }
+    }
+
+    fn xor_in<const SERIAL: bool>(&self, shard: &StatShard, f: NodeId, g: NodeId) -> NodeId {
         let parity = (f.0 ^ g.0) & COMPLEMENT;
         let (a, b) = (f.regular(), g.regular());
         if a == b {
@@ -1140,19 +1413,19 @@ impl Manager {
         let (a, b) = if a.0 < b.0 { (a, b) } else { (b, a) };
         let key = ((a.0 as u64) << 32) | b.0 as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[XOR].probe2(epoch, key) {
-            self.cache_hit(XOR);
+        if let Some(result) = self.cache_probe2::<SERIAL>(XOR, epoch, key) {
+            crate::shard::bump(&shard.caches[XOR].hits);
             return result.xor_mask(parity);
         }
-        self.cache_miss(XOR);
+        crate::shard::bump(&shard.caches[XOR].misses);
         let (la, lb) = (self.level(a), self.level(b));
         let top = la.min(lb);
         let (a0, a1) = self.split_at(a, la, top);
         let (b0, b1) = self.split_at(b, lb, top);
-        let low = self.xor(a0, b0);
-        let high = self.xor(a1, b1);
-        let result = self.mk_level(top, low, high);
-        self.cache_store2(XOR, epoch, key, result);
+        let low = self.xor_in::<SERIAL>(shard, a0, b0);
+        let high = self.xor_in::<SERIAL>(shard, a1, b1);
+        let result = self.mk_level_in::<SERIAL>(shard, top, low, high);
+        self.cache_store2::<SERIAL>(shard, XOR, epoch, key, result);
         result.xor_mask(parity)
     }
 
@@ -1164,6 +1437,20 @@ impl Manager {
     /// regular edges (`ite(¬f, g, h) = ite(f, h, g)` and
     /// `ite(f, ¬g, ¬h) = ¬ite(f, g, h)`).
     pub fn ite(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.ite_in::<true>(shard, f, g, h),
+            KernelMode::Shared => self.ite_in::<false>(shard, f, g, h),
+        }
+    }
+
+    fn ite_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+    ) -> NodeId {
         if f.is_true() {
             return g;
         }
@@ -1182,37 +1469,37 @@ impl Manager {
         if g.0 ^ h.0 == COMPLEMENT {
             // ite(f, g, ¬g) = ¬(f ⊕ g): the XNOR terminal case folds into
             // the XOR recursion via the complement bit.
-            return self.xor(f, g).complement();
+            return self.xor_in::<SERIAL>(shard, f, g).complement();
         }
         // Two-operand shapes: reuse the specialised recursions.
         if g.is_true() {
             if h.is_false() {
                 return f;
             }
-            return self.or(f, h);
+            return self.or_in::<SERIAL>(shard, f, h);
         }
         if g.is_false() {
             if h.is_true() {
                 return f.complement();
             }
-            return self.and(f.complement(), h);
+            return self.and_in::<SERIAL>(shard, f.complement(), h);
         }
         if h.is_false() || f == h {
-            return self.and(f, g);
+            return self.and_in::<SERIAL>(shard, f, g);
         }
         if f == g {
-            return self.or(f, h);
+            return self.or_in::<SERIAL>(shard, f, h);
         }
         if h.is_true() {
-            return self.or(f.complement(), g);
+            return self.or_in::<SERIAL>(shard, f.complement(), g);
         }
         if f.0 ^ g.0 == COMPLEMENT {
             // g = ¬f: ite(f, ¬f, h) = ¬f ∧ h.
-            return self.and(f.complement(), h);
+            return self.and_in::<SERIAL>(shard, f.complement(), h);
         }
         if f.0 ^ h.0 == COMPLEMENT {
             // h = ¬f: ite(f, g, ¬f) = ¬f ∨ g.
-            return self.or(f.complement(), g);
+            return self.or_in::<SERIAL>(shard, f.complement(), g);
         }
         // Then-branch normalisation: regular g, so ite(f, g, h) and
         // ¬ite(f, ¬g, ¬h) probe the same cache line.
@@ -1221,20 +1508,20 @@ impl Manager {
         let key_fg = ((f.0 as u64) << 32) | g.0 as u64;
         let key_h = h.0 as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[ITE].probe3(epoch, key_fg, key_h) {
-            self.cache_hit(ITE);
+        if let Some(result) = self.cache_probe3::<SERIAL>(ITE, epoch, key_fg, key_h) {
+            crate::shard::bump(&shard.caches[ITE].hits);
             return result.xor_mask(out_c);
         }
-        self.cache_miss(ITE);
+        crate::shard::bump(&shard.caches[ITE].misses);
         let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
         let top = lf.min(lg).min(lh);
         let (f0, f1) = self.split_at(f, lf, top);
         let (g0, g1) = self.split_at(g, lg, top);
         let (h0, h1) = self.split_at(h, lh, top);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
-        let result = self.mk_level(top, low, high);
-        self.cache_store3(ITE, epoch, key_fg, key_h, result);
+        let low = self.ite_in::<SERIAL>(shard, f0, g0, h0);
+        let high = self.ite_in::<SERIAL>(shard, f1, g1, h1);
+        let result = self.mk_level_in::<SERIAL>(shard, top, low, high);
+        self.cache_store3::<SERIAL>(shard, ITE, epoch, key_fg, key_h, result);
         result.xor_mask(out_c)
     }
 
@@ -1243,6 +1530,20 @@ impl Manager {
     /// Complement parity folds out of all three operands at once, so the
     /// cache is keyed on regular edges only.
     pub fn xor3(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.xor3_in::<true>(shard, f, g, h),
+            KernelMode::Shared => self.xor3_in::<false>(shard, f, g, h),
+        }
+    }
+
+    fn xor3_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+    ) -> NodeId {
         let parity = (f.0 ^ g.0 ^ h.0) & COMPLEMENT;
         // Fully commutative: sort the regular edges into canonical order.
         let (mut a, mut b, mut c) = (f.regular(), g.regular(), h.regular());
@@ -1266,25 +1567,28 @@ impl Manager {
         // The only regular terminal is `true`, and it sorts first:
         // true ⊕ b ⊕ c = ¬(b ⊕ c).
         if a.is_terminal() {
-            return self.xor(b, c).complement().xor_mask(parity);
+            return self
+                .xor_in::<SERIAL>(shard, b, c)
+                .complement()
+                .xor_mask(parity);
         }
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[XOR3].probe3(epoch, key_ab, key_c) {
-            self.cache_hit(XOR3);
+        if let Some(result) = self.cache_probe3::<SERIAL>(XOR3, epoch, key_ab, key_c) {
+            crate::shard::bump(&shard.caches[XOR3].hits);
             return result.xor_mask(parity);
         }
-        self.cache_miss(XOR3);
+        crate::shard::bump(&shard.caches[XOR3].misses);
         let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
         let top = la.min(lb).min(lc);
         let (a0, a1) = self.split_at(a, la, top);
         let (b0, b1) = self.split_at(b, lb, top);
         let (c0, c1) = self.split_at(c, lc, top);
-        let low = self.xor3(a0, b0, c0);
-        let high = self.xor3(a1, b1, c1);
-        let result = self.mk_level(top, low, high);
-        self.cache_store3(XOR3, epoch, key_ab, key_c, result);
+        let low = self.xor3_in::<SERIAL>(shard, a0, b0, c0);
+        let high = self.xor3_in::<SERIAL>(shard, a1, b1, c1);
+        let result = self.mk_level_in::<SERIAL>(shard, top, low, high);
+        self.cache_store3::<SERIAL>(shard, XOR3, epoch, key_ab, key_c, result);
         result.xor_mask(parity)
     }
 
@@ -1294,6 +1598,20 @@ impl Manager {
     /// (`maj(¬f, ¬g, ¬h) = ¬maj(f, g, h)`), which normalises every call to
     /// at most one complemented operand before the cache is probed.
     pub fn maj(&self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.maj_in::<true>(shard, f, g, h),
+            KernelMode::Shared => self.maj_in::<false>(shard, f, g, h),
+        }
+    }
+
+    fn maj_in<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+    ) -> NodeId {
         // A duplicated operand wins the vote; an operand voting against its
         // own complement leaves the third the deciding vote.
         if f == g || f == h {
@@ -1314,23 +1632,23 @@ impl Manager {
         // A constant vote reduces to OR (true) or AND (false).
         if f.is_terminal() {
             return if f.is_true() {
-                self.or(g, h)
+                self.or_in::<SERIAL>(shard, g, h)
             } else {
-                self.and(g, h)
+                self.and_in::<SERIAL>(shard, g, h)
             };
         }
         if g.is_terminal() {
             return if g.is_true() {
-                self.or(f, h)
+                self.or_in::<SERIAL>(shard, f, h)
             } else {
-                self.and(f, h)
+                self.and_in::<SERIAL>(shard, f, h)
             };
         }
         if h.is_terminal() {
             return if h.is_true() {
-                self.or(f, g)
+                self.or_in::<SERIAL>(shard, f, g)
             } else {
-                self.and(f, g)
+                self.and_in::<SERIAL>(shard, f, g)
             };
         }
         // Self-duality: flip all three when two or more are complemented,
@@ -1352,20 +1670,20 @@ impl Manager {
         let key_ab = ((a.0 as u64) << 32) | b.0 as u64;
         let key_c = c.0 as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[MAJ].probe3(epoch, key_ab, key_c) {
-            self.cache_hit(MAJ);
+        if let Some(result) = self.cache_probe3::<SERIAL>(MAJ, epoch, key_ab, key_c) {
+            crate::shard::bump(&shard.caches[MAJ].hits);
             return result.xor_mask(out_c);
         }
-        self.cache_miss(MAJ);
+        crate::shard::bump(&shard.caches[MAJ].misses);
         let (la, lb, lc) = (self.level(a), self.level(b), self.level(c));
         let top = la.min(lb).min(lc);
         let (a0, a1) = self.split_at(a, la, top);
         let (b0, b1) = self.split_at(b, lb, top);
         let (c0, c1) = self.split_at(c, lc, top);
-        let low = self.maj(a0, b0, c0);
-        let high = self.maj(a1, b1, c1);
-        let result = self.mk_level(top, low, high);
-        self.cache_store3(MAJ, epoch, key_ab, key_c, result);
+        let low = self.maj_in::<SERIAL>(shard, a0, b0, c0);
+        let high = self.maj_in::<SERIAL>(shard, a1, b1, c1);
+        let result = self.mk_level_in::<SERIAL>(shard, top, low, high);
+        self.cache_store3::<SERIAL>(shard, MAJ, epoch, key_ab, key_c, result);
         result.xor_mask(out_c)
     }
 
@@ -1375,10 +1693,20 @@ impl Manager {
     /// complementation, so the cache is keyed on the regular edge.
     pub fn flip_var(&self, f: NodeId, var: usize) -> NodeId {
         let vlevel = self.var_to_level[var];
-        self.flip_var_rec(f, var as u32, vlevel)
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.flip_var_rec::<true>(shard, f, var as u32, vlevel),
+            KernelMode::Shared => self.flip_var_rec::<false>(shard, f, var as u32, vlevel),
+        }
     }
 
-    fn flip_var_rec(&self, f: NodeId, var: u32, vlevel: u32) -> NodeId {
+    fn flip_var_rec<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        f: NodeId,
+        var: u32,
+        vlevel: u32,
+    ) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
         if fr.is_terminal() || self.level(fr) > vlevel {
@@ -1386,21 +1714,21 @@ impl Manager {
         }
         if self.var_of(fr) == var {
             let (low, high) = (self.raw_low(fr), self.raw_high(fr));
-            return self.mk(var, high, low).xor_mask(out_c);
+            return self.mk_in::<SERIAL>(shard, var, high, low).xor_mask(out_c);
         }
         let key = ((fr.0 as u64) << 32) | var as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[FLIP].probe2(epoch, key) {
-            self.cache_hit(FLIP);
+        if let Some(result) = self.cache_probe2::<SERIAL>(FLIP, epoch, key) {
+            crate::shard::bump(&shard.caches[FLIP].hits);
             return result.xor_mask(out_c);
         }
-        self.cache_miss(FLIP);
+        crate::shard::bump(&shard.caches[FLIP].misses);
         let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
-        let low = self.flip_var_rec(f0, var, vlevel);
-        let high = self.flip_var_rec(f1, var, vlevel);
-        let result = self.mk(top_var, low, high);
-        self.cache_store2(FLIP, epoch, key, result);
+        let low = self.flip_var_rec::<SERIAL>(shard, f0, var, vlevel);
+        let high = self.flip_var_rec::<SERIAL>(shard, f1, var, vlevel);
+        let result = self.mk_in::<SERIAL>(shard, top_var, low, high);
+        self.cache_store2::<SERIAL>(shard, FLIP, epoch, key, result);
         result.xor_mask(out_c)
     }
 
@@ -1410,10 +1738,21 @@ impl Manager {
     /// (`mux(v, ¬g, ¬h) = ¬mux(v, g, h)`).
     pub fn mux_var(&self, var: usize, g: NodeId, h: NodeId) -> NodeId {
         let vlevel = self.var_to_level[var];
-        self.mux_var_rec(var as u32, vlevel, g, h)
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.mux_var_rec::<true>(shard, var as u32, vlevel, g, h),
+            KernelMode::Shared => self.mux_var_rec::<false>(shard, var as u32, vlevel, g, h),
+        }
     }
 
-    fn mux_var_rec(&self, var: u32, vlevel: u32, g: NodeId, h: NodeId) -> NodeId {
+    fn mux_var_rec<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        var: u32,
+        vlevel: u32,
+        g: NodeId,
+        h: NodeId,
+    ) -> NodeId {
         if g == h {
             return g;
         }
@@ -1422,16 +1761,16 @@ impl Manager {
         let top = self.level(g).min(self.level(h));
         if top > vlevel {
             // Neither operand depends on variables at or above `var`'s level.
-            return self.mk(var, h, g).xor_mask(out_c);
+            return self.mk_in::<SERIAL>(shard, var, h, g).xor_mask(out_c);
         }
         let key_gh = ((g.0 as u64) << 32) | h.0 as u64;
         let key_var = var as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[MUX].probe3(epoch, key_gh, key_var) {
-            self.cache_hit(MUX);
+        if let Some(result) = self.cache_probe3::<SERIAL>(MUX, epoch, key_gh, key_var) {
+            crate::shard::bump(&shard.caches[MUX].hits);
             return result.xor_mask(out_c);
         }
-        self.cache_miss(MUX);
+        crate::shard::bump(&shard.caches[MUX].misses);
         let result = if top == vlevel {
             // At the multiplexer level: low output comes from h, high from g.
             let low = if self.level(h) == vlevel {
@@ -1444,15 +1783,15 @@ impl Manager {
             } else {
                 g
             };
-            self.mk(var, low, high)
+            self.mk_in::<SERIAL>(shard, var, low, high)
         } else {
             let (g0, g1) = self.split(g, top);
             let (h0, h1) = self.split(h, top);
-            let low = self.mux_var_rec(var, vlevel, g0, h0);
-            let high = self.mux_var_rec(var, vlevel, g1, h1);
-            self.mk_level(top, low, high)
+            let low = self.mux_var_rec::<SERIAL>(shard, var, vlevel, g0, h0);
+            let high = self.mux_var_rec::<SERIAL>(shard, var, vlevel, g1, h1);
+            self.mk_level_in::<SERIAL>(shard, top, low, high)
         };
-        self.cache_store3(MUX, epoch, key_gh, key_var, result);
+        self.cache_store3::<SERIAL>(shard, MUX, epoch, key_gh, key_var, result);
         result.xor_mask(out_c)
     }
 
@@ -1502,10 +1841,21 @@ impl Manager {
     /// complementation, so the cache is keyed on the regular edge.
     pub fn cofactor(&self, f: NodeId, var: usize, value: bool) -> NodeId {
         let vlevel = self.var_to_level[var];
-        self.cofactor_rec(f, var as u32, vlevel, value)
+        let shard = self.shards.local();
+        match self.mode {
+            KernelMode::Serial => self.cofactor_rec::<true>(shard, f, var as u32, vlevel, value),
+            KernelMode::Shared => self.cofactor_rec::<false>(shard, f, var as u32, vlevel, value),
+        }
     }
 
-    fn cofactor_rec(&self, f: NodeId, var: u32, vlevel: u32, value: bool) -> NodeId {
+    fn cofactor_rec<const SERIAL: bool>(
+        &self,
+        shard: &StatShard,
+        f: NodeId,
+        var: u32,
+        vlevel: u32,
+        value: bool,
+    ) -> NodeId {
         let out_c = f.cmask();
         let fr = f.xor_mask(out_c);
         if fr.is_terminal() || self.level(fr) > vlevel {
@@ -1518,17 +1868,17 @@ impl Manager {
         let var_value = var | (value as u32) << 31;
         let key = ((fr.0 as u64) << 32) | var_value as u64;
         let epoch = self.epoch();
-        if let Some(result) = self.caches[COFACTOR].probe2(epoch, key) {
-            self.cache_hit(COFACTOR);
+        if let Some(result) = self.cache_probe2::<SERIAL>(COFACTOR, epoch, key) {
+            crate::shard::bump(&shard.caches[COFACTOR].hits);
             return result.xor_mask(out_c);
         }
-        self.cache_miss(COFACTOR);
+        crate::shard::bump(&shard.caches[COFACTOR].misses);
         let top_var = self.var_of(fr);
         let (f0, f1) = (self.raw_low(fr), self.raw_high(fr));
-        let low = self.cofactor_rec(f0, var, vlevel, value);
-        let high = self.cofactor_rec(f1, var, vlevel, value);
-        let result = self.mk(top_var, low, high);
-        self.cache_store2(COFACTOR, epoch, key, result);
+        let low = self.cofactor_rec::<SERIAL>(shard, f0, var, vlevel, value);
+        let high = self.cofactor_rec::<SERIAL>(shard, f1, var, vlevel, value);
+        let result = self.mk_in::<SERIAL>(shard, top_var, low, high);
+        self.cache_store2::<SERIAL>(shard, COFACTOR, epoch, key, result);
         result.xor_mask(out_c)
     }
 

@@ -60,15 +60,77 @@
 //!
 //! One swap costs O(interacting nodes at the upper level) hash-cons
 //! operations — no traversal of the rest of the diagram, no parent
-//! rewriting.  A full sift of `n` variables performs O(n²) swaps on a
-//! diagram of size `m`, i.e. O(n·m) node touches in the worst case per
-//! direction, bounded in practice by the growth limit's early aborts.  The
-//! op caches are invalidated once per reordering run (epoch bump), not per
-//! swap: cached results keyed on surviving ids stay semantically correct
-//! because ids keep their functions, but freed ids may be recycled, so the
-//! whole epoch is retired at the end of the run.
+//! rewriting.  The interaction count is **complement-aware**: the
+//! predicate resolves the high edge through [`crate::NodeId::regular`]
+//! before reading the child's variable, so a complemented edge into a
+//! lower-level node is one interaction, not two, and stored low edges are
+//! never complemented at all (canonical form) — an edge-level estimate
+//! that treated complement bits as distinct children would overcount the
+//! relink batch and mis-gate the parallel path below.  A full sift of `n`
+//! variables performs O(n²) swaps on a diagram of size `m`, i.e. O(n·m)
+//! node touches in the worst case per direction, bounded in practice by
+//! the growth limit's early aborts.  The op caches are invalidated once
+//! per reordering run (epoch bump), not per swap: cached results keyed on
+//! surviving ids stay semantically correct because ids keep their
+//! functions, but freed ids may be recycled, so the whole epoch is retired
+//! at the end of the run.
+//!
+//! ## Parallel sifting
+//!
+//! A sift is a *sequential* chain of swaps — each swap's size feedback
+//! decides the next — so whole swaps cannot run concurrently without
+//! changing the decisions sifting makes.  The parallelism is therefore
+//! **inside** one swap, which splits into two phases:
+//!
+//! 1. *Collect + cons* (parallel): for each interacting `x`-node, read
+//!    out its four grandchild cofactors (pure reads) and hash-cons the
+//!    two new inner `x`-nodes.  The `x`-subtable's id list is split into
+//!    contiguous chunks — one pool task each, so the scheduling cost is
+//!    per chunk, not per ~100 ns cons — and fanned over the
+//!    [`crate::pool::WorkerPool`] when the manager's `reorder_threads` is
+//!    above 1 and the subtable is big enough to amortise the dispatch
+//!    ([`PARALLEL_SWAP_MIN`]).  Consing always uses the **shared** `mk`
+//!    flavour (CAS publication), whatever the session's kernel mode,
+//!    because the worker threads genuinely race.  No node is removed in
+//!    this phase, so the probes are well-defined: the new keys (all
+//!    grandchildren sit strictly below level `y`) can never collide with
+//!    the interacting nodes' old keys (each contains a level-`y` child),
+//!    hence deferring the removals cannot change any cons result.
+//!
+//!    At ~100 ns per cons, *any* per-cons RMW on a line every worker
+//!    shares serialises the whole fan-out, so the batch strips all of
+//!    them: free-list ids are pre-popped in one lock acquisition and
+//!    handed to the chunks as private slices; the target subtable is
+//!    [`grow_for`](crate::shard::SubTable::grow_for)-reserved for the
+//!    batch's worst case (two conses per interacting node) so each chunk
+//!    can hold a single read-guard
+//!    [`probe_session`](crate::shard::SubTable::probe_session) instead of
+//!    re-acquiring the `RwLock` per cons — with headroom guaranteed, no
+//!    grow (which needs the write lock) can be required mid-session; and
+//!    the subtable/global length updates are deferred, summed from each
+//!    chunk's `created` count and applied once per batch.
+//! 2. *Relink* (serial): in id order, remove each old key, install the
+//!    relabelled node, maintain the reference counts and reclaim dead
+//!    `y`-nodes — exactly the sequence the serial path performs.
+//!
+//! Because hash consing is canonical, the cons results are independent of
+//! scheduling, and the relink phase runs in deterministic collection
+//! order, a parallel swap leaves the *same* table as a serial one (same
+//! live nodes, same keys, same per-level sizes — only the arena ids of
+//! freshly created nodes may differ).  Sifting decisions depend only on
+//! the live size, so parallel and serial sifting walk the same swap
+//! sequence and reach the same final order and node count; the
+//! equivalence suite asserts this at 1/2/4/8 threads.
 
 use crate::manager::{pack_children, Manager, Node};
+use crate::NodeId;
+
+/// Smallest upper-level subtable worth fanning over the worker pool.  The
+/// dispatch overhead (waking parked workers plus the serial relink phase
+/// that follows) is tens of microseconds, so small swaps — the vast
+/// majority during a sift — stay serial and only the big batches, where
+/// the collect/cons work dominates, pay for the fan-out.
+const PARALLEL_SWAP_MIN: usize = 1024;
 
 /// Summary of one [`Manager::reorder`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,6 +145,10 @@ pub struct ReorderStats {
     pub passes: u32,
     /// Wall-clock duration of the run, in microseconds.
     pub micros: u64,
+    /// Swaps whose cons batch was fanned over the worker pool (a subset of
+    /// [`ReorderStats::swaps`]; zero unless
+    /// [`Manager::set_reorder_threads`] raised the thread count).
+    pub parallel_batches: u64,
 }
 
 impl Manager {
@@ -117,43 +183,150 @@ impl Manager {
     fn swap_levels(&mut self, level: usize, refs: &mut Vec<u32>) -> usize {
         let x = self.level_to_var[level];
         let y = self.level_to_var[level + 1];
-        // Collect the interacting x-nodes first: the subtable is mutated
-        // (removals, fresh inserts, growth) while they are processed.
-        let interacting: Vec<u32> = self.subtables[x as usize]
-            .ids()
-            .into_iter()
-            .filter(|&id| {
-                let node = self.node_raw(id);
-                self.node_raw(node.low.index() as u32).var == y
-                    || self.node_raw(node.high.regular().index() as u32).var == y
-            })
-            .collect();
-        for &id in &interacting {
-            let node = self.node_raw(id);
+        // Phases 1 + 2 — collect and cons.  For each interacting x-node:
+        // read out its four (x, y)-grandchild cofactors (the high edge's
+        // complement bit is pushed into its children, the low edge is
+        // regular already — pure reads) and hash-cons the two new inner
+        // x-nodes.  Every old key contains a level-y child while the new
+        // keys are built from strictly-lower grandchildren, so consing
+        // before the phase-3 removals yields the same nodes the
+        // interleaved order would.  Both steps are per-node independent,
+        // so a big enough batch fans over the pool in contiguous chunks —
+        // one task per chunk, because a single cons is ~100 ns and
+        // per-item claiming would spend more on the atomic task counter
+        // than on the work.  The pool path must use the shared mk flavour
+        // because its workers genuinely race.
+        let collect = |mgr: &Manager, id: u32| -> Option<(u32, NodeId, NodeId, [NodeId; 4])> {
+            let node = mgr.node_raw(id);
             let low = node.low;
             let high = node.high;
-            let hreg = high.regular();
-            // Cofactors of f by (x, y); the high edge's complement bit is
-            // pushed into its children, the low edge is regular already.
-            let low_node = self.node_raw(low.index() as u32);
+            let low_node = mgr.node_raw(low.index() as u32);
+            let hreg_node = mgr.node_raw(high.regular().index() as u32);
+            if low_node.var != y && hreg_node.var != y {
+                return None;
+            }
             let (f00, f01) = if low_node.var == y {
                 (low_node.low, low_node.high)
             } else {
                 (low, low)
             };
-            let hreg_node = self.node_raw(hreg.index() as u32);
             let (f10, f11) = if hreg_node.var == y {
                 let c = high.cmask();
                 (hreg_node.low.xor_mask(c), hreg_node.high.xor_mask(c))
             } else {
                 (high, high)
             };
-            // The node's key changes: take it out of x's subtable before
-            // hash-consing the new children there.
+            Some((id, low, high, [f00, f01, f10, f11]))
+        };
+        let ids = self.subtables[x as usize].ids();
+        type Rewire = (u32, NodeId, NodeId, [(NodeId, bool); 2]);
+        let rewired: Vec<Rewire> = if self.reorder_threads > 1 && ids.len() >= PARALLEL_SWAP_MIN {
+            self.serial.reorder_parallel_batches += 1;
+            let pool = crate::pool::global(self.reorder_threads);
+            // Flattening chunk results in chunk order keeps `rewired`
+            // in the same id order the serial path produces.
+            let chunk = ids.len().div_ceil(self.reorder_threads * 4);
+            let chunks = ids.len().div_ceil(chunk);
+            // Pre-pop free ids in one lock acquisition and hand each
+            // chunk an equal slice: the racing cons calls then allocate
+            // from their private slice (arena bump once exhausted)
+            // instead of serialising on the free-list mutex.
+            let prefetched = self.free.pop_many(2 * ids.len());
+            let per_chunk = prefetched.len() / chunks;
+            // Reserve the batch's worst case (two conses per x-node) up
+            // front so each chunk can hold one subtable read guard for
+            // its whole run — `mk_session` then touches no shared cache
+            // line except the slot words themselves.
+            let subtable = &self.subtables[x as usize];
+            subtable.grow_for(&self.arena, 2 * ids.len());
+            let mgr: &Manager = &*self;
+            let results: Vec<(Vec<Rewire>, usize, usize)> = pool.map(chunks, |c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(ids.len());
+                let local_ids = &prefetched[c * per_chunk..(c + 1) * per_chunk];
+                let cursor = std::cell::Cell::new(0usize);
+                let alloc = || {
+                    let i = cursor.get();
+                    if i < local_ids.len() {
+                        cursor.set(i + 1);
+                        local_ids[i]
+                    } else {
+                        mgr.arena.bump()
+                    }
+                };
+                subtable.probe_session(|prober| {
+                    let created = std::cell::Cell::new(0usize);
+                    let mk = |low: NodeId, high: NodeId| {
+                        let out = mgr.mk_session(prober, x, low, high, alloc);
+                        created.set(created.get() + out.1 as usize);
+                        out
+                    };
+                    let out = ids[lo..hi]
+                        .iter()
+                        .filter_map(|&id| {
+                            let (id, low, high, [f00, f01, f10, f11]) = collect(mgr, id)?;
+                            Some((id, low, high, [mk(f00, f10), mk(f01, f11)]))
+                        })
+                        .collect::<Vec<_>>();
+                    (out, cursor.get(), created.get())
+                })
+            });
+            // Return the unused pre-popped ids (plus the share the
+            // integer division left unassigned) and apply the deferred
+            // length updates — `mk_session` skips all of them to keep
+            // the hot racing path free of shared-line RMWs.
+            let mut rewired = Vec::with_capacity(ids.len());
+            let mut total_created = 0usize;
+            for (c, (out, used, created)) in results.into_iter().enumerate() {
+                rewired.extend(out);
+                total_created += created;
+                let local_ids = &prefetched[c * per_chunk..(c + 1) * per_chunk];
+                self.free.push_many(&local_ids[used..]);
+            }
+            self.free.push_many(&prefetched[chunks * per_chunk..]);
+            subtable.len_add(total_created);
+            self.table_len
+                .fetch_add(total_created, core::sync::atomic::Ordering::Relaxed);
+            rewired
+        } else {
+            ids.iter()
+                .filter_map(|&id| {
+                    let (id, low, high, [f00, f01, f10, f11]) = collect(self, id)?;
+                    Some((
+                        id,
+                        low,
+                        high,
+                        [self.mk_core(x, f00, f10), self.mk_core(x, f01, f11)],
+                    ))
+                })
+                .collect()
+        };
+        // Phase 3 — relink, serially.  First initialise every freshly
+        // created node's reference count and charge its children: pool
+        // scheduling decides which task observes `created`, so a creation
+        // may land at a later batch index than a reuse of the same node,
+        // and the `= 0` init must never clobber a parent charge.  (The
+        // inits cannot perturb the per-node death checks below: a created
+        // x-node's children sit strictly below level y, and only y-nodes
+        // can die here.)
+        if refs.len() < self.arena.len() {
+            refs.resize(self.arena.len(), 0);
+        }
+        for &(_, _, _, pair) in &rewired {
+            for (edge, created) in pair {
+                if created {
+                    let node = self.node_raw(edge.index() as u32);
+                    refs[edge.index()] = 0;
+                    refs[node.low.index()] += 1;
+                    refs[node.high.index()] += 1;
+                }
+            }
+        }
+        for &(id, low, high, [(a, _), (b, _)]) in &rewired {
+            // The node's key changes: take the old key out of x's subtable
+            // and install the relabelled node under y.
             self.subtables[x as usize].remove_exclusive(&self.arena, pack_children(low, high));
             self.table_len_add(-1);
-            let a = self.mk_counted(x, f00, f10, refs);
-            let b = self.mk_counted(x, f01, f11, refs);
             refs[a.index()] += 1;
             refs[b.index()] += 1;
             debug_assert!(!a.is_complemented(), "new low child must be regular");
@@ -171,7 +344,7 @@ impl Manager {
             // The old children each lose one parent; a y-node dropping to
             // zero references dies on the spot.  (Nothing below y can die:
             // every grandchild is re-referenced through `a`/`b`.)
-            for child in [low, hreg] {
+            for child in [low, high.regular()] {
                 let ci = child.index();
                 refs[ci] -= 1;
                 if refs[ci] == 0 && self.node_raw(ci as u32).var == y {
@@ -194,30 +367,7 @@ impl Manager {
         // sift-back shrinks it again; sample the high-water mark per swap
         // so `peak_nodes` sees the excursion.
         self.note_peak();
-        interacting.len()
-    }
-
-    /// [`Manager::mk_core`] plus reference-count maintenance: a freshly
-    /// allocated node starts at zero references (the caller adds the parent
-    /// edge) and charges one reference to each of its children.
-    fn mk_counted(
-        &mut self,
-        var: u32,
-        low: crate::NodeId,
-        high: crate::NodeId,
-        refs: &mut Vec<u32>,
-    ) -> crate::NodeId {
-        let (edge, created) = self.mk_core(var, low, high);
-        if created {
-            if refs.len() < self.arena.len() {
-                refs.resize(self.arena.len(), 0);
-            }
-            let node = self.node_raw(edge.index() as u32);
-            refs[edge.index()] = 0;
-            refs[node.low.index()] += 1;
-            refs[node.high.index()] += 1;
-        }
-        edge
+        rewired.len()
     }
 
     /// Swaps the variables at `level` and `level + 1` as a standalone
@@ -335,6 +485,7 @@ impl Manager {
             self.collect_garbage_registered();
         }
         let swaps_before = self.serial.reorder_swaps;
+        let batches_before = self.serial.reorder_parallel_batches;
         let size_before = self.live_table_len();
         let mut refs = self.build_refs();
         let mut passes = 0u32;
@@ -356,6 +507,7 @@ impl Manager {
             size_after: self.live_table_len(),
             passes,
             micros: started.elapsed().as_micros() as u64,
+            parallel_batches: self.serial.reorder_parallel_batches - batches_before,
         };
         self.serial.reorders += 1;
         self.serial.reorder_last_before = size_before;
@@ -502,6 +654,107 @@ mod tests {
         assert!(
             !mgr.maybe_reorder(),
             "threshold re-armed at twice the post-reorder size"
+        );
+    }
+
+    #[test]
+    fn parallel_sifting_matches_serial_sifting_exactly() {
+        // Interleaved pairs peak at a ~2^(n/2 - 1)-node level, so n = 24
+        // keeps the widest swap batches above PARALLEL_SWAP_MIN.
+        let n = 24;
+        let build = || {
+            let mut mgr = Manager::new(n);
+            let f = paired_or(&mut mgr, n);
+            let slot = mgr.register_root(f);
+            mgr.collect_garbage_registered();
+            (mgr, f, slot)
+        };
+        let (mut serial, _f, _slot) = build();
+        let serial_stats = serial.reorder();
+        serial.check_integrity().expect("integrity (serial sift)");
+        let (mut parallel, f, slot) = build();
+        parallel.set_reorder_threads(4);
+        let parallel_stats = parallel.reorder();
+        parallel
+            .check_integrity()
+            .expect("integrity (parallel sift)");
+        // Same swap sequence, same final size, same final order.
+        assert_eq!(parallel_stats.swaps, serial_stats.swaps);
+        assert_eq!(parallel_stats.size_before, serial_stats.size_before);
+        assert_eq!(parallel_stats.size_after, serial_stats.size_after);
+        assert_eq!(parallel_stats.passes, serial_stats.passes);
+        let serial_order: Vec<usize> = (0..n).map(|l| serial.var_at_level(l)).collect();
+        let parallel_order: Vec<usize> = (0..n).map(|l| parallel.var_at_level(l)).collect();
+        assert_eq!(parallel_order, serial_order);
+        // The interleaved-pairs diagram is big enough that at least one
+        // swap's batch actually took the pool path.
+        assert_eq!(serial_stats.parallel_batches, 0);
+        assert!(
+            parallel_stats.parallel_batches > 0,
+            "expected at least one pooled cons batch"
+        );
+        assert_eq!(
+            parallel.stats().reorder_parallel_batches,
+            parallel_stats.parallel_batches
+        );
+        // Functions survive the parallel run.
+        assert_eq!(parallel.root(slot), f);
+        for i in 0..n / 2 {
+            let mut assignment = vec![false; n];
+            assignment[i] = true;
+            assignment[i + n / 2] = true;
+            assert!(parallel.eval(f, &assignment));
+            assignment[i + n / 2] = false;
+            assert!(!parallel.eval(f, &assignment));
+        }
+    }
+
+    /// Encodes the parallel-sifting acceptance bar: on a diagram big
+    /// enough that the swap batches clear [`PARALLEL_SWAP_MIN`], fanning
+    /// the cons phase over 4 workers must reduce the reorder wall time
+    /// versus the fully serial sift of the identical diagram.  Gated
+    /// behind `SLIQ_PERF_TEST=1` (wall-clock comparisons need a release
+    /// build and a quiet machine), and skipped on hosts without real
+    /// parallelism — four pool threads timesharing one core can only
+    /// ever tie serial, and asserting otherwise would test the VM's
+    /// scheduler, not the kernel.
+    #[test]
+    fn perf_parallel_sifting_reduces_reorder_wall_time() {
+        if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+            return;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if cores < 4 {
+            eprintln!("skipping: {cores} core(s) available, the speedup bar needs >= 4");
+            return;
+        }
+        let n = 28;
+        let median_reorder_seconds = |threads: usize| {
+            let mut times = Vec::new();
+            for _ in 0..3 {
+                let mut mgr = Manager::new(n);
+                let f = paired_or(&mut mgr, n);
+                let _slot = mgr.register_root(f);
+                mgr.collect_garbage_registered();
+                mgr.set_reorder_threads(threads);
+                let start = std::time::Instant::now();
+                mgr.reorder();
+                times.push(start.elapsed().as_secs_f64());
+            }
+            times.sort_by(f64::total_cmp);
+            times[1]
+        };
+        let serial = median_reorder_seconds(1);
+        let parallel = median_reorder_seconds(4);
+        eprintln!(
+            "reorder wall-time on paired_or({n}): serial {serial:.4}s, \
+             4 threads {parallel:.4}s ({:.2}x speedup)",
+            serial / parallel
+        );
+        assert!(
+            parallel < serial,
+            "pooled sifting must beat serial sifting on a large diagram: \
+             serial {serial:.4}s vs parallel {parallel:.4}s"
         );
     }
 

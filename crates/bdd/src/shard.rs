@@ -80,6 +80,47 @@
 //! Statistics counters are sharded 16 ways and indexed by a thread-local
 //! slot, so hot-path increments do not bounce one cache line between
 //! cores; [`crate::ManagerStats`] snapshots are the shard sums.
+//!
+//! ## The phase-typed serial flavour
+//!
+//! A manager whose session runs on one thread never has a concurrent
+//! reader or writer, yet the structures above still charge it the full
+//! synchronization toll: a seqlock claim/release CAS per cache store, a
+//! speculate-then-publish CAS per node creation, and an atomic
+//! read-modify-write per arena bump.  The kernel therefore compiles every
+//! apply recursion in **two flavours** (a `const SERIAL: bool` parameter in
+//! [`crate::Manager`]), and this module provides the serial counterparts:
+//!
+//! * [`DirectCache::probe2_serial`]/[`DirectCache::store2_serial`] (and the
+//!   stride-3 twins) read and write the key/value words directly and leave
+//!   the per-entry sequence word **untouched**.  This is sound in both
+//!   directions: a quiescent shared-phase entry always has an even, stable
+//!   sequence word (a claim either fails without changing it or releases
+//!   back to even before the phase can end), so a serial probe that ignores
+//!   it reads exactly what a shared probe would; and a serial store that
+//!   skips the claim leaves the even word in place, so later shared-phase
+//!   probes validate the entry normally.
+//! * [`SubTable::find_or_insert_serial`] replaces speculate-then-publish
+//!   with a single probe walk that remembers the first empty slot and
+//!   plain-stores the new id into it — no CAS, no rollback, and the
+//!   allocator runs only after the miss is certain.
+//! * [`NodeArena::bump_serial`] and the `*_serial` counter updates replace
+//!   `fetch_add` with load/store pairs.
+//!
+//! All of these remain *atomic* operations on the same atomics (this crate
+//! stays free of `unsafe`); what the serial flavour drops is the
+//! *coordination* — CAS loops, seqlock claims, read-modify-write cycles.
+//! The contract is single-threaded access: the serial flavour is selected
+//! only by [`crate::Manager::set_kernel_mode`], which takes `&mut self`, so
+//! switching flavours is itself an exclusive-phase action, and the
+//! happens-before edge that hands the manager to another thread (spawn,
+//! join, channel, mutex — any way a `&mut` or ownership transfer can move
+//! between threads) makes every relaxed serial store visible before shared
+//! operation can resume.  Violating the contract — running the serial
+//! flavour from two threads at once — cannot corrupt memory (everything is
+//! still an atomic access), but it can lose an insert and break canonicity,
+//! which is why [`crate::KernelMode::Shared`] is the default and the serial
+//! flavour is opt-in per session.
 
 use crate::hash::mix64;
 use crate::manager::{pack_children, NodeId};
@@ -184,6 +225,17 @@ impl NodeArena {
     pub(crate) fn bump(&self) -> u32 {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         assert!(id & (1 << 31) == 0, "node arena overflow (2^31 nodes)");
+        self.ensure_chunk(id);
+        id
+    }
+
+    /// Serial-flavour bump: a load/store pair instead of `fetch_add`.
+    /// Sound only under the single-thread contract of the serial kernel
+    /// flavour (see the module docs).
+    pub(crate) fn bump_serial(&self) -> u32 {
+        let id = self.next.load(Ordering::Relaxed);
+        assert!(id & (1 << 31) == 0, "node arena overflow (2^31 nodes)");
+        self.next.store(id + 1, Ordering::Relaxed);
         self.ensure_chunk(id);
         id
     }
@@ -430,11 +482,102 @@ impl SubTable {
         }
     }
 
+    /// The serial-flavour hash-consing step: one probe walk that remembers
+    /// the first empty slot and plain-stores the new id into it on a miss —
+    /// no speculation, no CAS, no rollback (the allocator runs only once
+    /// the miss is certain, so a node is never allocated for an existing
+    /// key).  Returns `(id, created)`, or `None` when the walk wrapped the
+    /// full slot array without finding the key or an empty slot (the caller
+    /// grows and retries, exactly like the shared path).  Sound only under
+    /// the single-thread contract of the serial kernel flavour (see the
+    /// module docs).
+    pub(crate) fn find_or_insert_serial(
+        &self,
+        arena: &NodeArena,
+        children: u64,
+        alloc: impl FnOnce() -> u32,
+    ) -> Option<(u32, bool)> {
+        let slots = self.slots.read().expect("subtable lock");
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        let mut probed = 0usize;
+        loop {
+            let word = slots[idx].load(Ordering::Relaxed);
+            if slot_id(word) == EMPTY_SLOT {
+                let id = alloc();
+                slots[idx].store(slot_word(tag, id), Ordering::Relaxed);
+                let len = self.len.load(Ordering::Relaxed);
+                self.len.store(len + 1, Ordering::Relaxed);
+                return Some((id, true));
+            }
+            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+                return Some((slot_id(word), false));
+            }
+            idx = (idx + 1) & mask;
+            probed += 1;
+            if probed > mask {
+                return None;
+            }
+        }
+    }
+
     /// Whether the subtable is past its 3/4 load factor (growth is the
     /// caller's job, *after* releasing any probe in flight).
     pub(crate) fn overloaded(&self) -> bool {
         let capacity = self.slots.read().expect("subtable lock").len();
         (self.len() + 1) * 4 > capacity * 3
+    }
+
+    /// Pre-grows the slot array until `additional` further inserts cannot
+    /// push the table past its load factor.  The parallel reorder batch
+    /// reserves its worst case up front so the probe sessions
+    /// ([`SubTable::probe_session`]) never need a growth path.
+    pub(crate) fn grow_for(&self, arena: &NodeArena, additional: usize) {
+        let needed = (self.len() + additional + 1) * 4;
+        let mut slots = self.slots.write().expect("subtable lock");
+        let mut capacity = slots.len();
+        if needed <= capacity * 3 {
+            return;
+        }
+        while needed > capacity * 3 {
+            capacity *= 2;
+        }
+        let bigger = empty_slots(capacity);
+        let mask = capacity - 1;
+        for slot in slots.iter() {
+            let word = slot.load(Ordering::Relaxed);
+            if slot_id(word) == EMPTY_SLOT {
+                continue;
+            }
+            let hash = mix64(arena.children_of(slot_id(word)));
+            let mut idx = hash as usize & mask;
+            while slot_id(bigger[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            bigger[idx].store(word, Ordering::Relaxed);
+        }
+        *slots = bigger;
+    }
+
+    /// Runs `f` with a probe handle that re-uses a **single** read-guard
+    /// acquisition for every cons under it.  The per-call `RwLock` read in
+    /// [`SubTable::find_or_publish`] is two RMWs on one cache line — cheap
+    /// uncontended, but the line ping-pongs when the parallel reorder
+    /// batch conses thousands of nodes into the *same* subtable from every
+    /// worker.  The caller must have [`SubTable::grow_for`]-reserved
+    /// enough headroom first: the handle has no growth path (growing
+    /// needs the write lock the session is read-holding).
+    pub(crate) fn probe_session<R>(&self, f: impl FnOnce(&SubTableProber) -> R) -> R {
+        let slots = self.slots.read().expect("subtable lock");
+        f(&SubTableProber { slots: &slots })
+    }
+
+    /// Applies a batch of deferred length updates (see
+    /// [`SubTableProber::find_or_publish`]).
+    pub(crate) fn len_add(&self, n: usize) {
+        self.len.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Doubles the slot array, rehashing every live entry.  Takes the write
@@ -574,6 +717,76 @@ impl Clone for SubTable {
     }
 }
 
+/// A probe handle over one subtable's slot array that amortises the read
+/// guard across a whole batch of cons calls (see
+/// [`SubTable::probe_session`]).  Safe only after a matching
+/// [`SubTable::grow_for`] reservation: with headroom guaranteed, a probe
+/// walk can never wrap, so the handle needs no growth (or [`Consed`]
+/// retry) path.
+pub(crate) struct SubTableProber<'a> {
+    slots: &'a [AtomicU64],
+}
+
+impl SubTableProber<'_> {
+    /// The shared-flavour hash-consing step without the per-call guard
+    /// acquisition or length update: finds `children` or CAS-publishes the
+    /// node `alloc()` allocates for it.  Returns `(id, created,
+    /// rollback)`; a `Some(rollback)` id lost a publication race and must
+    /// be returned to the free list.  The caller batches the subtable
+    /// length update ([`SubTable::len_add`]) from its `created` count.
+    pub(crate) fn find_or_publish(
+        &self,
+        arena: &NodeArena,
+        children: u64,
+        alloc: impl FnOnce() -> u32,
+        stats: &StatShard,
+    ) -> (u32, bool, Option<u32>) {
+        let slots = self.slots;
+        let mask = slots.len() - 1;
+        let hash = mix64(children);
+        let tag = (hash >> 32) as u32;
+        let mut idx = hash as usize & mask;
+        let mut probed = 0usize;
+        let mut speculative: Option<u32> = None;
+        let mut alloc = Some(alloc);
+        loop {
+            let word = slots[idx].load(Ordering::Acquire);
+            if slot_id(word) == EMPTY_SLOT {
+                let id = match speculative {
+                    Some(id) => id,
+                    None => {
+                        let id = (alloc.take().expect("alloc is called once"))();
+                        speculative = Some(id);
+                        id
+                    }
+                };
+                match slots[idx].compare_exchange(
+                    EMPTY_WORD,
+                    slot_word(tag, id),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return (id, true, None),
+                    Err(_) => {
+                        // Another thread claimed this slot; re-inspect it.
+                        bump(&stats.unique_cas_retries);
+                        continue;
+                    }
+                }
+            }
+            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+                return (slot_id(word), false, speculative);
+            }
+            idx = (idx + 1) & mask;
+            probed += 1;
+            assert!(
+                probed <= mask,
+                "probe session wrapped: the batch was not grow_for-reserved"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------- //
 // Seqlock-protected lossy operation caches
 // ---------------------------------------------------------------------- //
@@ -657,6 +870,14 @@ impl DirectCache {
     #[inline]
     fn note_miss(&self) {
         self.grow_budget.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Serial-flavour miss accounting: a load/store pair instead of
+    /// `fetch_sub` (single-thread contract, see the module docs).
+    #[inline]
+    fn note_miss_serial(&self) {
+        let budget = self.grow_budget.load(Ordering::Relaxed);
+        self.grow_budget.store(budget - 1, Ordering::Relaxed);
     }
 
     /// Whether the miss budget ran out (the exclusive phase grows then).
@@ -774,6 +995,43 @@ impl DirectCache {
         self.words[base].store(seq + 2, Ordering::Release);
     }
 
+    /// Serial-flavour stride-2 lookup: reads the key/value words directly
+    /// and ignores the per-entry sequence word (a quiescent entry is always
+    /// released, so the words are consistent — see the module docs).
+    #[inline]
+    pub(crate) fn probe2_serial(&self, epoch: u32, key: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key));
+        let found_key = self.words[base + 1].load(Ordering::Relaxed);
+        let found_meta = self.words[base + 2].load(Ordering::Relaxed);
+        if found_key == key && meta_epoch(found_meta) == epoch {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Serial-flavour stride-2 store: writes the key/value words directly,
+    /// leaving the sequence word untouched (it stays even, so later
+    /// shared-phase probes still validate normally).
+    #[inline]
+    pub(crate) fn store2_serial(
+        &self,
+        stats: &AtomicCacheStats,
+        epoch: u32,
+        key: u64,
+        result: NodeId,
+    ) {
+        let base = self.base(mix64(key));
+        self.note_miss_serial();
+        let old_key = self.words[base + 1].load(Ordering::Relaxed);
+        let old_meta = self.words[base + 2].load(Ordering::Relaxed);
+        if meta_epoch(old_meta) == epoch && old_key != key {
+            bump(&stats.evictions);
+        }
+        self.words[base + 1].store(key, Ordering::Relaxed);
+        self.words[base + 2].store(meta(epoch, result), Ordering::Relaxed);
+    }
+
     /// Looks up a stride-3 entry.
     #[inline]
     pub(crate) fn probe3(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
@@ -828,6 +1086,43 @@ impl DirectCache {
         self.words[base + 2].store(key_h, Ordering::Relaxed);
         self.words[base + 3].store(meta(epoch, result), Ordering::Relaxed);
         self.words[base].store(seq + 2, Ordering::Release);
+    }
+
+    /// Serial-flavour stride-3 lookup (see [`DirectCache::probe2_serial`]).
+    #[inline]
+    pub(crate) fn probe3_serial(&self, epoch: u32, key_fg: u64, key_h: u64) -> Option<NodeId> {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        let found_fg = self.words[base + 1].load(Ordering::Relaxed);
+        let found_h = self.words[base + 2].load(Ordering::Relaxed);
+        let found_meta = self.words[base + 3].load(Ordering::Relaxed);
+        if found_fg == key_fg && found_h == key_h && meta_epoch(found_meta) == epoch {
+            Some(meta_result(found_meta))
+        } else {
+            None
+        }
+    }
+
+    /// Serial-flavour stride-3 store (see [`DirectCache::store2_serial`]).
+    #[inline]
+    pub(crate) fn store3_serial(
+        &self,
+        stats: &AtomicCacheStats,
+        epoch: u32,
+        key_fg: u64,
+        key_h: u64,
+        result: NodeId,
+    ) {
+        let base = self.base(mix64(key_fg ^ mix64(key_h)));
+        self.note_miss_serial();
+        let old_fg = self.words[base + 1].load(Ordering::Relaxed);
+        let old_h = self.words[base + 2].load(Ordering::Relaxed);
+        let old_meta = self.words[base + 3].load(Ordering::Relaxed);
+        if meta_epoch(old_meta) == epoch && (old_fg != key_fg || old_h != key_h) {
+            bump(&stats.evictions);
+        }
+        self.words[base + 1].store(key_fg, Ordering::Relaxed);
+        self.words[base + 2].store(key_h, Ordering::Relaxed);
+        self.words[base + 3].store(meta(epoch, result), Ordering::Relaxed);
     }
 }
 
@@ -1002,6 +1297,31 @@ impl FreeList {
         let mut stack = self.stack.lock().expect("free list lock");
         stack.push(id);
         self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops up to `n` ids in one lock acquisition.  The parallel reorder
+    /// batch hands each worker chunk its own slice of pre-popped ids so
+    /// the racing cons calls never touch this mutex.
+    pub(crate) fn pop_many(&self, n: usize) -> Vec<u32> {
+        if n == 0 || self.len() == 0 {
+            return Vec::new();
+        }
+        let mut stack = self.stack.lock().expect("free list lock");
+        let take = n.min(stack.len());
+        let split_at = stack.len() - take;
+        let ids = stack.split_off(split_at);
+        self.len.fetch_sub(take, Ordering::Relaxed);
+        ids
+    }
+
+    /// Returns unused pre-popped ids in one lock acquisition.
+    pub(crate) fn push_many(&self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut stack = self.stack.lock().expect("free list lock");
+        stack.extend_from_slice(ids);
+        self.len.fetch_add(ids.len(), Ordering::Relaxed);
     }
 
     /// Replaces the whole stack (exclusive phase: GC rebuild).

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|all]
 //!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--reorder]
-//!                                                   [--threads <n>]
+//!                                                   [--threads <n>] [--json]
 //! ```
 //!
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
@@ -22,11 +22,13 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut limits = CaseLimits::default();
+    let mut json = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--json" => json = true,
             "--timeout" => {
                 if let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()) {
                     limits.timeout = Duration::from_secs(v);
@@ -95,15 +97,73 @@ fn main() {
         println!("{}", format_sample(&rows));
     }
     if wants("kernel") {
-        print_kernel_report(limits);
+        print_kernel_report(limits, json);
     }
+}
+
+/// One kernel-report case: the sweep-configuration median plus the
+/// 1-thread serial-vs-forced-shared pair that prices the synchronization
+/// tax of the shared kernel flavour.
+struct KernelRow {
+    name: &'static str,
+    /// Median seconds at the sweep configuration (`--threads` / default).
+    median_seconds: Option<f64>,
+    /// Median seconds at 1 thread on the serial fast path.
+    serial_fast_seconds: Option<f64>,
+    /// Median seconds at 1 thread with the shared kernel forced on.
+    forced_shared_seconds: Option<f64>,
+    /// Kernel counters from the sweep-configuration run.
+    stats: Option<sliq_bdd::ManagerStats>,
+    /// Status cell of the sweep-configuration run ("TO", "MO", seconds…).
+    time_cell: String,
+}
+
+impl KernelRow {
+    /// `forced-shared / serial-fast` at one thread: the factor the CAS and
+    /// seqlock machinery costs a single-threaded session (the perf gate
+    /// holds the inverse below 1.05x).
+    fn serial_overhead(&self) -> Option<f64> {
+        match (self.serial_fast_seconds, self.forced_shared_seconds) {
+            (Some(fast), Some(forced)) if fast > 0.0 => Some(forced / fast),
+            _ => None,
+        }
+    }
+}
+
+/// Median wall-clock seconds of `iterations` completed runs of `circuit`
+/// under `limits`; `(None, last result)` if any run fails to complete.
+fn median_case(
+    circuit: &sliq_circuit::Circuit,
+    limits: CaseLimits,
+    iterations: usize,
+) -> (Option<f64>, sliq_bench::CaseResult) {
+    use sliq_bench::{run_case, Backend, CaseStatus};
+    let mut times = Vec::with_capacity(iterations);
+    let mut last = None;
+    for _ in 0..iterations {
+        let result = run_case(Backend::BitSlice, circuit, limits);
+        let completed = result.status == CaseStatus::Completed;
+        times.push(result.seconds);
+        let failed = !completed;
+        last = Some(result);
+        if failed {
+            return (None, last.unwrap());
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (Some(times[times.len() / 2]), last.unwrap())
 }
 
 /// Runs representative bit-sliced cases and prints the BDD kernel's
 /// per-cache hit/miss/eviction counters (plus reorder statistics when
-/// `--reorder` / `SLIQ_AUTO_REORDER` enabled automatic sifting).
-fn print_kernel_report(limits: CaseLimits) {
-    use sliq_bench::{kernel_stats_report, run_case, Backend};
+/// `--reorder` / `SLIQ_AUTO_REORDER` enabled automatic sifting).  Every
+/// case is additionally timed at one thread both on the serial fast path
+/// and with the shared kernel forced, and the ratio is reported as
+/// `serial_overhead`.  With `--json`, the medians also land in
+/// `BENCH_kernel.json` for CI trend tracking.
+fn print_kernel_report(limits: CaseLimits, json: bool) {
+    use sliq_bench::kernel_stats_report;
+    let iterations = if sliq_bench::bench_smoke_env() { 1 } else { 3 };
     let cases = [
         ("ghz(64)", sliq_workloads::algorithms::ghz(64)),
         (
@@ -115,13 +175,92 @@ fn print_kernel_report(limits: CaseLimits) {
             sliq_workloads::random::random_clifford_t(20, 1),
         ),
     ];
+    let threads = limits
+        .threads
+        .unwrap_or_else(sliq_bdd::pool::default_threads);
+    let one_thread_fast = CaseLimits {
+        threads: Some(1),
+        force_shared_kernel: false,
+        ..limits
+    };
+    let one_thread_forced = CaseLimits {
+        force_shared_kernel: true,
+        ..one_thread_fast
+    };
     println!("## BDD kernel cache statistics (bit-sliced backend)");
+    println!("(median of {iterations} run(s) per configuration, sweep threads: {threads})");
+    let mut rows = Vec::new();
     for (name, circuit) in &cases {
-        let result = run_case(Backend::BitSlice, circuit, limits);
-        println!("{name}: {}", result.time_cell());
-        match &result.bdd_stats {
+        let (median_seconds, result) = median_case(circuit, limits, iterations);
+        let (serial_fast_seconds, _) = median_case(circuit, one_thread_fast, iterations);
+        let (forced_shared_seconds, _) = median_case(circuit, one_thread_forced, iterations);
+        let row = KernelRow {
+            name,
+            median_seconds,
+            serial_fast_seconds,
+            forced_shared_seconds,
+            stats: result.bdd_stats,
+            time_cell: result.time_cell(),
+        };
+        println!("{name}: {}", row.time_cell);
+        match &row.stats {
             Some(stats) => print!("{}", kernel_stats_report(stats)),
             None => println!("  (no kernel statistics reported)"),
         }
+        match (row.serial_overhead(), row.serial_fast_seconds) {
+            (Some(overhead), Some(fast)) => println!(
+                "  serial_overhead {overhead:.3}x  (1 thread: forced-shared {:.4}s / serial fast path {fast:.4}s)",
+                row.forced_shared_seconds.unwrap()
+            ),
+            _ => println!("  serial_overhead n/a (a 1-thread run did not complete)"),
+        }
+        rows.push(row);
     }
+    if json {
+        let path = "BENCH_kernel.json";
+        std::fs::write(path, kernel_rows_json(&rows, threads, iterations))
+            .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON for the kernel rows (the workspace deliberately has no
+/// serde dependency): numbers or `null`, names are static identifiers.
+fn kernel_rows_json(rows: &[KernelRow], threads: usize, iterations: usize) -> String {
+    fn num(v: Option<f64>) -> String {
+        match v {
+            Some(v) if v.is_finite() => format!("{v:.6}"),
+            _ => "null".to_string(),
+        }
+    }
+    let mut out =
+        format!("{{\n  \"threads\": {threads},\n  \"iterations\": {iterations},\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let (kernel_mode, reorder_micros, reorder_parallel_batches) = match &row.stats {
+            Some(s) => (
+                format!("\"{:?}\"", s.kernel_mode),
+                s.reorder_micros.to_string(),
+                s.reorder_parallel_batches.to_string(),
+            ),
+            None => ("null".to_string(), "null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"median_seconds\": {}, \
+             \"serial_fast_seconds\": {}, \"forced_shared_seconds\": {}, \
+             \"serial_overhead\": {}, \"kernel_mode\": {}, \
+             \"reorder_micros\": {}, \"reorder_parallel_batches\": {}}}{}\n",
+            row.name,
+            row.time_cell,
+            num(row.median_seconds),
+            num(row.serial_fast_seconds),
+            num(row.forced_shared_seconds),
+            num(row.serial_overhead()),
+            kernel_mode,
+            reorder_micros,
+            reorder_parallel_batches,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -80,6 +80,12 @@ pub struct CaseLimits {
     /// machine default, so BENCH entries should always state the effective
     /// value.
     pub threads: Option<usize>,
+    /// Forces the bit-sliced backend onto the shared (CAS/seqlock) kernel
+    /// flavour even for 1-thread cases, which would otherwise select the
+    /// unsynchronized serial fast path.  The kernel report runs each case
+    /// both ways at one thread to measure the synchronization tax
+    /// (`serial_overhead`).
+    pub force_shared_kernel: bool,
 }
 
 impl Default for CaseLimits {
@@ -89,6 +95,7 @@ impl Default for CaseLimits {
             max_nodes: 2_000_000,
             auto_reorder: false,
             threads: None,
+            force_shared_kernel: false,
         }
     }
 }
@@ -110,7 +117,8 @@ impl CaseLimits {
     pub fn session_config(&self, backend: Backend) -> SessionConfig {
         let mut config = SessionConfig::with_backend(backend)
             .max_nodes(self.max_nodes)
-            .auto_reorder(self.auto_reorder || auto_reorder_env());
+            .auto_reorder(self.auto_reorder || auto_reorder_env())
+            .force_shared_kernel(self.force_shared_kernel);
         if let Some(threads) = self.threads {
             config = config.threads(threads);
         }
@@ -207,7 +215,8 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
         stats.not_ops, stats.complement_flips, stats.cache_cap_log2, stats.cache_cap_raises
     ));
     out.push_str(&format!(
-        "  unique shards {}  CAS retries {}  lost mk races {}  cache store skips {}\n",
+        "  kernel mode {:?}  unique shards {}  CAS retries {}  lost mk races {}  cache store skips {}\n",
+        stats.kernel_mode,
         stats.unique_shards,
         stats.unique_cas_retries,
         stats.unique_dup_races,
@@ -215,9 +224,10 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
     ));
     if stats.reorders > 0 {
         out.push_str(&format!(
-            "  reorders {}  swaps {}  last size {} -> {}  total reorder time {:.1} ms\n",
+            "  reorders {}  swaps {} (pooled batches {})  last size {} -> {}  total reorder time {:.1} ms\n",
             stats.reorders,
             stats.reorder_swaps,
+            stats.reorder_parallel_batches,
             stats.reorder_last_before,
             stats.reorder_last_after,
             stats.reorder_micros as f64 / 1000.0

@@ -149,6 +149,14 @@ impl ConditionedView {
         }
     }
 
+    /// Every slice root the view references (`4·r` edges, family-major) —
+    /// the set a caller must pin ([`BitSliceState::pin_root`]) to keep a
+    /// view alive across later garbage collections, e.g. when caching views
+    /// between sampling calls.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slices.iter().flatten().copied()
+    }
+
     /// The joint probability `Pr[conditions ∧ qubit = 1]` (an exact SAT
     /// count, rounded only at the final conversion).
     pub fn joint_probability_of_one(&self, mgr: &Manager, qubit: usize) -> f64 {

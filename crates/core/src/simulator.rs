@@ -91,6 +91,20 @@ impl BitSliceSimulator {
         self.state.threads()
     }
 
+    /// Overrides the kernel flavour (builder style): forcing
+    /// [`sliq_bdd::KernelMode::Shared`] at 1 thread is how the benchmarks
+    /// measure the serial fast paths' gain; the unsound direction (serial
+    /// above 1 thread) is refused by the state layer.
+    pub fn with_kernel_mode(mut self, mode: sliq_bdd::KernelMode) -> Self {
+        self.state.set_kernel_mode(mode);
+        self
+    }
+
+    /// The kernel flavour currently in effect.
+    pub fn kernel_mode(&self) -> sliq_bdd::KernelMode {
+        self.state.kernel_mode()
+    }
+
     /// Sifts the qubit variable order now, returning the run's statistics.
     pub fn reorder(&mut self) -> sliq_bdd::ReorderStats {
         self.state.reorder()

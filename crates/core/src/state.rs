@@ -12,7 +12,7 @@
 //! the full state occupies `4·r` BDDs over `n` variables plus one machine
 //! integer — never an explicit `2ⁿ`-element array.
 
-use sliq_bdd::{pool, Manager, NodeId, ReorderStats, RootSlot, WorkerPool};
+use sliq_bdd::{pool, KernelMode, Manager, NodeId, ReorderStats, RootSlot, WorkerPool};
 use sliq_math::Algebraic;
 use std::sync::Arc;
 
@@ -161,6 +161,13 @@ impl BitSliceState {
         // paper's "qubits above encoding variables" order requirement.
         mgr.set_reorder_window(num_qubits);
         let threads = pool::default_threads();
+        // A 1-thread configuration owns the manager outright, so the kernel
+        // can drop its cross-thread coordination (see `KernelMode`); the
+        // reordering relink batches scale with the same thread count.
+        mgr.set_reorder_threads(threads);
+        if threads == 1 {
+            mgr.set_kernel_mode(KernelMode::Serial);
+        }
         let mut state = Self {
             mgr,
             num_qubits,
@@ -194,11 +201,53 @@ impl BitSliceState {
         } else {
             None
         };
+        self.mgr.set_reorder_threads(threads);
+        self.mgr.set_kernel_mode(if threads == 1 {
+            KernelMode::Serial
+        } else {
+            KernelMode::Shared
+        });
     }
 
     /// The configured fan-out width.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides the kernel flavour selected by [`BitSliceState::set_threads`]
+    /// (1 thread → serial fast paths, otherwise shared).  Forcing
+    /// [`KernelMode::Shared`] at 1 thread is always sound and is how the
+    /// benchmarks measure the serial fast paths' overhead; forcing
+    /// [`KernelMode::Serial`] above 1 thread is **unsound** and therefore
+    /// refused.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        if mode == KernelMode::Serial && self.threads > 1 {
+            return;
+        }
+        self.mgr.set_kernel_mode(mode);
+    }
+
+    /// The kernel flavour the manager currently runs.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mgr.kernel_mode()
+    }
+
+    /// Pins an arbitrary BDD function in the manager's root registry so it
+    /// survives garbage collection and reordering (used by the sampling
+    /// cache to keep its conditioned views alive between `sample` calls).
+    pub fn pin_root(&mut self, f: NodeId) -> RootSlot {
+        self.mgr.register_root(f)
+    }
+
+    /// Reads a pinned root back (the id is stable across reordering; the
+    /// registry is what guarantees the node stayed live).
+    pub fn pinned_root(&self, slot: RootSlot) -> NodeId {
+        self.mgr.root(slot)
+    }
+
+    /// Releases a root pinned with [`BitSliceState::pin_root`].
+    pub fn unpin_root(&mut self, slot: RootSlot) {
+        let _ = self.mgr.release_root(slot);
     }
 
     /// Maps `f(manager, index)` over `0..tasks`, fanning out across the

@@ -177,6 +177,33 @@ mod tests {
     }
 
     #[test]
+    fn bitslice_sample_cache_is_reused_and_invalidated_on_mutation() {
+        let mut circuit = ghz(4);
+        circuit.t(3); // non-Clifford ⇒ bit-sliced backend
+        let config = SessionConfig::with_backend(BackendKind::BitSlice);
+        let mut session = Session::for_circuit(&circuit, config).unwrap();
+        session.run(&circuit).unwrap();
+        let first = session.sample(3000, 11).unwrap();
+        let repeat = session.sample(3000, 11).unwrap();
+        assert_eq!(first.histogram, repeat.histogram);
+        // A cold-cache session computes the same histogram: the cache only
+        // memoises work, never results.
+        let mut cold = Session::for_circuit(&circuit, config).unwrap();
+        cold.run(&circuit).unwrap();
+        assert_eq!(cold.sample(3000, 11).unwrap().histogram, first.histogram);
+        // Mutating the state must invalidate the memoised trie: the next
+        // sample reflects the new state, matching a session that never
+        // cached the old one.
+        let mut flip = Circuit::new(4);
+        flip.x(0);
+        session.run(&flip).unwrap();
+        let after = session.sample(3000, 11).unwrap();
+        assert_ne!(after.histogram, first.histogram);
+        cold.run(&flip).unwrap();
+        assert_eq!(cold.sample(3000, 11).unwrap().histogram, after.histogram);
+    }
+
+    #[test]
     fn node_limit_surfaces_as_a_resource_error() {
         let mut circuit = Circuit::new(12);
         for q in 0..12 {

@@ -368,6 +368,56 @@ fn descend_view(mgr: &Manager, task: ViewTask, num_qubits: usize, histogram: &mu
     }
 }
 
+/// Descends every task subtree into `histogram`, serially at 1 thread and
+/// over the worker pool otherwise.  Partial histograms merge by addition
+/// and the partition arithmetic is scheduling-independent, so thread count
+/// never changes the result.
+fn descend_tasks(
+    mgr: &Manager,
+    tasks: Vec<ViewTask>,
+    num_qubits: usize,
+    threads: usize,
+    histogram: &mut Histogram,
+) {
+    if threads <= 1 {
+        for task in tasks {
+            descend_view(mgr, task, num_qubits, histogram);
+        }
+        return;
+    }
+    // Peel the outcome trie breadth-first until there are enough
+    // independent subtrees to keep the pool busy, then fan the subtree
+    // descents out.
+    let target = threads * 4;
+    let mut frontier = std::collections::VecDeque::from(tasks);
+    let mut ready: Vec<ViewTask> = Vec::new();
+    while let Some(task) = frontier.pop_front() {
+        if task.depth < num_qubits && frontier.len() + ready.len() + 1 >= target {
+            ready.push(task);
+            continue;
+        }
+        match step_view(mgr, task, num_qubits) {
+            ViewStep::Leaf(prefix, count) => histogram.add(prefix, count),
+            ViewStep::Children(children) => frontier.extend(children),
+        }
+    }
+    let pool = sliq_bdd::pool::global(threads);
+    let partials = pool.map(ready.len(), |index| {
+        let mut partial = Histogram::new(num_qubits);
+        descend_view(mgr, ready[index].clone(), num_qubits, &mut partial);
+        partial
+    });
+    for partial in partials {
+        histogram.merge(partial);
+    }
+}
+
+/// The uncached bit-sliced sampler.  [`Session::sample`] goes through
+/// [`sample_bitslice_cached`] instead; this stays as the reference
+/// implementation the differential tests compare the cache against.
+///
+/// [`Session::sample`]: crate::Session::sample
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn sample_bitslice(sim: &mut BitSliceSimulator, shots: u64, seed: u64) -> Histogram {
     let num_qubits = sim.num_qubits();
     let threads = sim.threads();
@@ -384,41 +434,243 @@ pub(crate) fn sample_bitslice(sim: &mut BitSliceSimulator, shots: u64, seed: u64
             us: uniform_draws(shots, seed),
             p_current: p_total,
         };
-        if threads <= 1 {
-            descend_view(mgr, root, num_qubits, &mut histogram);
-        } else {
-            // Peel the outcome trie breadth-first until there are enough
-            // independent subtrees to keep the pool busy, then fan the
-            // subtree descents out (partial histograms merge by addition,
-            // so scheduling cannot change the result).
-            let target = threads * 4;
-            let mut frontier = std::collections::VecDeque::new();
-            frontier.push_back(root);
-            let mut ready: Vec<ViewTask> = Vec::new();
-            while let Some(task) = frontier.pop_front() {
-                if task.depth < num_qubits && frontier.len() + ready.len() + 1 >= target {
-                    ready.push(task);
-                    continue;
-                }
-                match step_view(mgr, task, num_qubits) {
-                    ViewStep::Leaf(prefix, count) => histogram.add(prefix, count),
-                    ViewStep::Children(children) => frontier.extend(children),
-                }
-            }
-            let pool = sliq_bdd::pool::global(threads);
-            let partials = pool.map(ready.len(), |index| {
-                let mut partial = Histogram::new(num_qubits);
-                descend_view(mgr, ready[index].clone(), num_qubits, &mut partial);
-                partial
-            });
-            for partial in partials {
-                histogram.merge(partial);
-            }
-        }
+        descend_tasks(mgr, vec![root], num_qubits, threads, &mut histogram);
     }
     // The descent hash-consed transient conditioned slices that no root
     // registers; reclaim them if the manager considers it worthwhile.
     sim.state_mut().maybe_collect_garbage();
+    histogram
+}
+
+// ---------------------------------------------------------------------- //
+// Bit-sliced sampling cache (persists across `Session::sample` calls)
+// ---------------------------------------------------------------------- //
+
+/// Upper bound on cached outcome-trie nodes: enough to memoise the hot
+/// prefixes of any realistic shot batch while keeping the pinned-root
+/// footprint (4·r slots per node) small.
+const SAMPLE_CACHE_MAX_NODES: usize = 1024;
+
+/// One memoised node of the outcome trie: the conditioned view, the
+/// absolute probabilities the descent computed there, and the two
+/// lazily-materialised children.  Storing `p_current` and `joint_one` as
+/// the *absolute* joint probabilities (exactly what [`step_view`] passes
+/// around) makes a cached descent's partition arithmetic byte-for-byte the
+/// uncached one's, so caching can never change a histogram.
+struct CacheNode {
+    view: ConditionedView,
+    depth: usize,
+    /// Joint probability of the conditions above this node.
+    p_current: f64,
+    /// `Pr[conditions ∧ qubit_{depth} = 1]`, once a descent computed it.
+    joint_one: Option<f64>,
+    /// Trie children, indexed by the branch value (`[0-branch, 1-branch]`).
+    children: [Option<usize>; 2],
+}
+
+/// A memoised outcome trie for repeated [`sample_bitslice_cached`] calls on
+/// an **unchanged** state: conditioned views and their SAT-count
+/// probabilities — the entirety of a descent's BDD work — are computed once
+/// and replayed for every later seed.  The owner must drop the cache (via
+/// [`SampleCache::release`], to unpin its views) whenever the state
+/// mutates.
+pub(crate) struct SampleCache {
+    /// Trie nodes; index 0 is the unconditioned root.
+    nodes: Vec<CacheNode>,
+    /// Root-registry pins keeping every cached view alive across the GC at
+    /// the end of each sampling call.
+    pins: Vec<sliq_bdd::RootSlot>,
+    /// Nodes `0..pinned` have their views pinned already.
+    pinned: usize,
+}
+
+impl SampleCache {
+    /// A cache rooted at the state's current (unconditioned) view.
+    fn new(state: &sliq_core::BitSliceState) -> Self {
+        let view = ConditionedView::of_state(state);
+        let p_total = view.total_probability(state.manager());
+        Self {
+            nodes: vec![CacheNode {
+                view,
+                depth: 0,
+                p_current: p_total,
+                joint_one: None,
+                children: [None, None],
+            }],
+            pins: Vec::new(),
+            pinned: 0,
+        }
+    }
+
+    /// Pins the views of nodes added since the last call.  Must run before
+    /// the post-sampling garbage collection: node materialisation happens
+    /// under a `&Manager` borrow, so pinning (which needs `&mut`) is
+    /// deferred to the end of the call — sound because GC itself needs
+    /// `&mut` and therefore cannot run in between.
+    fn pin_new(&mut self, state: &mut sliq_core::BitSliceState) {
+        while self.pinned < self.nodes.len() {
+            let roots: Vec<_> = self.nodes[self.pinned].view.roots().collect();
+            for f in roots {
+                self.pins.push(state.pin_root(f));
+            }
+            self.pinned += 1;
+        }
+    }
+
+    /// Unpins every cached view; call when the state mutates.
+    pub(crate) fn release(self, state: &mut sliq_core::BitSliceState) {
+        for slot in self.pins {
+            state.unpin_root(slot);
+        }
+    }
+}
+
+/// The cached counterpart of [`descend_view`]: walks the memoised trie,
+/// filling in probabilities and children on first visit (up to the node
+/// budget) and pushing the subtrees that fall off the cached region onto
+/// `overflow` for the ordinary descent to finish.
+#[allow(clippy::too_many_arguments)]
+fn descend_cached(
+    mgr: &Manager,
+    cache: &mut SampleCache,
+    node: usize,
+    prefix: u64,
+    us: Vec<f64>,
+    num_qubits: usize,
+    histogram: &mut Histogram,
+    overflow: &mut Vec<ViewTask>,
+) {
+    if us.is_empty() {
+        return;
+    }
+    let depth = cache.nodes[node].depth;
+    if depth == num_qubits {
+        histogram.add(prefix, us.len() as u64);
+        return;
+    }
+    let p_current = cache.nodes[node].p_current;
+    let joint_one = match cache.nodes[node].joint_one {
+        Some(cached) => cached,
+        None => {
+            let computed = cache.nodes[node].view.joint_probability_of_one(mgr, depth);
+            cache.nodes[node].joint_one = Some(computed);
+            computed
+        }
+    };
+    let raw = if p_current <= 0.0 {
+        0.0
+    } else {
+        joint_one / p_current
+    };
+    let p1 = if raw.is_finite() {
+        raw.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let p0 = 1.0 - p1;
+    let mut ones = Vec::new();
+    let mut zeros = Vec::new();
+    for u in us {
+        if u < p1 {
+            ones.push((u / p1).min(BELOW_ONE));
+        } else {
+            let rescaled = if p0 > 0.0 { (u - p1) / p0 } else { 0.0 };
+            zeros.push(rescaled.min(BELOW_ONE));
+        }
+    }
+    for (value, branch_us) in [(true, ones), (false, zeros)] {
+        if branch_us.is_empty() {
+            continue;
+        }
+        let child_prefix = if value { prefix | 1 << depth } else { prefix };
+        // Leaves are counted inline, never cached: their views carry no
+        // information the histogram needs.
+        if depth + 1 == num_qubits {
+            histogram.add(child_prefix, branch_us.len() as u64);
+            continue;
+        }
+        let child_p = if value {
+            joint_one
+        } else {
+            (p_current - joint_one).max(0.0)
+        };
+        let child_slot = cache.nodes[node].children[value as usize];
+        let child = match child_slot {
+            Some(existing) => Some(existing),
+            None if cache.nodes.len() < SAMPLE_CACHE_MAX_NODES => {
+                let view = cache.nodes[node].view.condition(mgr, depth, value);
+                let fresh = cache.nodes.len();
+                cache.nodes.push(CacheNode {
+                    view,
+                    depth: depth + 1,
+                    p_current: child_p,
+                    joint_one: None,
+                    children: [None, None],
+                });
+                cache.nodes[node].children[value as usize] = Some(fresh);
+                Some(fresh)
+            }
+            None => None,
+        };
+        match child {
+            Some(child) => descend_cached(
+                mgr,
+                cache,
+                child,
+                child_prefix,
+                branch_us,
+                num_qubits,
+                histogram,
+                overflow,
+            ),
+            None => overflow.push(ViewTask {
+                view: cache.nodes[node].view.condition(mgr, depth, value),
+                depth: depth + 1,
+                prefix: child_prefix,
+                us: branch_us,
+                p_current: child_p,
+            }),
+        }
+    }
+}
+
+/// [`sample_bitslice`] with a persistent outcome-trie cache: the first call
+/// on a state pays the full SAT-count descent; later calls on the same
+/// (unchanged) state replay the memoised probabilities and views and only
+/// do BDD work where a new seed's draws reach prefixes no earlier call
+/// visited.  The caller owns the cache slot and must invalidate it (see
+/// [`SampleCache::release`]) on any state mutation.
+pub(crate) fn sample_bitslice_cached(
+    sim: &mut BitSliceSimulator,
+    cache_slot: &mut Option<SampleCache>,
+    shots: u64,
+    seed: u64,
+) -> Histogram {
+    let num_qubits = sim.num_qubits();
+    let threads = sim.threads();
+    let mut histogram = Histogram::new(num_qubits);
+    {
+        let state = sim.state();
+        let mgr = state.manager();
+        let cache = cache_slot.get_or_insert_with(|| SampleCache::new(state));
+        let mut overflow = Vec::new();
+        descend_cached(
+            mgr,
+            cache,
+            0,
+            0,
+            uniform_draws(shots, seed),
+            num_qubits,
+            &mut histogram,
+            &mut overflow,
+        );
+        descend_tasks(mgr, overflow, num_qubits, threads, &mut histogram);
+    }
+    let state = sim.state_mut();
+    if let Some(cache) = cache_slot.as_mut() {
+        cache.pin_new(state);
+    }
+    state.maybe_collect_garbage();
     histogram
 }
 
@@ -653,6 +905,45 @@ mod tests {
         // Impossible outcomes observed ⇒ infinite statistic.
         let chi = hist.chi_square(|o| if o == 0 { 1.0 } else { 0.0 });
         assert!(chi.is_infinite());
+    }
+
+    #[test]
+    fn cached_sampling_matches_the_uncached_reference() {
+        let mut circuit = Circuit::new(4);
+        circuit.h(0).cx(0, 1).h(2).t(2).cx(2, 3).h(3);
+        let shots = 2000;
+        let mut cache = None;
+        let mut cached_sim = BitSliceSimulator::new(4);
+        cached_sim.run(&circuit).unwrap();
+        let mut reference_sim = BitSliceSimulator::new(4);
+        reference_sim.run(&circuit).unwrap();
+        // Cold cache, warm cache, and a fresh seed that reaches prefixes
+        // the first seed never visited — all bit-identical to the uncached
+        // sampler.
+        for seed in [7, 7, 8, 1234] {
+            let cached = sample_bitslice_cached(&mut cached_sim, &mut cache, shots, seed);
+            let reference = sample_bitslice(&mut reference_sim, shots, seed);
+            assert_eq!(cached, reference, "seed {seed}");
+        }
+        assert!(cache.is_some(), "the cache must persist across calls");
+    }
+
+    #[test]
+    fn cache_release_unpins_every_view() {
+        let mut circuit = Circuit::new(3);
+        circuit.h(0).cx(0, 1).t(1).h(2);
+        let mut sim = BitSliceSimulator::new(3);
+        sim.run(&circuit).unwrap();
+        let mut cache = None;
+        let _ = sample_bitslice_cached(&mut sim, &mut cache, 500, 3);
+        let cache = cache.expect("sampling builds the cache");
+        assert!(!cache.pins.is_empty(), "cached views must be pinned");
+        cache.release(sim.state_mut());
+        // With the pins gone, a forced GC reclaims the cached conditioned
+        // slices but must keep the live state intact.
+        sim.state_mut().collect_garbage();
+        assert!((sim.probability_of_one(0) - 0.5).abs() < 1e-12);
+        assert!(sim.is_exactly_normalized());
     }
 
     #[test]

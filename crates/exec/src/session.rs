@@ -39,6 +39,13 @@ pub struct SessionConfig {
     /// to the machine's available parallelism); results are identical at
     /// every thread count.
     pub threads: Option<usize>,
+    /// Forces the bit-sliced backend onto the shared (CAS/seqlock) kernel
+    /// flavour even when the session is single-threaded.  A measurement and
+    /// differential-testing knob: 1-thread sessions otherwise select the
+    /// unsynchronized serial fast path, and the difference between the two
+    /// is exactly the synchronization tax the bench harness reports as
+    /// `serial_overhead`.  Results are identical either way.
+    pub force_shared_kernel: bool,
 }
 
 impl Default for SessionConfig {
@@ -49,6 +56,7 @@ impl Default for SessionConfig {
             auto_reorder: false,
             collect_expectations: false,
             threads: None,
+            force_shared_kernel: false,
         }
     }
 }
@@ -84,6 +92,13 @@ impl SessionConfig {
     /// serial path.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Forces the shared kernel flavour regardless of the thread count
+    /// (builder style); see [`SessionConfig::force_shared_kernel`].
+    pub fn force_shared_kernel(mut self, enabled: bool) -> Self {
+        self.force_shared_kernel = enabled;
         self
     }
 }
@@ -216,6 +231,10 @@ pub struct Session {
     config: SessionConfig,
     num_qubits: usize,
     gates_applied: usize,
+    /// Memoised outcome trie for repeated [`Session::sample`] calls on an
+    /// unchanged bit-sliced state (conditioned views + SAT-count
+    /// probabilities); dropped on any state mutation.
+    sample_cache: Option<sample::SampleCache>,
 }
 
 /// Source of process-unique session ids.
@@ -242,6 +261,9 @@ impl Session {
                 if let Some(threads) = config.threads {
                     sim = sim.with_threads(threads);
                 }
+                if config.force_shared_kernel {
+                    sim = sim.with_kernel_mode(sliq_bdd::KernelMode::Shared);
+                }
                 Inner::BitSlice(Box::new(sim))
             }
             BackendKind::Qmdd => Inner::Qmdd(Box::new(QmddSimulator::new(num_qubits).with_limits(
@@ -262,7 +284,18 @@ impl Session {
             config,
             num_qubits,
             gates_applied: 0,
+            sample_cache: None,
         })
+    }
+
+    /// Drops the memoised sampling trie (unpinning its views).  Called by
+    /// every state-mutating path; cheap no-op when no cache exists.
+    fn invalidate_sample_cache(&mut self) {
+        if let Some(cache) = self.sample_cache.take() {
+            if let Inner::BitSlice(s) = &mut self.inner {
+                cache.release(s.state_mut());
+            }
+        }
     }
 
     /// Opens a session negotiated for `circuit`: resolves
@@ -314,6 +347,7 @@ impl Session {
 
     /// Applies a single gate (streaming interface).
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), ExecError> {
+        self.invalidate_sample_cache();
         self.sim().apply_gate(gate)?;
         self.gates_applied += 1;
         Ok(())
@@ -330,6 +364,7 @@ impl Session {
             });
         }
         let collect_expectations = self.collect_expectations_enabled();
+        self.invalidate_sample_cache();
         let start = Instant::now();
         let mut gates = 0usize;
         for gate in circuit.iter() {
@@ -385,6 +420,7 @@ impl Session {
     /// Measures `qubit` with the supplied uniform random value, collapsing
     /// the session state.
     pub fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        self.invalidate_sample_cache();
         self.sim().measure_with(qubit, u)
     }
 
@@ -406,7 +442,9 @@ impl Session {
         }
         let start = Instant::now();
         let histogram = match &mut self.inner {
-            Inner::BitSlice(s) => sample::sample_bitslice(s, shots, seed),
+            Inner::BitSlice(s) => {
+                sample::sample_bitslice_cached(s, &mut self.sample_cache, shots, seed)
+            }
             Inner::Dense(s) => sample::sample_dense(s, shots, seed),
             Inner::Qmdd(s) => sample::sample_qmdd(s, shots, seed),
             Inner::Stabilizer(s) => sample::sample_stabilizer(s, shots, seed),
@@ -446,6 +484,7 @@ impl Session {
                 backend: self.kind.name(),
             });
         }
+        self.invalidate_sample_cache();
         match (&mut self.inner, &snapshot.inner) {
             (Inner::BitSlice(s), SnapshotInner::BitSlice(snap)) => s.restore(snap),
             (Inner::Dense(s), SnapshotInner::Dense(snap)) => s.restore(snap),
@@ -532,6 +571,9 @@ impl Session {
     /// The underlying bit-sliced simulator, when that is the owned backend
     /// (for backend-specific features: exact amplitudes, manual reordering).
     pub fn bitslice_mut(&mut self) -> Option<&mut BitSliceSimulator> {
+        // The caller gets mutable access, so the memoised sampling trie can
+        // no longer be trusted.
+        self.invalidate_sample_cache();
         match &mut self.inner {
             Inner::BitSlice(s) => Some(s),
             _ => None,

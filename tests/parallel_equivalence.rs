@@ -127,6 +127,103 @@ fn assert_thread_count_invariance(circuit: &Circuit, reorder: bool) {
 }
 
 #[test]
+fn one_thread_sessions_select_the_serial_kernel() {
+    use sliqsim::bdd::KernelMode;
+    let circuit = random::random_clifford_t(8, 2);
+    let serial = run_bitslice(&circuit, 1, false);
+    assert_eq!(serial.kernel_mode(), KernelMode::Serial);
+    assert_eq!(
+        serial.state().manager().stats().kernel_mode,
+        KernelMode::Serial
+    );
+    let shared = run_bitslice(&circuit, 4, false);
+    assert_eq!(shared.kernel_mode(), KernelMode::Shared);
+}
+
+#[test]
+fn serial_fast_path_and_forced_shared_kernel_agree_exactly() {
+    use sliqsim::bdd::KernelMode;
+    // The same circuit through three kernel configurations: the 1-thread
+    // serial fast paths, the shared CAS/seqlock machinery forced at 1
+    // thread, and the genuinely concurrent 4-thread run.  All slice
+    // functions, amplitudes and probabilities must be bit-identical.
+    for &(qubits, seed) in &[(8usize, 21u64), (12, 6)] {
+        let circuit = random::random_clifford_t(qubits, seed);
+        let n = circuit.num_qubits();
+        let mut fast = run_bitslice(&circuit, 1, false);
+        assert_eq!(fast.kernel_mode(), KernelMode::Serial);
+        let mut forced = BitSliceSimulator::new(n)
+            .with_threads(1)
+            .with_kernel_mode(KernelMode::Shared);
+        forced.run(&circuit).expect("supported gates");
+        assert_eq!(forced.kernel_mode(), KernelMode::Shared);
+        let mut shared = run_bitslice(&circuit, 4, false);
+        for sim in [&fast, &forced, &shared] {
+            sim.state().manager().check_integrity().expect("integrity");
+        }
+        assert_eq!(forced.width(), fast.width());
+        assert_eq!(forced.k(), fast.k());
+        assert_eq!(shared.width(), fast.width());
+        assert_eq!(shared.k(), fast.k());
+        let counts = |sim: &BitSliceSimulator| -> Vec<sliqsim::bignum::UBig> {
+            sim.state()
+                .all_roots()
+                .iter()
+                .map(|&slice| sim.state().manager().sat_count(slice, n))
+                .collect()
+        };
+        let fast_counts = counts(&fast);
+        assert_eq!(counts(&forced), fast_counts, "forced-shared sat counts");
+        assert_eq!(counts(&shared), fast_counts, "4-thread sat counts");
+        for bits in probe_states(n) {
+            let expected = fast.amplitude(&bits);
+            assert_eq!(forced.amplitude(&bits), expected);
+            assert_eq!(shared.amplitude(&bits), expected);
+        }
+        for q in 0..n {
+            let expected = fast.probability_of_one(q);
+            assert_eq!(forced.probability_of_one(q), expected);
+            assert_eq!(shared.probability_of_one(q), expected);
+        }
+        assert!(fast.is_exactly_normalized());
+        assert!(forced.is_exactly_normalized());
+    }
+}
+
+#[test]
+fn parallel_sifting_matches_serial_sifting_across_thread_counts() {
+    // Explicit reorder runs after the same circuit must make identical
+    // sifting decisions at every thread count: same swap count, same final
+    // live size, same final variable order, and an intact kernel.
+    for &(qubits, seed) in &[(12usize, 3u64), (14, 8)] {
+        let circuit = random::random_clifford_t(qubits, seed);
+        let mut reference: Option<(u64, usize, Vec<usize>)> = None;
+        for &threads in &THREAD_COUNTS {
+            let mut sim = run_bitslice(&circuit, threads, false);
+            let stats = sim.reorder();
+            sim.state()
+                .manager()
+                .check_integrity()
+                .unwrap_or_else(|e| panic!("integrity after reorder at {threads} threads: {e}"));
+            let order: Vec<usize> = (0..qubits)
+                .map(|level| sim.state().manager().var_at_level(level))
+                .collect();
+            match &reference {
+                None => reference = Some((stats.swaps, stats.size_after, order)),
+                Some((swaps, size_after, expected_order)) => {
+                    assert_eq!(stats.swaps, *swaps, "{threads} threads: swap count");
+                    assert_eq!(
+                        stats.size_after, *size_after,
+                        "{threads} threads: final node count"
+                    );
+                    assert_eq!(&order, expected_order, "{threads} threads: final order");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_apply_is_identical_to_serial_on_random_clifford_t() {
     for &(qubits, seed) in &[(6usize, 11u64), (10, 5), (14, 1)] {
         let circuit = random::random_clifford_t(qubits, seed);
@@ -255,5 +352,46 @@ fn perf_parallel_apply_speedup_on_random_clifford_t_20() {
     assert!(
         speedup >= 1.5,
         "4-thread whole-circuit speedup {speedup:.2}x below the 1.5x acceptance bar"
+    );
+}
+
+/// The phase-typed kernel's perf acceptance bar, encoded machine-
+/// independently as a ratio: the 1-thread serial fast paths must run the
+/// whole-circuit workload within 1.05× of the shared CAS/seqlock kernel
+/// forced at 1 thread (in practice they are faster — the bar guards against
+/// the mode dispatch itself becoming a regression).  Gated like the other
+/// wall-clock tests: set `SLIQ_PERF_TEST=1` on a quiet machine.
+#[test]
+fn perf_serial_fast_path_within_bounds_of_forced_shared() {
+    if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+        eprintln!("skipped (set SLIQ_PERF_TEST=1 to run the wall-clock acceptance test)");
+        return;
+    }
+    use sliqsim::bdd::KernelMode;
+    let circuit = random::random_clifford_t(20, 1);
+    let median_secs = |mode: KernelMode| -> f64 {
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let mut sim = BitSliceSimulator::new(circuit.num_qubits())
+                    .with_threads(1)
+                    .with_kernel_mode(mode);
+                sim.run(&circuit).expect("supported gates");
+                assert_eq!(sim.kernel_mode(), mode);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        runs[1]
+    };
+    let fast = median_secs(KernelMode::Serial);
+    let forced = median_secs(KernelMode::Shared);
+    eprintln!(
+        "rc_t(20) at 1 thread: serial kernel {fast:.3}s, forced shared {forced:.3}s, tax {:.3}x",
+        fast / forced
+    );
+    assert!(
+        fast <= forced * 1.05,
+        "serial fast path {fast:.3}s exceeds 1.05x of the forced-shared kernel {forced:.3}s"
     );
 }
