@@ -1,18 +1,18 @@
 //! Command-line harness that regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|all]
+//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|cache|all]
 //!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--reorder]
-//!                                                   [--threads <n>] [--json]
+//!                                                   [--threads <n>] [--cache] [--json]
 //! ```
 //!
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
 //! to the paper's regime (expect several minutes).
 
 use sliq_bench::tables::{
-    accuracy_rows, bitwidth_rows, format_accuracy, format_bitwidth, format_sample, format_table3,
-    format_table4, format_table5, format_table6, sample_rows, table3_rows, table4_rows,
-    table5_rows, table6_rows, Scale,
+    accuracy_rows, bitwidth_rows, cache_report, format_accuracy, format_bitwidth, format_cache,
+    format_sample, format_table3, format_table4, format_table5, format_table6, sample_rows,
+    table3_rows, table4_rows, table5_rows, table6_rows, CacheReport, Scale,
 };
 use sliq_bench::CaseLimits;
 use std::time::Duration;
@@ -40,6 +40,7 @@ fn main() {
                 }
             }
             "--reorder" => limits.auto_reorder = true,
+            "--cache" => limits.use_result_cache = true,
             "--threads" => {
                 if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
                     limits.threads = Some(v);
@@ -99,6 +100,47 @@ fn main() {
     if wants("kernel") {
         print_kernel_report(limits, json);
     }
+    if wants("cache") {
+        let report = cache_report(scale, limits);
+        println!("{}", format_cache(&report));
+        if json {
+            let path = "BENCH_cache.json";
+            std::fs::write(path, cache_report_json(&report))
+                .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Hand-rolled JSON for the result-cache benchmark (no serde in the
+/// workspace): hit rate, cold/warm requests per second, bytes, evictions.
+fn cache_report_json(report: &CacheReport) -> String {
+    let s = &report.stats;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"requests\": {},\n", report.requests));
+    out.push_str(&format!("  \"shots\": {},\n", report.shots));
+    out.push_str(&format!("  \"population\": {},\n", report.population.len()));
+    out.push_str(&format!("  \"cold_secs\": {:.6},\n", report.cold_secs));
+    out.push_str(&format!(
+        "  \"warming_secs\": {:.6},\n",
+        report.warming_secs
+    ));
+    out.push_str(&format!("  \"warm_secs\": {:.6},\n", report.warm_secs));
+    out.push_str(&format!("  \"cold_rps\": {:.3},\n", report.cold_rps()));
+    out.push_str(&format!("  \"warm_rps\": {:.3},\n", report.warm_rps()));
+    out.push_str(&format!(
+        "  \"warm_speedup\": {:.3},\n",
+        report.warm_speedup()
+    ));
+    out.push_str(&format!("  \"hit_rate\": {:.6},\n", s.hit_rate()));
+    out.push_str(&format!("  \"hits\": {},\n", s.hits));
+    out.push_str(&format!("  \"misses\": {},\n", s.misses));
+    out.push_str(&format!("  \"entries\": {},\n", s.entries));
+    out.push_str(&format!("  \"bytes\": {},\n", s.bytes));
+    out.push_str(&format!("  \"capacity_bytes\": {},\n", s.capacity_bytes));
+    out.push_str(&format!("  \"evictions\": {}\n", s.evictions));
+    out.push_str("}\n");
+    out
 }
 
 /// One kernel-report case: the sweep-configuration median plus the
@@ -215,6 +257,23 @@ fn print_kernel_report(limits: CaseLimits, json: bool) {
             _ => println!("  serial_overhead n/a (a 1-thread run did not complete)"),
         }
         rows.push(row);
+    }
+    // The serving-layer counters above the kernel: with `--cache` the cases
+    // attach the process-wide result cache (repeat iterations then hit), and
+    // its totals surface here next to the BDD op-cache rates.
+    let cache_stats = sliq_exec::ResultCache::global().stats();
+    if limits.use_result_cache || cache_stats.hits + cache_stats.misses > 0 {
+        println!(
+            "result cache (global): hits {}  misses {}  hit-rate {:.1}%  entries {}  bytes {}  evictions {}",
+            cache_stats.hits,
+            cache_stats.misses,
+            100.0 * cache_stats.hit_rate(),
+            cache_stats.entries,
+            cache_stats.bytes,
+            cache_stats.evictions
+        );
+    } else {
+        println!("result cache (global): not attached (pass --cache to enable)");
     }
     if json {
         let path = "BENCH_kernel.json";

@@ -26,4 +26,4 @@ pub use runner::{
     auto_reorder_env, bench_smoke_env, kernel_stats_report, run_case, Backend, CaseLimits,
     CaseResult, CaseStatus, RowSummary,
 };
-pub use tables::Scale;
+pub use tables::{cache_report, format_cache, CacheReport, Scale};

@@ -86,6 +86,11 @@ pub struct CaseLimits {
     /// both ways at one thread to measure the synchronization tax
     /// (`serial_overhead`).
     pub force_shared_kernel: bool,
+    /// Attaches the process-wide canonical-circuit result cache to every
+    /// session (`--cache` on the `tables` binary): repeated cases are then
+    /// served from memoised results, and the kernel report prints the
+    /// cache's hit/miss/eviction counters.
+    pub use_result_cache: bool,
 }
 
 impl Default for CaseLimits {
@@ -96,6 +101,7 @@ impl Default for CaseLimits {
             auto_reorder: false,
             threads: None,
             force_shared_kernel: false,
+            use_result_cache: false,
         }
     }
 }
@@ -118,7 +124,8 @@ impl CaseLimits {
         let mut config = SessionConfig::with_backend(backend)
             .max_nodes(self.max_nodes)
             .auto_reorder(self.auto_reorder || auto_reorder_env())
-            .force_shared_kernel(self.force_shared_kernel);
+            .force_shared_kernel(self.force_shared_kernel)
+            .result_cache(self.use_result_cache);
         if let Some(threads) = self.threads {
             config = config.threads(threads);
         }

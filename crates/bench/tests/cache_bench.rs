@@ -1,0 +1,75 @@
+//! Integration tests for the `tables -- cache` serving benchmark: the
+//! report must be well-formed at smoke scale, and (gated behind
+//! `SLIQ_PERF_TEST=1`, release profile) the warm pass must beat the cold
+//! pass by at least the 10× acceptance bar on the skewed request mix.
+
+use sliq_bench::{cache_report, format_cache, CaseLimits, Scale};
+use std::sync::Mutex;
+
+/// Serialises the tests in this file: both poke the process-global
+/// `SLIQ_BENCH_SMOKE` variable that selects the benchmark's request count.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn smoke_cache_report_is_well_formed() {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::set_var("SLIQ_BENCH_SMOKE", "1");
+    let report = cache_report(Scale::Quick, CaseLimits::default());
+
+    assert_eq!(report.requests, 24, "smoke scale serves 24 requests");
+    assert_eq!(report.shots, 256, "smoke scale samples 256 shots");
+    assert!(!report.population.is_empty());
+    let total_share: f64 = report.population.iter().map(|(_, _, share)| share).sum();
+    assert!(
+        (total_share - 1.0).abs() < 1e-9,
+        "population shares must sum to 1, got {total_share}"
+    );
+    assert!(report.cold_secs > 0.0 && report.warming_secs > 0.0 && report.warm_secs > 0.0);
+    assert!(report.cold_rps() > 0.0 && report.warm_rps() > 0.0);
+
+    // Fully warm: every request hit, nothing was evicted from the 64 MiB
+    // benchmark cache by this tiny population.
+    assert!(report.stats.hits as usize >= report.requests);
+    assert_eq!(report.stats.evictions, 0);
+    assert!(report.stats.entries > 0);
+    assert!(report.stats.bytes <= report.stats.capacity_bytes);
+
+    let rendered = format_cache(&report);
+    for needle in [
+        "RESULT CACHE",
+        "no cache",
+        "all hits",
+        "speedup",
+        "hit-rate",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
+    }
+}
+
+/// Gated acceptance (`SLIQ_PERF_TEST=1`, release profile): on the skewed
+/// Zipf-ish mix the warm requests/s must exceed the cold requests/s by at
+/// least 10×.
+#[test]
+fn perf_warm_rps_is_10x_cold() {
+    if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+        eprintln!("skipped (set SLIQ_PERF_TEST=1 to run the wall-clock acceptance test)");
+        return;
+    }
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::remove_var("SLIQ_BENCH_SMOKE");
+    let report = cache_report(Scale::Quick, CaseLimits::default());
+    let speedup = report.warm_speedup();
+    assert!(
+        speedup >= 10.0,
+        "warm serving must be >= 10x cold: cold {:.1} req/s vs warm {:.1} req/s = {speedup:.1}x",
+        report.cold_rps(),
+        report.warm_rps()
+    );
+}

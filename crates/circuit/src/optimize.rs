@@ -10,6 +10,17 @@
 //!    removed, e.g. `H·H`, `X·X`, `CNOT·CNOT`, `S·S†`, `T·T†`.
 //! 2. **Phase merging** — two adjacent identical phase gates merge into the
 //!    stronger one: `S·S → Z`, `S†·S† → Z`, `T·T → S`, `T†·T† → S†`.
+//!
+//! A single left-to-right pass is conservative: cancelling a pair clears the
+//! per-qubit "last gate" tracking, so gates that become adjacent only
+//! *because* an inner pair vanished (e.g. the outer `H…H` of `H·X·X·H`) are
+//! not rewritten in the same pass.  [`optimize`] therefore iterates
+//! [`one_pass`] until a full pass changes nothing and reports the number of
+//! passes in [`OptimizeStats::passes`].  This fixed-point iteration is what
+//! makes the output usable as a **canonical form**: circuits that differ
+//! only by nested redundant pairs (at any depth) converge to the same gate
+//! list, which is what the executor's result cache fingerprints
+//! (`sliq_exec::cache`).
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
@@ -22,6 +33,9 @@ pub struct OptimizeStats {
     pub cancelled: usize,
     /// Number of gate pairs merged into a single stronger phase gate.
     pub merged: usize,
+    /// Number of rewrite passes executed before the fixed point, including
+    /// the final pass that confirmed nothing changed (so the minimum is 1).
+    pub passes: usize,
 }
 
 fn merge_phases(a: &Gate, b: &Gate) -> Option<Gate> {
@@ -83,8 +97,15 @@ fn one_pass(gates: &[Gate], num_qubits: usize) -> (Vec<Gate>, OptimizeStats) {
     (output.into_iter().flatten().collect(), stats)
 }
 
-/// Optimises `circuit` by repeatedly applying the rewrite rules until no more
-/// apply, returning the optimised circuit and cumulative statistics.
+/// Optimises `circuit` by repeatedly applying the rewrite rules until a full
+/// pass changes nothing (the fixed point), returning the optimised circuit
+/// and cumulative statistics.
+///
+/// Because every rewrite strictly shrinks the gate list, the iteration
+/// terminates after at most `len/2 + 1` passes, and the result is a
+/// *canonical form* with respect to the rewrite rules: two circuits that
+/// differ only by redundant inverse pairs or unmerged phase pairs — nested
+/// to any depth — produce the same output gate list.
 pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
     let mut gates: Vec<Gate> = circuit.gates().to_vec();
     let mut total = OptimizeStats::default();
@@ -92,6 +113,7 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
         let (next, stats) = one_pass(&gates, circuit.num_qubits());
         total.cancelled += stats.cancelled;
         total.merged += stats.merged;
+        total.passes += 1;
         let changed = next.len() != gates.len() || stats.merged > 0;
         gates = next;
         if !changed {
@@ -161,6 +183,55 @@ mod tests {
         c.rx_pi2(0).rx_pi2(0);
         let (optimized, stats) = optimize(&c);
         assert_eq!(optimized.len(), 2);
-        assert_eq!(stats, OptimizeStats::default());
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.merged, 0);
+        // An already-canonical circuit is confirmed in a single pass.
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn nested_pairs_need_and_get_multiple_passes() {
+        // H·(X·X)·H on one qubit: the outer H pair only becomes adjacent
+        // once the inner X pair is gone, which a single conservative pass
+        // cannot see — the fixed-point loop must run again.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        let (optimized, stats) = optimize(&c);
+        assert!(optimized.is_empty(), "{optimized}");
+        assert_eq!(stats.cancelled, 4);
+        assert!(
+            stats.passes >= 3,
+            "two rewriting passes plus the confirming pass: {stats:?}"
+        );
+
+        // Three levels of nesting converge too.
+        let mut d = Circuit::new(2);
+        d.cx(0, 1).h(0).s(1).sdg(1).h(0).cx(0, 1);
+        let (optimized_d, stats_d) = optimize(&d);
+        assert!(optimized_d.is_empty(), "{optimized_d}");
+        assert_eq!(stats_d.cancelled, 6);
+    }
+
+    #[test]
+    fn equivalent_redundant_circuits_share_a_canonical_form() {
+        // The executor's result cache keys on the canonical gate list, so
+        // circuits written with different redundant padding must converge
+        // to the identical output.
+        let mut plain = Circuit::new(2);
+        plain.h(0).cx(0, 1).t(1);
+        let mut padded = Circuit::new(2);
+        padded
+            .h(0)
+            .x(1)
+            .h(1)
+            .h(1) // nested: H·H cancels, exposing X·X
+            .x(1)
+            .cx(0, 1)
+            .t(1)
+            .tdg(1) // T·T† cancels, leaving the trailing T
+            .t(1);
+        let (canon_plain, _) = optimize(&plain);
+        let (canon_padded, _) = optimize(&padded);
+        assert_eq!(canon_plain.gates(), canon_padded.gates());
     }
 }

@@ -16,6 +16,10 @@
 //!   measurement shots from one simulated state, via non-collapsing
 //!   conditional-probability descent (orders of magnitude faster than
 //!   re-simulating the circuit per shot; see [`sample`]).
+//! * [`ResultCache`] — the serving-scale layer above all of that: memoised
+//!   `RunResult`s and histograms behind a stable canonical-circuit
+//!   fingerprint, so repeated requests for the same circuit skip
+//!   simulation entirely (see [`cache`]).
 //! * [`ExecError`] — the unified failure taxonomy.
 //!
 //! ```
@@ -37,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod backend;
+pub mod cache;
 mod error;
 pub mod sample;
 mod session;
 
 pub use backend::{BackendKind, Capabilities};
+pub use cache::{circuit_fingerprint, ResultCache, ResultCacheStats};
 pub use error::ExecError;
 pub use sample::Histogram;
 pub use session::{ExecStats, RunResult, SampleResult, Session, SessionConfig, Snapshot};

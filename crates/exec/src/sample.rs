@@ -73,6 +73,21 @@ impl Histogram {
         }
     }
 
+    /// Approximate resident size in bytes: the struct itself plus the
+    /// B-tree's per-outcome cost (key + value + amortised node overhead).
+    /// Used by the result cache's byte accounting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        const BYTES_PER_OUTCOME: usize = 48;
+        std::mem::size_of::<Self>() + self.counts.len() * BYTES_PER_OUTCOME
+    }
+
+    /// Test-only direct insertion (the public surface only grows histograms
+    /// through sampling).
+    #[cfg(test)]
+    pub(crate) fn add_for_test(&mut self, outcome: u64, count: u64) {
+        self.add(outcome, count);
+    }
+
     /// The number of qubits per outcome.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits

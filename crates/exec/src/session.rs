@@ -8,6 +8,7 @@
 //! [`crate::BackendKind::Auto`] picks the backend from the circuit.
 
 use crate::backend::BackendKind;
+use crate::cache::{self, CacheKey, ResultCache, ResultCacheStats};
 use crate::error::ExecError;
 use crate::sample::{self, Histogram};
 use sliq_circuit::{Circuit, Gate, Simulator};
@@ -16,6 +17,7 @@ use sliq_dense::DenseSimulator;
 use sliq_math::Complex;
 use sliq_qmdd::{QmddLimits, QmddSimulator, QmddSnapshot};
 use sliq_stabilizer::{StabilizerSimulator, Tableau};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Session`].
@@ -46,6 +48,13 @@ pub struct SessionConfig {
     /// is exactly the synchronization tax the bench harness reports as
     /// `serial_overhead`.  Results are identical either way.
     pub force_shared_kernel: bool,
+    /// Attaches the process-wide [`ResultCache::global`] to the session:
+    /// fresh-state [`Session::run`]/[`Session::sample`] calls are served
+    /// from memoised results of *any* earlier session that ran the same
+    /// canonical circuit under the same result-affecting configuration (see
+    /// [`crate::cache`] for the keying and soundness argument).  Use
+    /// [`Session::attach_result_cache`] to attach a private cache instead.
+    pub use_result_cache: bool,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +66,7 @@ impl Default for SessionConfig {
             collect_expectations: false,
             threads: None,
             force_shared_kernel: false,
+            use_result_cache: false,
         }
     }
 }
@@ -101,6 +111,13 @@ impl SessionConfig {
         self.force_shared_kernel = enabled;
         self
     }
+
+    /// Attaches the process-wide result cache (builder style); see
+    /// [`SessionConfig::use_result_cache`].
+    pub fn result_cache(mut self, enabled: bool) -> Self {
+        self.use_result_cache = enabled;
+        self
+    }
 }
 
 /// Representation statistics of a session's backend at a point in time.
@@ -115,6 +132,10 @@ pub struct ExecStats {
     /// Full BDD kernel counters (bit-sliced backend only): cache hit rates,
     /// GC runs, reorder statistics.
     pub bdd: Option<sliq_bdd::ManagerStats>,
+    /// Counters of the attached [`ResultCache`], when the session has one.
+    /// Inside a cached [`RunResult`] these are the counters at *publish*
+    /// time; call [`Session::stats`] for live values.
+    pub result_cache: Option<ResultCacheStats>,
 }
 
 impl ExecStats {
@@ -160,8 +181,9 @@ pub struct SampleResult {
     pub shots: u64,
     /// Wall-clock time of the batched sampling.
     pub elapsed: Duration,
-    /// Outcome counts.
-    pub histogram: Histogram,
+    /// Outcome counts, behind [`Arc`] so cache hits (and plain clones)
+    /// share the histogram instead of deep-copying its counts.
+    pub histogram: Arc<Histogram>,
 }
 
 impl SampleResult {
@@ -203,6 +225,11 @@ pub struct Snapshot {
     /// hold manager-internal handles that are meaningless anywhere else.
     session_id: u64,
     gates_applied: usize,
+    /// The result-cache state flags at capture time, restored alongside the
+    /// backend state so a restored session keeps (or regains) its cache
+    /// eligibility.
+    pristine: bool,
+    state_fingerprint: Option<u128>,
     inner: SnapshotInner,
 }
 
@@ -235,6 +262,23 @@ pub struct Session {
     /// unchanged bit-sliced state (conditioned views + SAT-count
     /// probabilities); dropped on any state mutation.
     sample_cache: Option<sample::SampleCache>,
+    /// The attached circuit-level result cache, if any (see [`crate::cache`]
+    /// for the keying and soundness argument).
+    result_cache: Option<Arc<ResultCache>>,
+    /// `true` while the backend state is provably `|0…0⟩` with no gate,
+    /// measurement or raw-backend access since construction (or since a
+    /// restore to a pristine checkpoint).  [`Session::run`] consults the
+    /// result cache only in this state.
+    pristine: bool,
+    /// When the current state is known to be exactly "one `run(C)` applied
+    /// to `|0…0⟩`", the canonical fingerprint of `C` — the key under which
+    /// [`Session::sample`] may consult the result cache.  Cleared by any
+    /// state mutation outside that shape.
+    state_fingerprint: Option<u128>,
+    /// A run served from the cache leaves the backend untouched; the
+    /// circuit is parked here and replayed lazily by [`Session::materialize`]
+    /// on the first state-dependent operation.
+    pending_replay: Option<Circuit>,
 }
 
 /// Source of process-unique session ids.
@@ -285,7 +329,55 @@ impl Session {
             num_qubits,
             gates_applied: 0,
             sample_cache: None,
+            result_cache: config
+                .use_result_cache
+                .then(|| ResultCache::global().clone()),
+            pristine: true,
+            state_fingerprint: None,
+            pending_replay: None,
         })
+    }
+
+    /// Attaches a result cache (replacing any earlier attachment, including
+    /// the global one selected by [`SessionConfig::use_result_cache`]).
+    /// Sharing one cache across sessions — and threads — is the intended
+    /// use; see [`crate::cache`].
+    pub fn attach_result_cache(&mut self, cache: Arc<ResultCache>) {
+        self.result_cache = Some(cache);
+    }
+
+    /// The attached result cache, if any.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.result_cache.as_ref()
+    }
+
+    /// Replays a cache-hit circuit into the backend, if one is pending.
+    /// Called by every state-dependent operation, so callers never observe
+    /// the unmaterialised backend.  Gate counters are untouched — the hit
+    /// already accounted for them.
+    ///
+    /// Replay cannot fail: the `max_nodes` budget is part of the run cache
+    /// key, so a hit implies the publishing session completed this exact
+    /// circuit under the same limit from the same initial state.
+    fn materialize(&mut self) {
+        if let Some(circuit) = self.pending_replay.take() {
+            for gate in circuit.iter() {
+                self.sim()
+                    .apply_gate(gate)
+                    .expect("cached-run replay exceeded the budget its publisher ran under");
+            }
+        }
+    }
+
+    /// The run-entry cache key for this session's configuration.
+    fn run_key(&self, fingerprint: u128) -> CacheKey {
+        CacheKey::run(
+            fingerprint,
+            self.kind,
+            self.config.collect_expectations,
+            self.config.auto_reorder,
+            self.config.max_nodes,
+        )
     }
 
     /// Drops the memoised sampling trie (unpinning its views).  Called by
@@ -345,8 +437,14 @@ impl Session {
         }
     }
 
-    /// Applies a single gate (streaming interface).
+    /// Applies a single gate (streaming interface).  Streaming makes the
+    /// state an arbitrary composition, so it permanently disqualifies the
+    /// session from result-cache lookups (the cache only describes whole
+    /// circuits applied to `|0…0⟩`).
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), ExecError> {
+        self.materialize();
+        self.pristine = false;
+        self.state_fingerprint = None;
         self.invalidate_sample_cache();
         self.sim().apply_gate(gate)?;
         self.gates_applied += 1;
@@ -356,6 +454,14 @@ impl Session {
     /// Applies every gate of `circuit` and returns a structured
     /// [`RunResult`] (timing, total probability, representation statistics,
     /// optional per-qubit ⟨Z⟩ expectations).
+    ///
+    /// With a result cache attached and the session still pristine, the
+    /// call first consults the cache under the circuit's canonical
+    /// fingerprint: a hit returns the memoised result with **zero backend
+    /// simulation** (the circuit is replayed lazily only if a later
+    /// operation needs the concrete state); a miss simulates and publishes.
+    /// A cached result carries its publisher's `stats` and timing-free
+    /// counters verbatim, with `elapsed` rewritten to the lookup time.
     pub fn run(&mut self, circuit: &Circuit) -> Result<RunResult, ExecError> {
         if circuit.num_qubits() != self.num_qubits {
             return Err(ExecError::QubitMismatch {
@@ -363,7 +469,33 @@ impl Session {
                 circuit: circuit.num_qubits(),
             });
         }
+        // Soundness gate: only a pristine session may consult or publish —
+        // a cached entry describes `circuit` applied to `|0…0⟩` and nothing
+        // else (see `crate::cache`).
+        let consulted = if self.pristine {
+            self.result_cache
+                .clone()
+                .map(|c| (c, cache::circuit_fingerprint(circuit)))
+        } else {
+            None
+        };
+        if let Some((cache, fingerprint)) = &consulted {
+            let lookup = Instant::now();
+            if let Some(entry) = cache.get_run(self.run_key(*fingerprint)) {
+                self.invalidate_sample_cache();
+                self.pristine = false;
+                self.state_fingerprint = Some(*fingerprint);
+                self.pending_replay = Some(circuit.clone());
+                self.gates_applied += entry.gates_applied;
+                let mut result = RunResult::clone(&entry);
+                result.elapsed = lookup.elapsed();
+                return Ok(result);
+            }
+        }
         let collect_expectations = self.collect_expectations_enabled();
+        self.materialize();
+        self.pristine = false;
+        self.state_fingerprint = None;
         self.invalidate_sample_cache();
         let start = Instant::now();
         let mut gates = 0usize;
@@ -383,14 +515,22 @@ impl Session {
             None
         };
         let elapsed = start.elapsed();
-        Ok(RunResult {
+        let result = RunResult {
             backend: self.kind,
             gates_applied: gates,
             elapsed,
             total_probability,
             expectations_z,
             stats: self.stats(),
-        })
+        };
+        if let Some((cache, fingerprint)) = consulted {
+            // The run started pristine and completed: the state is exactly
+            // `circuit` from `|0…0⟩`, so the result is publishable and the
+            // state fingerprint is known for sample-entry lookups.
+            self.state_fingerprint = Some(fingerprint);
+            cache.put_run(self.run_key(fingerprint), Arc::new(result.clone()));
+        }
+        Ok(result)
     }
 
     fn collect_expectations_enabled(&self) -> bool {
@@ -399,27 +539,34 @@ impl Session {
 
     /// The probability of measuring `|1⟩` on `qubit`.
     pub fn probability_of_one(&mut self, qubit: usize) -> f64 {
+        self.materialize();
         self.sim().probability_of_one(qubit)
     }
 
     /// The probability of observing the full basis state `bits`.
     pub fn probability_of_basis_state(&mut self, bits: &[bool]) -> f64 {
+        self.materialize();
         self.sim().probability_of_basis_state(bits)
     }
 
     /// The ⟨Z⟩ expectation of one qubit.
     pub fn expectation_z(&mut self, qubit: usize) -> f64 {
+        self.materialize();
         1.0 - 2.0 * self.sim().probability_of_one(qubit)
     }
 
     /// The sum of all outcome probabilities.
     pub fn total_probability(&mut self) -> f64 {
+        self.materialize();
         self.sim().total_probability()
     }
 
     /// Measures `qubit` with the supplied uniform random value, collapsing
-    /// the session state.
+    /// the session state (and thus ending its result-cache eligibility).
     pub fn measure_with(&mut self, qubit: usize, u: f64) -> bool {
+        self.materialize();
+        self.pristine = false;
+        self.state_fingerprint = None;
         self.invalidate_sample_cache();
         self.sim().measure_with(qubit, u)
     }
@@ -440,25 +587,55 @@ impl Session {
                 ),
             });
         }
+        // Soundness gate: sample entries describe the state "one `run(C)`
+        // from `|0…0⟩`"; `state_fingerprint` is `Some` exactly then.
+        let consulted = match (&self.result_cache, self.state_fingerprint) {
+            (Some(cache), Some(fingerprint)) => Some((cache.clone(), fingerprint)),
+            _ => None,
+        };
+        if let Some((cache, fingerprint)) = &consulted {
+            let lookup = Instant::now();
+            if let Some(histogram) =
+                cache.get_sample(CacheKey::sample(*fingerprint, self.kind, shots, seed))
+            {
+                return Ok(SampleResult {
+                    backend: self.kind,
+                    shots,
+                    elapsed: lookup.elapsed(),
+                    histogram,
+                });
+            }
+        }
+        self.materialize();
         let start = Instant::now();
-        let histogram = match &mut self.inner {
+        let histogram = Arc::new(match &mut self.inner {
             Inner::BitSlice(s) => {
                 sample::sample_bitslice_cached(s, &mut self.sample_cache, shots, seed)
             }
             Inner::Dense(s) => sample::sample_dense(s, shots, seed),
             Inner::Qmdd(s) => sample::sample_qmdd(s, shots, seed),
             Inner::Stabilizer(s) => sample::sample_stabilizer(s, shots, seed),
-        };
+        });
+        let elapsed = start.elapsed();
+        if let Some((cache, fingerprint)) = consulted {
+            // Sampling never collapses the state, so the fingerprint is
+            // still valid and the histogram is publishable.
+            cache.put_sample(
+                CacheKey::sample(fingerprint, self.kind, shots, seed),
+                histogram.clone(),
+            );
+        }
         Ok(SampleResult {
             backend: self.kind,
             shots,
-            elapsed: start.elapsed(),
+            elapsed,
             histogram,
         })
     }
 
     /// Captures a checkpoint of the session state.
     pub fn snapshot(&mut self) -> Snapshot {
+        self.materialize();
         let inner = match &mut self.inner {
             Inner::BitSlice(s) => SnapshotInner::BitSlice(s.snapshot()),
             Inner::Dense(s) => SnapshotInner::Dense(s.snapshot()),
@@ -469,6 +646,8 @@ impl Session {
             backend: self.kind.name(),
             session_id: self.id,
             gates_applied: self.gates_applied,
+            pristine: self.pristine,
+            state_fingerprint: self.state_fingerprint,
             inner,
         }
     }
@@ -498,6 +677,12 @@ impl Session {
             }
         }
         self.gates_applied = snapshot.gates_applied;
+        // The backend now holds the checkpoint state, so any unmaterialised
+        // cache-hit replay is obsolete, and the cache flags are exactly
+        // those captured with the checkpoint (snapshots materialise first).
+        self.pending_replay = None;
+        self.pristine = snapshot.pristine;
+        self.state_fingerprint = snapshot.state_fingerprint;
         Ok(())
     }
 
@@ -525,7 +710,7 @@ impl Session {
     /// — on the bit-sliced backend — the full BDD kernel counters).
     pub fn stats(&self) -> ExecStats {
         const MIB: f64 = 1024.0 * 1024.0;
-        match &self.inner {
+        let mut stats = match &self.inner {
             Inner::BitSlice(s) => {
                 let kernel = s.state().manager().stats();
                 let bytes = self
@@ -538,6 +723,7 @@ impl Session {
                     peak_nodes: Some(kernel.peak_nodes),
                     memory_mib: kernel.peak_nodes as f64 * bytes / MIB,
                     bdd: Some(kernel),
+                    result_cache: None,
                 }
             }
             Inner::Qmdd(s) => {
@@ -551,6 +737,7 @@ impl Session {
                     peak_nodes: Some(s.peak_nodes()),
                     memory_mib: s.peak_nodes() as f64 * bytes / MIB,
                     bdd: None,
+                    result_cache: None,
                 }
             }
             Inner::Dense(_) => ExecStats {
@@ -558,22 +745,34 @@ impl Session {
                 peak_nodes: None,
                 memory_mib: (1u64 << self.num_qubits) as f64 * 16.0 / MIB,
                 bdd: None,
+                result_cache: None,
             },
             Inner::Stabilizer(_) => ExecStats {
                 live_nodes: None,
                 peak_nodes: None,
                 memory_mib: (2 * self.num_qubits * self.num_qubits) as f64 * 2.0 / MIB,
                 bdd: None,
+                result_cache: None,
             },
-        }
+        };
+        stats.result_cache = self.result_cache.as_ref().map(|c| c.stats());
+        stats
+    }
+
+    /// Raw-backend access hands out `&mut`: the caller can mutate the state
+    /// arbitrarily, so every memoised view of it must be dropped and the
+    /// session permanently loses result-cache eligibility.
+    fn on_raw_access(&mut self) {
+        self.materialize();
+        self.pristine = false;
+        self.state_fingerprint = None;
+        self.invalidate_sample_cache();
     }
 
     /// The underlying bit-sliced simulator, when that is the owned backend
     /// (for backend-specific features: exact amplitudes, manual reordering).
     pub fn bitslice_mut(&mut self) -> Option<&mut BitSliceSimulator> {
-        // The caller gets mutable access, so the memoised sampling trie can
-        // no longer be trusted.
-        self.invalidate_sample_cache();
+        self.on_raw_access();
         match &mut self.inner {
             Inner::BitSlice(s) => Some(s),
             _ => None,
@@ -582,6 +781,7 @@ impl Session {
 
     /// The underlying dense simulator, when that is the owned backend.
     pub fn dense_mut(&mut self) -> Option<&mut DenseSimulator> {
+        self.on_raw_access();
         match &mut self.inner {
             Inner::Dense(s) => Some(s),
             _ => None,
@@ -590,6 +790,7 @@ impl Session {
 
     /// The underlying QMDD simulator, when that is the owned backend.
     pub fn qmdd_mut(&mut self) -> Option<&mut QmddSimulator> {
+        self.on_raw_access();
         match &mut self.inner {
             Inner::Qmdd(s) => Some(s),
             _ => None,
@@ -598,6 +799,7 @@ impl Session {
 
     /// The underlying stabilizer simulator, when that is the owned backend.
     pub fn stabilizer_mut(&mut self) -> Option<&mut StabilizerSimulator> {
+        self.on_raw_access();
         match &mut self.inner {
             Inner::Stabilizer(s) => Some(s),
             _ => None,

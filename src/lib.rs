@@ -14,7 +14,8 @@
 //! * [`core`] — the bit-sliced BDD simulator (the paper's contribution).
 //! * [`dense`], [`qmdd`], [`stabilizer`] — baseline simulators.
 //! * [`exec`] — the session/executor layer: backend registry, capability
-//!   negotiation, checkpoints and batched multi-shot sampling.
+//!   negotiation, checkpoints, batched multi-shot sampling and the
+//!   canonical-circuit result cache.
 //! * [`workloads`] — benchmark circuit generators.
 //!
 //! The recommended entry point is a [`prelude::Session`]: it owns whichever
@@ -56,7 +57,8 @@ pub mod prelude {
     pub use sliq_core::BitSliceSimulator;
     pub use sliq_dense::DenseSimulator;
     pub use sliq_exec::{
-        BackendKind, ExecError, Histogram, RunResult, SampleResult, Session, SessionConfig,
+        circuit_fingerprint, BackendKind, ExecError, Histogram, ResultCache, ResultCacheStats,
+        RunResult, SampleResult, Session, SessionConfig,
     };
     pub use sliq_math::{Algebraic, Complex};
     pub use sliq_qmdd::QmddSimulator;

@@ -269,7 +269,7 @@ fn sample_histograms_are_bit_identical_across_thread_counts() {
     // sessions additionally exercise the parallel descent of the sampling
     // trie (independent subtrees fanned over the pool).
     let circuit = random::random_clifford_t(10, 9);
-    let mut reference: Option<Histogram> = None;
+    let mut reference: Option<std::sync::Arc<Histogram>> = None;
     for &threads in &THREAD_COUNTS {
         let config = SessionConfig::with_backend(BackendKind::BitSlice).threads(threads);
         let mut session = Session::for_circuit(&circuit, config).expect("session");
@@ -298,7 +298,7 @@ fn sampling_determinism_holds_after_measurement_collapse() {
     // The descent must also be thread-count invariant on a state with a
     // non-trivial normalisation factor (post-measurement `s != 1`).
     let circuit = random::random_clifford_t(8, 4);
-    let mut reference: Option<Histogram> = None;
+    let mut reference: Option<std::sync::Arc<Histogram>> = None;
     for &threads in &THREAD_COUNTS {
         let config = SessionConfig::with_backend(BackendKind::BitSlice).threads(threads);
         let mut session = Session::for_circuit(&circuit, config).expect("session");
