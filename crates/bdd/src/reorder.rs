@@ -156,20 +156,20 @@ impl Manager {
     /// parent edge plus one per registered root.  Freed arena slots count
     /// zero and are never referenced by live nodes.
     fn build_refs(&self) -> Vec<u32> {
-        let arena_len = self.arena.len();
-        let mut refs = vec![0u32; arena_len];
-        let mut free_mark = vec![false; arena_len];
+        let bound = self.arena.id_bound();
+        let mut refs = vec![0u32; bound];
+        let mut free_mark = vec![false; bound];
         for f in self.free.snapshot() {
             free_mark[f as usize] = true;
         }
-        for (index, &is_free) in free_mark.iter().enumerate().skip(1) {
-            if is_free {
-                continue;
+        self.arena.for_each_allocated(|id| {
+            if free_mark[id as usize] {
+                return;
             }
-            let node = self.node_raw(index as u32);
+            let node = self.node_raw(id);
             refs[node.low.index()] += 1;
             refs[node.high.index()] += 1;
-        }
+        });
         for root in &self.roots {
             refs[root.index()] += 1;
         }
@@ -231,7 +231,7 @@ impl Manager {
             // chunk an equal slice: the racing cons calls then allocate
             // from their private slice (arena bump once exhausted)
             // instead of serialising on the free-list mutex.
-            let prefetched = self.free.pop_many(2 * ids.len());
+            let prefetched = self.free.pop_many(x, 2 * ids.len());
             let per_chunk = prefetched.len() / chunks;
             // Reserve the batch's worst case (two conses per x-node) up
             // front so each chunk can hold one subtable read guard for
@@ -251,7 +251,7 @@ impl Manager {
                         cursor.set(i + 1);
                         local_ids[i]
                     } else {
-                        mgr.arena.bump()
+                        mgr.arena.bump(x)
                     }
                 };
                 subtable.probe_session(|prober| {
@@ -281,9 +281,9 @@ impl Manager {
                 rewired.extend(out);
                 total_created += created;
                 let local_ids = &prefetched[c * per_chunk..(c + 1) * per_chunk];
-                self.free.push_many(&local_ids[used..]);
+                self.free.push_many(x, &local_ids[used..]);
             }
-            self.free.push_many(&prefetched[chunks * per_chunk..]);
+            self.free.push_many(x, &prefetched[chunks * per_chunk..]);
             subtable.len_add(total_created);
             self.table_len
                 .fetch_add(total_created, core::sync::atomic::Ordering::Relaxed);
@@ -309,8 +309,8 @@ impl Manager {
         // inits cannot perturb the per-node death checks below: a created
         // x-node's children sit strictly below level y, and only y-nodes
         // can die here.)
-        if refs.len() < self.arena.len() {
-            refs.resize(self.arena.len(), 0);
+        if refs.len() < self.arena.id_bound() {
+            refs.resize(self.arena.id_bound(), 0);
         }
         for &(_, _, _, pair) in &rewired {
             for (edge, created) in pair {
@@ -401,6 +401,14 @@ impl Manager {
             if self.subtables[var as usize].len() == 0 {
                 continue;
             }
+            // A manager over its node/byte budget stops exploring: the
+            // remaining variables keep their levels, and the caller (or a
+            // GC) decides how to recover.  Each sift_var below also gates
+            // its own direction loops, so one oversized variable cannot
+            // blow past the limit either.
+            if self.budget_exceeded() {
+                break;
+            }
             self.sift_var(var, bound, refs);
         }
         self.live_table_len()
@@ -431,7 +439,10 @@ impl Manager {
                         best_size = self.live_table_len();
                         best_level = level;
                     }
-                    if self.live_table_len() > limit {
+                    // The budget check mirrors the growth limit: stop
+                    // exploring (the park-at-best loops below shrink the
+                    // diagram back, so they stay un-gated).
+                    if self.live_table_len() > limit || self.budget_exceeded() {
                         break;
                     }
                 }
@@ -443,7 +454,7 @@ impl Manager {
                         best_size = self.live_table_len();
                         best_level = level;
                     }
-                    if self.live_table_len() > limit {
+                    if self.live_table_len() > limit || self.budget_exceeded() {
                         break;
                     }
                 }

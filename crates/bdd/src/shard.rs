@@ -1,7 +1,9 @@
-//! Concurrency primitives of the sharded BDD kernel: the chunked atomic
-//! node arena, the per-variable unique subtables with lock-free CAS
-//! insertion, the seqlock-protected operation caches and the thread-sharded
-//! statistics counters.
+//! Concurrency primitives of the sharded BDD kernel: the level-segregated
+//! compact node arena (8-byte cells in per-variable chunks, reclaimable as
+//! generations), the per-variable unique subtables with lock-free CAS
+//! insertion over 4-byte id-only slots, the seqlock-protected operation
+//! caches, the byte-budget tracker and the thread-sharded statistics
+//! counters.
 //!
 //! # Synchronization design
 //!
@@ -19,6 +21,91 @@
 //!   recursion is in flight — the stop-the-world property is enforced at
 //!   compile time, not by a runtime flag.  The simulator enters this phase
 //!   only at gate boundaries.
+//!
+//! ## The compact level-segregated layout
+//!
+//! A node is `(var, low, high)`, but the kernel already shards its unique
+//! table *by variable* — the variable of a node is recoverable from which
+//! subtable holds it.  The arena therefore segregates storage the same way
+//! and stops duplicating the label per node:
+//!
+//! * Node storage is an array of fixed-size **chunks** ([`CHUNK_LEN`] cells
+//!   each).  A cell is a single `AtomicU64` holding the packed children —
+//!   **8 bytes per node** instead of the previous 12 (a `var` word plus two
+//!   child words).
+//! * Every chunk has exactly one **owner variable**; `var_of(id)` is a read
+//!   of the id's chunk header, not of the node.  Allocation is per
+//!   variable: `bump(var)` fills `var`'s active chunk and acquires a fresh
+//!   one when it is full, so nodes of one level are stored contiguously —
+//!   which is also why whole chunks become reclaimable (below).
+//! * Reordering relabels nodes **in place** (same id, new variable), which
+//!   breaks the one-owner rule for the affected chunk.  Such a chunk lazily
+//!   materialises a `vars` **sidecar** (one `u32` per cell, exclusive phase
+//!   only) recording each node's true variable; `var_of` prefers the
+//!   sidecar when present.  The sweep drops the sidecar again as soon as a
+//!   chunk's live nodes all share one variable, so the 8-byte common case
+//!   is self-restoring.
+//! * The unique-table slots shrink with the node: a slot stores only the
+//!   node **id** (4 bytes, [`EMPTY_SLOT`] when empty) instead of the
+//!   previous `tag ‖ id` word (8 bytes).  The hash tag used to pre-filter
+//!   probe steps is gone; an occupied probe slot now costs one arena load
+//!   (`children_of`) to compare keys.  At the ≤ 3/4 load factor the
+//!   expected number of extra loads per probe is below one, and the key
+//!   comparison itself is exact (full 64-bit children, not a 32-bit tag),
+//!   so the trade is a strict byte win for a bounded, usually-unpaid time
+//!   cost.
+//!
+//! Why this stays sound: the owner header of a chunk is written **before**
+//! the chunk is made visible to allocators (`active[var]` is
+//! released-stored after the header), and a freshly bumped id reaches other
+//! threads only through the subtable-slot CAS (release) that publishes it —
+//! so by release/acquire transitivity, any thread that observes an id also
+//! observes its chunk's owner and cells.  Sidecar creation and chunk
+//! re-owning happen only in the exclusive phase, whose `&mut` hand-off
+//! already orders them before any subsequent shared-phase read.
+//!
+//! ## Generational chunk reclamation
+//!
+//! The previous arena was append-only for the manager's lifetime: freed ids
+//! were recycled through a free list, but chunk memory was never returned.
+//! Chunks are now **generations**: the GC sweep walks every chunk and
+//!
+//! * hands a chunk whose live-node count is zero back to the allocator —
+//!   its cell array (and sidecar, if any) is dropped, returning the memory
+//!   to the OS, and its chunk index goes on a recycle list from which
+//!   `bump` will re-materialise it (with fresh cells) before growing the
+//!   chunk watermark;
+//! * re-owns a mixed chunk to the single variable its live nodes share, if
+//!   they do, and drops the sidecar;
+//! * returns the dead cells of still-live chunks to the per-variable free
+//!   lists, keyed by the chunk's (possibly updated) owner.
+//!
+//! Reclamation is sound because it is exclusive-phase only: `&mut Manager`
+//! proves no probe, apply or `mk` holds a reference into any cell array.  A
+//! released chunk's stale `active` pointer is cleared and its `used`
+//! counter is poisoned to "full", so even the cross-phase `bump` fast path
+//! can never mint an id into a chunk that is no longer backed by cells.
+//! Node ids of *surviving* nodes never change (a chunk is only released
+//! when it has no survivors), so external handles and the root registry are
+//! untouched — exactly the stability guarantee the in-place rebuild gave.
+//!
+//! The free list is segregated by variable to match the allocator
+//! (`FreeTable`): a free id is homed under its chunk's owner, so reusing it
+//! for that variable keeps the chunk single-owner and never needs a
+//! sidecar.  Reordering's batched pre-pop (`pop_many`) and rollback pushes
+//! preserve the homing invariant because `mk(var, …)` only ever allocates
+//! ids for `var`.
+//!
+//! ## Byte accounting
+//!
+//! Every allocation the kernel retains — chunk cell arrays, sidecars, the
+//! chunk directory, unique-table slot arrays, operation-cache words — is
+//! charged to the arena's [`MemTracker`] at the point it is made and
+//! released when it is dropped, so `bytes()` is an exact running total (and
+//! `peak()` its high-water mark) rather than an estimate.  The manager
+//! polls `over_budget()` at its enforcement points (gate boundaries,
+//! per-direction sift loops); the budget is deliberately **non-sticky** so
+//! a GC that recovers below the limit lets execution resume gracefully.
 //!
 //! ## Why canonical hash-consing stays sound under concurrent insertion
 //!
@@ -67,15 +154,15 @@
 //! exclusive phase: misses decrement an atomic budget, and the manager
 //! doubles any cache whose budget ran out at the next gate boundary.
 //!
-//! The node arena is append-only during the shared phase: a chunked array
-//! (doubling chunk sizes, lazily initialised through `OnceLock`) with an
-//! atomic bump allocator, so node ids are stable pointers that never move.
-//! The free list is a mutex-protected stack popped on allocation — the
-//! mutex is taken once per *created node*, not per lookup.  It is a **leaf
-//! lock**: `mk` does acquire it while holding a subtable's read lock (the
-//! allocation happens inside the probe), but nothing ever blocks while
-//! holding the free-list mutex itself, so the lock order
-//! `subtable → free list` is acyclic.
+//! The node arena is append-only during the shared phase: per-variable
+//! active chunks with atomic bump allocators, so node ids are stable
+//! pointers that never move.  The free lists are mutex-protected stacks
+//! popped on allocation — a mutex is taken once per *created node*, not per
+//! lookup.  They are **leaf locks** (as is the chunk-directory mutex taken
+//! when an active chunk fills): `mk` does acquire them while holding a
+//! subtable's read lock (the allocation happens inside the probe), but
+//! nothing ever blocks while holding them, so the lock order
+//! `subtable → free list / chunk directory` is acyclic.
 //!
 //! Statistics counters are sharded 16 ways and indexed by a thread-local
 //! slot, so hot-path increments do not bounce one cache line between
@@ -129,24 +216,101 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, RwLock};
 
 // ---------------------------------------------------------------------- //
-// Chunked atomic node arena
+// Byte-budget tracking
 // ---------------------------------------------------------------------- //
 
-/// log2 of the first chunk's capacity (4096 nodes).
-const ARENA_BASE_BITS: u32 = 12;
-/// Number of chunks; sizes double, so the arena addresses
-/// `4096 · (2²⁰ − 1) > 2³¹` node ids — beyond the id space itself.
-const ARENA_CHUNKS: usize = 20;
-
-/// One node's storage.  Fields are written relaxed by the allocating thread
-/// and become visible to others through the release/acquire pair on the
-/// subtable slot (or cache entry) that publishes the id.
+/// Exact running byte accounting for one manager: every retained kernel
+/// allocation (chunk cells, sidecars, chunk directory, subtable slots,
+/// op-cache words) is charged on creation and released on drop.  The limit
+/// is `usize::MAX` when unbounded; `over_budget` is a plain comparison so
+/// the enforcement points stay cheap, and the check is non-sticky — a GC
+/// that recovers below the limit lets execution resume.
 #[derive(Debug)]
-pub(crate) struct NodeCell {
-    pub(crate) var: AtomicU32,
-    pub(crate) low: AtomicU32,
-    pub(crate) high: AtomicU32,
+pub(crate) struct MemTracker {
+    bytes: AtomicUsize,
+    peak: AtomicUsize,
+    limit: AtomicUsize,
 }
+
+impl MemTracker {
+    fn new() -> Self {
+        Self {
+            bytes: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            limit: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Charges `n` freshly retained bytes, updating the high-water mark.
+    pub(crate) fn add(&self, n: usize) {
+        let now = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `n` bytes.
+    pub(crate) fn sub(&self, n: usize) {
+        self.bytes.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current retained-byte total.
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark of [`MemTracker::bytes`].
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Sets (or clears, with `None`) the hard byte budget.
+    pub(crate) fn set_limit(&self, limit: Option<usize>) {
+        self.limit
+            .store(limit.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// The configured byte budget, if any.
+    pub(crate) fn limit(&self) -> Option<usize> {
+        match self.limit.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            n => Some(n),
+        }
+    }
+
+    /// Whether the running total currently exceeds the budget.
+    pub(crate) fn over_budget(&self) -> bool {
+        self.bytes.load(Ordering::Relaxed) > self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites this tracker with another's values (clone support).
+    fn copy_from(&self, other: &MemTracker) {
+        self.bytes
+            .store(other.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(other.peak.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.limit
+            .store(other.limit.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------- //
+// Level-segregated compact node arena
+// ---------------------------------------------------------------------- //
+
+/// log2 of a chunk's cell count.
+const CHUNK_BITS: u32 = 10;
+/// Nodes per chunk (8 KiB of cells).
+pub(crate) const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+/// Chunk-directory groups; group `g` holds `2^g` chunk slots, so the
+/// directory addresses `2^22 − 1` chunks — past the `2^21` the id space
+/// (bit 31 is the complement bit) can ever need.
+const CHUNK_GROUPS: usize = 22;
+/// Hard chunk cap: `2^21` chunks of `2^10` cells exhaust the 31-bit id
+/// space exactly.
+const MAX_CHUNKS: u32 = 1 << 21;
+/// Sentinel for "variable has no active chunk".
+const NO_CHUNK: u32 = u32::MAX;
+/// Sentinel owner for chunk slots that were never acquired.
+const NO_OWNER: u32 = u32::MAX;
 
 /// A plain (non-atomic) node value, the unit the rest of the kernel reads
 /// and writes.
@@ -157,40 +321,96 @@ pub(crate) struct Node {
     pub(crate) high: NodeId,
 }
 
-/// Chunk index and offset of a node id.
+/// Directory position of a chunk index.
 #[inline]
-fn locate(id: u32) -> (usize, usize) {
-    let shifted = (id >> ARENA_BASE_BITS) + 1;
-    let chunk = (31 - shifted.leading_zeros()) as usize;
-    let base = ((1u32 << chunk) - 1) << ARENA_BASE_BITS;
-    (chunk, (id - base) as usize)
+fn group_of(chunk: u32) -> (usize, usize) {
+    let shifted = chunk + 1;
+    let group = (31 - shifted.leading_zeros()) as usize;
+    (group, (shifted - (1u32 << group)) as usize)
 }
 
-/// Capacity of chunk `chunk`.
-#[inline]
-fn chunk_len(chunk: usize) -> usize {
-    1usize << (chunk as u32 + ARENA_BASE_BITS)
+/// One chunk of node storage: [`CHUNK_LEN`] packed-children cells owned by
+/// a single variable, plus a lazy per-cell variable sidecar for chunks that
+/// reordering has made mixed.  `cells`/`vars` are `OnceLock`s so a released
+/// chunk drops its arrays and a recycled chunk re-materialises them.
+#[derive(Debug)]
+struct ChunkSlot {
+    cells: OnceLock<Box<[AtomicU64]>>,
+    vars: OnceLock<Box<[AtomicU32]>>,
+    owner: AtomicU32,
+    used: AtomicU32,
 }
 
-/// Append-only chunked node storage with an atomic bump allocator.  Node
-/// ids are never relocated, so `&NodeCell` references handed out while the
-/// arena grows stay valid (growth only initialises a *new* chunk).
+impl Default for ChunkSlot {
+    fn default() -> Self {
+        Self {
+            cells: OnceLock::new(),
+            vars: OnceLock::new(),
+            owner: AtomicU32::new(NO_OWNER),
+            used: AtomicU32::new(0),
+        }
+    }
+}
+
+fn zero_cells() -> Box<[AtomicU64]> {
+    (0..CHUNK_LEN).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Serialized chunk-acquisition state: the watermark of chunks ever
+/// materialised plus the recycle list of released chunk indices.
+#[derive(Debug)]
+struct ChunkState {
+    next: u32,
+    recycled: Vec<u32>,
+}
+
+/// The level-segregated node arena (see the module docs): per-variable
+/// active chunks with atomic bump allocation, a lazily grown chunk
+/// directory, chunk-granular release/recycle, and the manager's byte
+/// tracker.  Node ids are never relocated; a chunk is only released when
+/// none of its nodes survive.
 #[derive(Debug)]
 pub(crate) struct NodeArena {
-    chunks: [OnceLock<Box<[NodeCell]>>; ARENA_CHUNKS],
-    /// Total ids ever allocated (terminal included); the bump pointer.
-    next: AtomicU32,
+    groups: [OnceLock<Box<[ChunkSlot]>>; CHUNK_GROUPS],
+    /// `active[var]` is the chunk `bump(var)` currently fills
+    /// ([`NO_CHUNK`] when none).  Grown only under `&mut` (`add_vars`).
+    active: Vec<AtomicU32>,
+    /// Relaxed mirror of `ChunkState::next` for lock-free `id_bound`.
+    watermark: AtomicU32,
+    chunk_state: Mutex<ChunkState>,
+    mem: MemTracker,
+    /// Chunks handed back by [`NodeArena::sweep`] over the arena's
+    /// lifetime (exclusive-phase writes only).
+    chunks_reclaimed: u64,
 }
 
 impl NodeArena {
     /// An arena containing only the terminal node (id 0) with the given
-    /// sentinel variable index.
+    /// sentinel variable index.  Chunk 0 is the terminal's: permanently
+    /// full, owned by the sentinel, never swept — ids 1..[`CHUNK_LEN`] are
+    /// deliberately unused (8 KiB, the price of keeping id 0 special-case
+    /// free on the hot path).
     pub(crate) fn new(terminal_var: u32) -> Self {
         let arena = Self {
-            chunks: std::array::from_fn(|_| OnceLock::new()),
-            next: AtomicU32::new(1),
+            groups: std::array::from_fn(|_| OnceLock::new()),
+            active: (0..terminal_var)
+                .map(|_| AtomicU32::new(NO_CHUNK))
+                .collect(),
+            watermark: AtomicU32::new(1),
+            chunk_state: Mutex::new(ChunkState {
+                next: 1,
+                recycled: Vec::new(),
+            }),
+            mem: MemTracker::new(),
+            chunks_reclaimed: 0,
         };
-        arena.ensure_chunk(0);
+        let slot = arena.ensure_chunk(0);
+        slot.owner.store(terminal_var, Ordering::Relaxed);
+        slot.used.store(CHUNK_LEN as u32, Ordering::Relaxed);
+        slot.cells.get_or_init(|| {
+            arena.mem.add(CHUNK_LEN * 8);
+            zero_cells()
+        });
         arena.write(
             0,
             Node {
@@ -202,110 +422,434 @@ impl NodeArena {
         arena
     }
 
-    /// Number of ids ever allocated (freed ids included).
-    pub(crate) fn len(&self) -> usize {
-        self.next.load(Ordering::Relaxed) as usize
+    /// The manager-wide byte tracker (subtables and op caches charge here
+    /// too, so the total is the whole kernel's retained footprint).
+    pub(crate) fn mem(&self) -> &MemTracker {
+        &self.mem
     }
 
-    fn ensure_chunk(&self, id: u32) {
-        let (chunk, _) = locate(id);
-        self.chunks[chunk].get_or_init(|| {
-            (0..chunk_len(chunk))
-                .map(|_| NodeCell {
-                    var: AtomicU32::new(0),
-                    low: AtomicU32::new(0),
-                    high: AtomicU32::new(0),
-                })
-                .collect()
+    /// Chunks released back to the allocator over the arena's lifetime.
+    pub(crate) fn chunks_reclaimed(&self) -> u64 {
+        self.chunks_reclaimed
+    }
+
+    /// An exclusive upper bound on every id ever handed out (for sizing
+    /// mark bitmaps and reference arrays).
+    pub(crate) fn id_bound(&self) -> usize {
+        (self.watermark.load(Ordering::Relaxed) as usize) << CHUNK_BITS
+    }
+
+    /// Declares `extra` further variables and moves the terminal sentinel.
+    pub(crate) fn add_vars(&mut self, extra: usize, terminal_var: u32) {
+        for _ in 0..extra {
+            self.active.push(AtomicU32::new(NO_CHUNK));
+        }
+        self.chunk_slot(0)
+            .owner
+            .store(terminal_var, Ordering::Relaxed);
+    }
+
+    fn ensure_chunk(&self, chunk: u32) -> &ChunkSlot {
+        let (group, idx) = group_of(chunk);
+        let slots = self.groups[group].get_or_init(|| {
+            self.mem
+                .add((1usize << group) * std::mem::size_of::<ChunkSlot>());
+            (0..1usize << group).map(|_| ChunkSlot::default()).collect()
         });
-    }
-
-    /// Bump-allocates a fresh id (the caller handles the free list) and
-    /// makes sure its chunk exists.
-    pub(crate) fn bump(&self) -> u32 {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        assert!(id & (1 << 31) == 0, "node arena overflow (2^31 nodes)");
-        self.ensure_chunk(id);
-        id
-    }
-
-    /// Serial-flavour bump: a load/store pair instead of `fetch_add`.
-    /// Sound only under the single-thread contract of the serial kernel
-    /// flavour (see the module docs).
-    pub(crate) fn bump_serial(&self) -> u32 {
-        let id = self.next.load(Ordering::Relaxed);
-        assert!(id & (1 << 31) == 0, "node arena overflow (2^31 nodes)");
-        self.next.store(id + 1, Ordering::Relaxed);
-        self.ensure_chunk(id);
-        id
+        &slots[idx]
     }
 
     #[inline]
-    pub(crate) fn cell(&self, id: u32) -> &NodeCell {
-        let (chunk, offset) = locate(id);
-        // The chunk exists for every allocated id: the allocator initialises
-        // it before handing the id out, and ids reach other threads only
-        // through release/acquire publication.
-        &self.chunks[chunk].get().expect("chunk of a live id")[offset]
+    fn chunk_slot(&self, chunk: u32) -> &ChunkSlot {
+        let (group, idx) = group_of(chunk);
+        &self.groups[group].get().expect("directory of a live chunk")[idx]
+    }
+
+    #[inline]
+    fn chunk_slot_opt(&self, chunk: u32) -> Option<&ChunkSlot> {
+        let (group, idx) = group_of(chunk);
+        self.groups[group].get().map(|slots| &slots[idx])
+    }
+
+    #[inline]
+    fn slot_of(&self, id: u32) -> (&ChunkSlot, usize) {
+        (
+            self.chunk_slot(id >> CHUNK_BITS),
+            (id & (CHUNK_LEN as u32 - 1)) as usize,
+        )
+    }
+
+    /// Bump-allocates a fresh id for `var` from its active chunk, acquiring
+    /// a new chunk when the active one is full (or absent).  The fast path
+    /// is one acquire load and one `fetch_add`; overshoot increments past
+    /// [`CHUNK_LEN`] never mint an id (the winner thread of the overshoot
+    /// falls through to the cold acquisition path).
+    pub(crate) fn bump(&self, var: u32) -> u32 {
+        loop {
+            let chunk = self.active[var as usize].load(Ordering::Acquire);
+            if chunk != NO_CHUNK {
+                let slot = self.chunk_slot(chunk);
+                let n = slot.used.fetch_add(1, Ordering::Relaxed);
+                if n < CHUNK_LEN as u32 {
+                    return (chunk << CHUNK_BITS) | n;
+                }
+            }
+            self.acquire_chunk(var);
+        }
+    }
+
+    /// Serial-flavour bump: load/store pairs instead of `fetch_add`.
+    /// Sound only under the single-thread contract of the serial kernel
+    /// flavour (see the module docs).
+    pub(crate) fn bump_serial(&self, var: u32) -> u32 {
+        loop {
+            let chunk = self.active[var as usize].load(Ordering::Relaxed);
+            if chunk != NO_CHUNK {
+                let slot = self.chunk_slot(chunk);
+                let n = slot.used.load(Ordering::Relaxed);
+                if n < CHUNK_LEN as u32 {
+                    slot.used.store(n + 1, Ordering::Relaxed);
+                    return (chunk << CHUNK_BITS) | n;
+                }
+            }
+            self.acquire_chunk(var);
+        }
+    }
+
+    /// Installs a fresh (or recycled) chunk as `var`'s active chunk.  The
+    /// chunk-directory mutex serialises acquisitions; it is a leaf lock
+    /// (nothing blocks while holding it), so taking it under a subtable
+    /// read guard — `mk` allocates inside its probe — cannot deadlock.
+    #[cold]
+    fn acquire_chunk(&self, var: u32) {
+        let mut state = self.chunk_state.lock().expect("chunk directory lock");
+        // Double-check under the lock: a racing thread may have already
+        // installed a fresh chunk for this variable.
+        let current = self.active[var as usize].load(Ordering::Relaxed);
+        if current != NO_CHUNK
+            && self.chunk_slot(current).used.load(Ordering::Relaxed) < CHUNK_LEN as u32
+        {
+            return;
+        }
+        let chunk = state.recycled.pop().unwrap_or_else(|| {
+            let chunk = state.next;
+            assert!(chunk < MAX_CHUNKS, "node arena overflow (2^31 node ids)");
+            state.next = chunk + 1;
+            self.watermark.store(state.next, Ordering::Relaxed);
+            chunk
+        });
+        let slot = self.ensure_chunk(chunk);
+        slot.owner.store(var, Ordering::Relaxed);
+        slot.used.store(0, Ordering::Relaxed);
+        slot.cells.get_or_init(|| {
+            self.mem.add(CHUNK_LEN * 8);
+            zero_cells()
+        });
+        // Release-publish: pairs with the acquire load in `bump`, making
+        // the owner/used/cells writes above visible to every allocator.
+        self.active[var as usize].store(chunk, Ordering::Release);
+    }
+
+    /// The owner variable of `id`'s chunk (the free-list homing key; equals
+    /// the node's variable except in mixed, sidecar-carrying chunks).
+    #[inline]
+    pub(crate) fn chunk_owner(&self, id: u32) -> u32 {
+        self.chunk_slot(id >> CHUNK_BITS)
+            .owner
+            .load(Ordering::Relaxed)
     }
 
     #[inline]
     pub(crate) fn var_of(&self, id: u32) -> u32 {
-        self.cell(id).var.load(Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn low_of(&self, id: u32) -> NodeId {
-        NodeId::from_bits(self.cell(id).low.load(Ordering::Relaxed))
-    }
-
-    #[inline]
-    pub(crate) fn high_of(&self, id: u32) -> NodeId {
-        NodeId::from_bits(self.cell(id).high.load(Ordering::Relaxed))
-    }
-
-    #[inline]
-    pub(crate) fn get(&self, id: u32) -> Node {
-        let cell = self.cell(id);
-        Node {
-            var: cell.var.load(Ordering::Relaxed),
-            low: NodeId::from_bits(cell.low.load(Ordering::Relaxed)),
-            high: NodeId::from_bits(cell.high.load(Ordering::Relaxed)),
+        let (slot, offset) = self.slot_of(id);
+        match slot.vars.get() {
+            Some(vars) => vars[offset].load(Ordering::Relaxed),
+            None => slot.owner.load(Ordering::Relaxed),
         }
     }
 
     #[inline]
+    pub(crate) fn low_of(&self, id: u32) -> NodeId {
+        NodeId::from_bits((self.children_of(id) >> 32) as u32)
+    }
+
+    #[inline]
+    pub(crate) fn high_of(&self, id: u32) -> NodeId {
+        NodeId::from_bits(self.children_of(id) as u32)
+    }
+
+    /// The packed children of `id` — one 8-byte load, the unique-table
+    /// probe key.
+    #[inline]
     pub(crate) fn children_of(&self, id: u32) -> u64 {
-        let cell = self.cell(id);
-        pack_children(
-            NodeId::from_bits(cell.low.load(Ordering::Relaxed)),
-            NodeId::from_bits(cell.high.load(Ordering::Relaxed)),
-        )
+        let (slot, offset) = self.slot_of(id);
+        slot.cells.get().expect("cells of a live id")[offset].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> Node {
+        let (slot, offset) = self.slot_of(id);
+        let children =
+            slot.cells.get().expect("cells of a live id")[offset].load(Ordering::Relaxed);
+        let var = match slot.vars.get() {
+            Some(vars) => vars[offset].load(Ordering::Relaxed),
+            None => slot.owner.load(Ordering::Relaxed),
+        };
+        Node {
+            var,
+            low: NodeId::from_bits((children >> 32) as u32),
+            high: NodeId::from_bits(children as u32),
+        }
     }
 
     /// Writes a node's fields.  Safe in the shared phase only for ids that
-    /// have not been published yet (the speculative half of `mk`); the
-    /// exclusive phase (reordering) may rewrite any node.
+    /// have not been published yet (the speculative half of `mk`).  The
+    /// node's variable must match the chunk owner unless the chunk already
+    /// carries a sidecar — which the allocation discipline guarantees:
+    /// `mk(var, …)` only allocates ids homed under `var`.
     #[inline]
     pub(crate) fn write(&self, id: u32, node: Node) {
-        let cell = self.cell(id);
-        cell.var.store(node.var, Ordering::Relaxed);
-        cell.low.store(node.low.to_bits(), Ordering::Relaxed);
-        cell.high.store(node.high.to_bits(), Ordering::Relaxed);
+        let (slot, offset) = self.slot_of(id);
+        slot.cells.get().expect("cells of a live id")[offset]
+            .store(pack_children(node.low, node.high), Ordering::Relaxed);
+        if let Some(vars) = slot.vars.get() {
+            vars[offset].store(node.var, Ordering::Relaxed);
+        } else {
+            debug_assert_eq!(
+                slot.owner.load(Ordering::Relaxed),
+                node.var,
+                "shared-phase write must match the chunk owner"
+            );
+        }
+    }
+
+    /// Rewrites a node in place with a possibly different variable (the
+    /// reordering relabel).  Exclusive phase only: materialises the chunk's
+    /// variable sidecar on first cross-variable write (every cell starts as
+    /// the owner, so the other nodes keep their labels).
+    pub(crate) fn write_relabel(&self, id: u32, node: Node) {
+        let (slot, offset) = self.slot_of(id);
+        slot.cells.get().expect("cells of a live id")[offset]
+            .store(pack_children(node.low, node.high), Ordering::Relaxed);
+        let owner = slot.owner.load(Ordering::Relaxed);
+        if node.var != owner && slot.vars.get().is_none() {
+            slot.vars.get_or_init(|| {
+                self.mem.add(CHUNK_LEN * 4);
+                (0..CHUNK_LEN).map(|_| AtomicU32::new(owner)).collect()
+            });
+        }
+        if let Some(vars) = slot.vars.get() {
+            vars[offset].store(node.var, Ordering::Relaxed);
+        }
+    }
+
+    /// Calls `f(id)` for every id ever handed out and still backed by
+    /// cells (freed-but-unreclaimed ids included; released chunks
+    /// skipped).  Exclusive phase.
+    pub(crate) fn for_each_allocated(&self, mut f: impl FnMut(u32)) {
+        let watermark = self.watermark.load(Ordering::Relaxed);
+        for chunk in 1..watermark {
+            let Some(slot) = self.chunk_slot_opt(chunk) else {
+                continue;
+            };
+            if slot.cells.get().is_none() {
+                continue;
+            }
+            let used = (slot.used.load(Ordering::Relaxed) as usize).min(CHUNK_LEN);
+            let base = chunk << CHUNK_BITS;
+            for offset in 0..used as u32 {
+                f(base | offset);
+            }
+        }
+    }
+
+    /// The number of allocated node slots (live + freed, terminal and the
+    /// terminal chunk's padding excluded) across all live chunks.
+    pub(crate) fn allocated_slots(&self) -> usize {
+        let mut total = 0usize;
+        self.for_each_allocated(|_| total += 1);
+        total
+    }
+
+    /// Retained arena bytes: live chunk cell arrays plus sidecars plus the
+    /// chunk directory.  (A subset of [`MemTracker::bytes`], which also
+    /// counts subtables and op caches.)  Returns `(cell_bytes,
+    /// sidecar_bytes)`.
+    pub(crate) fn arena_bytes(&self) -> (usize, usize) {
+        let watermark = self.watermark.load(Ordering::Relaxed);
+        let mut cells = 0usize;
+        let mut sidecars = 0usize;
+        for chunk in 0..watermark {
+            let Some(slot) = self.chunk_slot_opt(chunk) else {
+                continue;
+            };
+            if slot.cells.get().is_some() {
+                cells += CHUNK_LEN * 8;
+            }
+            if slot.vars.get().is_some() {
+                sidecars += CHUNK_LEN * 4;
+            }
+        }
+        (cells, sidecars)
+    }
+
+    /// The generational sweep (exclusive phase): walks every chunk against
+    /// the GC mark bitmap and returns `(live_ids, per_var_free_lists)`.
+    /// Chunks with no survivors are released (cells and sidecar dropped,
+    /// index recycled); mixed chunks whose survivors share one variable are
+    /// re-owned to it and lose their sidecar; dead cells of surviving
+    /// chunks are homed under the chunk's final owner.  See the module docs
+    /// for the soundness argument.
+    pub(crate) fn sweep(&mut self, marked: &[bool]) -> (Vec<u32>, Vec<Vec<u32>>) {
+        let num_vars = self.active.len();
+        let watermark = self.watermark.load(Ordering::Relaxed);
+        let mut live_ids = Vec::new();
+        let mut free = vec![Vec::new(); num_vars];
+        let mut to_release = Vec::new();
+        let mut to_reown: Vec<(u32, u32)> = Vec::new();
+        for chunk in 1..watermark {
+            let Some(slot) = self.chunk_slot_opt(chunk) else {
+                continue;
+            };
+            if slot.cells.get().is_none() {
+                continue;
+            }
+            let used = (slot.used.load(Ordering::Relaxed) as usize).min(CHUNK_LEN);
+            let base = chunk << CHUNK_BITS;
+            let live_before = live_ids.len();
+            let mut shared_var: Option<u32> = None;
+            let mut mixed_live = false;
+            for offset in 0..used as u32 {
+                let id = base | offset;
+                if marked[id as usize] {
+                    live_ids.push(id);
+                    if slot.vars.get().is_some() {
+                        let var = self.var_of(id);
+                        match shared_var {
+                            None => shared_var = Some(var),
+                            Some(v) if v != var => mixed_live = true,
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            if live_ids.len() == live_before {
+                // No survivors: the whole generation is handed back.
+                to_release.push(chunk);
+                continue;
+            }
+            let mut owner = slot.owner.load(Ordering::Relaxed);
+            if slot.vars.get().is_some() && !mixed_live {
+                // The survivors agree on one variable: restore the compact
+                // single-owner form.
+                to_reown.push((chunk, shared_var.expect("chunk has survivors")));
+                owner = shared_var.expect("chunk has survivors");
+            }
+            for offset in 0..used as u32 {
+                let id = base | offset;
+                if !marked[id as usize] {
+                    free[owner as usize].push(id);
+                }
+            }
+        }
+        for (chunk, new_owner) in to_reown {
+            let (group, idx) = group_of(chunk);
+            let slot = &mut self.groups[group].get_mut().expect("live chunk")[idx];
+            if slot.vars.take().is_some() {
+                self.mem.sub(CHUNK_LEN * 4);
+            }
+            let old_owner = *slot.owner.get_mut();
+            *slot.owner.get_mut() = new_owner;
+            if old_owner != new_owner {
+                // The old owner's bump path must not keep filling a chunk
+                // that now belongs to another variable.
+                let active = self.active[old_owner as usize].get_mut();
+                if *active == chunk {
+                    *active = NO_CHUNK;
+                }
+            }
+        }
+        for chunk in to_release {
+            self.release_chunk(chunk);
+        }
+        (live_ids, free)
+    }
+
+    /// Releases one chunk: drops its arrays (returning the memory), clears
+    /// the owner's stale active pointer, poisons `used` so no stale bump
+    /// fast path could ever mint an id here, and recycles the index.
+    fn release_chunk(&mut self, chunk: u32) {
+        let (group, idx) = group_of(chunk);
+        let slot = &mut self.groups[group].get_mut().expect("live chunk")[idx];
+        if slot.cells.take().is_some() {
+            self.mem.sub(CHUNK_LEN * 8);
+        }
+        if slot.vars.take().is_some() {
+            self.mem.sub(CHUNK_LEN * 4);
+        }
+        let owner = *slot.owner.get_mut();
+        *slot.used.get_mut() = CHUNK_LEN as u32;
+        *slot.owner.get_mut() = NO_OWNER;
+        if (owner as usize) < self.active.len() {
+            let active = self.active[owner as usize].get_mut();
+            if *active == chunk {
+                *active = NO_CHUNK;
+            }
+        }
+        self.chunk_state
+            .get_mut()
+            .expect("chunk directory lock")
+            .recycled
+            .push(chunk);
+        self.chunks_reclaimed += 1;
     }
 }
 
 impl Clone for NodeArena {
     fn clone(&self) -> Self {
-        let len = self.next.load(Ordering::Relaxed);
-        let arena = Self {
-            chunks: std::array::from_fn(|_| OnceLock::new()),
-            next: AtomicU32::new(len),
+        let (next, recycled) = {
+            let state = self.chunk_state.lock().expect("chunk directory lock");
+            (state.next, state.recycled.clone())
         };
-        for id in 0..len {
-            arena.ensure_chunk(id);
-            arena.write(id, self.get(id));
+        let arena = Self {
+            groups: std::array::from_fn(|_| OnceLock::new()),
+            active: self
+                .active
+                .iter()
+                .map(|a| AtomicU32::new(a.load(Ordering::Relaxed)))
+                .collect(),
+            watermark: AtomicU32::new(next),
+            chunk_state: Mutex::new(ChunkState { next, recycled }),
+            mem: MemTracker::new(),
+            chunks_reclaimed: self.chunks_reclaimed,
+        };
+        for chunk in 0..next {
+            let Some(src) = self.chunk_slot_opt(chunk) else {
+                continue;
+            };
+            let dst = arena.ensure_chunk(chunk);
+            dst.owner
+                .store(src.owner.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.used
+                .store(src.used.load(Ordering::Relaxed), Ordering::Relaxed);
+            if let Some(cells) = src.cells.get() {
+                let copied: Box<[AtomicU64]> = cells
+                    .iter()
+                    .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                    .collect();
+                let _ = dst.cells.set(copied);
+            }
+            if let Some(vars) = src.vars.get() {
+                let copied: Box<[AtomicU32]> = vars
+                    .iter()
+                    .map(|v| AtomicU32::new(v.load(Ordering::Relaxed)))
+                    .collect();
+                let _ = dst.vars.set(copied);
+            }
         }
+        // The byte totals carry over verbatim (they also cover subtable and
+        // cache charges the clone's other fields replicate size-for-size).
+        arena.mem.copy_from(&self.mem);
         arena
     }
 }
@@ -318,42 +862,29 @@ impl Clone for NodeArena {
 /// reach bit 31, so this cannot collide with a live id).
 pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
 
-/// An empty slot word: low 32 bits are [`EMPTY_SLOT`].
-const EMPTY_WORD: u64 = u64::MAX;
-
 /// Initial per-variable subtable capacity (slots, power of two).
 const SUBTABLE_INITIAL_CAPACITY: usize = 1 << 3;
 
-#[inline]
-fn slot_word(tag: u32, id: u32) -> u64 {
-    ((tag as u64) << 32) | id as u64
-}
-
-#[inline]
-pub(crate) fn slot_id(word: u64) -> u32 {
-    word as u32
-}
-
-#[inline]
-fn slot_tag(word: u64) -> u32 {
-    (word >> 32) as u32
+/// Bytes of one subtable's slot array at `capacity`.
+pub(crate) fn subtable_slot_bytes(capacity: usize) -> usize {
+    capacity * std::mem::size_of::<AtomicU32>()
 }
 
 /// The hash-consing shard of one variable: an open-addressed, linear-probed
-/// power-of-two array of atomic slot words `tag ‖ id`.  The tag is the high
-/// half of the key hash — probes only dereference the arena when the tag
-/// matches, so a probe step is usually one cache line.  Lookups and CAS
-/// inserts share the `RwLock`'s read side; only growth (doubling) takes the
-/// write side.  Deletion (backward-shift, needed by reordering) and
-/// wholesale rebuilds are exclusive-phase operations.
+/// power-of-two array of atomic node ids — 4 bytes per slot; the probe key
+/// is re-derived from the arena (`children_of`, one 8-byte load) instead of
+/// a stored hash tag.  Lookups and CAS inserts share the `RwLock`'s read
+/// side; only growth (doubling) takes the write side.  Deletion
+/// (backward-shift, needed by reordering) and wholesale rebuilds are
+/// exclusive-phase operations.
 #[derive(Debug)]
 pub(crate) struct SubTable {
-    slots: RwLock<Box<[AtomicU64]>>,
+    slots: RwLock<Box<[AtomicU32]>>,
     len: AtomicUsize,
 }
 
-fn empty_slots(capacity: usize) -> Box<[AtomicU64]> {
-    (0..capacity).map(|_| AtomicU64::new(EMPTY_WORD)).collect()
+fn empty_slots(capacity: usize) -> Box<[AtomicU32]> {
+    (0..capacity).map(|_| AtomicU32::new(EMPTY_SLOT)).collect()
 }
 
 /// Outcome of [`SubTable::find_or_publish`].
@@ -384,25 +915,34 @@ impl SubTable {
         }
     }
 
+    /// The initial slot-array bytes a fresh subtable retains (charged by
+    /// the manager, which owns the tracker).
+    pub(crate) fn initial_bytes() -> usize {
+        subtable_slot_bytes(SUBTABLE_INITIAL_CAPACITY)
+    }
+
     /// Number of live nodes labelled with this subtable's variable.
     pub(crate) fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
+    }
+
+    /// The current slot-array capacity in bytes.
+    pub(crate) fn slot_bytes(&self) -> usize {
+        subtable_slot_bytes(self.slots.read().expect("subtable lock").len())
     }
 
     /// Looks up the node with the given packed children.
     pub(crate) fn lookup(&self, arena: &NodeArena, children: u64) -> Option<u32> {
         let slots = self.slots.read().expect("subtable lock");
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
+        let mut idx = mix64(children) as usize & mask;
         loop {
-            let word = slots[idx].load(Ordering::Acquire);
-            if slot_id(word) == EMPTY_SLOT {
+            let id = slots[idx].load(Ordering::Acquire);
+            if id == EMPTY_SLOT {
                 return None;
             }
-            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
-                return Some(slot_id(word));
+            if arena.children_of(id) == children {
+                return Some(id);
             }
             idx = (idx + 1) & mask;
         }
@@ -428,15 +968,13 @@ impl SubTable {
     ) -> Consed {
         let slots = self.slots.read().expect("subtable lock");
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
+        let mut idx = mix64(children) as usize & mask;
         let mut probed = 0usize;
         let mut speculative: Option<u32> = speculative_in;
         let mut alloc = Some(alloc);
         loop {
-            let word = slots[idx].load(Ordering::Acquire);
-            if slot_id(word) == EMPTY_SLOT {
+            let found = slots[idx].load(Ordering::Acquire);
+            if found == EMPTY_SLOT {
                 let id = match speculative {
                     Some(id) => id,
                     None => {
@@ -446,8 +984,8 @@ impl SubTable {
                     }
                 };
                 match slots[idx].compare_exchange(
-                    EMPTY_WORD,
-                    slot_word(tag, id),
+                    EMPTY_SLOT,
+                    id,
                     Ordering::Release,
                     Ordering::Acquire,
                 ) {
@@ -466,9 +1004,9 @@ impl SubTable {
                     }
                 }
             }
-            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+            if arena.children_of(found) == children {
                 return Consed::Done {
-                    id: slot_id(word),
+                    id: found,
                     created: false,
                     rollback: speculative,
                 };
@@ -499,21 +1037,19 @@ impl SubTable {
     ) -> Option<(u32, bool)> {
         let slots = self.slots.read().expect("subtable lock");
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
+        let mut idx = mix64(children) as usize & mask;
         let mut probed = 0usize;
         loop {
-            let word = slots[idx].load(Ordering::Relaxed);
-            if slot_id(word) == EMPTY_SLOT {
+            let found = slots[idx].load(Ordering::Relaxed);
+            if found == EMPTY_SLOT {
                 let id = alloc();
-                slots[idx].store(slot_word(tag, id), Ordering::Relaxed);
+                slots[idx].store(id, Ordering::Relaxed);
                 let len = self.len.load(Ordering::Relaxed);
                 self.len.store(len + 1, Ordering::Relaxed);
                 return Some((id, true));
             }
-            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
-                return Some((slot_id(word), false));
+            if arena.children_of(found) == children {
+                return Some((found, false));
             }
             idx = (idx + 1) & mask;
             probed += 1;
@@ -541,22 +1077,26 @@ impl SubTable {
         if needed <= capacity * 3 {
             return;
         }
+        let before = capacity;
         while needed > capacity * 3 {
             capacity *= 2;
         }
+        arena
+            .mem()
+            .add(subtable_slot_bytes(capacity) - subtable_slot_bytes(before));
         let bigger = empty_slots(capacity);
         let mask = capacity - 1;
         for slot in slots.iter() {
-            let word = slot.load(Ordering::Relaxed);
-            if slot_id(word) == EMPTY_SLOT {
+            let id = slot.load(Ordering::Relaxed);
+            if id == EMPTY_SLOT {
                 continue;
             }
-            let hash = mix64(arena.children_of(slot_id(word)));
+            let hash = mix64(arena.children_of(id));
             let mut idx = hash as usize & mask;
-            while slot_id(bigger[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+            while bigger[idx].load(Ordering::Relaxed) != EMPTY_SLOT {
                 idx = (idx + 1) & mask;
             }
-            bigger[idx].store(word, Ordering::Relaxed);
+            bigger[idx].store(id, Ordering::Relaxed);
         }
         *slots = bigger;
     }
@@ -589,19 +1129,20 @@ impl SubTable {
         if (self.len() + 1) * 4 <= slots.len() * 3 {
             return false;
         }
+        arena.mem().add(subtable_slot_bytes(slots.len()));
         let doubled = empty_slots(slots.len() * 2);
         let mask = doubled.len() - 1;
         for slot in slots.iter() {
-            let word = slot.load(Ordering::Relaxed);
-            if slot_id(word) == EMPTY_SLOT {
+            let id = slot.load(Ordering::Relaxed);
+            if id == EMPTY_SLOT {
                 continue;
             }
-            let hash = mix64(arena.children_of(slot_id(word)));
+            let hash = mix64(arena.children_of(id));
             let mut idx = hash as usize & mask;
-            while slot_id(doubled[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+            while doubled[idx].load(Ordering::Relaxed) != EMPTY_SLOT {
                 idx = (idx + 1) & mask;
             }
-            doubled[idx].store(word, Ordering::Relaxed);
+            doubled[idx].store(id, Ordering::Relaxed);
         }
         *slots = doubled;
         true
@@ -619,13 +1160,11 @@ impl SubTable {
         }
         let slots = self.slots.get_mut().expect("subtable lock");
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
-        while slot_id(slots[idx].load(Ordering::Relaxed)) != EMPTY_SLOT {
+        let mut idx = mix64(children) as usize & mask;
+        while slots[idx].load(Ordering::Relaxed) != EMPTY_SLOT {
             idx = (idx + 1) & mask;
         }
-        slots[idx].store(slot_word(tag, id), Ordering::Relaxed);
+        slots[idx].store(id, Ordering::Relaxed);
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -636,16 +1175,14 @@ impl SubTable {
     pub(crate) fn remove_exclusive(&mut self, arena: &NodeArena, children: u64) {
         let slots = self.slots.get_mut().expect("subtable lock");
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
+        let mut idx = mix64(children) as usize & mask;
         loop {
-            let word = slots[idx].load(Ordering::Relaxed);
+            let id = slots[idx].load(Ordering::Relaxed);
             debug_assert!(
-                slot_id(word) != EMPTY_SLOT,
+                id != EMPTY_SLOT,
                 "removing a key that is not in the subtable"
             );
-            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
+            if id != EMPTY_SLOT && arena.children_of(id) == children {
                 break;
             }
             idx = (idx + 1) & mask;
@@ -654,32 +1191,32 @@ impl SubTable {
         let mut probe = idx;
         loop {
             probe = (probe + 1) & mask;
-            let word = slots[probe].load(Ordering::Relaxed);
-            if slot_id(word) == EMPTY_SLOT {
+            let id = slots[probe].load(Ordering::Relaxed);
+            if id == EMPTY_SLOT {
                 break;
             }
             // The entry at `probe` may move into the hole iff its home slot
             // is not cyclically inside (hole, probe] — otherwise the move
             // would put it before its home and break its probe chain.
-            let home = mix64(arena.children_of(slot_id(word))) as usize & mask;
+            let home = mix64(arena.children_of(id)) as usize & mask;
             let in_gap = if hole <= probe {
                 home > hole && home <= probe
             } else {
                 home > hole || home <= probe
             };
             if !in_gap {
-                slots[hole].store(word, Ordering::Relaxed);
+                slots[hole].store(id, Ordering::Relaxed);
                 hole = probe;
             }
         }
-        slots[hole].store(EMPTY_WORD, Ordering::Relaxed);
+        slots[hole].store(EMPTY_SLOT, Ordering::Relaxed);
         self.len.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Empties the subtable, keeping its capacity (exclusive phase).
     pub(crate) fn clear_exclusive(&mut self) {
         for slot in self.slots.get_mut().expect("subtable lock").iter_mut() {
-            *slot.get_mut() = EMPTY_WORD;
+            *slot.get_mut() = EMPTY_SLOT;
         }
         self.len.store(0, Ordering::Relaxed);
     }
@@ -690,7 +1227,7 @@ impl SubTable {
             .read()
             .expect("subtable lock")
             .iter()
-            .map(|slot| slot_id(slot.load(Ordering::Relaxed)))
+            .map(|slot| slot.load(Ordering::Relaxed))
             .filter(|&id| id != EMPTY_SLOT)
             .collect()
     }
@@ -702,13 +1239,13 @@ impl Clone for SubTable {
         // Acquire loads pair with the publication CAS, so every id the
         // cloned slots carry has fully visible node fields even if the
         // clone races a shared-phase insert.
-        let copied: Box<[AtomicU64]> = slots
+        let copied: Box<[AtomicU32]> = slots
             .iter()
-            .map(|slot| AtomicU64::new(slot.load(Ordering::Acquire)))
+            .map(|slot| AtomicU32::new(slot.load(Ordering::Acquire)))
             .collect();
         let len = copied
             .iter()
-            .filter(|slot| slot_id(slot.load(Ordering::Relaxed)) != EMPTY_SLOT)
+            .filter(|slot| slot.load(Ordering::Relaxed) != EMPTY_SLOT)
             .count();
         Self {
             slots: RwLock::new(copied),
@@ -724,7 +1261,7 @@ impl Clone for SubTable {
 /// walk can never wrap, so the handle needs no growth (or [`Consed`]
 /// retry) path.
 pub(crate) struct SubTableProber<'a> {
-    slots: &'a [AtomicU64],
+    slots: &'a [AtomicU32],
 }
 
 impl SubTableProber<'_> {
@@ -743,15 +1280,13 @@ impl SubTableProber<'_> {
     ) -> (u32, bool, Option<u32>) {
         let slots = self.slots;
         let mask = slots.len() - 1;
-        let hash = mix64(children);
-        let tag = (hash >> 32) as u32;
-        let mut idx = hash as usize & mask;
+        let mut idx = mix64(children) as usize & mask;
         let mut probed = 0usize;
         let mut speculative: Option<u32> = None;
         let mut alloc = Some(alloc);
         loop {
-            let word = slots[idx].load(Ordering::Acquire);
-            if slot_id(word) == EMPTY_SLOT {
+            let found = slots[idx].load(Ordering::Acquire);
+            if found == EMPTY_SLOT {
                 let id = match speculative {
                     Some(id) => id,
                     None => {
@@ -761,8 +1296,8 @@ impl SubTableProber<'_> {
                     }
                 };
                 match slots[idx].compare_exchange(
-                    EMPTY_WORD,
-                    slot_word(tag, id),
+                    EMPTY_SLOT,
+                    id,
                     Ordering::Release,
                     Ordering::Acquire,
                 ) {
@@ -774,8 +1309,8 @@ impl SubTableProber<'_> {
                     }
                 }
             }
-            if slot_tag(word) == tag && arena.children_of(slot_id(word)) == children {
-                return (slot_id(word), false, speculative);
+            if arena.children_of(found) == children {
+                return (found, false, speculative);
             }
             idx = (idx + 1) & mask;
             probed += 1;
@@ -858,6 +1393,11 @@ impl DirectCache {
             grow_budget: std::sync::atomic::AtomicI64::new(entries as i64),
             max_log2: CACHE_DEFAULT_MAX_LOG2,
         }
+    }
+
+    /// The retained bytes of the word array (byte-budget accounting).
+    pub(crate) fn bytes(&self) -> usize {
+        self.words.len() * 8
     }
 
     #[inline]
@@ -1268,81 +1808,139 @@ fn stat_slot() -> usize {
     })
 }
 
-/// The free list of the arena: a mutex-protected stack with a relaxed
-/// length mirror so the empty case skips the lock entirely.
+// ---------------------------------------------------------------------- //
+// Per-variable free lists
+// ---------------------------------------------------------------------- //
+
+/// One variable's free stack: a mutex-protected vector with a relaxed
+/// length mirror so the empty case — the common one on the `mk` hot path —
+/// skips the lock entirely.
 #[derive(Debug, Default)]
-pub(crate) struct FreeList {
+struct FreeShard {
     stack: Mutex<Vec<u32>>,
     len: AtomicUsize,
 }
 
-impl FreeList {
-    pub(crate) fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+/// The arena's free lists, segregated by variable to match the
+/// level-segregated allocator.  **Homing invariant**: `lists[v]` holds only
+/// ids whose chunk owner is `v`, so a reused id never turns a single-owner
+/// chunk mixed.  The invariant is maintained by construction — `mk(var, …)`
+/// rolls back ids it popped (or bumped) for `var`, and the exclusive-phase
+/// producers (sweep, reorder reclamation) home ids through
+/// [`NodeArena::chunk_owner`].
+#[derive(Debug)]
+pub(crate) struct FreeTable {
+    lists: Vec<FreeShard>,
+}
+
+impl FreeTable {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        Self {
+            lists: (0..num_vars).map(|_| FreeShard::default()).collect(),
+        }
     }
 
-    pub(crate) fn pop(&self) -> Option<u32> {
-        if self.len() == 0 {
+    /// Appends shards for `extra` fresh variables (exclusive phase).
+    pub(crate) fn add_vars(&mut self, extra: usize) {
+        for _ in 0..extra {
+            self.lists.push(FreeShard::default());
+        }
+    }
+
+    /// Total free ids across all variables (integrity checks, GC
+    /// bookkeeping; not on the hot path).
+    pub(crate) fn len(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|shard| shard.len.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Pops a free id homed under `var`, if any.
+    pub(crate) fn pop(&self, var: u32) -> Option<u32> {
+        let shard = &self.lists[var as usize];
+        if shard.len.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        let mut stack = self.stack.lock().expect("free list lock");
+        let mut stack = shard.stack.lock().expect("free list lock");
         let id = stack.pop();
         if id.is_some() {
-            self.len.fetch_sub(1, Ordering::Relaxed);
+            shard.len.fetch_sub(1, Ordering::Relaxed);
         }
         id
     }
 
-    pub(crate) fn push(&self, id: u32) {
-        let mut stack = self.stack.lock().expect("free list lock");
+    /// Returns a free id to `var`'s list (rollbacks, reorder reclamation).
+    pub(crate) fn push(&self, var: u32, id: u32) {
+        let shard = &self.lists[var as usize];
+        let mut stack = shard.stack.lock().expect("free list lock");
         stack.push(id);
-        self.len.fetch_add(1, Ordering::Relaxed);
+        shard.len.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Pops up to `n` ids in one lock acquisition.  The parallel reorder
-    /// batch hands each worker chunk its own slice of pre-popped ids so
-    /// the racing cons calls never touch this mutex.
-    pub(crate) fn pop_many(&self, n: usize) -> Vec<u32> {
-        if n == 0 || self.len() == 0 {
+    /// Pops up to `n` ids homed under `var` in one lock acquisition.  The
+    /// parallel reorder batch hands each worker chunk its own slice of
+    /// pre-popped ids so the racing cons calls never touch the mutex.
+    pub(crate) fn pop_many(&self, var: u32, n: usize) -> Vec<u32> {
+        let shard = &self.lists[var as usize];
+        if n == 0 || shard.len.load(Ordering::Relaxed) == 0 {
             return Vec::new();
         }
-        let mut stack = self.stack.lock().expect("free list lock");
+        let mut stack = shard.stack.lock().expect("free list lock");
         let take = n.min(stack.len());
         let split_at = stack.len() - take;
         let ids = stack.split_off(split_at);
-        self.len.fetch_sub(take, Ordering::Relaxed);
+        shard.len.fetch_sub(take, Ordering::Relaxed);
         ids
     }
 
     /// Returns unused pre-popped ids in one lock acquisition.
-    pub(crate) fn push_many(&self, ids: &[u32]) {
+    pub(crate) fn push_many(&self, var: u32, ids: &[u32]) {
         if ids.is_empty() {
             return;
         }
-        let mut stack = self.stack.lock().expect("free list lock");
+        let shard = &self.lists[var as usize];
+        let mut stack = shard.stack.lock().expect("free list lock");
         stack.extend_from_slice(ids);
-        self.len.fetch_add(ids.len(), Ordering::Relaxed);
+        shard.len.fetch_add(ids.len(), Ordering::Relaxed);
     }
 
-    /// Replaces the whole stack (exclusive phase: GC rebuild).
-    pub(crate) fn replace(&mut self, ids: Vec<u32>) {
-        self.len.store(ids.len(), Ordering::Relaxed);
-        *self.stack.get_mut().expect("free list lock") = ids;
+    /// Replaces every per-variable stack (exclusive phase: the GC sweep
+    /// hands back its owner-homed free lists).
+    pub(crate) fn replace_all(&mut self, lists: Vec<Vec<u32>>) {
+        debug_assert_eq!(lists.len(), self.lists.len(), "one list per variable");
+        for (shard, ids) in self.lists.iter_mut().zip(lists) {
+            shard.len.store(ids.len(), Ordering::Relaxed);
+            *shard.stack.get_mut().expect("free list lock") = ids;
+        }
     }
 
-    /// A snapshot of the stack (integrity checks, GC / reorder bookkeeping).
+    /// A flat snapshot of every free id (integrity checks, GC / reorder
+    /// bookkeeping).
     pub(crate) fn snapshot(&self) -> Vec<u32> {
-        self.stack.lock().expect("free list lock").clone()
+        let mut out = Vec::new();
+        for shard in &self.lists {
+            out.extend_from_slice(&shard.stack.lock().expect("free list lock"));
+        }
+        out
     }
 }
 
-impl Clone for FreeList {
+impl Clone for FreeTable {
     fn clone(&self) -> Self {
-        let stack = self.stack.lock().expect("free list lock").clone();
-        let len = stack.len();
         Self {
-            stack: Mutex::new(stack),
-            len: AtomicUsize::new(len),
+            lists: self
+                .lists
+                .iter()
+                .map(|shard| {
+                    let stack = shard.stack.lock().expect("free list lock").clone();
+                    let len = stack.len();
+                    FreeShard {
+                        stack: Mutex::new(stack),
+                        len: AtomicUsize::new(len),
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -1352,37 +1950,163 @@ mod tests {
     use super::*;
 
     #[test]
-    fn arena_locate_is_consistent() {
-        // Every id maps to a (chunk, offset) whose base + offset returns it.
-        for id in [0u32, 1, 4095, 4096, 12287, 12288, 1 << 20, (1 << 31) - 1] {
-            let (chunk, offset) = locate(id);
-            let base = ((1u32 << chunk) - 1) << ARENA_BASE_BITS;
-            assert!(offset < chunk_len(chunk), "offset in range for {id}");
-            assert_eq!(base + offset as u32, id, "roundtrip for {id}");
+    fn chunk_directory_roundtrips() {
+        // Every chunk index maps into its directory group and back.
+        for chunk in [0u32, 1, 2, 3, 6, 7, 1023, 1024, MAX_CHUNKS - 1] {
+            let (group, idx) = group_of(chunk);
+            assert!(group < CHUNK_GROUPS, "group in range for {chunk}");
+            assert!(idx < (1usize << group), "index in range for {chunk}");
+            assert_eq!((1u32 << group) - 1 + idx as u32, chunk, "roundtrip");
         }
     }
 
     #[test]
-    fn arena_allocates_across_chunk_boundaries() {
+    fn arena_segregates_by_variable_and_spans_chunks() {
         let arena = NodeArena::new(7);
         let mut ids = Vec::new();
         for i in 0..10_000u32 {
-            let id = arena.bump();
+            let var = i % 5;
+            let id = arena.bump(var);
             arena.write(
                 id,
                 Node {
-                    var: i % 5,
+                    var,
                     low: NodeId::TRUE,
                     high: NodeId::FALSE,
                 },
             );
-            ids.push((id, i % 5));
+            ids.push((id, var));
         }
         for (id, var) in ids {
             assert_eq!(arena.var_of(id), var);
+            assert_eq!(arena.chunk_owner(id), var, "chunks are single-owner");
             assert_eq!(arena.high_of(id), NodeId::FALSE);
         }
         assert_eq!(arena.var_of(0), 7, "terminal sentinel kept");
+        assert_eq!(arena.allocated_slots(), 10_000);
+        assert!(arena.mem().bytes() > 0, "chunk bytes are tracked");
+    }
+
+    #[test]
+    fn sweep_releases_empty_chunks_and_recycles_them() {
+        let mut arena = NodeArena::new(3);
+        // Fill two full chunks of variable 0 and a partial chunk of var 1.
+        for _ in 0..2 * CHUNK_LEN {
+            let id = arena.bump(0);
+            arena.write(
+                id,
+                Node {
+                    var: 0,
+                    low: NodeId::TRUE,
+                    high: NodeId::FALSE,
+                },
+            );
+        }
+        let keeper = arena.bump(1);
+        arena.write(
+            keeper,
+            Node {
+                var: 1,
+                low: NodeId::TRUE,
+                high: NodeId::FALSE,
+            },
+        );
+        let bytes_before = arena.mem().bytes();
+        // Only the var-1 node survives.
+        let mut marked = vec![false; arena.id_bound()];
+        marked[0] = true;
+        marked[keeper as usize] = true;
+        let (live, free) = arena.sweep(&marked);
+        assert_eq!(live, vec![keeper]);
+        assert_eq!(arena.chunks_reclaimed(), 2, "both var-0 chunks released");
+        assert!(
+            arena.mem().bytes() + 2 * CHUNK_LEN * 8 <= bytes_before,
+            "released chunk bytes are uncharged"
+        );
+        assert!(free[0].is_empty(), "released ids are not on the free list");
+        assert!(free[1].is_empty(), "survivor chunk has no dead cells yet");
+        // The released chunks are recycled before the watermark grows.
+        let bound_before = arena.id_bound();
+        for _ in 0..CHUNK_LEN {
+            arena.bump(2);
+        }
+        assert_eq!(arena.id_bound(), bound_before, "recycled, not grown");
+    }
+
+    #[test]
+    fn relabel_creates_and_sweep_drops_the_sidecar() {
+        let mut arena = NodeArena::new(4);
+        let a = arena.bump(0);
+        arena.write(
+            a,
+            Node {
+                var: 0,
+                low: NodeId::TRUE,
+                high: NodeId::FALSE,
+            },
+        );
+        let b = arena.bump(0);
+        arena.write(
+            b,
+            Node {
+                var: 0,
+                low: NodeId::FALSE,
+                high: NodeId::TRUE,
+            },
+        );
+        // Relabel one node: the chunk turns mixed and gets a sidecar.
+        let bytes_before = arena.mem().bytes();
+        arena.write_relabel(
+            b,
+            Node {
+                var: 2,
+                low: NodeId::FALSE,
+                high: NodeId::TRUE,
+            },
+        );
+        assert_eq!(arena.var_of(a), 0, "other nodes keep their label");
+        assert_eq!(arena.var_of(b), 2, "relabelled node reads the sidecar");
+        assert_eq!(arena.mem().bytes(), bytes_before + CHUNK_LEN * 4);
+        // Sweep with only the relabelled node live: the chunk re-owns to
+        // var 2, drops the sidecar, and homes the dead cell under var 2.
+        let mut marked = vec![false; arena.id_bound()];
+        marked[0] = true;
+        marked[b as usize] = true;
+        let (live, free) = arena.sweep(&marked);
+        assert_eq!(live, vec![b]);
+        assert_eq!(arena.chunk_owner(b), 2, "chunk re-owned to the survivor");
+        assert_eq!(arena.var_of(b), 2, "label survives the sidecar drop");
+        assert_eq!(free[2], vec![a], "dead cell homed under the new owner");
+        assert_eq!(arena.mem().bytes(), bytes_before, "sidecar bytes returned");
+    }
+
+    #[test]
+    fn mem_tracker_budget_is_nonsticky() {
+        let tracker = MemTracker::new();
+        assert!(!tracker.over_budget(), "unlimited by default");
+        tracker.set_limit(Some(100));
+        tracker.add(150);
+        assert!(tracker.over_budget());
+        assert_eq!(tracker.peak(), 150);
+        tracker.sub(100);
+        assert!(!tracker.over_budget(), "recovering clears the breach");
+        assert_eq!(tracker.peak(), 150, "peak is sticky");
+        tracker.set_limit(None);
+        tracker.add(1 << 30);
+        assert!(!tracker.over_budget());
+    }
+
+    #[test]
+    fn free_table_homes_ids_per_variable() {
+        let free = FreeTable::new(3);
+        free.push(0, 1024);
+        free.push(1, 2048);
+        free.push(1, 2049);
+        assert_eq!(free.len(), 3);
+        assert_eq!(free.pop(2), None, "other variables see nothing");
+        assert_eq!(free.pop(0), Some(1024));
+        assert_eq!(free.pop_many(1, 8), vec![2048, 2049]);
+        assert_eq!(free.len(), 0);
     }
 
     #[test]
@@ -1393,7 +2117,7 @@ mod tests {
         let mut published = Vec::new();
         for i in 0..100u64 {
             let children = pack_children(NodeId::TRUE, NodeId::from_bits(i as u32 + 1));
-            let id = arena.bump();
+            let id = arena.bump(0);
             arena.write(
                 id,
                 Node {
@@ -1432,6 +2156,20 @@ mod tests {
             }
         }
         assert_eq!(table.len(), 100);
+    }
+
+    #[test]
+    fn subtable_growth_charges_the_tracker() {
+        let arena = NodeArena::new(2);
+        let table = SubTable::new();
+        let before = arena.mem().bytes();
+        table.grow_for(&arena, 1000);
+        let grown = arena.mem().bytes() - before;
+        assert_eq!(
+            grown,
+            table.slot_bytes() - SubTable::initial_bytes(),
+            "grow_for charges exactly the capacity delta"
+        );
     }
 
     #[test]

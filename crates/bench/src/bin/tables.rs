@@ -1,9 +1,9 @@
 //! Command-line harness that regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|cache|all]
-//!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--reorder]
-//!                                                   [--threads <n>] [--cache] [--json]
+//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|cache|memory|all]
+//!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--max-bytes <n>]
+//!                                                   [--reorder] [--threads <n>] [--cache] [--json] [--baseline <path>]
 //! ```
 //!
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
@@ -11,8 +11,9 @@
 
 use sliq_bench::tables::{
     accuracy_rows, bitwidth_rows, cache_report, format_accuracy, format_bitwidth, format_cache,
-    format_sample, format_table3, format_table4, format_table5, format_table6, sample_rows,
-    table3_rows, table4_rows, table5_rows, table6_rows, CacheReport, Scale,
+    format_memory, format_sample, format_table3, format_table4, format_table5, format_table6,
+    memory_geomean_bytes_per_node, memory_rows, sample_rows, table3_rows, table4_rows, table5_rows,
+    table6_rows, CacheReport, MemoryRow, Scale,
 };
 use sliq_bench::CaseLimits;
 use std::time::Duration;
@@ -23,6 +24,7 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut limits = CaseLimits::default();
     let mut json = false;
+    let mut baseline: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -38,6 +40,14 @@ fn main() {
                 if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
                     limits.max_nodes = v;
                 }
+            }
+            "--max-bytes" => {
+                if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                    limits.max_bytes = Some(v);
+                }
+            }
+            "--baseline" => {
+                baseline = iter.next().cloned();
             }
             "--reorder" => limits.auto_reorder = true,
             "--cache" => limits.use_result_cache = true,
@@ -110,6 +120,110 @@ fn main() {
             println!("wrote {path}");
         }
     }
+    if wants("memory") {
+        let rows = memory_rows(scale, limits);
+        println!("{}", format_memory(&rows));
+        if json {
+            let path = "BENCH_memory.json";
+            std::fs::write(path, memory_rows_json(&rows))
+                .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if let Some(baseline_path) = &baseline {
+            check_memory_baseline(&rows, baseline_path);
+        }
+    }
+}
+
+/// Compares the sweep's geomean bytes/node against a committed baseline
+/// `BENCH_memory.json` and exits nonzero on a >10% regression (the CI
+/// bench-smoke gate).  Improvements and small noise pass silently.
+fn check_memory_baseline(rows: &[MemoryRow], baseline_path: &str) {
+    let Some(current) = memory_geomean_bytes_per_node(rows) else {
+        eprintln!("memory baseline check: no completed rows to compare");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("memory baseline check: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(reference) = json_f64_field(&text, "geomean_bytes_per_node") else {
+        eprintln!("memory baseline check: {baseline_path} has no geomean_bytes_per_node");
+        std::process::exit(1);
+    };
+    let ratio = current / reference;
+    println!(
+        "memory baseline check: geomean bytes/node {current:.2} vs baseline {reference:.2} ({:+.1}%)",
+        100.0 * (ratio - 1.0)
+    );
+    if ratio > 1.10 {
+        eprintln!(
+            "memory baseline check FAILED: bytes/node regressed by {:.1}% (> 10% allowed)",
+            100.0 * (ratio - 1.0)
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Pulls `"field": <number>` out of hand-rolled JSON (the workspace
+/// deliberately has no serde dependency; our own writer emits one field per
+/// line, which is all this needs to parse).
+fn json_f64_field(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    for line in text.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let rest = line[pos + needle.len()..].trim().trim_end_matches(',');
+            if let Ok(v) = rest.parse::<f64>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Hand-rolled JSON for the memory sweep rows.
+fn memory_rows_json(rows: &[MemoryRow]) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    match memory_geomean_bytes_per_node(rows) {
+        Some(geomean) => {
+            out.push_str(&format!("  \"geomean_bytes_per_node\": {geomean:.3},\n"));
+        }
+        None => out.push_str("  \"geomean_bytes_per_node\": null,\n"),
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, \"status\": \"{}\", \
+             \"seconds\": {}, \"allocated_nodes\": {}, \"bytes_per_node\": {}, \
+             \"legacy_bytes_per_node\": {}, \"reduction_pct\": {}, \"peak_bytes\": {}, \
+             \"peak_nodes\": {}, \"chunks_reclaimed\": {}}}{}\n",
+            row.name,
+            row.qubits,
+            row.gates,
+            row.status,
+            num(row.seconds),
+            row.allocated_nodes,
+            num(row.bytes_per_node),
+            num(row.legacy_bytes_per_node),
+            num(row.reduction_pct),
+            row.peak_bytes,
+            row.peak_nodes,
+            row.chunks_reclaimed,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Hand-rolled JSON for the result-cache benchmark (no serde in the

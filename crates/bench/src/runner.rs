@@ -70,6 +70,12 @@ pub struct CaseLimits {
     pub timeout: Duration,
     /// Node limit for the symbolic backends (emulates the 2 GB memory-out).
     pub max_nodes: usize,
+    /// Byte budget for the backend state (`None` = unlimited): the
+    /// bit-sliced kernel accounts arena + subtables + op caches against it
+    /// at run time, and the dense backend's projected footprint is checked
+    /// at admission.  An exceeded budget reports the row as "MO" like the
+    /// node limit does.
+    pub max_bytes: Option<usize>,
     /// Enables automatic variable reordering on the bit-sliced backend
     /// (sifting when the live BDD outgrows the kernel's trigger).  Also
     /// forced on by the `SLIQ_AUTO_REORDER` environment variable, which the
@@ -98,6 +104,7 @@ impl Default for CaseLimits {
         Self {
             timeout: Duration::from_secs(20),
             max_nodes: 2_000_000,
+            max_bytes: None,
             auto_reorder: false,
             threads: None,
             force_shared_kernel: false,
@@ -126,6 +133,9 @@ impl CaseLimits {
             .auto_reorder(self.auto_reorder || auto_reorder_env())
             .force_shared_kernel(self.force_shared_kernel)
             .result_cache(self.use_result_cache);
+        if let Some(max_bytes) = self.max_bytes {
+            config = config.max_bytes(max_bytes);
+        }
         if let Some(threads) = self.threads {
             config = config.threads(threads);
         }
@@ -154,9 +164,13 @@ fn run_backend(backend: Backend, circuit: &Circuit, limits: CaseLimits) -> Backe
             result.stats.bdd,
         ),
         Err(err) => {
+            // Both limit flavours are the paper's "MO": the session survived
+            // the overshoot (graceful degradation), so its stats are real.
             let stats = session.stats();
             let status = match err {
-                ExecError::Resource { .. } => CaseStatus::MemoryOut,
+                ExecError::Resource { .. } | ExecError::CapacityExceeded { .. } => {
+                    CaseStatus::MemoryOut
+                }
                 other => CaseStatus::Error(other.to_string()),
             };
             (status, stats.memory_mib, f64::NAN, stats.bdd)
@@ -216,6 +230,13 @@ pub fn kernel_stats_report(stats: &sliq_bdd::ManagerStats) -> String {
     out.push_str(&format!(
         "  nodes created {}  peak {}  unique-resizes {}  gc-runs {}\n",
         stats.created_nodes, stats.peak_nodes, stats.unique_resizes, stats.gc_runs
+    ));
+    out.push_str(&format!(
+        "  bytes/node {:.1}  current bytes {}  peak bytes {}  chunks reclaimed {}\n",
+        stats.bytes_per_node(),
+        stats.current_bytes,
+        stats.peak_bytes,
+        stats.chunks_reclaimed
     ));
     out.push_str(&format!(
         "  O(1) negations {}  complement canonical flips {}  cache-cap 2^{} (raised {}x)\n",
@@ -387,6 +408,24 @@ mod tests {
         let result = run_case(Backend::Qmdd, &circuit, limits);
         assert_eq!(result.status, CaseStatus::MemoryOut);
         assert_eq!(result.time_cell(), "MO");
+    }
+
+    #[test]
+    fn byte_budget_produces_memory_out_not_a_panic() {
+        // The bit-sliced kernel's own byte accounting must surface as a
+        // reported "MO" row — the CapacityExceeded arm, not a crash — and
+        // the session's post-overshoot stats must still be collected.
+        let circuit = sliq_workloads::random::random_clifford_t(14, 3);
+        let limits = CaseLimits {
+            timeout: Duration::from_secs(30),
+            max_bytes: Some(16 * 1024),
+            ..CaseLimits::default()
+        };
+        let result = run_case(Backend::BitSlice, &circuit, limits);
+        assert_eq!(result.status, CaseStatus::MemoryOut);
+        assert_eq!(result.time_cell(), "MO");
+        assert!(result.memory_mib > 0.0, "stats survive the overshoot");
+        assert!(result.bdd_stats.is_some());
     }
 
     #[test]

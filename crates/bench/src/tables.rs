@@ -891,6 +891,176 @@ pub fn format_cache(report: &CacheReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------- //
+// Memory sweep
+// ---------------------------------------------------------------------- //
+
+/// One workload of the memory sweep: the compact kernel's exact footprint
+/// next to what the pre-compaction layout would have spent on the same node
+/// population.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Workload name.
+    pub name: String,
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// The runner's status cell ("MO", "TO", seconds…).
+    pub status: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Live (allocated) nodes at the end of the run.
+    pub allocated_nodes: usize,
+    /// Exact bytes per allocated node over arena cells + var sidecars +
+    /// unique subtables (op caches excluded: their size is a policy knob,
+    /// not a function of the node population).
+    pub bytes_per_node: f64,
+    /// What the pre-compaction layout — 12-byte node cells and 8-byte
+    /// unique-table slots — would spend per node on the same population.
+    pub legacy_bytes_per_node: f64,
+    /// `1 − compact/legacy` as a percentage.
+    pub reduction_pct: f64,
+    /// Peak tracked bytes over the run (arena + subtables + op caches).
+    pub peak_bytes: usize,
+    /// Peak allocated nodes over the run.
+    pub peak_nodes: usize,
+    /// Arena chunks handed back by generational sweeps.
+    pub chunks_reclaimed: u64,
+}
+
+/// Derives the memory columns from one bit-sliced case result.
+fn memory_row(name: String, circuit: &Circuit, limits: CaseLimits) -> MemoryRow {
+    let result = run_case(Backend::BitSlice, circuit, limits);
+    let mut row = MemoryRow {
+        name,
+        qubits: circuit.num_qubits(),
+        gates: circuit.len(),
+        status: result.time_cell(),
+        seconds: result.seconds,
+        allocated_nodes: 0,
+        bytes_per_node: f64::NAN,
+        legacy_bytes_per_node: f64::NAN,
+        reduction_pct: f64::NAN,
+        peak_bytes: 0,
+        peak_nodes: 0,
+        chunks_reclaimed: 0,
+    };
+    if let Some(stats) = result.bdd_stats {
+        row.allocated_nodes = stats.allocated_nodes;
+        row.bytes_per_node = stats.bytes_per_node();
+        // The pre-compaction layout stored a 12-byte cell per arena slot
+        // (same chunk occupancy, `var` inline so no sidecar) and an 8-byte
+        // (id, tag) pair per unique-table slot where the compact layout
+        // stores a 4-byte id.
+        let arena_cells = stats.arena_cell_bytes / 8;
+        let legacy_bytes = 12 * arena_cells + 2 * stats.subtable_bytes;
+        if stats.allocated_nodes > 0 {
+            row.legacy_bytes_per_node = legacy_bytes as f64 / stats.allocated_nodes as f64;
+            row.reduction_pct = 100.0 * (1.0 - row.bytes_per_node / row.legacy_bytes_per_node);
+        }
+        row.peak_bytes = stats.peak_bytes;
+        row.peak_nodes = stats.peak_nodes;
+        row.chunks_reclaimed = stats.chunks_reclaimed;
+    }
+    row
+}
+
+/// Generates and runs the memory sweep: the Table III random Clifford+T
+/// sizes (every seed its own row) plus the Table IV RevLib-like circuits in
+/// their superposition-modified form (the original reversible circuits keep
+/// near-trivial BDDs, so the modified ones are the memory-relevant half).
+pub fn memory_rows(scale: Scale, limits: CaseLimits) -> Vec<MemoryRow> {
+    let (sizes, seeds): (Vec<usize>, u64) = if bench_smoke_env() {
+        (vec![12, 16], 1)
+    } else {
+        match scale {
+            Scale::Quick => (vec![16, 20, 24, 28], 3),
+            Scale::Full => (vec![24, 32, 40, 56], 3),
+        }
+    };
+    let mut rows = Vec::new();
+    for qubits in sizes {
+        for seed in 0..seeds {
+            rows.push(memory_row(
+                format!("random_clifford_t({qubits},s{seed})"),
+                &random::random_clifford_t(qubits, seed),
+                limits,
+            ));
+        }
+    }
+    let revlib = if bench_smoke_env() {
+        vec![revlib_like::ripple_carry_adder(6)]
+    } else {
+        vec![
+            revlib_like::ripple_carry_adder(6),
+            revlib_like::equality_comparator(8),
+            revlib_like::hidden_weighted_bit_like(8),
+            revlib_like::random_control_logic(20, 90, 11),
+        ]
+    };
+    for bench in revlib {
+        let modified = bench.with_superposition_inputs();
+        rows.push(memory_row(format!("{}+H", bench.name), &modified, limits));
+    }
+    rows
+}
+
+/// Geometric mean of `bytes_per_node` over completed rows (the CI
+/// regression gate's scalar); `None` when no row completed.
+pub fn memory_geomean_bytes_per_node(rows: &[MemoryRow]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for row in rows {
+        if row.bytes_per_node.is_finite() && row.bytes_per_node > 0.0 {
+            log_sum += row.bytes_per_node.ln();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+/// Formats the memory sweep.
+pub fn format_memory(rows: &[MemoryRow]) -> String {
+    let mut out = String::new();
+    out.push_str("MEMORY: bytes/node and peak footprint of the compact kernel layout\n");
+    out.push_str(&format!(
+        "{:<26} {:>7} {:>6} {:>8} | {:>9} {:>9} {:>9} {:>6} | {:>12} {:>9}\n",
+        "Workload",
+        "#Qubits",
+        "#Gates",
+        "time",
+        "nodes",
+        "B/node",
+        "legacy",
+        "cut%",
+        "peak bytes",
+        "reclaimed"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>6} {:>8} | {:>9} {:>9.1} {:>9.1} {:>5.1}% | {:>12} {:>9}\n",
+            row.name,
+            row.qubits,
+            row.gates,
+            row.status,
+            row.allocated_nodes,
+            row.bytes_per_node,
+            row.legacy_bytes_per_node,
+            row.reduction_pct,
+            row.peak_bytes,
+            row.chunks_reclaimed
+        ));
+    }
+    if let Some(geomean) = memory_geomean_bytes_per_node(rows) {
+        out.push_str(&format!(
+            "  geomean bytes/node {geomean:.2} over {} completed workloads\n",
+            rows.iter().filter(|r| r.bytes_per_node.is_finite()).count()
+        ));
+    }
+    out
+}
+
 /// Convenience: `true` if any case in the pair of results hit a limit (used
 /// by the harness tests).
 pub fn any_failure(results: &[&CaseResult]) -> bool {
@@ -990,6 +1160,31 @@ mod tests {
         assert!(text.contains("SAMPLING"));
         assert!(text.contains("vs resim"));
         assert!(text.contains("n/a"));
+    }
+
+    #[test]
+    fn memory_row_reports_compact_layout_savings() {
+        let circuit = random::random_clifford_t(14, 1);
+        let row = memory_row("random_clifford_t(14,s1)".into(), &circuit, tiny_limits());
+        assert_eq!(row.status, format!("{:.2}", row.seconds));
+        assert!(row.allocated_nodes > 0);
+        assert!(row.bytes_per_node > 0.0);
+        assert!(row.legacy_bytes_per_node > row.bytes_per_node);
+        // The acceptance bar proper (≥25% on random_clifford_t(24)) lives in
+        // the gated perf test; the layout algebra guarantees ≥33% whenever
+        // no var sidecar is resident, so even this small case clears 25%.
+        assert!(
+            row.reduction_pct >= 25.0,
+            "compact layout must cut ≥25% bytes/node, got {:.1}%",
+            row.reduction_pct
+        );
+        assert!(row.peak_bytes > 0);
+        let rows = vec![row];
+        let geomean = memory_geomean_bytes_per_node(&rows).expect("one completed row");
+        assert!(geomean > 0.0);
+        let text = format_memory(&rows);
+        assert!(text.contains("MEMORY"));
+        assert!(text.contains("geomean"));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Acceptance tests for the compact level-segregated node layout: the
+//! `tables -- memory` sweep must be well-formed, and (gated behind
+//! `SLIQ_PERF_TEST=1`, release profile) the compact layout must cut
+//! bytes/node on `random_clifford_t(24)` by at least the 25% acceptance
+//! bar versus the pre-compaction layout's spend on the same population.
+
+use sliq_bench::tables::{format_memory, memory_geomean_bytes_per_node, memory_rows, Scale};
+use sliq_bench::{run_case, Backend, CaseLimits, CaseStatus};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serialises the tests in this file: one pokes the process-global
+/// `SLIQ_BENCH_SMOKE` variable that selects the sweep's workload sizes.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn smoke_memory_sweep_is_well_formed() {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::set_var("SLIQ_BENCH_SMOKE", "1");
+    let rows = memory_rows(Scale::Quick, CaseLimits::default());
+    std::env::remove_var("SLIQ_BENCH_SMOKE");
+
+    // Smoke scale: two random sizes × one seed, one RevLib circuit.
+    assert_eq!(rows.len(), 3, "{rows:?}");
+    for row in &rows {
+        assert!(row.allocated_nodes > 0, "{}: no nodes reported", row.name);
+        assert!(row.bytes_per_node > 0.0);
+        assert!(
+            row.legacy_bytes_per_node > row.bytes_per_node,
+            "{}: compact layout must beat the legacy layout",
+            row.name
+        );
+        assert!(row.peak_bytes > 0);
+    }
+    let geomean = memory_geomean_bytes_per_node(&rows).expect("completed rows");
+    assert!(geomean > 0.0);
+    let rendered = format_memory(&rows);
+    for needle in ["MEMORY", "B/node", "legacy", "peak bytes", "geomean"] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
+    }
+}
+
+/// Gated acceptance (`SLIQ_PERF_TEST=1`, release profile): ≥25% bytes/node
+/// reduction on the 24-qubit random Clifford+T workload versus the
+/// pre-compaction layout (12-byte node cells, 8-byte unique-table slots).
+#[test]
+fn perf_compact_layout_cuts_25pct_bytes_per_node_on_rc_t_24() {
+    if std::env::var_os("SLIQ_PERF_TEST").is_none() {
+        eprintln!("skipped (set SLIQ_PERF_TEST=1 to run the memory acceptance test)");
+        return;
+    }
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let circuit = sliq_workloads::random::random_clifford_t(24, 1);
+    let limits = CaseLimits {
+        timeout: Duration::from_secs(300),
+        ..CaseLimits::default()
+    };
+    let result = run_case(Backend::BitSlice, &circuit, limits);
+    assert_eq!(result.status, CaseStatus::Completed, "{result:?}");
+    let stats = result.bdd_stats.expect("bit-sliced backend reports stats");
+    let compact = stats.bytes_per_node();
+    let arena_cells = stats.arena_cell_bytes / 8;
+    let legacy =
+        (12 * arena_cells + 2 * stats.subtable_bytes) as f64 / stats.allocated_nodes as f64;
+    assert!(
+        compact <= 0.75 * legacy,
+        "compact layout must cut >= 25% bytes/node on random_clifford_t(24): \
+         compact {compact:.1} vs legacy {legacy:.1} ({:.1}% cut)",
+        100.0 * (1.0 - compact / legacy)
+    );
+}

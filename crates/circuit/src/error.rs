@@ -99,6 +99,19 @@ pub enum SimulationError {
         /// Description of the limit.
         detail: String,
     },
+    /// A configured memory budget was exceeded.  Unlike
+    /// [`SimulationError::ResourceLimit`] this carries the byte counts so
+    /// harnesses can report the overshoot as a memory-out row, and the
+    /// backend guarantees the state is still queryable (and restorable to a
+    /// pre-limit snapshot) after returning it.
+    CapacityExceeded {
+        /// Which backend hit the budget.
+        backend: &'static str,
+        /// Bytes in use when the budget check fired.
+        used_bytes: usize,
+        /// The configured budget.
+        limit_bytes: usize,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -111,6 +124,14 @@ impl fmt::Display for SimulationError {
             SimulationError::ResourceLimit { backend, detail } => {
                 write!(f, "{backend} exceeded a resource limit: {detail}")
             }
+            SimulationError::CapacityExceeded {
+                backend,
+                used_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "{backend} exceeded its memory budget: {used_bytes} bytes in use, limit {limit_bytes}"
+            ),
         }
     }
 }

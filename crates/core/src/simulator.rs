@@ -11,6 +11,12 @@ use sliq_math::Algebraic;
 pub struct BitSliceLimits {
     /// Maximum number of live BDD nodes; `None` means unlimited.
     pub max_nodes: Option<usize>,
+    /// Maximum bytes across the kernel's arena, unique subtables and op
+    /// caches; `None` means unlimited.  Exceeding it surfaces as
+    /// [`SimulationError::CapacityExceeded`] at the next gate boundary (and
+    /// bounds the kernel's own sifting passes), leaving the state queryable
+    /// and pre-limit snapshots restorable.
+    pub max_bytes: Option<usize>,
 }
 
 /// The bit-sliced BDD quantum circuit simulator — the paper's contribution.
@@ -59,9 +65,13 @@ impl BitSliceSimulator {
         }
     }
 
-    /// Sets resource limits (builder style).
+    /// Sets resource limits (builder style).  The limits are pushed into the
+    /// kernel so its own exclusive phases (sifting, cache growth) respect
+    /// them too, not just the per-gate checks here.
     pub fn with_limits(mut self, limits: BitSliceLimits) -> Self {
         self.limits = limits;
+        self.state
+            .set_memory_limits(limits.max_nodes, limits.max_bytes);
         self
     }
 
@@ -193,6 +203,16 @@ impl BitSliceSimulator {
                 });
             }
         }
+        if let Some(max) = self.limits.max_bytes {
+            let used = self.state.manager().current_bytes();
+            if used > max {
+                return Err(SimulationError::CapacityExceeded {
+                    backend: "bitslice",
+                    used_bytes: used,
+                    limit_bytes: max,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -261,11 +281,51 @@ mod tests {
             circuit.t(q);
             circuit.h(q);
         }
-        let mut sim = BitSliceSimulator::new(10).with_limits(BitSliceLimits { max_nodes: Some(8) });
+        let mut sim = BitSliceSimulator::new(10).with_limits(BitSliceLimits {
+            max_nodes: Some(8),
+            ..Default::default()
+        });
         assert!(matches!(
             sim.run(&circuit),
             Err(SimulationError::ResourceLimit { .. })
         ));
+    }
+
+    #[test]
+    fn byte_budget_surfaces_as_capacity_exceeded_and_state_stays_queryable() {
+        let mut circuit = Circuit::new(12);
+        for q in 0..12 {
+            circuit.h(q);
+        }
+        for q in 0..11 {
+            circuit.cx(q, q + 1);
+            circuit.t(q);
+            circuit.h(q);
+        }
+        // A 4 KiB budget is below even the empty kernel's footprint, so the
+        // first gate boundary must trip it.
+        let mut sim = BitSliceSimulator::new(12).with_limits(BitSliceLimits {
+            max_nodes: None,
+            max_bytes: Some(4 * 1024),
+        });
+        let err = sim.run(&circuit).unwrap_err();
+        match err {
+            SimulationError::CapacityExceeded {
+                backend,
+                used_bytes,
+                limit_bytes,
+            } => {
+                assert_eq!(backend, "bitslice");
+                assert!(used_bytes > limit_bytes);
+                assert_eq!(limit_bytes, 4 * 1024);
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        // Graceful degradation: the partially-advanced state is still
+        // queryable after the budget fired.
+        let p = sim.probability_of_one(0);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(sim.node_count() > 0);
     }
 
     #[test]

@@ -297,6 +297,16 @@ impl BitSliceState {
         &self.mgr
     }
 
+    /// Installs resource budgets on the kernel: a live-node ceiling and a
+    /// byte ceiling over arena + subtables + op caches.  Both are enforced
+    /// inside the kernel's sifting passes (a reorder parks early rather than
+    /// blowing the budget) and polled by the simulator at gate boundaries;
+    /// `None` lifts the respective limit.
+    pub fn set_memory_limits(&mut self, max_nodes: Option<usize>, max_bytes: Option<usize>) {
+        self.mgr.set_node_limit(max_nodes);
+        self.mgr.set_max_bytes(max_bytes);
+    }
+
     /// All `4·r` slice roots (used as the GC root set and for node counts).
     pub fn all_roots(&self) -> Vec<NodeId> {
         self.slices.iter().flatten().copied().collect()

@@ -8,7 +8,7 @@
 //! qubit count), everything else to the bit-sliced BDD backend (the paper's
 //! method, exact for the full gate set).
 
-use crate::error::ExecError;
+use crate::error::{CapacityResource, ExecError};
 use sliq_circuit::Circuit;
 
 /// The simulator backends a [`crate::Session`] can own.
@@ -137,20 +137,53 @@ impl BackendKind {
         }
     }
 
-    /// Checks the qubit capacity only (all a backend can promise without
-    /// seeing the circuit).
-    pub fn check_capacity(&self, num_qubits: usize) -> Result<(), ExecError> {
+    /// Checks the static capacities (all a backend can promise without
+    /// seeing the circuit): the hard qubit ceiling, and — when a byte
+    /// budget is given — whatever footprint is exactly predictable up
+    /// front.  The dense state vector is the only backend with a
+    /// closed-form footprint (`16·2ⁿ` bytes of amplitudes), so an
+    /// over-budget dense session is refused at admission instead of
+    /// OOM-ing during allocation; symbolic backends enforce the budget at
+    /// run time instead.
+    pub fn check_capacity(
+        &self,
+        num_qubits: usize,
+        max_bytes: Option<usize>,
+    ) -> Result<(), ExecError> {
         let caps = self.capabilities();
         if let Some(limit) = caps.max_qubits {
             if num_qubits > limit {
                 return Err(ExecError::CapacityExceeded {
                     backend: caps.name,
-                    qubits: num_qubits,
-                    limit,
+                    resource: CapacityResource::Qubits {
+                        requested: num_qubits,
+                        limit,
+                    },
+                });
+            }
+        }
+        if let (Some(budget), BackendKind::Dense) = (max_bytes, self.resolve_static()) {
+            let projected =
+                16usize.saturating_mul(1usize.checked_shl(num_qubits as u32).unwrap_or(usize::MAX));
+            if projected > budget {
+                return Err(ExecError::CapacityExceeded {
+                    backend: caps.name,
+                    resource: CapacityResource::Bytes {
+                        used: projected,
+                        limit: budget,
+                    },
                 });
             }
         }
         Ok(())
+    }
+
+    /// `Auto` resolved without a circuit: its bit-sliced fallback.
+    fn resolve_static(&self) -> BackendKind {
+        match self {
+            BackendKind::Auto => BackendKind::BitSlice,
+            concrete => *concrete,
+        }
     }
 
     /// Full capability negotiation against a circuit: qubit capacity plus
@@ -159,7 +192,7 @@ impl BackendKind {
     pub fn check_circuit(&self, circuit: &Circuit) -> Result<(), ExecError> {
         let resolved = self.resolve(circuit);
         let caps = resolved.capabilities();
-        resolved.check_capacity(circuit.num_qubits())?;
+        resolved.check_capacity(circuit.num_qubits(), None)?;
         if caps.clifford_only && !circuit.is_clifford() {
             return Err(ExecError::Unsupported {
                 backend: caps.name,
@@ -211,11 +244,35 @@ mod tests {
             BackendKind::Dense.check_circuit(&wide),
             Err(ExecError::CapacityExceeded {
                 backend: "dense",
-                qubits: 40,
-                limit: 30,
+                resource: CapacityResource::Qubits {
+                    requested: 40,
+                    limit: 30,
+                },
             })
         ));
         assert!(BackendKind::BitSlice.check_circuit(&wide).is_ok());
+    }
+
+    #[test]
+    fn dense_admission_projects_its_footprint_against_a_byte_budget() {
+        // 20 qubits of dense amplitudes is exactly 16 MiB; a 1 MiB budget
+        // must refuse at admission, an unlimited budget must admit.
+        let budget = Some(1usize << 20);
+        assert!(matches!(
+            BackendKind::Dense.check_capacity(20, budget),
+            Err(ExecError::CapacityExceeded {
+                backend: "dense",
+                resource: CapacityResource::Bytes { used, limit }
+            }) if used == 16 << 20 && limit == 1 << 20
+        ));
+        assert!(BackendKind::Dense.check_capacity(20, None).is_ok());
+        assert!(BackendKind::Dense
+            .check_capacity(20, Some(32 << 20))
+            .is_ok());
+        // Symbolic backends defer byte enforcement to run time.
+        assert!(BackendKind::BitSlice
+            .check_capacity(40, Some(1 << 20))
+            .is_ok());
     }
 
     #[test]

@@ -234,6 +234,11 @@ pub(crate) enum KeyKind {
         auto_reorder: bool,
         /// The live-node limit the publishing session ran under.
         max_nodes: Option<usize>,
+        /// The byte budget the publishing session ran under (a run that
+        /// completed under a tight budget proves nothing about an
+        /// unlimited one and vice versa — the budget changes which runs
+        /// *fail*, so it must key the successes too).
+        max_bytes: Option<usize>,
     },
     /// A batched-sampling [`Histogram`].
     Sample {
@@ -260,6 +265,7 @@ impl CacheKey {
         expectations: bool,
         auto_reorder: bool,
         max_nodes: Option<usize>,
+        max_bytes: Option<usize>,
     ) -> Self {
         Self {
             fingerprint,
@@ -268,6 +274,7 @@ impl CacheKey {
                 expectations,
                 auto_reorder,
                 max_nodes,
+                max_bytes,
             },
         }
     }
@@ -329,6 +336,10 @@ pub struct ResultCacheStats {
     pub bytes: usize,
     /// The configured byte budget.
     pub capacity_bytes: usize,
+    /// `false` when the cache is disabled (zero byte budget, e.g.
+    /// `SLIQ_RESULT_CACHE_MB=0`): lookups and publishes are no-ops and no
+    /// counters move.
+    pub enabled: bool,
 }
 
 impl ResultCacheStats {
@@ -459,7 +470,9 @@ impl ResultCache {
     ///
     /// Its byte budget defaults to 256 MiB and can be overridden with the
     /// `SLIQ_RESULT_CACHE_MB` environment variable (read once, at first
-    /// use).
+    /// use).  `SLIQ_RESULT_CACHE_MB=0` disables the cache outright: every
+    /// lookup and publish is a counter-free no-op, so sessions pay no LRU
+    /// churn for a cache that can hold nothing.
     pub fn global() -> &'static Arc<ResultCache> {
         static GLOBAL: OnceLock<Arc<ResultCache>> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -474,6 +487,12 @@ impl ResultCache {
     /// The configured byte budget.
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// `false` when the byte budget is zero: the cache is disabled, and
+    /// [`ResultCache::stats`] reports it as such.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
     }
 
     /// Number of resident entries.
@@ -505,10 +524,16 @@ impl ResultCache {
             entries: inner.map.len(),
             bytes: inner.bytes,
             capacity_bytes: self.capacity_bytes,
+            enabled: self.enabled(),
         }
     }
 
     fn get(&self, key: CacheKey) -> Option<CacheValue> {
+        // A disabled cache can never hold the entry; skip the lock and do
+        // not count a miss — the counters describe a cache that exists.
+        if !self.enabled() {
+            return None;
+        }
         let mut inner = self.inner.lock().unwrap();
         match inner.map.get(&key) {
             Some(entry) => {
@@ -525,6 +550,11 @@ impl ResultCache {
     }
 
     fn put(&self, key: CacheKey, value: CacheValue) {
+        // With a zero budget every insert would be evicted on the spot;
+        // skip the churn entirely.
+        if !self.enabled() {
+            return;
+        }
         let bytes = value_bytes(&value);
         let mut inner = self.inner.lock().unwrap();
         inner.remove(&key);
@@ -698,6 +728,29 @@ mod tests {
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.bytes, 0);
         assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache_without_churn() {
+        // SLIQ_RESULT_CACHE_MB=0 constructs exactly this: a zero-byte
+        // budget.  No insert may land, no eviction may be counted, and
+        // lookups must not count misses — the counters report "disabled",
+        // not a cache that thrashes.
+        let cache = ResultCache::new(0);
+        assert!(!cache.enabled());
+        let key = CacheKey::sample(11, BackendKind::BitSlice, 16, 3);
+        assert!(cache.get_sample(key).is_none());
+        cache.put_sample(key, sample_arc(4, 8));
+        assert!(cache.get_sample(key).is_none());
+        let stats = cache.stats();
+        assert!(!stats.enabled);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
     }
 
     #[test]

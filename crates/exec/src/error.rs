@@ -23,16 +23,17 @@ pub enum ExecError {
         /// What was asked of it.
         what: String,
     },
-    /// The backend's hard qubit capacity is exceeded (e.g. the dense state
-    /// vector beyond 30 qubits).  Distinct from [`ExecError::Unsupported`]
-    /// so harnesses can report it as a memory-out rather than an error.
+    /// A hard capacity of the backend is exceeded — either up front at
+    /// admission (qubit count, projected footprint) or mid-run when the
+    /// configured byte budget is blown.  Distinct from
+    /// [`ExecError::Unsupported`] so harnesses can report it as a
+    /// memory-out rather than an error; the session stays usable and any
+    /// pre-limit snapshot remains restorable.
     CapacityExceeded {
         /// The backend that declined.
         backend: &'static str,
-        /// Requested qubit count.
-        qubits: usize,
-        /// The backend's limit.
-        limit: usize,
+        /// Which capacity was exceeded.
+        resource: CapacityResource,
     },
     /// A gate the backend cannot represent was applied.
     Gate {
@@ -73,20 +74,42 @@ pub enum ExecError {
     },
 }
 
+/// The capacity that an [`ExecError::CapacityExceeded`] ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityResource {
+    /// The backend cannot hold this many qubits at all.
+    Qubits {
+        /// Requested qubit count.
+        requested: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
+    /// The configured byte budget was exceeded (up front by the projected
+    /// footprint, or mid-run by the live structures).
+    Bytes {
+        /// Bytes in use (or projected) when the check fired.
+        used: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Unsupported { backend, what } => {
                 write!(f, "{backend} does not support {what}")
             }
-            ExecError::CapacityExceeded {
-                backend,
-                qubits,
-                limit,
-            } => write!(
-                f,
-                "{backend} is limited to {limit} qubits ({qubits} requested)"
-            ),
+            ExecError::CapacityExceeded { backend, resource } => match resource {
+                CapacityResource::Qubits { requested, limit } => write!(
+                    f,
+                    "{backend} is limited to {limit} qubits ({requested} requested)"
+                ),
+                CapacityResource::Bytes { used, limit } => write!(
+                    f,
+                    "{backend} exceeded its memory budget: {used} bytes in use, limit {limit}"
+                ),
+            },
             ExecError::Gate { backend, gate } => {
                 write!(f, "{backend} does not support gate {gate}")
             }
@@ -126,6 +149,17 @@ impl From<SimulationError> for ExecError {
             SimulationError::ResourceLimit { backend, detail } => {
                 ExecError::Resource { backend, detail }
             }
+            SimulationError::CapacityExceeded {
+                backend,
+                used_bytes,
+                limit_bytes,
+            } => ExecError::CapacityExceeded {
+                backend,
+                resource: CapacityResource::Bytes {
+                    used: used_bytes,
+                    limit: limit_bytes,
+                },
+            },
             SimulationError::InvalidCircuit(e) => ExecError::Circuit(e),
         }
     }
@@ -150,11 +184,22 @@ mod tests {
         assert!(e.to_string().contains("stabilizer"));
         let e = ExecError::CapacityExceeded {
             backend: "dense",
-            qubits: 40,
-            limit: 30,
+            resource: CapacityResource::Qubits {
+                requested: 40,
+                limit: 30,
+            },
         };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("30"));
+        let e = ExecError::CapacityExceeded {
+            backend: "bitslice",
+            resource: CapacityResource::Bytes {
+                used: 2048,
+                limit: 1024,
+            },
+        };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("memory budget"));
     }
 
     #[test]

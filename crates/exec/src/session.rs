@@ -30,6 +30,14 @@ pub struct SessionConfig {
     /// Live-node limit for the symbolic backends (`None` = unlimited);
     /// exceeding it fails the offending gate with [`ExecError::Resource`].
     pub max_nodes: Option<usize>,
+    /// Byte budget for the backend state (`None` = unlimited).  On the
+    /// bit-sliced backend the kernel accounts arena + unique subtables + op
+    /// caches against it (and bounds its own sifting passes); exceeding it
+    /// fails the offending gate with [`ExecError::CapacityExceeded`] while
+    /// the session stays queryable and pre-limit snapshots restorable.  On
+    /// the dense backend the projected `16·2ⁿ` footprint is checked at
+    /// admission.
+    pub max_bytes: Option<usize>,
     /// Enables automatic variable reordering on backends that support it.
     pub auto_reorder: bool,
     /// Collect per-qubit ⟨Z⟩ expectations into every [`RunResult`] (costs
@@ -62,6 +70,7 @@ impl Default for SessionConfig {
         Self {
             backend: BackendKind::Auto,
             max_nodes: None,
+            max_bytes: None,
             auto_reorder: false,
             collect_expectations: false,
             threads: None,
@@ -83,6 +92,13 @@ impl SessionConfig {
     /// Sets the live-node limit (builder style).
     pub fn max_nodes(mut self, limit: usize) -> Self {
         self.max_nodes = Some(limit);
+        self
+    }
+
+    /// Sets the byte budget (builder style); see
+    /// [`SessionConfig::max_bytes`].
+    pub fn max_bytes(mut self, limit: usize) -> Self {
+        self.max_bytes = Some(limit);
         self
     }
 
@@ -294,12 +310,13 @@ impl Session {
             BackendKind::Auto => BackendKind::BitSlice,
             concrete => concrete,
         };
-        kind.check_capacity(num_qubits)?;
+        kind.check_capacity(num_qubits, config.max_bytes)?;
         let inner = match kind {
             BackendKind::BitSlice => {
                 let mut sim = BitSliceSimulator::new(num_qubits)
                     .with_limits(BitSliceLimits {
                         max_nodes: config.max_nodes,
+                        max_bytes: config.max_bytes,
                     })
                     .with_auto_reorder(config.auto_reorder);
                 if let Some(threads) = config.threads {
@@ -356,9 +373,10 @@ impl Session {
     /// the unmaterialised backend.  Gate counters are untouched — the hit
     /// already accounted for them.
     ///
-    /// Replay cannot fail: the `max_nodes` budget is part of the run cache
-    /// key, so a hit implies the publishing session completed this exact
-    /// circuit under the same limit from the same initial state.
+    /// Replay cannot fail: the `max_nodes` and `max_bytes` budgets are part
+    /// of the run cache key, so a hit implies the publishing session
+    /// completed this exact circuit under the same limits from the same
+    /// initial state.
     fn materialize(&mut self) {
         if let Some(circuit) = self.pending_replay.take() {
             for gate in circuit.iter() {
@@ -377,6 +395,7 @@ impl Session {
             self.config.collect_expectations,
             self.config.auto_reorder,
             self.config.max_nodes,
+            self.config.max_bytes,
         )
     }
 
@@ -713,15 +732,12 @@ impl Session {
         let mut stats = match &self.inner {
             Inner::BitSlice(s) => {
                 let kernel = s.state().manager().stats();
-                let bytes = self
-                    .kind
-                    .capabilities()
-                    .bytes_per_node
-                    .expect("bitslice has a node memory model");
                 ExecStats {
                     live_nodes: Some(s.node_count()),
                     peak_nodes: Some(kernel.peak_nodes),
-                    memory_mib: kernel.peak_nodes as f64 * bytes / MIB,
+                    // The kernel tracks its exact footprint (arena +
+                    // subtables + op caches), so no estimate is needed.
+                    memory_mib: kernel.peak_bytes as f64 / MIB,
                     bdd: Some(kernel),
                     result_cache: None,
                 }

@@ -1,0 +1,148 @@
+//! Graceful degradation under the byte budget: exceeding
+//! `SessionConfig::max_bytes` mid-circuit must surface as
+//! `ExecError::CapacityExceeded` while the session stays fully queryable,
+//! pre-limit snapshots stay restorable, and lifting the limit afterwards
+//! lets the same session keep working.
+
+use sliqsim::exec::CapacityResource;
+use sliqsim::prelude::*;
+use sliqsim::workloads::random;
+
+/// A Clifford+T workload big enough to blow a small byte budget.
+fn heavy_circuit(qubits: usize) -> Circuit {
+    random::random_clifford_t(qubits, 7)
+}
+
+fn bitslice_config() -> SessionConfig {
+    SessionConfig::with_backend(BackendKind::BitSlice)
+}
+
+#[test]
+fn capacity_exceeded_leaves_the_session_queryable() {
+    let circuit = heavy_circuit(16);
+    // Small enough that the kernel's baseline footprint (subtables + op
+    // caches) already exceeds it: the first gate boundary trips.
+    let mut session =
+        Session::new(16, bitslice_config().max_bytes(64 * 1024)).expect("session opens");
+    let err = session.run(&circuit).expect_err("budget must trip");
+    match err {
+        ExecError::CapacityExceeded {
+            backend,
+            resource: CapacityResource::Bytes { used, limit },
+        } => {
+            assert_eq!(backend, "bitslice");
+            assert!(used > limit, "used {used} must exceed limit {limit}");
+            assert_eq!(limit, 64 * 1024);
+        }
+        other => panic!("expected a byte CapacityExceeded, got {other:?}"),
+    }
+    // The partially-advanced state answers every query: probabilities are
+    // well-formed and the stats reflect a live kernel.
+    for q in 0..16 {
+        let p = session.probability_of_one(q);
+        assert!((0.0..=1.0 + 1e-12).contains(&p), "qubit {q}: {p}");
+    }
+    let total = session.total_probability();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "state stays normalised: {total}"
+    );
+    let stats = session.stats();
+    assert!(stats.live_nodes.unwrap() > 0);
+    assert!(stats.memory_mib > 0.0);
+    // Sampling still works on the partial state.
+    let sample = session.sample(64, 11).expect("sampling survives");
+    assert_eq!(sample.histogram.shots(), 64);
+}
+
+#[test]
+fn restore_to_a_pre_limit_snapshot_works_after_capacity_exceeded() {
+    let circuit = heavy_circuit(16);
+    let prefix = 8;
+    // Probe pass (no budget): find the footprint at the prefix boundary and
+    // the largest later gate-boundary footprint, then pick a budget between
+    // the two — the prefix is guaranteed to fit and a later boundary is
+    // guaranteed to trip, independent of machine and kernel tuning.
+    let (prefix_bytes, later_max) = {
+        let mut probe = Session::new(16, bitslice_config()).expect("probe opens");
+        for gate in circuit.iter().take(prefix) {
+            probe.apply_gate(gate).expect("no budget configured");
+        }
+        let prefix_bytes = probe.stats().bdd.expect("bitslice").current_bytes;
+        let mut later_max = 0usize;
+        for gate in circuit.iter().skip(prefix) {
+            probe.apply_gate(gate).expect("no budget configured");
+            later_max = later_max.max(probe.stats().bdd.expect("bitslice").current_bytes);
+        }
+        (prefix_bytes, later_max)
+    };
+    assert!(
+        later_max > prefix_bytes,
+        "workload must keep growing past the prefix ({prefix_bytes} -> {later_max})"
+    );
+    let budget = prefix_bytes + (later_max - prefix_bytes) / 2;
+    let mut session = Session::new(16, bitslice_config().max_bytes(budget)).expect("session opens");
+    // Advance the same prefix by streaming, then checkpoint.
+    for gate in circuit.iter().take(prefix) {
+        session.apply_gate(gate).expect("prefix fits the budget");
+    }
+    let checkpoint = session.snapshot();
+    let p_before = session.probability_of_one(0);
+    // Stream the rest until the budget trips (guaranteed by construction:
+    // some later gate boundary sits above the chosen budget).
+    let mut tripped = false;
+    for gate in circuit.iter().skip(prefix) {
+        match session.apply_gate(gate) {
+            Ok(()) => {}
+            Err(ExecError::CapacityExceeded { .. }) => {
+                tripped = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert!(tripped, "the byte budget must trip mid-circuit");
+    // The pre-limit snapshot restores and reproduces its state exactly.
+    session.restore(&checkpoint).expect("own snapshot restores");
+    let p_after = session.probability_of_one(0);
+    assert_eq!(p_before.to_bits(), p_after.to_bits(), "bit-identical state");
+    assert!((session.total_probability() - 1.0).abs() < 1e-9);
+    session.discard(checkpoint).expect("own snapshot discards");
+}
+
+#[test]
+fn dense_over_budget_is_refused_at_admission() {
+    // 20 dense qubits project to exactly 16 MiB of amplitudes.
+    let err = match Session::new(
+        20,
+        SessionConfig::with_backend(BackendKind::Dense).max_bytes(1024 * 1024),
+    ) {
+        Err(err) => err,
+        Ok(_) => panic!("projected footprint exceeds the budget"),
+    };
+    assert!(matches!(
+        err,
+        ExecError::CapacityExceeded {
+            backend: "dense",
+            resource: CapacityResource::Bytes { .. },
+        }
+    ));
+    // With the budget lifted the same request is admitted.
+    assert!(Session::new(20, SessionConfig::with_backend(BackendKind::Dense)).is_ok());
+}
+
+#[test]
+fn unlimited_budget_changes_nothing() {
+    let circuit = heavy_circuit(12);
+    let mut limited = Session::new(12, bitslice_config().max_bytes(1 << 30)).expect("opens");
+    let mut unlimited = Session::new(12, bitslice_config()).expect("opens");
+    limited.run(&circuit).expect("1 GiB is plenty");
+    unlimited.run(&circuit).expect("no limit");
+    for q in 0..12 {
+        assert_eq!(
+            limited.probability_of_one(q).to_bits(),
+            unlimited.probability_of_one(q).to_bits(),
+            "budget accounting must not perturb results (qubit {q})"
+        );
+    }
+}
