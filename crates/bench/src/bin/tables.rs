@@ -1,7 +1,7 @@
 //! Command-line harness that regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|cache|memory|all]
+//! cargo run -p sliq-bench --release --bin tables -- [table3|table4|table5|table6|accuracy|ablation|sample|kernel|cache|memory|serve|all]
 //!                                                   [--full] [--timeout <secs>] [--max-nodes <n>] [--max-bytes <n>]
 //!                                                   [--reorder] [--threads <n>] [--cache] [--json] [--baseline <path>]
 //! ```
@@ -9,6 +9,7 @@
 //! By default a quick, laptop-sized sweep is run; `--full` uses sizes closer
 //! to the paper's regime (expect several minutes).
 
+use sliq_bench::serve::{format_serve, serve_report, ServeReport};
 use sliq_bench::tables::{
     accuracy_rows, bitwidth_rows, cache_report, format_accuracy, format_bitwidth, format_cache,
     format_memory, format_sample, format_table3, format_table4, format_table5, format_table6,
@@ -120,6 +121,19 @@ fn main() {
             println!("wrote {path}");
         }
     }
+    if wants("serve") {
+        let report = serve_report(scale, limits);
+        println!("{}", format_serve(&report));
+        if json {
+            let path = "BENCH_serve.json";
+            std::fs::write(path, serve_report_json(&report))
+                .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if let Some(baseline_path) = &baseline {
+            check_serve_baseline(&report, baseline_path);
+        }
+    }
     if wants("memory") {
         let rows = memory_rows(scale, limits);
         println!("{}", format_memory(&rows));
@@ -132,6 +146,118 @@ fn main() {
         if let Some(baseline_path) = &baseline {
             check_memory_baseline(&rows, baseline_path);
         }
+    }
+}
+
+/// Hand-rolled JSON for the serving benchmark (no serde in the workspace).
+fn serve_report_json(report: &ServeReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"clients\": {},\n", report.clients));
+    out.push_str(&format!(
+        "  \"requests_per_client\": {},\n",
+        report.requests_per_client
+    ));
+    out.push_str(&format!("  \"shots\": {},\n", report.shots));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"population\": {},\n", report.population.len()));
+    out.push_str(&format!(
+        "  \"sessions_per_sec\": {:.3},\n",
+        report.sessions_per_sec()
+    ));
+    for (label, pass) in [
+        ("cold", &report.cold),
+        ("warming", &report.warming),
+        ("warm", &report.warm),
+    ] {
+        out.push_str(&format!("  \"{label}_secs\": {:.6},\n", pass.secs));
+        out.push_str(&format!("  \"{label}_rps\": {:.3},\n", pass.req_per_sec()));
+        out.push_str(&format!("  \"{label}_ok\": {},\n", pass.ok));
+        out.push_str(&format!("  \"{label}_overloaded\": {},\n", pass.overloaded));
+        out.push_str(&format!("  \"{label}_errors\": {},\n", pass.errors));
+    }
+    // The headline latency fields are the cold (uncached) pass; warm
+    // percentiles ride along under their own names.
+    out.push_str(&format!(
+        "  \"p50_ms\": {:.4},\n",
+        report.cold.latency.p50_ms
+    ));
+    out.push_str(&format!(
+        "  \"p99_ms\": {:.4},\n",
+        report.cold.latency.p99_ms
+    ));
+    out.push_str(&format!(
+        "  \"warm_p50_ms\": {:.4},\n",
+        report.warm.latency.p50_ms
+    ));
+    out.push_str(&format!(
+        "  \"warm_p99_ms\": {:.4},\n",
+        report.warm.latency.p99_ms
+    ));
+    out.push_str(&format!(
+        "  \"warm_speedup\": {:.3},\n",
+        report.warm_speedup()
+    ));
+    out.push_str(&format!("  \"cache_hits\": {},\n", report.cache.hits));
+    out.push_str(&format!("  \"cache_misses\": {},\n", report.cache.misses));
+    out.push_str(&format!(
+        "  \"cache_hit_rate\": {:.6}\n",
+        report.cache.hit_rate()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Gates the serving benchmark against a committed baseline
+/// `BENCH_serve_t<threads>.json`.  Wall-clock serving throughput on shared
+/// CI runners is far noisier than bytes/node, so the gate checks shape,
+/// not speed: the server must complete every request (sessions/s > 0 and a
+/// real p99), the warm pass must still beat the cold pass, and the cache's
+/// warm-speedup multiplier must not collapse below 20% of the baseline's.
+fn check_serve_baseline(report: &ServeReport, baseline_path: &str) {
+    if report.sessions_per_sec() <= 0.0 || report.cold.ok == 0 {
+        eprintln!("serve baseline check FAILED: no sessions completed");
+        std::process::exit(1);
+    }
+    if report.cold.latency.p99_ms <= 0.0 || report.cold.latency.p99_ms.is_nan() {
+        eprintln!("serve baseline check FAILED: p99 latency is missing or zero");
+        std::process::exit(1);
+    }
+    if report.cold.errors + report.warming.errors + report.warm.errors > 0 {
+        eprintln!("serve baseline check FAILED: requests errored under load");
+        std::process::exit(1);
+    }
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("serve baseline check: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(reference_speedup) = json_f64_field(&text, "warm_speedup") else {
+        eprintln!("serve baseline check: {baseline_path} has no warm_speedup");
+        std::process::exit(1);
+    };
+    let speedup = report.warm_speedup();
+    println!(
+        "serve baseline check: warm speedup {speedup:.2}x vs baseline {reference_speedup:.2}x, \
+         sessions {:.1}/s, cold p99 {:.3} ms",
+        report.sessions_per_sec(),
+        report.cold.latency.p99_ms
+    );
+    if speedup < 1.0 {
+        eprintln!(
+            "serve baseline check FAILED: warm pass ({:.2} req/s) no faster than cold ({:.2} req/s)",
+            report.warm.req_per_sec(),
+            report.cold.req_per_sec()
+        );
+        std::process::exit(1);
+    }
+    if speedup < 0.2 * reference_speedup {
+        eprintln!(
+            "serve baseline check FAILED: warm speedup {speedup:.2}x collapsed below 20% of the \
+             baseline's {reference_speedup:.2}x"
+        );
+        std::process::exit(1);
     }
 }
 

@@ -9,6 +9,9 @@
 //! * [`tables`] — generates the benchmark families and renders rows in the
 //!   layout of Tables III–VI, plus the accuracy and bit-width ablations and
 //!   the batched-sampling throughput sweep (`tables -- sample`).
+//! * [`serve`] — the serving load generator (`tables -- serve`): an
+//!   in-process `sliq-serve` instance under concurrent client threads,
+//!   reporting sessions/s, req/s and p50/p99 latency cold vs warm cache.
 //!
 //! The `tables` binary (`cargo run -p sliq-bench --release --bin tables`)
 //! prints any of the tables; the Criterion benches under `benches/` measure
@@ -19,6 +22,7 @@
 
 pub mod parallel;
 pub mod runner;
+pub mod serve;
 pub mod tables;
 
 pub use parallel::run_cases_parallel;
@@ -26,4 +30,5 @@ pub use runner::{
     auto_reorder_env, bench_smoke_env, kernel_stats_report, run_case, Backend, CaseLimits,
     CaseResult, CaseStatus, RowSummary,
 };
+pub use serve::{format_serve, serve_report, ServeReport};
 pub use tables::{cache_report, format_cache, CacheReport, Scale};

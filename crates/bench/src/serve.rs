@@ -1,0 +1,363 @@
+//! The serving benchmark: an in-process `sliq-serve` instance under a
+//! fleet of client threads replaying a skewed circuit mix over real
+//! sockets, so the number that comes out prices the whole serving path —
+//! framing, admission, the fair queue, session construction, simulation,
+//! sampling, and the response — not just the kernel.
+//!
+//! Two servers are measured with the same request sequence: one with the
+//! result cache disabled (the cold pass) and one with a fresh shared cache
+//! (a warming pass that populates it, then a warm pass where every request
+//! hits).  The cold/warm throughput ratio is the serving-level analogue of
+//! [`crate::tables::cache_report`]'s single-threaded measurement.
+
+use crate::runner::{bench_smoke_env, CaseLimits};
+use crate::tables::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliq_circuit::Circuit;
+use sliq_exec::{ResultCache, ResultCacheStats};
+use sliq_serve::{Client, ClientError, RunOptions, Server, ServerConfig, ServerHandle};
+use sliq_workloads::{algorithms, random};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Latency percentiles of one pass, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Latencies {
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Worst request latency.
+    pub max_ms: f64,
+}
+
+/// One measured pass of the client fleet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassReport {
+    /// Wall-clock seconds from first send to last response.
+    pub secs: f64,
+    /// Requests answered with a run result.
+    pub ok: u64,
+    /// Requests shed with an overloaded response.
+    pub overloaded: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Latency percentiles over the answered requests.
+    pub latency: Latencies,
+}
+
+impl PassReport {
+    /// Completed requests per wall-clock second.
+    pub fn req_per_sec(&self) -> f64 {
+        self.ok as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// The serving benchmark's result.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends per pass.
+    pub requests_per_client: usize,
+    /// Shots sampled per request.
+    pub shots: u64,
+    /// Server worker threads.
+    pub workers: usize,
+    /// The population: `(name, qubits, request share)` by popularity rank.
+    pub population: Vec<(String, usize, f64)>,
+    /// The pass against the cache-disabled server.
+    pub cold: PassReport,
+    /// First pass against the cached server (populates the cache).
+    pub warming: PassReport,
+    /// Second pass against the cached server (every request hits).
+    pub warm: PassReport,
+    /// Cache counters after the warm pass.
+    pub cache: ResultCacheStats,
+}
+
+impl ServeReport {
+    /// Sessions opened per second under cold (uncached) serving — every
+    /// completed request opens exactly one session server-side, so this is
+    /// the cold pass's completed-request rate.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.cold.req_per_sec()
+    }
+
+    /// `warm req/s ÷ cold req/s`: the serving-throughput multiplier the
+    /// shared result cache buys on this mix.
+    pub fn warm_speedup(&self) -> f64 {
+        self.warm.req_per_sec() / self.cold.req_per_sec().max(1e-9)
+    }
+}
+
+/// The benchmark's circuit population, identical to the result-cache
+/// benchmark's so the two reports stay comparable.
+fn population() -> Vec<(String, Circuit)> {
+    vec![
+        (
+            "random_clifford_t(12,s1)".into(),
+            random::random_clifford_t(12, 1),
+        ),
+        (
+            "random_clifford_t(12,s2)".into(),
+            random::random_clifford_t(12, 2),
+        ),
+        ("ghz(16)".into(), algorithms::ghz(16)),
+        (
+            "bv_ones(14)".into(),
+            algorithms::bernstein_vazirani_all_ones(14),
+        ),
+        (
+            "random_clifford_t(12,s3)".into(),
+            random::random_clifford_t(12, 3),
+        ),
+        (
+            "random_clifford_t(12,s4)".into(),
+            random::random_clifford_t(12, 4),
+        ),
+    ]
+}
+
+/// Zipf-ish rank sequence: rank `r` drawn with weight `1/(r+1)`.
+fn skewed_sequence(len: usize, ranks: usize, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..ranks).map(|rank| 1.0 / (rank as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let mut x = rng.gen_range(0.0..total);
+            for (rank, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return rank;
+                }
+                x -= w;
+            }
+            ranks - 1
+        })
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Replays the per-client sequences against `addr` from `clients` threads
+/// (one connection each, one request outstanding at a time) and aggregates
+/// throughput and latency.
+fn run_pass(
+    addr: SocketAddr,
+    circuits: &Arc<Vec<Circuit>>,
+    sequences: &[Vec<usize>],
+    shots: u64,
+) -> PassReport {
+    let start = Instant::now();
+    let threads: Vec<_> = sequences
+        .iter()
+        .map(|sequence| {
+            let sequence = sequence.clone();
+            let circuits = Arc::clone(circuits);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to bench server");
+                let mut latencies_ms = Vec::with_capacity(sequence.len());
+                let (mut ok, mut overloaded, mut errors) = (0u64, 0u64, 0u64);
+                for &rank in &sequence {
+                    let sent = Instant::now();
+                    let result = client.run_circuit(
+                        &circuits[rank],
+                        RunOptions {
+                            shots,
+                            seed: 2021,
+                            ..RunOptions::default()
+                        },
+                    );
+                    match result {
+                        Ok(_) => {
+                            ok += 1;
+                            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Err(ClientError::Overloaded { .. }) => overloaded += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                (latencies_ms, ok, overloaded, errors)
+            })
+        })
+        .collect();
+    let mut all_ms = Vec::new();
+    let mut report = PassReport::default();
+    for thread in threads {
+        let (latencies_ms, ok, overloaded, errors) = thread.join().expect("client thread");
+        all_ms.extend(latencies_ms);
+        report.ok += ok;
+        report.overloaded += overloaded;
+        report.errors += errors;
+    }
+    report.secs = start.elapsed().as_secs_f64();
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    report.latency = Latencies {
+        p50_ms: percentile(&all_ms, 50.0),
+        p99_ms: percentile(&all_ms, 99.0),
+        max_ms: all_ms.last().copied().unwrap_or(0.0),
+    };
+    report
+}
+
+/// Runs the serving benchmark: spawn a server, point a client fleet at it,
+/// measure cold / warming / warm passes.
+pub fn serve_report(scale: Scale, limits: CaseLimits) -> ServeReport {
+    let (clients, requests_per_client, shots) = if bench_smoke_env() {
+        (4, 12, 256u64)
+    } else {
+        match scale {
+            Scale::Quick => (8, 25, 1024),
+            Scale::Full => (8, 100, 4096),
+        }
+    };
+    let workers = limits
+        .threads
+        .unwrap_or_else(sliq_bdd::pool::default_threads)
+        .max(1);
+    let pool = population();
+    let circuits: Arc<Vec<Circuit>> =
+        Arc::new(pool.iter().map(|(_, circuit)| circuit.clone()).collect());
+    let sequences: Vec<Vec<usize>> = (0..clients)
+        .map(|client| skewed_sequence(requests_per_client, circuits.len(), 2021 + client as u64))
+        .collect();
+    // Synchronous clients hold one request each, so a queue as deep as the
+    // fleet never sheds; the depth is about bounding memory, not pacing.
+    let base_config = || {
+        ServerConfig::default()
+            .workers(workers)
+            .queue_depth((clients * 2).max(8))
+            .per_conn_queue(2)
+            .max_connections(clients + 4)
+    };
+
+    let cold_server = Server::bind("127.0.0.1:0", base_config().result_cache(false))
+        .expect("bind cold bench server")
+        .spawn()
+        .expect("spawn cold bench server");
+    let cold = run_pass(cold_server.addr(), &circuits, &sequences, shots);
+    cold_server.shutdown();
+
+    let cache = ResultCache::shared(64 * 1024 * 1024);
+    let warm_server: ServerHandle = Server::bind(
+        "127.0.0.1:0",
+        base_config().with_result_cache(Arc::clone(&cache)),
+    )
+    .expect("bind warm bench server")
+    .spawn()
+    .expect("spawn warm bench server");
+    let warming = run_pass(warm_server.addr(), &circuits, &sequences, shots);
+    let warm = run_pass(warm_server.addr(), &circuits, &sequences, shots);
+    warm_server.shutdown();
+
+    let shares: Vec<f64> = {
+        let mut counts = vec![0usize; circuits.len()];
+        for sequence in &sequences {
+            for &rank in sequence {
+                counts[rank] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total.max(1) as f64)
+            .collect()
+    };
+    ServeReport {
+        clients,
+        requests_per_client,
+        shots,
+        workers,
+        population: pool
+            .into_iter()
+            .zip(shares)
+            .map(|((name, circuit), share)| (name, circuit.num_qubits(), share))
+            .collect(),
+        cold,
+        warming,
+        warm,
+        cache: cache.stats(),
+    }
+}
+
+/// Formats the serving benchmark.
+pub fn format_serve(report: &ServeReport) -> String {
+    let mut out = String::new();
+    out.push_str("SERVE: concurrent TCP serving, skewed mix, cold vs warm cache\n");
+    out.push_str(&format!(
+        "  {} clients x {} requests, {} shots/request, {} workers\n",
+        report.clients, report.requests_per_client, report.shots, report.workers
+    ));
+    out.push_str(&format!(
+        "  population ({} circuits, Zipf-ish shares):\n",
+        report.population.len()
+    ));
+    for (name, qubits, share) in &report.population {
+        out.push_str(&format!(
+            "    {name:<26} {qubits:>3} qubits  {:>5.1}% of requests\n",
+            100.0 * share
+        ));
+    }
+    for (label, pass) in [
+        ("cold   ", &report.cold),
+        ("warming", &report.warming),
+        ("warm   ", &report.warm),
+    ] {
+        out.push_str(&format!(
+            "  {label} {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  max {:>7.3} ms  ({} ok, {} shed, {} err)\n",
+            pass.req_per_sec(),
+            pass.latency.p50_ms,
+            pass.latency.p99_ms,
+            pass.latency.max_ms,
+            pass.ok,
+            pass.overloaded,
+            pass.errors
+        ));
+    }
+    out.push_str(&format!(
+        "  sessions {:>8.2} /s (cold)   warm speedup {:.1}x\n",
+        report.sessions_per_sec(),
+        report.warm_speedup()
+    ));
+    out.push_str(&format!(
+        "  cache: hits {}  misses {}  hit-rate {:.1}%  entries {}  bytes {}\n",
+        report.cache.hits,
+        report.cache.misses,
+        100.0 * report.cache.hit_rate(),
+        report.cache.entries,
+        report.cache.bytes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_sequence_is_deterministic_and_head_heavy() {
+        let a = skewed_sequence(200, 6, 7);
+        let b = skewed_sequence(200, 6, 7);
+        assert_eq!(a, b);
+        let head = a.iter().filter(|&&rank| rank == 0).count();
+        let tail = a.iter().filter(|&&rank| rank == 5).count();
+        assert!(head > tail, "rank 0 ({head}) must outdraw rank 5 ({tail})");
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let ms: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&ms, 50.0), 51.0);
+        assert_eq!(percentile(&ms, 99.0), 99.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+}

@@ -53,19 +53,36 @@ impl fmt::Display for CircuitError {
 impl Error for CircuitError {}
 
 /// Errors arising while parsing a circuit description.
+///
+/// Carries a structured source position (1-based line and column, 0 when
+/// unknown) so service front-ends can report the offending token to remote
+/// callers instead of a bare string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number of the offending input line (0 if not applicable).
     pub line: usize,
+    /// 1-based column of the offending statement within the line (0 if not
+    /// applicable).
+    pub column: usize,
     /// Explanation of the problem.
     pub message: String,
 }
 
 impl ParseError {
-    /// Creates a parse error for a given line.
+    /// Creates a parse error for a given line (column unknown).
     pub fn new(line: usize, message: impl Into<String>) -> Self {
         Self {
             line,
+            column: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parse error for a given line and column.
+    pub fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            column,
             message: message.into(),
         }
     }
@@ -73,7 +90,15 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 

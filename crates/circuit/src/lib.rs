@@ -36,5 +36,6 @@ pub use circuit::Circuit;
 pub use error::{CircuitError, ParseError, SimulationError};
 pub use gate::Gate;
 pub use optimize::{optimize, OptimizeStats};
+pub use qasm::ParseLimits;
 pub use real::{RealCircuit, RealMetadata};
 pub use sim::Simulator;

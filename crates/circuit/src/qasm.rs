@@ -11,11 +11,41 @@ use crate::error::ParseError;
 use crate::gate::Gate;
 use std::collections::BTreeMap;
 
-/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+/// Input limits enforced by [`parse_with_limits`] *before* any allocation
+/// proportional to the declared sizes happens.
+///
+/// The parser is exposed to adversarial input when it sits behind a service
+/// front-end: a one-line `qreg q[9999999999]` or an endless stream of gate
+/// statements must be rejected structurally, not by exhausting memory.  The
+/// defaults are generous for every legitimate workload in the workspace;
+/// servers tighten them per deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum total qubits over all `qreg` declarations.
+    pub max_qubits: usize,
+    /// Maximum number of gate statements.
+    pub max_gates: usize,
+    /// Maximum source length in bytes (checked up front).
+    pub max_source_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            max_qubits: 1 << 16,
+            max_gates: 1 << 22,
+            max_source_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`] under the default
+/// [`ParseLimits`].
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] describing the first offending statement.
+/// Returns a [`ParseError`] describing the first offending statement, with
+/// its 1-based line and column.
 ///
 /// ```
 /// use sliq_circuit::qasm;
@@ -32,23 +62,56 @@ use std::collections::BTreeMap;
 /// # Ok::<(), sliq_circuit::ParseError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Circuit, ParseError> {
+    parse_with_limits(source, ParseLimits::default())
+}
+
+/// Parses an OpenQASM 2.0 program with explicit [`ParseLimits`].
+///
+/// Declared register sizes and the gate count are checked against the
+/// limits as they are encountered — an absurd declaration is rejected
+/// before the parser allocates anything proportional to it.
+pub fn parse_with_limits(source: &str, limits: ParseLimits) -> Result<Circuit, ParseError> {
+    if source.len() > limits.max_source_bytes {
+        return Err(ParseError::new(
+            0,
+            format!(
+                "source is {} bytes, limit {}",
+                source.len(),
+                limits.max_source_bytes
+            ),
+        ));
+    }
     let mut registers: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // name -> (offset, size)
     let mut total_qubits = 0usize;
     let mut gates: Vec<Gate> = Vec::new();
 
-    // Statements are ';'-terminated; keep track of line numbers for errors.
+    // Statements are ';'-terminated; keep track of line numbers (and the
+    // column each statement starts at) for errors.
     for (line_no, raw_line) in source.lines().enumerate() {
         let line_no = line_no + 1;
         let line = match raw_line.find("//") {
             Some(pos) => &raw_line[..pos],
             None => raw_line,
         };
+        let mut offset = 0usize;
         for stmt in line.split(';') {
+            let leading = stmt.len() - stmt.trim_start().len();
+            let column = offset + leading + 1;
+            let piece_len = stmt.len();
             let stmt = stmt.trim();
+            offset += piece_len + 1;
             if stmt.is_empty() {
                 continue;
             }
-            parse_statement(stmt, line_no, &mut registers, &mut total_qubits, &mut gates)?;
+            parse_statement(
+                stmt,
+                line_no,
+                column,
+                limits,
+                &mut registers,
+                &mut total_qubits,
+                &mut gates,
+            )?;
         }
     }
 
@@ -60,6 +123,8 @@ pub fn parse(source: &str) -> Result<Circuit, ParseError> {
 fn parse_statement(
     stmt: &str,
     line: usize,
+    column: usize,
+    limits: ParseLimits,
     registers: &mut BTreeMap<String, (usize, usize)>,
     total_qubits: &mut usize,
     gates: &mut Vec<Gate>,
@@ -75,18 +140,37 @@ fn parse_statement(
     }
     if let Some(rest) = lower.strip_prefix("qreg") {
         let rest = rest.trim();
-        let (name, size) = parse_register_decl(rest, line)?;
+        let (name, size) = parse_register_decl(rest, line, column)?;
+        if size > limits.max_qubits || *total_qubits + size > limits.max_qubits {
+            return Err(ParseError::at(
+                line,
+                column,
+                format!(
+                    "register `{name}[{size}]` exceeds the qubit limit ({} total, limit {})",
+                    *total_qubits + size,
+                    limits.max_qubits
+                ),
+            ));
+        }
         registers.insert(name, (*total_qubits, size));
         *total_qubits += size;
         return Ok(());
+    }
+    if gates.len() >= limits.max_gates {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("gate count exceeds the limit ({})", limits.max_gates),
+        ));
     }
 
     // Gate application: `<mnemonic>[(params)] operand {, operand}`.
     let (head, operand_text) = match stmt.find(|c: char| c.is_whitespace()) {
         Some(pos) => (&stmt[..pos], &stmt[pos..]),
         None => {
-            return Err(ParseError::new(
+            return Err(ParseError::at(
                 line,
+                column,
                 format!("cannot parse statement `{stmt}`"),
             ))
         }
@@ -94,15 +178,16 @@ fn parse_statement(
     let head = head.trim().to_ascii_lowercase();
     let operands: Vec<usize> = operand_text
         .split(',')
-        .map(|op| resolve_operand(op.trim(), registers, line))
+        .map(|op| resolve_operand(op.trim(), registers, line, column))
         .collect::<Result<_, _>>()?;
 
     let need = |n: usize| -> Result<(), ParseError> {
         if operands.len() == n {
             Ok(())
         } else {
-            Err(ParseError::new(
+            Err(ParseError::at(
                 line,
+                column,
                 format!(
                     "gate `{head}` expects {n} operand(s), got {}",
                     operands.len()
@@ -113,9 +198,9 @@ fn parse_statement(
 
     let (mnemonic, param) = match head.find('(') {
         Some(pos) => {
-            let close = head
-                .rfind(')')
-                .ok_or_else(|| ParseError::new(line, format!("missing `)` in gate `{head}`")))?;
+            let close = head.rfind(')').ok_or_else(|| {
+                ParseError::at(line, column, format!("missing `)` in gate `{head}`"))
+            })?;
             (
                 head[..pos].to_string(),
                 Some(head[pos + 1..close].to_string()),
@@ -161,8 +246,9 @@ fn parse_statement(
             need(1)?;
             let param = param.unwrap_or_default();
             if !is_half_pi(&param) {
-                return Err(ParseError::new(
+                return Err(ParseError::at(
                     line,
+                    column,
                     format!("only {mnemonic}(pi/2) is supported, got `{param}`"),
                 ));
             }
@@ -210,26 +296,34 @@ fn parse_statement(
             }
         }
         other => {
-            return Err(ParseError::new(line, format!("unsupported gate `{other}`")));
+            return Err(ParseError::at(
+                line,
+                column,
+                format!("unsupported gate `{other}`"),
+            ));
         }
     };
     gates.push(gate);
     Ok(())
 }
 
-fn parse_register_decl(decl: &str, line: usize) -> Result<(String, usize), ParseError> {
+fn parse_register_decl(
+    decl: &str,
+    line: usize,
+    column: usize,
+) -> Result<(String, usize), ParseError> {
     // e.g. `q[5]`
     let open = decl
         .find('[')
-        .ok_or_else(|| ParseError::new(line, format!("malformed register `{decl}`")))?;
+        .ok_or_else(|| ParseError::at(line, column, format!("malformed register `{decl}`")))?;
     let close = decl
         .find(']')
-        .ok_or_else(|| ParseError::new(line, format!("malformed register `{decl}`")))?;
+        .ok_or_else(|| ParseError::at(line, column, format!("malformed register `{decl}`")))?;
     let name = decl[..open].trim().to_string();
     let size: usize = decl[open + 1..close]
         .trim()
         .parse()
-        .map_err(|_| ParseError::new(line, format!("bad register size in `{decl}`")))?;
+        .map_err(|_| ParseError::at(line, column, format!("bad register size in `{decl}`")))?;
     Ok((name, size))
 }
 
@@ -237,24 +331,26 @@ fn resolve_operand(
     op: &str,
     registers: &BTreeMap<String, (usize, usize)>,
     line: usize,
+    column: usize,
 ) -> Result<usize, ParseError> {
     let open = op
         .find('[')
-        .ok_or_else(|| ParseError::new(line, format!("malformed operand `{op}`")))?;
+        .ok_or_else(|| ParseError::at(line, column, format!("malformed operand `{op}`")))?;
     let close = op
         .find(']')
-        .ok_or_else(|| ParseError::new(line, format!("malformed operand `{op}`")))?;
+        .ok_or_else(|| ParseError::at(line, column, format!("malformed operand `{op}`")))?;
     let name = op[..open].trim();
     let index: usize = op[open + 1..close]
         .trim()
         .parse()
-        .map_err(|_| ParseError::new(line, format!("bad qubit index in `{op}`")))?;
+        .map_err(|_| ParseError::at(line, column, format!("bad qubit index in `{op}`")))?;
     let (offset, size) = registers
         .get(name)
-        .ok_or_else(|| ParseError::new(line, format!("unknown register `{name}`")))?;
+        .ok_or_else(|| ParseError::at(line, column, format!("unknown register `{name}`")))?;
     if index >= *size {
-        return Err(ParseError::new(
+        return Err(ParseError::at(
             line,
+            column,
             format!("index {index} out of range for register `{name}[{size}]`"),
         ));
     }
@@ -377,5 +473,102 @@ mod tests {
         let src = "qreg q[1]; rx(1.5707963267948966) q[0];";
         let c = parse(src).expect("valid");
         assert_eq!(c.gates(), &[Gate::RxPi2(0)]);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // `foo` starts at column 12 of line 1 (after `qreg q[1]; `).
+        let err = parse("qreg q[1]; foo q[0];").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 12);
+        assert!(err.to_string().contains("column 12"), "{err}");
+        // Second line, indented statement.
+        let err = parse("qreg q[2];\n   cx q[0], q[9];").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 4);
+    }
+
+    #[test]
+    fn absurd_register_sizes_are_rejected_before_allocation() {
+        // One register over the limit.
+        let err = parse("qreg q[99999999];").unwrap_err();
+        assert!(err.to_string().contains("qubit limit"), "{err}");
+        // Many registers accumulating past the limit.
+        let limits = ParseLimits {
+            max_qubits: 8,
+            ..ParseLimits::default()
+        };
+        assert!(parse_with_limits("qreg a[5]; qreg b[5];", limits).is_err());
+        assert!(parse_with_limits("qreg a[5]; qreg b[3];", limits).is_ok());
+        // A size too big for usize stays a structured error, not a panic.
+        let err = parse("qreg q[999999999999999999999999999];").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("bad register size"), "{err}");
+    }
+
+    #[test]
+    fn gate_count_limit_rejects_endless_gate_streams() {
+        let limits = ParseLimits {
+            max_gates: 4,
+            ..ParseLimits::default()
+        };
+        let src = "qreg q[1]; x q[0]; x q[0]; x q[0]; x q[0];";
+        assert!(parse_with_limits(src, limits).is_ok());
+        let src = "qreg q[1]; x q[0]; x q[0]; x q[0]; x q[0]; x q[0];";
+        let err = parse_with_limits(src, limits).unwrap_err();
+        assert!(err.to_string().contains("gate count"), "{err}");
+    }
+
+    #[test]
+    fn source_byte_limit_is_checked_up_front() {
+        let limits = ParseLimits {
+            max_source_bytes: 16,
+            ..ParseLimits::default()
+        };
+        let err = parse_with_limits("qreg q[1]; x q[0];", limits).unwrap_err();
+        assert!(err.to_string().contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error_instead_of_panicking() {
+        // Fuzz-style corpus: every prefix of a valid program plus assorted
+        // garbage must parse or fail with a structured error — never panic,
+        // never allocate absurdly.
+        let valid = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0], q[1];\nccx q[0], q[1], q[2];\n";
+        for end in 0..=valid.len() {
+            let _ = parse(&valid[..end]);
+        }
+        let garbage: &[&str] = &[
+            "",
+            ";",
+            ";;;;;",
+            "qreg",
+            "qreg ;",
+            "qreg q",
+            "qreg q[",
+            "qreg q[];",
+            "qreg q[-1];",
+            "qreg q[1]; h",
+            "qreg q[1]; h ;",
+            "qreg q[1]; h q;",
+            "qreg q[1]; h q[;",
+            "qreg q[1]; h q[]",
+            "qreg q[1]; rx( q[0];",
+            "qreg q[1]; rx() q[0];",
+            "qreg q[1]; cx q[0],;",
+            "qreg q[1]; cx q[0], q[0], q[0], q[0];",
+            "qreg [3]; x [0];",
+            "\u{0}\u{1}\u{2}",
+            "qreg q[1]; x q[0]\u{335};",
+            "κρεγ q[2]; h q[0];",
+            "qreg q[18446744073709551616];",
+        ];
+        for src in garbage {
+            // The outcome may be Ok (ignored statements) or Err, but must be
+            // structured either way.
+            if let Err(err) = parse(src) {
+                assert!(!err.message.is_empty(), "empty message for {src:?}");
+            }
+        }
     }
 }

@@ -94,6 +94,76 @@ pub enum CapacityResource {
     },
 }
 
+/// The stable numeric wire codes for [`ExecError`] variants, used by
+/// serving front-ends to report failures to remote clients.
+///
+/// Codes are part of the wire protocol (see `PROTOCOL.md` at the workspace
+/// root): they never change meaning and are never reused.  Codes below 16
+/// are reserved for protocol-level failures that have no [`ExecError`]
+/// (malformed frames, parse rejections, load shedding); execution errors
+/// start at 16.
+pub mod wire {
+    /// The requested backend cannot serve this workload at all.
+    pub const UNSUPPORTED: u16 = 16;
+    /// A hard qubit capacity was exceeded.
+    pub const CAPACITY_QUBITS: u16 = 17;
+    /// A byte budget was exceeded (at admission or mid-run).
+    pub const CAPACITY_BYTES: u16 = 18;
+    /// A gate the backend cannot represent was applied.
+    pub const GATE: u16 = 19;
+    /// A configured resource limit (live nodes, …) was exceeded.
+    pub const RESOURCE: u16 = 20;
+    /// The circuit failed validation before execution started.
+    pub const CIRCUIT: u16 = 21;
+    /// A circuit over a different qubit count was fed to the session.
+    pub const QUBIT_MISMATCH: u16 = 22;
+    /// A snapshot from one backend was restored into another.
+    pub const SNAPSHOT_MISMATCH: u16 = 23;
+    /// A snapshot from a different session was used here.
+    pub const FOREIGN_SNAPSHOT: u16 = 24;
+
+    /// The stable name of an execution-layer wire code, `None` for codes
+    /// this version does not know (including the sub-16 protocol range).
+    pub fn name(code: u16) -> Option<&'static str> {
+        Some(match code {
+            UNSUPPORTED => "unsupported",
+            CAPACITY_QUBITS => "capacity-qubits",
+            CAPACITY_BYTES => "capacity-bytes",
+            GATE => "gate",
+            RESOURCE => "resource",
+            CIRCUIT => "circuit",
+            QUBIT_MISMATCH => "qubit-mismatch",
+            SNAPSHOT_MISMATCH => "snapshot-mismatch",
+            FOREIGN_SNAPSHOT => "foreign-snapshot",
+            _ => return None,
+        })
+    }
+}
+
+impl ExecError {
+    /// The stable numeric wire code of this error (see [`wire`]).
+    ///
+    /// The match is deliberately exhaustive with no `_` arm: adding an
+    /// [`ExecError`] (or [`CapacityResource`]) variant fails to compile
+    /// until it is assigned a wire code, so the wire protocol can never
+    /// silently lag the taxonomy.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            ExecError::Unsupported { .. } => wire::UNSUPPORTED,
+            ExecError::CapacityExceeded { resource, .. } => match resource {
+                CapacityResource::Qubits { .. } => wire::CAPACITY_QUBITS,
+                CapacityResource::Bytes { .. } => wire::CAPACITY_BYTES,
+            },
+            ExecError::Gate { .. } => wire::GATE,
+            ExecError::Resource { .. } => wire::RESOURCE,
+            ExecError::Circuit(_) => wire::CIRCUIT,
+            ExecError::QubitMismatch { .. } => wire::QUBIT_MISMATCH,
+            ExecError::SnapshotMismatch { .. } => wire::SNAPSHOT_MISMATCH,
+            ExecError::ForeignSnapshot { .. } => wire::FOREIGN_SNAPSHOT,
+        }
+    }
+}
+
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -200,6 +270,63 @@ mod tests {
         };
         assert!(e.to_string().contains("2048"));
         assert!(e.to_string().contains("memory budget"));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_over_every_variant() {
+        // One instance per variant (and per CapacityResource shape).  When a
+        // new ExecError variant is added, `wire_code`'s exhaustive match
+        // already forces a code decision at compile time; keep this list in
+        // step so the code's name and uniqueness are tested too.
+        let every: Vec<ExecError> = vec![
+            ExecError::Unsupported {
+                backend: "stabilizer",
+                what: "non-Clifford circuits".into(),
+            },
+            ExecError::CapacityExceeded {
+                backend: "dense",
+                resource: CapacityResource::Qubits {
+                    requested: 40,
+                    limit: 30,
+                },
+            },
+            ExecError::CapacityExceeded {
+                backend: "bitslice",
+                resource: CapacityResource::Bytes {
+                    used: 2048,
+                    limit: 1024,
+                },
+            },
+            ExecError::Gate {
+                backend: "stabilizer",
+                gate: "t q[0]".into(),
+            },
+            ExecError::Resource {
+                backend: "bitslice",
+                detail: "nodes".into(),
+            },
+            ExecError::Circuit(CircuitError::NotInvertible { gate: "m".into() }),
+            ExecError::QubitMismatch {
+                session: 3,
+                circuit: 4,
+            },
+            ExecError::SnapshotMismatch {
+                session: "qmdd",
+                snapshot: "dense",
+            },
+            ExecError::ForeignSnapshot { backend: "qmdd" },
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for error in &every {
+            let code = error.wire_code();
+            assert!(code >= 16, "execution codes start at 16, got {code}");
+            assert!(wire::name(code).is_some(), "code {code} has no stable name");
+            assert!(seen.insert(code), "code {code} assigned twice");
+        }
+        // The reserved protocol range and unknown codes have no name.
+        assert_eq!(wire::name(0), None);
+        assert_eq!(wire::name(15), None);
+        assert_eq!(wire::name(u16::MAX), None);
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod session;
 
 pub use backend::{BackendKind, Capabilities};
 pub use cache::{circuit_fingerprint, ResultCache, ResultCacheStats};
-pub use error::{CapacityResource, ExecError};
+pub use error::{wire, CapacityResource, ExecError};
 pub use sample::Histogram;
 pub use session::{ExecStats, RunResult, SampleResult, Session, SessionConfig, Snapshot};
 

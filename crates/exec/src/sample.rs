@@ -58,6 +58,18 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from outcome/count pairs — the inverse of
+    /// iterating [`Histogram::counts`], used to reconstruct histograms
+    /// received over a serving front-end's wire protocol.  Local
+    /// histograms only ever grow through sampling.
+    pub fn from_counts(num_qubits: usize, counts: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut histogram = Self::new(num_qubits);
+        for (outcome, count) in counts {
+            histogram.add(outcome, count);
+        }
+        histogram
+    }
+
     fn add(&mut self, outcome: u64, count: u64) {
         if count > 0 {
             *self.counts.entry(outcome).or_insert(0) += count;

@@ -1,0 +1,176 @@
+//! A small blocking client for the wire protocol, used by the `sliq`
+//! CLI's `--connect` mode, the load generator, and the differential tests.
+
+use crate::protocol::{self, Request, Response, RunOptions, RunOutcome, StatsSnapshot, WireError};
+use sliq_circuit::Circuit;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or codec failed.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Remote {
+        /// Stable numeric code (`protocol::codes` or `sliq_exec::wire`).
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server shed the request; back off and retry.
+    Overloaded {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response type that does not match the
+    /// request.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Remote { code, message } => match sliq_exec::wire::name(*code) {
+                Some(name) => write!(f, "server error {code} ({name}): {message}"),
+                None => write!(f, "server error {code}: {message}"),
+            },
+            ClientError::Overloaded { message } => write!(f, "server overloaded: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(value: WireError) -> Self {
+        ClientError::Wire(value)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(value: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(value))
+    }
+}
+
+/// One connection to a server.  Methods are synchronous; for pipelining,
+/// use the split [`Client::send_run_circuit`] / [`Client::receive`] pair.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_request_id: u32,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+            next_request_id: 1,
+            max_frame_bytes: protocol::MAX_FRAME_BYTES,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<u32, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        let frame = protocol::encode_request(request_id, request)?;
+        protocol::write_all(&mut self.writer, &frame)?;
+        Ok(request_id)
+    }
+
+    /// Receives the next response frame, whatever request it answers.
+    pub fn receive(&mut self) -> Result<(u32, Response), ClientError> {
+        Ok(protocol::read_response(
+            &mut self.reader,
+            self.max_frame_bytes,
+        )?)
+    }
+
+    fn expect_run(&mut self, sent_id: u32) -> Result<RunOutcome, ClientError> {
+        let (request_id, response) = self.receive()?;
+        if request_id != sent_id {
+            return Err(ClientError::Unexpected(format!(
+                "response for request {request_id}, expected {sent_id}"
+            )));
+        }
+        match response {
+            Response::Run(outcome) => Ok(outcome),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            Response::Overloaded { message } => Err(ClientError::Overloaded { message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Checks liveness.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let sent_id = self.send(&Request::Ping)?;
+        let (request_id, response) = self.receive()?;
+        match response {
+            Response::Pong if request_id == sent_id => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs a QASM program and waits for the result.
+    pub fn run_qasm(
+        &mut self,
+        source: &str,
+        options: RunOptions,
+    ) -> Result<RunOutcome, ClientError> {
+        let sent_id = self.send(&Request::RunQasm {
+            options,
+            source: source.to_string(),
+        })?;
+        self.expect_run(sent_id)
+    }
+
+    /// Runs a circuit (compact binary encoding) and waits for the result.
+    pub fn run_circuit(
+        &mut self,
+        circuit: &Circuit,
+        options: RunOptions,
+    ) -> Result<RunOutcome, ClientError> {
+        let sent_id = self.send(&Request::RunGates {
+            options,
+            circuit: circuit.clone(),
+        })?;
+        self.expect_run(sent_id)
+    }
+
+    /// Sends a run without waiting, returning the request id to match
+    /// against [`Client::receive`] — this is how a connection pipelines.
+    pub fn send_run_circuit(
+        &mut self,
+        circuit: &Circuit,
+        options: RunOptions,
+    ) -> Result<u32, ClientError> {
+        self.send(&Request::RunGates {
+            options,
+            circuit: circuit.clone(),
+        })
+    }
+
+    /// Fetches the server's counters.
+    pub fn server_stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let sent_id = self.send(&Request::Stats)?;
+        let (request_id, response) = self.receive()?;
+        if request_id != sent_id {
+            return Err(ClientError::Unexpected(format!(
+                "response for request {request_id}, expected {sent_id}"
+            )));
+        }
+        match response {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The admission queue: a bounded, connection-fair scheduler.
+//!
+//! Jobs are queued per connection and drained round-robin, so one
+//! connection streaming hundreds of requests cannot starve another that
+//! sends one.  Capacity is bounded twice — a global depth and a per
+//! connection share — and [`Scheduler::submit`] hands the job back instead
+//! of blocking when either bound is hit, which the server turns into an
+//! explicit `Overloaded` response.  Nothing here ever queues unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer queue with round-robin fairness across
+/// connection ids.
+pub struct Scheduler<J> {
+    state: Mutex<State<J>>,
+    available: Condvar,
+    capacity: usize,
+    per_conn: usize,
+}
+
+struct State<J> {
+    /// Per-connection FIFO queues in round-robin order; the front
+    /// connection is served next.
+    queues: VecDeque<(u64, VecDeque<J>)>,
+    /// Total queued jobs across every connection.
+    queued: usize,
+    shutdown: bool,
+}
+
+/// Why a submission was refused (the job is handed back in both cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The global queue depth is exhausted.
+    QueueFull {
+        /// The configured global depth.
+        capacity: usize,
+    },
+    /// This connection already holds its full share of the queue.
+    ConnectionFull {
+        /// The configured per-connection share.
+        capacity: usize,
+    },
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl<J> Scheduler<J> {
+    /// A scheduler holding at most `capacity` jobs in total and at most
+    /// `per_conn` jobs per connection (both clamped to at least 1).
+    pub fn new(capacity: usize, per_conn: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                queues: VecDeque::new(),
+                queued: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            per_conn: per_conn.max(1).min(capacity.max(1)),
+        }
+    }
+
+    /// Enqueues `job` for `conn_id`, or hands it back with the reason when
+    /// the queue (or this connection's share) is full.  Never blocks.
+    pub fn submit(&self, conn_id: u64, job: J) -> Result<(), (J, Refusal)> {
+        let mut state = self.state.lock().unwrap();
+        if state.shutdown {
+            return Err((job, Refusal::ShuttingDown));
+        }
+        if state.queued >= self.capacity {
+            return Err((
+                job,
+                Refusal::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        match state.queues.iter_mut().find(|(id, _)| *id == conn_id) {
+            Some((_, queue)) => {
+                if queue.len() >= self.per_conn {
+                    return Err((
+                        job,
+                        Refusal::ConnectionFull {
+                            capacity: self.per_conn,
+                        },
+                    ));
+                }
+                queue.push_back(job);
+            }
+            None => {
+                let mut queue = VecDeque::new();
+                queue.push_back(job);
+                state.queues.push_back((conn_id, queue));
+            }
+        }
+        state.queued += 1;
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and returns it, rotating the served
+    /// connection to the back of the round-robin.  Returns `None` once the
+    /// scheduler is shut down **and** drained.
+    pub fn next(&self) -> Option<J> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some((conn_id, mut queue)) = state.queues.pop_front() {
+                let job = queue.pop_front().expect("queues never hold empty entries");
+                state.queued -= 1;
+                if !queue.is_empty() {
+                    state.queues.push_back((conn_id, queue));
+                }
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Drops every queued job of a disconnected connection, returning them
+    /// so the caller can account for the shed work.
+    pub fn purge(&self, conn_id: u64) -> Vec<J> {
+        let mut state = self.state.lock().unwrap();
+        let mut dropped = Vec::new();
+        if let Some(pos) = state.queues.iter().position(|(id, _)| *id == conn_id) {
+            let (_, queue) = state.queues.remove(pos).unwrap();
+            state.queued -= queue.len();
+            dropped.extend(queue);
+        }
+        dropped
+    }
+
+    /// Jobs currently queued across all connections.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().queued
+    }
+
+    /// Stops accepting submissions and wakes every waiting worker; queued
+    /// jobs are still drained by [`Scheduler::next`].
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_robin_interleaves_connections() {
+        let s = Scheduler::new(16, 16);
+        // Connection 1 floods first, connection 2 adds two jobs after.
+        for i in 0..4 {
+            s.submit(1, (1, i)).unwrap();
+        }
+        for i in 0..2 {
+            s.submit(2, (2, i)).unwrap();
+        }
+        let order: Vec<(u64, usize)> = (0..6).map(|_| s.next().unwrap()).collect();
+        // Service alternates between the connections until 2 drains.
+        assert_eq!(order, vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn capacity_bounds_shed_instead_of_blocking() {
+        let s = Scheduler::new(3, 2);
+        s.submit(1, "a").unwrap();
+        s.submit(1, "b").unwrap();
+        // Per-connection share exhausted.
+        assert!(matches!(
+            s.submit(1, "c"),
+            Err(("c", Refusal::ConnectionFull { capacity: 2 }))
+        ));
+        s.submit(2, "d").unwrap();
+        // Global depth exhausted.
+        assert!(matches!(
+            s.submit(3, "e"),
+            Err(("e", Refusal::QueueFull { capacity: 3 }))
+        ));
+        assert_eq!(s.queued(), 3);
+    }
+
+    #[test]
+    fn purge_drops_only_the_disconnected_connection() {
+        let s = Scheduler::new(8, 8);
+        s.submit(1, 10).unwrap();
+        s.submit(2, 20).unwrap();
+        s.submit(1, 11).unwrap();
+        assert_eq!(s.purge(1), vec![10, 11]);
+        assert_eq!(s.queued(), 1);
+        assert_eq!(s.next(), Some(20));
+    }
+
+    #[test]
+    fn shutdown_drains_then_releases_workers() {
+        let s = Arc::new(Scheduler::new(8, 8));
+        s.submit(1, 1).unwrap();
+        s.shutdown();
+        assert!(matches!(s.submit(1, 2), Err((2, Refusal::ShuttingDown))));
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.next(), None);
+        // A worker blocked in next() is woken by shutdown.
+        let s2 = Arc::new(Scheduler::<u32>::new(8, 8));
+        let waiter = {
+            let s2 = Arc::clone(&s2);
+            std::thread::spawn(move || s2.next())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s2.shutdown();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

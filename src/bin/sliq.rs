@@ -3,7 +3,7 @@
 //! ```text
 //! sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer]
 //!      [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…]
-//!      [--reorder] [--threads N]
+//!      [--reorder] [--threads N] [--connect HOST:PORT] [--tenant NAME]
 //! ```
 //!
 //! The circuit format is inferred from the file extension (`.qasm` for the
@@ -12,6 +12,11 @@
 //! the circuit (stabilizer for Clifford-only, bit-sliced otherwise), and
 //! `--shots N` draws all N measurement shots from the one simulated state
 //! (batched sampling — the circuit is never re-run per shot).
+//!
+//! With `--connect HOST:PORT` the circuit is not simulated locally: it is
+//! shipped to a running `sliq-serve` instance over the wire protocol and
+//! the histogram comes back over the socket, printed in the same format as
+//! local runs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +33,8 @@ struct Options {
     reorder: bool,
     threads: Option<usize>,
     probability_qubits: Option<Vec<usize>>,
+    connect: Option<String>,
+    tenant: String,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,6 +48,8 @@ fn parse_args() -> Result<Options, String> {
         reorder: false,
         threads: None,
         probability_qubits: None,
+        connect: None,
+        tenant: String::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,8 +86,14 @@ fn parse_args() -> Result<Options, String> {
                         .collect::<Result<_, _>>()?,
                 );
             }
+            "--connect" => {
+                options.connect = Some(args.next().ok_or("--connect needs HOST:PORT")?);
+            }
+            "--tenant" => {
+                options.tenant = args.next().ok_or("--tenant needs a name")?;
+            }
             "--help" | "-h" => {
-                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…] [--reorder] [--threads N]".to_string());
+                return Err("usage: sliq <circuit.qasm|circuit.real> [--backend auto|bitslice|qmdd|dense|stabilizer] [--superpose-free-inputs] [--shots N] [--seed S] [--probabilities Q1,Q2,…] [--reorder] [--threads N] [--connect HOST:PORT] [--tenant NAME]".to_string());
             }
             other if options.path.is_empty() && !other.starts_with('-') => {
                 options.path = other.to_string();
@@ -109,6 +124,52 @@ fn load_circuit(options: &Options) -> Result<Circuit, Box<dyn Error>> {
     } else {
         Ok(qasm::parse(&text)?)
     }
+}
+
+/// Ships the circuit to a running `sliq-serve` instance and prints the
+/// result in the same shape as a local run.
+fn run_remote(options: &Options, circuit: &Circuit, addr: &str) -> Result<(), Box<dyn Error>> {
+    use sliqsim::serve::{Client, RunOptions};
+
+    let mut client = Client::connect(addr)?;
+    let outcome = client.run_circuit(
+        circuit,
+        RunOptions {
+            backend: backend_kind(&options.backend)?,
+            shots: options.shots,
+            seed: options.seed,
+            tenant: options.tenant.clone(),
+        },
+    )?;
+    println!(
+        "simulated on `{}` at {addr} in {:.3} s",
+        outcome.backend.name(),
+        outcome.run_micros as f64 / 1e6
+    );
+    if let Some(nodes) = outcome.live_nodes {
+        println!(
+            "representation: {} live nodes ({:.2} MiB peak)",
+            nodes, outcome.peak_memory_mib
+        );
+    }
+    println!("sum of probabilities = {:.12}", outcome.total_probability);
+    if let Some(wire) = outcome.histogram {
+        let elapsed_secs = wire.sample_micros as f64 / 1e6;
+        let shots_per_sec = if elapsed_secs > 0.0 {
+            wire.shots as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        let histogram = Histogram::from_counts(circuit.num_qubits(), wire.counts);
+        println!(
+            "sampled {} shot(s) in {:.3} ms ({shots_per_sec:.0} shots/s), {} distinct outcomes:",
+            wire.shots,
+            elapsed_secs * 1e3,
+            histogram.counts().len()
+        );
+        print!("{}", histogram.format_top(16));
+    }
+    Ok(())
 }
 
 fn backend_kind(name: &str) -> Result<BackendKind, String> {
@@ -146,6 +207,9 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
         circuit.len(),
         circuit.depth()
     );
+    if let Some(addr) = &options.connect {
+        return run_remote(options, &circuit, addr);
+    }
     let mut config =
         SessionConfig::with_backend(backend_kind(&options.backend)?).auto_reorder(options.reorder);
     if let Some(threads) = options.threads {

@@ -16,6 +16,8 @@
 //! * [`exec`] — the session/executor layer: backend registry, capability
 //!   negotiation, checkpoints, batched multi-shot sampling and the
 //!   canonical-circuit result cache.
+//! * [`serve`] — the concurrent TCP serving front-end over the session
+//!   layer (wire protocol, fair admission queue, client).
 //! * [`workloads`] — benchmark circuit generators.
 //!
 //! The recommended entry point is a [`prelude::Session`]: it owns whichever
@@ -48,6 +50,7 @@ pub use sliq_dense as dense;
 pub use sliq_exec as exec;
 pub use sliq_math as math;
 pub use sliq_qmdd as qmdd;
+pub use sliq_serve as serve;
 pub use sliq_stabilizer as stabilizer;
 pub use sliq_workloads as workloads;
 
