@@ -198,9 +198,13 @@ fn parse_statement(
 
     let (mnemonic, param) = match head.find('(') {
         Some(pos) => {
-            let close = head.rfind(')').ok_or_else(|| {
-                ParseError::at(line, column, format!("missing `)` in gate `{head}`"))
-            })?;
+            // Search for `)` strictly after the `(` so reversed delimiters
+            // (`rx)pi/2(`) are a structured error, not a slice panic.
+            let close = pos
+                + 1
+                + head[pos + 1..].rfind(')').ok_or_else(|| {
+                    ParseError::at(line, column, format!("missing `)` in gate `{head}`"))
+                })?;
             (
                 head[..pos].to_string(),
                 Some(head[pos + 1..close].to_string()),
@@ -313,11 +317,7 @@ fn parse_register_decl(
     column: usize,
 ) -> Result<(String, usize), ParseError> {
     // e.g. `q[5]`
-    let open = decl
-        .find('[')
-        .ok_or_else(|| ParseError::at(line, column, format!("malformed register `{decl}`")))?;
-    let close = decl
-        .find(']')
+    let (open, close) = bracket_span(decl)
         .ok_or_else(|| ParseError::at(line, column, format!("malformed register `{decl}`")))?;
     let name = decl[..open].trim().to_string();
     let size: usize = decl[open + 1..close]
@@ -333,11 +333,7 @@ fn resolve_operand(
     line: usize,
     column: usize,
 ) -> Result<usize, ParseError> {
-    let open = op
-        .find('[')
-        .ok_or_else(|| ParseError::at(line, column, format!("malformed operand `{op}`")))?;
-    let close = op
-        .find(']')
+    let (open, close) = bracket_span(op)
         .ok_or_else(|| ParseError::at(line, column, format!("malformed operand `{op}`")))?;
     let name = op[..open].trim();
     let index: usize = op[open + 1..close]
@@ -355,6 +351,15 @@ fn resolve_operand(
         ));
     }
     Ok(offset + index)
+}
+
+/// Byte offsets of a `[` and the first `]` *after* it.  Returns `None`
+/// when either is missing or they are reversed (`q]1[`), which would
+/// otherwise panic as an out-of-order slice.
+fn bracket_span(text: &str) -> Option<(usize, usize)> {
+    let open = text.find('[')?;
+    let close = open + 1 + text[open + 1..].find(']')?;
+    Some((open, close))
 }
 
 fn is_half_pi(expr: &str) -> bool {
@@ -530,6 +535,17 @@ mod tests {
     }
 
     #[test]
+    fn reversed_delimiters_are_rejected_not_panics() {
+        // Each of these used to panic on an out-of-order str slice.
+        let err = parse("qreg q]1[;").unwrap_err();
+        assert!(err.to_string().contains("malformed register"), "{err}");
+        let err = parse("qreg q[1]; x q]0[;").unwrap_err();
+        assert!(err.to_string().contains("malformed operand"), "{err}");
+        let err = parse("qreg q[1]; rx)pi/2( q[0];").unwrap_err();
+        assert!(err.to_string().contains("missing `)`"), "{err}");
+    }
+
+    #[test]
     fn truncated_and_garbage_inputs_error_instead_of_panicking() {
         // Fuzz-style corpus: every prefix of a valid program plus assorted
         // garbage must parse or fail with a structured error — never panic,
@@ -558,6 +574,12 @@ mod tests {
             "qreg q[1]; cx q[0],;",
             "qreg q[1]; cx q[0], q[0], q[0], q[0];",
             "qreg [3]; x [0];",
+            "qreg q]1[;",
+            "x q]0[;",
+            "qreg q[1]; x q]0[;",
+            "qreg q[1]; rx)pi/2( q[0];",
+            "qreg q[1]; rx(pi/2) q]0[;",
+            "qreg ]q[1];",
             "\u{0}\u{1}\u{2}",
             "qreg q[1]; x q[0]\u{335};",
             "κρεγ q[2]; h q[0];",

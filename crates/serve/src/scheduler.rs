@@ -64,9 +64,25 @@ impl<J> Scheduler<J> {
     /// Enqueues `job` for `conn_id`, or hands it back with the reason when
     /// the queue (or this connection's share) is full.  Never blocks.
     pub fn submit(&self, conn_id: u64, job: J) -> Result<(), (J, Refusal)> {
-        let mut state = self.state.lock().unwrap();
+        let mut guard = self.state.lock().unwrap();
+        let state = &mut *guard;
         if state.shutdown {
             return Err((job, Refusal::ShuttingDown));
+        }
+        // Check the per-connection share before the global depth: when both
+        // are exhausted, a connection that exceeded its own share must be
+        // told so ("drain responses first"), not blamed on global load
+        // ("retry later") — clients pick their backoff from the reason.
+        let existing = state.queues.iter_mut().find(|(id, _)| *id == conn_id);
+        if let Some((_, queue)) = &existing {
+            if queue.len() >= self.per_conn {
+                return Err((
+                    job,
+                    Refusal::ConnectionFull {
+                        capacity: self.per_conn,
+                    },
+                ));
+            }
         }
         if state.queued >= self.capacity {
             return Err((
@@ -76,18 +92,8 @@ impl<J> Scheduler<J> {
                 },
             ));
         }
-        match state.queues.iter_mut().find(|(id, _)| *id == conn_id) {
-            Some((_, queue)) => {
-                if queue.len() >= self.per_conn {
-                    return Err((
-                        job,
-                        Refusal::ConnectionFull {
-                            capacity: self.per_conn,
-                        },
-                    ));
-                }
-                queue.push_back(job);
-            }
+        match existing {
+            Some((_, queue)) => queue.push_back(job),
             None => {
                 let mut queue = VecDeque::new();
                 queue.push_back(job);
@@ -95,7 +101,7 @@ impl<J> Scheduler<J> {
             }
         }
         state.queued += 1;
-        drop(state);
+        drop(guard);
         self.available.notify_one();
         Ok(())
     }
@@ -182,6 +188,12 @@ mod tests {
         assert!(matches!(
             s.submit(3, "e"),
             Err(("e", Refusal::QueueFull { capacity: 3 }))
+        ));
+        // Both bounds exhausted: the per-connection reason wins so the
+        // flooding connection is told to drain its own responses.
+        assert!(matches!(
+            s.submit(1, "f"),
+            Err(("f", Refusal::ConnectionFull { capacity: 2 }))
         ));
         assert_eq!(s.queued(), 3);
     }

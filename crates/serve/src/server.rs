@@ -405,6 +405,36 @@ impl ServerHandle {
     }
 }
 
+/// Connection cleanup that runs even when the handler thread panics
+/// (e.g. on a request that trips a bug in parsing or execution): the
+/// open-connection gauge, the stream-clone registry, and the scheduler
+/// must not leak per panic, or `max_connections` panics would wedge the
+/// accept loop into refusing everything forever.
+struct ConnGuard {
+    conn_id: u64,
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        // Never panic in drop (it would abort): recover poisoned mutexes.
+        let mut streams = self
+            .shared
+            .conn_streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        streams.remove(&self.conn_id);
+        drop(streams);
+        self.shared
+            .stats
+            .connections_open
+            .fetch_sub(1, Ordering::SeqCst);
+        // Queued jobs of a gone connection would only waste workers;
+        // drop them.
+        let _ = self.shared.scheduler.purge(self.conn_id);
+    }
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut next_conn_id: u64 = 1;
     for incoming in listener.incoming() {
@@ -438,18 +468,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let handler = thread::Builder::new()
             .name(format!("sliq-serve-conn-{conn_id}"))
             .spawn(move || {
+                let _guard = ConnGuard {
+                    conn_id,
+                    shared: Arc::clone(&conn_shared),
+                };
                 connection_loop(conn_id, stream, &conn_shared);
-                conn_shared.conn_streams.lock().unwrap().remove(&conn_id);
-                conn_shared
-                    .stats
-                    .connections_open
-                    .fetch_sub(1, Ordering::SeqCst);
-                // Queued jobs of a gone connection would only waste
-                // workers; drop them.
-                let _ = conn_shared.scheduler.purge(conn_id);
             })
             .expect("spawn connection thread");
-        shared.handler_threads.lock().unwrap().push(handler);
+        // Reap finished handlers while appending the new one, so a
+        // long-running server accepting many short connections does not
+        // accumulate join handles without bound.  Joining a finished
+        // thread never blocks; a panicked handler yields Err, which the
+        // ConnGuard already cleaned up after.
+        let mut handlers = shared.handler_threads.lock().unwrap();
+        let mut live = Vec::with_capacity(handlers.len() + 1);
+        for h in handlers.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handler);
+        *handlers = live;
     }
 }
 
