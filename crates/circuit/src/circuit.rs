@@ -19,14 +19,27 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Circuit {
     num_qubits: usize,
+    num_clbits: usize,
     gates: Vec<Gate>,
 }
 
 impl Circuit {
-    /// Creates an empty circuit over `num_qubits` qubits.
+    /// Creates an empty circuit over `num_qubits` qubits (and no classical
+    /// bits — see [`Circuit::with_clbits`]).
     pub fn new(num_qubits: usize) -> Self {
         Self {
             num_qubits,
+            num_clbits: 0,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit over `num_qubits` qubits and `num_clbits`
+    /// classical bits (the measurement/feed-forward register).
+    pub fn with_clbits(num_qubits: usize, num_clbits: usize) -> Self {
+        Self {
+            num_qubits,
+            num_clbits,
             gates: Vec::new(),
         }
     }
@@ -34,6 +47,17 @@ impl Circuit {
     /// The number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// The number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Grows the classical register to at least `num_clbits` bits.
+    pub fn ensure_clbits(&mut self, num_clbits: usize) -> &mut Self {
+        self.num_clbits = self.num_clbits.max(num_clbits);
+        self
     }
 
     /// The number of gates.
@@ -63,9 +87,10 @@ impl Circuit {
     }
 
     /// Appends all gates of `other` (which must act on at most as many
-    /// qubits as `self`).
+    /// qubits as `self`).  The classical register grows to cover both.
     pub fn append(&mut self, other: &Circuit) -> &mut Self {
         debug_assert!(other.num_qubits <= self.num_qubits);
+        self.num_clbits = self.num_clbits.max(other.num_clbits);
         self.gates.extend_from_slice(&other.gates);
         self
     }
@@ -174,11 +199,49 @@ impl Circuit {
         })
     }
 
+    /// Mid-circuit measurement of `qubit` into classical bit `clbit`
+    /// (growing the classical register if needed).
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
+        self.ensure_clbits(clbit + 1);
+        self.push(Gate::Measure { qubit, clbit })
+    }
+
+    /// Reset of `qubit` to |0⟩.
+    pub fn reset(&mut self, qubit: usize) -> &mut Self {
+        self.push(Gate::Reset { qubit })
+    }
+
+    /// Classical feed-forward: apply `gate` iff clbits
+    /// `offset..offset + width` equal `value` (growing the classical
+    /// register if needed).
+    pub fn conditional(
+        &mut self,
+        offset: usize,
+        width: usize,
+        value: u64,
+        gate: Gate,
+    ) -> &mut Self {
+        self.ensure_clbits(offset + width);
+        self.push(Gate::Conditional {
+            offset,
+            width,
+            value,
+            gate: Box::new(gate),
+        })
+    }
+
+    /// Shorthand for a single-bit condition: apply `gate` iff `clbit` is 1.
+    pub fn if_bit(&mut self, clbit: usize, gate: Gate) -> &mut Self {
+        self.conditional(clbit, 1, 1, gate)
+    }
+
     // ------------------------------------------------------------------ //
     // Analysis
     // ------------------------------------------------------------------ //
 
-    /// Checks that every gate addresses existing, distinct qubits.
+    /// Checks that every gate addresses existing, distinct qubits, that
+    /// dynamic operations stay inside the classical register, and that
+    /// conditionals are well-formed.
     ///
     /// # Errors
     ///
@@ -199,6 +262,42 @@ impl Circuit {
                     gate_index: i,
                     gate: gate.to_string(),
                 });
+            }
+            if let Gate::Conditional {
+                width,
+                value,
+                gate: inner,
+                ..
+            } = gate
+            {
+                if *width == 0 || *width > 64 {
+                    return Err(CircuitError::InvalidConditional {
+                        gate_index: i,
+                        detail: format!("condition width {width} is outside 1..=64"),
+                    });
+                }
+                if *width < 64 && value >> width != 0 {
+                    return Err(CircuitError::InvalidConditional {
+                        gate_index: i,
+                        detail: format!("value {value} does not fit in {width} bits"),
+                    });
+                }
+                if inner.is_dynamic() {
+                    return Err(CircuitError::InvalidConditional {
+                        gate_index: i,
+                        detail: format!("conditioned body `{inner}` is itself dynamic"),
+                    });
+                }
+            }
+            if let Some((offset, width)) = gate.clbit_range() {
+                let end = offset.saturating_add(width);
+                if end > self.num_clbits {
+                    return Err(CircuitError::ClbitOutOfRange {
+                        clbit: end.saturating_sub(1),
+                        num_clbits: self.num_clbits,
+                        gate_index: i,
+                    });
+                }
             }
         }
         Ok(())
@@ -225,6 +324,12 @@ impl Circuit {
     /// stabilizer baseline).
     pub fn is_clifford(&self) -> bool {
         self.gates.iter().all(Gate::is_clifford)
+    }
+
+    /// Returns `true` if the circuit contains any dynamic operation
+    /// (measurement, reset, or a classically-conditioned gate).
+    pub fn is_dynamic(&self) -> bool {
+        self.gates.iter().any(Gate::is_dynamic)
     }
 
     /// Circuit depth: the length of the longest chain of gates that share
@@ -255,7 +360,7 @@ impl Circuit {
     /// Returns [`CircuitError::NotInvertible`] if the circuit contains
     /// `Rx(π/2)` or `Ry(π/2)`, whose inverses fall outside the gate set.
     pub fn inverse(&self) -> Result<Circuit, CircuitError> {
-        let mut inv = Circuit::new(self.num_qubits);
+        let mut inv = Circuit::with_clbits(self.num_qubits, self.num_clbits);
         for gate in self.gates.iter().rev() {
             match gate.inverse() {
                 Some(g) => {
@@ -410,5 +515,72 @@ mod tests {
         let text = ghz(2).to_string();
         assert!(text.contains("h q[0]"));
         assert!(text.contains("cx q[0], q[1]"));
+    }
+
+    #[test]
+    fn dynamic_builders_grow_the_classical_register() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 1).if_bit(1, Gate::X(1)).reset(0);
+        assert_eq!(c.num_clbits(), 2);
+        assert!(c.is_dynamic());
+        assert!(c.validate().is_ok());
+        assert!(!ghz(2).is_dynamic());
+        let mut d = Circuit::new(3);
+        d.append(&c);
+        assert_eq!(d.num_clbits(), 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_clbits_and_conditionals() {
+        let mut c = Circuit::with_clbits(2, 1);
+        c.push(Gate::Measure { qubit: 0, clbit: 4 });
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::ClbitOutOfRange { clbit: 4, .. })
+        ));
+
+        let mut zero_width = Circuit::with_clbits(1, 1);
+        zero_width.push(Gate::Conditional {
+            offset: 0,
+            width: 0,
+            value: 0,
+            gate: Box::new(Gate::X(0)),
+        });
+        assert!(matches!(
+            zero_width.validate(),
+            Err(CircuitError::InvalidConditional { .. })
+        ));
+
+        let mut oversized_value = Circuit::with_clbits(1, 2);
+        oversized_value.push(Gate::Conditional {
+            offset: 0,
+            width: 2,
+            value: 5,
+            gate: Box::new(Gate::X(0)),
+        });
+        assert!(matches!(
+            oversized_value.validate(),
+            Err(CircuitError::InvalidConditional { .. })
+        ));
+
+        let mut nested = Circuit::with_clbits(1, 1);
+        nested.push(Gate::Conditional {
+            offset: 0,
+            width: 1,
+            value: 1,
+            gate: Box::new(Gate::Reset { qubit: 0 }),
+        });
+        assert!(matches!(
+            nested.validate(),
+            Err(CircuitError::InvalidConditional { .. })
+        ));
+
+        // Conditional bodies still get qubit-range checking.
+        let mut bad_qubit = Circuit::with_clbits(1, 1);
+        bad_qubit.if_bit(0, Gate::X(7));
+        assert!(matches!(
+            bad_qubit.validate(),
+            Err(CircuitError::QubitOutOfRange { qubit: 7, .. })
+        ));
     }
 }

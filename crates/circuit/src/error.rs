@@ -27,6 +27,25 @@ pub enum CircuitError {
         /// Human-readable gate description.
         gate: String,
     },
+    /// A dynamic operation references a classical bit outside the circuit's
+    /// classical register.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// The number of classical bits in the circuit.
+        num_clbits: usize,
+        /// Position of the gate in the circuit.
+        gate_index: usize,
+    },
+    /// A classically-conditioned gate is malformed: zero-width condition,
+    /// width above 64 bits, a value that does not fit the width, or a nested
+    /// dynamic operation in the body.
+    InvalidConditional {
+        /// Position of the gate in the circuit.
+        gate_index: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -45,6 +64,17 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::NotInvertible { gate } => {
                 write!(f, "gate {gate} has no inverse in the supported gate set")
+            }
+            CircuitError::ClbitOutOfRange {
+                clbit,
+                num_clbits,
+                gate_index,
+            } => write!(
+                f,
+                "gate {gate_index} references classical bit {clbit} but the circuit has {num_clbits} classical bits"
+            ),
+            CircuitError::InvalidConditional { gate_index, detail } => {
+                write!(f, "gate {gate_index} is an invalid conditional: {detail}")
             }
         }
     }
@@ -196,6 +226,17 @@ mod tests {
             gate: "t q[0]".into(),
         };
         assert!(s.to_string().contains("stabilizer"));
+        let c = CircuitError::ClbitOutOfRange {
+            clbit: 3,
+            num_clbits: 2,
+            gate_index: 1,
+        };
+        assert!(c.to_string().contains("classical bit 3"));
+        let i = CircuitError::InvalidConditional {
+            gate_index: 0,
+            detail: "condition width 0".into(),
+        };
+        assert!(i.to_string().contains("invalid conditional"));
     }
 
     #[test]

@@ -65,6 +65,32 @@ pub enum Gate {
         /// Second swap target.
         target2: usize,
     },
+    /// Mid-circuit computational-basis measurement: collapse `qubit` and
+    /// record the outcome in classical bit `clbit`.
+    Measure {
+        /// Qubit to measure.
+        qubit: usize,
+        /// Classical bit receiving the outcome.
+        clbit: usize,
+    },
+    /// Reset `qubit` to |0⟩ (measure, then flip on outcome 1).
+    Reset {
+        /// Qubit to reset.
+        qubit: usize,
+    },
+    /// Classical feed-forward: apply `gate` iff the classical bits
+    /// `offset..offset + width` (little-endian, bit `j` of `value` compared
+    /// against clbit `offset + j`) currently equal `value`.
+    Conditional {
+        /// First classical bit of the condition register.
+        offset: usize,
+        /// Number of classical bits compared (1..=64).
+        width: usize,
+        /// The register value that enables the gate.
+        value: u64,
+        /// The conditioned gate (never itself dynamic).
+        gate: Box<Gate>,
+    },
 }
 
 impl Gate {
@@ -86,6 +112,9 @@ impl Gate {
             Gate::Cz { .. } => "cz",
             Gate::Toffoli { .. } => "ccx",
             Gate::Fredkin { .. } => "cswap",
+            Gate::Measure { .. } => "measure",
+            Gate::Reset { .. } => "reset",
+            Gate::Conditional { .. } => "if",
         }
     }
 
@@ -120,6 +149,8 @@ impl Gate {
                 v.push(*target2);
                 v
             }
+            Gate::Measure { qubit, .. } | Gate::Reset { qubit } => vec![*qubit],
+            Gate::Conditional { gate, .. } => gate.qubits(),
         }
     }
 
@@ -130,40 +161,74 @@ impl Gate {
 
     /// Returns `true` if the gate belongs to the Clifford group (and can be
     /// simulated by the stabilizer baseline).
+    ///
+    /// Measurement and reset are Clifford operations (the tableau tracks
+    /// collapse natively); a conditional is Clifford iff its body is.
     pub fn is_clifford(&self) -> bool {
+        match self {
+            Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::Cnot { .. }
+            | Gate::Cz { .. }
+            | Gate::Measure { .. }
+            | Gate::Reset { .. } => true,
+            Gate::Conditional { gate, .. } => gate.is_clifford(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for the dynamic-circuit operations — measurement,
+    /// reset, and classically-conditioned gates — which are interpreted by
+    /// the executor rather than applied as unitaries by a backend.
+    pub fn is_dynamic(&self) -> bool {
         matches!(
             self,
-            Gate::X(_)
-                | Gate::Y(_)
-                | Gate::Z(_)
-                | Gate::H(_)
-                | Gate::S(_)
-                | Gate::Sdg(_)
-                | Gate::Cnot { .. }
-                | Gate::Cz { .. }
+            Gate::Measure { .. } | Gate::Reset { .. } | Gate::Conditional { .. }
         )
+    }
+
+    /// The classical bits this operation reads or writes, as a
+    /// `(offset, width)` range (`None` for purely quantum gates).
+    pub fn clbit_range(&self) -> Option<(usize, usize)> {
+        match self {
+            Gate::Measure { clbit, .. } => Some((*clbit, 1)),
+            Gate::Conditional { offset, width, .. } => Some((*offset, *width)),
+            _ => None,
+        }
     }
 
     /// Returns `true` if the gate matrix contains imaginary entries, i.e. the
     /// four bit-slice vector families become mutually dependent (see the
     /// discussion under Table II in the paper).
     pub fn involves_imaginary(&self) -> bool {
-        matches!(
-            self,
-            Gate::Y(_) | Gate::S(_) | Gate::Sdg(_) | Gate::T(_) | Gate::Tdg(_) | Gate::RxPi2(_)
-        )
+        match self {
+            Gate::Y(_) | Gate::S(_) | Gate::Sdg(_) | Gate::T(_) | Gate::Tdg(_) | Gate::RxPi2(_) => {
+                true
+            }
+            Gate::Conditional { gate, .. } => gate.involves_imaginary(),
+            _ => false,
+        }
     }
 
     /// Returns `true` if applying the gate multiplies the state by a `1/√2`
     /// factor (i.e. increments the algebraic `k` parameter).
     pub fn scales_by_inv_sqrt2(&self) -> bool {
-        matches!(self, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_))
+        match self {
+            Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_) => true,
+            Gate::Conditional { gate, .. } => gate.scales_by_inv_sqrt2(),
+            _ => false,
+        }
     }
 
     /// The inverse gate, when it exists inside the supported set.
     ///
     /// `Rx(π/2)` and `Ry(π/2)` have inverses outside the supported gate set
-    /// and return `None`.
+    /// and return `None`; measurement, reset and conditionals are not
+    /// unitary and have no inverse.
     pub fn inverse(&self) -> Option<Gate> {
         match self {
             Gate::S(q) => Some(Gate::Sdg(*q)),
@@ -171,6 +236,7 @@ impl Gate {
             Gate::T(q) => Some(Gate::Tdg(*q)),
             Gate::Tdg(q) => Some(Gate::T(*q)),
             Gate::RxPi2(_) | Gate::RyPi2(_) => None,
+            Gate::Measure { .. } | Gate::Reset { .. } | Gate::Conditional { .. } => None,
             other => Some(other.clone()),
         }
     }
@@ -185,8 +251,20 @@ impl Gate {
 
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let qs: Vec<String> = self.qubits().iter().map(|q| format!("q[{q}]")).collect();
-        write!(f, "{} {}", self.name(), qs.join(", "))
+        match self {
+            Gate::Measure { qubit, clbit } => write!(f, "measure q[{qubit}] -> c[{clbit}]"),
+            Gate::Reset { qubit } => write!(f, "reset q[{qubit}]"),
+            Gate::Conditional {
+                offset,
+                width,
+                value,
+                gate,
+            } => write!(f, "if (c[{offset}+:{width}]=={value}) {gate}"),
+            _ => {
+                let qs: Vec<String> = self.qubits().iter().map(|q| format!("q[{q}]")).collect();
+                write!(f, "{} {}", self.name(), qs.join(", "))
+            }
+        }
     }
 }
 
@@ -291,5 +369,43 @@ mod tests {
             target: 1,
         };
         assert_eq!(g.to_string(), "cx q[0], q[1]");
+        assert_eq!(
+            Gate::Measure { qubit: 0, clbit: 1 }.to_string(),
+            "measure q[0] -> c[1]"
+        );
+        assert_eq!(Gate::Reset { qubit: 3 }.to_string(), "reset q[3]");
+    }
+
+    #[test]
+    fn dynamic_operations_classify_and_delegate() {
+        let m = Gate::Measure { qubit: 2, clbit: 0 };
+        let r = Gate::Reset { qubit: 2 };
+        let cond_x = Gate::Conditional {
+            offset: 0,
+            width: 1,
+            value: 1,
+            gate: Box::new(Gate::X(1)),
+        };
+        let cond_t = Gate::Conditional {
+            offset: 0,
+            width: 2,
+            value: 3,
+            gate: Box::new(Gate::T(1)),
+        };
+        for g in [&m, &r, &cond_x, &cond_t] {
+            assert!(g.is_dynamic(), "{g}");
+            assert_eq!(g.inverse(), None, "{g}");
+        }
+        assert!(!Gate::H(0).is_dynamic());
+        // Measurement/reset are Clifford; a conditional is Clifford iff its
+        // body is (so dynamic Clifford circuits route to the stabilizer).
+        assert!(m.is_clifford() && r.is_clifford() && cond_x.is_clifford());
+        assert!(!cond_t.is_clifford());
+        assert!(cond_t.involves_imaginary() && !cond_x.involves_imaginary());
+        assert_eq!(m.qubits(), vec![2]);
+        assert_eq!(cond_x.qubits(), vec![1]);
+        assert_eq!(m.clbit_range(), Some((0, 1)));
+        assert_eq!(cond_t.clbit_range(), Some((0, 2)));
+        assert_eq!(r.clbit_range(), None);
     }
 }

@@ -56,6 +56,19 @@ fn one_pass(gates: &[Gate], num_qubits: usize) -> (Vec<Gate>, OptimizeStats) {
     let mut output: Vec<Option<Gate>> = Vec::with_capacity(gates.len());
     let mut last_touch: Vec<Option<usize>> = vec![None; num_qubits];
     for gate in gates {
+        // Dynamic operations (measurement, reset, conditionals) are
+        // optimisation barriers: collapse and feed-forward make the
+        // state observable mid-circuit, so no gate may be cancelled or
+        // merged across them.  Conservatively clear *all* tracking —
+        // a conditional's effective support depends on runtime classical
+        // state, not just its static qubit list.
+        if gate.is_dynamic() {
+            output.push(Some(gate.clone()));
+            for touch in last_touch.iter_mut() {
+                *touch = None;
+            }
+            continue;
+        }
         let qubits = gate.qubits();
         // Find the unique previous gate touching any of this gate's qubits,
         // if all those qubits last saw the *same* gate (otherwise something
@@ -120,7 +133,7 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
             break;
         }
     }
-    let mut optimized = Circuit::new(circuit.num_qubits());
+    let mut optimized = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
     optimized.extend(gates);
     (optimized, total)
 }
@@ -210,6 +223,37 @@ mod tests {
         let (optimized_d, stats_d) = optimize(&d);
         assert!(optimized_d.is_empty(), "{optimized_d}");
         assert_eq!(stats_d.cancelled, 6);
+    }
+
+    #[test]
+    fn dynamic_operations_are_optimisation_barriers() {
+        // H…H around a measurement must NOT cancel: the measurement
+        // collapses the state in between.
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0).h(0);
+        let (optimized, stats) = optimize(&c);
+        assert_eq!(optimized.len(), 3, "{optimized}");
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(optimized.num_clbits(), 1, "clbits survive optimisation");
+
+        // Same for reset and for conditionals — even on *other* qubits,
+        // since feed-forward couples them through the classical register.
+        let mut d = Circuit::new(2);
+        d.x(1).reset(0).x(1);
+        let (optimized_d, _) = optimize(&d);
+        assert_eq!(optimized_d.len(), 3);
+
+        let mut e = Circuit::new(2);
+        e.measure(0, 0).x(1).if_bit(0, Gate::Z(0)).x(1);
+        let (optimized_e, _) = optimize(&e);
+        assert_eq!(optimized_e.len(), 4);
+
+        // Redundancy strictly between barriers still cancels.
+        let mut f = Circuit::new(1);
+        f.measure(0, 0).h(0).h(0).measure(0, 0);
+        let (optimized_f, stats_f) = optimize(&f);
+        assert_eq!(optimized_f.len(), 2);
+        assert_eq!(stats_f.cancelled, 2);
     }
 
     #[test]

@@ -1,10 +1,24 @@
 //! A parser and writer for the OpenQASM 2.0 subset covering the supported
-//! gate set.
+//! gate set, including dynamic-circuit statements.
 //!
-//! Supported statements: `OPENQASM`, `include`, `qreg`, `creg` (ignored),
-//! `barrier` (ignored), `measure` (ignored — measurement is driven through
-//! the simulator API), and the gates
+//! Supported statements: `OPENQASM`, `include`, `qreg`, `creg`,
+//! `measure q[i] -> c[j]` (and the whole-register form `measure q -> c`),
+//! `reset q[i]` (and `reset q`), classically-conditioned gates
+//! `if (c == v) <gate>`, `barrier` (a semantic no-op for simulation —
+//! tolerated and dropped), and the gates
 //! `x y z h s sdg t tdg rx(pi/2) ry(pi/2) cx cz ccx cswap swap`.
+//!
+//! Measurement, reset and `if` parse into the dynamic IR operations
+//! ([`Gate::Measure`], [`Gate::Reset`], [`Gate::Conditional`]) and execute
+//! with seeded randomness in the session layer.  Any statement outside this
+//! list is a structured [`ParseError`] with the offending line and column —
+//! nothing is ever silently skipped, so a program either simulates with
+//! exactly the semantics written or fails to parse.
+//!
+//! As a documented extension for round-tripping sub-register conditions,
+//! the condition may also name a single classical bit (`if (c[2] == 1) …`)
+//! or a bit range (`if (c[2+:3] == 5) …`, meaning bits `c[2..5]`
+//! little-endian).
 
 use crate::circuit::Circuit;
 use crate::error::ParseError;
@@ -23,6 +37,8 @@ use std::collections::BTreeMap;
 pub struct ParseLimits {
     /// Maximum total qubits over all `qreg` declarations.
     pub max_qubits: usize,
+    /// Maximum total classical bits over all `creg` declarations.
+    pub max_clbits: usize,
     /// Maximum number of gate statements.
     pub max_gates: usize,
     /// Maximum source length in bytes (checked up front).
@@ -33,6 +49,7 @@ impl Default for ParseLimits {
     fn default() -> Self {
         Self {
             max_qubits: 1 << 16,
+            max_clbits: 1 << 16,
             max_gates: 1 << 22,
             max_source_bytes: 64 << 20,
         }
@@ -81,9 +98,13 @@ pub fn parse_with_limits(source: &str, limits: ParseLimits) -> Result<Circuit, P
             ),
         ));
     }
-    let mut registers: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // name -> (offset, size)
-    let mut total_qubits = 0usize;
-    let mut gates: Vec<Gate> = Vec::new();
+    let mut state = ParserState {
+        registers: BTreeMap::new(),
+        cregs: BTreeMap::new(),
+        total_qubits: 0,
+        total_clbits: 0,
+        gates: Vec::new(),
+    };
 
     // Statements are ';'-terminated; keep track of line numbers (and the
     // column each statement starts at) for errors.
@@ -103,21 +124,24 @@ pub fn parse_with_limits(source: &str, limits: ParseLimits) -> Result<Circuit, P
             if stmt.is_empty() {
                 continue;
             }
-            parse_statement(
-                stmt,
-                line_no,
-                column,
-                limits,
-                &mut registers,
-                &mut total_qubits,
-                &mut gates,
-            )?;
+            parse_statement(stmt, line_no, column, limits, &mut state)?;
         }
     }
 
-    let mut circuit = Circuit::new(total_qubits);
-    circuit.extend(gates);
+    let mut circuit = Circuit::with_clbits(state.total_qubits, state.total_clbits);
+    circuit.extend(state.gates);
     Ok(circuit)
+}
+
+/// Registers and gates accumulated while parsing one program.
+struct ParserState {
+    /// Quantum registers: name → (global offset, size).
+    registers: BTreeMap<String, (usize, usize)>,
+    /// Classical registers: name → (global offset, size).
+    cregs: BTreeMap<String, (usize, usize)>,
+    total_qubits: usize,
+    total_clbits: usize,
+    gates: Vec<Gate>,
 }
 
 fn parse_statement(
@@ -125,46 +149,235 @@ fn parse_statement(
     line: usize,
     column: usize,
     limits: ParseLimits,
-    registers: &mut BTreeMap<String, (usize, usize)>,
-    total_qubits: &mut usize,
-    gates: &mut Vec<Gate>,
+    state: &mut ParserState,
 ) -> Result<(), ParseError> {
     let lower = stmt.to_ascii_lowercase();
-    if lower.starts_with("openqasm")
-        || lower.starts_with("include")
-        || lower.starts_with("creg")
-        || lower.starts_with("barrier")
-        || lower.starts_with("measure")
+    // Header/metadata statements with no simulation semantics.  A `barrier`
+    // constrains optimisation on hardware but never changes the simulated
+    // state, so dropping it preserves the written semantics exactly.
+    if lower.starts_with("openqasm") || lower.starts_with("include") || lower.starts_with("barrier")
     {
         return Ok(());
     }
     if let Some(rest) = lower.strip_prefix("qreg") {
         let rest = rest.trim();
         let (name, size) = parse_register_decl(rest, line, column)?;
-        if size > limits.max_qubits || *total_qubits + size > limits.max_qubits {
+        if size > limits.max_qubits || state.total_qubits + size > limits.max_qubits {
             return Err(ParseError::at(
                 line,
                 column,
                 format!(
                     "register `{name}[{size}]` exceeds the qubit limit ({} total, limit {})",
-                    *total_qubits + size,
+                    state.total_qubits + size,
                     limits.max_qubits
                 ),
             ));
         }
-        registers.insert(name, (*total_qubits, size));
-        *total_qubits += size;
+        state.registers.insert(name, (state.total_qubits, size));
+        state.total_qubits += size;
         return Ok(());
     }
-    if gates.len() >= limits.max_gates {
+    if let Some(rest) = lower.strip_prefix("creg") {
+        let rest = rest.trim();
+        let (name, size) = parse_register_decl(rest, line, column)?;
+        if size > limits.max_clbits || state.total_clbits + size > limits.max_clbits {
+            return Err(ParseError::at(
+                line,
+                column,
+                format!(
+                    "classical register `{name}[{size}]` exceeds the clbit limit ({} total, limit {})",
+                    state.total_clbits + size,
+                    limits.max_clbits
+                ),
+            ));
+        }
+        state.cregs.insert(name, (state.total_clbits, size));
+        state.total_clbits += size;
+        return Ok(());
+    }
+    if state.gates.len() >= limits.max_gates {
         return Err(ParseError::at(
             line,
             column,
             format!("gate count exceeds the limit ({})", limits.max_gates),
         ));
     }
+    if lower.starts_with("measure") {
+        return parse_measure(stmt, line, column, limits, state);
+    }
+    if lower.starts_with("reset") {
+        return parse_reset(stmt, line, column, limits, state);
+    }
+    if is_if_statement(&lower) {
+        return parse_if(stmt, line, column, state);
+    }
 
-    // Gate application: `<mnemonic>[(params)] operand {, operand}`.
+    let gate = parse_gate(stmt, line, column, &state.registers)?;
+    state.gates.push(gate);
+    Ok(())
+}
+
+/// `measure q[i] -> c[j]` or the whole-register form `measure q -> c`
+/// (which expands to one [`Gate::Measure`] per bit; sizes must match).
+fn parse_measure(
+    stmt: &str,
+    line: usize,
+    column: usize,
+    limits: ParseLimits,
+    state: &mut ParserState,
+) -> Result<(), ParseError> {
+    let rest = stmt["measure".len()..].trim();
+    let (qubit_text, clbit_text) = rest.split_once("->").ok_or_else(|| {
+        ParseError::at(
+            line,
+            column,
+            format!("measure statement `{stmt}` is missing `->`"),
+        )
+    })?;
+    let (q_offset, q_count) =
+        resolve_operand_or_register(qubit_text.trim(), &state.registers, line, column)?;
+    let (c_offset, c_count) =
+        resolve_operand_or_register(clbit_text.trim(), &state.cregs, line, column)?;
+    if q_count != c_count {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!(
+                "measure maps {q_count} qubit(s) onto {c_count} classical bit(s); sizes must match"
+            ),
+        ));
+    }
+    if state.gates.len() + q_count > limits.max_gates {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("gate count exceeds the limit ({})", limits.max_gates),
+        ));
+    }
+    for k in 0..q_count {
+        state.gates.push(Gate::Measure {
+            qubit: q_offset + k,
+            clbit: c_offset + k,
+        });
+    }
+    Ok(())
+}
+
+/// `reset q[i]` or the whole-register form `reset q`.
+fn parse_reset(
+    stmt: &str,
+    line: usize,
+    column: usize,
+    limits: ParseLimits,
+    state: &mut ParserState,
+) -> Result<(), ParseError> {
+    let rest = stmt["reset".len()..].trim();
+    if rest.is_empty() {
+        return Err(ParseError::at(
+            line,
+            column,
+            "reset statement is missing its qubit operand".to_string(),
+        ));
+    }
+    let (offset, count) = resolve_operand_or_register(rest, &state.registers, line, column)?;
+    if state.gates.len() + count > limits.max_gates {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("gate count exceeds the limit ({})", limits.max_gates),
+        ));
+    }
+    for k in 0..count {
+        state.gates.push(Gate::Reset { qubit: offset + k });
+    }
+    Ok(())
+}
+
+/// Returns `true` if the (lowercased) statement is an `if` conditional —
+/// the keyword must be followed by `(` or whitespace so identifiers like
+/// `iffy` are not mistaken for it.
+fn is_if_statement(lower: &str) -> bool {
+    match lower.strip_prefix("if") {
+        Some(rest) => rest.starts_with('(') || rest.starts_with(char::is_whitespace),
+        None => false,
+    }
+}
+
+/// `if (c == v) <gate>`, with the documented single-bit (`c[j]`) and
+/// bit-range (`c[j+:w]`) condition extensions.
+fn parse_if(
+    stmt: &str,
+    line: usize,
+    column: usize,
+    state: &mut ParserState,
+) -> Result<(), ParseError> {
+    let rest = stmt["if".len()..].trim_start();
+    let inner_start = rest
+        .strip_prefix('(')
+        .ok_or_else(|| ParseError::at(line, column, "if condition is missing `(`".to_string()))?;
+    let close = inner_start
+        .find(')')
+        .ok_or_else(|| ParseError::at(line, column, "if condition is missing `)`".to_string()))?;
+    let condition = &inner_start[..close];
+    let body = inner_start[close + 1..].trim();
+
+    let (lhs, rhs) = condition.split_once("==").ok_or_else(|| {
+        ParseError::at(
+            line,
+            column,
+            format!("if condition `{condition}` must have the form `creg == value`"),
+        )
+    })?;
+    let (offset, width) = resolve_condition_range(lhs.trim(), &state.cregs, line, column)?;
+    let value: u64 = rhs.trim().parse().map_err(|_| {
+        ParseError::at(
+            line,
+            column,
+            format!("bad condition value `{}`", rhs.trim()),
+        )
+    })?;
+    if width < 64 && value >> width != 0 {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("condition value {value} does not fit in {width} bit(s)"),
+        ));
+    }
+    if body.is_empty() {
+        return Err(ParseError::at(
+            line,
+            column,
+            "if condition is missing its gate statement".to_string(),
+        ));
+    }
+    let body_lower = body.to_ascii_lowercase();
+    if body_lower.starts_with("measure")
+        || body_lower.starts_with("reset")
+        || is_if_statement(&body_lower)
+    {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("`{body}` cannot be classically conditioned; only unitary gates can"),
+        ));
+    }
+    let gate = parse_gate(body, line, column, &state.registers)?;
+    state.gates.push(Gate::Conditional {
+        offset,
+        width,
+        value,
+        gate: Box::new(gate),
+    });
+    Ok(())
+}
+
+/// Parses one gate application: `<mnemonic>[(params)] operand {, operand}`.
+fn parse_gate(
+    stmt: &str,
+    line: usize,
+    column: usize,
+    registers: &BTreeMap<String, (usize, usize)>,
+) -> Result<Gate, ParseError> {
     let (head, operand_text) = match stmt.find(|c: char| c.is_whitespace()) {
         Some(pos) => (&stmt[..pos], &stmt[pos..]),
         None => {
@@ -307,8 +520,92 @@ fn parse_statement(
             ));
         }
     };
-    gates.push(gate);
-    Ok(())
+    Ok(gate)
+}
+
+/// Resolves an operand that is either one element (`q[i]` → `(index, 1)`)
+/// or a whole register (`q` → `(offset, size)`).
+fn resolve_operand_or_register(
+    op: &str,
+    registers: &BTreeMap<String, (usize, usize)>,
+    line: usize,
+    column: usize,
+) -> Result<(usize, usize), ParseError> {
+    if op.contains('[') || op.contains(']') {
+        let index = resolve_operand(op, registers, line, column)?;
+        Ok((index, 1))
+    } else {
+        let (offset, size) = registers
+            .get(op)
+            .ok_or_else(|| ParseError::at(line, column, format!("unknown register `{op}`")))?;
+        Ok((*offset, *size))
+    }
+}
+
+/// Resolves the left-hand side of an `if` condition to a clbit range:
+/// `c` (whole register), `c[j]` (one bit), or `c[j+:w]` (a range —
+/// emit/parse extension).
+fn resolve_condition_range(
+    lhs: &str,
+    cregs: &BTreeMap<String, (usize, usize)>,
+    line: usize,
+    column: usize,
+) -> Result<(usize, usize), ParseError> {
+    if !lhs.contains('[') && !lhs.contains(']') {
+        let (offset, size) = cregs.get(lhs).ok_or_else(|| {
+            ParseError::at(line, column, format!("unknown classical register `{lhs}`"))
+        })?;
+        if *size > 64 {
+            return Err(ParseError::at(
+                line,
+                column,
+                format!(
+                    "classical register `{lhs}[{size}]` is too wide for a condition (max 64 bits)"
+                ),
+            ));
+        }
+        return Ok((*offset, *size));
+    }
+    let (open, close) = bracket_span(lhs)
+        .ok_or_else(|| ParseError::at(line, column, format!("malformed condition `{lhs}`")))?;
+    let name = lhs[..open].trim();
+    let (offset, size) = cregs.get(name).ok_or_else(|| {
+        ParseError::at(line, column, format!("unknown classical register `{name}`"))
+    })?;
+    let index_text = lhs[open + 1..close].trim();
+    let (start, width) =
+        match index_text.split_once("+:") {
+            Some((start, width)) => {
+                let start: usize = start.trim().parse().map_err(|_| {
+                    ParseError::at(line, column, format!("bad bit index in `{lhs}`"))
+                })?;
+                let width: usize = width.trim().parse().map_err(|_| {
+                    ParseError::at(line, column, format!("bad bit width in `{lhs}`"))
+                })?;
+                (start, width)
+            }
+            None => {
+                let start: usize = index_text.parse().map_err(|_| {
+                    ParseError::at(line, column, format!("bad bit index in `{lhs}`"))
+                })?;
+                (start, 1)
+            }
+        };
+    if width == 0 || width > 64 {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("condition width {width} is outside 1..=64"),
+        ));
+    }
+    if start.checked_add(width).is_none_or(|end| end > *size) {
+        return Err(ParseError::at(
+            line,
+            column,
+            format!("bits {start}+:{width} out of range for register `{name}[{size}]`"),
+        ));
+    }
+    Ok((offset + start, width))
 }
 
 fn parse_register_decl(
@@ -373,25 +670,55 @@ fn is_half_pi(expr: &str) -> bool {
 }
 
 /// Serialises a [`Circuit`] as an OpenQASM 2.0 program using a single `q`
-/// register.
+/// quantum register (and a single `c` classical register when the circuit
+/// has classical bits).
 pub fn emit(circuit: &Circuit) -> String {
     let mut out = String::new();
     out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
     out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    if circuit.num_clbits() > 0 {
+        out.push_str(&format!("creg c[{}];\n", circuit.num_clbits()));
+    }
     for gate in circuit.iter() {
-        let operands: Vec<String> = gate.qubits().iter().map(|q| format!("q[{q}]")).collect();
-        let stmt = match gate {
-            Gate::RxPi2(_) => format!("rx(pi/2) {}", operands.join(", ")),
-            Gate::RyPi2(_) => format!("ry(pi/2) {}", operands.join(", ")),
-            Gate::Fredkin { controls, .. } if controls.is_empty() => {
-                format!("swap {}", operands.join(", "))
-            }
-            _ => format!("{} {}", gate.name(), operands.join(", ")),
-        };
-        out.push_str(&stmt);
+        out.push_str(&emit_statement(gate, circuit.num_clbits()));
         out.push_str(";\n");
     }
     out
+}
+
+fn emit_statement(gate: &Gate, num_clbits: usize) -> String {
+    let operands: Vec<String> = gate.qubits().iter().map(|q| format!("q[{q}]")).collect();
+    match gate {
+        Gate::RxPi2(_) => format!("rx(pi/2) {}", operands.join(", ")),
+        Gate::RyPi2(_) => format!("ry(pi/2) {}", operands.join(", ")),
+        Gate::Fredkin { controls, .. } if controls.is_empty() => {
+            format!("swap {}", operands.join(", "))
+        }
+        Gate::Measure { qubit, clbit } => format!("measure q[{qubit}] -> c[{clbit}]"),
+        Gate::Reset { qubit } => format!("reset q[{qubit}]"),
+        Gate::Conditional {
+            offset,
+            width,
+            value,
+            gate: inner,
+        } => {
+            // Whole-register conditions use standard OpenQASM 2 syntax;
+            // sub-ranges use the documented `c[j]` / `c[j+:w]` extension so
+            // every circuit round-trips exactly.
+            let lhs = if *offset == 0 && *width == num_clbits {
+                "c".to_string()
+            } else if *width == 1 {
+                format!("c[{offset}]")
+            } else {
+                format!("c[{offset}+:{width}]")
+            };
+            format!(
+                "if ({lhs} == {value}) {}",
+                emit_statement(inner, num_clbits)
+            )
+        }
+        _ => format!("{} {}", gate.name(), operands.join(", ")),
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +740,7 @@ mod tests {
         "#;
         let c = parse(src).expect("valid program");
         assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.num_clbits(), 3);
         assert_eq!(
             c.gates(),
             &[
@@ -427,8 +755,104 @@ mod tests {
                 },
                 Gate::T(2),
                 Gate::RxPi2(1),
+                Gate::Measure { qubit: 0, clbit: 0 },
+                Gate::Measure { qubit: 1, clbit: 1 },
+                Gate::Measure { qubit: 2, clbit: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn parses_dynamic_statements() {
+        let src = r#"
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            measure q[0] -> c[0];
+            if (c[0] == 1) x q[1];
+            reset q[0];
+            measure q[1] -> c[1];
+            if (c == 3) z q[0];
+        "#;
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        assert!(c.is_dynamic());
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            c.gates(),
+            &[
+                Gate::H(0),
+                Gate::Measure { qubit: 0, clbit: 0 },
+                Gate::Conditional {
+                    offset: 0,
+                    width: 1,
+                    value: 1,
+                    gate: Box::new(Gate::X(1)),
+                },
+                Gate::Reset { qubit: 0 },
+                Gate::Measure { qubit: 1, clbit: 1 },
+                Gate::Conditional {
+                    offset: 0,
+                    width: 2,
+                    value: 3,
+                    gate: Box::new(Gate::Z(0)),
+                },
+            ]
+        );
+        // Whole-register reset expands per qubit.
+        let r = parse("qreg q[3]; reset q;").expect("valid");
+        assert_eq!(
+            r.gates(),
+            &[
+                Gate::Reset { qubit: 0 },
+                Gate::Reset { qubit: 1 },
+                Gate::Reset { qubit: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_dynamic_statements_are_structured_errors() {
+        // Silent skipping is gone: every malformed or unsupported statement
+        // carries a line/column.
+        let cases: &[(&str, &str)] = &[
+            ("qreg q[1]; measure q[0];", "missing `->`"),
+            ("qreg q[2]; creg c[1]; measure q -> c;", "sizes must match"),
+            ("qreg q[1]; measure q[0] -> c[0];", "unknown register"),
+            ("qreg q[1]; creg c[1]; if c[0] == 1 x q[0];", "missing `(`"),
+            ("qreg q[1]; creg c[1]; if (c[0] == 1 x q[0];", "missing `)`"),
+            ("qreg q[1]; creg c[1]; if (c[0] = 1) x q[0];", "form"),
+            (
+                "qreg q[1]; creg c[1]; if (d == 1) x q[0];",
+                "unknown classical register",
+            ),
+            ("qreg q[1]; creg c[1]; if (c == 2) x q[0];", "does not fit"),
+            (
+                "qreg q[1]; creg c[1]; if (c == 1) measure q[0] -> c[0];",
+                "conditioned",
+            ),
+            (
+                "qreg q[1]; creg c[1]; if (c == 1) reset q[0];",
+                "conditioned",
+            ),
+            (
+                "qreg q[1]; creg c[1]; if (c == 1) if (c == 1) x q[0];",
+                "conditioned",
+            ),
+            ("qreg q[1]; creg c[1]; if (c == 1);", "missing its gate"),
+            ("qreg q[1]; reset;", "missing its qubit"),
+            ("qreg q[1]; opaque foo q[0];", "unknown register"),
+            ("qreg q[1]; gate mygate a { }", "malformed operand"),
+        ];
+        for (src, needle) in cases {
+            let err = parse(src).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{src:?}: expected {needle:?} in {err}"
+            );
+            assert!(err.line >= 1, "{src:?} lost its position: {err:?}");
+        }
     }
 
     #[test]
@@ -469,6 +893,26 @@ mod tests {
             .rx_pi2(3)
             .ry_pi2(0);
         let text = emit(&c);
+        let back = parse(&text).expect("emitted text parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn dynamic_circuits_roundtrip_through_emit() {
+        let mut c = Circuit::with_clbits(3, 4);
+        c.h(0)
+            .measure(0, 0)
+            .if_bit(0, Gate::X(1))
+            .reset(0)
+            .measure(1, 2)
+            .conditional(0, 4, 9, Gate::Z(2))
+            .conditional(1, 2, 2, Gate::H(1));
+        let text = emit(&c);
+        assert!(text.contains("creg c[4];"), "{text}");
+        assert!(text.contains("measure q[0] -> c[0];"), "{text}");
+        assert!(text.contains("reset q[0];"), "{text}");
+        assert!(text.contains("if (c == 9) z q[2];"), "{text}");
+        assert!(text.contains("if (c[1+:2] == 2) h q[1];"), "{text}");
         let back = parse(&text).expect("emitted text parses");
         assert_eq!(back, c);
     }
@@ -586,8 +1030,8 @@ mod tests {
             "qreg q[18446744073709551616];",
         ];
         for src in garbage {
-            // The outcome may be Ok (ignored statements) or Err, but must be
-            // structured either way.
+            // The outcome may be Ok (header statements, empty input) or Err,
+            // but must be structured either way.
             if let Err(err) = parse(src) {
                 assert!(!err.message.is_empty(), "empty message for {src:?}");
             }

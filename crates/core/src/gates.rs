@@ -99,6 +99,12 @@ fn apply_inner(state: &mut BitSliceState, gate: &Gate) {
         Gate::H(t) => apply_hadamard_like(state, *t, HadamardKind::H),
         Gate::RyPi2(t) => apply_hadamard_like(state, *t, HadamardKind::RyPi2),
         Gate::RxPi2(t) => apply_rx_pi2(state, *t),
+        // Dynamic operations are interpreted by the session layer (which
+        // drives `measure_with` / collapse directly); the simulator-facing
+        // `apply_gate` rejects them before reaching this table.
+        Gate::Measure { .. } | Gate::Reset { .. } | Gate::Conditional { .. } => {
+            unreachable!("dynamic operation `{gate}` reached the unitary update table")
+        }
     }
 }
 

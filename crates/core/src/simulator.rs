@@ -227,6 +227,14 @@ impl Simulator for BitSliceSimulator {
     }
 
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimulationError> {
+        if gate.is_dynamic() {
+            // Measurement/reset/feed-forward are interpreted by the session
+            // layer via `measure_with`; they never enter the update table.
+            return Err(SimulationError::UnsupportedGate {
+                backend: "bitslice",
+                gate: gate.to_string(),
+            });
+        }
         gates::apply(&mut self.state, gate);
         self.gates_applied += 1;
         // Between-gate safe point: no apply recursion is in flight, so the

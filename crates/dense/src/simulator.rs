@@ -195,6 +195,14 @@ impl Simulator for DenseSimulator {
                     }
                 }
             }
+            // Dynamic operations are interpreted by the session layer via
+            // `measure_with`; they are not unitaries.
+            Gate::Measure { .. } | Gate::Reset { .. } | Gate::Conditional { .. } => {
+                return Err(SimulationError::UnsupportedGate {
+                    backend: "dense",
+                    gate: gate.to_string(),
+                });
+            }
         }
         Ok(())
     }

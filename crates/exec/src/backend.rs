@@ -48,6 +48,11 @@ pub struct Capabilities {
     /// Bytes per representation node, for symbolic backends (memory
     /// estimates roughly matching the respective C/C++ implementations).
     pub bytes_per_node: Option<f64>,
+    /// `true` if the session layer can run dynamic circuits (mid-circuit
+    /// measurement, reset, classical feed-forward) on this backend.  The
+    /// backend itself only needs `measure_with` collapse; the classical
+    /// register and the seeded measurement stream live in the session.
+    pub supports_dynamic: bool,
 }
 
 const BITSLICE_CAPS: Capabilities = Capabilities {
@@ -58,6 +63,7 @@ const BITSLICE_CAPS: Capabilities = Capabilities {
     supports_reorder: true,
     max_qubits: None,
     bytes_per_node: Some(48.0),
+    supports_dynamic: true,
 };
 
 const QMDD_CAPS: Capabilities = Capabilities {
@@ -68,6 +74,7 @@ const QMDD_CAPS: Capabilities = Capabilities {
     supports_reorder: false,
     max_qubits: None,
     bytes_per_node: Some(96.0),
+    supports_dynamic: true,
 };
 
 const DENSE_CAPS: Capabilities = Capabilities {
@@ -78,6 +85,7 @@ const DENSE_CAPS: Capabilities = Capabilities {
     supports_reorder: false,
     max_qubits: Some(sliq_dense::MAX_DENSE_QUBITS),
     bytes_per_node: None,
+    supports_dynamic: true,
 };
 
 const STABILIZER_CAPS: Capabilities = Capabilities {
@@ -88,6 +96,7 @@ const STABILIZER_CAPS: Capabilities = Capabilities {
     supports_reorder: false,
     max_qubits: None,
     bytes_per_node: None,
+    supports_dynamic: true,
 };
 
 impl BackendKind {
@@ -199,6 +208,12 @@ impl BackendKind {
                 what: "non-Clifford circuits".into(),
             });
         }
+        if circuit.is_dynamic() && !caps.supports_dynamic {
+            return Err(ExecError::Unsupported {
+                backend: caps.name,
+                what: "dynamic circuits (measurement, reset, feed-forward)".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -273,6 +288,45 @@ mod tests {
         assert!(BackendKind::BitSlice
             .check_capacity(40, Some(1 << 20))
             .is_ok());
+    }
+
+    #[test]
+    fn dynamic_circuits_negotiate_on_every_backend() {
+        use sliq_circuit::Gate;
+        // Teleportation-shaped circuit: Clifford gates + measurement +
+        // feed-forward.  Dynamic Clifford circuits stay on the stabilizer
+        // under Auto (measurement collapse is native to the tableau).
+        let mut teleport = Circuit::with_clbits(3, 2);
+        teleport
+            .h(1)
+            .cx(1, 2)
+            .cx(0, 1)
+            .h(0)
+            .measure(0, 0)
+            .measure(1, 1)
+            .if_bit(1, Gate::X(2))
+            .if_bit(0, Gate::Z(2));
+        assert!(teleport.is_dynamic());
+        assert_eq!(
+            BackendKind::Auto.resolve(&teleport),
+            BackendKind::Stabilizer
+        );
+        for kind in BackendKind::ALL {
+            assert!(
+                kind.capabilities().supports_dynamic,
+                "{kind} must advertise dynamic support"
+            );
+            assert!(kind.check_circuit(&teleport).is_ok(), "{kind} rejects it");
+        }
+        // Dynamic does not override the Clifford restriction: a dynamic
+        // circuit with a T gate still fails stabilizer negotiation.
+        let mut magic = Circuit::with_clbits(2, 1);
+        magic.h(0).t(0).measure(0, 0);
+        assert!(matches!(
+            BackendKind::Stabilizer.check_circuit(&magic),
+            Err(ExecError::Unsupported { .. })
+        ));
+        assert_eq!(BackendKind::Auto.resolve(&magic), BackendKind::BitSlice);
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!   budget must not be served a result it could not have computed, because
 //!   a later state query would replay the circuit under its own limits);
 //! * for sample entries: the exact shot count and seed (the histogram is a
-//!   deterministic function of state × shots × seed).
+//!   deterministic function of state × shots × seed);
+//! * for **dynamic circuits** (mid-circuit measurement, reset,
+//!   feed-forward): the measurement seed, mixed into the fingerprint by
+//!   [`dynamic_fingerprint`] — the readout and the post-run state are a
+//!   deterministic function of circuit × seed, so two runs of the same
+//!   dynamic circuit under different seeds must never share an entry.
 //!
 //! Thread count and kernel flavour are deliberately **not** part of the key:
 //! the parallel-equivalence suite proves results are bit-identical at every
@@ -187,6 +192,27 @@ fn write_gate(h: &mut Fnv128, gate: &Gate) {
             h.write_usize(*target1);
             h.write_usize(*target2);
         }
+        Gate::Measure { qubit, clbit } => {
+            h.write_u8(15);
+            h.write_usize(*qubit);
+            h.write_usize(*clbit);
+        }
+        Gate::Reset { qubit } => {
+            h.write_u8(16);
+            h.write_usize(*qubit);
+        }
+        Gate::Conditional {
+            offset,
+            width,
+            value,
+            gate,
+        } => {
+            h.write_u8(17);
+            h.write_usize(*offset);
+            h.write_usize(*width);
+            h.write_u64(*value);
+            write_gate(h, gate);
+        }
     }
 }
 
@@ -211,10 +237,27 @@ pub fn circuit_fingerprint(circuit: &Circuit) -> u128 {
     let (canonical, _) = optimize(circuit);
     let mut h = Fnv128::new();
     h.write_usize(canonical.num_qubits());
+    h.write_usize(canonical.num_clbits());
     h.write_usize(canonical.len());
     for gate in canonical.iter() {
         write_gate(&mut h, gate);
     }
+    h.0
+}
+
+/// Mixes a measurement seed into a dynamic circuit's fingerprint.
+///
+/// A dynamic circuit's [`RunResult`] (readout, collapse trajectory, final
+/// state) is a deterministic function of circuit × measurement seed, so the
+/// seed must participate in the cache key — the same way `(shots, seed)`
+/// already key sample entries.  Static circuits never call this, keeping
+/// their keys (and previously published cache entries) unchanged.
+pub fn dynamic_fingerprint(fingerprint: u128, measurement_seed: u64) -> u128 {
+    let mut h = Fnv128::new();
+    for byte in fingerprint.to_le_bytes() {
+        h.write_u8(byte);
+    }
+    h.write_u64(measurement_seed);
     h.0
 }
 
@@ -308,6 +351,7 @@ fn value_bytes(value: &CacheValue) -> usize {
                     .expectations_z
                     .as_ref()
                     .map_or(0, |v| v.len() * std::mem::size_of::<f64>())
+                + result.readout.as_ref().map_or(0, |v| v.len())
         }
         CacheValue::Sample(histogram) => histogram.approx_bytes(),
     };
@@ -640,6 +684,51 @@ mod tests {
             circuit_fingerprint(&Circuit::new(2)),
             circuit_fingerprint(&Circuit::new(3))
         );
+    }
+
+    #[test]
+    fn dynamic_operations_and_clbits_change_the_fingerprint() {
+        let mut base = Circuit::new(2);
+        base.h(0);
+        let fp = circuit_fingerprint(&base);
+        // A measurement, its clbit, a reset, a conditional, its condition
+        // range/value and the bare classical register size all distinguish.
+        let mut measured = Circuit::new(2);
+        measured.h(0).measure(0, 0);
+        let fp_measured = circuit_fingerprint(&measured);
+        assert_ne!(fp, fp_measured);
+        let mut other_clbit = Circuit::new(2);
+        other_clbit.h(0).measure(0, 1);
+        assert_ne!(fp_measured, circuit_fingerprint(&other_clbit));
+        let mut reset = Circuit::new(2);
+        reset.h(0).reset(0);
+        assert_ne!(fp_measured, circuit_fingerprint(&reset));
+        let mut cond = Circuit::new(2);
+        cond.h(0).measure(0, 0).if_bit(0, Gate::X(1));
+        let mut cond_other_value = Circuit::new(2);
+        cond_other_value
+            .h(0)
+            .measure(0, 0)
+            .conditional(0, 1, 0, Gate::X(1));
+        assert_ne!(
+            circuit_fingerprint(&cond),
+            circuit_fingerprint(&cond_other_value)
+        );
+        assert_ne!(
+            circuit_fingerprint(&Circuit::with_clbits(2, 1)),
+            circuit_fingerprint(&Circuit::with_clbits(2, 2)),
+            "clbit count participates"
+        );
+    }
+
+    #[test]
+    fn dynamic_fingerprint_keys_by_seed() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0);
+        let fp = circuit_fingerprint(&c);
+        assert_eq!(dynamic_fingerprint(fp, 7), dynamic_fingerprint(fp, 7));
+        assert_ne!(dynamic_fingerprint(fp, 7), dynamic_fingerprint(fp, 8));
+        assert_ne!(dynamic_fingerprint(fp, 7), fp);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod sample;
 mod session;
 
 pub use backend::{BackendKind, Capabilities};
-pub use cache::{circuit_fingerprint, ResultCache, ResultCacheStats};
+pub use cache::{circuit_fingerprint, dynamic_fingerprint, ResultCache, ResultCacheStats};
 pub use error::{wire, CapacityResource, ExecError};
 pub use sample::Histogram;
 pub use session::{ExecStats, RunResult, SampleResult, Session, SessionConfig, Snapshot};

@@ -11,6 +11,8 @@ use crate::backend::BackendKind;
 use crate::cache::{self, CacheKey, ResultCache, ResultCacheStats};
 use crate::error::ExecError;
 use crate::sample::{self, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sliq_circuit::{Circuit, Gate, Simulator};
 use sliq_core::{BitSliceLimits, BitSliceSimulator, StateSnapshot};
 use sliq_dense::DenseSimulator;
@@ -63,6 +65,12 @@ pub struct SessionConfig {
     /// [`crate::cache`] for the keying and soundness argument).  Use
     /// [`Session::attach_result_cache`] to attach a private cache instead.
     pub use_result_cache: bool,
+    /// Seed for mid-circuit measurement and reset randomness in dynamic
+    /// circuits.  Runs are a deterministic function of circuit × seed, which
+    /// makes dynamic circuits reproducible, cross-backend
+    /// differential-testable, and result-cacheable (the seed is mixed into
+    /// the cache key by [`crate::cache::dynamic_fingerprint`]).
+    pub measurement_seed: u64,
 }
 
 impl Default for SessionConfig {
@@ -76,6 +84,7 @@ impl Default for SessionConfig {
             threads: None,
             force_shared_kernel: false,
             use_result_cache: false,
+            measurement_seed: 0,
         }
     }
 }
@@ -134,6 +143,13 @@ impl SessionConfig {
         self.use_result_cache = enabled;
         self
     }
+
+    /// Sets the seed for mid-circuit measurement randomness (builder
+    /// style); see [`SessionConfig::measurement_seed`].
+    pub fn measurement_seed(mut self, seed: u64) -> Self {
+        self.measurement_seed = seed;
+        self
+    }
 }
 
 /// Representation statistics of a session's backend at a point in time.
@@ -176,6 +192,11 @@ pub struct RunResult {
     /// Per-qubit ⟨Z⟩ expectations (`1 − 2·Pr[q = 1]`), when
     /// [`SessionConfig::collect_expectations`] is set.
     pub expectations_z: Option<Vec<f64>>,
+    /// Final classical-register contents for dynamic circuits (bit `i` is
+    /// clbit `i`), `None` for circuits without dynamic operations.  The
+    /// readout is a deterministic function of circuit ×
+    /// [`SessionConfig::measurement_seed`].
+    pub readout: Option<Vec<bool>>,
     /// Representation statistics at the end of the run.
     pub stats: ExecStats,
 }
@@ -300,6 +321,73 @@ pub struct Session {
 /// Source of process-unique session ids.
 static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
+/// Interprets a whole circuit — including the dynamic operations
+/// [`Gate::Measure`], [`Gate::Reset`] and [`Gate::Conditional`], which no
+/// backend implements natively — against a backend, returning the number of
+/// operations executed and the final classical register (`None` for static
+/// circuits).
+///
+/// Dynamic operations consume randomness from a private
+/// `StdRng::seed_from_u64(measurement_seed)` stream, one draw per
+/// measurement or reset *in program order regardless of outcome*, so the
+/// trajectory is a deterministic function of circuit × seed: two backends
+/// computing the same probabilities collapse identically under the same
+/// seed, and a cache-hit replay with the same seed reproduces the published
+/// trajectory exactly.
+fn interpret_circuit(
+    sim: &mut dyn Simulator,
+    circuit: &Circuit,
+    measurement_seed: u64,
+) -> Result<(usize, Option<Vec<bool>>), ExecError> {
+    if !circuit.is_dynamic() {
+        let mut gates = 0usize;
+        for gate in circuit.iter() {
+            sim.apply_gate(gate)?;
+            gates += 1;
+        }
+        return Ok((gates, None));
+    }
+    // Dynamic interpretation indexes the classical register, so the clbit
+    // ranges must be validated before touching the backend.
+    circuit.validate()?;
+    let mut creg = vec![false; circuit.num_clbits()];
+    let mut rng = StdRng::seed_from_u64(measurement_seed);
+    let mut ops = 0usize;
+    for gate in circuit.iter() {
+        match gate {
+            Gate::Measure { qubit, clbit } => {
+                let u = rng.gen_range(0.0..1.0);
+                creg[*clbit] = sim.measure_with(*qubit, u);
+            }
+            Gate::Reset { qubit } => {
+                let u = rng.gen_range(0.0..1.0);
+                if sim.measure_with(*qubit, u) {
+                    sim.apply_gate(&Gate::X(*qubit))?;
+                }
+            }
+            Gate::Conditional {
+                offset,
+                width,
+                value,
+                gate,
+            } => {
+                let mut current = 0u64;
+                for j in 0..*width {
+                    if creg[offset + j] {
+                        current |= 1 << j;
+                    }
+                }
+                if current == *value {
+                    sim.apply_gate(gate)?;
+                }
+            }
+            unitary => sim.apply_gate(unitary)?,
+        }
+        ops += 1;
+    }
+    Ok((ops, Some(creg)))
+}
+
 impl Session {
     /// Opens a session over `num_qubits` qubits with an explicit backend.
     /// [`BackendKind::Auto`] falls back to the bit-sliced backend here —
@@ -376,14 +464,14 @@ impl Session {
     /// Replay cannot fail: the `max_nodes` and `max_bytes` budgets are part
     /// of the run cache key, so a hit implies the publishing session
     /// completed this exact circuit under the same limits from the same
-    /// initial state.
+    /// initial state.  Dynamic circuits replay through the same seeded
+    /// interpreter (the measurement seed is part of the run cache key), so
+    /// the replayed trajectory is bit-identical to the published one.
     fn materialize(&mut self) {
         if let Some(circuit) = self.pending_replay.take() {
-            for gate in circuit.iter() {
-                self.sim()
-                    .apply_gate(gate)
-                    .expect("cached-run replay exceeded the budget its publisher ran under");
-            }
+            let seed = self.config.measurement_seed;
+            interpret_circuit(self.sim(), &circuit, seed)
+                .expect("cached-run replay exceeded the budget its publisher ran under");
         }
     }
 
@@ -460,7 +548,21 @@ impl Session {
     /// state an arbitrary composition, so it permanently disqualifies the
     /// session from result-cache lookups (the cache only describes whole
     /// circuits applied to `|0…0⟩`).
+    ///
+    /// Dynamic operations are rejected here: they need the classical
+    /// register and the seeded measurement stream that only whole-circuit
+    /// execution carries.  Run them through [`Session::run`], or collapse
+    /// qubits directly with [`Session::measure_with`].
     pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), ExecError> {
+        if gate.is_dynamic() {
+            return Err(ExecError::Unsupported {
+                backend: self.kind.name(),
+                what: format!(
+                    "streaming the dynamic operation `{gate}` (run it inside a circuit \
+                     via Session::run, or use Session::measure_with)"
+                ),
+            });
+        }
         self.materialize();
         self.pristine = false;
         self.state_fingerprint = None;
@@ -473,6 +575,14 @@ impl Session {
     /// Applies every gate of `circuit` and returns a structured
     /// [`RunResult`] (timing, total probability, representation statistics,
     /// optional per-qubit ⟨Z⟩ expectations).
+    ///
+    /// Dynamic circuits — those containing [`Gate::Measure`],
+    /// [`Gate::Reset`] or [`Gate::Conditional`] — are interpreted by the
+    /// session: measurements collapse the state through the backend's
+    /// `measure_with`, outcomes land in a classical register returned as
+    /// [`RunResult::readout`], and conditioned gates fire on the live
+    /// register contents.  The whole trajectory is a deterministic function
+    /// of circuit × [`SessionConfig::measurement_seed`].
     ///
     /// With a result cache attached and the session still pristine, the
     /// call first consults the cache under the circuit's canonical
@@ -490,11 +600,19 @@ impl Session {
         }
         // Soundness gate: only a pristine session may consult or publish —
         // a cached entry describes `circuit` applied to `|0…0⟩` and nothing
-        // else (see `crate::cache`).
+        // else (see `crate::cache`).  Dynamic circuits are keyed by
+        // circuit × measurement seed: different seeds take different
+        // measurement trajectories and must never share an entry.
         let consulted = if self.pristine {
-            self.result_cache
-                .clone()
-                .map(|c| (c, cache::circuit_fingerprint(circuit)))
+            self.result_cache.clone().map(|c| {
+                let fingerprint = cache::circuit_fingerprint(circuit);
+                let fingerprint = if circuit.is_dynamic() {
+                    cache::dynamic_fingerprint(fingerprint, self.config.measurement_seed)
+                } else {
+                    fingerprint
+                };
+                (c, fingerprint)
+            })
         } else {
             None
         };
@@ -517,12 +635,9 @@ impl Session {
         self.state_fingerprint = None;
         self.invalidate_sample_cache();
         let start = Instant::now();
-        let mut gates = 0usize;
-        for gate in circuit.iter() {
-            self.sim().apply_gate(gate)?;
-            gates += 1;
-            self.gates_applied += 1;
-        }
+        let seed = self.config.measurement_seed;
+        let (gates, readout) = interpret_circuit(self.sim(), circuit, seed)?;
+        self.gates_applied += gates;
         let total_probability = self.sim().total_probability();
         let expectations_z = if collect_expectations {
             Some(
@@ -540,6 +655,7 @@ impl Session {
             elapsed,
             total_probability,
             expectations_z,
+            readout,
             stats: self.stats(),
         };
         if let Some((cache, fingerprint)) = consulted {

@@ -317,6 +317,14 @@ impl Simulator for QmddSimulator {
                     cx(dd, s2, t1, t2)
                 })
             }
+            // Dynamic operations are interpreted by the session layer via
+            // `measure_with`; they are not unitaries.
+            Gate::Measure { .. } | Gate::Reset { .. } | Gate::Conditional { .. } => {
+                return Err(SimulationError::UnsupportedGate {
+                    backend: "qmdd",
+                    gate: gate.to_string(),
+                });
+            }
         };
         if self.dd.allocated_nodes() > 4 * self.dd.node_count(self.root) + 1024 {
             let roots = self.gc_roots(&[]);

@@ -2,9 +2,59 @@
 //! CLI's `--connect` mode, the load generator, and the differential tests.
 
 use crate::protocol::{self, Request, Response, RunOptions, RunOutcome, StatsSnapshot, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sliq_circuit::Circuit;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Backoff policy for retrying runs the server sheds with an `Overloaded`
+/// frame.  An overloaded server is asking for time, not reporting a bug, so
+/// the retrying client honours backpressure: exponential delays with
+/// seeded jitter (a fleet of clients sharing a start time must not retry in
+/// lockstep, and a given client must still be reproducible), capped at
+/// [`RetryPolicy::max_attempts`] before the overload is surfaced as the
+/// final [`ClientError::Overloaded`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles every further retry.
+    pub base_delay: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream (same seed ⇒ same delays).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), or `None` when the
+    /// attempt budget is spent and the overload should be surfaced.  The
+    /// exponential delay is scaled by a jitter factor in `[0.5, 1.5)` drawn
+    /// from `rng`.
+    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Option<Duration> {
+        if retry + 1 >= self.max_attempts.max(1) {
+            return None;
+        }
+        let exponential = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        Some(exponential.mul_f64(0.5 + rng.gen_range(0.0..1.0)))
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -146,6 +196,52 @@ impl Client {
         self.expect_run(sent_id)
     }
 
+    /// Like [`Client::run_qasm`], but an `Overloaded` answer is retried
+    /// under `policy` instead of failing outright; only a spent attempt
+    /// budget surfaces [`ClientError::Overloaded`].
+    pub fn run_qasm_with_retry(
+        &mut self,
+        source: &str,
+        options: &RunOptions,
+        policy: &RetryPolicy,
+    ) -> Result<RunOutcome, ClientError> {
+        self.run_with_retry(policy, |client| client.run_qasm(source, options.clone()))
+    }
+
+    /// Like [`Client::run_circuit`], but an `Overloaded` answer is retried
+    /// under `policy` instead of failing outright.
+    pub fn run_circuit_with_retry(
+        &mut self,
+        circuit: &Circuit,
+        options: &RunOptions,
+        policy: &RetryPolicy,
+    ) -> Result<RunOutcome, ClientError> {
+        self.run_with_retry(policy, |client| {
+            client.run_circuit(circuit, options.clone())
+        })
+    }
+
+    fn run_with_retry(
+        &mut self,
+        policy: &RetryPolicy,
+        mut attempt: impl FnMut(&mut Self) -> Result<RunOutcome, ClientError>,
+    ) -> Result<RunOutcome, ClientError> {
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        let mut retry = 0u32;
+        loop {
+            match attempt(self) {
+                Err(ClientError::Overloaded { message }) => match policy.backoff(retry, &mut rng) {
+                    Some(delay) => {
+                        std::thread::sleep(delay);
+                        retry += 1;
+                    }
+                    None => return Err(ClientError::Overloaded { message }),
+                },
+                other => return other,
+            }
+        }
+    }
+
     /// Sends a run without waiting, returning the request id to match
     /// against [`Client::receive`] — this is how a connection pipelines.
     pub fn send_run_circuit(
@@ -172,5 +268,65 @@ impl Client {
             Response::Stats(snapshot) => Ok(snapshot),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_bounded_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            seed: 7,
+        };
+        let delays: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(policy.seed);
+            (0..4)
+                .map(|retry| policy.backoff(retry, &mut rng))
+                .collect()
+        };
+        // max_attempts = 4 means 3 retries; the 4th asks to give up.
+        assert!(delays[..3].iter().all(Option::is_some));
+        assert_eq!(delays[3], None);
+        for (retry, delay) in delays[..3].iter().enumerate() {
+            let exponential = Duration::from_millis(10 << retry).min(Duration::from_millis(40));
+            let delay = delay.unwrap();
+            assert!(
+                delay >= exponential.mul_f64(0.5),
+                "jitter floor at retry {retry}"
+            );
+            assert!(
+                delay < exponential.mul_f64(1.5),
+                "jitter ceiling at retry {retry}"
+            );
+        }
+        // Same seed ⇒ same delays: the jitter is reproducible.
+        let replay: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(policy.seed);
+            (0..4)
+                .map(|retry| policy.backoff(retry, &mut rng))
+                .collect()
+        };
+        assert_eq!(delays, replay);
+    }
+
+    #[test]
+    fn a_single_attempt_policy_never_sleeps() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(policy.backoff(0, &mut rng), None);
+        // max_attempts = 0 is clamped to 1 rather than retrying forever.
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff(0, &mut rng), None);
     }
 }

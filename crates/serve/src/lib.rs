@@ -46,7 +46,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
     codes, Request, Response, RunOptions, RunOutcome, StatsSnapshot, WireError, WireHistogram,
     PROTOCOL_VERSION,

@@ -132,6 +132,10 @@ pub struct RunOutcome {
     pub peak_memory_mib: f64,
     /// The sampling histogram, when shots were requested.
     pub histogram: Option<WireHistogram>,
+    /// Final classical-register contents for dynamic circuits (bit `i` is
+    /// clbit `i`), `None` for static circuits.  Deterministic in the
+    /// request's seed.
+    pub readout: Option<Vec<bool>>,
 }
 
 /// The server's counters, as ordered name/value pairs (forward-compatible:
@@ -347,55 +351,82 @@ const OP_CNOT: u8 = 10;
 const OP_CZ: u8 = 11;
 const OP_TOFFOLI: u8 = 12;
 const OP_FREDKIN: u8 = 13;
+const OP_MEASURE: u8 = 14;
+const OP_RESET: u8 = 15;
+const OP_COND: u8 = 16;
 
-/// Appends the compact encoding of `circuit` (`u32` qubit count, `u32` gate
-/// count, then one opcode + operands per gate) to `out`.
+/// Appends the compact encoding of `circuit` (`u32` qubit count, `u32`
+/// classical-bit count, `u32` gate count, then one opcode + operands per
+/// gate) to `out`.
 pub fn encode_circuit(out: &mut Vec<u8>, circuit: &Circuit) {
     put_u32(out, circuit.num_qubits() as u32);
+    put_u32(out, circuit.num_clbits() as u32);
     put_u32(out, circuit.len() as u32);
     for gate in circuit.iter() {
-        match gate {
-            Gate::X(q) => single(out, OP_X, *q),
-            Gate::Y(q) => single(out, OP_Y, *q),
-            Gate::Z(q) => single(out, OP_Z, *q),
-            Gate::H(q) => single(out, OP_H, *q),
-            Gate::S(q) => single(out, OP_S, *q),
-            Gate::Sdg(q) => single(out, OP_SDG, *q),
-            Gate::T(q) => single(out, OP_T, *q),
-            Gate::Tdg(q) => single(out, OP_TDG, *q),
-            Gate::RxPi2(q) => single(out, OP_RX_PI2, *q),
-            Gate::RyPi2(q) => single(out, OP_RY_PI2, *q),
-            Gate::Cnot { control, target } => {
-                out.push(OP_CNOT);
-                put_u32(out, *control as u32);
-                put_u32(out, *target as u32);
+        encode_gate(out, gate);
+    }
+}
+
+fn encode_gate(out: &mut Vec<u8>, gate: &Gate) {
+    match gate {
+        Gate::X(q) => single(out, OP_X, *q),
+        Gate::Y(q) => single(out, OP_Y, *q),
+        Gate::Z(q) => single(out, OP_Z, *q),
+        Gate::H(q) => single(out, OP_H, *q),
+        Gate::S(q) => single(out, OP_S, *q),
+        Gate::Sdg(q) => single(out, OP_SDG, *q),
+        Gate::T(q) => single(out, OP_T, *q),
+        Gate::Tdg(q) => single(out, OP_TDG, *q),
+        Gate::RxPi2(q) => single(out, OP_RX_PI2, *q),
+        Gate::RyPi2(q) => single(out, OP_RY_PI2, *q),
+        Gate::Cnot { control, target } => {
+            out.push(OP_CNOT);
+            put_u32(out, *control as u32);
+            put_u32(out, *target as u32);
+        }
+        Gate::Cz { control, target } => {
+            out.push(OP_CZ);
+            put_u32(out, *control as u32);
+            put_u32(out, *target as u32);
+        }
+        Gate::Toffoli { controls, target } => {
+            out.push(OP_TOFFOLI);
+            out.push(controls.len() as u8);
+            for c in controls {
+                put_u32(out, *c as u32);
             }
-            Gate::Cz { control, target } => {
-                out.push(OP_CZ);
-                put_u32(out, *control as u32);
-                put_u32(out, *target as u32);
+            put_u32(out, *target as u32);
+        }
+        Gate::Fredkin {
+            controls,
+            target1,
+            target2,
+        } => {
+            out.push(OP_FREDKIN);
+            out.push(controls.len() as u8);
+            for c in controls {
+                put_u32(out, *c as u32);
             }
-            Gate::Toffoli { controls, target } => {
-                out.push(OP_TOFFOLI);
-                out.push(controls.len() as u8);
-                for c in controls {
-                    put_u32(out, *c as u32);
-                }
-                put_u32(out, *target as u32);
-            }
-            Gate::Fredkin {
-                controls,
-                target1,
-                target2,
-            } => {
-                out.push(OP_FREDKIN);
-                out.push(controls.len() as u8);
-                for c in controls {
-                    put_u32(out, *c as u32);
-                }
-                put_u32(out, *target1 as u32);
-                put_u32(out, *target2 as u32);
-            }
+            put_u32(out, *target1 as u32);
+            put_u32(out, *target2 as u32);
+        }
+        Gate::Measure { qubit, clbit } => {
+            out.push(OP_MEASURE);
+            put_u32(out, *qubit as u32);
+            put_u32(out, *clbit as u32);
+        }
+        Gate::Reset { qubit } => single(out, OP_RESET, *qubit),
+        Gate::Conditional {
+            offset,
+            width,
+            value,
+            gate,
+        } => {
+            out.push(OP_COND);
+            put_u32(out, *offset as u32);
+            put_u32(out, *width as u32);
+            put_u64(out, *value);
+            encode_gate(out, gate);
         }
     }
 }
@@ -409,11 +440,18 @@ fn single(out: &mut Vec<u8>, op: u8, q: usize) {
 /// before allocating anything proportional to them.
 fn decode_circuit(cur: &mut Cursor<'_>, limits: &ParseLimits) -> Result<Circuit, WireError> {
     let num_qubits = cur.u32("qubit count")? as usize;
+    let num_clbits = cur.u32("clbit count")? as usize;
     let num_gates = cur.u32("gate count")? as usize;
     if num_qubits > limits.max_qubits {
         return Err(WireError::Malformed(format!(
             "{num_qubits} qubits exceeds the limit ({})",
             limits.max_qubits
+        )));
+    }
+    if num_clbits > limits.max_clbits {
+        return Err(WireError::Malformed(format!(
+            "{num_clbits} classical bits exceeds the limit ({})",
+            limits.max_clbits
         )));
     }
     if num_gates > limits.max_gates {
@@ -430,58 +468,83 @@ fn decode_circuit(cur: &mut Cursor<'_>, limits: &ParseLimits) -> Result<Circuit,
             cur.remaining()
         )));
     }
-    let mut circuit = Circuit::new(num_qubits);
+    let mut circuit = Circuit::with_clbits(num_qubits, num_clbits);
     for _ in 0..num_gates {
-        let op = cur.u8("gate opcode")?;
-        let gate = match op {
-            OP_X => Gate::X(cur.u32("target")? as usize),
-            OP_Y => Gate::Y(cur.u32("target")? as usize),
-            OP_Z => Gate::Z(cur.u32("target")? as usize),
-            OP_H => Gate::H(cur.u32("target")? as usize),
-            OP_S => Gate::S(cur.u32("target")? as usize),
-            OP_SDG => Gate::Sdg(cur.u32("target")? as usize),
-            OP_T => Gate::T(cur.u32("target")? as usize),
-            OP_TDG => Gate::Tdg(cur.u32("target")? as usize),
-            OP_RX_PI2 => Gate::RxPi2(cur.u32("target")? as usize),
-            OP_RY_PI2 => Gate::RyPi2(cur.u32("target")? as usize),
-            OP_CNOT => Gate::Cnot {
-                control: cur.u32("control")? as usize,
-                target: cur.u32("target")? as usize,
-            },
-            OP_CZ => Gate::Cz {
-                control: cur.u32("control")? as usize,
-                target: cur.u32("target")? as usize,
-            },
-            OP_TOFFOLI => {
-                let n = cur.u8("control count")? as usize;
-                let mut controls = Vec::with_capacity(n);
-                for _ in 0..n {
-                    controls.push(cur.u32("control")? as usize);
-                }
-                Gate::Toffoli {
-                    controls,
-                    target: cur.u32("target")? as usize,
-                }
-            }
-            OP_FREDKIN => {
-                let n = cur.u8("control count")? as usize;
-                let mut controls = Vec::with_capacity(n);
-                for _ in 0..n {
-                    controls.push(cur.u32("control")? as usize);
-                }
-                Gate::Fredkin {
-                    controls,
-                    target1: cur.u32("target1")? as usize,
-                    target2: cur.u32("target2")? as usize,
-                }
-            }
-            other => {
-                return Err(WireError::Malformed(format!("unknown gate opcode {other}")));
-            }
-        };
+        let gate = decode_gate(cur, true)?;
         circuit.push(gate);
     }
     Ok(circuit)
+}
+
+/// Decodes one gate record.  `allow_dynamic` is false inside an `OP_COND`
+/// body: conditionals must wrap a plain unitary, and rejecting nested
+/// dynamic records here also bounds the decoder's recursion at depth one.
+fn decode_gate(cur: &mut Cursor<'_>, allow_dynamic: bool) -> Result<Gate, WireError> {
+    let op = cur.u8("gate opcode")?;
+    if !allow_dynamic && op >= OP_MEASURE {
+        return Err(WireError::Malformed(format!(
+            "opcode {op} cannot appear inside a conditional body"
+        )));
+    }
+    Ok(match op {
+        OP_X => Gate::X(cur.u32("target")? as usize),
+        OP_Y => Gate::Y(cur.u32("target")? as usize),
+        OP_Z => Gate::Z(cur.u32("target")? as usize),
+        OP_H => Gate::H(cur.u32("target")? as usize),
+        OP_S => Gate::S(cur.u32("target")? as usize),
+        OP_SDG => Gate::Sdg(cur.u32("target")? as usize),
+        OP_T => Gate::T(cur.u32("target")? as usize),
+        OP_TDG => Gate::Tdg(cur.u32("target")? as usize),
+        OP_RX_PI2 => Gate::RxPi2(cur.u32("target")? as usize),
+        OP_RY_PI2 => Gate::RyPi2(cur.u32("target")? as usize),
+        OP_CNOT => Gate::Cnot {
+            control: cur.u32("control")? as usize,
+            target: cur.u32("target")? as usize,
+        },
+        OP_CZ => Gate::Cz {
+            control: cur.u32("control")? as usize,
+            target: cur.u32("target")? as usize,
+        },
+        OP_TOFFOLI => {
+            let n = cur.u8("control count")? as usize;
+            let mut controls = Vec::with_capacity(n);
+            for _ in 0..n {
+                controls.push(cur.u32("control")? as usize);
+            }
+            Gate::Toffoli {
+                controls,
+                target: cur.u32("target")? as usize,
+            }
+        }
+        OP_FREDKIN => {
+            let n = cur.u8("control count")? as usize;
+            let mut controls = Vec::with_capacity(n);
+            for _ in 0..n {
+                controls.push(cur.u32("control")? as usize);
+            }
+            Gate::Fredkin {
+                controls,
+                target1: cur.u32("target1")? as usize,
+                target2: cur.u32("target2")? as usize,
+            }
+        }
+        OP_MEASURE => Gate::Measure {
+            qubit: cur.u32("measure qubit")? as usize,
+            clbit: cur.u32("measure clbit")? as usize,
+        },
+        OP_RESET => Gate::Reset {
+            qubit: cur.u32("reset qubit")? as usize,
+        },
+        OP_COND => Gate::Conditional {
+            offset: cur.u32("condition offset")? as usize,
+            width: cur.u32("condition width")? as usize,
+            value: cur.u64("condition value")?,
+            gate: Box::new(decode_gate(cur, false)?),
+        },
+        other => {
+            return Err(WireError::Malformed(format!("unknown gate opcode {other}")));
+        }
+    })
 }
 
 // ---------------------------------------------------------------------- //
@@ -578,6 +641,16 @@ pub fn encode_response(request_id: u32, response: &Response) -> Vec<u8> {
                     for (outcome, count) in &histogram.counts {
                         put_u64(&mut body, *outcome);
                         put_u64(&mut body, *count);
+                    }
+                }
+                None => body.push(0),
+            }
+            match &outcome.readout {
+                Some(bits) => {
+                    body.push(1);
+                    put_u32(&mut body, bits.len() as u32);
+                    for bit in bits {
+                        body.push(u8::from(*bit));
                     }
                 }
                 None => body.push(0),
@@ -744,6 +817,34 @@ pub fn read_response(
                     return Err(WireError::Malformed(format!("bad histogram flag {other}")));
                 }
             };
+            let readout = match cur.u8("readout flag")? {
+                0 => None,
+                1 => {
+                    let nbits = cur.u32("readout bits")? as usize;
+                    if nbits > cur.remaining() {
+                        return Err(WireError::Malformed(format!(
+                            "{nbits} readout bits declared but only {} bytes remain",
+                            cur.remaining()
+                        )));
+                    }
+                    let mut bits = Vec::with_capacity(nbits);
+                    for byte in cur.bytes(nbits, "readout")? {
+                        match byte {
+                            0 => bits.push(false),
+                            1 => bits.push(true),
+                            other => {
+                                return Err(WireError::Malformed(format!(
+                                    "bad readout bit {other}"
+                                )));
+                            }
+                        }
+                    }
+                    Some(bits)
+                }
+                other => {
+                    return Err(WireError::Malformed(format!("bad readout flag {other}")));
+                }
+            };
             cur.done("run result")?;
             Response::Run(RunOutcome {
                 backend,
@@ -753,6 +854,7 @@ pub fn read_response(
                 live_nodes,
                 peak_memory_mib,
                 histogram,
+                readout,
             })
         }
         MSG_ERROR => {
@@ -836,7 +938,19 @@ mod tests {
             .mcx(vec![0, 1, 2], 3)
             .cswap(0, 1, 2)
             .mcswap(vec![0, 3], 1, 2)
-            .swap(2, 4);
+            .swap(2, 4)
+            .measure(0, 0)
+            .reset(1)
+            .if_bit(0, Gate::Z(3))
+            .conditional(
+                0,
+                2,
+                0b10,
+                Gate::Cnot {
+                    control: 1,
+                    target: 4,
+                },
+            );
         c
     }
 
@@ -876,6 +990,7 @@ mod tests {
                 sample_micros: 77,
                 counts: vec![(0, 493), (7, 507)],
             }),
+            readout: Some(vec![true, false, true]),
         });
         assert_eq!(roundtrip_response(run.clone()), run);
         let nohist = Response::Run(RunOutcome {
@@ -886,6 +1001,7 @@ mod tests {
             live_nodes: None,
             peak_memory_mib: 0.25,
             histogram: None,
+            readout: None,
         });
         assert_eq!(roundtrip_response(nohist.clone()), nohist);
         let error = Response::Error {
@@ -997,8 +1113,9 @@ mod tests {
         // gates vector is reserved.
         let mut body = Vec::new();
         encode_run_options(&mut body, &RunOptions::default()).unwrap();
-        put_u32(&mut body, 2);
-        put_u32(&mut body, 1_000_000);
+        put_u32(&mut body, 2); // qubits
+        put_u32(&mut body, 0); // clbits
+        put_u32(&mut body, 1_000_000); // gates
         let framed = frame(MSG_RUN_GATES, 1, &body);
         let mut r: &[u8] = &framed;
         assert!(matches!(

@@ -206,7 +206,13 @@ struct ConnWriter {
 impl ConnWriter {
     fn send(&self, request_id: u32, response: &Response) {
         let frame = protocol::encode_response(request_id, response);
-        let mut stream = self.stream.lock().unwrap();
+        // A handler thread that panicked mid-send poisons this mutex; the
+        // stream state is still a whole number of frames (frames are written
+        // with one `write_all`), so later senders can keep using it.
+        let mut stream = self
+            .stream
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // The peer may already be gone; workers just drop the result then.
         let _ = stream.write_all(&frame).and_then(|_| stream.flush());
     }
@@ -384,14 +390,24 @@ impl ServerHandle {
             let _ = accept.join();
         }
         // Close open connections so their handler threads stop reading.
-        for (_, stream) in self.shared.conn_streams.lock().unwrap().drain() {
+        // A panicked handler may have poisoned either registry mutex;
+        // shutdown must still complete, so recover the inner value — the
+        // registries are only ever mutated with the lock held, so they are
+        // structurally intact regardless of where the panic landed.
+        for (_, stream) in self
+            .shared
+            .conn_streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .drain()
+        {
             let _ = stream.shutdown(Shutdown::Both);
         }
         let handlers: Vec<_> = self
             .shared
             .handler_threads
             .lock()
-            .unwrap()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .drain(..)
             .collect();
         for handler in handlers {
@@ -462,7 +478,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .fetch_add(1, Ordering::Relaxed);
         shared.stats.connections_open.fetch_add(1, Ordering::SeqCst);
         if let Ok(clone) = stream.try_clone() {
-            shared.conn_streams.lock().unwrap().insert(conn_id, clone);
+            shared
+                .conn_streams
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .insert(conn_id, clone);
         }
         let conn_shared = Arc::clone(shared);
         let handler = thread::Builder::new()
@@ -480,7 +500,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // accumulate join handles without bound.  Joining a finished
         // thread never blocks; a panicked handler yields Err, which the
         // ConnGuard already cleaned up after.
-        let mut handlers = shared.handler_threads.lock().unwrap();
+        let mut handlers = shared
+            .handler_threads
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let mut live = Vec::with_capacity(handlers.len() + 1);
         for h in handlers.drain(..) {
             if h.is_finished() {
@@ -640,8 +663,12 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Runs one admitted job on a fresh session and writes the response.
 fn execute(shared: &Arc<Shared>, job: Job) {
-    let mut config =
-        SessionConfig::with_backend(job.backend).auto_reorder(shared.config.auto_reorder);
+    let mut config = SessionConfig::with_backend(job.backend)
+        .auto_reorder(shared.config.auto_reorder)
+        // One request seed drives both the batched sampler and the
+        // mid-circuit measurement stream, so a remote dynamic run is fully
+        // reproducible from (circuit, seed).
+        .measurement_seed(job.options.seed);
     if let Some(bytes) = job.max_bytes {
         config = config.max_bytes(bytes);
     }
@@ -706,6 +733,56 @@ fn execute(shared: &Arc<Shared>, job: Job) {
             live_nodes: run.stats.live_nodes.map(|n| n as u64),
             peak_memory_mib: run.stats.memory_mib,
             histogram,
+            readout: run.readout,
         }),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A connection handler that panics poisons the shared registry
+    /// mutexes.  Shutdown must still drain them and join every thread —
+    /// a wedged `shutdown()` here turns one buggy request into a stuck
+    /// server that can never be stopped cleanly.
+    #[test]
+    fn shutdown_completes_after_a_handler_panic_poisons_the_registries() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default().workers(1)).unwrap();
+        let handle = server.spawn().unwrap();
+        // Keep a live connection open so shutdown() has streams to drain.
+        let conn = TcpStream::connect(handle.addr()).unwrap();
+        // Simulate a handler panicking while holding each registry mutex.
+        let shared = Arc::clone(&handle.shared);
+        for poisoner in [
+            thread::spawn({
+                let shared = Arc::clone(&shared);
+                move || {
+                    let _guard = shared.conn_streams.lock().unwrap();
+                    panic!("deliberate poison");
+                }
+            }),
+            thread::spawn({
+                let shared = Arc::clone(&shared);
+                move || {
+                    let _guard = shared.handler_threads.lock().unwrap();
+                    panic!("deliberate poison");
+                }
+            }),
+        ] {
+            assert!(poisoner.join().is_err(), "poisoner must panic");
+        }
+        assert!(
+            shared.conn_streams.lock().is_err(),
+            "mutex must be poisoned"
+        );
+        assert!(
+            shared.handler_threads.lock().is_err(),
+            "mutex must be poisoned"
+        );
+        // The fix under test: shutdown recovers the poisoned registries
+        // instead of panicking (and thereby leaking every thread).
+        handle.shutdown();
+        drop(conn);
+    }
 }

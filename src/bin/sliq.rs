@@ -129,16 +129,23 @@ fn load_circuit(options: &Options) -> Result<Circuit, Box<dyn Error>> {
 /// Ships the circuit to a running `sliq-serve` instance and prints the
 /// result in the same shape as a local run.
 fn run_remote(options: &Options, circuit: &Circuit, addr: &str) -> Result<(), Box<dyn Error>> {
-    use sliqsim::serve::{Client, RunOptions};
+    use sliqsim::serve::{Client, RetryPolicy, RunOptions};
 
     let mut client = Client::connect(addr)?;
-    let outcome = client.run_circuit(
+    // An `Overloaded` answer is backpressure, not failure: retry with
+    // seeded, jittered backoff and only surface the overload once the
+    // attempt budget is spent.
+    let outcome = client.run_circuit_with_retry(
         circuit,
-        RunOptions {
+        &RunOptions {
             backend: backend_kind(&options.backend)?,
             shots: options.shots,
             seed: options.seed,
             tenant: options.tenant.clone(),
+        },
+        &RetryPolicy {
+            seed: options.seed,
+            ..RetryPolicy::default()
         },
     )?;
     println!(
@@ -151,6 +158,9 @@ fn run_remote(options: &Options, circuit: &Circuit, addr: &str) -> Result<(), Bo
             "representation: {} live nodes ({:.2} MiB peak)",
             nodes, outcome.peak_memory_mib
         );
+    }
+    if let Some(bits) = &outcome.readout {
+        println!("readout: {}", format_readout(bits));
     }
     println!("sum of probabilities = {:.12}", outcome.total_probability);
     if let Some(wire) = outcome.histogram {
@@ -170,6 +180,17 @@ fn run_remote(options: &Options, circuit: &Circuit, addr: &str) -> Result<(), Bo
         print!("{}", histogram.format_top(16));
     }
     Ok(())
+}
+
+/// Formats a classical register in QASM print order: `c[n-1]` leftmost,
+/// `c[0]` rightmost.
+fn format_readout(bits: &[bool]) -> String {
+    let register: String = bits
+        .iter()
+        .rev()
+        .map(|&bit| if bit { '1' } else { '0' })
+        .collect();
+    format!("c = {register} (c[{}..0])", bits.len().saturating_sub(1))
 }
 
 fn backend_kind(name: &str) -> Result<BackendKind, String> {
@@ -210,8 +231,12 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
     if let Some(addr) = &options.connect {
         return run_remote(options, &circuit, addr);
     }
-    let mut config =
-        SessionConfig::with_backend(backend_kind(&options.backend)?).auto_reorder(options.reorder);
+    let mut config = SessionConfig::with_backend(backend_kind(&options.backend)?)
+        .auto_reorder(options.reorder)
+        // The one --seed drives both batched sampling and the mid-circuit
+        // measurement stream, matching what a server does with the wire
+        // seed: (circuit, seed) fully determines a dynamic run.
+        .measurement_seed(options.seed);
     if let Some(threads) = options.threads {
         config = config.threads(threads);
     }
@@ -227,6 +252,10 @@ fn run(options: &Options) -> Result<(), Box<dyn Error>> {
             "representation: {} live nodes ({:.2} MiB peak)",
             nodes, result.stats.memory_mib
         );
+    }
+
+    if let Some(bits) = &result.readout {
+        println!("readout: {}", format_readout(bits));
     }
 
     let qubits: Vec<usize> = options
